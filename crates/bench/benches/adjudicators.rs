@@ -1,0 +1,35 @@
+//! Cost of the voting adjudicators at various N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redundancy_core::adjudicator::voting::{MajorityVoter, MedianVoter, PluralityVoter};
+use redundancy_core::adjudicator::Adjudicator;
+use redundancy_core::outcome::VariantOutcome;
+
+fn outcomes(n: usize) -> Vec<VariantOutcome<u64>> {
+    (0..n)
+        .map(|i| VariantOutcome::ok(format!("v{i}"), if i % 4 == 0 { 99 } else { 42 }))
+        .collect()
+}
+
+fn bench_adjudicators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adjudicators");
+    for n in [3usize, 7, 15, 31] {
+        let outs = outcomes(n);
+        group.bench_with_input(BenchmarkId::new("majority", n), &outs, |b, outs| {
+            let adj = MajorityVoter::new();
+            b.iter(|| adj.adjudicate(std::hint::black_box(outs)).is_accepted());
+        });
+        group.bench_with_input(BenchmarkId::new("plurality", n), &outs, |b, outs| {
+            let adj = PluralityVoter::new();
+            b.iter(|| adj.adjudicate(std::hint::black_box(outs)).is_accepted());
+        });
+        group.bench_with_input(BenchmarkId::new("median", n), &outs, |b, outs| {
+            let adj = MedianVoter::new();
+            b.iter(|| adj.adjudicate(std::hint::black_box(outs)).is_accepted());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adjudicators);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Overhead of the three Figure 1 pattern engines (host-time, Criterion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redundancy_core::adjudicator::acceptance::FnAcceptance;
+use redundancy_core::adjudicator::voting::MajorityVoter;
+use redundancy_core::context::ExecContext;
+use redundancy_core::patterns::{ParallelEvaluation, ParallelSelection, SequentialAlternatives};
+use redundancy_core::variant::pure_variant;
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("patterns");
+    for n in [3usize, 5, 9] {
+        group.bench_with_input(BenchmarkId::new("parallel_evaluation", n), &n, |b, &n| {
+            let mut p = ParallelEvaluation::new(MajorityVoter::new());
+            for i in 0..n {
+                p.push_variant(pure_variant(&format!("v{i}"), 10, |x: &u64| x * 2));
+            }
+            let mut ctx = ExecContext::new(1);
+            b.iter(|| p.run(std::hint::black_box(&7), &mut ctx).into_output());
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_selection", n), &n, |b, &n| {
+            let mut p = ParallelSelection::new();
+            for i in 0..n {
+                p.push_component(
+                    pure_variant(&format!("v{i}"), 10, |x: &u64| x * 2),
+                    Box::new(FnAcceptance::new("any", |_: &u64, _: &u64| true)),
+                );
+            }
+            let mut ctx = ExecContext::new(1);
+            b.iter(|| p.run(std::hint::black_box(&7), &mut ctx).into_output());
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_alternatives", n), &n, |b, &n| {
+            let mut p = SequentialAlternatives::new(FnAcceptance::new("any", |_: &u64, _: &u64| true));
+            for i in 0..n {
+                p.push_variant(pure_variant(&format!("v{i}"), 10, |x: &u64| x * 2));
+            }
+            let mut ctx = ExecContext::new(1);
+            b.iter(|| p.run(std::hint::black_box(&7), &mut ctx).into_output());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

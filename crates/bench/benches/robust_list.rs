@@ -1,0 +1,41 @@
+//! Overhead of Taylor-style structural redundancy (E16 companion):
+//! RobustList operations and audits vs a plain VecDeque.
+
+use std::collections::VecDeque;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redundancy_techniques::robust_data::RobustList;
+
+fn bench_robust_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robust_list");
+    for n in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("push_pop_robust", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut list = RobustList::new();
+                for i in 0..n {
+                    list.push_back(i);
+                }
+                while list.pop_front().is_some() {}
+                list.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("push_pop_vecdeque", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut list = VecDeque::new();
+                for i in 0..n {
+                    list.push_back(i);
+                }
+                while list.pop_front().is_some() {}
+                list.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("audit", n), &n, |b, &n| {
+            let list: RobustList<usize> = (0..n).collect();
+            b.iter(|| list.audit().is_clean());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_robust_list);
+criterion_main!(benches);

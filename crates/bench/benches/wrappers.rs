@@ -1,0 +1,23 @@
+//! Per-write overhead of the boundary-checking healer wrapper (E15).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redundancy_sandbox::memory::SimMemory;
+use redundancy_techniques::wrappers::HeapWrapper;
+
+fn bench_wrappers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heap_writes");
+    group.bench_function("unchecked", |b| {
+        let mut mem = SimMemory::new(0x1000, 0x100000);
+        let seg = mem.alloc(4096).expect("fits");
+        b.iter(|| mem.write_unchecked(seg, std::hint::black_box(128), 64));
+    });
+    group.bench_function("wrapped", |b| {
+        let mut heap = HeapWrapper::new(SimMemory::new(0x1000, 0x100000));
+        let seg = heap.alloc(4096).expect("fits");
+        b.iter(|| heap.write(seg, std::hint::black_box(128), 64));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wrappers);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Runs every experiment regenerator in sequence (the full reproduction).
+
+use redundancy_bench::{default_seed, default_trials};
+use redundancy_bench::experiments as exp;
+
+fn main() {
+    let trials = default_trials();
+    let seed = default_seed();
+    let rule = "=".repeat(72);
+
+    println!("{rule}\nT1 — Table 1\n{rule}");
+    print!("{}", exp::table1::run());
+    println!("{rule}\nT2 — Table 2 (empirical)\n{rule}");
+    print!("{}", exp::table2_matrix::run(trials, seed));
+    println!("{rule}\nF1 — Figure 1 patterns\n{rule}");
+    print!("{}", exp::fig1_patterns::run(trials, seed));
+    println!("{rule}\nE4 — 2k+1 tolerance\n{rule}");
+    print!("{}", exp::nvp_tolerance::run(trials, seed));
+    println!("{rule}\nE5 — correlated faults\n{rule}");
+    print!("{}", exp::correlated::run(trials, seed));
+    println!("{rule}\nE6 — cost/efficacy\n{rule}");
+    print!("{}", exp::cost_efficacy::run(trials, seed));
+    println!("{rule}\nE7a — rejuvenation failure rates\n{rule}");
+    print!("{}", exp::rejuvenation::run_failure_rates(trials, seed));
+    println!("{rule}\nE7b — completion-time U-curve\n{rule}");
+    print!("{}", exp::rejuvenation::run_completion(60, seed));
+    println!("{rule}\nE8 — data diversity\n{rule}");
+    print!("{}", exp::data_diversity::run(trials, seed));
+    println!("{rule}\nE9 — security diversity\n{rule}");
+    print!("{}", exp::security::run(trials.min(1000), seed));
+    println!("{rule}\nE10 — RX vs re-execution\n{rule}");
+    print!("{}", exp::rx::run(trials, seed));
+    println!("{rule}\nE10b — RX knob ablation\n{rule}");
+    print!("{}", exp::rx_ablation::run(trials, seed));
+    println!("{rule}\nE11 — reboot policies\n{rule}");
+    print!("{}", exp::microreboot::run(50_000, seed));
+    println!("{rule}\nE12 — service substitution\n{rule}");
+    print!("{}", exp::substitution::run(trials, seed));
+    println!("{rule}\nE13 — automatic workarounds\n{rule}");
+    print!("{}", exp::workarounds::run(trials, seed));
+    println!("{rule}\nE14 — GP fault fixing\n{rule}");
+    print!("{}", exp::gp_fix::run(3, seed));
+    println!("{rule}\nE15 — healer wrappers\n{rule}");
+    print!("{}", exp::wrappers::run(trials, seed));
+    println!("{rule}\nE16 — robust data structures\n{rule}");
+    print!("{}", exp::robust_data::run(trials, seed));
+    println!("{rule}\nE17 — checkpoint-interval U-curve\n{rule}");
+    print!("{}", exp::checkpoint_interval::run(60, seed));
+}

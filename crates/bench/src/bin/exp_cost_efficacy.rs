@@ -1,0 +1,11 @@
+//! Experiment E6: the cost/efficacy frontier of code redundancy.
+
+use redundancy_bench::{default_seed, default_trials};
+
+fn main() {
+    println!("E6 — cost vs efficacy (fault density 0.25)\n");
+    print!(
+        "{}",
+        redundancy_bench::experiments::cost_efficacy::run(default_trials(), default_seed())
+    );
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 1 as a quantitative pattern comparison.
+
+use redundancy_bench::{default_seed, default_trials};
+
+fn main() {
+    let trials = default_trials();
+    println!("Figure 1 — architectural patterns on identical variants");
+    println!("(3 variants, 25% independent fault density, {trials} requests)\n");
+    print!(
+        "{}",
+        redundancy_bench::experiments::fig1_patterns::run(trials, default_seed())
+    );
+}

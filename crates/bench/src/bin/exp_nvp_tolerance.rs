@@ -1,0 +1,18 @@
+//! Experiment E4: the 2k+1 rule and the adjudicator ablation.
+
+use redundancy_bench::{default_seed, default_trials};
+
+fn main() {
+    let trials = default_trials();
+    let seed = default_seed();
+    println!("E4 — N-version reliability vs N and fault density\n");
+    print!(
+        "{}",
+        redundancy_bench::experiments::nvp_tolerance::run(trials, seed)
+    );
+    println!("\nAdjudicator ablation at N = 5:\n");
+    print!(
+        "{}",
+        redundancy_bench::experiments::nvp_tolerance::run_adjudicator_ablation(trials, seed)
+    );
+}

@@ -1,0 +1,17 @@
+//! Experiment E7: rejuvenation cadence and the completion-time U-curve.
+
+use redundancy_bench::{default_seed, default_trials};
+
+fn main() {
+    let seed = default_seed();
+    println!("E7a — aging-failure rate vs rejuvenation cadence\n");
+    print!(
+        "{}",
+        redundancy_bench::experiments::rejuvenation::run_failure_rates(default_trials(), seed)
+    );
+    println!("\nE7b — completion time vs rejuvenate-every-N-checkpoints (Garg)\n");
+    print!(
+        "{}",
+        redundancy_bench::experiments::rejuvenation::run_completion(60, seed)
+    );
+}

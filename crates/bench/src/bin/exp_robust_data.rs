@@ -1,0 +1,11 @@
+//! Experiment E16: robust-structure detection and repair rates.
+
+use redundancy_bench::{default_seed, default_trials};
+
+fn main() {
+    println!("E16 — robust data structures under corruption\n");
+    print!(
+        "{}",
+        redundancy_bench::experiments::robust_data::run(default_trials(), default_seed())
+    );
+}

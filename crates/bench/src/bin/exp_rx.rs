@@ -1,0 +1,11 @@
+//! Experiment E10: RX vs plain re-execution by fault type.
+
+use redundancy_bench::{default_seed, default_trials};
+
+fn main() {
+    println!("E10 — recovery by fault type (density 0.35, 6 attempts)\n");
+    print!(
+        "{}",
+        redundancy_bench::experiments::rx::run(default_trials(), default_seed())
+    );
+}

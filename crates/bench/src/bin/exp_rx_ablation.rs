@@ -1,0 +1,11 @@
+//! Ablation: which RX perturbation knob cures which fault family.
+
+use redundancy_bench::{default_seed, default_trials};
+
+fn main() {
+    println!("E10b — RX knob ablation (fault density 0.4, 6 rounds)\n");
+    print!(
+        "{}",
+        redundancy_bench::experiments::rx_ablation::run(default_trials(), default_seed())
+    );
+}

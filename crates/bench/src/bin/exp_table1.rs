@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 1 (taxonomy dimensions).
+
+fn main() {
+    println!("Table 1 — taxonomy for redundancy-based mechanisms\n");
+    print!("{}", redundancy_bench::experiments::table1::run());
+}

@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table 2 with empirical fault-class validation.
+
+use redundancy_bench::{default_seed, default_trials};
+
+fn main() {
+    let trials = default_trials();
+    let seed = default_seed();
+    println!("Table 2 — classification + empirical delivery rate under fault load");
+    println!("({trials} trials per cell, fault strength 0.3, seed {seed:#x})\n");
+    print!(
+        "{}",
+        redundancy_bench::experiments::table2_matrix::run(trials, seed)
+    );
+    println!("\nStatic classification (as printed in the paper):\n");
+    print!("{}", redundancy_techniques::table2::render());
+}

@@ -1,0 +1,11 @@
+//! Experiment E13: workaround success vs intrinsic redundancy degree.
+
+use redundancy_bench::{default_seed, default_trials};
+
+fn main() {
+    println!("E13 — failures worked around vs equivalence rules known\n");
+    print!(
+        "{}",
+        redundancy_bench::experiments::workarounds::run(default_trials(), default_seed())
+    );
+}

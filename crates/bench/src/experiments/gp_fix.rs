@@ -1,0 +1,123 @@
+//! Experiment E14 — GP fault fixing (Weimer 2009, Arcuri 2008): fix rate
+//! over the seeded-bug corpus vs search budget.
+//!
+//! Expected shape: fix rate grows with both generations and population;
+//! the corpus is mostly fixable with a moderate budget because repairs
+//! are a small edit away from the faulty program (the population is
+//! seeded with its mutants).
+
+use redundancy_core::rng::SplitMix64;
+use redundancy_gp::corpus::corpus;
+use redundancy_gp::engine::GpParams;
+use redundancy_sim::table::Table;
+use redundancy_techniques::fault_fixing::FaultFixer;
+
+use crate::fmt_rate;
+
+/// Fix statistics for one GP budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixStats {
+    /// Programs fully fixed / total.
+    pub fix_rate: f64,
+    /// Mean best-fitness fraction across programs.
+    pub mean_fitness: f64,
+    /// Mean generations used by successful fixes.
+    pub mean_generations: f64,
+}
+
+/// Runs the corpus under a GP budget, `repetitions` times with different
+/// suites.
+#[must_use]
+pub fn corpus_fix_stats(
+    population: usize,
+    generations: usize,
+    repetitions: usize,
+    seed: u64,
+) -> FixStats {
+    let fixer = FaultFixer::new(GpParams {
+        population,
+        generations,
+        ..GpParams::default()
+    });
+    let mut rng = SplitMix64::new(seed);
+    let mut fixed = 0usize;
+    let mut total = 0usize;
+    let mut fitness_sum = 0.0;
+    let mut generations_sum = 0usize;
+    for _ in 0..repetitions {
+        for program in corpus() {
+            let suite = program.suite(50, &mut rng);
+            let report = fixer.fix(&program.faulty, program.arity, &suite, &mut rng);
+            total += 1;
+            fitness_sum += report.best_fitness as f64 / report.total_tests as f64;
+            if report.fixed {
+                fixed += 1;
+                generations_sum += report.generations;
+            }
+        }
+    }
+    FixStats {
+        fix_rate: fixed as f64 / total as f64,
+        mean_fitness: fitness_sum / total as f64,
+        mean_generations: if fixed == 0 {
+            f64::NAN
+        } else {
+            generations_sum as f64 / fixed as f64
+        },
+    }
+}
+
+/// Builds the E14 table: fix rate vs budget.
+#[must_use]
+pub fn run(repetitions: usize, seed: u64) -> Table {
+    let mut table = Table::new(&[
+        "population x generations",
+        "fix rate",
+        "mean fitness",
+        "mean generations (fixed)",
+    ]);
+    for (population, generations) in [(20, 10), (50, 40), (150, 80)] {
+        let stats = corpus_fix_stats(population, generations, repetitions, seed);
+        table.row_owned(vec![
+            format!("{population} x {generations}"),
+            fmt_rate(stats.fix_rate),
+            fmt_rate(stats.mean_fitness),
+            if stats.mean_generations.is_nan() {
+                "—".to_owned()
+            } else {
+                format!("{:.1}", stats.mean_generations)
+            },
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED: u64 = 0xe14;
+
+    #[test]
+    fn bigger_budget_fixes_more() {
+        let tiny = corpus_fix_stats(10, 3, 2, SEED);
+        let large = corpus_fix_stats(150, 80, 2, SEED);
+        assert!(
+            large.fix_rate > tiny.fix_rate + 0.2,
+            "tiny {tiny:?} vs large {large:?}"
+        );
+        assert!(large.fix_rate > 0.6, "large {large:?}");
+    }
+
+    #[test]
+    fn fitness_is_high_even_when_not_fully_fixed() {
+        let stats = corpus_fix_stats(50, 20, 1, SEED);
+        assert!(stats.mean_fitness > 0.8, "{stats:?}");
+        assert!(stats.mean_fitness >= stats.fix_rate);
+    }
+
+    #[test]
+    fn table_renders_three_rows() {
+        assert_eq!(run(1, SEED).len(), 3);
+    }
+}

@@ -1,0 +1,21 @@
+//! One module per reproduced artifact. See `EXPERIMENTS.md` for the
+//! experiment ↔ paper mapping.
+
+pub mod checkpoint_interval;
+pub mod correlated;
+pub mod cost_efficacy;
+pub mod data_diversity;
+pub mod fig1_patterns;
+pub mod gp_fix;
+pub mod microreboot;
+pub mod nvp_tolerance;
+pub mod rejuvenation;
+pub mod robust_data;
+pub mod rx;
+pub mod rx_ablation;
+pub mod security;
+pub mod substitution;
+pub mod table1;
+pub mod table2_matrix;
+pub mod workarounds;
+pub mod wrappers;

@@ -1,0 +1,49 @@
+//! Experiment regenerators for the paper's tables, figure, and
+//! quantitative claims.
+//!
+//! Each module under [`experiments`] reproduces one artifact (see
+//! `EXPERIMENTS.md` at the repository root for the index) and is exposed
+//! both as a library function returning a [`Table`] — unit-tested for its
+//! qualitative shape — and as a binary (`exp_*`) that prints it.
+//!
+//! The default trial counts keep every binary under a few seconds; set
+//! the `REDUNDANCY_TRIALS` environment variable to raise them for tighter
+//! confidence intervals.
+//!
+//! [`Table`]: redundancy_sim::table::Table
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+/// Default number of Monte-Carlo trials, overridable via the
+/// `REDUNDANCY_TRIALS` environment variable.
+#[must_use]
+pub fn default_trials() -> usize {
+    std::env::var("REDUNDANCY_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000)
+}
+
+/// The fixed seed experiments run under (reproducibility); override with
+/// `REDUNDANCY_SEED`.
+#[must_use]
+pub fn default_seed() -> u64 {
+    std::env::var("REDUNDANCY_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5eed_2008)
+}
+
+/// Formats a rate as a fixed-width string.
+#[must_use]
+pub fn fmt_rate(rate: f64) -> String {
+    format!("{rate:.3}")
+}
+
+/// Formats an optional rate ("—" when not applicable).
+#[must_use]
+pub fn fmt_opt_rate(rate: Option<f64>) -> String {
+    rate.map_or_else(|| "   —".to_owned(), |r| format!("{r:.3}"))
+}

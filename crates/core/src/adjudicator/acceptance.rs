@@ -1,0 +1,263 @@
+//! Explicit adjudicators: acceptance tests.
+//!
+//! Recovery blocks (Randell) and one flavor of self-checking components
+//! (Laprie et al.) rely on *explicitly designed* checks that judge a single
+//! result against the input that produced it. An [`AcceptanceTest`] is such
+//! a check; combinators allow composing partial checks. Imperfect test
+//! *coverage* — the practical limit of explicit adjudication — is modeled
+//! in experiments by tests that recognize corruption only on a fraction of
+//! the input space (experiment E6 sweeps it).
+
+use std::marker::PhantomData;
+
+/// An application-specific check of one candidate output.
+pub trait AcceptanceTest<I: ?Sized, O: ?Sized>: Send + Sync {
+    /// Identifies the test in reports.
+    fn name(&self) -> &str {
+        "acceptance-test"
+    }
+
+    /// Returns `true` when `output` is acceptable for `input`.
+    fn accept(&self, input: &I, output: &O) -> bool;
+}
+
+/// An [`AcceptanceTest`] built from a closure.
+///
+/// # Examples
+///
+/// ```
+/// use redundancy_core::adjudicator::acceptance::{AcceptanceTest, FnAcceptance};
+///
+/// let sorted = FnAcceptance::new("is-sorted", |_input: &Vec<i32>, out: &Vec<i32>| {
+///     out.windows(2).all(|w| w[0] <= w[1])
+/// });
+/// assert!(sorted.accept(&vec![3, 1], &vec![1, 3]));
+/// assert!(!sorted.accept(&vec![3, 1], &vec![3, 1]));
+/// ```
+pub struct FnAcceptance<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnAcceptance<F> {
+    /// Wraps a closure as an acceptance test.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<I, O, F> AcceptanceTest<I, O> for FnAcceptance<F>
+where
+    F: Fn(&I, &O) -> bool + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn accept(&self, input: &I, output: &O) -> bool {
+        (self.f)(input, output)
+    }
+}
+
+impl<I, O> AcceptanceTest<I, O> for Box<dyn AcceptanceTest<I, O>> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn accept(&self, input: &I, output: &O) -> bool {
+        self.as_ref().accept(input, output)
+    }
+}
+
+/// Accepts everything. The degenerate test of pure fail-over mechanisms
+/// that only react to detectable failures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AcceptAll;
+
+impl<I, O> AcceptanceTest<I, O> for AcceptAll {
+    fn name(&self) -> &str {
+        "accept-all"
+    }
+
+    fn accept(&self, _input: &I, _output: &O) -> bool {
+        true
+    }
+}
+
+/// Conjunction of two acceptance tests.
+pub struct AndTest<A, B, I: ?Sized, O: ?Sized> {
+    a: A,
+    b: B,
+    name: String,
+    _marker: PhantomData<fn(&I, &O)>,
+}
+
+impl<A, B, I, O> AndTest<A, B, I, O>
+where
+    A: AcceptanceTest<I, O>,
+    B: AcceptanceTest<I, O>,
+    I: ?Sized,
+    O: ?Sized,
+{
+    /// Combines two tests; the result accepts only if both accept.
+    pub fn new(a: A, b: B) -> Self {
+        let name = format!("({} and {})", a.name(), b.name());
+        Self {
+            a,
+            b,
+            name,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<A, B, I, O> AcceptanceTest<I, O> for AndTest<A, B, I, O>
+where
+    A: AcceptanceTest<I, O>,
+    B: AcceptanceTest<I, O>,
+    I: ?Sized,
+    O: ?Sized,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn accept(&self, input: &I, output: &O) -> bool {
+        self.a.accept(input, output) && self.b.accept(input, output)
+    }
+}
+
+/// Disjunction of two acceptance tests.
+pub struct OrTest<A, B, I: ?Sized, O: ?Sized> {
+    a: A,
+    b: B,
+    name: String,
+    _marker: PhantomData<fn(&I, &O)>,
+}
+
+impl<A, B, I, O> OrTest<A, B, I, O>
+where
+    A: AcceptanceTest<I, O>,
+    B: AcceptanceTest<I, O>,
+    I: ?Sized,
+    O: ?Sized,
+{
+    /// Combines two tests; the result accepts if either accepts.
+    pub fn new(a: A, b: B) -> Self {
+        let name = format!("({} or {})", a.name(), b.name());
+        Self {
+            a,
+            b,
+            name,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<A, B, I, O> AcceptanceTest<I, O> for OrTest<A, B, I, O>
+where
+    A: AcceptanceTest<I, O>,
+    B: AcceptanceTest<I, O>,
+    I: ?Sized,
+    O: ?Sized,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn accept(&self, input: &I, output: &O) -> bool {
+        self.a.accept(input, output) || self.b.accept(input, output)
+    }
+}
+
+/// A golden-model oracle: accepts iff the output equals a reference
+/// implementation's output. Perfect (100% coverage) acceptance testing —
+/// the upper bound against which degraded tests are compared in E6.
+pub struct OracleTest<F> {
+    reference: F,
+}
+
+impl<F> OracleTest<F> {
+    /// Creates an oracle from a reference implementation.
+    pub fn new(reference: F) -> Self {
+        Self { reference }
+    }
+}
+
+impl<I, O, F> AcceptanceTest<I, O> for OracleTest<F>
+where
+    O: PartialEq,
+    F: Fn(&I) -> O + Send + Sync,
+{
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn accept(&self, input: &I, output: &O) -> bool {
+        (self.reference)(input) == *output
+    }
+}
+
+/// Boxed trait-object alias used by patterns and techniques.
+pub type BoxedAcceptance<I, O> = Box<dyn AcceptanceTest<I, O>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_range() -> FnAcceptance<impl Fn(&i32, &i32) -> bool> {
+        FnAcceptance::new("in-range", |_: &i32, out: &i32| (0..100).contains(out))
+    }
+
+    fn even() -> FnAcceptance<impl Fn(&i32, &i32) -> bool> {
+        FnAcceptance::new("even", |_: &i32, out: &i32| out % 2 == 0)
+    }
+
+    #[test]
+    fn fn_acceptance_works() {
+        let t = in_range();
+        assert!(t.accept(&0, &50));
+        assert!(!t.accept(&0, &150));
+        assert_eq!(t.name(), "in-range");
+    }
+
+    #[test]
+    fn accept_all_accepts() {
+        let t = AcceptAll;
+        assert!(AcceptanceTest::<i32, i32>::accept(&t, &1, &2));
+    }
+
+    #[test]
+    fn and_requires_both() {
+        let t = AndTest::new(in_range(), even());
+        assert!(t.accept(&0, &42));
+        assert!(!t.accept(&0, &43)); // odd
+        assert!(!t.accept(&0, &142)); // out of range
+        assert_eq!(t.name(), "(in-range and even)");
+    }
+
+    #[test]
+    fn or_requires_either() {
+        let t = OrTest::new(in_range(), even());
+        assert!(t.accept(&0, &43)); // in range, odd
+        assert!(t.accept(&0, &142)); // out of range, even
+        assert!(!t.accept(&0, &143)); // neither
+    }
+
+    #[test]
+    fn oracle_matches_reference() {
+        let t = OracleTest::new(|x: &i32| x * 2);
+        assert!(t.accept(&21, &42));
+        assert!(!t.accept(&21, &41));
+    }
+
+    #[test]
+    fn boxed_test_delegates() {
+        let t: BoxedAcceptance<i32, i32> = Box::new(even());
+        assert!(t.accept(&0, &2));
+        assert_eq!(t.name(), "even");
+    }
+}

@@ -1,0 +1,265 @@
+//! Execution context threaded through every variant execution.
+//!
+//! [`ExecContext`] carries the deterministic random stream, the cost
+//! accounting of [`crate::cost::Cost`], and an optional *fuel* budget that
+//! models timeouts: a variant that runs out of fuel is reported as hung,
+//! which lets the framework exercise watchdog-style detection without real
+//! wall-clock waits.
+
+use std::fmt;
+
+use crate::cost::Cost;
+use crate::rng::SplitMix64;
+
+/// Error returned by [`ExecContext::charge`] when the fuel budget is
+/// exhausted. Variants should propagate it; pattern engines convert it into
+/// [`VariantFailure::Timeout`](crate::outcome::VariantFailure::Timeout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuelExhausted;
+
+impl fmt::Display for FuelExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("execution fuel exhausted")
+    }
+}
+
+impl std::error::Error for FuelExhausted {}
+
+/// Per-execution context: deterministic randomness, cost metering, fuel.
+///
+/// # Examples
+///
+/// ```
+/// use redundancy_core::context::ExecContext;
+///
+/// let mut ctx = ExecContext::new(42);
+/// ctx.charge(10).unwrap();
+/// assert_eq!(ctx.cost().work_units, 10);
+/// let coin = ctx.rng().chance(0.5); // deterministic for seed 42
+/// let _ = coin;
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    rng: SplitMix64,
+    cost: Cost,
+    fuel: Option<u64>,
+    initial_fuel: Option<u64>,
+    /// Count of forks taken so far; folded into every child stream so
+    /// that repeated forks (e.g. one per retry, or one per request in a
+    /// campaign) get fresh, still-deterministic randomness.
+    forks: std::cell::Cell<u64>,
+}
+
+impl ExecContext {
+    /// Creates a context with unlimited fuel.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SplitMix64::new(seed),
+            cost: Cost::ZERO,
+            fuel: None,
+            initial_fuel: None,
+            forks: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Creates a context whose executions may consume at most `fuel` work
+    /// units before being reported as hung.
+    #[must_use]
+    pub fn with_fuel(seed: u64, fuel: u64) -> Self {
+        Self {
+            rng: SplitMix64::new(seed),
+            cost: Cost::ZERO,
+            fuel: Some(fuel),
+            initial_fuel: Some(fuel),
+            forks: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The deterministic random stream of this context.
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+
+    /// Charges `units` of work (and the same amount of virtual time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuelExhausted`] when a fuel budget is configured and the
+    /// charge does not fit in the remaining budget.
+    pub fn charge(&mut self, units: u64) -> Result<(), FuelExhausted> {
+        if let Some(fuel) = self.fuel.as_mut() {
+            if *fuel < units {
+                // Consume what is left: the hung execution did burn it.
+                self.cost.work_units += *fuel;
+                self.cost.virtual_ns += *fuel;
+                *fuel = 0;
+                return Err(FuelExhausted);
+            }
+            *fuel -= units;
+        }
+        self.cost.work_units += units;
+        self.cost.virtual_ns += units;
+        Ok(())
+    }
+
+    /// Advances virtual time without consuming work or fuel (e.g. network
+    /// latency in the service substrate).
+    pub fn advance_ns(&mut self, ns: u64) {
+        self.cost.virtual_ns += ns;
+    }
+
+    /// Records one variant invocation with the given design cost.
+    pub fn record_invocation(&mut self, design_cost: f64) {
+        self.cost.invocations += 1;
+        self.cost.design_cost += design_cost;
+    }
+
+    /// Cost accumulated so far.
+    #[must_use]
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// Remaining fuel, or `None` when unlimited.
+    #[must_use]
+    pub fn remaining_fuel(&self) -> Option<u64> {
+        self.fuel
+    }
+
+    /// Resets cost to zero and refills fuel to its initial budget, keeping
+    /// the random stream position (a fresh attempt in the same experiment).
+    pub fn reset_metering(&mut self) {
+        self.cost = Cost::ZERO;
+        self.fuel = self.initial_fuel;
+    }
+
+    /// Takes the accumulated cost out of the context, leaving zero.
+    pub fn take_cost(&mut self) -> Cost {
+        std::mem::replace(&mut self.cost, Cost::ZERO)
+    }
+
+    /// Derives an independent child context keyed by `stream`, with fresh
+    /// cost metering and a full fuel budget.
+    ///
+    /// Each call advances an internal fork counter that is folded into the
+    /// child's stream: forking in a loop (one child per retry, per variant,
+    /// per request) yields fresh randomness every time, while the overall
+    /// sequence stays a pure function of the seed — results do not depend
+    /// on thread scheduling, only on fork order, which pattern engines fix
+    /// by forking before spawning.
+    #[must_use]
+    pub fn fork(&self, stream: u64) -> ExecContext {
+        let n = self.forks.get();
+        self.forks.set(n.wrapping_add(1));
+        ExecContext {
+            rng: self.rng.fork(stream).fork(n),
+            cost: Cost::ZERO,
+            fuel: self.initial_fuel,
+            initial_fuel: self.initial_fuel,
+            forks: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Adds a cost as a *sequential* contribution (e.g. a completed child
+    /// execution whose cost was metered separately).
+    pub fn add_sequential_cost(&mut self, cost: Cost) {
+        self.cost = self.cost.sequential(cost);
+    }
+
+    /// Adds several costs as *parallel* contributions: work and invocations
+    /// sum, virtual time takes the critical path.
+    pub fn add_parallel_costs<I: IntoIterator<Item = Cost>>(&mut self, costs: I) {
+        let mut combined = Cost::ZERO;
+        for cost in costs {
+            combined = combined.parallel(cost);
+        }
+        self.cost = self.cost.sequential(combined);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_fuel_never_exhausts() {
+        let mut ctx = ExecContext::new(1);
+        for _ in 0..1000 {
+            ctx.charge(1_000_000).unwrap();
+        }
+        assert_eq!(ctx.cost().work_units, 1_000_000_000);
+    }
+
+    #[test]
+    fn fuel_exhaustion_reported_and_burned() {
+        let mut ctx = ExecContext::with_fuel(1, 100);
+        ctx.charge(60).unwrap();
+        assert_eq!(ctx.remaining_fuel(), Some(40));
+        assert_eq!(ctx.charge(60), Err(FuelExhausted));
+        // The hung execution consumed the remaining budget.
+        assert_eq!(ctx.remaining_fuel(), Some(0));
+        assert_eq!(ctx.cost().work_units, 100);
+    }
+
+    #[test]
+    fn reset_metering_refills_fuel() {
+        let mut ctx = ExecContext::with_fuel(1, 50);
+        let _ = ctx.charge(50);
+        ctx.reset_metering();
+        assert_eq!(ctx.remaining_fuel(), Some(50));
+        assert_eq!(ctx.cost(), Cost::ZERO);
+    }
+
+    #[test]
+    fn forks_are_deterministic_but_never_repeat() {
+        // Same seed, same fork sequence -> identical children.
+        let ctx1 = ExecContext::new(99);
+        let ctx2 = ExecContext::new(99);
+        let mut a1 = ctx1.fork(1);
+        let mut a2 = ctx2.fork(1);
+        assert_eq!(a1.rng().next_u64(), a2.rng().next_u64());
+        // Within one context, repeated forks (even on the same stream)
+        // yield fresh randomness: retries must not replay the transient
+        // conditions of the failed attempt.
+        let mut r1 = ctx1.fork(7);
+        let mut r2 = ctx1.fork(7);
+        assert_ne!(r1.rng().next_u64(), r2.rng().next_u64());
+        // Distinct streams at the same position differ too.
+        let ctx3 = ExecContext::new(99);
+        let mut b = ctx3.fork(2);
+        let mut a3 = ExecContext::new(99).fork(1);
+        assert_ne!(a3.rng().next_u64(), b.rng().next_u64());
+    }
+
+    #[test]
+    fn add_parallel_costs_uses_critical_path() {
+        let mut parent = ExecContext::new(5);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        c1.charge(30).unwrap();
+        c2.charge(70).unwrap();
+        parent.add_parallel_costs([c1.cost(), c2.cost()]);
+        assert_eq!(parent.cost().virtual_ns, 70);
+        assert_eq!(parent.cost().work_units, 100);
+    }
+
+    #[test]
+    fn add_sequential_cost_adds() {
+        let mut parent = ExecContext::new(5);
+        let mut c = parent.fork(1);
+        c.charge(40).unwrap();
+        parent.add_sequential_cost(c.cost());
+        parent.add_sequential_cost(c.cost());
+        assert_eq!(parent.cost().virtual_ns, 80);
+    }
+
+    #[test]
+    fn record_invocation_counts() {
+        let mut ctx = ExecContext::new(0);
+        ctx.record_invocation(2.5);
+        ctx.record_invocation(1.5);
+        assert_eq!(ctx.cost().invocations, 2);
+        assert!((ctx.cost().design_cost - 4.0).abs() < 1e-9);
+    }
+}

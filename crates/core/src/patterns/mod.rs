@@ -1,0 +1,86 @@
+//! The inter-component architectural patterns of the paper's Figure 1.
+//!
+//! - [`ParallelEvaluation`] — Figure 1(a): all alternatives execute, one
+//!   adjudicator merges the results (N-version programming, process
+//!   replicas, N-copy data diversity).
+//! - [`ParallelSelection`] — Figure 1(b): alternatives execute in parallel,
+//!   each result is validated by its own adjudicator, the first validated
+//!   "acting" result wins and failing components are disabled
+//!   (self-checking programming).
+//! - [`SequentialAlternatives`] — Figure 1(c): alternatives execute one at
+//!   a time; on rejection the next alternative is promoted (recovery
+//!   blocks, retry blocks, service substitution, registry-based recovery).
+//!
+//! Each engine supports two [`ExecutionMode`]s: `Sequential` (deterministic
+//! in-thread simulation, virtual time still modeling parallelism as
+//! critical path) and `Threaded` (real OS threads via crossbeam scopes).
+//! Results are identical across modes because every variant draws from its
+//! own forked random stream.
+//!
+//! [`ParallelEvaluation`]: parallel::ParallelEvaluation
+//! [`ParallelSelection`]: parallel::ParallelSelection
+//! [`SequentialAlternatives`]: sequential::SequentialAlternatives
+
+pub mod parallel;
+pub mod sequential;
+
+pub use parallel::{ParallelEvaluation, ParallelSelection};
+pub use sequential::SequentialAlternatives;
+
+use crate::cost::Cost;
+use crate::outcome::{Verdict, VariantOutcome};
+
+/// How a pattern engine executes its alternatives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecutionMode {
+    /// Run alternatives in the calling thread, one after another, but
+    /// account virtual time as if parallel (critical path). Deterministic
+    /// and cheap; the default for simulation.
+    #[default]
+    Sequential,
+    /// Run alternatives on real OS threads (crossbeam scoped threads).
+    Threaded,
+}
+
+/// Everything a pattern run produced: the verdict, the raw outcomes, and
+/// the aggregate cost under the pattern's timing semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternReport<O> {
+    /// The adjudicated result.
+    pub verdict: Verdict<O>,
+    /// Outcome of every alternative that was executed, in variant order
+    /// (parallel patterns) or attempt order (sequential alternatives).
+    pub outcomes: Vec<VariantOutcome<O>>,
+    /// Aggregate cost: parallel patterns use critical-path virtual time,
+    /// sequential alternatives sum attempt times.
+    pub cost: Cost,
+    /// Name of the variant whose output was selected, when the pattern
+    /// selects a single component's result.
+    pub selected: Option<String>,
+}
+
+impl<O> PatternReport<O> {
+    /// Whether the pattern produced an accepted output.
+    #[must_use]
+    pub fn is_accepted(&self) -> bool {
+        self.verdict.is_accepted()
+    }
+
+    /// The accepted output, if any.
+    #[must_use]
+    pub fn output(&self) -> Option<&O> {
+        self.verdict.output()
+    }
+
+    /// Consumes the report, returning the accepted output if any.
+    #[must_use]
+    pub fn into_output(self) -> Option<O> {
+        self.verdict.into_output()
+    }
+
+    /// Number of alternatives that were actually executed.
+    #[must_use]
+    pub fn executed(&self) -> usize {
+        self.outcomes.len()
+    }
+}

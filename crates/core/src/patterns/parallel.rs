@@ -1,0 +1,453 @@
+//! Figure 1(a) and 1(b): the two parallel patterns.
+
+use crate::adjudicator::acceptance::{AcceptanceTest, BoxedAcceptance};
+use crate::adjudicator::Adjudicator;
+use crate::context::ExecContext;
+use crate::outcome::{RejectionReason, VariantOutcome, Verdict};
+use crate::patterns::{ExecutionMode, PatternReport};
+use crate::variant::{run_contained, BoxedVariant};
+
+/// Runs each variant against `input` with a forked context, either in the
+/// calling thread or on scoped threads, and returns `(outcomes, children)`
+/// in variant order.
+fn execute_all<I, O>(
+    variants: &[BoxedVariant<I, O>],
+    input: &I,
+    ctx: &ExecContext,
+    mode: ExecutionMode,
+) -> Vec<VariantOutcome<O>>
+where
+    I: Sync,
+    O: Send,
+{
+    match mode {
+        ExecutionMode::Sequential => {
+            let mut outcomes = Vec::with_capacity(variants.len());
+            for (i, variant) in variants.iter().enumerate() {
+                let mut child = ctx.fork(i as u64);
+                outcomes.push(run_contained(variant.as_ref(), input, &mut child));
+            }
+            outcomes
+        }
+        ExecutionMode::Threaded => {
+            let mut slots: Vec<Option<VariantOutcome<O>>> =
+                (0..variants.len()).map(|_| None).collect();
+            crossbeam::thread::scope(|scope| {
+                for (i, (variant, slot)) in variants.iter().zip(slots.iter_mut()).enumerate() {
+                    let mut child = ctx.fork(i as u64);
+                    scope.spawn(move |_| {
+                        *slot = Some(run_contained(variant.as_ref(), input, &mut child));
+                    });
+                }
+            })
+            .expect("variant threads are crash-contained and must not panic");
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every scoped thread fills its slot"))
+                .collect()
+        }
+    }
+}
+
+/// Figure 1(a): *parallel evaluation* — execute every alternative with the
+/// same input configuration and let a single adjudicator merge the results.
+///
+/// This is the skeleton of N-version programming (with a majority voter),
+/// of process replicas and N-variant systems (with a unanimity voter), and
+/// of N-copy data diversity (with re-expressed inputs upstream).
+///
+/// # Examples
+///
+/// ```
+/// use redundancy_core::adjudicator::voting::MajorityVoter;
+/// use redundancy_core::context::ExecContext;
+/// use redundancy_core::patterns::ParallelEvaluation;
+/// use redundancy_core::variant::pure_variant;
+///
+/// let nvp = ParallelEvaluation::new(MajorityVoter::new())
+///     .with_variant(pure_variant("v1", 10, |x: &i32| x + 1))
+///     .with_variant(pure_variant("v2", 12, |x: &i32| x + 1))
+///     .with_variant(pure_variant("v3-buggy", 8, |x: &i32| x + 2));
+///
+/// let mut ctx = ExecContext::new(7);
+/// let report = nvp.run(&41, &mut ctx);
+/// assert_eq!(report.into_output(), Some(42));
+/// ```
+pub struct ParallelEvaluation<I, O> {
+    variants: Vec<BoxedVariant<I, O>>,
+    adjudicator: Box<dyn Adjudicator<O>>,
+    mode: ExecutionMode,
+}
+
+impl<I, O> ParallelEvaluation<I, O> {
+    /// Creates the pattern with the given adjudicator and no variants.
+    #[must_use]
+    pub fn new(adjudicator: impl Adjudicator<O> + 'static) -> Self {
+        Self {
+            variants: Vec::new(),
+            adjudicator: Box::new(adjudicator),
+            mode: ExecutionMode::Sequential,
+        }
+    }
+
+    /// Adds an alternative (builder style).
+    #[must_use]
+    pub fn with_variant(mut self, variant: BoxedVariant<I, O>) -> Self {
+        self.variants.push(variant);
+        self
+    }
+
+    /// Adds an alternative.
+    pub fn push_variant(&mut self, variant: BoxedVariant<I, O>) {
+        self.variants.push(variant);
+    }
+
+    /// Selects the execution mode (builder style).
+    #[must_use]
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Number of alternatives.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Whether the pattern has no alternatives.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+
+    /// Executes every alternative and adjudicates.
+    ///
+    /// Virtual time is accounted as the critical path over alternatives in
+    /// both execution modes.
+    pub fn run(&self, input: &I, ctx: &mut ExecContext) -> PatternReport<O>
+    where
+        I: Sync,
+        O: Send,
+    {
+        let outcomes = execute_all(&self.variants, input, ctx, self.mode);
+        ctx.add_parallel_costs(outcomes.iter().map(|o| o.cost));
+        let verdict = self.adjudicator.adjudicate(&outcomes);
+        PatternReport {
+            verdict,
+            cost: ctx.cost(),
+            outcomes,
+            // Figure 1(a) merges results through the adjudicator; no single
+            // component is "selected".
+            selected: None,
+        }
+    }
+}
+
+/// Figure 1(b): *parallel selection* — every alternative executes in
+/// parallel and is validated by its own adjudicator; the first (highest
+/// priority) validated result is selected, the rest serve as hot spares.
+///
+/// This is self-checking programming: "acting" components ahead in the
+/// list, "hot spares" behind them.
+pub struct ParallelSelection<I, O> {
+    components: Vec<(BoxedVariant<I, O>, BoxedAcceptance<I, O>)>,
+    mode: ExecutionMode,
+}
+
+impl<I, O> ParallelSelection<I, O> {
+    /// Creates an empty pattern.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            components: Vec::new(),
+            mode: ExecutionMode::Sequential,
+        }
+    }
+
+    /// Adds a self-checking component: a variant paired with the acceptance
+    /// test that validates it. Insertion order is priority order — the
+    /// first component is the "acting" one.
+    #[must_use]
+    pub fn with_component(
+        mut self,
+        variant: BoxedVariant<I, O>,
+        test: BoxedAcceptance<I, O>,
+    ) -> Self {
+        self.components.push((variant, test));
+        self
+    }
+
+    /// Adds a self-checking component.
+    pub fn push_component(&mut self, variant: BoxedVariant<I, O>, test: BoxedAcceptance<I, O>) {
+        self.components.push((variant, test));
+    }
+
+    /// Selects the execution mode (builder style).
+    #[must_use]
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the pattern has no components.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Executes all components, validates each result with its own test,
+    /// and selects the first validated result.
+    pub fn run(&self, input: &I, ctx: &mut ExecContext) -> PatternReport<O>
+    where
+        I: Sync,
+        O: Send + Clone,
+    {
+        if self.components.is_empty() {
+            return PatternReport {
+                verdict: Verdict::rejected(RejectionReason::NoOutcomes),
+                outcomes: Vec::new(),
+                cost: ctx.cost(),
+                selected: None,
+            };
+        }
+        // Split borrows: variants for execution, tests for validation.
+        let variants: Vec<&BoxedVariant<I, O>> =
+            self.components.iter().map(|(v, _)| v).collect();
+        let outcomes = match self.mode {
+            ExecutionMode::Sequential => {
+                let mut outcomes = Vec::with_capacity(variants.len());
+                for (i, variant) in variants.iter().enumerate() {
+                    let mut child = ctx.fork(i as u64);
+                    outcomes.push(run_contained(variant.as_ref(), input, &mut child));
+                }
+                outcomes
+            }
+            ExecutionMode::Threaded => {
+                let mut slots: Vec<Option<VariantOutcome<O>>> =
+                    (0..variants.len()).map(|_| None).collect();
+                crossbeam::thread::scope(|scope| {
+                    for (i, (variant, slot)) in
+                        variants.iter().zip(slots.iter_mut()).enumerate()
+                    {
+                        let mut child = ctx.fork(i as u64);
+                        scope.spawn(move |_| {
+                            *slot = Some(run_contained(variant.as_ref(), input, &mut child));
+                        });
+                    }
+                })
+                .expect("variant threads are crash-contained and must not panic");
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("every scoped thread fills its slot"))
+                    .collect()
+            }
+        };
+        ctx.add_parallel_costs(outcomes.iter().map(|o| o.cost));
+
+        let mut selected = None;
+        let mut validated = 0usize;
+        for (idx, outcome) in outcomes.iter().enumerate() {
+            if let Some(output) = outcome.output() {
+                if self.components[idx].1.accept(input, output) {
+                    validated += 1;
+                    if selected.is_none() {
+                        selected = Some(idx);
+                    }
+                }
+            }
+        }
+        let verdict = match selected {
+            Some(idx) => Verdict::accepted(
+                outcomes[idx]
+                    .output()
+                    .expect("selected outcome is validated")
+                    .clone(),
+                validated,
+                outcomes.len() - validated,
+            ),
+            None => {
+                if outcomes.iter().all(|o| !o.is_ok()) {
+                    Verdict::rejected(RejectionReason::AllFailed)
+                } else {
+                    Verdict::rejected(RejectionReason::AcceptanceFailed)
+                }
+            }
+        };
+        PatternReport {
+            verdict,
+            cost: ctx.cost(),
+            selected: selected.map(|idx| outcomes[idx].variant.clone()),
+            outcomes,
+        }
+    }
+}
+
+impl<I, O> Default for ParallelSelection<I, O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjudicator::acceptance::FnAcceptance;
+    use crate::adjudicator::voting::MajorityVoter;
+    use crate::outcome::VariantFailure;
+    use crate::variant::{pure_variant, FnVariant};
+
+    fn failing_variant(name: &str) -> BoxedVariant<i32, i32> {
+        Box::new(FnVariant::new(name, |_: &i32, _: &mut ExecContext| {
+            Err(VariantFailure::crash("injected"))
+        }))
+    }
+
+    #[test]
+    fn parallel_evaluation_masks_minority_fault() {
+        let p = ParallelEvaluation::new(MajorityVoter::new())
+            .with_variant(pure_variant("good1", 10, |x: &i32| x * 2))
+            .with_variant(pure_variant("good2", 20, |x: &i32| x * 2))
+            .with_variant(pure_variant("bad", 5, |x: &i32| x * 3));
+        let mut ctx = ExecContext::new(1);
+        let report = p.run(&10, &mut ctx);
+        assert_eq!(report.output(), Some(&20));
+        assert_eq!(report.executed(), 3);
+        // Critical path: max(10, 20, 5) = 20 virtual ns.
+        assert_eq!(report.cost.virtual_ns, 20);
+        assert_eq!(report.cost.work_units, 35);
+        assert_eq!(report.cost.invocations, 3);
+    }
+
+    #[test]
+    fn parallel_evaluation_threaded_matches_sequential() {
+        let build = |mode| {
+            ParallelEvaluation::new(MajorityVoter::new())
+                .with_mode(mode)
+                .with_variant(pure_variant("a", 10, |x: &i32| x + 1))
+                .with_variant(pure_variant("b", 30, |x: &i32| x + 1))
+                .with_variant(pure_variant("c", 20, |x: &i32| x + 2))
+        };
+        let mut ctx1 = ExecContext::new(11);
+        let seq = build(ExecutionMode::Sequential).run(&1, &mut ctx1);
+        let mut ctx2 = ExecContext::new(11);
+        let thr = build(ExecutionMode::Threaded).run(&1, &mut ctx2);
+        assert_eq!(seq.verdict, thr.verdict);
+        assert_eq!(seq.cost.virtual_ns, thr.cost.virtual_ns);
+        assert_eq!(seq.outcomes.len(), thr.outcomes.len());
+        for (a, b) in seq.outcomes.iter().zip(thr.outcomes.iter()) {
+            assert_eq!(a.result, b.result);
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_contains_crashes() {
+        let p = ParallelEvaluation::new(MajorityVoter::new())
+            .with_variant(pure_variant("good1", 10, |x: &i32| x * 2))
+            .with_variant(pure_variant("good2", 10, |x: &i32| x * 2))
+            .with_variant(failing_variant("crasher"));
+        let mut ctx = ExecContext::new(1);
+        let report = p.run(&10, &mut ctx);
+        assert_eq!(report.output(), Some(&20));
+        assert_eq!(report.outcomes[2].result, Err(VariantFailure::crash("injected")));
+    }
+
+    #[test]
+    fn parallel_evaluation_rejects_without_majority() {
+        let p = ParallelEvaluation::new(MajorityVoter::new())
+            .with_variant(pure_variant("a", 1, |x: &i32| x + 1))
+            .with_variant(pure_variant("b", 1, |x: &i32| x + 2))
+            .with_variant(pure_variant("c", 1, |x: &i32| x + 3));
+        let mut ctx = ExecContext::new(1);
+        let report = p.run(&0, &mut ctx);
+        assert!(!report.is_accepted());
+        assert!(report.selected.is_none());
+    }
+
+    #[test]
+    fn parallel_selection_prefers_acting_component() {
+        let good = FnAcceptance::new("positive", |_: &i32, out: &i32| *out > 0);
+        let good2 = FnAcceptance::new("positive", |_: &i32, out: &i32| *out > 0);
+        let p = ParallelSelection::new()
+            .with_component(pure_variant("acting", 10, |x: &i32| x + 1), Box::new(good))
+            .with_component(pure_variant("spare", 10, |x: &i32| x + 2), Box::new(good2));
+        let mut ctx = ExecContext::new(1);
+        let report = p.run(&1, &mut ctx);
+        assert_eq!(report.output(), Some(&2));
+        assert_eq!(report.selected.as_deref(), Some("acting"));
+    }
+
+    #[test]
+    fn parallel_selection_falls_to_hot_spare() {
+        // Acting component produces an invalid output; spare takes over.
+        let test1 = FnAcceptance::new("nonneg", |_: &i32, out: &i32| *out >= 0);
+        let test2 = FnAcceptance::new("nonneg", |_: &i32, out: &i32| *out >= 0);
+        let p = ParallelSelection::new()
+            .with_component(pure_variant("acting", 10, |_: &i32| -1), Box::new(test1))
+            .with_component(pure_variant("spare", 10, |x: &i32| x + 2), Box::new(test2));
+        let mut ctx = ExecContext::new(1);
+        let report = p.run(&1, &mut ctx);
+        assert_eq!(report.output(), Some(&3));
+        assert_eq!(report.selected.as_deref(), Some("spare"));
+    }
+
+    #[test]
+    fn parallel_selection_rejects_when_no_component_validates() {
+        let test = FnAcceptance::new("never", |_: &i32, _: &i32| false);
+        let p = ParallelSelection::new()
+            .with_component(pure_variant("a", 1, |x: &i32| *x), Box::new(test));
+        let mut ctx = ExecContext::new(1);
+        let report = p.run(&1, &mut ctx);
+        assert_eq!(
+            report.verdict,
+            Verdict::rejected(RejectionReason::AcceptanceFailed)
+        );
+    }
+
+    #[test]
+    fn parallel_selection_all_failed() {
+        let test = FnAcceptance::new("any", |_: &i32, _: &i32| true);
+        let p = ParallelSelection::new()
+            .with_component(failing_variant("f"), Box::new(test));
+        let mut ctx = ExecContext::new(1);
+        let report = p.run(&1, &mut ctx);
+        assert_eq!(report.verdict, Verdict::rejected(RejectionReason::AllFailed));
+    }
+
+    #[test]
+    fn empty_patterns_reject() {
+        let p: ParallelSelection<i32, i32> = ParallelSelection::new();
+        let mut ctx = ExecContext::new(1);
+        assert!(!p.run(&1, &mut ctx).is_accepted());
+        assert!(p.is_empty());
+
+        let p: ParallelEvaluation<i32, i32> = ParallelEvaluation::new(MajorityVoter::new());
+        let mut ctx = ExecContext::new(1);
+        assert!(!p.run(&1, &mut ctx).is_accepted());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn parallel_selection_threaded_matches_sequential() {
+        let build = |mode| {
+            let t1 = FnAcceptance::new("nonneg", |_: &i32, out: &i32| *out >= 0);
+            let t2 = FnAcceptance::new("nonneg", |_: &i32, out: &i32| *out >= 0);
+            ParallelSelection::new()
+                .with_mode(mode)
+                .with_component(pure_variant("a", 10, |_: &i32| -5), Box::new(t1))
+                .with_component(pure_variant("b", 20, |x: &i32| x * 2), Box::new(t2))
+        };
+        let mut c1 = ExecContext::new(3);
+        let mut c2 = ExecContext::new(3);
+        let seq = build(ExecutionMode::Sequential).run(&4, &mut c1);
+        let thr = build(ExecutionMode::Threaded).run(&4, &mut c2);
+        assert_eq!(seq.verdict, thr.verdict);
+        assert_eq!(seq.selected, thr.selected);
+    }
+}

@@ -1,0 +1,214 @@
+//! Correlated multi-version fault generation.
+//!
+//! The paper's §4.1 recalls Brilliant, Knight and Leveson's finding that
+//! independently developed versions fail on *correlated* inputs far more
+//! often than independence would predict, eroding the reliability gain of
+//! N-version programming. [`correlated_versions`] builds a suite of N
+//! versions whose failure regions have a tunable overlap:
+//!
+//! - with correlation `rho = 0`, each version fails on its own independent
+//!   input region of measure `density`;
+//! - with `rho = 1`, all versions fail on the *same* region ("difficult
+//!   inputs" that defeat every team);
+//! - in between, a fraction `rho` of each version's failure region is the
+//!   shared region.
+//!
+//! Experiment E5 sweeps `rho` and reproduces the reliability collapse.
+
+use std::hash::Hash;
+
+use redundancy_core::rng::SplitMix64;
+use redundancy_core::variant::BoxedVariant;
+
+use crate::spec::{Activation, FaultEffect, FaultSpec};
+use crate::variant::FaultyVariant;
+
+/// Configuration for a correlated N-version suite.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrelatedSuite {
+    /// Number of versions.
+    pub versions: usize,
+    /// Marginal failure density of each version, in `[0, 1]`.
+    pub density: f64,
+    /// Failure-region correlation in `[0, 1]`: fraction of each version's
+    /// failure region shared by all versions.
+    pub rho: f64,
+    /// Work units charged per call by each version.
+    pub work: u64,
+    /// Seed for region placement.
+    pub seed: u64,
+}
+
+impl CorrelatedSuite {
+    /// Creates a suite configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `versions == 0`, or if `density` or `rho` fall outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn new(versions: usize, density: f64, rho: f64, seed: u64) -> Self {
+        assert!(versions > 0, "need at least one version");
+        assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1]");
+        Self {
+            versions,
+            density,
+            rho,
+            work: 10,
+            seed,
+        }
+    }
+}
+
+/// Builds `suite.versions` versions of `golden`, each failing silently on a
+/// `density` fraction of inputs, with pairwise failure-region overlap
+/// controlled by `rho`. The corruptor derives each wrong output from the
+/// correct one.
+///
+/// # Examples
+///
+/// ```
+/// use redundancy_faults::correlation::{correlated_versions, CorrelatedSuite};
+///
+/// // Three versions, 10% failure density, independent failure regions.
+/// let suite = CorrelatedSuite::new(3, 0.1, 0.0, 42);
+/// let versions = correlated_versions(suite, |x: &u64| x * 2, |correct, _| correct + 1);
+/// assert_eq!(versions.len(), 3);
+/// ```
+pub fn correlated_versions<I, O, F, C>(
+    suite: CorrelatedSuite,
+    golden: F,
+    corrupt: C,
+) -> Vec<BoxedVariant<I, O>>
+where
+    I: Hash + Send + Sync + 'static,
+    O: Send + Sync + 'static,
+    F: Fn(&I) -> O + Send + Sync + Clone + 'static,
+    C: Fn(&O, &mut SplitMix64) -> O + Send + Sync + Clone + 'static,
+{
+    let mut rng = SplitMix64::new(suite.seed);
+    let common_salt = rng.next_u64();
+    let common_density = suite.density * suite.rho;
+    // The independent part must bring the marginal up to `density` given
+    // that the common region already covers `common_density`:
+    // marginal = common + (1 - common) * independent.
+    let independent_density = if common_density >= 1.0 {
+        0.0
+    } else {
+        (suite.density - common_density) / (1.0 - common_density)
+    };
+    (0..suite.versions)
+        .map(|v| {
+            let own_salt = rng.next_u64();
+            let mut builder = FaultyVariant::builder(
+                format!("version-{v}"),
+                suite.work,
+                golden.clone(),
+            )
+            .corruptor(corrupt.clone());
+            if common_density > 0.0 {
+                builder = builder.fault(FaultSpec::new(
+                    format!("common-bug-v{v}"),
+                    Activation::InputRegion {
+                        density: common_density,
+                        salt: common_salt,
+                    },
+                    FaultEffect::SilentWrongOutput,
+                ));
+            }
+            if independent_density > 0.0 {
+                builder = builder.fault(FaultSpec::new(
+                    format!("own-bug-v{v}"),
+                    Activation::InputRegion {
+                        density: independent_density,
+                        salt: own_salt,
+                    },
+                    FaultEffect::SilentWrongOutput,
+                ));
+            }
+            builder.build_boxed()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redundancy_core::context::ExecContext;
+
+    fn failure_sets(rho: f64, density: f64) -> Vec<Vec<bool>> {
+        let suite = CorrelatedSuite::new(3, density, rho, 99);
+        let versions = correlated_versions(suite, |x: &u64| x * 2, |c, _| c + 1);
+        let mut ctx = ExecContext::new(5);
+        versions
+            .iter()
+            .map(|v| {
+                (0..4000u64)
+                    .map(|x| v.execute(&x, &mut ctx) != Ok(x * 2))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn rate(bits: &[bool]) -> f64 {
+        bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64
+    }
+
+    fn joint_rate(a: &[bool], b: &[bool]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .filter(|&(&x, &y)| x && y)
+            .count() as f64
+            / a.len() as f64
+    }
+
+    #[test]
+    fn marginal_density_is_calibrated_at_all_rho() {
+        for rho in [0.0, 0.5, 1.0] {
+            let sets = failure_sets(rho, 0.2);
+            for (v, set) in sets.iter().enumerate() {
+                let r = rate(set);
+                assert!(
+                    (r - 0.2).abs() < 0.03,
+                    "rho {rho} version {v}: marginal {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rho_gives_near_independent_overlap() {
+        let sets = failure_sets(0.0, 0.2);
+        let joint = joint_rate(&sets[0], &sets[1]);
+        // Independent: ~0.04.
+        assert!(joint < 0.07, "joint {joint}");
+    }
+
+    #[test]
+    fn full_rho_gives_identical_regions() {
+        let sets = failure_sets(1.0, 0.2);
+        assert_eq!(sets[0], sets[1]);
+        assert_eq!(sets[1], sets[2]);
+    }
+
+    #[test]
+    fn half_rho_sits_in_between() {
+        let sets = failure_sets(0.5, 0.2);
+        let joint = joint_rate(&sets[0], &sets[1]);
+        // Shared region alone contributes 0.1; independence would give 0.04.
+        assert!(joint > 0.08 && joint < 0.16, "joint {joint}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in [0, 1]")]
+    fn invalid_rho_panics() {
+        let _ = CorrelatedSuite::new(3, 0.1, 1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one version")]
+    fn zero_versions_panics() {
+        let _ = CorrelatedSuite::new(0, 0.1, 0.5, 0);
+    }
+}

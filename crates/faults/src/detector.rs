@@ -1,0 +1,215 @@
+//! Failure detectors (the paper's "sensors" and explicit adjudicator
+//! building blocks).
+//!
+//! Reactive-explicit techniques need something that *notices* a failure
+//! before redundancy can be exploited: exception monitors, watchdogs,
+//! invariant checks, or golden-model oracles in experiments. A
+//! [`FailureDetector`] inspects one [`VariantOutcome`] (with its input) and
+//! reports whether it constitutes a failure.
+
+use redundancy_core::outcome::VariantOutcome;
+
+/// Detects failures in a single variant outcome.
+pub trait FailureDetector<I, O>: Send + Sync {
+    /// Identifies the detector in reports.
+    fn name(&self) -> &str {
+        "failure-detector"
+    }
+
+    /// Returns `true` when `outcome` is a failure for `input`.
+    fn detect(&self, input: &I, outcome: &VariantOutcome<O>) -> bool;
+}
+
+impl<I, O> FailureDetector<I, O> for Box<dyn FailureDetector<I, O>> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn detect(&self, input: &I, outcome: &VariantOutcome<O>) -> bool {
+        self.as_ref().detect(input, outcome)
+    }
+}
+
+/// Detects only *detectable* failures: crashes, timeouts, errors,
+/// omissions. Blind to silent wrong outputs — the detector most real
+/// systems actually have.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DetectableFailures;
+
+impl DetectableFailures {
+    /// Creates the detector.
+    #[must_use]
+    pub fn new() -> Self {
+        DetectableFailures
+    }
+}
+
+impl<I, O> FailureDetector<I, O> for DetectableFailures {
+    fn name(&self) -> &str {
+        "detectable-failures"
+    }
+
+    fn detect(&self, _input: &I, outcome: &VariantOutcome<O>) -> bool {
+        !outcome.is_ok()
+    }
+}
+
+/// Detects failures by checking an output invariant; detectable failures
+/// are always failures.
+pub struct InvariantDetector<F> {
+    name: String,
+    invariant: F,
+}
+
+impl<F> InvariantDetector<F> {
+    /// Creates a detector from an invariant over input and output.
+    pub fn new(name: impl Into<String>, invariant: F) -> Self {
+        Self {
+            name: name.into(),
+            invariant,
+        }
+    }
+}
+
+impl<I, O, F> FailureDetector<I, O> for InvariantDetector<F>
+where
+    F: Fn(&I, &O) -> bool + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn detect(&self, input: &I, outcome: &VariantOutcome<O>) -> bool {
+        match outcome.output() {
+            Some(output) => !(self.invariant)(input, output),
+            None => true,
+        }
+    }
+}
+
+/// A golden-model oracle: flags any outcome whose output differs from the
+/// reference implementation. Used by experiments to measure *true*
+/// failure/recovery rates; real deployments do not have one.
+pub struct OracleDetector<F> {
+    reference: F,
+}
+
+impl<F> OracleDetector<F> {
+    /// Creates an oracle detector from a reference implementation.
+    pub fn new(reference: F) -> Self {
+        Self { reference }
+    }
+}
+
+impl<I, O, F> FailureDetector<I, O> for OracleDetector<F>
+where
+    O: PartialEq,
+    F: Fn(&I) -> O + Send + Sync,
+{
+    fn name(&self) -> &str {
+        "oracle-detector"
+    }
+
+    fn detect(&self, input: &I, outcome: &VariantOutcome<O>) -> bool {
+        match outcome.output() {
+            Some(output) => *output != (self.reference)(input),
+            None => true,
+        }
+    }
+}
+
+/// Combines detectors: flags a failure when *any* inner detector does.
+pub struct AnyDetector<I, O> {
+    detectors: Vec<Box<dyn FailureDetector<I, O>>>,
+}
+
+impl<I, O> AnyDetector<I, O> {
+    /// Creates an empty combination (detects nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            detectors: Vec::new(),
+        }
+    }
+
+    /// Adds a detector.
+    #[must_use]
+    pub fn with(mut self, detector: impl FailureDetector<I, O> + 'static) -> Self {
+        self.detectors.push(Box::new(detector));
+        self
+    }
+}
+
+impl<I, O> Default for AnyDetector<I, O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I, O> FailureDetector<I, O> for AnyDetector<I, O>
+where
+    I: Send + Sync,
+    O: Send + Sync,
+{
+    fn name(&self) -> &str {
+        "any-detector"
+    }
+
+    fn detect(&self, input: &I, outcome: &VariantOutcome<O>) -> bool {
+        self.detectors.iter().any(|d| d.detect(input, outcome))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redundancy_core::outcome::VariantFailure;
+
+    #[test]
+    fn detectable_failures_misses_silent_corruption() {
+        let d = DetectableFailures::new();
+        let silent_wrong = VariantOutcome::ok("v", 999);
+        let crash: VariantOutcome<i32> =
+            VariantOutcome::failed("v", VariantFailure::crash("x"));
+        assert!(!d.detect(&1, &silent_wrong)); // blind to wrong output
+        assert!(d.detect(&1, &crash));
+    }
+
+    #[test]
+    fn invariant_detector_checks_outputs() {
+        let d = InvariantDetector::new("sorted", |_: &Vec<i32>, out: &Vec<i32>| {
+            out.windows(2).all(|w| w[0] <= w[1])
+        });
+        assert!(!d.detect(&vec![2, 1], &VariantOutcome::ok("v", vec![1, 2])));
+        assert!(d.detect(&vec![2, 1], &VariantOutcome::ok("v", vec![2, 1])));
+        assert!(d.detect(
+            &vec![2, 1],
+            &VariantOutcome::failed("v", VariantFailure::Timeout)
+        ));
+        assert_eq!(FailureDetector::<Vec<i32>, Vec<i32>>::name(&d), "sorted");
+    }
+
+    #[test]
+    fn oracle_detector_catches_silent_corruption() {
+        let d = OracleDetector::new(|x: &i32| x * 2);
+        assert!(!d.detect(&3, &VariantOutcome::ok("v", 6)));
+        assert!(d.detect(&3, &VariantOutcome::ok("v", 7)));
+        assert!(d.detect(&3, &VariantOutcome::failed("v", VariantFailure::Omission)));
+    }
+
+    #[test]
+    fn any_detector_is_union() {
+        let d: AnyDetector<i32, i32> = AnyDetector::new()
+            .with(DetectableFailures::new())
+            .with(InvariantDetector::new("positive", |_: &i32, o: &i32| *o > 0));
+        assert!(!d.detect(&1, &VariantOutcome::ok("v", 5)));
+        assert!(d.detect(&1, &VariantOutcome::ok("v", -5)));
+        assert!(d.detect(&1, &VariantOutcome::failed("v", VariantFailure::Timeout)));
+    }
+
+    #[test]
+    fn empty_any_detector_detects_nothing() {
+        let d: AnyDetector<i32, i32> = AnyDetector::new();
+        assert!(!d.detect(&1, &VariantOutcome::failed("v", VariantFailure::Timeout)));
+    }
+}

@@ -1,0 +1,591 @@
+//! Fault specifications: what a fault is, when it activates, what it does.
+
+use redundancy_core::rng::SplitMix64;
+use redundancy_core::taxonomy::FaultClass;
+
+use crate::variant::KnobSnapshot;
+
+/// Mixes two 64-bit values into a well-distributed hash (used to derive
+/// deterministic activation decisions from input/environment/salt tuples).
+#[must_use]
+pub fn mix64(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Converts a hash to a uniform fraction in `[0, 1)`.
+#[must_use]
+pub fn hash_fraction(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Everything a fault's activation condition may look at, extracted from
+/// the input and the executing variant's state by [`FaultyVariant`].
+///
+/// [`FaultyVariant`]: crate::variant::FaultyVariant
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    /// A stable 64-bit digest of the input (equal inputs, equal key).
+    pub input_key: u64,
+    /// Whether the input is attack-flagged (malicious workloads).
+    pub malicious: bool,
+    /// Executions since the variant (or its process) was last
+    /// rejuvenated/rebooted.
+    pub age: u64,
+    /// A digest of the current execution-environment configuration.
+    /// Changing the environment (RX, rejuvenation) changes this signature.
+    pub env_signature: u64,
+    /// Concrete environment knob values, for knob-aware faults.
+    pub knobs: KnobSnapshot,
+}
+
+impl Probe {
+    /// A probe for a hashable input with no malicious flag, age zero and
+    /// the default environment.
+    #[must_use]
+    pub fn from_key(input_key: u64) -> Self {
+        Probe {
+            input_key,
+            malicious: false,
+            age: 0,
+            env_signature: 0,
+            knobs: KnobSnapshot::default(),
+        }
+    }
+}
+
+/// When a fault activates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Activation {
+    /// Fires on every execution.
+    Always,
+    /// **Bohrbug**: fires deterministically on a fixed fraction `density`
+    /// of the input space, selected by hashing the input with `salt`.
+    /// The same input always fails; different salts carve out different
+    /// failure regions (used to build correlated or disjoint regions).
+    InputRegion {
+        /// Fraction of the input space that fails, in `[0, 1]`.
+        density: f64,
+        /// Distinguishes failure regions of different faults/versions.
+        salt: u64,
+    },
+    /// **Heisenbug**: fires on each execution independently with
+    /// probability `p` (transient conditions: scheduling, races, load).
+    Probabilistic {
+        /// Per-execution activation probability.
+        p: f64,
+    },
+    /// **Aging-related Heisenbug**: fires with probability
+    /// `min(1, base + growth * age)` where `age` counts executions since
+    /// the last rejuvenation (Huang et al.'s software-aging model).
+    AgeHazard {
+        /// Hazard at age zero.
+        base: f64,
+        /// Hazard increase per execution of age.
+        growth: f64,
+    },
+    /// **Malicious interaction fault**: fires exactly on attack-flagged
+    /// inputs (optionally only on a `density` fraction of them, modeling
+    /// attacks that need a specific precondition).
+    OnMalicious {
+        /// Fraction of malicious inputs that actually trigger the fault.
+        density: f64,
+        /// Region selector within the malicious inputs.
+        salt: u64,
+    },
+    /// **Environment-sensitive fault**: for a *given* environment
+    /// signature, a fixed `density` fraction of inputs fail
+    /// deterministically; changing the environment re-rolls which inputs
+    /// those are. This is the fault model under which Qin et al.'s RX is
+    /// effective: re-execution in a perturbed environment escapes the
+    /// failure with probability `1 - density`.
+    EnvSensitive {
+        /// Fraction of inputs failing per environment, in `[0, 1]`.
+        density: f64,
+        /// Region selector.
+        salt: u64,
+    },
+    /// **Buffer overflow** (knob-aware): a `density` fraction of inputs
+    /// overflow a buffer by `overflow` bytes. Allocation padding of at
+    /// least `overflow` bytes absorbs it (RX's padding knob); no other
+    /// perturbation helps.
+    BufferOverflow {
+        /// Fraction of inputs that overflow, in `[0, 1]`.
+        density: f64,
+        /// Region selector.
+        salt: u64,
+        /// Bytes written past the buffer end.
+        overflow: u64,
+    },
+    /// **Uninitialized read** (knob-aware): a `density` fraction of
+    /// inputs read uninitialized memory and misbehave unless allocations
+    /// are zero-filled (RX's zero-fill knob).
+    UninitializedRead {
+        /// Fraction of inputs affected, in `[0, 1]`.
+        density: f64,
+        /// Region selector.
+        salt: u64,
+    },
+    /// **Message race** (knob-aware): for a given message delivery order,
+    /// a `density` fraction of inputs hit the race window; shuffling the
+    /// order (RX's message knob) re-rolls which inputs those are.
+    MessageRace {
+        /// Fraction of inputs racing per delivery order, in `[0, 1]`.
+        density: f64,
+        /// Region selector.
+        salt: u64,
+    },
+    /// **Overload fault** (knob-aware): fires with probability
+    /// `p · admitted-load`; throttling requests (RX's throttle knob)
+    /// scales the hazard down proportionally.
+    Overload {
+        /// Activation probability at full load.
+        p: f64,
+    },
+}
+
+impl Activation {
+    /// Decides whether the fault fires for `probe`. `rng` is consulted only
+    /// by genuinely stochastic activations.
+    #[must_use]
+    pub fn fires(&self, probe: &Probe, rng: &mut SplitMix64) -> bool {
+        match *self {
+            Activation::Always => true,
+            Activation::InputRegion { density, salt } => {
+                hash_fraction(mix64(probe.input_key, salt)) < density
+            }
+            Activation::Probabilistic { p } => rng.chance(p),
+            Activation::AgeHazard { base, growth } => {
+                let hazard = (base + growth * probe.age as f64).min(1.0);
+                rng.chance(hazard)
+            }
+            Activation::OnMalicious { density, salt } => {
+                probe.malicious && hash_fraction(mix64(probe.input_key, salt)) < density
+            }
+            Activation::EnvSensitive { density, salt } => {
+                hash_fraction(mix64(mix64(probe.input_key, probe.env_signature), salt)) < density
+            }
+            Activation::BufferOverflow {
+                density,
+                salt,
+                overflow,
+            } => {
+                probe.knobs.padding < overflow
+                    && hash_fraction(mix64(probe.input_key, salt)) < density
+            }
+            Activation::UninitializedRead { density, salt } => {
+                !probe.knobs.zero_fill
+                    && hash_fraction(mix64(probe.input_key, salt)) < density
+            }
+            Activation::MessageRace { density, salt } => {
+                hash_fraction(mix64(mix64(probe.input_key, probe.knobs.order_seed), salt))
+                    < density
+            }
+            Activation::Overload { p } => {
+                let admitted = f64::from(probe.knobs.throttle_permille) / 1000.0;
+                rng.chance(p * admitted)
+            }
+        }
+    }
+
+    /// The fault class this activation model represents.
+    #[must_use]
+    pub fn fault_class(&self) -> FaultClass {
+        match self {
+            Activation::Always | Activation::InputRegion { .. } => FaultClass::Bohrbug,
+            Activation::Probabilistic { .. }
+            | Activation::AgeHazard { .. }
+            | Activation::EnvSensitive { .. }
+            | Activation::MessageRace { .. }
+            | Activation::Overload { .. } => FaultClass::Heisenbug,
+            // Deterministic given input and environment: development
+            // faults of the Bohr kind, yet curable by the right knob.
+            Activation::BufferOverflow { .. } | Activation::UninitializedRead { .. } => {
+                FaultClass::Bohrbug
+            }
+            Activation::OnMalicious { .. } => FaultClass::Malicious,
+        }
+    }
+}
+
+/// What happens when a fault activates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultEffect {
+    /// The variant panics (detectable crash).
+    Crash,
+    /// The variant hangs (detectable timeout).
+    Hang,
+    /// The variant returns an explicit error (detectable).
+    ErrorReturn,
+    /// The variant produces no result (detectable omission).
+    Omission,
+    /// The variant returns a *wrong output* with no detectable sign —
+    /// only adjudication or acceptance testing can catch it.
+    SilentWrongOutput,
+}
+
+impl FaultEffect {
+    /// Whether the effect is detectable without an adjudicator.
+    #[must_use]
+    pub fn is_detectable(self) -> bool {
+        !matches!(self, FaultEffect::SilentWrongOutput)
+    }
+}
+
+/// A complete injectable fault: identity, class-defining activation, and
+/// effect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Identifier used in reports.
+    pub id: String,
+    /// When the fault activates (also determines its [`FaultClass`]).
+    pub activation: Activation,
+    /// What the fault does when it activates.
+    pub effect: FaultEffect,
+}
+
+impl FaultSpec {
+    /// Creates a fault.
+    #[must_use]
+    pub fn new(id: impl Into<String>, activation: Activation, effect: FaultEffect) -> Self {
+        Self {
+            id: id.into(),
+            activation,
+            effect,
+        }
+    }
+
+    /// A deterministic Bohrbug failing `density` of inputs with a silent
+    /// wrong output.
+    #[must_use]
+    pub fn bohrbug(id: impl Into<String>, density: f64, salt: u64) -> Self {
+        Self::new(
+            id,
+            Activation::InputRegion { density, salt },
+            FaultEffect::SilentWrongOutput,
+        )
+    }
+
+    /// A transient Heisenbug crashing with probability `p` per execution.
+    #[must_use]
+    pub fn heisenbug(id: impl Into<String>, p: f64) -> Self {
+        Self::new(id, Activation::Probabilistic { p }, FaultEffect::Crash)
+    }
+
+    /// An aging fault whose crash hazard grows with executions since
+    /// rejuvenation.
+    #[must_use]
+    pub fn aging(id: impl Into<String>, base: f64, growth: f64) -> Self {
+        Self::new(id, Activation::AgeHazard { base, growth }, FaultEffect::Crash)
+    }
+
+    /// A malicious fault corrupting output on attack-flagged inputs.
+    #[must_use]
+    pub fn malicious(id: impl Into<String>, density: f64, salt: u64) -> Self {
+        Self::new(
+            id,
+            Activation::OnMalicious { density, salt },
+            FaultEffect::SilentWrongOutput,
+        )
+    }
+
+    /// The fault class, derived from the activation model.
+    #[must_use]
+    pub fn fault_class(&self) -> FaultClass {
+        self.activation.fault_class()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(0xfau64)
+    }
+
+    #[test]
+    fn input_region_is_deterministic_per_input() {
+        let act = Activation::InputRegion {
+            density: 0.3,
+            salt: 17,
+        };
+        let mut r = rng();
+        for key in 0..200u64 {
+            let probe = Probe::from_key(key);
+            let first = act.fires(&probe, &mut r);
+            for _ in 0..5 {
+                assert_eq!(first, act.fires(&probe, &mut r), "input {key} flapped");
+            }
+        }
+    }
+
+    #[test]
+    fn input_region_density_is_calibrated() {
+        let act = Activation::InputRegion {
+            density: 0.25,
+            salt: 3,
+        };
+        let mut r = rng();
+        let hits = (0..20_000u64)
+            .filter(|&k| act.fires(&Probe::from_key(k), &mut r))
+            .count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "observed {rate}");
+    }
+
+    #[test]
+    fn different_salts_give_different_regions() {
+        let a = Activation::InputRegion {
+            density: 0.5,
+            salt: 1,
+        };
+        let b = Activation::InputRegion {
+            density: 0.5,
+            salt: 2,
+        };
+        let mut r = rng();
+        let differs = (0..1000u64)
+            .filter(|&k| {
+                let p = Probe::from_key(k);
+                a.fires(&p, &mut r) != b.fires(&p, &mut r)
+            })
+            .count();
+        // Independent regions of density .5 should differ on ~half of inputs.
+        assert!(differs > 300, "regions suspiciously aligned: {differs}");
+    }
+
+    #[test]
+    fn probabilistic_is_transient() {
+        let act = Activation::Probabilistic { p: 0.5 };
+        let probe = Probe::from_key(42);
+        let mut r = rng();
+        let fires = (0..1000).filter(|_| act.fires(&probe, &mut r)).count();
+        assert!(fires > 400 && fires < 600, "observed {fires}");
+    }
+
+    #[test]
+    fn age_hazard_grows() {
+        let act = Activation::AgeHazard {
+            base: 0.0,
+            growth: 0.001,
+        };
+        let mut r = rng();
+        let rate_young: usize = (0..2000)
+            .filter(|_| {
+                let probe = Probe {
+                    age: 10,
+                    ..Probe::from_key(1)
+                };
+                act.fires(&probe, &mut r)
+            })
+            .count();
+        let rate_old: usize = (0..2000)
+            .filter(|_| {
+                let probe = Probe {
+                    age: 500,
+                    ..Probe::from_key(1)
+                };
+                act.fires(&probe, &mut r)
+            })
+            .count();
+        assert!(rate_old > rate_young * 5, "young {rate_young}, old {rate_old}");
+    }
+
+    #[test]
+    fn age_hazard_saturates_at_one() {
+        let act = Activation::AgeHazard {
+            base: 0.5,
+            growth: 1.0,
+        };
+        let mut r = rng();
+        let probe = Probe {
+            age: 100,
+            ..Probe::from_key(1)
+        };
+        for _ in 0..100 {
+            assert!(act.fires(&probe, &mut r));
+        }
+    }
+
+    #[test]
+    fn malicious_requires_flag() {
+        let act = Activation::OnMalicious {
+            density: 1.0,
+            salt: 0,
+        };
+        let mut r = rng();
+        let benign = Probe::from_key(7);
+        let attack = Probe {
+            malicious: true,
+            ..benign
+        };
+        assert!(!act.fires(&benign, &mut r));
+        assert!(act.fires(&attack, &mut r));
+    }
+
+    #[test]
+    fn env_sensitive_rerolls_with_environment() {
+        let act = Activation::EnvSensitive {
+            density: 0.5,
+            salt: 9,
+        };
+        let mut r = rng();
+        // Deterministic within one environment.
+        let p0 = Probe {
+            env_signature: 1111,
+            ..Probe::from_key(5)
+        };
+        assert_eq!(act.fires(&p0, &mut r), act.fires(&p0, &mut r));
+        // Across environments, a failing input escapes about half the time.
+        let failing_keys: Vec<u64> = (0..2000u64)
+            .filter(|&k| {
+                act.fires(
+                    &Probe {
+                        env_signature: 1111,
+                        ..Probe::from_key(k)
+                    },
+                    &mut r,
+                )
+            })
+            .collect();
+        let escaped = failing_keys
+            .iter()
+            .filter(|&&k| {
+                !act.fires(
+                    &Probe {
+                        env_signature: 2222,
+                        ..Probe::from_key(k)
+                    },
+                    &mut r,
+                )
+            })
+            .count();
+        let rate = escaped as f64 / failing_keys.len() as f64;
+        assert!((rate - 0.5).abs() < 0.08, "escape rate {rate}");
+    }
+
+    #[test]
+    fn fault_classes_derive_from_activation() {
+        assert_eq!(FaultSpec::bohrbug("b", 0.1, 0).fault_class(), FaultClass::Bohrbug);
+        assert_eq!(FaultSpec::heisenbug("h", 0.1).fault_class(), FaultClass::Heisenbug);
+        assert_eq!(FaultSpec::aging("a", 0.0, 0.1).fault_class(), FaultClass::Heisenbug);
+        assert_eq!(
+            FaultSpec::malicious("m", 1.0, 0).fault_class(),
+            FaultClass::Malicious
+        );
+        assert_eq!(
+            Activation::EnvSensitive { density: 0.1, salt: 0 }.fault_class(),
+            FaultClass::Heisenbug
+        );
+    }
+
+    #[test]
+    fn effects_detectability() {
+        assert!(FaultEffect::Crash.is_detectable());
+        assert!(FaultEffect::Hang.is_detectable());
+        assert!(FaultEffect::ErrorReturn.is_detectable());
+        assert!(FaultEffect::Omission.is_detectable());
+        assert!(!FaultEffect::SilentWrongOutput.is_detectable());
+    }
+
+    #[test]
+    fn buffer_overflow_cured_by_sufficient_padding() {
+        let act = Activation::BufferOverflow {
+            density: 1.0,
+            salt: 1,
+            overflow: 48,
+        };
+        let mut r = rng();
+        let mut probe = Probe::from_key(7);
+        assert!(act.fires(&probe, &mut r), "no padding: overflow hits");
+        probe.knobs.padding = 32;
+        assert!(act.fires(&probe, &mut r), "insufficient padding");
+        probe.knobs.padding = 48;
+        assert!(!act.fires(&probe, &mut r), "padding absorbs the overflow");
+    }
+
+    #[test]
+    fn uninitialized_read_cured_by_zero_fill() {
+        let act = Activation::UninitializedRead {
+            density: 1.0,
+            salt: 2,
+        };
+        let mut r = rng();
+        let mut probe = Probe::from_key(7);
+        assert!(act.fires(&probe, &mut r));
+        probe.knobs.zero_fill = true;
+        assert!(!act.fires(&probe, &mut r));
+    }
+
+    #[test]
+    fn message_race_rerolls_with_order_seed() {
+        let act = Activation::MessageRace {
+            density: 0.5,
+            salt: 3,
+        };
+        let mut r = rng();
+        // Deterministic per (input, order): no flapping.
+        let probe = Probe::from_key(9);
+        assert_eq!(act.fires(&probe, &mut r), act.fires(&probe, &mut r));
+        // Across orders, a racing input escapes about half the time.
+        let racing: Vec<u64> = (0..2000u64)
+            .filter(|&k| act.fires(&Probe::from_key(k), &mut r))
+            .collect();
+        let escaped = racing
+            .iter()
+            .filter(|&&k| {
+                let mut p = Probe::from_key(k);
+                p.knobs.order_seed = 0xfeed;
+                !act.fires(&p, &mut r)
+            })
+            .count();
+        let rate = escaped as f64 / racing.len() as f64;
+        assert!((rate - 0.5).abs() < 0.08, "escape rate {rate}");
+    }
+
+    #[test]
+    fn overload_scales_with_throttle() {
+        let act = Activation::Overload { p: 0.8 };
+        let mut r = rng();
+        let full = Probe::from_key(1);
+        let full_fires = (0..2000).filter(|_| act.fires(&full, &mut r)).count();
+        let mut throttled = Probe::from_key(1);
+        throttled.knobs.throttle_permille = 250;
+        let throttled_fires = (0..2000).filter(|_| act.fires(&throttled, &mut r)).count();
+        let full_rate = full_fires as f64 / 2000.0;
+        let throttled_rate = throttled_fires as f64 / 2000.0;
+        assert!((full_rate - 0.8).abs() < 0.04, "full {full_rate}");
+        assert!((throttled_rate - 0.2).abs() < 0.04, "throttled {throttled_rate}");
+    }
+
+    #[test]
+    fn knob_aware_fault_classes() {
+        assert_eq!(
+            Activation::BufferOverflow { density: 0.1, salt: 0, overflow: 8 }.fault_class(),
+            FaultClass::Bohrbug
+        );
+        assert_eq!(
+            Activation::UninitializedRead { density: 0.1, salt: 0 }.fault_class(),
+            FaultClass::Bohrbug
+        );
+        assert_eq!(
+            Activation::MessageRace { density: 0.1, salt: 0 }.fault_class(),
+            FaultClass::Heisenbug
+        );
+        assert_eq!(
+            Activation::Overload { p: 0.1 }.fault_class(),
+            FaultClass::Heisenbug
+        );
+    }
+
+    #[test]
+    fn hash_fraction_in_unit_interval() {
+        for i in 0..1000u64 {
+            let f = hash_fraction(mix64(i, 77));
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

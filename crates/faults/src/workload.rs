@@ -1,0 +1,176 @@
+//! Deterministic workload generators for experiments.
+
+use redundancy_core::rng::SplitMix64;
+
+/// Generates a stream of inputs for an experiment, deterministically from
+/// the generator's random stream.
+pub trait Workload<I>: Send + Sync {
+    /// Produces the next input.
+    fn generate(&self, rng: &mut SplitMix64) -> I;
+
+    /// Produces a batch of `n` inputs.
+    fn batch(&self, rng: &mut SplitMix64, n: usize) -> Vec<I> {
+        (0..n).map(|_| self.generate(rng)).collect()
+    }
+}
+
+/// Uniform integers in `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformInts {
+    lo: i64,
+    hi: i64,
+}
+
+impl UniformInts {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[must_use]
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo < hi, "empty range");
+        Self { lo, hi }
+    }
+}
+
+impl Workload<i64> for UniformInts {
+    fn generate(&self, rng: &mut SplitMix64) -> i64 {
+        rng.range_i64(self.lo, self.hi)
+    }
+}
+
+impl Workload<u64> for UniformInts {
+    fn generate(&self, rng: &mut SplitMix64) -> u64 {
+        rng.range_i64(self.lo.max(0), self.hi) as u64
+    }
+}
+
+/// Vectors of uniform integers with a length range.
+#[derive(Debug, Clone, Copy)]
+pub struct VecInts {
+    min_len: usize,
+    max_len: usize,
+    lo: i64,
+    hi: i64,
+}
+
+impl VecInts {
+    /// Creates the generator for vectors with length in
+    /// `[min_len, max_len]` and elements in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_len > max_len` or `lo >= hi`.
+    #[must_use]
+    pub fn new(min_len: usize, max_len: usize, lo: i64, hi: i64) -> Self {
+        assert!(min_len <= max_len, "invalid length range");
+        assert!(lo < hi, "empty element range");
+        Self {
+            min_len,
+            max_len,
+            lo,
+            hi,
+        }
+    }
+}
+
+impl Workload<Vec<i64>> for VecInts {
+    fn generate(&self, rng: &mut SplitMix64) -> Vec<i64> {
+        let len = rng.range_u64(self.min_len as u64, self.max_len as u64 + 1) as usize;
+        (0..len).map(|_| rng.range_i64(self.lo, self.hi)).collect()
+    }
+}
+
+/// Wraps a payload with an attack flag, for malicious-fault experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request<I> {
+    /// The request payload.
+    pub payload: I,
+    /// Whether this request carries an attack.
+    pub malicious: bool,
+}
+
+/// Mixes attacks into a base workload at a given rate.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackMix<W> {
+    base: W,
+    attack_rate: f64,
+}
+
+impl<W> AttackMix<W> {
+    /// Creates the mix: each generated request is flagged malicious with
+    /// probability `attack_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attack_rate` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(base: W, attack_rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&attack_rate),
+            "attack rate must be in [0, 1]"
+        );
+        Self { base, attack_rate }
+    }
+}
+
+impl<I, W: Workload<I>> Workload<Request<I>> for AttackMix<W> {
+    fn generate(&self, rng: &mut SplitMix64) -> Request<I> {
+        Request {
+            payload: self.base.generate(rng),
+            malicious: rng.chance(self.attack_rate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_ints_in_range() {
+        let w = UniformInts::new(-10, 10);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let x: i64 = w.generate(&mut rng);
+            assert!((-10..10).contains(&x));
+        }
+    }
+
+    #[test]
+    fn batch_is_deterministic_for_seed() {
+        let w = UniformInts::new(0, 1000);
+        let mut r1 = SplitMix64::new(7);
+        let mut r2 = SplitMix64::new(7);
+        let a: Vec<i64> = w.batch(&mut r1, 50);
+        let b: Vec<i64> = w.batch(&mut r2, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vec_ints_respects_bounds() {
+        let w = VecInts::new(2, 5, 0, 3);
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..200 {
+            let v = w.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..3).contains(x)));
+        }
+    }
+
+    #[test]
+    fn attack_mix_rate_is_calibrated() {
+        let w = AttackMix::new(UniformInts::new(0, 10), 0.2);
+        let mut rng = SplitMix64::new(3);
+        let reqs: Vec<Request<i64>> = w.batch(&mut rng, 10_000);
+        let rate = reqs.iter().filter(|r| r.malicious).count() as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "observed {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "attack rate must be in [0, 1]")]
+    fn invalid_attack_rate_panics() {
+        let _ = AttackMix::new(UniformInts::new(0, 10), 1.5);
+    }
+}

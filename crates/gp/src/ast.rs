@@ -1,0 +1,493 @@
+//! The expression language evolved by the GP engine.
+
+use std::fmt;
+
+use redundancy_core::rng::SplitMix64;
+
+/// An integer expression over a fixed set of input variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant.
+    Const(i64),
+    /// The `n`-th input.
+    Var(usize),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Protected division: division by zero yields 1 (standard GP
+    /// convention, keeps every tree total).
+    Div(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Conditional.
+    If(Box<Cond>, Box<Expr>, Box<Expr>),
+}
+
+/// A boolean condition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Strictly less.
+    Lt(Box<Expr>, Box<Expr>),
+    /// Less or equal.
+    Le(Box<Expr>, Box<Expr>),
+    /// Equal.
+    Eq(Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+}
+
+impl Expr {
+    /// Evaluates the expression on `inputs`. Total: protected division,
+    /// wrapping arithmetic.
+    #[must_use]
+    pub fn eval(&self, inputs: &[i64]) -> i64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(n) => inputs.get(*n).copied().unwrap_or(0),
+            Expr::Add(a, b) => a.eval(inputs).wrapping_add(b.eval(inputs)),
+            Expr::Sub(a, b) => a.eval(inputs).wrapping_sub(b.eval(inputs)),
+            Expr::Mul(a, b) => a.eval(inputs).wrapping_mul(b.eval(inputs)),
+            Expr::Div(a, b) => {
+                let d = b.eval(inputs);
+                if d == 0 {
+                    1
+                } else {
+                    a.eval(inputs).wrapping_div(d)
+                }
+            }
+            Expr::Neg(a) => a.eval(inputs).wrapping_neg(),
+            Expr::If(c, t, e) => {
+                if c.eval(inputs) {
+                    t.eval(inputs)
+                } else {
+                    e.eval(inputs)
+                }
+            }
+        }
+    }
+
+    /// Number of expression nodes (conditions count their subexpressions).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Neg(a) => 1 + a.size(),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                1 + a.size() + b.size()
+            }
+            Expr::If(c, t, e) => 1 + c.size() + t.size() + e.size(),
+        }
+    }
+
+    /// Tree depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Neg(a) => 1 + a.depth(),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                1 + a.depth().max(b.depth())
+            }
+            Expr::If(c, t, e) => 1 + c.depth().max(t.depth()).max(e.depth()),
+        }
+    }
+
+    /// Returns the `idx`-th expression node in pre-order, if it exists.
+    #[must_use]
+    pub fn node(&self, idx: usize) -> Option<&Expr> {
+        fn walk<'a>(e: &'a Expr, idx: &mut usize) -> Option<&'a Expr> {
+            if *idx == 0 {
+                return Some(e);
+            }
+            *idx -= 1;
+            match e {
+                Expr::Const(_) | Expr::Var(_) => None,
+                Expr::Neg(a) => walk(a, idx),
+                Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                    walk(a, idx).or_else(|| walk(b, idx))
+                }
+                Expr::If(c, t, e2) => cond_walk(c, idx)
+                    .or_else(|| walk(t, idx))
+                    .or_else(|| walk(e2, idx)),
+            }
+        }
+        fn cond_walk<'a>(c: &'a Cond, idx: &mut usize) -> Option<&'a Expr> {
+            match c {
+                Cond::Lt(a, b) | Cond::Le(a, b) | Cond::Eq(a, b) => {
+                    walk(a, idx).or_else(|| walk(b, idx))
+                }
+                Cond::And(x, y) | Cond::Or(x, y) => {
+                    cond_walk(x, idx).or_else(|| cond_walk(y, idx))
+                }
+                Cond::Not(x) => cond_walk(x, idx),
+            }
+        }
+        let mut i = idx;
+        walk(self, &mut i)
+    }
+
+    /// Returns a copy of the tree with the `idx`-th pre-order expression
+    /// node replaced by `subtree`. Returns the tree unchanged if `idx` is
+    /// out of range.
+    #[must_use]
+    pub fn with_node(&self, idx: usize, subtree: &Expr) -> Expr {
+        fn rebuild(e: &Expr, idx: &mut isize, subtree: &Expr) -> Expr {
+            if *idx == 0 {
+                *idx -= 1;
+                return subtree.clone();
+            }
+            *idx -= 1;
+            match e {
+                Expr::Const(_) | Expr::Var(_) => e.clone(),
+                Expr::Neg(a) => Expr::Neg(Box::new(rebuild(a, idx, subtree))),
+                Expr::Add(a, b) => Expr::Add(
+                    Box::new(rebuild(a, idx, subtree)),
+                    Box::new(rebuild(b, idx, subtree)),
+                ),
+                Expr::Sub(a, b) => Expr::Sub(
+                    Box::new(rebuild(a, idx, subtree)),
+                    Box::new(rebuild(b, idx, subtree)),
+                ),
+                Expr::Mul(a, b) => Expr::Mul(
+                    Box::new(rebuild(a, idx, subtree)),
+                    Box::new(rebuild(b, idx, subtree)),
+                ),
+                Expr::Div(a, b) => Expr::Div(
+                    Box::new(rebuild(a, idx, subtree)),
+                    Box::new(rebuild(b, idx, subtree)),
+                ),
+                Expr::If(c, t, e2) => Expr::If(
+                    Box::new(cond_rebuild(c, idx, subtree)),
+                    Box::new(rebuild(t, idx, subtree)),
+                    Box::new(rebuild(e2, idx, subtree)),
+                ),
+            }
+        }
+        fn cond_rebuild(c: &Cond, idx: &mut isize, subtree: &Expr) -> Cond {
+            match c {
+                Cond::Lt(a, b) => Cond::Lt(
+                    Box::new(rebuild(a, idx, subtree)),
+                    Box::new(rebuild(b, idx, subtree)),
+                ),
+                Cond::Le(a, b) => Cond::Le(
+                    Box::new(rebuild(a, idx, subtree)),
+                    Box::new(rebuild(b, idx, subtree)),
+                ),
+                Cond::Eq(a, b) => Cond::Eq(
+                    Box::new(rebuild(a, idx, subtree)),
+                    Box::new(rebuild(b, idx, subtree)),
+                ),
+                Cond::And(x, y) => Cond::And(
+                    Box::new(cond_rebuild(x, idx, subtree)),
+                    Box::new(cond_rebuild(y, idx, subtree)),
+                ),
+                Cond::Or(x, y) => Cond::Or(
+                    Box::new(cond_rebuild(x, idx, subtree)),
+                    Box::new(cond_rebuild(y, idx, subtree)),
+                ),
+                Cond::Not(x) => Cond::Not(Box::new(cond_rebuild(x, idx, subtree))),
+            }
+        }
+        let mut i = idx as isize;
+        rebuild(self, &mut i, subtree)
+    }
+
+    /// Generates a random expression tree of at most `depth`, over `arity`
+    /// input variables (the GP "grow" method).
+    #[must_use]
+    pub fn random(rng: &mut SplitMix64, arity: usize, depth: usize) -> Expr {
+        if depth <= 1 || rng.chance(0.3) {
+            // Terminal.
+            if arity > 0 && rng.chance(0.7) {
+                Expr::Var(rng.index(arity))
+            } else {
+                Expr::Const(rng.range_i64(-5, 6))
+            }
+        } else {
+            match rng.index(6) {
+                0 => Expr::Add(
+                    Box::new(Expr::random(rng, arity, depth - 1)),
+                    Box::new(Expr::random(rng, arity, depth - 1)),
+                ),
+                1 => Expr::Sub(
+                    Box::new(Expr::random(rng, arity, depth - 1)),
+                    Box::new(Expr::random(rng, arity, depth - 1)),
+                ),
+                2 => Expr::Mul(
+                    Box::new(Expr::random(rng, arity, depth - 1)),
+                    Box::new(Expr::random(rng, arity, depth - 1)),
+                ),
+                3 => Expr::Neg(Box::new(Expr::random(rng, arity, depth - 1))),
+                4 => Expr::If(
+                    Box::new(Cond::random(rng, arity, depth - 1)),
+                    Box::new(Expr::random(rng, arity, depth - 1)),
+                    Box::new(Expr::random(rng, arity, depth - 1)),
+                ),
+                _ => Expr::Div(
+                    Box::new(Expr::random(rng, arity, depth - 1)),
+                    Box::new(Expr::random(rng, arity, depth - 1)),
+                ),
+            }
+        }
+    }
+}
+
+impl Cond {
+    /// Evaluates the condition.
+    #[must_use]
+    pub fn eval(&self, inputs: &[i64]) -> bool {
+        match self {
+            Cond::Lt(a, b) => a.eval(inputs) < b.eval(inputs),
+            Cond::Le(a, b) => a.eval(inputs) <= b.eval(inputs),
+            Cond::Eq(a, b) => a.eval(inputs) == b.eval(inputs),
+            Cond::And(x, y) => x.eval(inputs) && y.eval(inputs),
+            Cond::Or(x, y) => x.eval(inputs) || y.eval(inputs),
+            Cond::Not(x) => !x.eval(inputs),
+        }
+    }
+
+    /// Number of *expression* nodes inside the condition.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Cond::Lt(a, b) | Cond::Le(a, b) | Cond::Eq(a, b) => a.size() + b.size(),
+            Cond::And(x, y) | Cond::Or(x, y) => x.size() + y.size(),
+            Cond::Not(x) => x.size(),
+        }
+    }
+
+    /// Depth of the condition subtree.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self {
+            Cond::Lt(a, b) | Cond::Le(a, b) | Cond::Eq(a, b) => 1 + a.depth().max(b.depth()),
+            Cond::And(x, y) | Cond::Or(x, y) => 1 + x.depth().max(y.depth()),
+            Cond::Not(x) => 1 + x.depth(),
+        }
+    }
+
+    /// Generates a random condition.
+    #[must_use]
+    pub fn random(rng: &mut SplitMix64, arity: usize, depth: usize) -> Cond {
+        let d = depth.max(1);
+        match rng.index(3) {
+            0 => Cond::Lt(
+                Box::new(Expr::random(rng, arity, d)),
+                Box::new(Expr::random(rng, arity, d)),
+            ),
+            1 => Cond::Le(
+                Box::new(Expr::random(rng, arity, d)),
+                Box::new(Expr::random(rng, arity, d)),
+            ),
+            _ => Cond::Eq(
+                Box::new(Expr::random(rng, arity, d)),
+                Box::new(Expr::random(rng, arity, d)),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Var(n) => write!(f, "x{n}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+            Expr::Neg(a) => write!(f, "(-{a})"),
+            Expr::If(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Lt(a, b) => write!(f, "{a} < {b}"),
+            Cond::Le(a, b) => write!(f, "{a} <= {b}"),
+            Cond::Eq(a, b) => write!(f, "{a} == {b}"),
+            Cond::And(x, y) => write!(f, "({x} and {y})"),
+            Cond::Or(x, y) => write!(f, "({x} or {y})"),
+            Cond::Not(x) => write!(f, "(not {x})"),
+        }
+    }
+}
+
+/// Shorthand constructors used by the corpus and tests.
+pub mod build {
+    use super::{Cond, Expr};
+
+    /// Constant.
+    #[must_use]
+    pub fn c(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Variable.
+    #[must_use]
+    pub fn v(n: usize) -> Expr {
+        Expr::Var(n)
+    }
+
+    /// Sum.
+    #[must_use]
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// Difference.
+    #[must_use]
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// Product.
+    #[must_use]
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// Negation.
+    #[must_use]
+    pub fn neg(a: Expr) -> Expr {
+        Expr::Neg(Box::new(a))
+    }
+
+    /// Conditional.
+    #[must_use]
+    pub fn iff(c: Cond, t: Expr, e: Expr) -> Expr {
+        Expr::If(Box::new(c), Box::new(t), Box::new(e))
+    }
+
+    /// Strictly-less condition.
+    #[must_use]
+    pub fn lt(a: Expr, b: Expr) -> Cond {
+        Cond::Lt(Box::new(a), Box::new(b))
+    }
+
+    /// Less-or-equal condition.
+    #[must_use]
+    pub fn le(a: Expr, b: Expr) -> Cond {
+        Cond::Le(Box::new(a), Box::new(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    fn max2() -> Expr {
+        iff(lt(v(0), v(1)), v(1), v(0))
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        let e = add(mul(v(0), v(0)), c(1));
+        assert_eq!(e.eval(&[5]), 26);
+        assert_eq!(sub(c(3), c(10)).eval(&[]), -7);
+        assert_eq!(neg(c(4)).eval(&[]), -4);
+    }
+
+    #[test]
+    fn protected_division() {
+        let e = Expr::Div(Box::new(c(10)), Box::new(c(0)));
+        assert_eq!(e.eval(&[]), 1);
+        let e = Expr::Div(Box::new(c(10)), Box::new(c(2)));
+        assert_eq!(e.eval(&[]), 5);
+    }
+
+    #[test]
+    fn eval_conditional() {
+        let e = max2();
+        assert_eq!(e.eval(&[3, 9]), 9);
+        assert_eq!(e.eval(&[9, 3]), 9);
+        assert_eq!(e.eval(&[4, 4]), 4);
+    }
+
+    #[test]
+    fn missing_var_defaults_to_zero() {
+        assert_eq!(v(5).eval(&[1, 2]), 0);
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let e = max2();
+        // nodes: if, (v0, v1) in cond, v1, v0 => 5
+        assert_eq!(e.size(), 5);
+        // depth: if -> cond -> cond operands = 3 levels
+        assert_eq!(e.depth(), 3);
+        assert_eq!(c(1).size(), 1);
+        assert_eq!(c(1).depth(), 1);
+    }
+
+    #[test]
+    fn node_indexing_is_preorder() {
+        let e = max2();
+        assert_eq!(e.node(0), Some(&e));
+        assert_eq!(e.node(1), Some(&v(0))); // first cond operand
+        assert_eq!(e.node(2), Some(&v(1)));
+        assert_eq!(e.node(3), Some(&v(1))); // then
+        assert_eq!(e.node(4), Some(&v(0))); // else
+        assert_eq!(e.node(5), None);
+    }
+
+    #[test]
+    fn with_node_replaces_exactly_one() {
+        let e = max2();
+        // Replace the `else` branch with a constant.
+        let patched = e.with_node(4, &c(42));
+        assert_eq!(patched.eval(&[9, 3]), 42);
+        assert_eq!(patched.eval(&[3, 9]), 9);
+        // Out-of-range replacement is identity.
+        assert_eq!(e.with_node(99, &c(1)), e);
+    }
+
+    #[test]
+    fn with_node_root_swap() {
+        let e = max2();
+        assert_eq!(e.with_node(0, &c(7)), c(7));
+    }
+
+    #[test]
+    fn random_trees_respect_depth_and_evaluate() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..200 {
+            let e = Expr::random(&mut rng, 2, 4);
+            // Conditions add one level per nested `if`, so the bound is
+            // roughly twice the budget.
+            assert!(e.depth() <= 8, "depth {} for {e}", e.depth());
+            let _ = e.eval(&[1, 2]); // must not panic
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_structure() {
+        assert_eq!(max2().to_string(), "(if x0 < x1 then x1 else x0)");
+        assert_eq!(
+            Expr::Div(Box::new(c(1)), Box::new(c(2))).to_string(),
+            "(1 / 2)"
+        );
+    }
+
+    #[test]
+    fn cond_connectives() {
+        let t = Cond::And(
+            Box::new(le(c(1), c(2))),
+            Box::new(Cond::Not(Box::new(lt(c(5), c(3))))),
+        );
+        assert!(t.eval(&[]));
+        let u = Cond::Or(Box::new(lt(c(5), c(3))), Box::new(Cond::Eq(Box::new(c(1)), Box::new(c(1)))));
+        assert!(u.eval(&[]));
+        assert!(t.size() > 0 && t.depth() > 0);
+    }
+}

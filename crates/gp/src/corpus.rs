@@ -1,0 +1,267 @@
+//! The seeded-bug program corpus for the fault-fixing experiment (E14).
+//!
+//! Each entry pairs a *faulty* program (a realistic single-edit bug:
+//! swapped branches, wrong constant, wrong variable, missing negation,
+//! wrong comparison) with the reference semantics used to generate the
+//! adjudicating test suite.
+
+use redundancy_core::rng::SplitMix64;
+
+use crate::ast::build::{add, c, iff, le, lt, mul, neg, sub, v};
+use crate::ast::{Cond, Expr};
+use crate::suite::TestSuite;
+
+/// A reference implementation.
+pub type Reference = fn(&[i64]) -> i64;
+
+/// A program with a seeded bug.
+pub struct BuggyProgram {
+    /// Corpus entry name.
+    pub name: &'static str,
+    /// The faulty program.
+    pub faulty: Expr,
+    /// Reference semantics.
+    pub reference: Reference,
+    /// Number of input variables.
+    pub arity: usize,
+    /// Short description of the seeded bug.
+    pub bug: &'static str,
+}
+
+impl std::fmt::Debug for BuggyProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuggyProgram")
+            .field("name", &self.name)
+            .field("bug", &self.bug)
+            .field("arity", &self.arity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BuggyProgram {
+    /// Generates a test suite for this program from its reference.
+    #[must_use]
+    pub fn suite(&self, cases: usize, rng: &mut SplitMix64) -> TestSuite {
+        TestSuite::from_reference(self.reference, self.arity, cases, -50, 50, rng)
+    }
+
+    /// Whether the seeded bug actually manifests on this suite (sanity
+    /// check used by tests and the experiment harness).
+    #[must_use]
+    pub fn bug_manifests(&self, suite: &TestSuite) -> bool {
+        !suite.all_pass(&self.faulty)
+    }
+}
+
+fn r_max2(xs: &[i64]) -> i64 {
+    xs[0].max(xs[1])
+}
+fn r_abs(xs: &[i64]) -> i64 {
+    xs[0].abs()
+}
+fn r_sum3(xs: &[i64]) -> i64 {
+    xs[0] + xs[1] + xs[2]
+}
+fn r_poly(xs: &[i64]) -> i64 {
+    xs[0] * xs[0] + 2 * xs[0] + 1
+}
+fn r_sign(xs: &[i64]) -> i64 {
+    xs[0].signum()
+}
+fn r_clamp(xs: &[i64]) -> i64 {
+    // clamp(x, -10, 10)
+    xs[0].clamp(-10, 10)
+}
+fn r_min3(xs: &[i64]) -> i64 {
+    xs[0].min(xs[1]).min(xs[2])
+}
+fn r_diff_abs(xs: &[i64]) -> i64 {
+    (xs[0] - xs[1]).abs()
+}
+
+/// The corpus used by experiment E14.
+#[must_use]
+pub fn corpus() -> Vec<BuggyProgram> {
+    vec![
+        BuggyProgram {
+            name: "max2",
+            // Correct: if x0 < x1 then x1 else x0. Bug: branches swapped.
+            faulty: iff(lt(v(0), v(1)), v(0), v(1)),
+            reference: r_max2,
+            arity: 2,
+            bug: "swapped branches (computes min)",
+        },
+        BuggyProgram {
+            name: "abs",
+            // Correct: if x0 < 0 then -x0 else x0. Bug: missing negation.
+            faulty: iff(lt(v(0), c(0)), v(0), v(0)),
+            reference: r_abs,
+            arity: 1,
+            bug: "missing negation on the negative branch",
+        },
+        BuggyProgram {
+            name: "sum3",
+            // Correct: x0 + x1 + x2. Bug: wrong variable (x1 twice).
+            faulty: add(add(v(0), v(1)), v(1)),
+            reference: r_sum3,
+            arity: 3,
+            bug: "wrong variable (x1 used twice, x2 never)",
+        },
+        BuggyProgram {
+            name: "poly",
+            // Correct: x0^2 + 2 x0 + 1. Bug: constant off by two.
+            faulty: add(add(mul(v(0), v(0)), mul(c(2), v(0))), c(-1)),
+            reference: r_poly,
+            arity: 1,
+            bug: "wrong constant term (-1 instead of +1)",
+        },
+        BuggyProgram {
+            name: "sign",
+            // Correct: if x0 < 0 then -1 else if 0 < x0 then 1 else 0.
+            // Bug: negative branch returns 0.
+            faulty: iff(
+                lt(v(0), c(0)),
+                c(0),
+                iff(lt(c(0), v(0)), c(1), c(0)),
+            ),
+            reference: r_sign,
+            arity: 1,
+            bug: "negative branch returns 0 instead of -1",
+        },
+        BuggyProgram {
+            name: "clamp",
+            // Correct: if x0 < -10 then -10 else if 10 < x0 then 10 else x0.
+            // Bug: wrong boundary constant (clamps at -1).
+            faulty: iff(
+                lt(v(0), c(-1)),
+                c(-10),
+                iff(lt(c(10), v(0)), c(10), v(0)),
+            ),
+            reference: r_clamp,
+            arity: 1,
+            bug: "wrong lower boundary (-1 instead of -10)",
+        },
+        BuggyProgram {
+            name: "min3",
+            // Correct: min(min(x0, x1), x2). Bug: inner comparison uses
+            // the wrong operand pair, so x2 can be skipped.
+            faulty: iff(
+                lt(v(0), v(1)),
+                iff(lt(v(0), v(2)), v(0), v(2)),
+                v(1), // should compare x1 with x2
+            ),
+            reference: r_min3,
+            arity: 3,
+            bug: "missing comparison of x1 against x2",
+        },
+        BuggyProgram {
+            name: "diff-abs",
+            // Correct: |x0 - x1|. Bug: comparison reversed, so the result
+            // is negated for x0 > x1.
+            faulty: iff(le(v(0), v(1)), sub(v(0), v(1)), sub(v(1), v(0))),
+            reference: r_diff_abs,
+            arity: 2,
+            bug: "branches compute the negated difference",
+        },
+    ]
+}
+
+/// A correct version of each corpus entry, used by tests as a sanity
+/// oracle for the reference functions.
+#[must_use]
+pub fn correct_versions() -> Vec<(&'static str, Expr)> {
+    vec![
+        ("max2", iff(lt(v(0), v(1)), v(1), v(0))),
+        ("abs", iff(lt(v(0), c(0)), neg(v(0)), v(0))),
+        ("sum3", add(add(v(0), v(1)), v(2))),
+        ("poly", add(add(mul(v(0), v(0)), mul(c(2), v(0))), c(1))),
+        (
+            "sign",
+            iff(
+                lt(v(0), c(0)),
+                c(-1),
+                iff(lt(c(0), v(0)), c(1), c(0)),
+            ),
+        ),
+        (
+            "clamp",
+            iff(
+                lt(v(0), c(-10)),
+                c(-10),
+                iff(lt(c(10), v(0)), c(10), v(0)),
+            ),
+        ),
+        (
+            "min3",
+            iff(
+                Cond::Lt(Box::new(v(0)), Box::new(v(1))),
+                iff(lt(v(0), v(2)), v(0), v(2)),
+                iff(lt(v(1), v(2)), v(1), v(2)),
+            ),
+        ),
+        (
+            "diff-abs",
+            iff(le(v(0), v(1)), sub(v(1), v(0)), sub(v(0), v(1))),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_bug_manifests() {
+        let mut rng = SplitMix64::new(10);
+        for program in corpus() {
+            let suite = program.suite(60, &mut rng);
+            assert!(
+                program.bug_manifests(&suite),
+                "{}: seeded bug does not manifest",
+                program.name
+            );
+        }
+    }
+
+    #[test]
+    fn correct_versions_pass_their_suites() {
+        let mut rng = SplitMix64::new(11);
+        let correct = correct_versions();
+        for program in corpus() {
+            let suite = program.suite(60, &mut rng);
+            let (_, fixed) = correct
+                .iter()
+                .find(|(name, _)| *name == program.name)
+                .expect("correct version exists");
+            assert!(
+                suite.all_pass(fixed),
+                "{}: correct version fails its own suite",
+                program.name
+            );
+        }
+    }
+
+    #[test]
+    fn buggy_programs_are_single_edit_away() {
+        // Sanity: bugs should be small — each faulty program is within a
+        // couple of nodes of its correct version in size.
+        let correct = correct_versions();
+        for program in corpus() {
+            let (_, fixed) = correct
+                .iter()
+                .find(|(name, _)| *name == program.name)
+                .unwrap();
+            let delta = program.faulty.size().abs_diff(fixed.size());
+            assert!(delta <= 4, "{}: bug edit too large ({delta})", program.name);
+        }
+    }
+
+    #[test]
+    fn corpus_has_expected_entries() {
+        let names: Vec<_> = corpus().iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["max2", "abs", "sum3", "poly", "sign", "clamp", "min3", "diff-abs"]
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Genetic programming for automatic fault fixing.
+//!
+//! Weimer et al. and Arcuri & Yao (both cited in the paper's §5.1) repair
+//! programs by evolving variants of the faulty code under the guidance of
+//! a test suite, which acts as the explicit adjudicator. This crate
+//! provides the full substrate:
+//!
+//! - [`ast`] — a small expression language (constants, variables,
+//!   arithmetic, comparisons, conditionals) with a safe interpreter;
+//! - [`suite`] — test suites as fitness functions;
+//! - [`engine`] — the GP loop: tournament selection, subtree crossover,
+//!   point and subtree mutation, elitism, seeded from the *faulty* program
+//!   (as in Weimer's work, repair searches near the original);
+//! - [`corpus`](mod@corpus) — a set of seeded-bug programs with reference semantics,
+//!   the benchmark for experiment E14.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod corpus;
+pub mod engine;
+pub mod suite;
+
+pub use ast::{build, Cond, Expr};
+pub use corpus::{corpus, correct_versions, BuggyProgram};
+pub use engine::{Gp, GpParams, GpResult};
+pub use suite::{TestCase, TestSuite};

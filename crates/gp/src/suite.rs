@@ -1,0 +1,147 @@
+//! Test suites: the explicit adjudicator of GP-based fault fixing.
+
+use redundancy_core::rng::SplitMix64;
+
+use crate::ast::Expr;
+
+/// One test case: inputs and the expected output.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TestCase {
+    /// Input vector.
+    pub inputs: Vec<i64>,
+    /// Expected output.
+    pub expected: i64,
+}
+
+/// A test suite used as a fitness function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestSuite {
+    cases: Vec<TestCase>,
+}
+
+impl TestSuite {
+    /// Creates a suite from explicit cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cases` is empty — an empty suite cannot adjudicate.
+    #[must_use]
+    pub fn new(cases: Vec<TestCase>) -> Self {
+        assert!(!cases.is_empty(), "a test suite needs at least one case");
+        Self { cases }
+    }
+
+    /// Generates a suite of `n` cases from a reference implementation over
+    /// random input vectors of the given `arity` with entries in
+    /// `[lo, hi)`.
+    #[must_use]
+    pub fn from_reference<F>(
+        reference: F,
+        arity: usize,
+        n: usize,
+        lo: i64,
+        hi: i64,
+        rng: &mut SplitMix64,
+    ) -> Self
+    where
+        F: Fn(&[i64]) -> i64,
+    {
+        assert!(n > 0, "a test suite needs at least one case");
+        let cases = (0..n)
+            .map(|_| {
+                let inputs: Vec<i64> = (0..arity).map(|_| rng.range_i64(lo, hi)).collect();
+                let expected = reference(&inputs);
+                TestCase { inputs, expected }
+            })
+            .collect();
+        Self { cases }
+    }
+
+    /// The cases.
+    #[must_use]
+    pub fn cases(&self) -> &[TestCase] {
+        &self.cases
+    }
+
+    /// Number of cases.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Whether the suite is empty (never true for constructed suites).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    /// Number of cases `program` passes.
+    #[must_use]
+    pub fn passed(&self, program: &Expr) -> usize {
+        self.cases
+            .iter()
+            .filter(|case| program.eval(&case.inputs) == case.expected)
+            .count()
+    }
+
+    /// Whether `program` passes every case.
+    #[must_use]
+    pub fn all_pass(&self, program: &Expr) -> bool {
+        self.passed(program) == self.cases.len()
+    }
+
+    /// The failing cases for `program` (for reports).
+    #[must_use]
+    pub fn failures<'a>(&'a self, program: &Expr) -> Vec<&'a TestCase> {
+        self.cases
+            .iter()
+            .filter(|case| program.eval(&case.inputs) != case.expected)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+
+    #[test]
+    fn passed_counts_correctly() {
+        let suite = TestSuite::new(vec![
+            TestCase {
+                inputs: vec![1],
+                expected: 2,
+            },
+            TestCase {
+                inputs: vec![5],
+                expected: 10,
+            },
+            TestCase {
+                inputs: vec![0],
+                expected: 1, // wrong on purpose: x*2 gives 0
+            },
+        ]);
+        let double = mul(v(0), c(2));
+        assert_eq!(suite.passed(&double), 2);
+        assert!(!suite.all_pass(&double));
+        assert_eq!(suite.failures(&double).len(), 1);
+        assert_eq!(suite.len(), 3);
+    }
+
+    #[test]
+    fn from_reference_generates_consistent_cases() {
+        let mut rng = SplitMix64::new(4);
+        let suite = TestSuite::from_reference(|xs| xs[0] + xs[1], 2, 50, -100, 100, &mut rng);
+        assert_eq!(suite.len(), 50);
+        let correct = add(v(0), v(1));
+        assert!(suite.all_pass(&correct));
+        let wrong = sub(v(0), v(1));
+        assert!(!suite.all_pass(&wrong));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one case")]
+    fn empty_suite_panics() {
+        let _ = TestSuite::new(vec![]);
+    }
+}

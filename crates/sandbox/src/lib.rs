@@ -1,0 +1,35 @@
+//! Simulated execution environments for the `redundancy` framework.
+//!
+//! Several techniques in the paper exploit *environment* redundancy:
+//! process replicas run variants in disjoint address spaces (Cox et al.),
+//! wrappers bound heap writes (Fetzer's healers), rejuvenation resets aged
+//! processes (Huang et al.), and RX re-executes programs under perturbed
+//! environments (Qin et al.). Reproducing those techniques requires an
+//! execution environment we can partition, corrupt, snapshot, age and
+//! perturb — none of which a test harness should do to the host OS.
+//!
+//! This crate provides that substrate:
+//!
+//! - [`memory::SimMemory`] — a simulated address space with bounds-checked
+//!   and *unchecked* writes, canaries, and partition placement, so heap
+//!   smashing, absolute-address attacks and their detection are exact;
+//! - [`vm`] — a tiny stack machine with *tagged instructions*, reproducing
+//!   the instruction-tagging variant of process replicas: injected code
+//!   lacks the replica's tag and is rejected;
+//! - [`process::SimProcess`] — a process with age, leaks, checkpoints and
+//!   restarts, the unit rejuvenation and micro-reboot act on;
+//! - [`env::EnvConfig`] — the perturbation knobs of RX (allocation padding,
+//!   message order, priority, throttling) with a stable signature that
+//!   environment-sensitive faults hash into their activation.
+
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod memory;
+pub mod process;
+pub mod vm;
+
+pub use env::EnvConfig;
+pub use memory::{MemoryFault, SegmentId, SimMemory};
+pub use process::{ProcessCheckpoint, SimProcess};
+pub use vm::{Instr, Opcode, TaggedVm, VmFault};

@@ -1,0 +1,527 @@
+//! A simulated address space with checked/unchecked writes, canaries and
+//! partitioning.
+//!
+//! The model tracks segment *metadata* (placement, bounds, canary
+//! integrity), not byte contents: that is exactly what is needed to
+//! reproduce heap smashing (an unchecked write past a segment end corrupts
+//! the canary of whatever lies next), Fetzer-style boundary-checking
+//! wrappers (the checked write refuses the same operation), and Cox-style
+//! address-space partitioning (an absolute address maps into at most one
+//! replica's partition, so replicas diverge under attack).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies an allocated segment (its base address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(pub u64);
+
+/// A detectable memory error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryFault {
+    /// A checked write would cross the end of its segment.
+    BoundsViolation {
+        /// Segment being written.
+        segment: SegmentId,
+        /// Attempted end offset.
+        attempted_end: u64,
+        /// Segment length.
+        len: u64,
+    },
+    /// An access touched an address not mapped by any segment.
+    Unmapped {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// The segment id is not (or no longer) allocated.
+    UnknownSegment {
+        /// The unknown id.
+        segment: SegmentId,
+    },
+    /// The address space is exhausted.
+    OutOfMemory,
+}
+
+impl fmt::Display for MemoryFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryFault::BoundsViolation {
+                segment,
+                attempted_end,
+                len,
+            } => write!(
+                f,
+                "bounds violation in segment {segment:?}: wrote to offset {attempted_end} of {len}"
+            ),
+            MemoryFault::Unmapped { addr } => write!(f, "unmapped address {addr:#x}"),
+            MemoryFault::UnknownSegment { segment } => {
+                write!(f, "unknown segment {segment:?}")
+            }
+            MemoryFault::OutOfMemory => f.write_str("address space exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for MemoryFault {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Segment {
+    len: u64,
+    canary_intact: bool,
+    /// Count of bytes written past the end into this segment by smashes.
+    corrupted_writes: u64,
+}
+
+/// A simulated address space.
+///
+/// # Examples
+///
+/// ```
+/// use redundancy_sandbox::memory::SimMemory;
+///
+/// let mut mem = SimMemory::new(0x1000, 0x10_0000);
+/// let buf = mem.alloc(64).unwrap();
+/// assert!(mem.write(buf, 0, 64).is_ok());
+/// assert!(mem.write(buf, 32, 64).is_err()); // crosses the end
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimMemory {
+    partition_base: u64,
+    partition_len: u64,
+    next_free: u64,
+    alloc_padding: u64,
+    segments: BTreeMap<u64, Segment>,
+}
+
+impl SimMemory {
+    /// Creates an address space occupying `[partition_base,
+    /// partition_base + partition_len)`. Replicas get disjoint partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition_len == 0` or the range overflows.
+    #[must_use]
+    pub fn new(partition_base: u64, partition_len: u64) -> Self {
+        assert!(partition_len > 0, "partition must be non-empty");
+        assert!(
+            partition_base.checked_add(partition_len).is_some(),
+            "partition overflows the address space"
+        );
+        Self {
+            partition_base,
+            partition_len,
+            next_free: partition_base,
+            alloc_padding: 0,
+            segments: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the allocation padding inserted after every segment (an RX
+    /// environment knob: padding absorbs small overflows).
+    pub fn set_alloc_padding(&mut self, padding: u64) {
+        self.alloc_padding = padding;
+    }
+
+    /// The configured allocation padding.
+    #[must_use]
+    pub fn alloc_padding(&self) -> u64 {
+        self.alloc_padding
+    }
+
+    /// The partition base address.
+    #[must_use]
+    pub fn partition_base(&self) -> u64 {
+        self.partition_base
+    }
+
+    /// Allocates a segment of `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryFault::OutOfMemory`] when the partition is full.
+    pub fn alloc(&mut self, len: u64) -> Result<SegmentId, MemoryFault> {
+        let end = self
+            .next_free
+            .checked_add(len)
+            .and_then(|e| e.checked_add(self.alloc_padding))
+            .ok_or(MemoryFault::OutOfMemory)?;
+        if end > self.partition_base + self.partition_len {
+            return Err(MemoryFault::OutOfMemory);
+        }
+        let base = self.next_free;
+        self.next_free = end;
+        self.segments.insert(
+            base,
+            Segment {
+                len,
+                canary_intact: true,
+                corrupted_writes: 0,
+            },
+        );
+        Ok(SegmentId(base))
+    }
+
+    /// Frees a segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryFault::UnknownSegment`] for double frees or bogus
+    /// ids.
+    pub fn free(&mut self, segment: SegmentId) -> Result<(), MemoryFault> {
+        self.segments
+            .remove(&segment.0)
+            .map(|_| ())
+            .ok_or(MemoryFault::UnknownSegment { segment })
+    }
+
+    /// Bounds-checked write of `len` bytes at `offset` within `segment` —
+    /// what Fetzer's healer wrapper does for every libc heap write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryFault::BoundsViolation`] when the write would cross
+    /// the segment end, [`MemoryFault::UnknownSegment`] for bogus ids.
+    pub fn write(&mut self, segment: SegmentId, offset: u64, len: u64) -> Result<(), MemoryFault> {
+        let seg = self
+            .segments
+            .get(&segment.0)
+            .ok_or(MemoryFault::UnknownSegment { segment })?;
+        let end = offset.checked_add(len).ok_or(MemoryFault::BoundsViolation {
+            segment,
+            attempted_end: u64::MAX,
+            len: seg.len,
+        })?;
+        if end > seg.len {
+            return Err(MemoryFault::BoundsViolation {
+                segment,
+                attempted_end: end,
+                len: seg.len,
+            });
+        }
+        Ok(())
+    }
+
+    /// *Unchecked* write, as an unwrapped C program would perform: a write
+    /// crossing the segment end silently smashes the canary and corrupts
+    /// whatever follows. Returns how many bytes overflowed (0 = in
+    /// bounds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryFault::UnknownSegment`] for bogus ids — even an
+    /// unchecked write needs a live segment to start from.
+    pub fn write_unchecked(
+        &mut self,
+        segment: SegmentId,
+        offset: u64,
+        len: u64,
+    ) -> Result<u64, MemoryFault> {
+        let seg_len = self
+            .segments
+            .get(&segment.0)
+            .ok_or(MemoryFault::UnknownSegment { segment })?
+            .len;
+        let end = offset.saturating_add(len);
+        if end <= seg_len {
+            return Ok(0);
+        }
+        let overflow = end - seg_len;
+        // Padding absorbs part of the overflow (the RX defense).
+        if overflow > self.alloc_padding {
+            // Smash this segment's canary and corrupt the next segment.
+            if let Some(seg) = self.segments.get_mut(&segment.0) {
+                seg.canary_intact = false;
+            }
+            let next_base = segment.0 + seg_len + self.alloc_padding;
+            if let Some((_, next)) = self.segments.range_mut(next_base..).next() {
+                next.corrupted_writes += overflow - self.alloc_padding;
+            }
+        }
+        Ok(overflow)
+    }
+
+    /// Writes `len` bytes at an *absolute* address — the attacker primitive
+    /// of Cox's memory attacks. Succeeds (corrupting the containing
+    /// segment) only when the address is mapped in this partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryFault::Unmapped`] when no live segment contains
+    /// `addr` — in a real replica this is a segfault, i.e. a *detectable*
+    /// divergence.
+    pub fn write_absolute(&mut self, addr: u64, len: u64) -> Result<(), MemoryFault> {
+        let (base, seg) = self
+            .segments
+            .range_mut(..=addr)
+            .next_back()
+            .ok_or(MemoryFault::Unmapped { addr })?;
+        if addr >= *base + seg.len {
+            return Err(MemoryFault::Unmapped { addr });
+        }
+        seg.corrupted_writes += len;
+        Ok(())
+    }
+
+    /// Whether `addr` is inside a live segment of this partition.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        self.segments
+            .range(..=addr)
+            .next_back()
+            .is_some_and(|(base, seg)| addr < *base + seg.len)
+    }
+
+    /// Audits the address space: returns segments whose canary was smashed
+    /// or that absorbed corrupting writes (the "software audit" of Connet
+    /// et al., also used as the implicit detector of robust wrappers).
+    #[must_use]
+    pub fn audit(&self) -> Vec<SegmentId> {
+        self.segments
+            .iter()
+            .filter(|(_, seg)| !seg.canary_intact || seg.corrupted_writes > 0)
+            .map(|(base, _)| SegmentId(*base))
+            .collect()
+    }
+
+    /// Number of live segments.
+    #[must_use]
+    pub fn live_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Drops every segment and resets the allocation cursor (a reboot).
+    pub fn clear(&mut self) {
+        self.segments.clear();
+        self.next_free = self.partition_base;
+    }
+
+    /// Total bytes currently allocated (excluding padding).
+    #[must_use]
+    pub fn allocated_bytes(&self) -> u64 {
+        self.segments.values().map(|s| s.len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> SimMemory {
+        SimMemory::new(0x1000, 0x10000)
+    }
+
+    #[test]
+    fn alloc_and_checked_write() {
+        let mut m = mem();
+        let a = m.alloc(100).unwrap();
+        assert!(m.write(a, 0, 100).is_ok());
+        assert!(m.write(a, 99, 1).is_ok());
+        assert_eq!(
+            m.write(a, 50, 100),
+            Err(MemoryFault::BoundsViolation {
+                segment: a,
+                attempted_end: 150,
+                len: 100
+            })
+        );
+    }
+
+    #[test]
+    fn segments_are_disjoint_and_orderly() {
+        let mut m = mem();
+        let a = m.alloc(16).unwrap();
+        let b = m.alloc(16).unwrap();
+        assert!(b.0 >= a.0 + 16);
+        assert!(m.contains(a.0));
+        assert!(m.contains(b.0 + 15));
+        assert!(!m.contains(b.0 + 16));
+    }
+
+    #[test]
+    fn unchecked_overflow_smashes_canary_and_neighbor() {
+        let mut m = mem();
+        let a = m.alloc(16).unwrap();
+        let b = m.alloc(16).unwrap();
+        assert_eq!(m.write_unchecked(a, 0, 16).unwrap(), 0);
+        assert!(m.audit().is_empty());
+        let overflow = m.write_unchecked(a, 8, 16).unwrap();
+        assert_eq!(overflow, 8);
+        let audit = m.audit();
+        assert!(audit.contains(&a), "smashed segment not flagged");
+        assert!(audit.contains(&b), "corrupted neighbor not flagged");
+    }
+
+    #[test]
+    fn padding_absorbs_small_overflows() {
+        let mut m = mem();
+        m.set_alloc_padding(32);
+        let a = m.alloc(16).unwrap();
+        let _b = m.alloc(16).unwrap();
+        assert_eq!(m.write_unchecked(a, 8, 16).unwrap(), 8);
+        assert!(m.audit().is_empty(), "padding should have absorbed 8 bytes");
+        // A large overflow still smashes through.
+        let _ = m.write_unchecked(a, 0, 100).unwrap();
+        assert!(!m.audit().is_empty());
+    }
+
+    #[test]
+    fn absolute_writes_respect_partitions() {
+        let mut low = SimMemory::new(0x1000, 0x1000);
+        let mut high = SimMemory::new(0x100_0000, 0x1000);
+        let a = low.alloc(64).unwrap();
+        let _ = high.alloc(64).unwrap();
+        // The attack targets an address valid only in the low partition.
+        let target = a.0 + 10;
+        assert!(low.write_absolute(target, 4).is_ok());
+        assert_eq!(
+            high.write_absolute(target, 4),
+            Err(MemoryFault::Unmapped { addr: target })
+        );
+        // The successful write corrupted the low replica.
+        assert_eq!(low.audit(), vec![a]);
+    }
+
+    #[test]
+    fn double_free_is_reported() {
+        let mut m = mem();
+        let a = m.alloc(8).unwrap();
+        assert!(m.free(a).is_ok());
+        assert_eq!(m.free(a), Err(MemoryFault::UnknownSegment { segment: a }));
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut m = SimMemory::new(0, 100);
+        assert!(m.alloc(60).is_ok());
+        assert_eq!(m.alloc(60), Err(MemoryFault::OutOfMemory));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut m = mem();
+        let a = m.alloc(100).unwrap();
+        let _ = m.write_unchecked(a, 0, 200);
+        m.clear();
+        assert_eq!(m.live_segments(), 0);
+        assert!(m.audit().is_empty());
+        assert_eq!(m.allocated_bytes(), 0);
+        // Allocation restarts at the partition base.
+        let b = m.alloc(10).unwrap();
+        assert_eq!(b.0, 0x1000);
+    }
+
+    #[test]
+    fn allocated_bytes_tracks() {
+        let mut m = mem();
+        let a = m.alloc(100).unwrap();
+        let _ = m.alloc(50).unwrap();
+        assert_eq!(m.allocated_bytes(), 150);
+        m.free(a).unwrap();
+        assert_eq!(m.allocated_bytes(), 50);
+    }
+
+    #[test]
+    fn write_to_freed_segment_fails() {
+        let mut m = mem();
+        let a = m.alloc(8).unwrap();
+        m.free(a).unwrap();
+        assert_eq!(m.write(a, 0, 1), Err(MemoryFault::UnknownSegment { segment: a }));
+        assert!(m.write_unchecked(a, 0, 1).is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Live segments never overlap and always sit inside the
+            /// partition, under any alloc/free sequence.
+            #[test]
+            fn segments_stay_disjoint_and_in_partition(
+                ops in proptest::collection::vec((0u8..2, 1u64..200), 1..40),
+                padding in 0u64..64,
+            ) {
+                let base = 0x1000u64;
+                let len = 0x10000u64;
+                let mut mem = SimMemory::new(base, len);
+                mem.set_alloc_padding(padding);
+                let mut live: Vec<(u64, u64)> = Vec::new();
+                for (op, size) in ops {
+                    if op == 0 {
+                        if let Ok(seg) = mem.alloc(size) {
+                            live.push((seg.0, size));
+                        }
+                    } else if !live.is_empty() {
+                        let (segbase, _) = live.remove(0);
+                        prop_assert!(mem.free(SegmentId(segbase)).is_ok());
+                    }
+                }
+                // In partition:
+                for &(b, l) in &live {
+                    prop_assert!(b >= base);
+                    prop_assert!(b + l <= base + len);
+                }
+                // Pairwise disjoint:
+                let mut sorted = live.clone();
+                sorted.sort_unstable();
+                for pair in sorted.windows(2) {
+                    prop_assert!(pair[0].0 + pair[0].1 <= pair[1].0);
+                }
+                prop_assert_eq!(mem.live_segments(), live.len());
+                prop_assert_eq!(mem.allocated_bytes(), live.iter().map(|&(_, l)| l).sum::<u64>());
+            }
+
+            /// In-bounds checked writes always succeed and never corrupt;
+            /// out-of-bounds checked writes always fail and never corrupt.
+            #[test]
+            fn checked_writes_never_corrupt(
+                seg_len in 1u64..256,
+                offset in 0u64..512,
+                write_len in 0u64..512,
+            ) {
+                let mut mem = SimMemory::new(0, 0x10000);
+                let seg = mem.alloc(seg_len).unwrap();
+                let _neighbor = mem.alloc(64).unwrap();
+                let in_bounds = offset.checked_add(write_len).is_some_and(|end| end <= seg_len);
+                prop_assert_eq!(mem.write(seg, offset, write_len).is_ok(), in_bounds);
+                prop_assert!(mem.audit().is_empty(), "checked write corrupted memory");
+            }
+
+            /// An unchecked write corrupts iff the overflow exceeds the
+            /// padding, and the audit always notices exactly that case.
+            #[test]
+            fn audits_catch_exactly_the_real_smashes(
+                seg_len in 1u64..256,
+                write_len in 0u64..1024,
+                padding in 0u64..128,
+            ) {
+                let mut mem = SimMemory::new(0, 0x10000);
+                mem.set_alloc_padding(padding);
+                let seg = mem.alloc(seg_len).unwrap();
+                let _neighbor = mem.alloc(64).unwrap();
+                let overflow = mem.write_unchecked(seg, 0, write_len).unwrap();
+                prop_assert_eq!(overflow, write_len.saturating_sub(seg_len));
+                let corrupted = overflow > padding;
+                prop_assert_eq!(!mem.audit().is_empty(), corrupted);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_fault_display_nonempty() {
+        for fault in [
+            MemoryFault::OutOfMemory,
+            MemoryFault::Unmapped { addr: 7 },
+            MemoryFault::UnknownSegment {
+                segment: SegmentId(1),
+            },
+            MemoryFault::BoundsViolation {
+                segment: SegmentId(1),
+                attempted_end: 9,
+                len: 8,
+            },
+        ] {
+            assert!(!fault.to_string().is_empty());
+        }
+    }
+}

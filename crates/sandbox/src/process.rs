@@ -1,0 +1,292 @@
+//! Simulated processes: the unit that ages, leaks, checkpoints, and
+//! reboots.
+//!
+//! [`SimProcess`] carries the state that environment-level techniques
+//! manipulate: rejuvenation resets its age and reclaims leaks; checkpoint
+//! -recovery snapshots and restores its application state; micro-reboot
+//! restarts it (cheaply) while a full reboot restarts a whole process
+//! tree. Failure hazards that grow with `age()` and `leaked_bytes()`
+//! reproduce the software-aging model of Huang et al.
+
+use std::collections::BTreeMap;
+
+use crate::env::EnvConfig;
+use crate::memory::SimMemory;
+
+/// A snapshot of a process's restorable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessCheckpoint {
+    state: BTreeMap<String, i64>,
+    memory: SimMemory,
+    taken_at_work: u64,
+}
+
+impl ProcessCheckpoint {
+    /// The process work counter at the time the checkpoint was taken.
+    #[must_use]
+    pub fn taken_at_work(&self) -> u64 {
+        self.taken_at_work
+    }
+}
+
+/// A simulated process.
+///
+/// # Examples
+///
+/// ```
+/// use redundancy_sandbox::process::SimProcess;
+///
+/// let mut p = SimProcess::new(1, 0x1000, 0x10000);
+/// p.set("requests", 10);
+/// let snapshot = p.checkpoint();
+/// p.set("requests", 99);
+/// p.restore(&snapshot);
+/// assert_eq!(p.get("requests"), Some(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimProcess {
+    pid: u32,
+    tag: u16,
+    env: EnvConfig,
+    memory: SimMemory,
+    state: BTreeMap<String, i64>,
+    /// Work units executed since the last restart/rejuvenation.
+    age: u64,
+    /// Total work units executed over the process lifetime.
+    total_work: u64,
+    /// Bytes leaked since the last restart (aging resource).
+    leaked_bytes: u64,
+    restarts: u64,
+}
+
+impl SimProcess {
+    /// Creates a process whose memory partition is
+    /// `[partition_base, partition_base + partition_len)`.
+    #[must_use]
+    pub fn new(pid: u32, partition_base: u64, partition_len: u64) -> Self {
+        Self {
+            pid,
+            tag: pid as u16,
+            env: EnvConfig::baseline(),
+            memory: SimMemory::new(partition_base, partition_len),
+            state: BTreeMap::new(),
+            age: 0,
+            total_work: 0,
+            leaked_bytes: 0,
+            restarts: 0,
+        }
+    }
+
+    /// The process id.
+    #[must_use]
+    pub fn pid(&self) -> u32 {
+        self.pid
+    }
+
+    /// The instruction tag of this process (for tagged-VM replicas).
+    #[must_use]
+    pub fn tag(&self) -> u16 {
+        self.tag
+    }
+
+    /// Overrides the instruction tag.
+    pub fn set_tag(&mut self, tag: u16) {
+        self.tag = tag;
+    }
+
+    /// The current environment configuration.
+    #[must_use]
+    pub fn env(&self) -> EnvConfig {
+        self.env
+    }
+
+    /// Replaces the environment configuration (RX perturbation), applying
+    /// the allocation-padding knob to the simulated memory.
+    pub fn set_env(&mut self, env: EnvConfig) {
+        self.env = env;
+        self.memory.set_alloc_padding(env.alloc_padding);
+    }
+
+    /// The simulated memory of this process.
+    #[must_use]
+    pub fn memory(&self) -> &SimMemory {
+        &self.memory
+    }
+
+    /// Mutable access to the simulated memory.
+    pub fn memory_mut(&mut self) -> &mut SimMemory {
+        &mut self.memory
+    }
+
+    /// Reads a state variable.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<i64> {
+        self.state.get(key).copied()
+    }
+
+    /// Writes a state variable.
+    pub fn set(&mut self, key: impl Into<String>, value: i64) {
+        self.state.insert(key.into(), value);
+    }
+
+    /// Executes `units` of work, aging the process.
+    pub fn work(&mut self, units: u64) {
+        self.age += units;
+        self.total_work += units;
+    }
+
+    /// Leaks `bytes` (memory that will only be reclaimed by a restart).
+    pub fn leak(&mut self, bytes: u64) {
+        self.leaked_bytes += bytes;
+    }
+
+    /// Work units since the last restart.
+    #[must_use]
+    pub fn age(&self) -> u64 {
+        self.age
+    }
+
+    /// Total work units over the process lifetime.
+    #[must_use]
+    pub fn total_work(&self) -> u64 {
+        self.total_work
+    }
+
+    /// Bytes leaked since the last restart.
+    #[must_use]
+    pub fn leaked_bytes(&self) -> u64 {
+        self.leaked_bytes
+    }
+
+    /// Number of restarts performed.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Failure hazard per work unit under the aging model:
+    /// `base + age_growth * age + leak_growth * leaked_bytes`, capped at 1.
+    #[must_use]
+    pub fn hazard(&self, base: f64, age_growth: f64, leak_growth: f64) -> f64 {
+        (base + age_growth * self.age as f64 + leak_growth * self.leaked_bytes as f64).min(1.0)
+    }
+
+    /// Takes a checkpoint of the restorable state (application variables
+    /// and memory layout).
+    #[must_use]
+    pub fn checkpoint(&self) -> ProcessCheckpoint {
+        ProcessCheckpoint {
+            state: self.state.clone(),
+            memory: self.memory.clone(),
+            taken_at_work: self.total_work,
+        }
+    }
+
+    /// Restores a checkpoint. Age and leaks are *not* reset: rollback
+    /// alone does not rejuvenate (that is why checkpoint-recovery handles
+    /// Heisenbugs but not aging, per the paper's Table 2).
+    pub fn restore(&mut self, checkpoint: &ProcessCheckpoint) {
+        self.state = checkpoint.state.clone();
+        self.memory = checkpoint.memory.clone();
+        self.memory.set_alloc_padding(self.env.alloc_padding);
+    }
+
+    /// Restarts the process: clears state and memory, resets age and
+    /// leaks. This is a (micro-)reboot or a rejuvenation, depending on who
+    /// calls it and when.
+    pub fn restart(&mut self) {
+        self.state.clear();
+        self.memory.clear();
+        self.memory.set_alloc_padding(self.env.alloc_padding);
+        self.age = 0;
+        self.leaked_bytes = 0;
+        self.restarts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_ages_and_restart_rejuvenates() {
+        let mut p = SimProcess::new(1, 0, 0x1000);
+        p.work(100);
+        p.leak(500);
+        assert_eq!(p.age(), 100);
+        assert_eq!(p.leaked_bytes(), 500);
+        assert_eq!(p.total_work(), 100);
+        p.restart();
+        assert_eq!(p.age(), 0);
+        assert_eq!(p.leaked_bytes(), 0);
+        assert_eq!(p.total_work(), 100, "total work survives restarts");
+        assert_eq!(p.restarts(), 1);
+    }
+
+    #[test]
+    fn hazard_grows_with_age_and_leaks() {
+        let mut p = SimProcess::new(1, 0, 0x1000);
+        let young = p.hazard(0.001, 1e-5, 1e-6);
+        p.work(1000);
+        p.leak(10_000);
+        let old = p.hazard(0.001, 1e-5, 1e-6);
+        assert!(old > young * 5.0, "young {young}, old {old}");
+        p.work(u64::MAX / 2);
+        assert!((p.hazard(0.0, 1.0, 0.0) - 1.0).abs() < f64::EPSILON, "hazard capped at 1");
+    }
+
+    #[test]
+    fn checkpoint_restores_state_and_memory_but_not_age() {
+        let mut p = SimProcess::new(1, 0, 0x10000);
+        p.set("x", 1);
+        let seg = p.memory_mut().alloc(64).unwrap();
+        p.work(10);
+        let ckpt = p.checkpoint();
+        assert_eq!(ckpt.taken_at_work(), 10);
+
+        p.set("x", 2);
+        p.memory_mut().free(seg).unwrap();
+        p.work(10);
+        p.restore(&ckpt);
+        assert_eq!(p.get("x"), Some(1));
+        assert_eq!(p.memory().live_segments(), 1);
+        assert_eq!(p.age(), 20, "rollback must not rejuvenate");
+    }
+
+    #[test]
+    fn env_padding_propagates_to_memory() {
+        let mut p = SimProcess::new(1, 0, 0x10000);
+        p.set_env(EnvConfig::baseline().with_padding(128));
+        assert_eq!(p.memory().alloc_padding(), 128);
+        // Restart keeps the environment.
+        p.restart();
+        assert_eq!(p.memory().alloc_padding(), 128);
+    }
+
+    #[test]
+    fn restart_clears_memory() {
+        let mut p = SimProcess::new(1, 0, 0x10000);
+        let seg = p.memory_mut().alloc(64).unwrap();
+        let _ = p.memory_mut().write_unchecked(seg, 0, 1000);
+        assert!(!p.memory().audit().is_empty());
+        p.restart();
+        assert!(p.memory().audit().is_empty());
+        assert_eq!(p.memory().live_segments(), 0);
+    }
+
+    #[test]
+    fn tag_defaults_to_pid_and_is_overridable() {
+        let mut p = SimProcess::new(42, 0, 0x1000);
+        assert_eq!(p.tag(), 42);
+        p.set_tag(7);
+        assert_eq!(p.tag(), 7);
+    }
+
+    #[test]
+    fn state_variables_roundtrip() {
+        let mut p = SimProcess::new(1, 0, 0x1000);
+        assert_eq!(p.get("missing"), None);
+        p.set("k", -5);
+        assert_eq!(p.get("k"), Some(-5));
+    }
+}

@@ -1,0 +1,383 @@
+//! A tiny stack machine with *tagged instructions*.
+//!
+//! Cox et al.'s process replicas prepend a variant-specific tag to every
+//! instruction; injected code, built by an attacker who does not know the
+//! tag, fails the tag check in at least one variant. This module reproduces
+//! that mechanism exactly: a [`TaggedVm`] executes only instructions
+//! carrying its tag, while an untagged VM (the unprotected baseline)
+//! executes anything.
+
+use std::fmt;
+
+/// Operations of the stack machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Push a constant.
+    Push(i64),
+    /// Push the `n`-th input argument.
+    Arg(usize),
+    /// Pop two, push their sum.
+    Add,
+    /// Pop two, push their difference (second minus top).
+    Sub,
+    /// Pop two, push their product.
+    Mul,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Swap the two top elements.
+    Swap,
+    /// Pop and discard.
+    Drop,
+}
+
+/// One instruction: an opcode carrying a tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// The variant tag the instruction was compiled with.
+    pub tag: u16,
+    /// The operation.
+    pub op: Opcode,
+}
+
+/// A detectable VM fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmFault {
+    /// An instruction's tag did not match the VM's tag — the signature of
+    /// injected code in a tagged replica.
+    TagViolation {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The tag found.
+        found: u16,
+        /// The tag expected.
+        expected: u16,
+    },
+    /// A pop on an empty stack.
+    StackUnderflow {
+        /// Index of the offending instruction.
+        at: usize,
+    },
+    /// An argument index past the provided inputs.
+    BadArgument {
+        /// Index of the offending instruction.
+        at: usize,
+    },
+    /// The program left no result on the stack.
+    NoResult,
+    /// The program exceeded the execution step limit.
+    StepLimit,
+}
+
+impl fmt::Display for VmFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmFault::TagViolation { at, found, expected } => write!(
+                f,
+                "tag violation at instruction {at}: found {found}, expected {expected}"
+            ),
+            VmFault::StackUnderflow { at } => write!(f, "stack underflow at instruction {at}"),
+            VmFault::BadArgument { at } => write!(f, "bad argument index at instruction {at}"),
+            VmFault::NoResult => f.write_str("program produced no result"),
+            VmFault::StepLimit => f.write_str("step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for VmFault {}
+
+/// Compiles a sequence of opcodes with a given tag.
+#[must_use]
+pub fn tag_program(ops: &[Opcode], tag: u16) -> Vec<Instr> {
+    ops.iter().map(|&op| Instr { tag, op }).collect()
+}
+
+/// A stack machine that verifies instruction tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaggedVm {
+    tag: Option<u16>,
+    step_limit: usize,
+}
+
+impl TaggedVm {
+    /// A VM that accepts only instructions tagged `tag`.
+    #[must_use]
+    pub fn new(tag: u16) -> Self {
+        Self {
+            tag: Some(tag),
+            step_limit: 10_000,
+        }
+    }
+
+    /// A VM without tag checking — the unprotected baseline that will
+    /// happily run injected code.
+    #[must_use]
+    pub fn untagged() -> Self {
+        Self {
+            tag: None,
+            step_limit: 10_000,
+        }
+    }
+
+    /// Overrides the execution step limit.
+    #[must_use]
+    pub fn with_step_limit(mut self, limit: usize) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Executes `program` on `args`, returning the value left on top of
+    /// the stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmFault`] on tag violations, stack underflow, bad
+    /// argument indices, missing results or step-limit overruns.
+    pub fn execute(&self, program: &[Instr], args: &[i64]) -> Result<i64, VmFault> {
+        if program.len() > self.step_limit {
+            return Err(VmFault::StepLimit);
+        }
+        let mut stack: Vec<i64> = Vec::with_capacity(16);
+        for (at, instr) in program.iter().enumerate() {
+            if let Some(expected) = self.tag {
+                if instr.tag != expected {
+                    return Err(VmFault::TagViolation {
+                        at,
+                        found: instr.tag,
+                        expected,
+                    });
+                }
+            }
+            match instr.op {
+                Opcode::Push(v) => stack.push(v),
+                Opcode::Arg(n) => {
+                    let v = *args.get(n).ok_or(VmFault::BadArgument { at })?;
+                    stack.push(v);
+                }
+                Opcode::Add => {
+                    let (a, b) = pop2(&mut stack, at)?;
+                    stack.push(b.wrapping_add(a));
+                }
+                Opcode::Sub => {
+                    let (a, b) = pop2(&mut stack, at)?;
+                    stack.push(b.wrapping_sub(a));
+                }
+                Opcode::Mul => {
+                    let (a, b) = pop2(&mut stack, at)?;
+                    stack.push(b.wrapping_mul(a));
+                }
+                Opcode::Dup => {
+                    let v = *stack.last().ok_or(VmFault::StackUnderflow { at })?;
+                    stack.push(v);
+                }
+                Opcode::Swap => {
+                    let len = stack.len();
+                    if len < 2 {
+                        return Err(VmFault::StackUnderflow { at });
+                    }
+                    stack.swap(len - 1, len - 2);
+                }
+                Opcode::Drop => {
+                    stack.pop().ok_or(VmFault::StackUnderflow { at })?;
+                }
+            }
+        }
+        stack.pop().ok_or(VmFault::NoResult)
+    }
+}
+
+fn pop2(stack: &mut Vec<i64>, at: usize) -> Result<(i64, i64), VmFault> {
+    let a = stack.pop().ok_or(VmFault::StackUnderflow { at })?;
+    let b = stack.pop().ok_or(VmFault::StackUnderflow { at })?;
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `args[0] * args[0] + 1`
+    fn square_plus_one(tag: u16) -> Vec<Instr> {
+        tag_program(
+            &[
+                Opcode::Arg(0),
+                Opcode::Dup,
+                Opcode::Mul,
+                Opcode::Push(1),
+                Opcode::Add,
+            ],
+            tag,
+        )
+    }
+
+    #[test]
+    fn executes_arithmetic() {
+        let vm = TaggedVm::new(7);
+        assert_eq!(vm.execute(&square_plus_one(7), &[12]), Ok(145));
+    }
+
+    #[test]
+    fn untagged_vm_accepts_any_tag() {
+        let vm = TaggedVm::untagged();
+        assert_eq!(vm.execute(&square_plus_one(99), &[3]), Ok(10));
+    }
+
+    #[test]
+    fn injected_code_violates_tag() {
+        let vm = TaggedVm::new(7);
+        let mut program = square_plus_one(7);
+        // The attacker splices in a payload compiled without the tag.
+        program.insert(
+            2,
+            Instr {
+                tag: 0,
+                op: Opcode::Push(0xdead),
+            },
+        );
+        assert_eq!(
+            vm.execute(&program, &[3]),
+            Err(VmFault::TagViolation {
+                at: 2,
+                found: 0,
+                expected: 7
+            })
+        );
+        // The unprotected VM runs the same injected program to completion
+        // (with a corrupted result) — exactly the divergence replicas
+        // detect.
+        assert!(TaggedVm::untagged().execute(&program, &[3]).is_ok());
+    }
+
+    #[test]
+    fn stack_underflow_detected() {
+        let vm = TaggedVm::new(1);
+        let program = tag_program(&[Opcode::Add], 1);
+        assert_eq!(
+            vm.execute(&program, &[]),
+            Err(VmFault::StackUnderflow { at: 0 })
+        );
+    }
+
+    #[test]
+    fn bad_argument_detected() {
+        let vm = TaggedVm::new(1);
+        let program = tag_program(&[Opcode::Arg(3)], 1);
+        assert_eq!(vm.execute(&program, &[1]), Err(VmFault::BadArgument { at: 0 }));
+    }
+
+    #[test]
+    fn empty_program_yields_no_result() {
+        let vm = TaggedVm::new(1);
+        assert_eq!(vm.execute(&[], &[]), Err(VmFault::NoResult));
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let vm = TaggedVm::new(1).with_step_limit(3);
+        let program = tag_program(&[Opcode::Push(1); 10], 1);
+        assert_eq!(vm.execute(&program, &[]), Err(VmFault::StepLimit));
+    }
+
+    #[test]
+    fn swap_drop_sub_semantics() {
+        let vm = TaggedVm::new(2);
+        // 10 3 swap sub => 3 - 10 = -7
+        let program = tag_program(
+            &[Opcode::Push(10), Opcode::Push(3), Opcode::Swap, Opcode::Sub],
+            2,
+        );
+        assert_eq!(vm.execute(&program, &[]), Ok(-7));
+        // drop removes the top: 1 2 drop => 1
+        let program = tag_program(&[Opcode::Push(1), Opcode::Push(2), Opcode::Drop], 2);
+        assert_eq!(vm.execute(&program, &[]), Ok(1));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use redundancy_core::rng::SplitMix64;
+
+        fn random_program(seed: u64, len: usize) -> Vec<Opcode> {
+            let mut rng = SplitMix64::new(seed);
+            (0..len)
+                .map(|_| match rng.index(8) {
+                    0 => Opcode::Push(rng.range_i64(-100, 100)),
+                    1 => Opcode::Arg(rng.index(3)),
+                    2 => Opcode::Add,
+                    3 => Opcode::Sub,
+                    4 => Opcode::Mul,
+                    5 => Opcode::Dup,
+                    6 => Opcode::Swap,
+                    _ => Opcode::Drop,
+                })
+                .collect()
+        }
+
+        proptest! {
+            /// The VM is total: any program either returns a value or a
+            /// fault, never panics — crash containment for replicas.
+            #[test]
+            fn vm_never_panics(seed in any::<u64>(), len in 0usize..64, tag in 0u16..8) {
+                let ops = random_program(seed, len);
+                let program = tag_program(&ops, tag);
+                let _ = TaggedVm::new(tag).execute(&program, &[1, 2, 3]);
+                let _ = TaggedVm::untagged().execute(&program, &[1, 2, 3]);
+            }
+
+            /// Tagged and untagged VMs agree on correctly-tagged programs:
+            /// tagging is transparent for legitimate code.
+            #[test]
+            fn tagging_is_transparent_for_legitimate_code(seed in any::<u64>(), len in 0usize..64) {
+                let ops = random_program(seed, len);
+                let tagged = tag_program(&ops, 5);
+                let a = TaggedVm::new(5).execute(&tagged, &[7, 8, 9]);
+                let b = TaggedVm::untagged().execute(&tagged, &[7, 8, 9]);
+                prop_assert_eq!(a, b);
+            }
+
+            /// Any single wrong-tag instruction is rejected by a tagged VM
+            /// at exactly its position (if execution reaches it).
+            #[test]
+            fn wrong_tags_never_execute(seed in any::<u64>(), len in 1usize..32, pos_frac in 0.0f64..1.0) {
+                let ops = random_program(seed, len);
+                let mut program = tag_program(&ops, 5);
+                let pos = ((program.len() - 1) as f64 * pos_frac) as usize;
+                program[pos].tag = 6;
+                match TaggedVm::new(5).execute(&program, &[1, 2, 3]) {
+                    Err(VmFault::TagViolation { at, found, expected }) => {
+                        prop_assert_eq!(at, pos);
+                        prop_assert_eq!(found, 6);
+                        prop_assert_eq!(expected, 5);
+                    }
+                    Err(other) => {
+                        // A stack/arg fault *before* the injected tag is
+                        // acceptable; after it would mean the payload ran.
+                        match other {
+                            VmFault::StackUnderflow { at } | VmFault::BadArgument { at } => {
+                                prop_assert!(at < pos);
+                            }
+                            _ => {}
+                        }
+                    }
+                    Ok(_) => prop_assert!(false, "injected instruction executed"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_display_nonempty() {
+        for fault in [
+            VmFault::NoResult,
+            VmFault::StepLimit,
+            VmFault::StackUnderflow { at: 1 },
+            VmFault::BadArgument { at: 2 },
+            VmFault::TagViolation {
+                at: 0,
+                found: 1,
+                expected: 2,
+            },
+        ] {
+            assert!(!fault.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! A service-oriented substrate for the `redundancy` framework.
+//!
+//! Much of the recent work the paper surveys lives in the web-services
+//! world: N-version programming over independent service implementations
+//! (Looker's WS-FTM, Dobson's WS-BPEL voting), recovery blocks as BPEL
+//! retry, and dynamic service substitution (Subramanian, Taher, Sadjadi,
+//! Mosincat). Reproducing those techniques needs a service platform:
+//! interfaces with multiple independently operated implementations,
+//! discovery, interface similarity with converters, and a process engine
+//! with sequences, parallel flows, retries and fault handlers.
+//!
+//! This crate provides an in-memory such platform:
+//!
+//! - [`value::Value`] — the dynamic payload type exchanged with services;
+//! - [`provider`] — service implementations with reliability and latency
+//!   profiles ([`provider::SimProvider`]);
+//! - [`registry::ServiceRegistry`] — registration, discovery, and
+//!   interface converters for near-matching services;
+//! - [`process`] — a small BPEL-like engine: invoke, assign, sequence,
+//!   parallel flow, retry, and scopes with fault handlers;
+//! - [`recovery`] — Baresi/Pernici-style registries of failure-matching
+//!   rules with recovery activities, protecting whole processes.
+
+#![warn(missing_docs)]
+
+pub mod process;
+pub mod provider;
+pub mod recovery;
+pub mod registry;
+pub mod value;
+
+pub use process::{Activity, Engine, Expr, ProcessError, Vars};
+pub use recovery::{FailureMatch, RecoveredRun, RecoveryRegistry, RecoveryRule};
+pub use provider::{Provider, ServiceError, SimProvider, SimProviderBuilder};
+pub use registry::{Converter, InterfaceId, ServiceRegistry};
+pub use value::Value;

@@ -1,0 +1,307 @@
+//! Service providers: independently operated implementations of an
+//! interface, with reliability and latency profiles.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use redundancy_core::context::ExecContext;
+use redundancy_core::rng::SplitMix64;
+
+use crate::registry::InterfaceId;
+use crate::value::Value;
+
+/// A failure reported by a service invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ServiceError {
+    /// The provider did not respond (server or network down).
+    Unavailable,
+    /// The provider responded with a fault.
+    Fault(String),
+    /// The operation does not exist on this provider.
+    NoSuchOperation(String),
+    /// The arguments were rejected.
+    BadRequest(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Unavailable => f.write_str("service unavailable"),
+            ServiceError::Fault(msg) => write!(f, "service fault: {msg}"),
+            ServiceError::NoSuchOperation(op) => write!(f, "no such operation: {op}"),
+            ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A service implementation.
+pub trait Provider: Send + Sync {
+    /// Unique provider id (e.g. `"weather.acme.v2"`).
+    fn id(&self) -> &str;
+
+    /// The interface this provider implements.
+    fn interface(&self) -> &InterfaceId;
+
+    /// Invokes an operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServiceError`] for unavailability, faults, unknown
+    /// operations or bad requests. Wrong *results* are returned as `Ok` —
+    /// catching those requires adjudication upstream.
+    fn invoke(
+        &self,
+        operation: &str,
+        args: &[Value],
+        ctx: &mut ExecContext,
+    ) -> Result<Value, ServiceError>;
+}
+
+type OpHandler = Box<dyn Fn(&[Value], &mut SplitMix64) -> Result<Value, ServiceError> + Send + Sync>;
+
+/// A simulated provider built from per-operation closures and a
+/// reliability/latency profile.
+///
+/// # Examples
+///
+/// ```
+/// use redundancy_core::context::ExecContext;
+/// use redundancy_services::provider::{Provider, SimProvider};
+/// use redundancy_services::registry::InterfaceId;
+/// use redundancy_services::value::Value;
+///
+/// let provider = SimProvider::builder("adder.v1", InterfaceId::new("math"))
+///     .operation("add", |args, _rng| {
+///         let a = args[0].as_int().unwrap();
+///         let b = args[1].as_int().unwrap();
+///         Ok(Value::Int(a + b))
+///     })
+///     .build();
+/// let mut ctx = ExecContext::new(0);
+/// let out = provider.invoke("add", &[Value::Int(2), Value::Int(3)], &mut ctx);
+/// assert_eq!(out, Ok(Value::Int(5)));
+/// ```
+pub struct SimProvider {
+    id: String,
+    interface: InterfaceId,
+    operations: HashMap<String, OpHandler>,
+    fail_prob: f64,
+    latency_work: u64,
+    latency_jitter: u64,
+    /// Invocations served (drives optional wear-out).
+    calls: AtomicU64,
+    /// Per-call increase in failure probability (service degradation).
+    wear_out: f64,
+}
+
+impl SimProvider {
+    /// Starts building a provider.
+    #[must_use]
+    pub fn builder(id: impl Into<String>, interface: InterfaceId) -> SimProviderBuilder {
+        SimProviderBuilder {
+            inner: SimProvider {
+                id: id.into(),
+                interface,
+                operations: HashMap::new(),
+                fail_prob: 0.0,
+                latency_work: 10,
+                latency_jitter: 0,
+                calls: AtomicU64::new(0),
+                wear_out: 0.0,
+            },
+        }
+    }
+
+    /// Invocations served so far.
+    #[must_use]
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// The provider's current effective failure probability.
+    #[must_use]
+    pub fn effective_fail_prob(&self) -> f64 {
+        (self.fail_prob + self.wear_out * self.calls() as f64).min(1.0)
+    }
+}
+
+impl Provider for SimProvider {
+    fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn interface(&self) -> &InterfaceId {
+        &self.interface
+    }
+
+    fn invoke(
+        &self,
+        operation: &str,
+        args: &[Value],
+        ctx: &mut ExecContext,
+    ) -> Result<Value, ServiceError> {
+        let handler = self
+            .operations
+            .get(operation)
+            .ok_or_else(|| ServiceError::NoSuchOperation(operation.to_owned()))?;
+        let fail_prob = self.effective_fail_prob();
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        // Latency: base work plus jitter.
+        let jitter = if self.latency_jitter > 0 {
+            ctx.rng().range_u64(0, self.latency_jitter + 1)
+        } else {
+            0
+        };
+        ctx.advance_ns(self.latency_work + jitter);
+        if ctx.rng().chance(fail_prob) {
+            return Err(ServiceError::Unavailable);
+        }
+        let mut rng = ctx.rng().split();
+        handler(args, &mut rng)
+    }
+}
+
+/// Builder for [`SimProvider`].
+pub struct SimProviderBuilder {
+    inner: SimProvider,
+}
+
+impl SimProviderBuilder {
+    /// Adds an operation.
+    #[must_use]
+    pub fn operation<F>(mut self, name: impl Into<String>, handler: F) -> Self
+    where
+        F: Fn(&[Value], &mut SplitMix64) -> Result<Value, ServiceError> + Send + Sync + 'static,
+    {
+        self.inner.operations.insert(name.into(), Box::new(handler));
+        self
+    }
+
+    /// Sets the per-invocation failure probability (unavailability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn fail_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.inner.fail_prob = p;
+        self
+    }
+
+    /// Sets the base latency (virtual ns) and jitter.
+    #[must_use]
+    pub fn latency(mut self, base: u64, jitter: u64) -> Self {
+        self.inner.latency_work = base;
+        self.inner.latency_jitter = jitter;
+        self
+    }
+
+    /// Sets per-call degradation of the failure probability.
+    #[must_use]
+    pub fn wear_out(mut self, per_call: f64) -> Self {
+        self.inner.wear_out = per_call;
+        self
+    }
+
+    /// Finishes the build.
+    #[must_use]
+    pub fn build(self) -> SimProvider {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adder(id: &str, fail: f64) -> SimProvider {
+        SimProvider::builder(id, InterfaceId::new("math"))
+            .fail_prob(fail)
+            .operation("add", |args, _| {
+                let a = args
+                    .first()
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| ServiceError::BadRequest("need int".into()))?;
+                let b = args
+                    .get(1)
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| ServiceError::BadRequest("need int".into()))?;
+                Ok(Value::Int(a + b))
+            })
+            .build()
+    }
+
+    #[test]
+    fn invoke_dispatches_operations() {
+        let p = adder("a1", 0.0);
+        let mut ctx = ExecContext::new(1);
+        assert_eq!(
+            p.invoke("add", &[Value::Int(1), Value::Int(2)], &mut ctx),
+            Ok(Value::Int(3))
+        );
+        assert_eq!(
+            p.invoke("mul", &[], &mut ctx),
+            Err(ServiceError::NoSuchOperation("mul".into()))
+        );
+    }
+
+    #[test]
+    fn bad_request_propagates() {
+        let p = adder("a1", 0.0);
+        let mut ctx = ExecContext::new(1);
+        assert!(matches!(
+            p.invoke("add", &[Value::Null, Value::Null], &mut ctx),
+            Err(ServiceError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn failure_rate_is_calibrated() {
+        let p = adder("flaky", 0.3);
+        let mut ctx = ExecContext::new(2);
+        let failures = (0..10_000)
+            .filter(|_| {
+                p.invoke("add", &[Value::Int(1), Value::Int(1)], &mut ctx)
+                    .is_err()
+            })
+            .count();
+        let rate = failures as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed {rate}");
+    }
+
+    #[test]
+    fn latency_advances_virtual_time() {
+        let p = SimProvider::builder("slow", InterfaceId::new("x"))
+            .latency(500, 0)
+            .operation("op", |_, _| Ok(Value::Null))
+            .build();
+        let mut ctx = ExecContext::new(1);
+        let _ = p.invoke("op", &[], &mut ctx);
+        assert_eq!(ctx.cost().virtual_ns, 500);
+    }
+
+    #[test]
+    fn wear_out_degrades_provider() {
+        let p = SimProvider::builder("aging", InterfaceId::new("x"))
+            .wear_out(0.001)
+            .operation("op", |_, _| Ok(Value::Null))
+            .build();
+        let mut ctx = ExecContext::new(3);
+        assert!((p.effective_fail_prob() - 0.0).abs() < f64::EPSILON);
+        for _ in 0..500 {
+            let _ = p.invoke("op", &[], &mut ctx);
+        }
+        assert!(p.effective_fail_prob() > 0.4);
+        assert_eq!(p.calls(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_fail_prob_panics() {
+        let _ = SimProvider::builder("x", InterfaceId::new("i")).fail_prob(1.5);
+    }
+}

@@ -1,0 +1,336 @@
+//! Registry-based recovery for processes (Baresi 2007, Modafferi/Pernici
+//! 2006, Fugini 2006).
+//!
+//! Developers fill a [`RecoveryRegistry`] at design time with rules
+//! mapping observed process failures to recovery activities; at runtime,
+//! a protected execution consults the registry when an activity fails and
+//! runs the first matching recovery — the service-composition flavor of
+//! the paper's "Exception handling, rule engines" row.
+
+use redundancy_core::context::ExecContext;
+
+use crate::process::{Activity, Engine, ProcessError, Vars};
+use crate::provider::ServiceError;
+use crate::registry::InterfaceId;
+
+/// What kind of process failure a recovery rule matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureMatch {
+    /// Any failure.
+    Any,
+    /// Any failed invoke on the given interface.
+    Interface(InterfaceId),
+    /// Invokes failing with `ServiceError::Unavailable`.
+    Unavailability,
+    /// Invokes failing with an application fault (`ServiceError::Fault`).
+    ApplicationFault,
+    /// An interface with no provider at all.
+    Unbound,
+}
+
+impl FailureMatch {
+    /// Whether this matcher covers `error`.
+    #[must_use]
+    pub fn matches(&self, error: &ProcessError) -> bool {
+        match (self, error) {
+            (FailureMatch::Any, _) => true,
+            (FailureMatch::Interface(wanted), ProcessError::InvokeFailed { interface, .. }) => {
+                wanted == interface
+            }
+            (FailureMatch::Interface(wanted), ProcessError::Unbound(interface)) => {
+                wanted == interface
+            }
+            (
+                FailureMatch::Unavailability,
+                ProcessError::InvokeFailed {
+                    last_error: ServiceError::Unavailable,
+                    ..
+                },
+            ) => true,
+            (
+                FailureMatch::ApplicationFault,
+                ProcessError::InvokeFailed {
+                    last_error: ServiceError::Fault(_),
+                    ..
+                },
+            ) => true,
+            (FailureMatch::Unbound, ProcessError::Unbound(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A recovery rule: a failure matcher plus the recovery activity to run.
+#[derive(Debug, Clone)]
+pub struct RecoveryRule {
+    name: String,
+    matcher: FailureMatch,
+    recovery: Activity,
+}
+
+impl RecoveryRule {
+    /// Creates a rule.
+    #[must_use]
+    pub fn new(name: impl Into<String>, matcher: FailureMatch, recovery: Activity) -> Self {
+        Self {
+            name: name.into(),
+            matcher,
+            recovery,
+        }
+    }
+
+    /// The rule's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The design-time registry of recovery rules.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryRegistry {
+    rules: Vec<RecoveryRule>,
+}
+
+/// How a protected process execution concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveredRun {
+    /// The process completed without intervention.
+    Clean,
+    /// A failure was handled by the named rule (whose recovery completed).
+    Recovered {
+        /// The rule that fired.
+        rule: String,
+        /// The failure it handled.
+        failure: ProcessError,
+    },
+    /// The failure matched no rule, or the recovery itself failed.
+    Unrecovered {
+        /// The original failure.
+        failure: ProcessError,
+        /// The recovery's own failure, when one was attempted.
+        recovery_failure: Option<ProcessError>,
+    },
+}
+
+impl RecoveredRun {
+    /// Whether the process ultimately completed.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RecoveredRun::Clean | RecoveredRun::Recovered { .. })
+    }
+}
+
+impl RecoveryRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a rule (consulted in registration order).
+    #[must_use]
+    pub fn with_rule(mut self, rule: RecoveryRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Number of rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Runs `process` on `engine`; on failure, fires the first matching
+    /// rule's recovery activity.
+    pub fn run_protected(
+        &self,
+        engine: &Engine<'_>,
+        process: &Activity,
+        vars: &mut Vars,
+        ctx: &mut ExecContext,
+    ) -> RecoveredRun {
+        match engine.run(process, vars, ctx) {
+            Ok(()) => RecoveredRun::Clean,
+            Err(failure) => {
+                for rule in &self.rules {
+                    if rule.matcher.matches(&failure) {
+                        return match engine.run(&rule.recovery, vars, ctx) {
+                            Ok(()) => RecoveredRun::Recovered {
+                                rule: rule.name.clone(),
+                                failure,
+                            },
+                            Err(recovery_failure) => RecoveredRun::Unrecovered {
+                                failure,
+                                recovery_failure: Some(recovery_failure),
+                            },
+                        };
+                    }
+                }
+                RecoveredRun::Unrecovered {
+                    failure,
+                    recovery_failure: None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Expr;
+    use crate::provider::SimProvider;
+    use crate::registry::ServiceRegistry;
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    fn service_registry() -> ServiceRegistry {
+        let mut reg = ServiceRegistry::new();
+        reg.register(Arc::new(
+            SimProvider::builder("pay.live", InterfaceId::new("payments"))
+                .fail_prob(1.0)
+                .operation("charge", |_, _| Ok(Value::Null))
+                .build(),
+        ));
+        reg.register(Arc::new(
+            SimProvider::builder("queue", InterfaceId::new("deferred"))
+                .operation("enqueue", |args, _| {
+                    Ok(Value::Str(format!("queued:{}", args[0])))
+                })
+                .build(),
+        ));
+        reg
+    }
+
+    fn charge_activity() -> Activity {
+        Activity::invoke("payments", "charge", vec![Expr::Lit(Value::Int(42))], "receipt")
+    }
+
+    fn defer_activity() -> Activity {
+        Activity::invoke("deferred", "enqueue", vec![Expr::Lit(Value::Int(42))], "ticket")
+    }
+
+    #[test]
+    fn clean_processes_skip_the_registry() {
+        let sreg = service_registry();
+        let engine = Engine::new(&sreg);
+        let registry = RecoveryRegistry::new();
+        let mut vars = Vars::new();
+        let mut ctx = ExecContext::new(1);
+        let run = registry.run_protected(&engine, &defer_activity(), &mut vars, &mut ctx);
+        assert_eq!(run, RecoveredRun::Clean);
+        assert!(run.is_ok());
+    }
+
+    #[test]
+    fn matching_rule_recovers_a_failed_invoke() {
+        let sreg = service_registry();
+        let engine = Engine::new(&sreg);
+        let registry = RecoveryRegistry::new().with_rule(RecoveryRule::new(
+            "defer-payment",
+            FailureMatch::Interface(InterfaceId::new("payments")),
+            defer_activity(),
+        ));
+        let mut vars = Vars::new();
+        let mut ctx = ExecContext::new(2);
+        let run = registry.run_protected(&engine, &charge_activity(), &mut vars, &mut ctx);
+        match run {
+            RecoveredRun::Recovered { ref rule, .. } => assert_eq!(rule, "defer-payment"),
+            other => panic!("expected recovery, got {other:?}"),
+        }
+        assert_eq!(vars["ticket"], Value::Str("queued:42".into()));
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let sreg = service_registry();
+        let engine = Engine::new(&sreg);
+        let registry = RecoveryRegistry::new()
+            .with_rule(RecoveryRule::new(
+                "on-unavailable",
+                FailureMatch::Unavailability,
+                defer_activity(),
+            ))
+            .with_rule(RecoveryRule::new("catch-all", FailureMatch::Any, defer_activity()));
+        let mut vars = Vars::new();
+        let mut ctx = ExecContext::new(3);
+        match registry.run_protected(&engine, &charge_activity(), &mut vars, &mut ctx) {
+            RecoveredRun::Recovered { rule, .. } => assert_eq!(rule, "on-unavailable"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn unmatched_failures_surface() {
+        let sreg = service_registry();
+        let engine = Engine::new(&sreg);
+        let registry = RecoveryRegistry::new().with_rule(RecoveryRule::new(
+            "wrong-scope",
+            FailureMatch::Interface(InterfaceId::new("shipping")),
+            defer_activity(),
+        ));
+        let mut vars = Vars::new();
+        let mut ctx = ExecContext::new(4);
+        let run = registry.run_protected(&engine, &charge_activity(), &mut vars, &mut ctx);
+        assert!(matches!(
+            run,
+            RecoveredRun::Unrecovered {
+                recovery_failure: None,
+                ..
+            }
+        ));
+        assert!(!run.is_ok());
+    }
+
+    #[test]
+    fn failing_recovery_is_reported() {
+        let sreg = service_registry();
+        let engine = Engine::new(&sreg);
+        // The recovery itself targets the dead payments service.
+        let registry = RecoveryRegistry::new().with_rule(RecoveryRule::new(
+            "retry-payments",
+            FailureMatch::Any,
+            charge_activity(),
+        ));
+        let mut vars = Vars::new();
+        let mut ctx = ExecContext::new(5);
+        let run = registry.run_protected(&engine, &charge_activity(), &mut vars, &mut ctx);
+        assert!(matches!(
+            run,
+            RecoveredRun::Unrecovered {
+                recovery_failure: Some(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn matchers_discriminate_error_kinds() {
+        let unavailable = ProcessError::InvokeFailed {
+            interface: InterfaceId::new("x"),
+            operation: "op".into(),
+            last_error: ServiceError::Unavailable,
+        };
+        let fault = ProcessError::InvokeFailed {
+            interface: InterfaceId::new("x"),
+            operation: "op".into(),
+            last_error: ServiceError::Fault("boom".into()),
+        };
+        let unbound = ProcessError::Unbound(InterfaceId::new("x"));
+        assert!(FailureMatch::Unavailability.matches(&unavailable));
+        assert!(!FailureMatch::Unavailability.matches(&fault));
+        assert!(FailureMatch::ApplicationFault.matches(&fault));
+        assert!(FailureMatch::Unbound.matches(&unbound));
+        assert!(FailureMatch::Interface(InterfaceId::new("x")).matches(&unbound));
+        assert!(!FailureMatch::Interface(InterfaceId::new("y")).matches(&unbound));
+        assert!(FailureMatch::Any.matches(&fault));
+    }
+}

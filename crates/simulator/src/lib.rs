@@ -1,0 +1,17 @@
+//! The Monte-Carlo experiment harness of the `redundancy` framework.
+//!
+//! Every quantitative claim reproduced from the paper (experiments T2 and
+//! E4–E16 in `EXPERIMENTS.md`) is measured here: a [`trial::Campaign`]
+//! runs a seeded closure many times, classifies each run, and summarizes
+//! the results with proper interval estimates ([`stats`]). Human-readable
+//! tables come from [`table::Table`].
+
+#![warn(missing_docs)]
+
+pub mod stats;
+pub mod table;
+pub mod trial;
+
+pub use stats::{mean_ci, wilson_interval, Estimate, Proportion};
+pub use table::Table;
+pub use trial::{Campaign, TrialOutcome, TrialSummary};

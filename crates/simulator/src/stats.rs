@@ -1,0 +1,188 @@
+//! Statistical summaries for experiment results.
+
+use std::fmt;
+
+/// A mean with a 95% normal-approximation confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator).
+    pub stddev: f64,
+    /// Half-width of the 95% confidence interval.
+    pub ci95: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Estimate {
+    /// The interval lower bound.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.mean - self.ci95
+    }
+
+    /// The interval upper bound.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.mean + self.ci95
+    }
+}
+
+impl fmt::Display for Estimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.ci95)
+    }
+}
+
+/// Computes mean, standard deviation and a 95% CI for `samples`.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+#[must_use]
+pub fn mean_ci(samples: &[f64]) -> Estimate {
+    assert!(!samples.is_empty(), "cannot summarize an empty sample");
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let stddev = var.sqrt();
+    let ci95 = 1.96 * stddev / (n as f64).sqrt();
+    Estimate {
+        mean,
+        stddev,
+        ci95,
+        n,
+    }
+}
+
+/// A binomial proportion with a Wilson 95% interval — the right summary
+/// for success/recovery rates, stable even at 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Proportion {
+    /// Successes.
+    pub successes: usize,
+    /// Trials.
+    pub trials: usize,
+    /// Point estimate.
+    pub rate: f64,
+    /// Wilson interval lower bound.
+    pub lo: f64,
+    /// Wilson interval upper bound.
+    pub hi: f64,
+}
+
+impl fmt::Display for Proportion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.4} [{:.4}, {:.4}] ({}/{})",
+            self.rate, self.lo, self.hi, self.successes, self.trials
+        )
+    }
+}
+
+/// Computes the Wilson score interval at 95% confidence.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `successes > trials`.
+#[must_use]
+pub fn wilson_interval(successes: usize, trials: usize) -> Proportion {
+    assert!(trials > 0, "need at least one trial");
+    assert!(successes <= trials, "more successes than trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = 1.96_f64;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+    Proportion {
+        successes,
+        trials,
+        rate: p,
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_ci_of_constant_sample() {
+        let e = mean_ci(&[5.0; 10]);
+        assert!((e.mean - 5.0).abs() < 1e-12);
+        assert!(e.stddev.abs() < 1e-12);
+        assert!(e.ci95.abs() < 1e-12);
+        assert_eq!(e.n, 10);
+        assert!((e.lo() - 5.0).abs() < 1e-12);
+        assert!((e.hi() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_ci_known_values() {
+        let e = mean_ci(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((e.mean - 3.0).abs() < 1e-12);
+        // var = 2.5, sd ≈ 1.5811
+        assert!((e.stddev - 2.5f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let e = mean_ci(&[7.0]);
+        assert_eq!(e.n, 1);
+        assert!(e.stddev.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = mean_ci(&[]);
+    }
+
+    #[test]
+    fn wilson_interval_contains_point() {
+        let p = wilson_interval(30, 100);
+        assert!((p.rate - 0.3).abs() < 1e-12);
+        assert!(p.lo < 0.3 && 0.3 < p.hi);
+        assert!(p.lo > 0.2 && p.hi < 0.41);
+    }
+
+    #[test]
+    fn wilson_interval_degenerate_ends() {
+        let zero = wilson_interval(0, 50);
+        assert!((zero.rate).abs() < 1e-12);
+        assert!(zero.lo.abs() < 1e-12);
+        assert!(zero.hi > 0.0 && zero.hi < 0.12, "hi {}", zero.hi);
+        let one = wilson_interval(50, 50);
+        assert!((one.rate - 1.0).abs() < 1e-12);
+        assert!(one.lo > 0.9);
+        assert!((one.hi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_narrows_with_n() {
+        let small = wilson_interval(5, 10);
+        let large = wilson_interval(500, 1000);
+        assert!(large.hi - large.lo < small.hi - small.lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn wilson_zero_trials_panics() {
+        let _ = wilson_interval(0, 0);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!mean_ci(&[1.0, 2.0]).to_string().is_empty());
+        assert!(!wilson_interval(1, 2).to_string().is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Fixed-width text tables for experiment output.
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use redundancy_sim::table::Table;
+///
+/// let mut t = Table::new(&["N", "reliability"]);
+/// t.row(&["3", "0.972"]);
+/// t.row(&["5", "0.991"]);
+/// let text = t.to_string();
+/// assert!(text.contains("reliability"));
+/// assert!(text.lines().count() == 4); // header + rule + 2 rows
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Self {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity does not match header"
+        );
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_owned()).collect());
+    }
+
+    /// Appends a row of already-owned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity does not match header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths.iter()).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                line.extend(std::iter::repeat_n(' ', w - cell.len()));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_consistent() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["short", "1"]);
+        t.row(&["a-much-longer-name", "22"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+        assert_eq!(&lines[3][col..col + 2], "22");
+    }
+
+    #[test]
+    fn row_owned_works() {
+        let mut t = Table::new(&["a"]);
+        t.row_owned(vec!["x".to_owned()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_header_panics() {
+        let _ = Table::new(&[]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Monte-Carlo campaigns: run a seeded trial many times, classify and
+//! summarize.
+
+use redundancy_core::cost::Cost;
+
+use crate::stats::{mean_ci, wilson_interval, Estimate, Proportion};
+
+/// The classification of one trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrialOutcome {
+    /// The system delivered a correct result.
+    Correct {
+        /// Cost of the trial.
+        cost: Cost,
+    },
+    /// The system delivered a wrong result *without noticing* — the worst
+    /// outcome (undetected failure).
+    Undetected {
+        /// Cost of the trial.
+        cost: Cost,
+    },
+    /// The system failed but *knew* it failed (fail-stop).
+    Detected {
+        /// Cost of the trial.
+        cost: Cost,
+    },
+}
+
+impl TrialOutcome {
+    /// The cost of the trial.
+    #[must_use]
+    pub fn cost(&self) -> Cost {
+        match self {
+            TrialOutcome::Correct { cost }
+            | TrialOutcome::Undetected { cost }
+            | TrialOutcome::Detected { cost } => *cost,
+        }
+    }
+
+    /// Whether the trial delivered a correct result.
+    #[must_use]
+    pub fn is_correct(&self) -> bool {
+        matches!(self, TrialOutcome::Correct { .. })
+    }
+}
+
+/// Aggregated results of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialSummary {
+    /// Reliability: fraction of correct trials, with Wilson interval.
+    pub reliability: Proportion,
+    /// Fraction of undetected (silent) failures.
+    pub undetected: Proportion,
+    /// Fraction of detected (fail-stop) failures.
+    pub detected: Proportion,
+    /// Mean work units per trial.
+    pub work: Estimate,
+    /// Mean virtual time per trial.
+    pub latency: Estimate,
+    /// Mean invocations per trial.
+    pub invocations: Estimate,
+    /// Total design cost charged across the campaign divided by trials.
+    pub design_cost: f64,
+}
+
+/// A seeded Monte-Carlo campaign.
+///
+/// # Examples
+///
+/// ```
+/// use redundancy_core::cost::Cost;
+/// use redundancy_sim::trial::{Campaign, TrialOutcome};
+///
+/// // A fake system that succeeds on even seeds.
+/// let summary = Campaign::new(1000).run(7, |seed, _trial| {
+///     if seed % 2 == 0 {
+///         TrialOutcome::Correct { cost: Cost::ZERO }
+///     } else {
+///         TrialOutcome::Detected { cost: Cost::ZERO }
+///     }
+/// });
+/// assert_eq!(summary.reliability.trials, 1000);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Campaign {
+    trials: usize,
+}
+
+impl Campaign {
+    /// Creates a campaign of `trials` runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    #[must_use]
+    pub fn new(trials: usize) -> Self {
+        assert!(trials > 0, "a campaign needs at least one trial");
+        Self { trials }
+    }
+
+    /// Number of trials.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Runs the campaign: `trial(seed, index)` is called once per trial
+    /// with a distinct derived seed.
+    pub fn run<F>(&self, campaign_seed: u64, mut trial: F) -> TrialSummary
+    where
+        F: FnMut(u64, usize) -> TrialOutcome,
+    {
+        let mut outcomes = Vec::with_capacity(self.trials);
+        for i in 0..self.trials {
+            // Derive a well-separated seed per trial.
+            let seed = campaign_seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((i as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+                ^ 0x94d0_49bb_1331_11eb;
+            outcomes.push(trial(seed, i));
+        }
+        summarize(&outcomes)
+    }
+}
+
+/// Summarizes a slice of trial outcomes.
+///
+/// # Panics
+///
+/// Panics if `outcomes` is empty.
+#[must_use]
+pub fn summarize(outcomes: &[TrialOutcome]) -> TrialSummary {
+    assert!(!outcomes.is_empty(), "no outcomes to summarize");
+    let n = outcomes.len();
+    let correct = outcomes.iter().filter(|o| o.is_correct()).count();
+    let undetected = outcomes
+        .iter()
+        .filter(|o| matches!(o, TrialOutcome::Undetected { .. }))
+        .count();
+    let detected = outcomes
+        .iter()
+        .filter(|o| matches!(o, TrialOutcome::Detected { .. }))
+        .count();
+    let work: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.cost().work_units as f64)
+        .collect();
+    let latency: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.cost().virtual_ns as f64)
+        .collect();
+    let invocations: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.cost().invocations as f64)
+        .collect();
+    let design: f64 = outcomes.iter().map(|o| o.cost().design_cost).sum::<f64>() / n as f64;
+    TrialSummary {
+        reliability: wilson_interval(correct, n),
+        undetected: wilson_interval(undetected, n),
+        detected: wilson_interval(detected, n),
+        work: mean_ci(&work),
+        latency: mean_ci(&latency),
+        invocations: mean_ci(&invocations),
+        design_cost: design,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_counts_categories() {
+        let summary = Campaign::new(300).run(1, |_seed, i| {
+            let cost = Cost::of_invocation(10, 10);
+            match i % 3 {
+                0 => TrialOutcome::Correct { cost },
+                1 => TrialOutcome::Undetected { cost },
+                _ => TrialOutcome::Detected { cost },
+            }
+        });
+        assert_eq!(summary.reliability.successes, 100);
+        assert_eq!(summary.undetected.successes, 100);
+        assert_eq!(summary.detected.successes, 100);
+        assert!((summary.work.mean - 10.0).abs() < 1e-9);
+        assert!((summary.invocations.mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_deterministic() {
+        let mut seeds_a = Vec::new();
+        let _ = Campaign::new(50).run(9, |seed, _| {
+            seeds_a.push(seed);
+            TrialOutcome::Correct { cost: Cost::ZERO }
+        });
+        let mut seeds_b = Vec::new();
+        let _ = Campaign::new(50).run(9, |seed, _| {
+            seeds_b.push(seed);
+            TrialOutcome::Correct { cost: Cost::ZERO }
+        });
+        assert_eq!(seeds_a, seeds_b);
+        let mut dedup = seeds_a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds_a.len(), "duplicate trial seeds");
+    }
+
+    #[test]
+    fn different_campaign_seeds_differ() {
+        let mut a = Vec::new();
+        let _ = Campaign::new(5).run(1, |seed, _| {
+            a.push(seed);
+            TrialOutcome::Correct { cost: Cost::ZERO }
+        });
+        let mut b = Vec::new();
+        let _ = Campaign::new(5).run(2, |seed, _| {
+            b.push(seed);
+            TrialOutcome::Correct { cost: Cost::ZERO }
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = Campaign::new(0);
+    }
+
+    #[test]
+    fn design_cost_averaged() {
+        let summary = Campaign::new(10).run(3, |_, _| TrialOutcome::Correct {
+            cost: Cost {
+                design_cost: 3.0,
+                ..Cost::ZERO
+            },
+        });
+        assert!((summary.design_cost - 3.0).abs() < 1e-9);
+    }
+}

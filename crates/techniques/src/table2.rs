@@ -1,0 +1,189 @@
+//! The registry that regenerates the paper's Table 2.
+//!
+//! [`entries`] returns every technique's [`TechniqueEntry`] in the
+//! paper's row order; [`render`] prints them as the table. The
+//! conformance tests below pin each row to the classification printed in
+//! the paper — any drift in a technique's declared taxonomy breaks the
+//! build.
+
+use redundancy_core::technique::{render_table2, TechniqueEntry};
+
+/// All Table 2 rows, in the paper's order.
+#[must_use]
+pub fn entries() -> Vec<TechniqueEntry> {
+    vec![
+        crate::nvp::ENTRY,
+        crate::recovery_blocks::ENTRY,
+        crate::self_checking::ENTRY,
+        crate::self_optimizing::ENTRY,
+        crate::rule_engine::ENTRY,
+        crate::wrappers::ENTRY,
+        crate::robust_data::ENTRY,
+        crate::data_diversity::ENTRY,
+        crate::nvariant_data::ENTRY,
+        crate::rejuvenation::ENTRY,
+        crate::env_perturbation::ENTRY,
+        crate::process_replicas::ENTRY,
+        crate::service_substitution::ENTRY,
+        crate::fault_fixing::ENTRY,
+        crate::workarounds::ENTRY,
+        crate::checkpoint_recovery::ENTRY,
+        crate::microreboot::ENTRY,
+    ]
+}
+
+/// Renders Table 2 as fixed-width text.
+#[must_use]
+pub fn render() -> String {
+    render_table2(&entries())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redundancy_core::taxonomy::{
+        Adjudication, FaultClass, FaultSet, Intention, RedundancyType,
+    };
+
+    #[test]
+    fn seventeen_rows_in_paper_order() {
+        let names: Vec<&str> = entries().iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "N-version programming",
+                "Recovery blocks",
+                "Self-checking programming",
+                "Self-optimizing code",
+                "Exception handling, rule engines",
+                "Wrappers",
+                "Robust data structures, audits",
+                "Data diversity",
+                "Data diversity for security",
+                "Rejuvenation",
+                "Environment perturbation",
+                "Process replicas",
+                "Dynamic service substitution",
+                "Fault fixing, genetic programming",
+                "Automatic workarounds",
+                "Checkpoint-recovery",
+                "Reboot and micro-reboot",
+            ]
+        );
+    }
+
+    /// The full conformance check: every cell of Table 2, as printed in
+    /// the paper.
+    #[test]
+    fn classifications_match_the_paper_exactly() {
+        use Adjudication::{Preventive, ReactiveExplicit, ReactiveImplicit, ReactiveMixed};
+        use Intention::{Deliberate, Opportunistic};
+        use RedundancyType::{Code, Data, Environment};
+        let dev = FaultSet::DEVELOPMENT;
+        let expected: Vec<(&str, Intention, RedundancyType, Adjudication, FaultSet)> = vec![
+            ("N-version programming", Deliberate, Code, ReactiveImplicit, dev),
+            ("Recovery blocks", Deliberate, Code, ReactiveExplicit, dev),
+            ("Self-checking programming", Deliberate, Code, ReactiveMixed, dev),
+            ("Self-optimizing code", Deliberate, Code, ReactiveExplicit, dev),
+            ("Exception handling, rule engines", Deliberate, Code, ReactiveExplicit, dev),
+            (
+                "Wrappers",
+                Deliberate,
+                Code,
+                Preventive,
+                FaultSet::BOHRBUGS.with(FaultClass::Malicious),
+            ),
+            ("Robust data structures, audits", Deliberate, Data, ReactiveImplicit, dev),
+            ("Data diversity", Deliberate, Data, ReactiveMixed, dev),
+            (
+                "Data diversity for security",
+                Deliberate,
+                Data,
+                ReactiveImplicit,
+                FaultSet::MALICIOUS,
+            ),
+            (
+                "Rejuvenation",
+                Deliberate,
+                Environment,
+                Preventive,
+                FaultSet::HEISENBUGS,
+            ),
+            ("Environment perturbation", Deliberate, Environment, ReactiveExplicit, dev),
+            (
+                "Process replicas",
+                Deliberate,
+                Environment,
+                ReactiveImplicit,
+                FaultSet::MALICIOUS,
+            ),
+            ("Dynamic service substitution", Opportunistic, Code, ReactiveExplicit, dev),
+            (
+                "Fault fixing, genetic programming",
+                Opportunistic,
+                Code,
+                ReactiveExplicit,
+                FaultSet::BOHRBUGS,
+            ),
+            ("Automatic workarounds", Opportunistic, Code, ReactiveExplicit, dev),
+            (
+                "Checkpoint-recovery",
+                Opportunistic,
+                Environment,
+                ReactiveExplicit,
+                FaultSet::HEISENBUGS,
+            ),
+            (
+                "Reboot and micro-reboot",
+                Opportunistic,
+                Environment,
+                ReactiveExplicit,
+                FaultSet::HEISENBUGS,
+            ),
+        ];
+        let actual = entries();
+        assert_eq!(actual.len(), expected.len());
+        for (entry, (name, intention, redundancy, adjudication, faults)) in
+            actual.iter().zip(expected)
+        {
+            assert_eq!(entry.name, name);
+            assert_eq!(entry.classification.intention, intention, "{name}");
+            assert_eq!(entry.classification.redundancy, redundancy, "{name}");
+            assert_eq!(entry.classification.adjudication, adjudication, "{name}");
+            assert_eq!(entry.classification.faults, faults, "{name}");
+        }
+    }
+
+    #[test]
+    fn every_entry_has_citations_and_patterns() {
+        for entry in entries() {
+            assert!(!entry.citations.is_empty(), "{} lacks citations", entry.name);
+            assert!(!entry.patterns.is_empty(), "{} lacks patterns", entry.name);
+        }
+    }
+
+    #[test]
+    fn rendered_table_contains_every_row() {
+        let table = render();
+        for entry in entries() {
+            assert!(table.contains(entry.name), "missing {}", entry.name);
+        }
+        assert!(table.contains("deliberate"));
+        assert!(table.contains("opportunistic"));
+        assert!(table.contains("preventive"));
+    }
+
+    #[test]
+    fn deliberate_vs_opportunistic_split_matches_sections_4_and_5() {
+        let deliberate = entries()
+            .iter()
+            .filter(|e| e.classification.intention == Intention::Deliberate)
+            .count();
+        let opportunistic = entries()
+            .iter()
+            .filter(|e| e.classification.intention == Intention::Opportunistic)
+            .count();
+        assert_eq!(deliberate, 12);
+        assert_eq!(opportunistic, 5);
+    }
+}

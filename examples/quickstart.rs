@@ -1,0 +1,58 @@
+//! Quickstart: three-version programming in a dozen lines.
+//!
+//! Three "independently developed" implementations of a percentile
+//! function — one with a classic off-by-one — run under majority voting.
+//! The faulty version is outvoted on every input, including the ones
+//! where it disagrees.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use redundancy::core::adjudicator::voting::MajorityVoter;
+use redundancy::core::context::ExecContext;
+use redundancy::core::patterns::ParallelEvaluation;
+use redundancy::core::variant::pure_variant;
+
+fn main() {
+    // The specification: the 90th-percentile value of a data set.
+    // Team A sorts and indexes; Team B uses select-nth semantics; Team C
+    // has the classic off-by-one on the index.
+    let nvp = ParallelEvaluation::new(MajorityVoter::new())
+        .with_variant(pure_variant("team-a", 12, |xs: &Vec<u32>| {
+            let mut v = xs.clone();
+            v.sort_unstable();
+            v[(v.len() - 1) * 9 / 10]
+        }))
+        .with_variant(pure_variant("team-b", 15, |xs: &Vec<u32>| {
+            let mut v = xs.clone();
+            let idx = (v.len() - 1) * 9 / 10;
+            let (_, nth, _) = v.select_nth_unstable(idx);
+            *nth
+        }))
+        .with_variant(pure_variant("team-c", 10, |xs: &Vec<u32>| {
+            let mut v = xs.clone();
+            v.sort_unstable();
+            v[v.len() * 9 / 10] // off-by-one: panics or misses by one slot
+        }));
+
+    let mut ctx = ExecContext::new(42);
+    let mut outvoted = 0;
+    for round in 0..5u32 {
+        let data: Vec<u32> = (0..10 + round * 7).map(|i| (i * 37 + round) % 100).collect();
+        let report = nvp.run(&data, &mut ctx);
+        let disagreed = report
+            .outcomes
+            .iter()
+            .filter(|o| o.output() != report.output())
+            .count();
+        outvoted += disagreed;
+        println!(
+            "p90 of {:2} samples = {:>2?}   (support {}, outvoted {})",
+            data.len(),
+            report.output().expect("majority exists"),
+            report.outcomes.len() - disagreed,
+            disagreed,
+        );
+    }
+    println!("\nTeam C was outvoted {outvoted} times and never corrupted a result.");
+    println!("Total cost: {}", ctx.cost());
+}

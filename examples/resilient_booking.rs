@@ -1,0 +1,113 @@
+//! A self-healing service composition (the paper's web-service setting).
+//!
+//! A travel-booking BPEL process calls a flight-pricing service, a hotel
+//! service and a payment service. The primary flight provider is down,
+//! the hotel provider is flaky, and the payment provider only speaks a
+//! *similar* interface — the process survives through dynamic
+//! substitution (registration-order fail-over, retry, and an interface
+//! converter), exactly the Subramanian/Taher/Mosincat pipeline.
+//!
+//! Run with: `cargo run --example resilient_booking`
+
+use std::sync::Arc;
+
+use redundancy::core::context::ExecContext;
+use redundancy::services::process::{Activity, Binder, Engine, Expr, Vars};
+use redundancy::services::provider::SimProvider;
+use redundancy::services::registry::{Converter, InterfaceId, ServiceRegistry};
+use redundancy::services::value::Value;
+use redundancy::techniques::service_substitution::DynamicSubstitution;
+
+fn build_registry() -> ServiceRegistry {
+    let mut registry = ServiceRegistry::new();
+    // Flight pricing: the primary is dead, the secondary works.
+    registry.register(Arc::new(
+        SimProvider::builder("flights.primary", InterfaceId::new("flights"))
+            .fail_prob(1.0)
+            .operation("quote", |_, _| Ok(Value::Null))
+            .build(),
+    ));
+    registry.register(Arc::new(
+        SimProvider::builder("flights.backup", InterfaceId::new("flights"))
+            .latency(40, 5)
+            .operation("quote", |args, _| {
+                let pax = args[0].as_int().unwrap_or(1);
+                Ok(Value::Int(120 * pax))
+            })
+            .build(),
+    ));
+    // Hotels: one provider, transiently flaky — retry absorbs it.
+    registry.register(Arc::new(
+        SimProvider::builder("hotels.solo", InterfaceId::new("hotels"))
+            .fail_prob(0.5)
+            .latency(60, 10)
+            .operation("reserve", |args, _| {
+                let nights = args[0].as_int().unwrap_or(1);
+                Ok(Value::Int(80 * nights))
+            })
+            .build(),
+    ));
+    // Payments: only a *similar* legacy interface exists.
+    registry.register(Arc::new(
+        SimProvider::builder("legacy.pay", InterfaceId::new("legacy-payments"))
+            .operation("settle_cents", |args, _| {
+                let cents = args[0].as_int().unwrap_or(0);
+                Ok(Value::Str(format!("receipt#{}", cents / 100)))
+            })
+            .build(),
+    ));
+    registry.register_converter(
+        Converter::new(InterfaceId::new("payments"), InterfaceId::new("legacy-payments"))
+            .map_operation("charge", "settle_cents")
+            .adapt_args(|args| {
+                // The modern interface charges in whole currency units.
+                vec![Value::Int(args[0].as_int().unwrap_or(0) * 100)]
+            }),
+    );
+    registry
+}
+
+fn main() {
+    let registry = build_registry();
+    let mut ctx = ExecContext::new(7);
+
+    // Step 1+2 as a BPEL process with fail-over binding and retry.
+    let process = Activity::seq(vec![
+        Activity::invoke("flights", "quote", vec![Expr::Lit(Value::Int(2))], "flight_total"),
+        Activity::Retry {
+            inner: Box::new(Activity::invoke(
+                "hotels",
+                "reserve",
+                vec![Expr::Lit(Value::Int(3))],
+                "hotel_total",
+            )),
+            attempts: 8,
+        },
+    ]);
+    let engine = Engine::new(&registry).with_binder(Binder::Failover);
+    let mut vars = Vars::new();
+    engine
+        .run(&process, &mut vars, &mut ctx)
+        .expect("booking pipeline heals itself");
+    let flight = vars["flight_total"].as_int().expect("flight priced");
+    let hotel = vars["hotel_total"].as_int().expect("hotel reserved");
+    println!("flights: {flight}   (primary was down: substituted)");
+    println!("hotels:  {hotel}   (flaky provider: retried)");
+
+    // Step 3: payment through converter-based substitution.
+    let substitution = DynamicSubstitution::new(&registry);
+    let report = substitution
+        .invoke(
+            &InterfaceId::new("payments"),
+            "charge",
+            &[Value::Int(flight + hotel)],
+            &mut ctx,
+        )
+        .expect("payment heals through the converter");
+    println!(
+        "payment: {}  (served by {} via converter: {})",
+        report.value, report.served_by, report.converted
+    );
+    println!("\ntotal booking cost = {} currency units", flight + hotel);
+    println!("virtual latency     = {} ns", ctx.cost().virtual_ns);
+}

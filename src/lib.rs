@@ -1,0 +1,45 @@
+//! # `redundancy` — handling software faults with redundancy
+//!
+//! A comprehensive Rust implementation of the framework described by
+//! Carzaniga, Gorla and Pezzè in *Handling Software Faults with
+//! Redundancy*: a taxonomy-complete collection of fault-tolerance and
+//! self-healing techniques, the architectural patterns they instantiate,
+//! and the fault-injection and simulation substrates needed to measure
+//! them.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `redundancy-core` | taxonomy, variants, adjudicators, Figure 1 patterns |
+//! | [`faults`] | `redundancy-faults` | Bohrbug/Heisenbug/aging/malicious fault injection |
+//! | [`sandbox`] | `redundancy-sandbox` | simulated memory, processes, environments |
+//! | [`services`] | `redundancy-services` | service registry + BPEL-like process engine |
+//! | [`gp`] | `redundancy-gp` | mini-language + genetic programming engine |
+//! | [`techniques`] | `redundancy-techniques` | all 17 techniques of the paper's Table 2 |
+//! | [`sim`] | `redundancy-sim` | Monte-Carlo experiment harness and statistics |
+//!
+//! # Quickstart: outvoting a buggy version
+//!
+//! ```
+//! use redundancy::core::adjudicator::voting::MajorityVoter;
+//! use redundancy::core::context::ExecContext;
+//! use redundancy::core::patterns::ParallelEvaluation;
+//! use redundancy::core::variant::pure_variant;
+//!
+//! let nvp = ParallelEvaluation::new(MajorityVoter::new())
+//!     .with_variant(pure_variant("team-a", 10, |x: &i64| x + 1))
+//!     .with_variant(pure_variant("team-b", 11, |x: &i64| x + 1))
+//!     .with_variant(pure_variant("team-c", 9, |x: &i64| x + 2)); // bug
+//!
+//! let mut ctx = ExecContext::new(1);
+//! assert_eq!(nvp.run(&41, &mut ctx).into_output(), Some(42));
+//! ```
+
+pub use redundancy_core as core;
+pub use redundancy_faults as faults;
+pub use redundancy_gp as gp;
+pub use redundancy_sandbox as sandbox;
+pub use redundancy_services as services;
+pub use redundancy_sim as sim;
+pub use redundancy_techniques as techniques;

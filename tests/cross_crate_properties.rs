@@ -1,0 +1,123 @@
+//! Cross-crate property tests: invariants that must hold across the
+//! whole stack, checked with proptest.
+
+use proptest::prelude::*;
+
+use redundancy::core::adjudicator::voting::MajorityVoter;
+use redundancy::core::context::ExecContext;
+use redundancy::core::patterns::{ExecutionMode, ParallelEvaluation};
+use redundancy::core::rng::SplitMix64;
+use redundancy::faults::correlation::{correlated_versions, CorrelatedSuite};
+use redundancy::faults::variant::input_key;
+use redundancy::techniques::data_diversity::ReExpression;
+use redundancy::techniques::nvariant_data::NVariantCell;
+use redundancy::techniques::workarounds::container::{rules, Container, Op};
+use redundancy::techniques::workarounds::{OpSystem, WorkaroundEngine};
+
+proptest! {
+    /// Full experiment determinism: the same seed reproduces an entire
+    /// NVP campaign bit for bit, in both execution modes.
+    #[test]
+    fn nvp_campaigns_are_reproducible(seed in 0u64..1000, density in 0.0f64..0.5) {
+        let run = |mode| {
+            let versions = correlated_versions(
+                CorrelatedSuite::new(3, density, 0.0, seed),
+                |x: &u64| x * 7,
+                |c, rng| c ^ (1 + rng.next_u64() % 1024),
+            );
+            let mut pattern = ParallelEvaluation::new(MajorityVoter::new()).with_mode(mode);
+            for v in versions {
+                pattern.push_variant(v);
+            }
+            let mut ctx = ExecContext::new(seed);
+            (0..50u64)
+                .map(|x| pattern.run(&x, &mut ctx).into_output())
+                .collect::<Vec<_>>()
+        };
+        let a = run(ExecutionMode::Sequential);
+        let b = run(ExecutionMode::Sequential);
+        prop_assert_eq!(&a, &b, "sequential runs must match");
+        let c = run(ExecutionMode::Threaded);
+        prop_assert_eq!(&a, &c, "threaded must match sequential");
+    }
+
+    /// Input keys are stable across representations of equal values and
+    /// well distributed.
+    #[test]
+    fn input_keys_respect_equality(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(input_key(&a), input_key(&a));
+        if a != b {
+            prop_assert_ne!(input_key(&a), input_key(&b));
+        }
+    }
+
+    /// Exact re-expressions commute with any linear golden function.
+    #[test]
+    fn reexpressions_are_exact_for_linear_functions(
+        k in 1u64..1000,
+        m in 1u64..50,
+        c in 0u64..1000,
+        x in 0u64..1_000_000,
+    ) {
+        let f = move |v: &u64| m * v + c;
+        let re: ReExpression<u64, u64> = ReExpression::new(
+            "shift",
+            move |v: &u64| v + k,
+            move |y: u64| y - m * k,
+        );
+        prop_assert_eq!(re.decode(f(&re.encode(&x))), f(&x));
+    }
+
+    /// N-variant cells: legitimate writes always read back; uniform
+    /// overwrites are always detected (for any payload and seed).
+    #[test]
+    fn nvariant_roundtrip_and_detection(
+        seed in any::<u64>(),
+        value in any::<u64>(),
+        payload in any::<u64>(),
+        n in 2usize..6,
+    ) {
+        let mut cell = NVariantCell::new(n, seed);
+        cell.write(value);
+        prop_assert_eq!(cell.read(), Ok(value));
+        cell.attack_overwrite(payload);
+        prop_assert!(cell.read().is_err());
+    }
+
+    /// Every workaround the engine reports actually executes successfully
+    /// on the faulty system and is semantically equivalent on a clean one.
+    #[test]
+    fn workarounds_are_sound(fault_len in 1usize..3, seq_len in 2usize..5) {
+        let seq: Vec<Op> = (0..seq_len).map(|_| Op::Add).collect();
+        let mut faulty = Container::new().with_fault(Op::Add, fault_len);
+        if faulty.execute(&seq).is_ok() {
+            return Ok(()); // fault did not manifest on this scenario
+        }
+        let engine = WorkaroundEngine::new(rules());
+        if let Ok(found) = engine.find_workaround(&mut faulty, &seq) {
+            // Executes on the faulty system:
+            let mut again = Container::new().with_fault(Op::Add, fault_len);
+            let healed = again.execute(&found.sequence);
+            prop_assert!(healed.is_ok());
+            // Equivalent on a clean system:
+            let mut clean1 = Container::new();
+            let mut clean2 = Container::new();
+            prop_assert_eq!(clean1.execute(&seq), clean2.execute(&found.sequence));
+        }
+    }
+
+    /// The splittable RNG never yields correlated parallel streams: two
+    /// forks of the same context disagree on essentially every draw.
+    #[test]
+    fn forked_streams_are_uncorrelated(seed in any::<u64>()) {
+        let ctx = ExecContext::new(seed);
+        let mut a = ctx.fork(1);
+        let mut b = ctx.fork(2);
+        let equal = (0..64).filter(|_| a.rng().next_u64() == b.rng().next_u64()).count();
+        prop_assert_eq!(equal, 0);
+        let mut r = SplitMix64::new(seed);
+        let mut s = r.split();
+        let equal = (0..64).filter(|_| r.next_u64() == s.next_u64()).count();
+        prop_assert_eq!(equal, 0);
+    }
+}

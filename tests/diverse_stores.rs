@@ -1,0 +1,162 @@
+//! Integration test: N-version programming over diverse "SQL servers"
+//! (Gashi et al., paper §4.1).
+//!
+//! The paper notes that applying NVP to off-the-shelf database servers is
+//! attractive (the interface is standard, diverse implementations already
+//! exist) **but** "reconciling the output … of multiple, heterogeneous
+//! servers may not be trivial, due to concurrent scheduling and other
+//! sources of non-determinism". This test reproduces exactly that
+//! subtlety: three diverse store implementations return the same logical
+//! result set in different physical orders, so naive equality voting
+//! sees spurious disagreement — and canonicalizing results before the
+//! vote restores NVP's fault-masking power.
+
+use std::collections::{BTreeMap, HashMap};
+
+use redundancy::core::adjudicator::voting::MajorityVoter;
+use redundancy::core::context::ExecContext;
+use redundancy::core::patterns::ParallelEvaluation;
+use redundancy::core::variant::{BoxedVariant, FnVariant};
+
+/// A query against the stores: all values with key in `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RangeQuery {
+    lo: u32,
+    hi: u32,
+}
+
+type Row = (u32, String);
+
+fn dataset() -> Vec<Row> {
+    (0..40u32)
+        .map(|k| (k * 7 % 100, format!("value-{}", k * 7 % 100)))
+        .collect()
+}
+
+/// Store A: ordered (BTreeMap) — rows come back sorted by key.
+fn store_a() -> BoxedVariant<RangeQuery, Vec<Row>> {
+    let table: BTreeMap<u32, String> = dataset().into_iter().collect();
+    Box::new(FnVariant::new("btree-store", move |q: &RangeQuery, _: &mut ExecContext| {
+        Ok(table
+            .range(q.lo..q.hi)
+            .map(|(k, v)| (*k, v.clone()))
+            .collect())
+    }))
+}
+
+/// Store B: hash-based — rows come back in an implementation-defined
+/// order that differs from Store A's.
+fn store_b() -> BoxedVariant<RangeQuery, Vec<Row>> {
+    let table: HashMap<u32, String> = dataset().into_iter().collect();
+    Box::new(FnVariant::new("hash-store", move |q: &RangeQuery, _: &mut ExecContext| {
+        let mut rows: Vec<Row> = table
+            .iter()
+            .filter(|(k, _)| (q.lo..q.hi).contains(k))
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        // Deterministic but non-sorted order (reverse insertion-ish).
+        rows.sort_by_key(|(k, _)| std::cmp::Reverse(*k));
+        Ok(rows)
+    }))
+}
+
+/// Store C: log-structured scan with a faulty boundary (a real bug: the
+/// upper bound is treated inclusively).
+fn store_c_buggy() -> BoxedVariant<RangeQuery, Vec<Row>> {
+    let log: Vec<Row> = dataset();
+    Box::new(FnVariant::new("log-store-buggy", move |q: &RangeQuery, _: &mut ExecContext| {
+        Ok(log
+            .iter()
+            .filter(|(k, _)| *k >= q.lo && *k <= q.hi) // bug: inclusive hi
+            .cloned()
+            .collect())
+    }))
+}
+
+fn canonicalize(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+/// Wraps a store so its result set is canonicalized before adjudication
+/// (Gashi's reconciliation middleware).
+fn canonicalized(inner: BoxedVariant<RangeQuery, Vec<Row>>) -> BoxedVariant<RangeQuery, Vec<Row>> {
+    let name = format!("{}+canon", inner.name());
+    Box::new(FnVariant::new(name, move |q: &RangeQuery, ctx: &mut ExecContext| {
+        inner.execute(q, ctx).map(canonicalize)
+    }))
+}
+
+fn queries() -> Vec<RangeQuery> {
+    (0..30u32)
+        .map(|i| RangeQuery {
+            lo: i * 3 % 50,
+            hi: i * 3 % 50 + 20,
+        })
+        .collect()
+}
+
+#[test]
+fn naive_voting_is_defeated_by_result_order_nondeterminism() {
+    let nvp = ParallelEvaluation::new(MajorityVoter::new())
+        .with_variant(store_a())
+        .with_variant(store_b())
+        .with_variant(store_c_buggy());
+    let mut ctx = ExecContext::new(1);
+    let mut rejected = 0;
+    for q in queries() {
+        if !nvp.run(&q, &mut ctx).is_accepted() {
+            rejected += 1;
+        }
+    }
+    // Stores A and B disagree on *order* for every non-trivial result
+    // set, so most queries find no majority even though two stores are
+    // logically correct.
+    assert!(rejected > 20, "only {rejected}/30 rejected");
+}
+
+#[test]
+fn canonicalization_restores_fault_masking() {
+    let nvp = ParallelEvaluation::new(MajorityVoter::new())
+        .with_variant(canonicalized(store_a()))
+        .with_variant(canonicalized(store_b()))
+        .with_variant(canonicalized(store_c_buggy()));
+    let mut ctx = ExecContext::new(2);
+    for q in queries() {
+        let report = nvp.run(&q, &mut ctx);
+        let expected: Vec<Row> = canonicalize(
+            dataset()
+                .into_iter()
+                .filter(|(k, _)| (q.lo..q.hi).contains(k))
+                .collect(),
+        );
+        assert_eq!(
+            report.into_output().as_ref(),
+            Some(&expected),
+            "query {q:?}: the two correct stores must outvote the boundary bug"
+        );
+    }
+}
+
+#[test]
+fn the_buggy_store_alone_would_corrupt_results() {
+    // Sanity: the seeded boundary bug actually manifests — on queries
+    // where a row sits exactly at `hi`.
+    let buggy = store_c_buggy();
+    let mut ctx = ExecContext::new(3);
+    let mut wrong = 0;
+    for q in queries() {
+        let rows = canonicalize(buggy.execute(&q, &mut ctx).unwrap());
+        let expected: Vec<Row> = canonicalize(
+            dataset()
+                .into_iter()
+                .filter(|(k, _)| (q.lo..q.hi).contains(k))
+                .collect(),
+        );
+        if rows != expected {
+            wrong += 1;
+        }
+    }
+    assert!(wrong > 5, "bug manifested on only {wrong}/30 queries");
+}

@@ -1,0 +1,121 @@
+//! Integration test: fault injection → patterns → adjudication →
+//! Monte-Carlo measurement, across crates, sequential and threaded.
+
+use redundancy::core::adjudicator::acceptance::FnAcceptance;
+use redundancy::core::adjudicator::voting::MajorityVoter;
+use redundancy::core::context::ExecContext;
+use redundancy::core::cost::Cost;
+use redundancy::core::patterns::{ExecutionMode, ParallelEvaluation, SequentialAlternatives};
+use redundancy::core::variant::BoxedVariant;
+use redundancy::faults::correlation::{correlated_versions, CorrelatedSuite};
+use redundancy::faults::{FaultSpec, FaultyVariant};
+use redundancy::sim::trial::{Campaign, TrialOutcome};
+
+fn golden(x: &u64) -> u64 {
+    x.rotate_left(3) ^ 0x5a5a
+}
+
+fn three_versions(seed: u64) -> Vec<BoxedVariant<u64, u64>> {
+    correlated_versions(CorrelatedSuite::new(3, 0.2, 0.0, seed), golden, |c, rng| {
+        c ^ (1 + rng.next_u64() % 0xffff)
+    })
+}
+
+#[test]
+fn campaign_measures_nvp_reliability_with_confidence_interval() {
+    let mut pattern = ParallelEvaluation::new(MajorityVoter::new());
+    for v in three_versions(0x77) {
+        pattern.push_variant(v);
+    }
+    let summary = Campaign::new(2_000).run(123, |seed, trial| {
+        let mut ctx = ExecContext::new(seed);
+        let input = trial as u64;
+        let report = pattern.run(&input, &mut ctx);
+        let cost = ctx.cost();
+        match report.into_output() {
+            Some(out) if out == golden(&input) => TrialOutcome::Correct { cost },
+            Some(_) => TrialOutcome::Undetected { cost },
+            None => TrialOutcome::Detected { cost },
+        }
+    });
+    // Binomial prediction at p = 0.2 with disagreeing wrong values:
+    // correct needs >= 2 correct versions = 0.896.
+    assert!(
+        summary.reliability.lo < 0.896 && 0.896 < summary.reliability.hi,
+        "CI {:?} should cover the prediction",
+        summary.reliability
+    );
+    // Undetected failures require two versions to agree on a wrong value
+    // — essentially impossible with XOR-random corruption.
+    assert!(summary.undetected.rate < 0.01);
+    assert!(summary.invocations.mean > 2.99);
+}
+
+#[test]
+fn threaded_and_sequential_modes_agree_trial_by_trial() {
+    let build = |mode| {
+        let mut p = ParallelEvaluation::new(MajorityVoter::new()).with_mode(mode);
+        for v in three_versions(0x88) {
+            p.push_variant(v);
+        }
+        p
+    };
+    let seq = build(ExecutionMode::Sequential);
+    let thr = build(ExecutionMode::Threaded);
+    for x in 0..200u64 {
+        let mut c1 = ExecContext::new(x);
+        let mut c2 = ExecContext::new(x);
+        assert_eq!(
+            seq.run(&x, &mut c1).verdict,
+            thr.run(&x, &mut c2).verdict,
+            "divergence at input {x}"
+        );
+    }
+}
+
+#[test]
+fn recovery_block_stack_handles_heisenbugs_under_fuel_budgets() {
+    // A hanging primary is cut off by the fuel budget and the alternate
+    // delivers: timeouts integrate with the sequential pattern.
+    let hanging: BoxedVariant<u64, u64> = FaultyVariant::builder("hanger", 10, golden)
+        .fault(FaultSpec::new(
+            "hang",
+            redundancy::faults::Activation::Probabilistic { p: 0.5 },
+            redundancy::faults::FaultEffect::Hang,
+        ))
+        .build_boxed();
+    let backup: BoxedVariant<u64, u64> = FaultyVariant::builder("backup", 10, golden)
+        .build_boxed();
+    let pattern = SequentialAlternatives::new(FnAcceptance::new("any", |_: &u64, _: &u64| true))
+        .with_variant(hanging)
+        .with_variant(backup);
+    let mut failures = 0;
+    for x in 0..500u64 {
+        let mut ctx = ExecContext::with_fuel(x, 100);
+        match pattern.run(&x, &mut ctx).into_output() {
+            Some(out) => assert_eq!(out, golden(&x)),
+            None => failures += 1,
+        }
+    }
+    assert_eq!(failures, 0, "the backup must always deliver");
+}
+
+#[test]
+fn campaign_summaries_are_reproducible() {
+    let run = || {
+        Campaign::new(500).run(42, |seed, _| {
+            let mut ctx = ExecContext::new(seed);
+            let coin = ctx.rng().chance(0.3);
+            let cost = Cost::of_invocation(1, 1);
+            if coin {
+                TrialOutcome::Detected { cost }
+            } else {
+                TrialOutcome::Correct { cost }
+            }
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.reliability, b.reliability);
+    assert_eq!(a.detected, b.detected);
+}

@@ -1,0 +1,157 @@
+//! Integration test: the full service stack — registry, BPEL-like
+//! engine, substitution, and NVP-over-services (the paper's WS-FTM /
+//! Dobson scenarios).
+
+use std::sync::Arc;
+
+use redundancy::core::adjudicator::voting::MajorityVoter;
+use redundancy::core::context::ExecContext;
+use redundancy::core::outcome::VariantFailure;
+use redundancy::core::patterns::ParallelEvaluation;
+use redundancy::core::variant::{BoxedVariant, FnVariant};
+use redundancy::services::process::{Activity, Binder, Engine, Expr, Vars};
+use redundancy::services::provider::{Provider, ServiceError, SimProvider};
+use redundancy::services::registry::{InterfaceId, ServiceRegistry};
+use redundancy::services::value::Value;
+use redundancy::techniques::service_substitution::DynamicSubstitution;
+
+/// Wraps a service invocation as a `Variant` so the core patterns can
+/// vote over independent service implementations (Looker's WS-FTM).
+fn service_variant(
+    provider: Arc<dyn Provider>,
+    operation: &'static str,
+) -> BoxedVariant<i64, Value> {
+    let name = provider.id().to_owned();
+    Box::new(FnVariant::new(name, move |x: &i64, ctx: &mut ExecContext| {
+        provider
+            .invoke(operation, &[Value::Int(*x)], ctx)
+            .map_err(|e| VariantFailure::error(e.to_string()))
+    }))
+}
+
+fn voting_registry() -> ServiceRegistry {
+    let mut registry = ServiceRegistry::new();
+    for (id, bias) in [("sq.a", 0i64), ("sq.b", 0), ("sq.buggy", 1)] {
+        registry.register(Arc::new(
+            SimProvider::builder(id, InterfaceId::new("square"))
+                .operation("square", move |args, _| {
+                    let x = args[0].as_int().ok_or_else(|| {
+                        ServiceError::BadRequest("int expected".into())
+                    })?;
+                    Ok(Value::Int(x * x + bias))
+                })
+                .build(),
+        ));
+    }
+    registry
+}
+
+#[test]
+fn nvp_over_independent_service_implementations() {
+    let registry = voting_registry();
+    let mut nvp = ParallelEvaluation::new(MajorityVoter::new());
+    for provider in registry.providers_of(&InterfaceId::new("square")) {
+        nvp.push_variant(service_variant(provider, "square"));
+    }
+    let mut ctx = ExecContext::new(1);
+    for x in -20i64..20 {
+        let report = nvp.run(&x, &mut ctx);
+        assert_eq!(report.into_output(), Some(Value::Int(x * x)), "input {x}");
+    }
+}
+
+#[test]
+fn bpel_process_with_substitution_binder_survives_outages() {
+    let mut registry = ServiceRegistry::new();
+    for (id, fail) in [("geo.primary", 1.0f64), ("geo.mirror", 0.0)] {
+        registry.register(Arc::new(
+            SimProvider::builder(id, InterfaceId::new("geo"))
+                .fail_prob(fail)
+                .operation("locate", |args, _| {
+                    Ok(Value::Str(format!("loc:{}", args[0])))
+                })
+                .build(),
+        ));
+    }
+    let engine = Engine::new(&registry).with_binder(Binder::Failover);
+    let process = Activity::seq(vec![
+        Activity::Assign {
+            var: "query".into(),
+            expr: Expr::Lit(Value::Int(7)),
+        },
+        Activity::invoke("geo", "locate", vec![Expr::Var("query".into())], "place"),
+    ]);
+    let mut vars = Vars::new();
+    let mut ctx = ExecContext::new(2);
+    engine.run(&process, &mut vars, &mut ctx).expect("fail-over");
+    assert_eq!(vars["place"], Value::Str("loc:7".into()));
+}
+
+#[test]
+fn substitution_runtime_reports_provenance() {
+    let registry = voting_registry();
+    let substitution = DynamicSubstitution::new(&registry);
+    let mut ctx = ExecContext::new(3);
+    let report = substitution
+        .invoke(&InterfaceId::new("square"), "square", &[Value::Int(4)], &mut ctx)
+        .expect("some provider serves");
+    assert_eq!(report.value, Value::Int(16));
+    assert_eq!(report.served_by, "sq.a");
+    assert_eq!(report.substitutions, 0);
+}
+
+#[test]
+fn parallel_flow_collects_independent_results() {
+    let registry = voting_registry();
+    let engine = Engine::new(&registry);
+    let process = Activity::Flow(vec![
+        Activity::invoke("square", "square", vec![Expr::Lit(Value::Int(3))], "a"),
+        Activity::invoke("square", "square", vec![Expr::Lit(Value::Int(5))], "b"),
+    ]);
+    let mut vars = Vars::new();
+    let mut ctx = ExecContext::new(4);
+    engine.run(&process, &mut vars, &mut ctx).expect("flow runs");
+    assert_eq!(vars["a"], Value::Int(9));
+    assert_eq!(vars["b"], Value::Int(25));
+}
+
+#[test]
+fn recovery_registry_protects_a_composite_process() {
+    use redundancy::services::recovery::{
+        FailureMatch, RecoveredRun, RecoveryRegistry, RecoveryRule,
+    };
+
+    let mut registry = ServiceRegistry::new();
+    registry.register(Arc::new(
+        SimProvider::builder("inventory.live", InterfaceId::new("inventory"))
+            .fail_prob(1.0) // the warehouse system is down
+            .operation("reserve", |_, _| Ok(Value::Null))
+            .build(),
+    ));
+    registry.register(Arc::new(
+        SimProvider::builder("backorder", InterfaceId::new("backorder"))
+            .operation("enqueue", |args, _| {
+                Ok(Value::Str(format!("backorder:{}", args[0])))
+            })
+            .build(),
+    ));
+    let engine = Engine::new(&registry);
+    let recovery = RecoveryRegistry::new().with_rule(RecoveryRule::new(
+        "backorder-on-outage",
+        FailureMatch::Interface(InterfaceId::new("inventory")),
+        Activity::invoke("backorder", "enqueue", vec![Expr::Var("sku".into())], "ticket"),
+    ));
+    let process = Activity::seq(vec![
+        Activity::Assign {
+            var: "sku".into(),
+            expr: Expr::Lit(Value::Int(1234)),
+        },
+        Activity::invoke("inventory", "reserve", vec![Expr::Var("sku".into())], "hold"),
+    ]);
+    let mut vars = Vars::new();
+    let mut ctx = ExecContext::new(11);
+    let run = recovery.run_protected(&engine, &process, &mut vars, &mut ctx);
+    assert!(run.is_ok());
+    assert!(matches!(run, RecoveredRun::Recovered { .. }));
+    assert_eq!(vars["ticket"], Value::Str("backorder:1234".into()));
+}

@@ -1,0 +1,102 @@
+//! Integration test: the implemented technique registry reproduces the
+//! paper's Table 2 exactly, and the rendered tables carry every row.
+
+use redundancy::core::taxonomy::{Adjudication, FaultClass, Intention, RedundancyType};
+use redundancy::techniques::table2;
+
+#[test]
+fn seventeen_techniques_are_registered() {
+    assert_eq!(table2::entries().len(), 17);
+}
+
+#[test]
+fn every_dimension_value_is_exercised_by_some_technique() {
+    let entries = table2::entries();
+    for intention in Intention::ALL {
+        assert!(
+            entries.iter().any(|e| e.classification.intention == intention),
+            "no technique with intention {intention}"
+        );
+    }
+    for redundancy in RedundancyType::ALL {
+        assert!(
+            entries.iter().any(|e| e.classification.redundancy == redundancy),
+            "no technique with type {redundancy}"
+        );
+    }
+    for adjudication in Adjudication::ALL {
+        assert!(
+            entries
+                .iter()
+                .any(|e| e.classification.adjudication == adjudication),
+            "no technique with adjudication {adjudication}"
+        );
+    }
+    for class in FaultClass::ALL {
+        assert!(
+            entries.iter().any(|e| e.classification.faults.contains(class)),
+            "no technique addressing {class}"
+        );
+    }
+}
+
+#[test]
+fn paper_structure_is_respected() {
+    let entries = table2::entries();
+    // §4 deliberate rows come before §5 opportunistic rows.
+    let first_opportunistic = entries
+        .iter()
+        .position(|e| e.classification.intention == Intention::Opportunistic)
+        .expect("opportunistic techniques exist");
+    assert!(entries[..first_opportunistic]
+        .iter()
+        .all(|e| e.classification.intention == Intention::Deliberate));
+    assert!(entries[first_opportunistic..]
+        .iter()
+        .all(|e| e.classification.intention == Intention::Opportunistic));
+    // Within §4, code rows precede data rows precede environment rows.
+    let deliberate: Vec<RedundancyType> = entries[..first_opportunistic]
+        .iter()
+        .map(|e| e.classification.redundancy)
+        .collect();
+    let mut sorted = deliberate.clone();
+    sorted.sort();
+    assert_eq!(deliberate, sorted, "section order within §4");
+}
+
+#[test]
+fn rendered_table_is_complete_and_aligned() {
+    let rendered = table2::render();
+    let lines: Vec<&str> = rendered.lines().collect();
+    assert_eq!(lines.len(), 2 + 17, "header + rule + 17 rows");
+    for entry in table2::entries() {
+        assert!(rendered.contains(entry.name));
+    }
+    // Every row is exactly as wide as its content; the header rule spans
+    // the full width.
+    let width = lines[1].len();
+    assert!(lines.iter().all(|l| l.len() <= width));
+}
+
+#[test]
+fn preventive_techniques_are_exactly_wrappers_and_rejuvenation() {
+    let preventive: Vec<&str> = table2::entries()
+        .iter()
+        .filter(|e| e.classification.adjudication == Adjudication::Preventive)
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(preventive, vec!["Wrappers", "Rejuvenation"]);
+}
+
+#[test]
+fn malicious_faults_are_addressed_only_by_the_three_security_rows() {
+    let against_malicious: Vec<&str> = table2::entries()
+        .iter()
+        .filter(|e| e.classification.faults.contains(FaultClass::Malicious))
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(
+        against_malicious,
+        vec!["Wrappers", "Data diversity for security", "Process replicas"]
+    );
+}
