@@ -1,0 +1,24 @@
+# Developer entry points. `make verify` is the gate CI and contributors
+# run before pushing: formatting, lints as errors, and the full test
+# suite.
+
+CARGO ?= cargo
+
+.PHONY: verify fmt clippy test build bench
+
+verify: fmt clippy test
+
+fmt:
+	$(CARGO) fmt --check
+
+clippy:
+	$(CARGO) clippy --workspace -- -D warnings
+
+test:
+	$(CARGO) test -q
+
+build:
+	$(CARGO) build --release
+
+bench:
+	$(CARGO) bench --workspace

@@ -29,14 +29,19 @@ fn bench_patterns(c: &mut Criterion) {
             let mut ctx = ExecContext::new(1);
             b.iter(|| p.run(std::hint::black_box(&7), &mut ctx).into_output());
         });
-        group.bench_with_input(BenchmarkId::new("sequential_alternatives", n), &n, |b, &n| {
-            let mut p = SequentialAlternatives::new(FnAcceptance::new("any", |_: &u64, _: &u64| true));
-            for i in 0..n {
-                p.push_variant(pure_variant(&format!("v{i}"), 10, |x: &u64| x * 2));
-            }
-            let mut ctx = ExecContext::new(1);
-            b.iter(|| p.run(std::hint::black_box(&7), &mut ctx).into_output());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential_alternatives", n),
+            &n,
+            |b, &n| {
+                let mut p =
+                    SequentialAlternatives::new(FnAcceptance::new("any", |_: &u64, _: &u64| true));
+                for i in 0..n {
+                    p.push_variant(pure_variant(&format!("v{i}"), 10, |x: &u64| x * 2));
+                }
+                let mut ctx = ExecContext::new(1);
+                b.iter(|| p.run(std::hint::black_box(&7), &mut ctx).into_output());
+            },
+        );
     }
     group.finish();
 }

@@ -1,7 +1,7 @@
 //! Runs every experiment regenerator in sequence (the full reproduction).
 
-use redundancy_bench::{default_seed, default_trials};
 use redundancy_bench::experiments as exp;
+use redundancy_bench::{default_seed, default_trials};
 
 fn main() {
     let trials = default_trials();

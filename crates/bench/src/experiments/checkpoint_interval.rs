@@ -54,12 +54,22 @@ pub fn run(repetitions: usize, seed: u64) -> Table {
             label,
             format!(
                 "{:.0}",
-                mean_completion(interval, total_work, checkpoint_cost, fail_prob, repetitions, seed)
+                mean_completion(
+                    interval,
+                    total_work,
+                    checkpoint_cost,
+                    fail_prob,
+                    repetitions,
+                    seed
+                )
             ),
         ]);
     }
     table.row_owned(vec![
-        format!("(Young's rule: {:.0})", young_interval(checkpoint_cost, fail_prob)),
+        format!(
+            "(Young's rule: {:.0})",
+            young_interval(checkpoint_cost, fail_prob)
+        ),
         String::new(),
     ]);
     table

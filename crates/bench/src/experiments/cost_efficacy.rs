@@ -216,7 +216,12 @@ mod tests {
             rb.mean_latency
         );
         // But it pays NVP-like execution cost.
-        assert!(sc.mean_work > rb.mean_work, "sc {} vs rb {}", sc.mean_work, rb.mean_work);
+        assert!(
+            sc.mean_work > rb.mean_work,
+            "sc {} vs rb {}",
+            sc.mean_work,
+            rb.mean_work
+        );
     }
 
     #[test]

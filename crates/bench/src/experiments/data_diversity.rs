@@ -110,7 +110,10 @@ mod tests {
     fn retry_tracks_the_independence_prediction() {
         let r3 = retry_rate(3, T, SEED);
         let prediction = 1.0 - DENSITY.powi(4);
-        assert!((r3 - prediction).abs() < 0.04, "r3={r3}, predicted {prediction}");
+        assert!(
+            (r3 - prediction).abs() < 0.04,
+            "r3={r3}, predicted {prediction}"
+        );
     }
 
     #[test]

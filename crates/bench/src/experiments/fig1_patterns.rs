@@ -7,9 +7,12 @@
 //! the parallel patterns win on latency under failures (critical path vs
 //! sum of attempts).
 
+use std::sync::Arc;
+
 use redundancy_core::adjudicator::acceptance::FnAcceptance;
 use redundancy_core::adjudicator::voting::MajorityVoter;
 use redundancy_core::context::ExecContext;
+use redundancy_core::obs::{ObsHandle, Observer};
 use redundancy_core::patterns::{ParallelEvaluation, ParallelSelection, SequentialAlternatives};
 use redundancy_core::variant::BoxedVariant;
 use redundancy_faults::correlation::{correlated_versions, CorrelatedSuite};
@@ -42,11 +45,14 @@ fn acceptance() -> FnAcceptance<impl Fn(&u64, &u64) -> bool> {
 }
 
 /// Measures one pattern given a closure running a single request.
-fn measure<F>(trials: usize, seed: u64, mut run_one: F) -> PatternStats
+fn measure<F>(trials: usize, seed: u64, obs: Option<&ObsHandle>, mut run_one: F) -> PatternStats
 where
     F: FnMut(&u64, &mut ExecContext) -> Option<u64>,
 {
-    let mut ctx = ExecContext::new(seed);
+    let mut ctx = match obs {
+        Some(handle) => ExecContext::new(seed).with_obs_handle(handle.clone()),
+        None => ExecContext::new(seed),
+    };
     let mut correct = 0;
     let mut work = 0u64;
     let mut latency = 0u64;
@@ -68,37 +74,52 @@ where
 
 /// Measures parallel evaluation (Figure 1a).
 #[must_use]
-pub fn parallel_evaluation(trials: usize, seed: u64) -> PatternStats {
+pub fn parallel_evaluation(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> PatternStats {
     let mut pattern = ParallelEvaluation::new(MajorityVoter::new());
     for v in versions(seed) {
         pattern.push_variant(v);
     }
-    measure(trials, seed, |x, ctx| pattern.run(x, ctx).into_output())
+    measure(trials, seed, obs, |x, ctx| {
+        pattern.run(x, ctx).into_output()
+    })
 }
 
 /// Measures parallel selection (Figure 1b).
 #[must_use]
-pub fn parallel_selection(trials: usize, seed: u64) -> PatternStats {
+pub fn parallel_selection(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> PatternStats {
     let mut pattern = ParallelSelection::new();
     for v in versions(seed) {
         pattern.push_component(v, Box::new(acceptance()));
     }
-    measure(trials, seed, |x, ctx| pattern.run(x, ctx).into_output())
+    measure(trials, seed, obs, |x, ctx| {
+        pattern.run(x, ctx).into_output()
+    })
 }
 
 /// Measures sequential alternatives (Figure 1c).
 #[must_use]
-pub fn sequential_alternatives(trials: usize, seed: u64) -> PatternStats {
+pub fn sequential_alternatives(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> PatternStats {
     let mut pattern = SequentialAlternatives::new(acceptance());
     for v in versions(seed) {
         pattern.push_variant(v);
     }
-    measure(trials, seed, |x, ctx| pattern.run(x, ctx).into_output())
+    measure(trials, seed, obs, |x, ctx| {
+        pattern.run(x, ctx).into_output()
+    })
 }
 
 /// Builds the Figure 1 comparison table.
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Table {
+    run_traced(trials, seed, None)
+}
+
+/// Like [`run`], with every request recorded to `observer` when one is
+/// given (what `exp_fig1 --trace` uses).
+#[must_use]
+pub fn run_traced(trials: usize, seed: u64, observer: Option<Arc<dyn Observer>>) -> Table {
+    let handle = observer.map(ObsHandle::new);
+    let obs = handle.as_ref();
     let mut table = Table::new(&[
         "Pattern (Figure 1)",
         "Adjudicator",
@@ -110,17 +131,17 @@ pub fn run(trials: usize, seed: u64) -> Table {
         (
             "(a) parallel evaluation",
             "implicit majority vote",
-            parallel_evaluation(trials, seed),
+            parallel_evaluation(trials, seed, obs),
         ),
         (
             "(b) parallel selection",
             "explicit per-component test",
-            parallel_selection(trials, seed),
+            parallel_selection(trials, seed, obs),
         ),
         (
             "(c) sequential alternatives",
             "explicit shared test",
-            sequential_alternatives(trials, seed),
+            sequential_alternatives(trials, seed, obs),
         ),
     ] {
         table.row_owned(vec![
@@ -146,11 +167,11 @@ mod tests {
         // Majority voting needs >= 2 correct versions: P = 0.844 at
         // density 0.25. The selection/sequential patterns need just one
         // acceptable result: P = 1 - 0.25^3 = 0.984.
-        let eval = parallel_evaluation(T, SEED);
+        let eval = parallel_evaluation(T, SEED, None);
         assert!((eval.reliability - 0.844).abs() < 0.04, "eval: {eval:?}");
         for (name, s) in [
-            ("select", parallel_selection(T, SEED)),
-            ("seq", sequential_alternatives(T, SEED)),
+            ("select", parallel_selection(T, SEED, None)),
+            ("seq", sequential_alternatives(T, SEED, None)),
         ] {
             assert!(s.reliability > 0.95, "{name}: {s:?}");
         }
@@ -158,8 +179,8 @@ mod tests {
 
     #[test]
     fn sequential_is_cheapest_in_work() {
-        let eval = parallel_evaluation(T, SEED);
-        let seq = sequential_alternatives(T, SEED);
+        let eval = parallel_evaluation(T, SEED, None);
+        let seq = sequential_alternatives(T, SEED, None);
         assert!(
             seq.mean_work < eval.mean_work * 0.7,
             "seq {seq:?} vs eval {eval:?}"
@@ -168,8 +189,8 @@ mod tests {
 
     #[test]
     fn parallel_latency_beats_sequential_under_failures() {
-        let select = parallel_selection(T, SEED);
-        let seq = sequential_alternatives(T, SEED);
+        let select = parallel_selection(T, SEED, None);
+        let seq = sequential_alternatives(T, SEED, None);
         // Sequential pays attempt sums on failing primaries; parallel pays
         // the (constant) critical path. With a 25%-faulty primary the mean
         // sequential latency must exceed the parallel one is not guaranteed

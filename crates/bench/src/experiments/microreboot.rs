@@ -14,15 +14,19 @@ use crate::fmt_rate;
 /// Recovery time for a shallow leaf failure under each policy.
 #[must_use]
 pub fn shallow_recovery_times() -> Vec<(RebootPolicy, u64, bool)> {
-    [RebootPolicy::MicroOnly, RebootPolicy::Escalating, RebootPolicy::Full]
-        .into_iter()
-        .map(|policy| {
-            let mut tree = ComponentTree::jagr_demo();
-            tree.corrupt("app-c2", 0);
-            let record = tree.recover("app-c2", policy);
-            (policy, record.recovery_time, record.cured)
-        })
-        .collect()
+    [
+        RebootPolicy::MicroOnly,
+        RebootPolicy::Escalating,
+        RebootPolicy::Full,
+    ]
+    .into_iter()
+    .map(|policy| {
+        let mut tree = ComponentTree::jagr_demo();
+        tree.corrupt("app-c2", 0);
+        let record = tree.recover("app-c2", policy);
+        (policy, record.recovery_time, record.cured)
+    })
+    .collect()
 }
 
 /// Builds the E11 table: availability and mean recovery per policy.
@@ -41,8 +45,7 @@ pub fn run(requests: u64, seed: u64) -> Table {
         (RebootPolicy::Escalating, "micro-reboot + escalation (JAGR)"),
     ] {
         let mut rng = SplitMix64::new(seed);
-        let (availability, mean_recovery) =
-            availability_sim(policy, requests, 0.01, 0.2, &mut rng);
+        let (availability, mean_recovery) = availability_sim(policy, requests, 0.01, 0.2, &mut rng);
         let shallow_time = shallow
             .iter()
             .find(|(p, _, _)| *p == policy)
@@ -87,10 +90,8 @@ mod tests {
     fn escalating_policy_has_best_availability() {
         let mut rng = SplitMix64::new(SEED);
         let (a_full, _) = availability_sim(RebootPolicy::Full, 20_000, 0.01, 0.2, &mut rng);
-        let (a_micro, _) =
-            availability_sim(RebootPolicy::MicroOnly, 20_000, 0.01, 0.2, &mut rng);
-        let (a_esc, _) =
-            availability_sim(RebootPolicy::Escalating, 20_000, 0.01, 0.2, &mut rng);
+        let (a_micro, _) = availability_sim(RebootPolicy::MicroOnly, 20_000, 0.01, 0.2, &mut rng);
+        let (a_esc, _) = availability_sim(RebootPolicy::Escalating, 20_000, 0.01, 0.2, &mut rng);
         assert!(a_esc > a_full, "esc {a_esc} vs full {a_full}");
         // Micro-only pays residual full reboots for deep corruption, so
         // escalation must be at least as good.

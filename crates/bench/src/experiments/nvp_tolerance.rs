@@ -69,13 +69,37 @@ pub fn run_adjudicator_ablation(trials: usize, seed: u64) -> Table {
     let mut table = Table::new(&["Adjudicator", "p=0.15", "p=0.30"]);
     table.row_owned(vec![
         "majority".into(),
-        fmt_rate(reliability_with(5, 0.15, trials, seed, MajorityVoter::new())),
-        fmt_rate(reliability_with(5, 0.30, trials, seed, MajorityVoter::new())),
+        fmt_rate(reliability_with(
+            5,
+            0.15,
+            trials,
+            seed,
+            MajorityVoter::new(),
+        )),
+        fmt_rate(reliability_with(
+            5,
+            0.30,
+            trials,
+            seed,
+            MajorityVoter::new(),
+        )),
     ]);
     table.row_owned(vec![
         "plurality".into(),
-        fmt_rate(reliability_with(5, 0.15, trials, seed, PluralityVoter::new())),
-        fmt_rate(reliability_with(5, 0.30, trials, seed, PluralityVoter::new())),
+        fmt_rate(reliability_with(
+            5,
+            0.15,
+            trials,
+            seed,
+            PluralityVoter::new(),
+        )),
+        fmt_rate(reliability_with(
+            5,
+            0.30,
+            trials,
+            seed,
+            PluralityVoter::new(),
+        )),
     ]);
     table.row_owned(vec![
         "median".into(),

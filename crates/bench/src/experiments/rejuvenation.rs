@@ -68,7 +68,11 @@ pub fn run_failure_rates(trials: usize, seed: u64) -> Table {
 pub fn run_completion(repetitions: usize, seed: u64) -> Table {
     let mut table = Table::new(&["rejuvenate every N checkpoints", "mean completion time"]);
     for n in [0u64, 1, 2, 4, 8, 16, 32, 64] {
-        let label = if n == 0 { "never".to_owned() } else { n.to_string() };
+        let label = if n == 0 {
+            "never".to_owned()
+        } else {
+            n.to_string()
+        };
         table.row_owned(vec![
             label,
             format!("{:.0}", mean_completion(n, repetitions, seed)),

@@ -153,7 +153,10 @@ mod tests {
         let stats = measure(Damage::BothChains, T, SEED);
         assert!((stats.detected - 1.0).abs() < f64::EPSILON);
         assert!(stats.repaired < 1.0, "double hits cannot all be repaired");
-        assert!(stats.repaired > 0.1, "some double hits are still repairable");
+        assert!(
+            stats.repaired > 0.1,
+            "some double hits are still repairable"
+        );
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl FaultType {
 
 fn build(fault: FaultType) -> (BoxedVariant<u64, u64>, EnvSignature) {
     let v = FaultyVariant::builder("app", 10, golden)
-        .fault(FaultSpec::new("bug", fault.activation(), FaultEffect::Crash))
+        .fault(FaultSpec::new(
+            "bug",
+            fault.activation(),
+            FaultEffect::Crash,
+        ))
         .build();
     let env = v.env_signature();
     (Box::new(v), env)

@@ -125,9 +125,19 @@ impl Schedule {
     }
 }
 
-fn build(fault: KnobFault) -> (BoxedVariant<u64, u64>, redundancy_faults::EnvSignature, EnvKnobs) {
+fn build(
+    fault: KnobFault,
+) -> (
+    BoxedVariant<u64, u64>,
+    redundancy_faults::EnvSignature,
+    EnvKnobs,
+) {
     let v = FaultyVariant::builder("app", 10, golden)
-        .fault(FaultSpec::new("bug", fault.activation(), FaultEffect::Crash))
+        .fault(FaultSpec::new(
+            "bug",
+            fault.activation(),
+            FaultEffect::Crash,
+        ))
         .build();
     let env = v.env_signature();
     let knobs = v.env_knobs();
@@ -182,7 +192,14 @@ mod tests {
 
     #[test]
     fn zero_fill_cures_uninitialized_reads_only() {
-        assert!(delivery_rate(KnobFault::UninitializedRead, Schedule::ZeroFillOnly, T, SEED) > 0.99);
+        assert!(
+            delivery_rate(
+                KnobFault::UninitializedRead,
+                Schedule::ZeroFillOnly,
+                T,
+                SEED
+            ) > 0.99
+        );
         let other = delivery_rate(KnobFault::BufferOverflow, Schedule::ZeroFillOnly, T, SEED);
         assert!((other - (1.0 - DENSITY)).abs() < 0.05, "other {other}");
     }
@@ -202,7 +219,10 @@ mod tests {
         let untreated = delivery_rate(KnobFault::Overload, Schedule::PaddingOnly, T, SEED);
         // Overload is probabilistic, so even wrong-knob retries eventually
         // pass; throttling must still do strictly better.
-        assert!(treated > untreated - 0.02, "treated {treated} vs {untreated}");
+        assert!(
+            treated > untreated - 0.02,
+            "treated {treated} vs {untreated}"
+        );
         assert!(treated > 0.99, "treated {treated}");
     }
 

@@ -35,12 +35,7 @@ pub fn availability_exact(n: usize, trials: usize, seed: u64) -> f64 {
 
 /// Availability with `n` exact providers plus `similar` convertible ones.
 #[must_use]
-pub fn availability_with_converters(
-    n: usize,
-    similar: usize,
-    trials: usize,
-    seed: u64,
-) -> f64 {
+pub fn availability_with_converters(n: usize, similar: usize, trials: usize, seed: u64) -> f64 {
     let mut registry = replicated_registry("svc", n, FAIL);
     for i in 0..similar {
         registry.register(Arc::new(
@@ -109,7 +104,10 @@ mod tests {
         let with = availability_with_converters(2, 2, T, SEED);
         assert!(with > without + 0.05, "with {with} vs without {without}");
         let predicted = 1.0 - FAIL.powi(4);
-        assert!((with - predicted).abs() < 0.04, "with {with} vs {predicted}");
+        assert!(
+            (with - predicted).abs() < 0.04,
+            "with {with} vs {predicted}"
+        );
     }
 
     #[test]

@@ -10,15 +10,16 @@
 //! should, and does, agree with the paper's classification. `—` marks
 //! class/technique pairs the mechanism does not structurally address.
 
+use std::sync::Arc;
+
 use redundancy_core::adjudicator::acceptance::FnAcceptance;
 use redundancy_core::context::ExecContext;
-use redundancy_core::variant::Variant as _;
+use redundancy_core::obs::{MetricsObserver, MetricsRegistry, ObsHandle, Observer};
 use redundancy_core::rng::SplitMix64;
+use redundancy_core::variant::Variant as _;
 use redundancy_core::variant::{pure_variant, BoxedVariant};
 use redundancy_faults::correlation::{correlated_versions, CorrelatedSuite};
-use redundancy_faults::{
-    Activation, DetectableFailures, FaultEffect, FaultSpec, FaultyVariant,
-};
+use redundancy_faults::{Activation, DetectableFailures, FaultEffect, FaultSpec, FaultyVariant};
 use redundancy_sim::table::Table;
 use redundancy_techniques as tech;
 
@@ -30,6 +31,15 @@ const DENSITY: f64 = 0.3;
 /// Golden function every scenario computes.
 fn golden(x: &u64) -> u64 {
     x * 2
+}
+
+/// A scenario context, with the experiment's observer attached when one
+/// is supplied (so technique spans feed the metrics registry).
+fn mk_ctx(seed: u64, obs: Option<&ObsHandle>) -> ExecContext {
+    match obs {
+        Some(handle) => ExecContext::new(seed).with_obs_handle(handle.clone()),
+        None => ExecContext::new(seed),
+    }
 }
 
 /// Rates of correct delivery per fault class:
@@ -56,8 +66,8 @@ fn heisen_version() -> BoxedVariant<u64, u64> {
 }
 
 /// The unprotected baseline.
-fn baseline(trials: usize, seed: u64) -> Row {
-    let mut ctx = ExecContext::new(seed);
+fn baseline(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> Row {
+    let mut ctx = mk_ctx(seed, obs);
     let bohr = bohr_version(1);
     let bohr_ok = (0..trials as u64)
         .filter(|x| bohr.execute(x, &mut ctx) == Ok(golden(x)))
@@ -70,8 +80,8 @@ fn baseline(trials: usize, seed: u64) -> Row {
     [rate(bohr_ok, trials), rate(heis_ok, trials), Some(0.0)]
 }
 
-fn nvp(trials: usize, seed: u64) -> Row {
-    let mut ctx = ExecContext::new(seed);
+fn nvp(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> Row {
+    let mut ctx = mk_ctx(seed, obs);
     // Bohr: three independently developed versions.
     let versions = correlated_versions(
         CorrelatedSuite::new(3, DENSITY, 0.0, seed),
@@ -98,26 +108,35 @@ fn nvp(trials: usize, seed: u64) -> Row {
             .build_boxed()
     };
     let nvp = tech::nvp::NVersion::new((0..3).map(|_| mk_attacked()).collect());
-    let attacked: Vec<u64> = (0..trials as u64 * 2).filter(|x| x % 2 == 0).take(trials).collect();
+    let attacked: Vec<u64> = (0..trials as u64 * 2)
+        .filter(|x| x % 2 == 0)
+        .take(trials)
+        .collect();
     let mal_ok = attacked
         .iter()
         .filter(|x| nvp.run(x, &mut ctx).into_output() == Some(golden(x)))
         .count();
-    [rate(bohr_ok, trials), rate(heis_ok, trials), rate(mal_ok, trials)]
+    [
+        rate(bohr_ok, trials),
+        rate(heis_ok, trials),
+        rate(mal_ok, trials),
+    ]
 }
 
-fn recovery_blocks(trials: usize, seed: u64) -> Row {
+fn recovery_blocks(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> Row {
     let acceptance = || {
         FnAcceptance::new("plausible", |x: &u64, out: &u64| {
             // The corruptor shifts by +1001; a plausibility bound catches it.
             *out <= x * 2 + 100
         })
     };
-    let mut ctx = ExecContext::new(seed);
+    let mut ctx = mk_ctx(seed, obs);
     let mut rb = tech::recovery_blocks::RecoveryBlocks::new(acceptance());
-    for v in correlated_versions(CorrelatedSuite::new(3, DENSITY, 0.0, seed), golden, |c, _| {
-        c + 1001
-    }) {
+    for v in correlated_versions(
+        CorrelatedSuite::new(3, DENSITY, 0.0, seed),
+        golden,
+        |c, _| c + 1001,
+    ) {
         rb = rb.with_alternate(v);
     }
     let bohr_ok = (0..trials as u64)
@@ -133,14 +152,14 @@ fn recovery_blocks(trials: usize, seed: u64) -> Row {
     [rate(bohr_ok, trials), rate(heis_ok, trials), None]
 }
 
-fn self_checking(trials: usize, seed: u64) -> Row {
-    let acceptance = || {
-        FnAcceptance::new("plausible", |x: &u64, out: &u64| *out <= x * 2 + 100)
-    };
-    let mut ctx = ExecContext::new(seed);
-    let versions = correlated_versions(CorrelatedSuite::new(3, DENSITY, 0.0, seed), golden, |c, _| {
-        c + 1001
-    });
+fn self_checking(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> Row {
+    let acceptance = || FnAcceptance::new("plausible", |x: &u64, out: &u64| *out <= x * 2 + 100);
+    let mut ctx = mk_ctx(seed, obs);
+    let versions = correlated_versions(
+        CorrelatedSuite::new(3, DENSITY, 0.0, seed),
+        golden,
+        |c, _| c + 1001,
+    );
     let mut sc = tech::self_checking::SelfChecking::new();
     for v in versions {
         sc = sc.with_tested_component(v, acceptance());
@@ -158,10 +177,10 @@ fn self_checking(trials: usize, seed: u64) -> Row {
     [rate(bohr_ok, trials), rate(heis_ok, trials), None]
 }
 
-fn self_optimizing(trials: usize, seed: u64) -> Row {
+fn self_optimizing(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> Row {
     // The monitor sees detectable failures (as worst-case latency) and
     // walks away from a failing implementation.
-    let mut ctx = ExecContext::new(seed);
+    let mut ctx = mk_ctx(seed, obs);
     let so = tech::self_optimizing::SelfOptimizing::new(50.0)
         .with_implementation(heisen_version())
         .with_implementation(pure_variant("healthy", 20, golden));
@@ -172,8 +191,8 @@ fn self_optimizing(trials: usize, seed: u64) -> Row {
     [None, rate(heis_ok, trials), None]
 }
 
-fn rule_engine(trials: usize, seed: u64) -> Row {
-    let mut ctx = ExecContext::new(seed);
+fn rule_engine(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> Row {
+    let mut ctx = mk_ctx(seed, obs);
     // Bohr with *detectable* effect (crash on an input region) — the case
     // exception handling exists for.
     let crashing_bohr: BoxedVariant<u64, u64> = FaultyVariant::builder("primary", 10, golden)
@@ -186,13 +205,12 @@ fn rule_engine(trials: usize, seed: u64) -> Row {
             FaultEffect::Crash,
         ))
         .build_boxed();
-    let engine = tech::rule_engine::RuleEngine::new(crashing_bohr).with_rule(
-        tech::rule_engine::Rule::new(
+    let engine =
+        tech::rule_engine::RuleEngine::new(crashing_bohr).with_rule(tech::rule_engine::Rule::new(
             "fallback",
             tech::rule_engine::FailureKind::Any,
             pure_variant("handler", 15, golden),
-        ),
-    );
+        ));
     let bohr_ok = (0..trials as u64)
         .filter(|x| engine.execute(x, &mut ctx).output() == Some(&golden(x)))
         .count();
@@ -209,8 +227,8 @@ fn rule_engine(trials: usize, seed: u64) -> Row {
     [rate(bohr_ok, trials), rate(heis_ok, trials), None]
 }
 
-fn wrappers(trials: usize, seed: u64) -> Row {
-    let mut ctx = ExecContext::new(seed);
+fn wrappers(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> Row {
+    let mut ctx = mk_ctx(seed, obs);
     // Bohr: component misbehaves on a known-invalid input precondition
     // (odd inputs, say); the wrapper sanitizes them first.
     let fragile = || -> BoxedVariant<u64, u64> {
@@ -232,9 +250,9 @@ fn wrappers(trials: usize, seed: u64) -> Row {
     let mut rng = SplitMix64::new(seed);
     let mut prevented = 0;
     for _ in 0..trials {
-        let mut hw = tech::wrappers::HeapWrapper::new(
-            redundancy_sandbox::memory::SimMemory::new(0x1000, 0x10000),
-        );
+        let mut hw = tech::wrappers::HeapWrapper::new(redundancy_sandbox::memory::SimMemory::new(
+            0x1000, 0x10000,
+        ));
         let a = hw.alloc(64).expect("fits");
         let _b = hw.alloc(64).expect("fits");
         let overflow_len = 65 + rng.range_u64(0, 64);
@@ -275,7 +293,7 @@ fn robust_data(trials: usize, seed: u64) -> Row {
     [rate(single_ok, trials), rate(burst_ok, trials), None]
 }
 
-fn data_diversity(trials: usize, seed: u64) -> Row {
+fn data_diversity(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> Row {
     use tech::data_diversity::{ReExpression, RetryBlock};
     let shift = |k: u64| {
         ReExpression::new(
@@ -290,7 +308,7 @@ fn data_diversity(trials: usize, seed: u64) -> Row {
             .with_reexpression(shift(29))
             .with_reexpression(shift(57))
     };
-    let mut ctx = ExecContext::new(seed);
+    let mut ctx = mk_ctx(seed, obs);
     let bohr = FaultyVariant::builder("linear", 10, golden)
         .corruptor(|c, _| c + 1001)
         .fault(FaultSpec::bohrbug("region", DENSITY, seed))
@@ -323,20 +341,20 @@ fn nvariant_data(trials: usize, seed: u64) -> Row {
     [None, None, rate(detected_or_unharmed, trials)]
 }
 
-fn rejuvenation(trials: usize, seed: u64) -> Row {
+fn rejuvenation(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> Row {
     let variant = FaultyVariant::builder("server", 5, golden)
         .fault(FaultSpec::aging("leak", 0.0, 0.001))
         .build();
     let age = variant.age_handle();
     let r = tech::rejuvenation::Rejuvenator::new(Box::new(variant), age, 50, 10);
-    let mut ctx = ExecContext::new(seed);
+    let mut ctx = mk_ctx(seed, obs);
     let heis_ok = (0..trials as u64)
         .filter(|x| r.call(x, &mut ctx).result == Ok(golden(x)))
         .count();
     [None, rate(heis_ok, trials), None]
 }
 
-fn env_perturbation(trials: usize, seed: u64) -> Row {
+fn env_perturbation(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> Row {
     let mk = |activation: Activation| {
         let v = FaultyVariant::builder("envy", 10, golden)
             .fault(FaultSpec::new("bug", activation, FaultEffect::Crash))
@@ -344,7 +362,7 @@ fn env_perturbation(trials: usize, seed: u64) -> Row {
         let env = v.env_signature();
         tech::env_perturbation::Rx::new(Box::new(v), env, DetectableFailures::new(), 6)
     };
-    let mut ctx = ExecContext::new(seed);
+    let mut ctx = mk_ctx(seed, obs);
     // Bohr cell: environment-blind input-region crash — RX cannot help.
     let rx = mk(Activation::InputRegion {
         density: DENSITY,
@@ -386,7 +404,7 @@ fn process_replicas(trials: usize, seed: u64) -> Row {
     [None, None, rate(stopped, trials)]
 }
 
-fn service_substitution(trials: usize, seed: u64) -> Row {
+fn service_substitution(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> Row {
     use redundancy_services::provider::{ServiceError, SimProvider};
     use redundancy_services::registry::{InterfaceId, ServiceRegistry};
     use redundancy_services::value::Value;
@@ -414,7 +432,7 @@ fn service_substitution(trials: usize, seed: u64) -> Row {
         ));
     }
     let sub = tech::service_substitution::DynamicSubstitution::new(&registry);
-    let mut ctx = ExecContext::new(seed);
+    let mut ctx = mk_ctx(seed, obs);
     let bohr_ok = (0..trials as u64)
         .filter(|x| {
             sub.invoke(
@@ -495,14 +513,15 @@ fn workarounds(trials: usize, seed: u64) -> Row {
     [rate(worked, applicable.max(1)), None, None]
 }
 
-fn checkpoint_recovery(trials: usize, seed: u64) -> Row {
+fn checkpoint_recovery(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> Row {
     use redundancy_faults::OracleDetector;
-    let mut ctx = ExecContext::new(seed);
+    let mut ctx = mk_ctx(seed, obs);
     let bohr = FaultyVariant::builder("hard", 10, golden)
         .corruptor(|c, _| c + 1001)
         .fault(FaultSpec::bohrbug("region", DENSITY, seed))
         .build_boxed();
-    let cr = tech::checkpoint_recovery::CheckpointRecovery::new(bohr, OracleDetector::new(golden), 8);
+    let cr =
+        tech::checkpoint_recovery::CheckpointRecovery::new(bohr, OracleDetector::new(golden), 8);
     let bohr_ok = (0..trials as u64)
         .filter(|x| cr.execute(x, &mut ctx).output() == Some(&golden(x)))
         .count();
@@ -523,11 +542,7 @@ fn microreboot(trials: usize, seed: u64) -> Row {
     let mut cured = 0;
     for _ in 0..trials {
         let mut tree = ComponentTree::jagr_demo();
-        let leaf = format!(
-            "{}-c{}",
-            ["web", "app", "db"][rng.index(3)],
-            rng.index(4)
-        );
+        let leaf = format!("{}-c{}", ["web", "app", "db"][rng.index(3)], rng.index(4));
         let deep = usize::from(rng.chance(0.2));
         tree.corrupt(&leaf, deep);
         if tree.recover(&leaf, RebootPolicy::Escalating).cured {
@@ -540,6 +555,55 @@ fn microreboot(trials: usize, seed: u64) -> Row {
 /// Builds the empirical Table 2 matrix.
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Table {
+    run_traced(trials, seed, None).0
+}
+
+/// Like [`run`], but every scenario context carries a [`MetricsObserver`]
+/// (fanned out to `extra`, when given — e.g. a ring buffer for `--trace`),
+/// and the second table reports per-technique recovery latency: mean
+/// `SimClock` ticks of technique runs that *recovered* (accepted with
+/// dissent), straight from the `recovery_latency_ticks` histograms.
+#[must_use]
+pub fn run_traced(trials: usize, seed: u64, extra: Option<Arc<dyn Observer>>) -> (Table, Table) {
+    let registry = MetricsRegistry::shared();
+    let metrics: Arc<dyn Observer> = Arc::new(MetricsObserver::new(Arc::clone(&registry)));
+    let observer = match extra {
+        Some(sink) => Arc::new(redundancy_core::obs::FanoutObserver::new(vec![
+            metrics, sink,
+        ])) as Arc<dyn Observer>,
+        None => metrics,
+    };
+    let handle = ObsHandle::new(observer);
+    let obs = Some(&handle);
+    let matrix = build_matrix(trials, seed, obs);
+    (matrix, recovery_latency_table(&registry))
+}
+
+/// Renders the per-technique recovery-latency table from a registry fed
+/// by a [`MetricsObserver`].
+#[must_use]
+pub fn recovery_latency_table(registry: &MetricsRegistry) -> Table {
+    let mut table = Table::new(&[
+        "Technique (span)",
+        "Recoveries",
+        "Mean latency (ticks)",
+        "p95 (ticks)",
+    ]);
+    for (key, hist) in registry.histograms() {
+        if key.name != "recovery_latency_ticks" {
+            continue;
+        }
+        table.row_owned(vec![
+            key.label.clone(),
+            hist.count().to_string(),
+            format!("{:.1}", hist.mean().unwrap_or(0.0)),
+            hist.quantile(0.95).unwrap_or(0).to_string(),
+        ]);
+    }
+    table
+}
+
+fn build_matrix(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> Table {
     let mut table = Table::new(&[
         "Technique",
         "Classification (paper)",
@@ -548,23 +612,41 @@ pub fn run(trials: usize, seed: u64) -> Table {
         "malicious",
     ]);
     let rows: Vec<(&str, Row)> = vec![
-        ("(unprotected baseline)", baseline(trials, seed)),
-        ("N-version programming", nvp(trials, seed)),
-        ("Recovery blocks", recovery_blocks(trials, seed)),
-        ("Self-checking programming", self_checking(trials, seed)),
-        ("Self-optimizing code", self_optimizing(trials, seed)),
-        ("Exception handling, rule engines", rule_engine(trials, seed)),
-        ("Wrappers", wrappers(trials, seed)),
+        ("(unprotected baseline)", baseline(trials, seed, obs)),
+        ("N-version programming", nvp(trials, seed, obs)),
+        ("Recovery blocks", recovery_blocks(trials, seed, obs)),
+        (
+            "Self-checking programming",
+            self_checking(trials, seed, obs),
+        ),
+        ("Self-optimizing code", self_optimizing(trials, seed, obs)),
+        (
+            "Exception handling, rule engines",
+            rule_engine(trials, seed, obs),
+        ),
+        ("Wrappers", wrappers(trials, seed, obs)),
         ("Robust data structures, audits", robust_data(trials, seed)),
-        ("Data diversity", data_diversity(trials, seed)),
+        ("Data diversity", data_diversity(trials, seed, obs)),
         ("Data diversity for security", nvariant_data(trials, seed)),
-        ("Rejuvenation", rejuvenation(trials, seed)),
-        ("Environment perturbation", env_perturbation(trials, seed)),
+        ("Rejuvenation", rejuvenation(trials, seed, obs)),
+        (
+            "Environment perturbation",
+            env_perturbation(trials, seed, obs),
+        ),
         ("Process replicas", process_replicas(trials, seed)),
-        ("Dynamic service substitution", service_substitution(trials, seed)),
-        ("Fault fixing, genetic programming", fault_fixing(trials, seed)),
+        (
+            "Dynamic service substitution",
+            service_substitution(trials, seed, obs),
+        ),
+        (
+            "Fault fixing, genetic programming",
+            fault_fixing(trials, seed),
+        ),
         ("Automatic workarounds", workarounds(trials, seed)),
-        ("Checkpoint-recovery", checkpoint_recovery(trials, seed)),
+        (
+            "Checkpoint-recovery",
+            checkpoint_recovery(trials, seed, obs),
+        ),
         ("Reboot and micro-reboot", microreboot(trials, seed)),
     ];
     let entries = tech::table2::entries();
@@ -597,7 +679,7 @@ mod tests {
 
     #[test]
     fn baseline_matches_fault_strength() {
-        let b = baseline(T, SEED);
+        let b = baseline(T, SEED, None);
         assert!((get(b, 0) - 0.7).abs() < 0.08, "bohr {:?}", b[0]);
         assert!((get(b, 1) - 0.7).abs() < 0.08, "heis {:?}", b[1]);
         assert!(get(b, 2).abs() < f64::EPSILON);
@@ -609,14 +691,14 @@ mod tests {
         // density 0.3 is 0.784 — a real but modest gain over the 0.70
         // baseline. The explicit-adjudicator techniques need only one
         // acceptable alternate: ~1 - 0.3^3 = 0.973.
-        let nvp_row = nvp(T, SEED);
+        let nvp_row = nvp(T, SEED, None);
         assert!(get(nvp_row, 0) > 0.73, "nvp bohr {:?}", nvp_row[0]);
         assert!(get(nvp_row, 1) > 0.73, "nvp heis {:?}", nvp_row[1]);
         for (name, row) in [
-            ("recovery-blocks", recovery_blocks(T, SEED)),
-            ("self-checking", self_checking(T, SEED)),
-            ("rule-engine", rule_engine(T, SEED)),
-            ("data-diversity", data_diversity(T, SEED)),
+            ("recovery-blocks", recovery_blocks(T, SEED, None)),
+            ("self-checking", self_checking(T, SEED, None)),
+            ("rule-engine", rule_engine(T, SEED, None)),
+            ("data-diversity", data_diversity(T, SEED, None)),
         ] {
             assert!(get(row, 0) > 0.85, "{name} bohr {:?}", row[0]);
             assert!(get(row, 1) > 0.85, "{name} heis {:?}", row[1]);
@@ -625,7 +707,7 @@ mod tests {
 
     #[test]
     fn nvp_is_defeated_by_common_mode_attacks() {
-        let row = nvp(T, SEED);
+        let row = nvp(T, SEED, None);
         assert!(get(row, 2) < 0.05, "malicious {:?}", row[2]);
     }
 
@@ -633,18 +715,22 @@ mod tests {
     fn security_techniques_stop_attacks() {
         assert!(get(nvariant_data(T, SEED), 2) > 0.99);
         assert!(get(process_replicas(T, SEED), 2) > 0.99);
-        assert!(get(wrappers(T, SEED), 2) > 0.99);
+        assert!(get(wrappers(T, SEED, None), 2) > 0.99);
     }
 
     #[test]
     fn environment_techniques_handle_heisenbugs_not_bohrbugs() {
-        let rx = env_perturbation(T, SEED);
+        let rx = env_perturbation(T, SEED, None);
         assert!(get(rx, 1) > 0.95, "rx heis {:?}", rx[1]);
-        assert!(get(rx, 0) < 0.8, "rx bohr should stay near baseline {:?}", rx[0]);
-        let cr = checkpoint_recovery(T, SEED);
+        assert!(
+            get(rx, 0) < 0.8,
+            "rx bohr should stay near baseline {:?}",
+            rx[0]
+        );
+        let cr = checkpoint_recovery(T, SEED, None);
         assert!(get(cr, 1) > 0.95, "cr heis {:?}", cr[1]);
         assert!(get(cr, 0) < 0.8, "cr bohr {:?}", cr[0]);
-        let rejuv = rejuvenation(T, SEED);
+        let rejuv = rejuvenation(T, SEED, None);
         assert!(get(rejuv, 1) > 0.85, "rejuvenation {:?}", rejuv[1]);
     }
 
@@ -652,7 +738,7 @@ mod tests {
     fn opportunistic_code_techniques_fix_bohrbugs() {
         assert!(get(workarounds(T, SEED), 0) > 0.9);
         assert!(get(fault_fixing(600, SEED), 0) > 0.5);
-        let sub = service_substitution(T, SEED);
+        let sub = service_substitution(T, SEED, None);
         assert!(get(sub, 0) > 0.9, "substitution bohr {:?}", sub[0]);
     }
 
@@ -663,5 +749,25 @@ mod tests {
         let text = table.to_string();
         assert!(text.contains("N-version programming"));
         assert!(text.contains("—"));
+    }
+
+    #[test]
+    fn traced_run_reports_recovery_latency_per_technique() {
+        let (matrix, latency) = run_traced(120, SEED, None);
+        assert_eq!(matrix.len(), 18);
+        // Techniques that mask faults at density 0.3 must have recovered
+        // at least once in 120 trials, and a recovery takes ticks.
+        let text = latency.to_string();
+        for span in ["n-version", "recovery-blocks", "rule-engine"] {
+            assert!(text.contains(span), "missing {span} in:\n{text}");
+        }
+        assert!(latency.len() >= 3);
+    }
+
+    #[test]
+    fn traced_run_fans_out_to_extra_observer() {
+        let ring = redundancy_core::obs::RingBufferObserver::shared(1 << 16);
+        let _ = run_traced(40, SEED, Some(ring.clone() as Arc<dyn Observer>));
+        assert!(!ring.is_empty(), "extra sink saw no events");
     }
 }

@@ -18,11 +18,7 @@ fn scenarios(rng: &mut SplitMix64, count: usize) -> Vec<(Op, usize, Vec<Op>)> {
     (0..count)
         .map(|_| match rng.index(3) {
             0 => (Op::Add, 1, vec![Op::Add, Op::Add]),
-            1 => (
-                Op::Reverse,
-                2,
-                vec![Op::AddPair, Op::Reverse, Op::Reverse],
-            ),
+            1 => (Op::Reverse, 2, vec![Op::AddPair, Op::Reverse, Op::Reverse]),
             _ => (
                 Op::Add,
                 2,

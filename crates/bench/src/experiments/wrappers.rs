@@ -22,7 +22,11 @@ pub struct SmashStats {
     pub refused: usize,
 }
 
-fn overflow_campaign(rng: &mut SplitMix64, trials: usize, mut write: impl FnMut(u64) -> (bool, bool)) -> SmashStats {
+fn overflow_campaign(
+    rng: &mut SplitMix64,
+    trials: usize,
+    mut write: impl FnMut(u64) -> (bool, bool),
+) -> SmashStats {
     let mut stats = SmashStats {
         corruptions: 0,
         refused: 0,

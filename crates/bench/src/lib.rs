@@ -36,6 +36,17 @@ pub fn default_seed() -> u64 {
         .unwrap_or(0x5eed_2008)
 }
 
+/// Whether `--trace` was passed on the command line: `exp_*` binaries
+/// that support it attach a [`RingBufferObserver`] and print the trace
+/// [`summary`] (and per-technique metrics) after their tables.
+///
+/// [`RingBufferObserver`]: redundancy_core::obs::RingBufferObserver
+/// [`summary`]: redundancy_core::obs::summary
+#[must_use]
+pub fn trace_enabled() -> bool {
+    std::env::args().any(|arg| arg == "--trace")
+}
+
 /// Formats a rate as a fixed-width string.
 #[must_use]
 pub fn fmt_rate(rate: f64) -> String {

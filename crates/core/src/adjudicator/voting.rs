@@ -419,10 +419,7 @@ mod tests {
     #[test]
     fn plurality_accepts_leading_class() {
         let adj = PluralityVoter::new();
-        assert_eq!(
-            adj.adjudicate(&oks(&[5, 6, 5, 7])).into_output(),
-            Some(5)
-        );
+        assert_eq!(adj.adjudicate(&oks(&[5, 6, 5, 7])).into_output(), Some(5));
     }
 
     #[test]
@@ -522,11 +519,7 @@ mod tests {
         ];
         for voter in &voters {
             assert!(!voter.adjudicate(&empty).is_accepted(), "{}", voter.name());
-            assert!(
-                !voter.adjudicate(&failed).is_accepted(),
-                "{}",
-                voter.name()
-            );
+            assert!(!voter.adjudicate(&failed).is_accepted(), "{}", voter.name());
         }
     }
 
@@ -543,7 +536,9 @@ mod tests {
         let adj = TrimmedMeanVoter::new(2);
         // 4 outputs, trimming 2 from each end leaves nothing.
         assert!(!adj.adjudicate(&oks(&[1.0, 2.0, 3.0, 4.0])).is_accepted());
-        assert!(adj.adjudicate(&oks(&[1.0, 2.0, 3.0, 4.0, 5.0])).is_accepted());
+        assert!(adj
+            .adjudicate(&oks(&[1.0, 2.0, 3.0, 4.0, 5.0]))
+            .is_accepted());
     }
 
     #[test]

@@ -5,8 +5,21 @@
 //! models timeouts: a variant that runs out of fuel is reported as hung,
 //! which lets the framework exercise watchdog-style detection without real
 //! wall-clock waits.
+//!
+//! It also carries the optional observability handle: attach an
+//! [`Observer`] with [`ExecContext::with_observer`] and every pattern
+//! engine and technique running under this context emits structured
+//! [`redundancy_obs`] events — spans for technique/pattern/variant
+//! executions, points for verdicts, fuel exhaustion, checkpoints and the
+//! rest. With no observer attached (the default) the instrumentation is a
+//! single branch per site, and crucially it never touches the random
+//! stream or the fork counter, so traced and untraced runs are bitwise
+//! identical in behavior.
 
 use std::fmt;
+use std::sync::Arc;
+
+use redundancy_obs::{CostSnapshot, ObsHandle, Observer, Point, SpanKind, SpanStatus, SpanToken};
 
 use crate::cost::Cost;
 use crate::rng::SplitMix64;
@@ -48,6 +61,8 @@ pub struct ExecContext {
     /// that repeated forks (e.g. one per retry, or one per request in a
     /// campaign) get fresh, still-deterministic randomness.
     forks: std::cell::Cell<u64>,
+    /// Observability handle; `None` (the default) means untraced.
+    obs: Option<ObsHandle>,
 }
 
 impl ExecContext {
@@ -60,6 +75,7 @@ impl ExecContext {
             fuel: None,
             initial_fuel: None,
             forks: std::cell::Cell::new(0),
+            obs: None,
         }
     }
 
@@ -73,6 +89,64 @@ impl ExecContext {
             fuel: Some(fuel),
             initial_fuel: Some(fuel),
             forks: std::cell::Cell::new(0),
+            obs: None,
+        }
+    }
+
+    /// Attaches an observer: every pattern engine and technique running
+    /// under this context (and its forks) will emit structured events.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.obs = Some(ObsHandle::new(observer));
+        self
+    }
+
+    /// Attaches an already-built handle (shares its span-id allocator,
+    /// e.g. to parent new work under an existing span).
+    #[must_use]
+    pub fn with_obs_handle(mut self, handle: ObsHandle) -> Self {
+        self.obs = Some(handle);
+        self
+    }
+
+    /// Whether an enabled observer is attached. Instrumentation uses this
+    /// to skip building event payloads.
+    #[must_use]
+    pub fn observed(&self) -> bool {
+        self.obs.as_ref().is_some_and(ObsHandle::enabled)
+    }
+
+    /// The attached observability handle, if any.
+    #[must_use]
+    pub fn obs_handle(&self) -> Option<&ObsHandle> {
+        self.obs.as_ref()
+    }
+
+    /// Opens an observability span at the current virtual time. Returns
+    /// `None` (for free) when untraced; the kind closure only runs when
+    /// traced.
+    pub fn obs_begin(&mut self, kind: impl FnOnce() -> SpanKind) -> Option<SpanToken> {
+        let clock = self.cost.virtual_ns;
+        self.obs
+            .as_mut()
+            .filter(|h| h.enabled())
+            .map(|h| h.begin_span(clock, kind))
+    }
+
+    /// Closes a span opened by [`obs_begin`](Self::obs_begin), attributing
+    /// `cost` (typically a [`Cost::delta_since`] of the span's start).
+    pub fn obs_end(&mut self, token: Option<SpanToken>, status: SpanStatus, cost: CostSnapshot) {
+        if let (Some(token), Some(h)) = (token, self.obs.as_mut()) {
+            let clock = self.cost.virtual_ns;
+            h.end_span(token, clock, status, cost);
+        }
+    }
+
+    /// Emits a point event at the current virtual time; the closure only
+    /// runs when traced.
+    pub fn obs_emit(&mut self, point: impl FnOnce() -> Point) {
+        if let Some(h) = self.obs.as_ref().filter(|h| h.enabled()) {
+            h.emit(self.cost.virtual_ns, point);
         }
     }
 
@@ -94,6 +168,8 @@ impl ExecContext {
                 self.cost.work_units += *fuel;
                 self.cost.virtual_ns += *fuel;
                 *fuel = 0;
+                let consumed = self.cost.work_units;
+                self.obs_emit(|| Point::FuelExhausted { consumed });
                 return Err(FuelExhausted);
             }
             *fuel -= units;
@@ -158,6 +234,14 @@ impl ExecContext {
             fuel: self.initial_fuel,
             initial_fuel: self.initial_fuel,
             forks: std::cell::Cell::new(0),
+            // The child shares the observer and span-id allocator and
+            // inherits the parent's current span, so spans it opens nest
+            // correctly. A *disabled* handle is dropped instead of cloned:
+            // it could never record anything, and the two Arc refcount
+            // bumps per fork would be the only observability cost left on
+            // the untraced hot path. The fork counter and rng above are
+            // computed identically whether or not an observer is attached.
+            obs: self.obs.as_ref().filter(|h| h.enabled()).cloned(),
         }
     }
 
@@ -252,6 +336,66 @@ mod tests {
         parent.add_sequential_cost(c.cost());
         parent.add_sequential_cost(c.cost());
         assert_eq!(parent.cost().virtual_ns, 80);
+    }
+
+    #[test]
+    fn observer_does_not_perturb_randomness_or_forks() {
+        use redundancy_obs::RingBufferObserver;
+
+        let plain = ExecContext::new(1234);
+        let traced = ExecContext::new(1234).with_observer(RingBufferObserver::shared(64));
+        let mut p1 = plain.fork(3);
+        let mut t1 = traced.fork(3);
+        assert_eq!(p1.rng().next_u64(), t1.rng().next_u64());
+        let mut p2 = plain.fork(3);
+        let mut t2 = traced.fork(3);
+        assert_eq!(p2.rng().next_u64(), t2.rng().next_u64());
+    }
+
+    #[test]
+    fn fuel_exhaustion_emits_point() {
+        use redundancy_obs::{EventKind, Point, RingBufferObserver};
+
+        let ring = RingBufferObserver::shared(16);
+        let mut ctx = ExecContext::with_fuel(1, 100).with_observer(ring.clone());
+        assert!(ctx.observed());
+        ctx.charge(60).unwrap();
+        assert_eq!(ctx.charge(60), Err(FuelExhausted));
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0].kind,
+            EventKind::Point(Point::FuelExhausted { consumed: 100 })
+        ));
+        assert_eq!(events[0].clock, 100, "emitted at post-burn virtual time");
+    }
+
+    #[test]
+    fn spans_nest_across_forks() {
+        use redundancy_obs::{RingBufferObserver, SpanKind, SpanStatus};
+
+        let ring = RingBufferObserver::shared(16);
+        let mut ctx = ExecContext::new(7).with_observer(ring.clone());
+        let outer = ctx.obs_begin(|| SpanKind::Technique { name: "t" });
+        let mut child = ctx.fork(1);
+        let inner = child.obs_begin(|| SpanKind::Variant {
+            name: "v".to_owned(),
+        });
+        child.obs_end(inner, SpanStatus::Ok, Cost::ZERO.snapshot());
+        ctx.obs_end(outer, SpanStatus::Ok, ctx.cost().snapshot());
+        let events = ring.events();
+        assert_eq!(events.len(), 4);
+        // The child's span is parented under the technique span.
+        assert_eq!(events[1].parent, events[0].span);
+    }
+
+    #[test]
+    fn untraced_context_skips_closures() {
+        let mut ctx = ExecContext::new(0);
+        assert!(!ctx.observed());
+        let token = ctx.obs_begin(|| unreachable!("untraced: kind closure must not run"));
+        assert!(token.is_none());
+        ctx.obs_emit(|| unreachable!("untraced: point closure must not run"));
     }
 
     #[test]

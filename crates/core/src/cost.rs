@@ -69,6 +69,32 @@ impl Cost {
     pub fn sequential(self, other: Cost) -> Cost {
         self + other
     }
+
+    /// The cost accrued since an `earlier` snapshot of the same meter
+    /// (saturating, so a reset meter yields zero rather than wrapping).
+    /// Used to attribute per-span costs when the underlying
+    /// [`ExecContext`](crate::context::ExecContext) meter is cumulative.
+    #[must_use]
+    pub fn delta_since(self, earlier: Cost) -> Cost {
+        Cost {
+            invocations: self.invocations.saturating_sub(earlier.invocations),
+            work_units: self.work_units.saturating_sub(earlier.work_units),
+            virtual_ns: self.virtual_ns.saturating_sub(earlier.virtual_ns),
+            design_cost: (self.design_cost - earlier.design_cost).max(0.0),
+        }
+    }
+
+    /// Converts to the dependency-free snapshot carried by observability
+    /// events.
+    #[must_use]
+    pub fn snapshot(self) -> redundancy_obs::CostSnapshot {
+        redundancy_obs::CostSnapshot {
+            invocations: self.invocations,
+            work_units: self.work_units,
+            virtual_ns: self.virtual_ns,
+            design_cost: self.design_cost,
+        }
+    }
 }
 
 impl Add for Cost {
@@ -143,6 +169,31 @@ mod tests {
         assert_eq!(total.invocations, 3);
         assert_eq!(total.work_units, 6);
         assert_eq!(total.virtual_ns, 60);
+    }
+
+    #[test]
+    fn delta_since_subtracts_and_saturates() {
+        let before = Cost::of_invocation(10, 100);
+        let after = before + Cost::of_invocation(5, 50);
+        let delta = after.delta_since(before);
+        assert_eq!(delta, Cost::of_invocation(5, 50));
+        // A reset meter (after < before) saturates to zero.
+        assert_eq!(Cost::ZERO.delta_since(before), Cost::ZERO);
+    }
+
+    #[test]
+    fn snapshot_mirrors_fields() {
+        let c = Cost {
+            invocations: 2,
+            work_units: 30,
+            virtual_ns: 40,
+            design_cost: 1.5,
+        };
+        let s = c.snapshot();
+        assert_eq!(s.invocations, 2);
+        assert_eq!(s.work_units, 30);
+        assert_eq!(s.virtual_ns, 40);
+        assert!((s.design_cost - 1.5).abs() < 1e-12);
     }
 
     #[test]

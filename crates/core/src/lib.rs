@@ -46,10 +46,16 @@ pub use adjudicator::Adjudicator;
 pub use context::ExecContext;
 pub use cost::Cost;
 pub use outcome::{RejectionReason, VariantFailure, VariantOutcome, Verdict};
-pub use patterns::{ExecutionMode, ParallelEvaluation, ParallelSelection, PatternReport, SequentialAlternatives};
+pub use patterns::{
+    ExecutionMode, ParallelEvaluation, ParallelSelection, PatternReport, SequentialAlternatives,
+};
 pub use taxonomy::{
     Adjudication, ArchitecturalPattern, Classification, FaultClass, FaultSet, Intention,
     RedundancyType,
 };
 pub use technique::{Technique, TechniqueEntry};
 pub use variant::{BoxedVariant, FnVariant, Variant};
+
+/// The observability substrate (re-exported so downstream crates can name
+/// event types without a separate dependency edge).
+pub use redundancy_obs as obs;

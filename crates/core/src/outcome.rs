@@ -162,6 +162,21 @@ pub enum RejectionReason {
     Disagreement,
 }
 
+impl RejectionReason {
+    /// Short machine-friendly label for the rejection reason (the label
+    /// carried by observability events).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RejectionReason::NoQuorum => "no_quorum",
+            RejectionReason::AllFailed => "all_failed",
+            RejectionReason::AcceptanceFailed => "acceptance_failed",
+            RejectionReason::NoOutcomes => "no_outcomes",
+            RejectionReason::Disagreement => "disagreement",
+        }
+    }
+}
+
 impl fmt::Display for RejectionReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -288,7 +303,7 @@ mod tests {
     }
 
     #[test]
-    fn rejection_reasons_display() {
+    fn rejection_reasons_display_and_kind() {
         for reason in [
             RejectionReason::NoQuorum,
             RejectionReason::AllFailed,
@@ -297,7 +312,10 @@ mod tests {
             RejectionReason::Disagreement,
         ] {
             assert!(!reason.to_string().is_empty());
+            assert!(!reason.kind().is_empty());
+            assert!(!reason.kind().contains(' '), "kinds are machine labels");
         }
+        assert_eq!(RejectionReason::NoQuorum.kind(), "no_quorum");
     }
 
     #[test]

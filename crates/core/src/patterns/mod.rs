@@ -13,7 +13,7 @@
 //!
 //! Each engine supports two [`ExecutionMode`]s: `Sequential` (deterministic
 //! in-thread simulation, virtual time still modeling parallelism as
-//! critical path) and `Threaded` (real OS threads via crossbeam scopes).
+//! critical path) and `Threaded` (real OS threads via `std::thread::scope`).
 //! Results are identical across modes because every variant draws from its
 //! own forked random stream.
 //!
@@ -27,8 +27,69 @@ pub mod sequential;
 pub use parallel::{ParallelEvaluation, ParallelSelection};
 pub use sequential::SequentialAlternatives;
 
+use redundancy_obs::{Point, SpanStatus};
+
+use crate::context::ExecContext;
 use crate::cost::Cost;
-use crate::outcome::{Verdict, VariantOutcome};
+use crate::outcome::{VariantOutcome, Verdict};
+
+/// Maps a verdict to the span status an ending pattern/technique span
+/// reports.
+pub fn verdict_status<O>(verdict: &Verdict<O>) -> SpanStatus {
+    match verdict {
+        Verdict::Accepted {
+            support, dissent, ..
+        } => SpanStatus::Accepted {
+            support: *support,
+            dissent: *dissent,
+        },
+        Verdict::Rejected { reason } => SpanStatus::Rejected {
+            reason: reason.kind(),
+        },
+    }
+}
+
+/// Wraps a pattern invocation in a `Technique` span: the technique
+/// modules call this so traces attribute each pattern run (and the
+/// variant executions under it) to the named technique, and so metrics
+/// can aggregate per technique. A no-op shell when the context is
+/// untraced.
+pub fn run_technique_span<O>(
+    ctx: &mut ExecContext,
+    name: &'static str,
+    body: impl FnOnce(&mut ExecContext) -> PatternReport<O>,
+) -> PatternReport<O> {
+    let span = ctx.obs_begin(|| redundancy_obs::SpanKind::Technique { name });
+    let before = ctx.cost();
+    let report = body(ctx);
+    ctx.obs_end(
+        span,
+        verdict_status(&report.verdict),
+        ctx.cost().delta_since(before).snapshot(),
+    );
+    report
+}
+
+/// Emits the adjudicator's conclusion as a [`Point::Verdict`] event (a
+/// no-op when the context is untraced).
+pub fn emit_verdict<O>(ctx: &mut ExecContext, verdict: &Verdict<O>) {
+    ctx.obs_emit(|| match verdict {
+        Verdict::Accepted {
+            support, dissent, ..
+        } => Point::Verdict {
+            accepted: true,
+            support: *support,
+            dissent: *dissent,
+            rejection: None,
+        },
+        Verdict::Rejected { reason } => Point::Verdict {
+            accepted: false,
+            support: 0,
+            dissent: 0,
+            rejection: Some(reason.kind()),
+        },
+    });
+}
 
 /// How a pattern engine executes its alternatives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -38,7 +99,7 @@ pub enum ExecutionMode {
     /// and cheap; the default for simulation.
     #[default]
     Sequential,
-    /// Run alternatives on real OS threads (crossbeam scoped threads).
+    /// Run alternatives on real OS threads (scoped threads).
     Threaded,
 }
 

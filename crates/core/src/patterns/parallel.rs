@@ -1,10 +1,12 @@
 //! Figure 1(a) and 1(b): the two parallel patterns.
 
+use redundancy_obs::SpanKind;
+
 use crate::adjudicator::acceptance::{AcceptanceTest, BoxedAcceptance};
 use crate::adjudicator::Adjudicator;
 use crate::context::ExecContext;
 use crate::outcome::{RejectionReason, VariantOutcome, Verdict};
-use crate::patterns::{ExecutionMode, PatternReport};
+use crate::patterns::{emit_verdict, verdict_status, ExecutionMode, PatternReport};
 use crate::variant::{run_contained, BoxedVariant};
 
 /// Runs each variant against `input` with a forked context, either in the
@@ -32,15 +34,16 @@ where
         ExecutionMode::Threaded => {
             let mut slots: Vec<Option<VariantOutcome<O>>> =
                 (0..variants.len()).map(|_| None).collect();
-            crossbeam::thread::scope(|scope| {
+            // Variant threads are crash-contained (run_contained catches
+            // panics), so the scope never propagates a panic.
+            std::thread::scope(|scope| {
                 for (i, (variant, slot)) in variants.iter().zip(slots.iter_mut()).enumerate() {
                     let mut child = ctx.fork(i as u64);
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         *slot = Some(run_contained(variant.as_ref(), input, &mut child));
                     });
                 }
-            })
-            .expect("variant threads are crash-contained and must not panic");
+            });
             slots
                 .into_iter()
                 .map(|slot| slot.expect("every scoped thread fills its slot"))
@@ -130,9 +133,19 @@ impl<I, O> ParallelEvaluation<I, O> {
         I: Sync,
         O: Send,
     {
+        let span = ctx.obs_begin(|| SpanKind::Pattern {
+            name: "parallel_evaluation",
+        });
+        let before = ctx.cost();
         let outcomes = execute_all(&self.variants, input, ctx, self.mode);
         ctx.add_parallel_costs(outcomes.iter().map(|o| o.cost));
         let verdict = self.adjudicator.adjudicate(&outcomes);
+        emit_verdict(ctx, &verdict);
+        ctx.obs_end(
+            span,
+            verdict_status(&verdict),
+            ctx.cost().delta_since(before).snapshot(),
+        );
         PatternReport {
             verdict,
             cost: ctx.cost(),
@@ -209,17 +222,27 @@ impl<I, O> ParallelSelection<I, O> {
         I: Sync,
         O: Send + Clone,
     {
+        let span = ctx.obs_begin(|| SpanKind::Pattern {
+            name: "parallel_selection",
+        });
+        let before = ctx.cost();
         if self.components.is_empty() {
+            let verdict = Verdict::rejected(RejectionReason::NoOutcomes);
+            emit_verdict(ctx, &verdict);
+            ctx.obs_end(
+                span,
+                verdict_status(&verdict),
+                ctx.cost().delta_since(before).snapshot(),
+            );
             return PatternReport {
-                verdict: Verdict::rejected(RejectionReason::NoOutcomes),
+                verdict,
                 outcomes: Vec::new(),
                 cost: ctx.cost(),
                 selected: None,
             };
         }
         // Split borrows: variants for execution, tests for validation.
-        let variants: Vec<&BoxedVariant<I, O>> =
-            self.components.iter().map(|(v, _)| v).collect();
+        let variants: Vec<&BoxedVariant<I, O>> = self.components.iter().map(|(v, _)| v).collect();
         let outcomes = match self.mode {
             ExecutionMode::Sequential => {
                 let mut outcomes = Vec::with_capacity(variants.len());
@@ -232,17 +255,16 @@ impl<I, O> ParallelSelection<I, O> {
             ExecutionMode::Threaded => {
                 let mut slots: Vec<Option<VariantOutcome<O>>> =
                     (0..variants.len()).map(|_| None).collect();
-                crossbeam::thread::scope(|scope| {
-                    for (i, (variant, slot)) in
-                        variants.iter().zip(slots.iter_mut()).enumerate()
-                    {
+                // Variant threads are crash-contained (run_contained
+                // catches panics), so the scope never propagates a panic.
+                std::thread::scope(|scope| {
+                    for (i, (variant, slot)) in variants.iter().zip(slots.iter_mut()).enumerate() {
                         let mut child = ctx.fork(i as u64);
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             *slot = Some(run_contained(variant.as_ref(), input, &mut child));
                         });
                     }
-                })
-                .expect("variant threads are crash-contained and must not panic");
+                });
                 slots
                     .into_iter()
                     .map(|slot| slot.expect("every scoped thread fills its slot"))
@@ -280,6 +302,12 @@ impl<I, O> ParallelSelection<I, O> {
                 }
             }
         };
+        emit_verdict(ctx, &verdict);
+        ctx.obs_end(
+            span,
+            verdict_status(&verdict),
+            ctx.cost().delta_since(before).snapshot(),
+        );
         PatternReport {
             verdict,
             cost: ctx.cost(),
@@ -355,7 +383,10 @@ mod tests {
         let mut ctx = ExecContext::new(1);
         let report = p.run(&10, &mut ctx);
         assert_eq!(report.output(), Some(&20));
-        assert_eq!(report.outcomes[2].result, Err(VariantFailure::crash("injected")));
+        assert_eq!(
+            report.outcomes[2].result,
+            Err(VariantFailure::crash("injected"))
+        );
     }
 
     #[test]
@@ -413,11 +444,13 @@ mod tests {
     #[test]
     fn parallel_selection_all_failed() {
         let test = FnAcceptance::new("any", |_: &i32, _: &i32| true);
-        let p = ParallelSelection::new()
-            .with_component(failing_variant("f"), Box::new(test));
+        let p = ParallelSelection::new().with_component(failing_variant("f"), Box::new(test));
         let mut ctx = ExecContext::new(1);
         let report = p.run(&1, &mut ctx);
-        assert_eq!(report.verdict, Verdict::rejected(RejectionReason::AllFailed));
+        assert_eq!(
+            report.verdict,
+            Verdict::rejected(RejectionReason::AllFailed)
+        );
     }
 
     #[test]
@@ -431,6 +464,91 @@ mod tests {
         let mut ctx = ExecContext::new(1);
         assert!(!p.run(&1, &mut ctx).is_accepted());
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn traced_run_emits_pattern_variant_and_verdict_events() {
+        use redundancy_obs::{EventKind, Point, RingBufferObserver, SpanKind, SpanStatus};
+
+        let ring = RingBufferObserver::shared(64);
+        let p = ParallelEvaluation::new(MajorityVoter::new())
+            .with_variant(pure_variant("good1", 10, |x: &i32| x * 2))
+            .with_variant(pure_variant("good2", 20, |x: &i32| x * 2))
+            .with_variant(failing_variant("crasher"));
+        let mut ctx = ExecContext::new(1).with_observer(ring.clone());
+        let report = p.run(&10, &mut ctx);
+        assert_eq!(report.output(), Some(&20));
+
+        let events = ring.events();
+        // pattern start, 3 x (variant start + end), verdict, pattern end.
+        assert_eq!(events.len(), 9);
+        assert!(matches!(
+            &events[0].kind,
+            EventKind::SpanStart {
+                kind: SpanKind::Pattern {
+                    name: "parallel_evaluation"
+                }
+            }
+        ));
+        assert!(matches!(
+            &events[1].kind,
+            EventKind::SpanStart { kind: SpanKind::Variant { name } } if name == "good1"
+        ));
+        // The crasher's span ends with its failure kind.
+        assert!(matches!(
+            &events[6].kind,
+            EventKind::SpanEnd {
+                status: SpanStatus::Failed { kind: "crash" },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &events[7].kind,
+            EventKind::Point(Point::Verdict {
+                accepted: true,
+                support: 2,
+                dissent: 1,
+                rejection: None,
+            })
+        ));
+        match &events[8].kind {
+            EventKind::SpanEnd { status, cost } => {
+                assert_eq!(
+                    *status,
+                    SpanStatus::Accepted {
+                        support: 2,
+                        dissent: 1
+                    }
+                );
+                assert_eq!(cost.virtual_ns, 20, "critical path");
+                assert_eq!(cost.invocations, 3);
+            }
+            other => panic!("expected pattern SpanEnd, got {other:?}"),
+        }
+        // Variant spans are parented under the pattern span.
+        assert_eq!(events[1].parent, events[0].span);
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_agree() {
+        use redundancy_obs::RingBufferObserver;
+
+        let build = || {
+            ParallelEvaluation::new(MajorityVoter::new())
+                .with_variant(pure_variant("a", 10, |x: &i32| x + 1))
+                .with_variant(pure_variant("b", 30, |x: &i32| x + 1))
+                .with_variant(failing_variant("c"))
+        };
+        let mut plain = ExecContext::new(77);
+        let mut traced = ExecContext::new(77).with_observer(RingBufferObserver::shared(256));
+        let r1 = build().run(&5, &mut plain);
+        let r2 = build().run(&5, &mut traced);
+        assert_eq!(r1.verdict, r2.verdict);
+        assert_eq!(r1.cost, r2.cost);
+        for (a, b) in r1.outcomes.iter().zip(r2.outcomes.iter()) {
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.cost, b.cost);
+        }
     }
 
     #[test]

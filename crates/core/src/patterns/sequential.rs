@@ -1,9 +1,11 @@
 //! Figure 1(c): the *sequential alternatives* pattern.
 
+use redundancy_obs::{Point, SpanKind};
+
 use crate::adjudicator::acceptance::{AcceptanceTest, BoxedAcceptance};
 use crate::context::ExecContext;
 use crate::outcome::{RejectionReason, Verdict};
-use crate::patterns::PatternReport;
+use crate::patterns::{emit_verdict, verdict_status, PatternReport};
 use crate::variant::{run_contained, BoxedVariant};
 
 type RollbackHook = Box<dyn Fn(&mut ExecContext) + Send + Sync>;
@@ -106,9 +108,20 @@ impl<I, O> SequentialAlternatives<I, O> {
     where
         O: Clone,
     {
+        let span = ctx.obs_begin(|| SpanKind::Pattern {
+            name: "sequential_alternatives",
+        });
+        let before = ctx.cost();
         if self.variants.is_empty() {
+            let verdict = Verdict::rejected(RejectionReason::NoOutcomes);
+            emit_verdict(ctx, &verdict);
+            ctx.obs_end(
+                span,
+                verdict_status(&verdict),
+                ctx.cost().delta_since(before).snapshot(),
+            );
             return PatternReport {
-                verdict: Verdict::rejected(RejectionReason::NoOutcomes),
+                verdict,
                 outcomes: Vec::new(),
                 cost: ctx.cost(),
                 selected: None,
@@ -122,23 +135,31 @@ impl<I, O> SequentialAlternatives<I, O> {
         for (i, variant) in self.variants.iter().take(limit).enumerate() {
             if i > 0 {
                 if let Some(rollback) = &self.rollback {
+                    ctx.obs_emit(|| Point::Rollback {
+                        label: "pre-alternate",
+                    });
                     rollback(ctx);
                 }
             }
             let mut child = ctx.fork(i as u64);
             let outcome = run_contained(variant.as_ref(), input, &mut child);
             ctx.add_sequential_cost(outcome.cost);
-            let accepted = outcome
-                .output()
-                .map(|out| self.test.accept(input, out));
+            let accepted = outcome.output().map(|out| self.test.accept(input, out));
             outcomes.push(outcome);
             match accepted {
                 Some(true) => {
                     let last = outcomes.last().expect("just pushed");
                     let output = last.output().expect("accepted outcome").clone();
                     let selected = Some(last.variant.clone());
+                    let verdict = Verdict::accepted(output, 1, outcomes.len() - 1);
+                    emit_verdict(ctx, &verdict);
+                    ctx.obs_end(
+                        span,
+                        verdict_status(&verdict),
+                        ctx.cost().delta_since(before).snapshot(),
+                    );
                     return PatternReport {
-                        verdict: Verdict::accepted(output, 1, outcomes.len() - 1),
+                        verdict,
                         cost: ctx.cost(),
                         outcomes,
                         selected,
@@ -153,8 +174,15 @@ impl<I, O> SequentialAlternatives<I, O> {
         } else {
             RejectionReason::AllFailed
         };
+        let verdict = Verdict::rejected(reason);
+        emit_verdict(ctx, &verdict);
+        ctx.obs_end(
+            span,
+            verdict_status(&verdict),
+            ctx.cost().delta_since(before).snapshot(),
+        );
         PatternReport {
-            verdict: Verdict::rejected(reason),
+            verdict,
             cost: ctx.cost(),
             outcomes,
             selected: None,
@@ -201,10 +229,10 @@ mod tests {
 
     #[test]
     fn detectable_failures_also_trigger_fallback() {
-        let crasher: BoxedVariant<i32, i32> = Box::new(FnVariant::new(
-            "crasher",
-            |_: &i32, _: &mut ExecContext| Err(VariantFailure::crash("boom")),
-        ));
+        let crasher: BoxedVariant<i32, i32> =
+            Box::new(FnVariant::new("crasher", |_: &i32, _: &mut ExecContext| {
+                Err(VariantFailure::crash("boom"))
+            }));
         let p = SequentialAlternatives::new(positive_test())
             .with_variant(crasher)
             .with_variant(pure_variant("alternate", 5, |x: &i32| *x));
@@ -229,17 +257,19 @@ mod tests {
     #[test]
     fn rejects_all_failed_when_every_attempt_crashes() {
         let mk = |name: &str| -> BoxedVariant<i32, i32> {
-            Box::new(FnVariant::new(
-                name,
-                |_: &i32, _: &mut ExecContext| Err(VariantFailure::Timeout),
-            ))
+            Box::new(FnVariant::new(name, |_: &i32, _: &mut ExecContext| {
+                Err(VariantFailure::Timeout)
+            }))
         };
         let p = SequentialAlternatives::new(positive_test())
             .with_variant(mk("a"))
             .with_variant(mk("b"));
         let mut ctx = ExecContext::new(0);
         let report = p.run(&1, &mut ctx);
-        assert_eq!(report.verdict, Verdict::rejected(RejectionReason::AllFailed));
+        assert_eq!(
+            report.verdict,
+            Verdict::rejected(RejectionReason::AllFailed)
+        );
     }
 
     #[test]

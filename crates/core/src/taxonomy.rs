@@ -275,7 +275,9 @@ impl FaultSet {
 
     /// Iterates the classes in the set, in canonical order.
     pub fn iter(self) -> impl Iterator<Item = FaultClass> {
-        FaultClass::ALL.into_iter().filter(move |&c| self.contains(c))
+        FaultClass::ALL
+            .into_iter()
+            .filter(move |&c| self.contains(c))
     }
 }
 
@@ -450,7 +452,10 @@ mod tests {
     #[test]
     fn display_strings_are_stable() {
         assert_eq!(RedundancyType::Environment.to_string(), "environment");
-        assert_eq!(Adjudication::ReactiveMixed.to_string(), "reactive expl./impl.");
+        assert_eq!(
+            Adjudication::ReactiveMixed.to_string(),
+            "reactive expl./impl."
+        );
         assert_eq!(
             ArchitecturalPattern::SequentialAlternatives.to_string(),
             "sequential alternatives"
@@ -465,7 +470,10 @@ mod tests {
             Adjudication::ReactiveImplicit,
             FaultSet::DEVELOPMENT,
         );
-        assert_eq!(c.to_string(), "deliberate / code / reactive implicit / development");
+        assert_eq!(
+            c.to_string(),
+            "deliberate / code / reactive implicit / development"
+        );
     }
 
     #[test]

@@ -148,7 +148,7 @@ mod tests {
         let table = render_table2(&[sample_entry(), other]);
         let lines: Vec<&str> = table.lines().collect();
         assert_eq!(lines.len(), 4); // header, rule, 2 rows
-        // Column 2 ("Intention") starts at the same offset in every row.
+                                    // Column 2 ("Intention") starts at the same offset in every row.
         let header_off = lines[0].find("Intention").unwrap();
         assert_eq!(&lines[2][header_off..header_off + 10], "deliberate");
         assert_eq!(&lines[3][header_off..header_off + 10], "deliberate");

@@ -117,14 +117,23 @@ pub fn run_contained<I, O, V>(variant: &V, input: &I, ctx: &mut ExecContext) -> 
 where
     V: Variant<I, O> + ?Sized,
 {
-    ctx.record_invocation(variant.design_cost());
     let name = variant.name().to_owned();
+    let span = ctx.obs_begin(|| redundancy_obs::SpanKind::Variant { name: name.clone() });
+    let before = ctx.cost();
+    ctx.record_invocation(variant.design_cost());
     let result = catch_unwind(AssertUnwindSafe(|| variant.execute(input, ctx)));
-    let cost = ctx.take_cost();
     let result = match result {
         Ok(res) => res,
         Err(payload) => Err(VariantFailure::crash(panic_message(payload.as_ref()))),
     };
+    let status = match &result {
+        Ok(_) => redundancy_obs::SpanStatus::Ok,
+        Err(failure) => redundancy_obs::SpanStatus::Failed {
+            kind: failure.kind(),
+        },
+    };
+    ctx.obs_end(span, status, ctx.cost().delta_since(before).snapshot());
+    let cost = ctx.take_cost();
     VariantOutcome {
         variant: name,
         result,
@@ -153,10 +162,13 @@ where
     O: 'static,
     F: Fn(&I) -> O + Send + Sync + 'static,
 {
-    Box::new(FnVariant::new(name, move |input: &I, ctx: &mut ExecContext| {
-        ctx.charge(work).map_err(|_| VariantFailure::Timeout)?;
-        Ok(f(input))
-    }))
+    Box::new(FnVariant::new(
+        name,
+        move |input: &I, ctx: &mut ExecContext| {
+            ctx.charge(work).map_err(|_| VariantFailure::Timeout)?;
+            Ok(f(input))
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -189,9 +201,12 @@ mod tests {
 
     #[test]
     fn contained_run_catches_string_panic() {
-        let v = FnVariant::new("bomb2", |_: &i32, _: &mut ExecContext| -> Result<i32, VariantFailure> {
-            panic!("code {}", 7);
-        });
+        let v = FnVariant::new(
+            "bomb2",
+            |_: &i32, _: &mut ExecContext| -> Result<i32, VariantFailure> {
+                panic!("code {}", 7);
+            },
+        );
         let mut ctx = ExecContext::new(0);
         let outcome = run_contained(&v, &5, &mut ctx);
         match outcome.result {

@@ -1,0 +1,243 @@
+//! A self-contained, offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds in environments with no network access, so the
+//! real `criterion` cannot be downloaded. This crate implements the subset
+//! of its API used by the workspace's benches — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros — with a straightforward warmup + sampled
+//! measurement loop over `std::time::Instant`.
+//!
+//! Each benchmark prints one line:
+//!
+//! ```text
+//! patterns/parallel_evaluation/3  time: [1.234 µs 1.250 µs 1.301 µs]
+//! ```
+//!
+//! reporting the minimum, median and maximum of the per-sample mean
+//! iteration times, in Criterion's familiar format.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Number of measurement samples per benchmark.
+const SAMPLES: usize = 24;
+
+/// Target wall time spent measuring each benchmark.
+const MEASURE_TIME: Duration = Duration::from_millis(400);
+
+/// Target wall time spent warming up each benchmark.
+const WARMUP_TIME: Duration = Duration::from_millis(120);
+
+/// Identifies one parameterized benchmark: a function name plus a
+/// parameter rendered into the label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id labelled `{name}/{parameter}`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Runs closures under measurement; handed to every benchmark body.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of each sample, filled by `iter`.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it repeatedly over warmup and sample
+    /// phases. The routine's return value is black-boxed so its
+    /// computation cannot be optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_TIME {
+            hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Choose a batch size so each sample takes roughly an equal share
+        // of the measurement budget.
+        let budget = MEASURE_TIME.as_secs_f64() / SAMPLES as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).max(1);
+        self.samples.clear();
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed * 1e9 / batch as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.3} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_and_report(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<48} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let min = sorted[0];
+    let med = sorted[sorted.len() / 2];
+    let max = sorted[sorted.len() - 1];
+    println!(
+        "{label:<48} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(med),
+        format_ns(max)
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        run_and_report(&format!("{}/{}", self.name, id.label), f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_and_report(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_and_report(name, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; nothing to parse.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_time_scales() {
+        assert_eq!(format_ns(12.3456), "12.346 ns");
+        assert_eq!(format_ns(12_345.6), "12.346 µs");
+        assert_eq!(format_ns(12_345_678.0), "12.346 ms");
+        assert_eq!(format_ns(2.5e9), "2.500 s");
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("majority", 3).label, "majority/3");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+}

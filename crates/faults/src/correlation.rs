@@ -101,12 +101,9 @@ where
     (0..suite.versions)
         .map(|v| {
             let own_salt = rng.next_u64();
-            let mut builder = FaultyVariant::builder(
-                format!("version-{v}"),
-                suite.work,
-                golden.clone(),
-            )
-            .corruptor(corrupt.clone());
+            let mut builder =
+                FaultyVariant::builder(format!("version-{v}"), suite.work, golden.clone())
+                    .corruptor(corrupt.clone());
             if common_density > 0.0 {
                 builder = builder.fault(FaultSpec::new(
                     format!("common-bug-v{v}"),
@@ -156,11 +153,7 @@ mod tests {
     }
 
     fn joint_rate(a: &[bool], b: &[bool]) -> f64 {
-        a.iter()
-            .zip(b.iter())
-            .filter(|&(&x, &y)| x && y)
-            .count() as f64
-            / a.len() as f64
+        a.iter().zip(b.iter()).filter(|&(&x, &y)| x && y).count() as f64 / a.len() as f64
     }
 
     #[test]

@@ -169,8 +169,7 @@ mod tests {
     fn detectable_failures_misses_silent_corruption() {
         let d = DetectableFailures::new();
         let silent_wrong = VariantOutcome::ok("v", 999);
-        let crash: VariantOutcome<i32> =
-            VariantOutcome::failed("v", VariantFailure::crash("x"));
+        let crash: VariantOutcome<i32> = VariantOutcome::failed("v", VariantFailure::crash("x"));
         assert!(!d.detect(&1, &silent_wrong)); // blind to wrong output
         assert!(d.detect(&1, &crash));
     }
@@ -199,9 +198,12 @@ mod tests {
 
     #[test]
     fn any_detector_is_union() {
-        let d: AnyDetector<i32, i32> = AnyDetector::new()
-            .with(DetectableFailures::new())
-            .with(InvariantDetector::new("positive", |_: &i32, o: &i32| *o > 0));
+        let d: AnyDetector<i32, i32> =
+            AnyDetector::new()
+                .with(DetectableFailures::new())
+                .with(InvariantDetector::new("positive", |_: &i32, o: &i32| {
+                    *o > 0
+                }));
         assert!(!d.detect(&1, &VariantOutcome::ok("v", 5)));
         assert!(d.detect(&1, &VariantOutcome::ok("v", -5)));
         assert!(d.detect(&1, &VariantOutcome::failed("v", VariantFailure::Timeout)));

@@ -28,6 +28,7 @@
 
 pub mod correlation;
 pub mod detector;
+pub mod plan;
 pub mod spec;
 pub mod variant;
 pub mod workload;
@@ -36,6 +37,9 @@ pub use correlation::{correlated_versions, CorrelatedSuite};
 pub use detector::{
     AnyDetector, DetectableFailures, FailureDetector, InvariantDetector, OracleDetector,
 };
+pub use plan::FaultPlan;
 pub use spec::{Activation, FaultEffect, FaultSpec, Probe};
-pub use variant::{AgeHandle, EnvKnobs, EnvSignature, FaultyVariant, FaultyVariantBuilder, KnobSnapshot};
+pub use variant::{
+    AgeHandle, EnvKnobs, EnvSignature, FaultyVariant, FaultyVariantBuilder, KnobSnapshot,
+};
 pub use workload::{AttackMix, Request, UniformInts, VecInts, Workload};

@@ -1,0 +1,185 @@
+//! Seeded fault plans: a deterministic assignment of faults to the
+//! variant slots of a redundant ensemble.
+//!
+//! Experiments (and the observability integration tests) need the *same*
+//! faults injected into the *same* variants run after run, derived from a
+//! single campaign seed. A [`FaultPlan`] captures that assignment: slot
+//! `i` of the ensemble gets a fixed list of [`FaultSpec`]s whose salts
+//! are mixed from the plan seed, so two plans built from the same seed
+//! are identical and a different seed moves the failing-input subsets.
+
+use std::hash::Hash;
+
+use crate::spec::{mix64, FaultSpec};
+use crate::variant::FaultyVariant;
+
+/// A seeded, deterministic fault assignment for an N-slot ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    slots: Vec<Vec<FaultSpec>>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan derived from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            slots: Vec::new(),
+        }
+    }
+
+    /// The plan's seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Appends a slot carrying the given faults.
+    #[must_use]
+    pub fn with_slot(mut self, faults: Vec<FaultSpec>) -> Self {
+        self.slots.push(faults);
+        self
+    }
+
+    /// A plan of `n` slots, each carrying one Bohrbug of the given input
+    /// `density`. Salts are mixed from the seed and the slot index, so
+    /// each slot fails on its own (deterministic) subset of inputs —
+    /// the independence assumption N-version programming banks on.
+    #[must_use]
+    pub fn bohrbugs(seed: u64, n: usize, density: f64) -> Self {
+        let mut plan = Self::new(seed);
+        for i in 0..n {
+            let salt = mix64(seed, i as u64);
+            plan = plan.with_slot(vec![FaultSpec::bohrbug(
+                format!("plan-bohrbug-{i}"),
+                density,
+                salt,
+            )]);
+        }
+        plan
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The faults assigned to `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn faults(&self, slot: usize) -> &[FaultSpec] {
+        &self.slots[slot]
+    }
+
+    /// Builds slot `slot`'s variant: `compute` wrapped with the slot's
+    /// assigned faults, charging `work` units per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn build_variant<I, O, F>(
+        &self,
+        slot: usize,
+        name: impl Into<String>,
+        work: u64,
+        compute: F,
+    ) -> FaultyVariant<I, O>
+    where
+        F: Fn(&I) -> O + Send + Sync + 'static,
+        I: Hash,
+        O: 'static,
+    {
+        let mut builder = FaultyVariant::builder(name, work, compute);
+        for fault in &self.slots[slot] {
+            builder = builder.fault(fault.clone());
+        }
+        builder.build()
+    }
+
+    /// Like [`build_variant`](Self::build_variant), additionally wiring a
+    /// corruptor so `SilentWrongOutput` faults (Bohrbugs, malicious
+    /// faults) can derive a wrong output from the correct one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn build_variant_corrupting<I, O, F, C>(
+        &self,
+        slot: usize,
+        name: impl Into<String>,
+        work: u64,
+        compute: F,
+        corrupt: C,
+    ) -> FaultyVariant<I, O>
+    where
+        F: Fn(&I) -> O + Send + Sync + 'static,
+        C: Fn(&O, &mut redundancy_core::rng::SplitMix64) -> O + Send + Sync + 'static,
+        I: Hash,
+        O: 'static,
+    {
+        let mut builder = FaultyVariant::builder(name, work, compute).corruptor(corrupt);
+        for fault in &self.slots[slot] {
+            builder = builder.fault(fault.clone());
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redundancy_core::context::ExecContext;
+    use redundancy_core::variant::Variant;
+
+    #[test]
+    fn same_seed_same_plan() {
+        assert_eq!(
+            FaultPlan::bohrbugs(5, 3, 0.1),
+            FaultPlan::bohrbugs(5, 3, 0.1)
+        );
+        assert_ne!(
+            FaultPlan::bohrbugs(5, 3, 0.1),
+            FaultPlan::bohrbugs(6, 3, 0.1)
+        );
+    }
+
+    #[test]
+    fn slots_get_distinct_salts() {
+        let plan = FaultPlan::bohrbugs(1, 4, 0.2);
+        assert_eq!(plan.slots(), 4);
+        let salts: Vec<_> = (0..4).map(|i| format!("{:?}", plan.faults(i))).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(salts[i], salts[j], "slots {i} and {j} share a salt");
+            }
+        }
+    }
+
+    #[test]
+    fn built_variants_fail_deterministically() {
+        let plan = FaultPlan::bohrbugs(7, 2, 0.5);
+        let v = plan.build_variant_corrupting(0, "v0", 5, |x: &i64| x + 1, |o, _| !*o);
+        let wrong: Vec<i64> = (0..100)
+            .filter(|x| {
+                let mut ctx = ExecContext::new(1);
+                v.execute(x, &mut ctx) != Ok(x + 1)
+            })
+            .collect();
+        assert!(!wrong.is_empty(), "density 0.5 must hit some inputs");
+        assert!(wrong.len() < 100, "density 0.5 must spare some inputs");
+        // Bohrbug: the same inputs fail on re-execution, regardless of
+        // the execution context's seed.
+        for x in &wrong {
+            let mut ctx = ExecContext::new(99);
+            assert_ne!(v.execute(x, &mut ctx), Ok(x + 1));
+        }
+    }
+}

@@ -176,12 +176,10 @@ impl Activation {
                     && hash_fraction(mix64(probe.input_key, salt)) < density
             }
             Activation::UninitializedRead { density, salt } => {
-                !probe.knobs.zero_fill
-                    && hash_fraction(mix64(probe.input_key, salt)) < density
+                !probe.knobs.zero_fill && hash_fraction(mix64(probe.input_key, salt)) < density
             }
             Activation::MessageRace { density, salt } => {
-                hash_fraction(mix64(mix64(probe.input_key, probe.knobs.order_seed), salt))
-                    < density
+                hash_fraction(mix64(mix64(probe.input_key, probe.knobs.order_seed), salt)) < density
             }
             Activation::Overload { p } => {
                 let admitted = f64::from(probe.knobs.throttle_permille) / 1000.0;
@@ -278,7 +276,11 @@ impl FaultSpec {
     /// rejuvenation.
     #[must_use]
     pub fn aging(id: impl Into<String>, base: f64, growth: f64) -> Self {
-        Self::new(id, Activation::AgeHazard { base, growth }, FaultEffect::Crash)
+        Self::new(
+            id,
+            Activation::AgeHazard { base, growth },
+            FaultEffect::Crash,
+        )
     }
 
     /// A malicious fault corrupting output on attack-flagged inputs.
@@ -391,7 +393,10 @@ mod tests {
                 act.fires(&probe, &mut r)
             })
             .count();
-        assert!(rate_old > rate_young * 5, "young {rate_young}, old {rate_old}");
+        assert!(
+            rate_old > rate_young * 5,
+            "young {rate_young}, old {rate_old}"
+        );
     }
 
     #[test]
@@ -469,15 +474,28 @@ mod tests {
 
     #[test]
     fn fault_classes_derive_from_activation() {
-        assert_eq!(FaultSpec::bohrbug("b", 0.1, 0).fault_class(), FaultClass::Bohrbug);
-        assert_eq!(FaultSpec::heisenbug("h", 0.1).fault_class(), FaultClass::Heisenbug);
-        assert_eq!(FaultSpec::aging("a", 0.0, 0.1).fault_class(), FaultClass::Heisenbug);
+        assert_eq!(
+            FaultSpec::bohrbug("b", 0.1, 0).fault_class(),
+            FaultClass::Bohrbug
+        );
+        assert_eq!(
+            FaultSpec::heisenbug("h", 0.1).fault_class(),
+            FaultClass::Heisenbug
+        );
+        assert_eq!(
+            FaultSpec::aging("a", 0.0, 0.1).fault_class(),
+            FaultClass::Heisenbug
+        );
         assert_eq!(
             FaultSpec::malicious("m", 1.0, 0).fault_class(),
             FaultClass::Malicious
         );
         assert_eq!(
-            Activation::EnvSensitive { density: 0.1, salt: 0 }.fault_class(),
+            Activation::EnvSensitive {
+                density: 0.1,
+                salt: 0
+            }
+            .fault_class(),
             FaultClass::Heisenbug
         );
     }
@@ -558,21 +576,37 @@ mod tests {
         let full_rate = full_fires as f64 / 2000.0;
         let throttled_rate = throttled_fires as f64 / 2000.0;
         assert!((full_rate - 0.8).abs() < 0.04, "full {full_rate}");
-        assert!((throttled_rate - 0.2).abs() < 0.04, "throttled {throttled_rate}");
+        assert!(
+            (throttled_rate - 0.2).abs() < 0.04,
+            "throttled {throttled_rate}"
+        );
     }
 
     #[test]
     fn knob_aware_fault_classes() {
         assert_eq!(
-            Activation::BufferOverflow { density: 0.1, salt: 0, overflow: 8 }.fault_class(),
+            Activation::BufferOverflow {
+                density: 0.1,
+                salt: 0,
+                overflow: 8
+            }
+            .fault_class(),
             FaultClass::Bohrbug
         );
         assert_eq!(
-            Activation::UninitializedRead { density: 0.1, salt: 0 }.fault_class(),
+            Activation::UninitializedRead {
+                density: 0.1,
+                salt: 0
+            }
+            .fault_class(),
             FaultClass::Bohrbug
         );
         assert_eq!(
-            Activation::MessageRace { density: 0.1, salt: 0 }.fault_class(),
+            Activation::MessageRace {
+                density: 0.1,
+                salt: 0
+            }
+            .fault_class(),
             FaultClass::Heisenbug
         );
         assert_eq!(

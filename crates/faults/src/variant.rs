@@ -140,8 +140,12 @@ impl EnvKnobs {
     /// Replaces the knob values.
     pub fn set(&self, snapshot: KnobSnapshot) {
         self.0.padding.store(snapshot.padding, Ordering::Relaxed);
-        self.0.zero_fill.store(snapshot.zero_fill, Ordering::Relaxed);
-        self.0.order_seed.store(snapshot.order_seed, Ordering::Relaxed);
+        self.0
+            .zero_fill
+            .store(snapshot.zero_fill, Ordering::Relaxed);
+        self.0
+            .order_seed
+            .store(snapshot.order_seed, Ordering::Relaxed);
         self.0
             .priority
             .store(u64::from(snapshot.priority), Ordering::Relaxed);
@@ -440,9 +444,7 @@ mod tests {
             .fault(FaultSpec::heisenbug("h1", 0.5))
             .build();
         let mut c = ctx();
-        let crashes = (0..1000)
-            .filter(|_| v.execute(&7, &mut c).is_err())
-            .count();
+        let crashes = (0..1000).filter(|_| v.execute(&7, &mut c).is_err()).count();
         assert!(crashes > 400 && crashes < 600, "crashes {crashes}");
     }
 
@@ -533,13 +535,20 @@ mod tests {
             mk(FaultEffect::Omission).execute(&1, &mut c),
             Err(VariantFailure::Omission)
         );
-        assert_eq!(mk(FaultEffect::SilentWrongOutput).execute(&1, &mut c), Ok(2));
+        assert_eq!(
+            mk(FaultEffect::SilentWrongOutput).execute(&1, &mut c),
+            Ok(2)
+        );
     }
 
     #[test]
     fn first_activating_fault_wins() {
         let v = FaultyVariant::builder("multi", 1, |x: &i64| *x)
-            .fault(FaultSpec::new("f1", Activation::Always, FaultEffect::Omission))
+            .fault(FaultSpec::new(
+                "f1",
+                Activation::Always,
+                FaultEffect::Omission,
+            ))
             .fault(FaultSpec::new("f2", Activation::Always, FaultEffect::Crash))
             .build();
         let mut c = ctx();

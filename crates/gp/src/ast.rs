@@ -123,9 +123,7 @@ impl Expr {
                 Cond::Lt(a, b) | Cond::Le(a, b) | Cond::Eq(a, b) => {
                     walk(a, idx).or_else(|| walk(b, idx))
                 }
-                Cond::And(x, y) | Cond::Or(x, y) => {
-                    cond_walk(x, idx).or_else(|| cond_walk(y, idx))
-                }
+                Cond::And(x, y) | Cond::Or(x, y) => cond_walk(x, idx).or_else(|| cond_walk(y, idx)),
                 Cond::Not(x) => cond_walk(x, idx),
             }
         }
@@ -486,7 +484,10 @@ mod tests {
             Box::new(Cond::Not(Box::new(lt(c(5), c(3))))),
         );
         assert!(t.eval(&[]));
-        let u = Cond::Or(Box::new(lt(c(5), c(3))), Box::new(Cond::Eq(Box::new(c(1)), Box::new(c(1)))));
+        let u = Cond::Or(
+            Box::new(lt(c(5), c(3))),
+            Box::new(Cond::Eq(Box::new(c(1)), Box::new(c(1)))),
+        );
         assert!(u.eval(&[]));
         assert!(t.size() > 0 && t.depth() > 0);
     }

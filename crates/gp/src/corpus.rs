@@ -119,11 +119,7 @@ pub fn corpus() -> Vec<BuggyProgram> {
             name: "sign",
             // Correct: if x0 < 0 then -1 else if 0 < x0 then 1 else 0.
             // Bug: negative branch returns 0.
-            faulty: iff(
-                lt(v(0), c(0)),
-                c(0),
-                iff(lt(c(0), v(0)), c(1), c(0)),
-            ),
+            faulty: iff(lt(v(0), c(0)), c(0), iff(lt(c(0), v(0)), c(1), c(0))),
             reference: r_sign,
             arity: 1,
             bug: "negative branch returns 0 instead of -1",
@@ -132,11 +128,7 @@ pub fn corpus() -> Vec<BuggyProgram> {
             name: "clamp",
             // Correct: if x0 < -10 then -10 else if 10 < x0 then 10 else x0.
             // Bug: wrong boundary constant (clamps at -1).
-            faulty: iff(
-                lt(v(0), c(-1)),
-                c(-10),
-                iff(lt(c(10), v(0)), c(10), v(0)),
-            ),
+            faulty: iff(lt(v(0), c(-1)), c(-10), iff(lt(c(10), v(0)), c(10), v(0))),
             reference: r_clamp,
             arity: 1,
             bug: "wrong lower boundary (-1 instead of -10)",
@@ -177,19 +169,11 @@ pub fn correct_versions() -> Vec<(&'static str, Expr)> {
         ("poly", add(add(mul(v(0), v(0)), mul(c(2), v(0))), c(1))),
         (
             "sign",
-            iff(
-                lt(v(0), c(0)),
-                c(-1),
-                iff(lt(c(0), v(0)), c(1), c(0)),
-            ),
+            iff(lt(v(0), c(0)), c(-1), iff(lt(c(0), v(0)), c(1), c(0))),
         ),
         (
             "clamp",
-            iff(
-                lt(v(0), c(-10)),
-                c(-10),
-                iff(lt(c(10), v(0)), c(10), v(0)),
-            ),
+            iff(lt(v(0), c(-10)), c(-10), iff(lt(c(10), v(0)), c(10), v(0))),
         ),
         (
             "min3",

@@ -84,6 +84,19 @@ impl Gp {
     /// mutants of it (repairs are usually near the original — Weimer et
     /// al.'s key observation), topped up with random trees for diversity.
     pub fn repair(&self, faulty: &Expr, suite: &TestSuite, rng: &mut SplitMix64) -> GpResult {
+        self.repair_observed(faulty, suite, rng, |_, _, _| {})
+    }
+
+    /// Like [`repair`](Self::repair), but calls `on_generation(generation,
+    /// best_fitness, total_cases)` after each generation's evaluation —
+    /// the hook observability layers use to trace search progress.
+    pub fn repair_observed(
+        &self,
+        faulty: &Expr,
+        suite: &TestSuite,
+        rng: &mut SplitMix64,
+        mut on_generation: impl FnMut(usize, usize, usize),
+    ) -> GpResult {
         let p = &self.params;
         let mut evaluations: u64 = 0;
         let mut population: Vec<Expr> = Vec::with_capacity(p.population);
@@ -107,6 +120,7 @@ impl Gp {
             .collect();
 
         let mut best_idx = argmax(&fitness);
+        on_generation(0, fitness[best_idx], suite.len());
         for generation in 0..p.generations {
             if fitness[best_idx] == suite.len() {
                 return GpResult {
@@ -152,6 +166,7 @@ impl Gp {
                 })
                 .collect();
             best_idx = argmax(&fitness);
+            on_generation(generation + 1, fitness[best_idx], suite.len());
         }
         GpResult {
             best: population[best_idx].clone(),
@@ -241,7 +256,12 @@ mod tests {
         let suite = TestSuite::from_reference(|xs| xs[0] + 1, 1, 40, -50, 50, &mut rng);
         let gp = Gp::new(1, GpParams::default());
         let result = gp.repair(&faulty, &suite, &mut rng);
-        assert!(result.is_fixed(), "best fitness {}/{}", result.best_fitness, result.total_cases);
+        assert!(
+            result.is_fixed(),
+            "best fitness {}/{}",
+            result.best_fitness,
+            result.total_cases
+        );
         assert!(suite.all_pass(&result.best));
     }
 
@@ -250,11 +270,15 @@ mod tests {
         // Faulty computes min; the suite demands max.
         let faulty = iff(lt(v(0), v(1)), v(0), v(1));
         let mut rng = SplitMix64::new(3);
-        let suite =
-            TestSuite::from_reference(|xs| xs[0].max(xs[1]), 2, 40, -50, 50, &mut rng);
+        let suite = TestSuite::from_reference(|xs| xs[0].max(xs[1]), 2, 40, -50, 50, &mut rng);
         let gp = Gp::new(2, GpParams::default());
         let result = gp.repair(&faulty, &suite, &mut rng);
-        assert!(result.is_fixed(), "best fitness {}/{}", result.best_fitness, result.total_cases);
+        assert!(
+            result.is_fixed(),
+            "best fitness {}/{}",
+            result.best_fitness,
+            result.total_cases
+        );
     }
 
     #[test]

@@ -1,0 +1,559 @@
+//! Exporters: span-tree rendering, trace summaries, and JSON-lines.
+//!
+//! All exporters consume a flat `&[Event]` slice (as produced by
+//! [`RingBufferObserver::events`](crate::RingBufferObserver::events)) and
+//! are tolerant of truncated traces: a ring buffer that wrapped may have
+//! lost the starts of old spans, and the renderers degrade gracefully.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::event::{CostSnapshot, Event, EventKind, SpanId, SpanStatus, ROOT_SPAN};
+
+/// Renders a trace as an indented span tree, one line per event.
+///
+/// Span starts open an indent level, span ends close it (annotated with
+/// status and cost), points render as `•` leaves. Events whose span start
+/// was lost to ring-buffer wraparound render at the root level.
+#[must_use]
+pub fn render_span_tree(events: &[Event]) -> String {
+    let mut out = String::new();
+    // Depth of each known open span; root is depth 0.
+    let mut depth: BTreeMap<SpanId, usize> = BTreeMap::new();
+    depth.insert(ROOT_SPAN, 0);
+    for event in events {
+        match &event.kind {
+            EventKind::SpanStart { kind } => {
+                let d = depth.get(&event.parent).copied().unwrap_or(0);
+                depth.insert(event.span, d + 1);
+                let _ = writeln!(
+                    out,
+                    "{:indent$}▶ {} [span {} @{}]",
+                    "",
+                    kind.label(),
+                    event.span,
+                    event.clock,
+                    indent = d * 2
+                );
+            }
+            EventKind::SpanEnd { status, cost } => {
+                let d = depth.remove(&event.span).map_or(0, |d| d.saturating_sub(1));
+                let _ = writeln!(
+                    out,
+                    "{:indent$}◀ {} [span {} @{}] ticks={} fuel={} inv={}",
+                    "",
+                    status.label(),
+                    event.span,
+                    event.clock,
+                    cost.virtual_ns,
+                    cost.work_units,
+                    cost.invocations,
+                    indent = d * 2
+                );
+            }
+            EventKind::Point(point) => {
+                let d = depth.get(&event.span).copied().unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "{:indent$}• {} @{}",
+                    "",
+                    point.name(),
+                    event.clock,
+                    indent = d * 2
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Aggregate view of a trace: event/span counts, verdict tallies, failure
+/// and point breakdowns, and total cost across top-level spans.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Total events summarized.
+    pub events: usize,
+    /// Spans that both started and ended inside the trace.
+    pub spans_closed: usize,
+    /// Spans started but never ended (trace truncated or still running).
+    pub spans_open: usize,
+    /// Accepted adjudications (from span statuses and verdict points).
+    pub accepted: usize,
+    /// Rejected adjudications, keyed by rejection reason.
+    pub rejected: BTreeMap<&'static str, usize>,
+    /// Failed spans, keyed by failure kind.
+    pub failed: BTreeMap<&'static str, usize>,
+    /// Point events, keyed by point name.
+    pub points: BTreeMap<&'static str, usize>,
+    /// Summed cost of spans that ended with no enclosing span in-trace
+    /// (i.e. the roots actually covered by this trace).
+    pub total_cost: CostSnapshot,
+}
+
+impl TraceSummary {
+    /// Summarizes a flat event slice.
+    #[must_use]
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut summary = TraceSummary {
+            events: events.len(),
+            ..TraceSummary::default()
+        };
+        let mut open: BTreeMap<SpanId, SpanId> = BTreeMap::new(); // span -> parent
+        for event in events {
+            match &event.kind {
+                EventKind::SpanStart { .. } => {
+                    open.insert(event.span, event.parent);
+                }
+                EventKind::SpanEnd { status, cost } => {
+                    let parent = open.remove(&event.span);
+                    if parent.is_some() {
+                        summary.spans_closed += 1;
+                    }
+                    // Only roots (parent not itself inside an open span we
+                    // know about) contribute to the total, so nested costs
+                    // are not double counted.
+                    let parent_open = parent.is_some_and(|p| open.contains_key(&p));
+                    if !parent_open {
+                        summary.total_cost.work_units += cost.work_units;
+                        summary.total_cost.virtual_ns += cost.virtual_ns;
+                        summary.total_cost.invocations += cost.invocations;
+                        summary.total_cost.design_cost += cost.design_cost;
+                    }
+                    match status {
+                        SpanStatus::Accepted { .. } => summary.accepted += 1,
+                        SpanStatus::Rejected { reason } => {
+                            *summary.rejected.entry(reason).or_insert(0) += 1;
+                        }
+                        SpanStatus::Failed { kind } => {
+                            *summary.failed.entry(kind).or_insert(0) += 1;
+                        }
+                        SpanStatus::Ok | SpanStatus::Trial { .. } => {}
+                    }
+                }
+                EventKind::Point(point) => {
+                    *summary.points.entry(leak_free_name(point)).or_insert(0) += 1;
+                }
+            }
+        }
+        summary.spans_open = open.len();
+        summary
+    }
+}
+
+/// `Point::name()` returns `&'static str` for every builtin point; custom
+/// points carry their own static name. This helper just documents that no
+/// leaking is involved.
+fn leak_free_name(point: &crate::event::Point) -> &'static str {
+    point.name()
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace: {} events, {} spans closed, {} open",
+            self.events, self.spans_closed, self.spans_open
+        )?;
+        writeln!(
+            f,
+            "cost:  ticks={} fuel={} invocations={} design={:.1}",
+            self.total_cost.virtual_ns,
+            self.total_cost.work_units,
+            self.total_cost.invocations,
+            self.total_cost.design_cost
+        )?;
+        write!(f, "adjudication: {} accepted", self.accepted)?;
+        for (reason, n) in &self.rejected {
+            write!(f, ", {n} rejected ({reason})")?;
+        }
+        for (kind, n) in &self.failed {
+            write!(f, ", {n} failed ({kind})")?;
+        }
+        writeln!(f)?;
+        if !self.points.is_empty() {
+            write!(f, "points:")?;
+            for (name, n) in &self.points {
+                write!(f, " {name}={n}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: summarize and render in one call (what `--trace` prints).
+#[must_use]
+pub fn summary(events: &[Event]) -> String {
+    TraceSummary::from_events(events).to_string()
+}
+
+#[cfg(feature = "serde")]
+pub use self::jsonl::{event_to_json, to_jsonl};
+
+#[cfg(feature = "serde")]
+mod jsonl {
+    //! Hand-rolled JSON-lines serialization (the workspace builds offline,
+    //! with no real serde available; the output is plain JSON regardless).
+
+    use std::fmt::Write as _;
+
+    use crate::event::{Event, EventKind, Point, SpanKind, SpanStatus};
+
+    fn escape(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn span_kind_json(kind: &SpanKind, out: &mut String) {
+        match kind {
+            SpanKind::Trial { index, seed } => {
+                let _ = write!(out, "{{\"trial\":{{\"index\":{index},\"seed\":{seed}}}}}");
+            }
+            SpanKind::Technique { name } => {
+                out.push_str("{\"technique\":");
+                escape(name, out);
+                out.push('}');
+            }
+            SpanKind::Pattern { name } => {
+                out.push_str("{\"pattern\":");
+                escape(name, out);
+                out.push('}');
+            }
+            SpanKind::Variant { name } => {
+                out.push_str("{\"variant\":");
+                escape(name, out);
+                out.push('}');
+            }
+            SpanKind::Scope { name } => {
+                out.push_str("{\"scope\":");
+                escape(name, out);
+                out.push('}');
+            }
+        }
+    }
+
+    fn status_json(status: &SpanStatus, out: &mut String) {
+        match status {
+            SpanStatus::Ok => out.push_str("{\"ok\":true}"),
+            SpanStatus::Accepted { support, dissent } => {
+                let _ = write!(
+                    out,
+                    "{{\"accepted\":{{\"support\":{support},\"dissent\":{dissent}}}}}"
+                );
+            }
+            SpanStatus::Rejected { reason } => {
+                out.push_str("{\"rejected\":");
+                escape(reason, out);
+                out.push('}');
+            }
+            SpanStatus::Failed { kind } => {
+                out.push_str("{\"failed\":");
+                escape(kind, out);
+                out.push('}');
+            }
+            SpanStatus::Trial { disposition } => {
+                out.push_str("{\"trial\":");
+                escape(disposition, out);
+                out.push('}');
+            }
+        }
+    }
+
+    fn point_json(point: &Point, out: &mut String) {
+        out.push_str("{\"name\":");
+        escape(point.name(), out);
+        match point {
+            Point::Verdict {
+                accepted,
+                support,
+                dissent,
+                rejection,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"accepted\":{accepted},\"support\":{support},\"dissent\":{dissent}"
+                );
+                if let Some(reason) = rejection {
+                    out.push_str(",\"rejection\":");
+                    escape(reason, out);
+                }
+            }
+            Point::FuelExhausted { consumed } => {
+                let _ = write!(out, ",\"consumed\":{consumed}");
+            }
+            Point::Checkpoint { label } | Point::Rollback { label } => {
+                out.push_str(",\"label\":");
+                escape(label, out);
+            }
+            Point::Rejuvenation { age_before } => {
+                let _ = write!(out, ",\"age_before\":{age_before}");
+            }
+            Point::Reboot { component, depth } => {
+                out.push_str(",\"component\":");
+                escape(component, out);
+                let _ = write!(out, ",\"depth\":{depth}");
+            }
+            Point::ServiceRebind {
+                interface,
+                from,
+                to,
+            } => {
+                out.push_str(",\"interface\":");
+                escape(interface, out);
+                out.push_str(",\"from\":");
+                escape(from, out);
+                out.push_str(",\"to\":");
+                escape(to, out);
+            }
+            Point::Reexpression { name, attempt } => {
+                out.push_str(",\"reexpression\":");
+                escape(name, out);
+                let _ = write!(out, ",\"attempt\":{attempt}");
+            }
+            Point::Perturbation { knob, attempt } => {
+                out.push_str(",\"knob\":");
+                escape(knob, out);
+                let _ = write!(out, ",\"attempt\":{attempt}");
+            }
+            Point::GpGeneration {
+                generation,
+                best_fitness,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"generation\":{generation},\"best_fitness\":{best_fitness}"
+                );
+            }
+            Point::ReplicaDivergence { detail } => {
+                out.push_str(",\"detail\":");
+                escape(detail, out);
+            }
+            Point::Audit { clean, errors } => {
+                let _ = write!(out, ",\"clean\":{clean},\"errors\":{errors}");
+            }
+            Point::Repair { outcome } => {
+                out.push_str(",\"outcome\":");
+                escape(outcome, out);
+            }
+            Point::Workaround { rule, applied } => {
+                out.push_str(",\"rule\":");
+                escape(rule, out);
+                let _ = write!(out, ",\"applied\":{applied}");
+            }
+            Point::Sanitized { action } => {
+                out.push_str(",\"action\":");
+                escape(action, out);
+            }
+            Point::Custom { detail, .. } => {
+                out.push_str(",\"detail\":");
+                escape(detail, out);
+            }
+        }
+        out.push('}');
+    }
+
+    /// Serializes one event as a single JSON object (no trailing newline).
+    #[must_use]
+    pub fn event_to_json(event: &Event) -> String {
+        let mut out = String::with_capacity(128);
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"span\":{},\"parent\":{},\"clock\":{},",
+            event.seq, event.span, event.parent, event.clock
+        );
+        match &event.kind {
+            EventKind::SpanStart { kind } => {
+                out.push_str("\"start\":");
+                span_kind_json(kind, &mut out);
+            }
+            EventKind::SpanEnd { status, cost } => {
+                out.push_str("\"end\":{\"status\":");
+                status_json(status, &mut out);
+                let _ = write!(
+                    out,
+                    ",\"cost\":{{\"work_units\":{},\"virtual_ns\":{},\"invocations\":{},\"design_cost\":{}}}}}",
+                    cost.work_units, cost.virtual_ns, cost.invocations, cost.design_cost
+                );
+            }
+            EventKind::Point(point) => {
+                out.push_str("\"point\":");
+                point_json(point, &mut out);
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Serializes a trace as JSON-lines: one event object per line.
+    #[must_use]
+    pub fn to_jsonl(events: &[Event]) -> String {
+        let mut out = String::new();
+        for event in events {
+            out.push_str(&event_to_json(event));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Point, SpanKind};
+
+    fn sample_trace() -> Vec<Event> {
+        vec![
+            Event {
+                seq: 0,
+                span: 1,
+                parent: ROOT_SPAN,
+                clock: 0,
+                kind: EventKind::SpanStart {
+                    kind: SpanKind::Technique { name: "nvp" },
+                },
+            },
+            Event {
+                seq: 1,
+                span: 2,
+                parent: 1,
+                clock: 0,
+                kind: EventKind::SpanStart {
+                    kind: SpanKind::Variant {
+                        name: "v1".to_owned(),
+                    },
+                },
+            },
+            Event {
+                seq: 2,
+                span: 2,
+                parent: 1,
+                clock: 10,
+                kind: EventKind::SpanEnd {
+                    status: SpanStatus::Failed { kind: "crash" },
+                    cost: CostSnapshot {
+                        virtual_ns: 10,
+                        work_units: 3,
+                        invocations: 1,
+                        design_cost: 0.0,
+                    },
+                },
+            },
+            Event {
+                seq: 3,
+                span: 1,
+                parent: 1,
+                clock: 10,
+                kind: EventKind::Point(Point::Verdict {
+                    accepted: true,
+                    support: 2,
+                    dissent: 1,
+                    rejection: None,
+                }),
+            },
+            Event {
+                seq: 4,
+                span: 1,
+                parent: ROOT_SPAN,
+                clock: 12,
+                kind: EventKind::SpanEnd {
+                    status: SpanStatus::Accepted {
+                        support: 2,
+                        dissent: 1,
+                    },
+                    cost: CostSnapshot {
+                        virtual_ns: 12,
+                        work_units: 9,
+                        invocations: 3,
+                        design_cost: 3.0,
+                    },
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn span_tree_indents_and_closes() {
+        let tree = render_span_tree(&sample_trace());
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("▶ technique nvp"));
+        assert!(lines[1].starts_with("  ▶ variant v1"));
+        assert!(lines[2].starts_with("  ◀ failed (crash)"));
+        assert!(lines[3].starts_with("  • verdict"));
+        assert!(lines[4].starts_with("◀ accepted 2:1"));
+        assert!(lines[4].contains("ticks=12"));
+    }
+
+    #[test]
+    fn summary_counts_and_total_cost_not_double_counted() {
+        let s = TraceSummary::from_events(&sample_trace());
+        assert_eq!(s.events, 5);
+        assert_eq!(s.spans_closed, 2);
+        assert_eq!(s.spans_open, 0);
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.failed.get("crash"), Some(&1));
+        assert_eq!(s.points.get("verdict"), Some(&1));
+        // The variant span is nested in the technique span: only the
+        // technique's cost counts toward the total.
+        assert_eq!(s.total_cost.virtual_ns, 12);
+        assert_eq!(s.total_cost.invocations, 3);
+        let rendered = s.to_string();
+        assert!(rendered.contains("1 accepted"));
+        assert!(rendered.contains("1 failed (crash)"));
+    }
+
+    #[test]
+    fn summary_tolerates_truncated_trace() {
+        // Drop the first two events (as a wrapped ring buffer would).
+        let events = sample_trace()[2..].to_vec();
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.spans_closed, 0, "starts were lost");
+        // Both ends count as roots now; costs sum without panicking.
+        assert_eq!(s.total_cost.virtual_ns, 22);
+        let tree = render_span_tree(&events);
+        assert_eq!(tree.lines().count(), 3);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn jsonl_round_trip_shape() {
+        let lines = to_jsonl(&sample_trace());
+        assert_eq!(lines.lines().count(), 5);
+        let first = lines.lines().next().unwrap();
+        assert!(first.starts_with("{\"seq\":0,"));
+        assert!(first.contains("\"start\":{\"technique\":\"nvp\"}"));
+        let end = lines.lines().nth(4).unwrap();
+        assert!(end.contains("\"accepted\":{\"support\":2,\"dissent\":1}"));
+        assert!(end.contains("\"virtual_ns\":12"));
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn json_escapes_strings() {
+        let event = Event {
+            seq: 0,
+            span: 1,
+            parent: 0,
+            clock: 0,
+            kind: EventKind::Point(Point::ReplicaDivergence {
+                detail: "quote \" backslash \\ newline \n".to_owned(),
+            }),
+        };
+        let json = event_to_json(&event);
+        assert!(json.contains("quote \\\" backslash \\\\ newline \\n"));
+    }
+}

@@ -1,0 +1,72 @@
+//! # redundancy-obs — structured tracing, metrics and trial forensics
+//!
+//! Observability for the redundancy framework: every layer of the stack
+//! (the core pattern engines, the 17 technique modules, the Monte-Carlo
+//! simulator) emits structured [`Event`]s describing what happened —
+//! variant executions and their failures, adjudicator verdicts and
+//! rejection reasons, fuel consumption, checkpoints and rollbacks,
+//! rejuvenations, reboots, service rebinds, GP generations — and this
+//! crate provides the places those events go.
+//!
+//! ## Design
+//!
+//! - **Zero cost when disabled.** Instrumented code holds an
+//!   `Option<ObsHandle>`; with no handle attached the per-event cost is
+//!   one branch. Attaching a disabled observer (the default
+//!   [`NoopObserver`] reports `enabled() == false`) short-circuits the
+//!   same way: event payloads are built inside closures that only run
+//!   when a consuming observer is attached.
+//! - **Dependency-free base crate.** This crate sits *below*
+//!   `redundancy-core` in the workspace graph so every layer can emit.
+//!   Domain enums are carried as `&'static str` labels
+//!   (`VariantFailure::kind()`, `RejectionReason::kind()`).
+//! - **Bounded capture.** [`RingBufferObserver`] keeps the most recent N
+//!   events and counts what it dropped; exporters tolerate truncation.
+//!
+//! ## Worked example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use redundancy_obs::{
+//!     CostSnapshot, ObsHandle, Point, RingBufferObserver, SpanKind, SpanStatus, TraceSummary,
+//! };
+//!
+//! let ring = RingBufferObserver::shared(1024);
+//! let mut obs = ObsHandle::new(ring.clone());
+//!
+//! let technique = obs.begin_span(0, || SpanKind::Technique { name: "n-version" });
+//! obs.emit(30, || Point::Verdict {
+//!     accepted: true,
+//!     support: 2,
+//!     dissent: 1,
+//!     rejection: None,
+//! });
+//! obs.end_span(
+//!     technique,
+//!     30,
+//!     SpanStatus::Accepted { support: 2, dissent: 1 },
+//!     CostSnapshot { virtual_ns: 30, work_units: 9, invocations: 3, design_cost: 3.0 },
+//! );
+//!
+//! let summary = TraceSummary::from_events(&ring.events());
+//! assert_eq!(summary.accepted, 1);
+//! assert_eq!(summary.total_cost.virtual_ns, 30);
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod export;
+mod metrics;
+mod observer;
+
+pub use event::{CostSnapshot, Event, EventKind, Point, SpanId, SpanKind, SpanStatus, ROOT_SPAN};
+#[cfg(feature = "serde")]
+pub use export::{event_to_json, to_jsonl};
+pub use export::{render_span_tree, summary, TraceSummary};
+pub use metrics::{
+    Histogram, MetricKey, MetricsObserver, MetricsRegistry, FUEL_BUCKETS, TICK_BUCKETS,
+};
+pub use observer::{
+    FanoutObserver, NoopObserver, ObsHandle, Observer, RingBufferObserver, SpanToken,
+};

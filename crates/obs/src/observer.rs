@@ -1,0 +1,469 @@
+//! Observers: where emitted events go.
+//!
+//! The [`Observer`] trait is the single sink interface. Instrumented code
+//! never calls it directly — it goes through [`ObsHandle`], which carries
+//! the observer, the span-id allocator and the current span, and is cheap
+//! to clone into forked execution contexts. When no handle is attached
+//! (the default) instrumentation is a single `Option` test; when a
+//! disabled observer (e.g. [`NoopObserver`]) is attached, the cached
+//! `enabled` flag still short-circuits event construction. Either way the
+//! hot path never allocates.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{
+    CostSnapshot, Event, EventKind, Point, SpanId, SpanKind, SpanStatus, ROOT_SPAN,
+};
+
+/// A sink for [`Event`]s.
+///
+/// Implementations must be thread-safe: the `Threaded` execution mode
+/// records from several variant threads at once.
+pub trait Observer: Send + Sync {
+    /// Whether this observer wants events at all. Instrumentation caches
+    /// this at attach time and skips event construction when `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event. The observer assigns the event's global `seq`.
+    fn record(&self, event: Event);
+}
+
+/// The default observer: discards everything and reports itself disabled,
+/// so instrumentation never even constructs events.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: Event) {}
+}
+
+/// Bounded in-memory capture: keeps the most recent `capacity` events,
+/// dropping the oldest on overflow (and counting the drops).
+///
+/// # Examples
+///
+/// ```
+/// use redundancy_obs::{Event, EventKind, Observer, Point, RingBufferObserver};
+///
+/// let ring = RingBufferObserver::new(2);
+/// for i in 0..3 {
+///     ring.record(Event {
+///         seq: 0,
+///         span: 0,
+///         parent: 0,
+///         clock: i,
+///         kind: EventKind::Point(Point::Custom {
+///             name: "tick",
+///             detail: String::new(),
+///         }),
+///     });
+/// }
+/// assert_eq!(ring.len(), 2);
+/// assert_eq!(ring.dropped(), 1);
+/// let events = ring.events();
+/// assert_eq!(events[0].seq, 1); // seq 0 was evicted
+/// ```
+pub struct RingBufferObserver {
+    seq: AtomicU64,
+    capacity: usize,
+    inner: Mutex<Ring>,
+}
+
+struct Ring {
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl RingBufferObserver {
+    /// Creates a ring buffer holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBufferObserver {
+            seq: AtomicU64::new(0),
+            capacity,
+            inner: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(capacity),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Convenience: a new ring behind an `Arc`, ready to attach.
+    #[must_use]
+    pub fn shared(capacity: usize) -> Arc<Self> {
+        Arc::new(Self::new(capacity))
+    }
+
+    /// Maximum number of retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    /// Whether no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().buf.is_empty()
+    }
+
+    /// Number of events evicted because the buffer was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Copies the retained events out, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().buf.iter().cloned().collect()
+    }
+
+    /// Takes the retained events out, leaving the buffer empty (the drop
+    /// counter and sequence numbering continue).
+    #[must_use]
+    pub fn take(&self) -> Vec<Event> {
+        self.lock().buf.drain(..).collect()
+    }
+
+    /// Clears the buffer and the drop counter.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.buf.clear();
+        inner.dropped = 0;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        self.inner
+            .lock()
+            .expect("ring buffer lock is never poisoned")
+    }
+}
+
+impl Observer for RingBufferObserver {
+    fn record(&self, mut event: Event) {
+        event.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.lock();
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(event);
+    }
+}
+
+/// Broadcasts every event to several sinks (e.g. a [`MetricsObserver`]
+/// aggregating and a [`RingBufferObserver`] capturing the raw stream).
+///
+/// Enabled iff any sink is enabled; disabled sinks are skipped per event.
+///
+/// [`MetricsObserver`]: crate::metrics::MetricsObserver
+pub struct FanoutObserver {
+    sinks: Vec<Arc<dyn Observer>>,
+}
+
+impl FanoutObserver {
+    /// Wraps the given sinks.
+    #[must_use]
+    pub fn new(sinks: Vec<Arc<dyn Observer>>) -> Self {
+        FanoutObserver { sinks }
+    }
+}
+
+impl Observer for FanoutObserver {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn record(&self, event: Event) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.record(event.clone());
+            }
+        }
+    }
+}
+
+/// The instrumentation handle carried by execution contexts: an observer,
+/// the shared span-id allocator, and the current span.
+///
+/// Cloning (for forked contexts) shares the allocator and observer; the
+/// clone inherits the current span, so spans opened by a child are
+/// parented under the span the parent was in at fork time.
+#[derive(Clone)]
+pub struct ObsHandle {
+    observer: Arc<dyn Observer>,
+    ids: Arc<AtomicU64>,
+    current: SpanId,
+    enabled: bool,
+}
+
+/// Token returned by [`ObsHandle::begin_span`]; hand it back to
+/// [`ObsHandle::end_span`]. Carries the previous span to restore.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "end_span must be called with this token"]
+pub struct SpanToken {
+    span: SpanId,
+    previous: SpanId,
+}
+
+impl ObsHandle {
+    /// Wraps an observer, caching its `enabled` flag. Span ids start at 1.
+    #[must_use]
+    pub fn new(observer: Arc<dyn Observer>) -> Self {
+        let enabled = observer.enabled();
+        ObsHandle {
+            observer,
+            ids: Arc::new(AtomicU64::new(1)),
+            current: ROOT_SPAN,
+            enabled,
+        }
+    }
+
+    /// Whether events are being consumed (cached at attach time).
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The observer this handle feeds.
+    #[must_use]
+    pub fn observer(&self) -> &Arc<dyn Observer> {
+        &self.observer
+    }
+
+    /// The span new events are attributed to.
+    #[must_use]
+    pub fn current_span(&self) -> SpanId {
+        self.current
+    }
+
+    /// Opens a span; `kind` is only evaluated when enabled.
+    pub fn begin_span(&mut self, clock: u64, kind: impl FnOnce() -> SpanKind) -> SpanToken {
+        if !self.enabled {
+            return SpanToken {
+                span: ROOT_SPAN,
+                previous: ROOT_SPAN,
+            };
+        }
+        let span = self.ids.fetch_add(1, Ordering::Relaxed);
+        let token = SpanToken {
+            span,
+            previous: self.current,
+        };
+        self.observer.record(Event {
+            seq: 0,
+            span,
+            parent: self.current,
+            clock,
+            kind: EventKind::SpanStart { kind: kind() },
+        });
+        self.current = span;
+        token
+    }
+
+    /// Closes a span opened by [`begin_span`](Self::begin_span), restoring
+    /// the previous current span.
+    pub fn end_span(
+        &mut self,
+        token: SpanToken,
+        clock: u64,
+        status: SpanStatus,
+        cost: CostSnapshot,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.observer.record(Event {
+            seq: 0,
+            span: token.span,
+            parent: token.previous,
+            clock,
+            kind: EventKind::SpanEnd { status, cost },
+        });
+        self.current = token.previous;
+    }
+
+    /// Emits a point event in the current span; `point` is only evaluated
+    /// when enabled.
+    pub fn emit(&self, clock: u64, point: impl FnOnce() -> Point) {
+        if !self.enabled {
+            return;
+        }
+        self.observer.record(Event {
+            seq: 0,
+            span: self.current,
+            parent: self.current,
+            clock,
+            kind: EventKind::Point(point()),
+        });
+    }
+}
+
+impl std::fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsHandle")
+            .field("current", &self.current)
+            .field("enabled", &self.enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(clock: u64) -> Event {
+        Event {
+            seq: 0,
+            span: 0,
+            parent: 0,
+            clock,
+            kind: EventKind::Point(Point::Custom {
+                name: "tick",
+                detail: String::new(),
+            }),
+        }
+    }
+
+    #[test]
+    fn ring_buffer_wraps_and_counts_drops() {
+        let ring = RingBufferObserver::new(3);
+        for i in 0..10 {
+            ring.record(tick(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.dropped(), 7);
+        let events = ring.events();
+        // The three newest survive, in order, with continuous seq.
+        assert_eq!(
+            events.iter().map(|e| e.clock).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn ring_buffer_exactly_at_capacity_does_not_drop() {
+        let ring = RingBufferObserver::new(4);
+        for i in 0..4 {
+            ring.record(tick(i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 0);
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_take_and_clear() {
+        let ring = RingBufferObserver::new(2);
+        for i in 0..3 {
+            ring.record(tick(i));
+        }
+        let taken = ring.take();
+        assert_eq!(taken.len(), 2);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1, "take keeps the drop counter");
+        ring.record(tick(9));
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0, "clear resets the drop counter");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = RingBufferObserver::new(0);
+    }
+
+    #[test]
+    fn span_nesting_restores_parent() {
+        let ring = RingBufferObserver::shared(64);
+        let mut handle = ObsHandle::new(ring.clone());
+        let outer = handle.begin_span(0, || SpanKind::Scope { name: "outer" });
+        assert_eq!(handle.current_span(), 1);
+        let inner = handle.begin_span(1, || SpanKind::Scope { name: "inner" });
+        assert_eq!(handle.current_span(), 2);
+        handle.emit(2, || Point::Custom {
+            name: "inside",
+            detail: String::new(),
+        });
+        handle.end_span(inner, 3, SpanStatus::Ok, CostSnapshot::ZERO);
+        assert_eq!(handle.current_span(), 1);
+        handle.end_span(outer, 4, SpanStatus::Ok, CostSnapshot::ZERO);
+        assert_eq!(handle.current_span(), ROOT_SPAN);
+
+        let events = ring.events();
+        assert_eq!(events.len(), 5);
+        // The point is attributed to the inner span; parents chain up.
+        assert_eq!(events[2].span, 2);
+        assert!(matches!(events[1].kind, EventKind::SpanStart { .. }));
+        assert_eq!(events[1].parent, 1);
+        assert_eq!(events[0].parent, ROOT_SPAN);
+    }
+
+    #[test]
+    fn forked_handles_share_allocator_and_parent() {
+        let ring = RingBufferObserver::shared(64);
+        let mut parent = ObsHandle::new(ring.clone());
+        let outer = parent.begin_span(0, || SpanKind::Scope { name: "outer" });
+        let mut child = parent.clone();
+        let child_span = child.begin_span(0, || SpanKind::Scope { name: "child" });
+        child.end_span(child_span, 1, SpanStatus::Ok, CostSnapshot::ZERO);
+        parent.end_span(outer, 2, SpanStatus::Ok, CostSnapshot::ZERO);
+        let events = ring.events();
+        // Child span got a fresh id (2) and is parented under outer (1).
+        assert_eq!(events[1].span, 2);
+        assert_eq!(events[1].parent, 1);
+    }
+
+    #[test]
+    fn fanout_broadcasts_to_enabled_sinks() {
+        let a = RingBufferObserver::shared(8);
+        let b = RingBufferObserver::shared(8);
+        let fan = FanoutObserver::new(vec![
+            a.clone() as Arc<dyn Observer>,
+            Arc::new(NoopObserver),
+            b.clone() as Arc<dyn Observer>,
+        ]);
+        assert!(fan.enabled());
+        let mut handle = ObsHandle::new(Arc::new(fan));
+        let span = handle.begin_span(0, || SpanKind::Scope { name: "s" });
+        handle.end_span(span, 1, SpanStatus::Ok, CostSnapshot::ZERO);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        assert!(!FanoutObserver::new(vec![Arc::new(NoopObserver)]).enabled());
+    }
+
+    #[test]
+    fn disabled_observer_records_nothing() {
+        let mut handle = ObsHandle::new(Arc::new(NoopObserver));
+        assert!(!handle.enabled());
+        let token = handle.begin_span(0, || panic!("kind must not be evaluated"));
+        handle.emit(0, || panic!("point must not be evaluated"));
+        handle.end_span(token, 0, SpanStatus::Ok, CostSnapshot::ZERO);
+        assert_eq!(handle.current_span(), ROOT_SPAN);
+    }
+}

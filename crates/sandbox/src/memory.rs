@@ -186,11 +186,13 @@ impl SimMemory {
             .segments
             .get(&segment.0)
             .ok_or(MemoryFault::UnknownSegment { segment })?;
-        let end = offset.checked_add(len).ok_or(MemoryFault::BoundsViolation {
-            segment,
-            attempted_end: u64::MAX,
-            len: seg.len,
-        })?;
+        let end = offset
+            .checked_add(len)
+            .ok_or(MemoryFault::BoundsViolation {
+                segment,
+                attempted_end: u64::MAX,
+                len: seg.len,
+            })?;
         if end > seg.len {
             return Err(MemoryFault::BoundsViolation {
                 segment,
@@ -425,7 +427,10 @@ mod tests {
         let mut m = mem();
         let a = m.alloc(8).unwrap();
         m.free(a).unwrap();
-        assert_eq!(m.write(a, 0, 1), Err(MemoryFault::UnknownSegment { segment: a }));
+        assert_eq!(
+            m.write(a, 0, 1),
+            Err(MemoryFault::UnknownSegment { segment: a })
+        );
         assert!(m.write_unchecked(a, 0, 1).is_err());
     }
 

@@ -232,7 +232,10 @@ mod tests {
         let old = p.hazard(0.001, 1e-5, 1e-6);
         assert!(old > young * 5.0, "young {young}, old {old}");
         p.work(u64::MAX / 2);
-        assert!((p.hazard(0.0, 1.0, 0.0) - 1.0).abs() < f64::EPSILON, "hazard capped at 1");
+        assert!(
+            (p.hazard(0.0, 1.0, 0.0) - 1.0).abs() < f64::EPSILON,
+            "hazard capped at 1"
+        );
     }
 
     #[test]

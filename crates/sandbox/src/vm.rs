@@ -71,7 +71,11 @@ pub enum VmFault {
 impl fmt::Display for VmFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VmFault::TagViolation { at, found, expected } => write!(
+            VmFault::TagViolation {
+                at,
+                found,
+                expected,
+            } => write!(
                 f,
                 "tag violation at instruction {at}: found {found}, expected {expected}"
             ),
@@ -261,7 +265,10 @@ mod tests {
     fn bad_argument_detected() {
         let vm = TaggedVm::new(1);
         let program = tag_program(&[Opcode::Arg(3)], 1);
-        assert_eq!(vm.execute(&program, &[1]), Err(VmFault::BadArgument { at: 0 }));
+        assert_eq!(
+            vm.execute(&program, &[1]),
+            Err(VmFault::BadArgument { at: 0 })
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod registry;
 pub mod value;
 
 pub use process::{Activity, Engine, Expr, ProcessError, Vars};
-pub use recovery::{FailureMatch, RecoveredRun, RecoveryRegistry, RecoveryRule};
 pub use provider::{Provider, ServiceError, SimProvider, SimProviderBuilder};
+pub use recovery::{FailureMatch, RecoveredRun, RecoveryRegistry, RecoveryRule};
 pub use registry::{Converter, InterfaceId, ServiceRegistry};
 pub use value::Value;

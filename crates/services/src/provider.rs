@@ -60,7 +60,8 @@ pub trait Provider: Send + Sync {
     ) -> Result<Value, ServiceError>;
 }
 
-type OpHandler = Box<dyn Fn(&[Value], &mut SplitMix64) -> Result<Value, ServiceError> + Send + Sync>;
+type OpHandler =
+    Box<dyn Fn(&[Value], &mut SplitMix64) -> Result<Value, ServiceError> + Send + Sync>;
 
 /// A simulated provider built from per-operation closures and a
 /// reliability/latency profile.

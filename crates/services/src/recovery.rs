@@ -210,11 +210,21 @@ mod tests {
     }
 
     fn charge_activity() -> Activity {
-        Activity::invoke("payments", "charge", vec![Expr::Lit(Value::Int(42))], "receipt")
+        Activity::invoke(
+            "payments",
+            "charge",
+            vec![Expr::Lit(Value::Int(42))],
+            "receipt",
+        )
     }
 
     fn defer_activity() -> Activity {
-        Activity::invoke("deferred", "enqueue", vec![Expr::Lit(Value::Int(42))], "ticket")
+        Activity::invoke(
+            "deferred",
+            "enqueue",
+            vec![Expr::Lit(Value::Int(42))],
+            "ticket",
+        )
     }
 
     #[test]
@@ -258,7 +268,11 @@ mod tests {
                 FailureMatch::Unavailability,
                 defer_activity(),
             ))
-            .with_rule(RecoveryRule::new("catch-all", FailureMatch::Any, defer_activity()));
+            .with_rule(RecoveryRule::new(
+                "catch-all",
+                FailureMatch::Any,
+                defer_activity(),
+            ));
         let mut vars = Vars::new();
         let mut ctx = ExecContext::new(3);
         match registry.run_protected(&engine, &charge_activity(), &mut vars, &mut ctx) {

@@ -234,11 +234,7 @@ mod tests {
 
     fn registry() -> ServiceRegistry {
         let mut reg = ServiceRegistry::new();
-        for (id, iface) in [
-            ("w1", "weather"),
-            ("w2", "weather"),
-            ("m1", "meteo"),
-        ] {
+        for (id, iface) in [("w1", "weather"), ("w2", "weather"), ("m1", "meteo")] {
             reg.register(Arc::new(
                 SimProvider::builder(id, InterfaceId::new(iface))
                     .operation("noop", |_, _| Ok(Value::Null))

@@ -1,0 +1,286 @@
+//! Trial forensics: reconstruct per-trial stories from a flat event
+//! stream recorded during [`Campaign::run_traced`].
+//!
+//! A traced campaign interleaves nothing — trials run sequentially — but
+//! the recorded stream is flat and may have lost its oldest events to a
+//! bounded ring buffer. [`split_trials`] recovers one [`TrialTrace`] per
+//! *complete* trial span; each trace answers the questions an
+//! experimenter asks after the fact: which variants ran and how did each
+//! conclude, what did the adjudicator decide (and why, when it
+//! rejected), and what did the whole trial cost.
+//!
+//! [`Campaign::run_traced`]: crate::trial::Campaign::run_traced
+
+use redundancy_core::obs::{CostSnapshot, Event, EventKind, Point, SpanId, SpanKind, SpanStatus};
+
+/// One adjudicator decision inside a trial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictRecord {
+    /// Whether an output was accepted.
+    pub accepted: bool,
+    /// Outcomes supporting the accepted output (0 when rejected).
+    pub support: usize,
+    /// Outcomes dissenting (0 when rejected).
+    pub dissent: usize,
+    /// Rejection reason label when rejected.
+    pub rejection: Option<&'static str>,
+}
+
+/// One variant execution inside a trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantRecord {
+    /// The variant's name.
+    pub name: String,
+    /// How it concluded.
+    pub status: SpanStatus,
+    /// What it cost.
+    pub cost: CostSnapshot,
+}
+
+/// The reconstructed story of one Monte-Carlo trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialTrace {
+    /// Trial index within the campaign.
+    pub index: u64,
+    /// The derived per-trial seed.
+    pub seed: u64,
+    /// Disposition label (`"correct"`, `"undetected"`, `"detected"`),
+    /// empty when the trial span never closed in the captured window.
+    pub disposition: &'static str,
+    /// Total cost attributed to the trial span.
+    pub cost: CostSnapshot,
+    /// Every event between the trial span's start and end, inclusive.
+    pub events: Vec<Event>,
+}
+
+impl TrialTrace {
+    /// Every variant execution in the trial, in start order.
+    #[must_use]
+    pub fn variants(&self) -> Vec<VariantRecord> {
+        let mut open: Vec<(SpanId, String)> = Vec::new();
+        let mut out = Vec::new();
+        for event in &self.events {
+            match &event.kind {
+                EventKind::SpanStart {
+                    kind: SpanKind::Variant { name },
+                } => open.push((event.span, name.clone())),
+                EventKind::SpanEnd { status, cost } => {
+                    if let Some(pos) = open.iter().position(|(id, _)| *id == event.span) {
+                        let (_, name) = open.remove(pos);
+                        out.push(VariantRecord {
+                            name,
+                            status: status.clone(),
+                            cost: *cost,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Every adjudicator verdict in the trial, in emission order.
+    #[must_use]
+    pub fn verdicts(&self) -> Vec<VerdictRecord> {
+        self.events
+            .iter()
+            .filter_map(|event| match &event.kind {
+                EventKind::Point(Point::Verdict {
+                    accepted,
+                    support,
+                    dissent,
+                    rejection,
+                }) => Some(VerdictRecord {
+                    accepted: *accepted,
+                    support: *support,
+                    dissent: *dissent,
+                    rejection: *rejection,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Rejection reason labels, in emission order (empty when every
+    /// verdict accepted).
+    #[must_use]
+    pub fn rejection_reasons(&self) -> Vec<&'static str> {
+        self.verdicts()
+            .into_iter()
+            .filter_map(|v| v.rejection)
+            .collect()
+    }
+
+    /// Labels of the techniques that ran in the trial, in start order.
+    #[must_use]
+    pub fn techniques(&self) -> Vec<&'static str> {
+        self.events
+            .iter()
+            .filter_map(|event| match &event.kind {
+                EventKind::SpanStart {
+                    kind: SpanKind::Technique { name },
+                } => Some(*name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether the trial delivered a correct result.
+    #[must_use]
+    pub fn is_correct(&self) -> bool {
+        self.disposition == "correct"
+    }
+}
+
+/// Splits a flat event stream into per-trial traces.
+///
+/// Only *complete* trials — both the `SpanStart` and the `SpanEnd` of a
+/// [`SpanKind::Trial`] span present in `events` — are returned, so a
+/// ring buffer that evicted the head of the stream simply yields fewer
+/// traces rather than a mangled first one.
+#[must_use]
+pub fn split_trials(events: &[Event]) -> Vec<TrialTrace> {
+    let mut out = Vec::new();
+    let mut current: Option<(SpanId, TrialTrace)> = None;
+    for event in events {
+        match &event.kind {
+            EventKind::SpanStart {
+                kind: SpanKind::Trial { index, seed },
+            } => {
+                // A new trial begins; an unterminated predecessor is
+                // dropped (its end was never recorded).
+                current = Some((
+                    event.span,
+                    TrialTrace {
+                        index: *index,
+                        seed: *seed,
+                        disposition: "",
+                        cost: CostSnapshot::ZERO,
+                        events: vec![event.clone()],
+                    },
+                ));
+            }
+            EventKind::SpanEnd { status, cost } => {
+                if let Some((span, trace)) = &mut current {
+                    trace.events.push(event.clone());
+                    if event.span == *span {
+                        if let SpanStatus::Trial { disposition } = status {
+                            trace.disposition = disposition;
+                        }
+                        trace.cost = *cost;
+                        let (_, done) = current.take().expect("current trial present");
+                        out.push(done);
+                    }
+                }
+            }
+            _ => {
+                if let Some((_, trace)) = &mut current {
+                    trace.events.push(event.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trial::{Campaign, TrialOutcome};
+    use redundancy_core::adjudicator::voting::MajorityVoter;
+    use redundancy_core::context::ExecContext;
+    use redundancy_core::obs::RingBufferObserver;
+    use redundancy_core::outcome::VariantFailure;
+    use redundancy_core::patterns::parallel::ParallelEvaluation;
+    use redundancy_core::variant::{pure_variant, FnVariant};
+
+    fn nvp() -> ParallelEvaluation<i64, i64> {
+        ParallelEvaluation::new(MajorityVoter::new())
+            .with_variant(pure_variant("a", 10, |x: &i64| x + 1))
+            .with_variant(pure_variant("b", 10, |x: &i64| x + 1))
+            .with_variant(Box::new(FnVariant::new(
+                "crasher",
+                |_: &i64, _: &mut ExecContext| Err::<i64, _>(VariantFailure::crash("boom")),
+            )))
+    }
+
+    #[test]
+    fn traced_campaign_splits_into_per_trial_traces() {
+        let ring = RingBufferObserver::shared(4096);
+        let pattern = nvp();
+        let summary = Campaign::new(3).run_traced(42, ring.clone(), |ctx, _seed, _i| {
+            let report = pattern.run(&1, ctx);
+            let cost = ctx.cost();
+            if report.verdict.output() == Some(&2) {
+                TrialOutcome::Correct { cost }
+            } else {
+                TrialOutcome::Detected { cost }
+            }
+        });
+        assert_eq!(summary.reliability.successes, 3);
+
+        let traces = split_trials(&ring.events());
+        assert_eq!(traces.len(), 3);
+        for (i, trace) in traces.iter().enumerate() {
+            assert_eq!(trace.index, i as u64);
+            assert_eq!(trace.seed, Campaign::trial_seed(42, i));
+            assert_eq!(trace.disposition, "correct");
+            assert!(trace.is_correct());
+
+            // Every variant outcome is reconstructable.
+            let variants = trace.variants();
+            assert_eq!(variants.len(), 3);
+            assert_eq!(variants[0].name, "a");
+            assert_eq!(variants[0].status, SpanStatus::Ok);
+            assert_eq!(variants[2].name, "crasher");
+            assert_eq!(variants[2].status, SpanStatus::Failed { kind: "crash" });
+
+            // The adjudicator's verdict is reconstructable.
+            let verdicts = trace.verdicts();
+            assert_eq!(verdicts.len(), 1);
+            assert!(verdicts[0].accepted);
+            assert_eq!(verdicts[0].support, 2);
+            assert_eq!(verdicts[0].dissent, 1);
+            assert!(trace.rejection_reasons().is_empty());
+
+            // Total cost matches the trial outcome's cost.
+            assert_eq!(trace.cost.invocations, 3);
+            assert_eq!(trace.cost.work_units, 20);
+        }
+    }
+
+    #[test]
+    fn incomplete_head_trial_is_dropped() {
+        let ring = RingBufferObserver::shared(4096);
+        let pattern = nvp();
+        let _ = Campaign::new(2).run_traced(7, ring.clone(), |ctx, _seed, _i| {
+            let _ = pattern.run(&1, ctx);
+            TrialOutcome::Correct { cost: ctx.cost() }
+        });
+        let mut events = ring.events();
+        // Simulate ring eviction: lose the first trial's SpanStart.
+        events.remove(0);
+        let traces = split_trials(&events);
+        assert_eq!(traces.len(), 1, "only the complete trial survives");
+        assert_eq!(traces[0].index, 1);
+    }
+
+    #[test]
+    fn rejection_reasons_surface_in_the_trace() {
+        let ring = RingBufferObserver::shared(4096);
+        let pattern: ParallelEvaluation<i64, i64> = ParallelEvaluation::new(MajorityVoter::new())
+            .with_variant(pure_variant("one", 5, |x: &i64| x + 1))
+            .with_variant(pure_variant("two", 5, |x: &i64| x + 2))
+            .with_variant(pure_variant("three", 5, |x: &i64| x + 3));
+        let _ = Campaign::new(1).run_traced(9, ring.clone(), |ctx, _seed, _i| {
+            let report = pattern.run(&1, ctx);
+            assert!(!report.verdict.is_accepted());
+            TrialOutcome::Detected { cost: ctx.cost() }
+        });
+        let traces = split_trials(&ring.events());
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].disposition, "detected");
+        assert_eq!(traces[0].rejection_reasons(), vec!["no_quorum"]);
+    }
+}

@@ -5,13 +5,20 @@
 //! runs a seeded closure many times, classifies each run, and summarizes
 //! the results with proper interval estimates ([`stats`]). Human-readable
 //! tables come from [`table::Table`].
+//!
+//! With [`trial::Campaign::run_traced`] every trial additionally records
+//! a structured execution trace; [`forensics`] reconstructs per-trial
+//! stories (variant outcomes, adjudicator verdicts, costs) from the
+//! recorded stream.
 
 #![warn(missing_docs)]
 
+pub mod forensics;
 pub mod stats;
 pub mod table;
 pub mod trial;
 
+pub use forensics::{split_trials, TrialTrace};
 pub use stats::{mean_ci, wilson_interval, Estimate, Proportion};
 pub use table::Table;
 pub use trial::{Campaign, TrialOutcome, TrialSummary};

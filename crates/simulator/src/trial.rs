@@ -1,7 +1,11 @@
 //! Monte-Carlo campaigns: run a seeded trial many times, classify and
 //! summarize.
 
+use std::sync::Arc;
+
+use redundancy_core::context::ExecContext;
 use redundancy_core::cost::Cost;
+use redundancy_core::obs::{ObsHandle, Observer, SpanKind, SpanStatus};
 
 use crate::stats::{mean_ci, wilson_interval, Estimate, Proportion};
 
@@ -41,6 +45,17 @@ impl TrialOutcome {
     #[must_use]
     pub fn is_correct(&self) -> bool {
         matches!(self, TrialOutcome::Correct { .. })
+    }
+
+    /// The disposition label used in trace spans (`"correct"`,
+    /// `"undetected"` or `"detected"`).
+    #[must_use]
+    pub fn disposition(&self) -> &'static str {
+        match self {
+            TrialOutcome::Correct { .. } => "correct",
+            TrialOutcome::Undetected { .. } => "undetected",
+            TrialOutcome::Detected { .. } => "detected",
+        }
     }
 }
 
@@ -104,6 +119,16 @@ impl Campaign {
         self.trials
     }
 
+    /// The derived seed of trial `i` under `campaign_seed` (what
+    /// [`run`](Self::run) passes to the trial closure).
+    #[must_use]
+    pub fn trial_seed(campaign_seed: u64, i: usize) -> u64 {
+        campaign_seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((i as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            ^ 0x94d0_49bb_1331_11eb
+    }
+
     /// Runs the campaign: `trial(seed, index)` is called once per trial
     /// with a distinct derived seed.
     pub fn run<F>(&self, campaign_seed: u64, mut trial: F) -> TrialSummary
@@ -112,12 +137,46 @@ impl Campaign {
     {
         let mut outcomes = Vec::with_capacity(self.trials);
         for i in 0..self.trials {
-            // Derive a well-separated seed per trial.
-            let seed = campaign_seed
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add((i as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
-                ^ 0x94d0_49bb_1331_11eb;
-            outcomes.push(trial(seed, i));
+            outcomes.push(trial(Self::trial_seed(campaign_seed, i), i));
+        }
+        summarize(&outcomes)
+    }
+
+    /// Runs the campaign with execution tracing: every trial gets an
+    /// [`ExecContext`] seeded exactly as [`run`](Self::run) would seed it
+    /// and attached to `observer`, and is wrapped in a
+    /// [`SpanKind::Trial`] span whose end status records the disposition.
+    ///
+    /// All trials share one span-id allocator, so the recorded stream can
+    /// be split back into per-trial traces with
+    /// [`crate::forensics::split_trials`].
+    pub fn run_traced<F>(
+        &self,
+        campaign_seed: u64,
+        observer: Arc<dyn Observer>,
+        mut trial: F,
+    ) -> TrialSummary
+    where
+        F: FnMut(&mut ExecContext, u64, usize) -> TrialOutcome,
+    {
+        let handle = ObsHandle::new(observer);
+        let mut outcomes = Vec::with_capacity(self.trials);
+        for i in 0..self.trials {
+            let seed = Self::trial_seed(campaign_seed, i);
+            let mut ctx = ExecContext::new(seed).with_obs_handle(handle.clone());
+            let span = ctx.obs_begin(|| SpanKind::Trial {
+                index: i as u64,
+                seed,
+            });
+            let outcome = trial(&mut ctx, seed, i);
+            ctx.obs_end(
+                span,
+                SpanStatus::Trial {
+                    disposition: outcome.disposition(),
+                },
+                outcome.cost().snapshot(),
+            );
+            outcomes.push(outcome);
         }
         summarize(&outcomes)
     }

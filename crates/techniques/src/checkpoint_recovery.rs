@@ -95,6 +95,31 @@ impl<I, O> CheckpointRecovery<I, O> {
 
     /// Executes with rollback-and-retry protection.
     pub fn execute(&self, input: &I, ctx: &mut ExecContext) -> RecoveryOutcome<O> {
+        use redundancy_core::obs::{Point, SpanKind, SpanStatus};
+
+        let span = ctx.obs_begin(|| SpanKind::Technique {
+            name: "checkpoint-recovery",
+        });
+        let before = ctx.cost();
+        ctx.obs_emit(|| Point::Checkpoint { label: "entry" });
+        let result = self.execute_inner(input, ctx);
+        let status = match &result {
+            RecoveryOutcome::Clean(_) => SpanStatus::Ok,
+            RecoveryOutcome::Recovered { rollbacks, .. } => SpanStatus::Accepted {
+                support: 1,
+                dissent: *rollbacks as usize,
+            },
+            RecoveryOutcome::Failed(failure) => SpanStatus::Failed {
+                kind: failure.kind(),
+            },
+        };
+        ctx.obs_end(span, status, ctx.cost().delta_since(before).snapshot());
+        result
+    }
+
+    fn execute_inner(&self, input: &I, ctx: &mut ExecContext) -> RecoveryOutcome<O> {
+        use redundancy_core::obs::Point;
+
         let mut last_failure = VariantFailure::Omission;
         for attempt in 0..=self.max_retries {
             let mut child = ctx.fork(u64::from(attempt));
@@ -118,6 +143,9 @@ impl<I, O> CheckpointRecovery<I, O> {
                 Ok(_) => VariantFailure::error("detector rejected the output"),
             };
             ctx.advance_ns(self.rollback_cost);
+            ctx.obs_emit(|| Point::Rollback {
+                label: "checkpoint",
+            });
         }
         RecoveryOutcome::Failed(last_failure)
     }
@@ -237,11 +265,8 @@ mod tests {
         // Deterministic wrong output on a fixed input region: identical
         // re-execution reproduces it forever. (Oracle detector so the
         // wrong output is at least *detected*.)
-        let cr = CheckpointRecovery::new(
-            bohr_variant(0.5),
-            OracleDetector::new(|x: &i64| x * 2),
-            10,
-        );
+        let cr =
+            CheckpointRecovery::new(bohr_variant(0.5), OracleDetector::new(|x: &i64| x * 2), 10);
         let mut ctx = ExecContext::new(2);
         let mut recovered = 0;
         let mut failed = 0;
@@ -269,7 +294,10 @@ mod tests {
         let cr = CheckpointRecovery::new(heisen_variant(1.0), DetectableFailures::new(), 3)
             .with_rollback_cost(100);
         let mut ctx = ExecContext::new(4);
-        assert!(matches!(cr.execute(&1, &mut ctx), RecoveryOutcome::Failed(_)));
+        assert!(matches!(
+            cr.execute(&1, &mut ctx),
+            RecoveryOutcome::Failed(_)
+        ));
         // 4 attempts (1 + 3 retries), 4 rollback charges.
         assert_eq!(ctx.cost().invocations, 4);
         assert!(ctx.cost().virtual_ns >= 400);

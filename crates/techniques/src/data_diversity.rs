@@ -21,7 +21,9 @@ use std::sync::Arc;
 use redundancy_core::adjudicator::voting::MajorityVoter;
 use redundancy_core::adjudicator::Adjudicator;
 use redundancy_core::context::ExecContext;
+use redundancy_core::obs::{Point, SpanKind};
 use redundancy_core::outcome::{RejectionReason, VariantOutcome, Verdict};
+use redundancy_core::patterns::{emit_verdict, verdict_status};
 use redundancy_core::taxonomy::{
     Adjudication, ArchitecturalPattern, Classification, FaultSet, Intention, RedundancyType,
 };
@@ -118,10 +120,13 @@ where
     O: Send + Sync + 'static,
 {
     let name = format!("{}@{}", program.name(), re.name());
-    Box::new(FnVariant::new(name, move |input: &I, ctx: &mut ExecContext| {
-        let encoded = re.encode(input);
-        program.execute(&encoded, ctx).map(|o| re.decode(o))
-    }))
+    Box::new(FnVariant::new(
+        name,
+        move |input: &I, ctx: &mut ExecContext| {
+            let encoded = re.encode(input);
+            program.execute(&encoded, ctx).map(|o| re.decode(o))
+        },
+    ))
 }
 
 type AcceptFn<I, O> = Box<dyn Fn(&I, &O) -> bool + Send + Sync>;
@@ -171,8 +176,29 @@ where
 
     /// Runs the retry block.
     pub fn run(&self, input: &I, ctx: &mut ExecContext) -> Verdict<O> {
+        let span = ctx.obs_begin(|| SpanKind::Technique {
+            name: "retry-block",
+        });
+        let before = ctx.cost();
+        let verdict = self.run_inner(input, ctx);
+        emit_verdict(ctx, &verdict);
+        ctx.obs_end(
+            span,
+            verdict_status(&verdict),
+            ctx.cost().delta_since(before).snapshot(),
+        );
+        verdict
+    }
+
+    fn run_inner(&self, input: &I, ctx: &mut ExecContext) -> Verdict<O> {
         let mut attempts = 0;
         for (i, re) in self.reexpressions.iter().enumerate() {
+            if i > 0 {
+                ctx.obs_emit(|| Point::Reexpression {
+                    name: re.name().to_owned(),
+                    attempt: u32::try_from(i).unwrap_or(u32::MAX),
+                });
+            }
             let variant = reexpressed_variant(Arc::clone(&self.program), re.clone());
             let mut child = ctx.fork(i as u64);
             let outcome: VariantOutcome<O> = run_contained(variant.as_ref(), input, &mut child);
@@ -231,6 +257,8 @@ where
 
     /// Runs all copies and votes.
     pub fn run(&self, input: &I, ctx: &mut ExecContext) -> Verdict<O> {
+        let span = ctx.obs_begin(|| SpanKind::Technique { name: "n-copy" });
+        let before = ctx.cost();
         let mut outcomes = Vec::with_capacity(self.reexpressions.len());
         let mut costs = Vec::with_capacity(self.reexpressions.len());
         for (i, re) in self.reexpressions.iter().enumerate() {
@@ -241,7 +269,14 @@ where
             outcomes.push(outcome);
         }
         ctx.add_parallel_costs(costs);
-        self.adjudicator.adjudicate(&outcomes)
+        let verdict = self.adjudicator.adjudicate(&outcomes);
+        emit_verdict(ctx, &verdict);
+        ctx.obs_end(
+            span,
+            verdict_status(&verdict),
+            ctx.cost().delta_since(before).snapshot(),
+        );
+        verdict
     }
 }
 
@@ -367,7 +402,10 @@ mod tests {
     #[test]
     fn entry_matches_table2() {
         assert_eq!(ENTRY.classification.redundancy, RedundancyType::Data);
-        assert_eq!(ENTRY.classification.adjudication, Adjudication::ReactiveMixed);
+        assert_eq!(
+            ENTRY.classification.adjudication,
+            Adjudication::ReactiveMixed
+        );
         assert_eq!(ENTRY.classification.faults, FaultSet::DEVELOPMENT);
         assert_eq!(DataDiversity.name(), "Data diversity");
         assert_eq!(DataDiversity.patterns().len(), 2);

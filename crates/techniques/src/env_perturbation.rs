@@ -136,6 +136,28 @@ impl<I, O> Rx<I, O> {
     /// Executes with RX protection. The environment is restored to the
     /// baseline before returning (so calls do not leak perturbations).
     pub fn execute(&self, input: &I, ctx: &mut ExecContext) -> RxOutcome<O> {
+        use redundancy_core::obs::{SpanKind, SpanStatus};
+
+        let span = ctx.obs_begin(|| SpanKind::Technique {
+            name: "env-perturbation-rx",
+        });
+        let before = ctx.cost();
+        let result = self.execute_inner(input, ctx);
+        let status = match &result {
+            RxOutcome::CleanRun(_) => SpanStatus::Ok,
+            RxOutcome::Recovered { rounds, .. } => SpanStatus::Accepted {
+                support: 1,
+                dissent: *rounds as usize,
+            },
+            RxOutcome::Failed(failure) => SpanStatus::Failed {
+                kind: failure.kind(),
+            },
+        };
+        ctx.obs_end(span, status, ctx.cost().delta_since(before).snapshot());
+        result
+    }
+
+    fn execute_inner(&self, input: &I, ctx: &mut ExecContext) -> RxOutcome<O> {
         let baseline = EnvConfig::baseline();
         self.apply_env(&baseline);
         let mut child = ctx.fork(0);
@@ -153,6 +175,10 @@ impl<I, O> Rx<I, O> {
             // re-execute from the rollback point.
             env = (self.schedule)(round, env);
             self.apply_env(&env);
+            ctx.obs_emit(|| redundancy_core::obs::Point::Perturbation {
+                knob: "rx-menu",
+                attempt: round + 1,
+            });
             let mut child = ctx.fork(u64::from(round) + 1);
             let retry = run_contained(self.variant.as_ref(), input, &mut child);
             ctx.add_sequential_cost(retry.cost);
@@ -201,7 +227,9 @@ impl<I, O> Technique for Rx<I, O> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use redundancy_faults::{Activation, DetectableFailures, FaultEffect, FaultSpec, FaultyVariant};
+    use redundancy_faults::{
+        Activation, DetectableFailures, FaultEffect, FaultSpec, FaultyVariant,
+    };
 
     /// A variant whose crash depends on the environment: for a given env,
     /// `density` of inputs crash; a perturbed env re-rolls the set.

@@ -10,6 +10,9 @@
 //! Classification (Table 2): opportunistic / code / reactive-explicit /
 //! Bohrbugs.
 
+use std::sync::Arc;
+
+use redundancy_core::obs::{ObsHandle, Observer, Point};
 use redundancy_core::rng::SplitMix64;
 use redundancy_core::taxonomy::{
     Adjudication, ArchitecturalPattern, Classification, FaultSet, Intention, RedundancyType,
@@ -50,16 +53,34 @@ pub struct FixReport {
 }
 
 /// The fault-fixing runtime.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FaultFixer {
     params: GpParams,
+    obs: Option<ObsHandle>,
+}
+
+impl std::fmt::Debug for FaultFixer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultFixer")
+            .field("params", &self.params)
+            .field("observed", &self.obs.is_some())
+            .finish()
+    }
 }
 
 impl FaultFixer {
     /// Creates a fixer with the given GP parameters.
     #[must_use]
     pub fn new(params: GpParams) -> Self {
-        Self { params }
+        Self { params, obs: None }
+    }
+
+    /// Attaches an observer; each GP generation emits a
+    /// [`Point::GpGeneration`] reporting search progress.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.obs = Some(ObsHandle::new(observer));
+        self
     }
 
     /// Attempts to fix `faulty` (over `arity` inputs) against `suite`.
@@ -88,7 +109,17 @@ impl FaultFixer {
             total_cases,
             generations_used,
             ..
-        } = gp.repair(faulty, suite, rng);
+        } = gp.repair_observed(faulty, suite, rng, |generation, passed, total| {
+            if let Some(obs) = &self.obs {
+                obs.emit(u64::try_from(generation).unwrap_or(u64::MAX), || {
+                    Point::GpGeneration {
+                        generation: u32::try_from(generation).unwrap_or(u32::MAX),
+                        // Lower is better: fraction of the suite still failing.
+                        best_fitness: (total - passed) as f64 / total.max(1) as f64,
+                    }
+                });
+            }
+        });
         FixReport {
             bug_manifested: true,
             fixed: best_fitness == total_cases,
@@ -200,6 +231,9 @@ mod tests {
             ENTRY.classification.adjudication,
             Adjudication::ReactiveExplicit
         );
-        assert_eq!(FaultFixer::default().name(), "Fault fixing, genetic programming");
+        assert_eq!(
+            FaultFixer::default().name(),
+            "Fault fixing, genetic programming"
+        );
     }
 }

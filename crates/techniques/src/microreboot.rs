@@ -12,7 +12,9 @@
 //! reactive-explicit / Heisenbugs.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use redundancy_core::obs::{ObsHandle, Observer, Point};
 use redundancy_core::rng::SplitMix64;
 use redundancy_core::taxonomy::{
     Adjudication, ArchitecturalPattern, Classification, FaultSet, Intention, RedundancyType,
@@ -73,6 +75,7 @@ pub struct RecoveryRecord {
 pub struct ComponentTree {
     components: Vec<Component>,
     index: HashMap<String, usize>,
+    obs: Option<ObsHandle>,
 }
 
 impl ComponentTree {
@@ -80,6 +83,21 @@ impl ComponentTree {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches an observer; every reboot emits a [`Point::Reboot`]
+    /// recording the rebooted component and the escalation depth.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.obs = Some(ObsHandle::new(observer));
+        self
+    }
+
+    fn emit_reboot(&self, idx: usize, depth: u32, clock: u64) {
+        if let Some(obs) = &self.obs {
+            let component = self.components[idx].name.clone();
+            obs.emit(clock, move || Point::Reboot { component, depth });
+        }
     }
 
     /// Adds a root component.
@@ -215,6 +233,7 @@ impl ComponentTree {
             RebootPolicy::Full => {
                 let root = self.root_of(observed);
                 let time = self.reboot_subtree(root);
+                self.emit_reboot(root, 0, time);
                 RecoveryRecord {
                     recovery_time: time,
                     reboots: 1,
@@ -223,6 +242,7 @@ impl ComponentTree {
             }
             RebootPolicy::MicroOnly => {
                 let time = self.reboot_subtree(observed);
+                self.emit_reboot(observed, 0, time);
                 RecoveryRecord {
                     recovery_time: time,
                     reboots: 1,
@@ -235,6 +255,7 @@ impl ComponentTree {
                 let mut scope = observed;
                 loop {
                     time += self.reboot_subtree(scope);
+                    self.emit_reboot(scope, reboots, time);
                     reboots += 1;
                     if !self.any_corrupted() {
                         return RecoveryRecord {
@@ -403,8 +424,7 @@ mod tests {
     #[test]
     fn availability_ranking_matches_the_paper() {
         let mut rng = SplitMix64::new(11);
-        let (a_full, t_full) =
-            availability_sim(RebootPolicy::Full, 20_000, 0.01, 0.2, &mut rng);
+        let (a_full, t_full) = availability_sim(RebootPolicy::Full, 20_000, 0.01, 0.2, &mut rng);
         let (a_esc, t_esc) =
             availability_sim(RebootPolicy::Escalating, 20_000, 0.01, 0.2, &mut rng);
         assert!(

@@ -85,10 +85,20 @@ impl Encoding {
 /// cell.attack_overwrite(0xdead_beef);
 /// assert!(cell.read().is_err());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct NVariantCell {
     variants: Vec<(Encoding, u64)>,
+    obs: Option<redundancy_core::obs::ObsHandle>,
 }
+
+impl PartialEq for NVariantCell {
+    fn eq(&self, other: &Self) -> bool {
+        // Value equality; an attached observer is not part of the cell.
+        self.variants == other.variants
+    }
+}
+
+impl Eq for NVariantCell {}
 
 impl NVariantCell {
     /// Creates a cell with `n` diversely encoded variants, initialized to
@@ -110,7 +120,21 @@ impl NVariantCell {
             let bias = rng.next_u64();
             variants.push((Encoding { mask, bias }, Encoding { mask, bias }.encode(0)));
         }
-        Self { variants }
+        Self {
+            variants,
+            obs: None,
+        }
+    }
+
+    /// Attaches an observer; detected corruption emits a
+    /// [`redundancy_core::obs::Point::ReplicaDivergence`] point.
+    #[must_use]
+    pub fn with_observer(
+        mut self,
+        observer: std::sync::Arc<dyn redundancy_core::obs::Observer>,
+    ) -> Self {
+        self.obs = Some(redundancy_core::obs::ObsHandle::new(observer));
+        self
     }
 
     /// Number of variants.
@@ -143,6 +167,14 @@ impl NVariantCell {
         if disagreeing == 0 {
             Ok(first)
         } else {
+            if let Some(obs) = &self.obs {
+                obs.emit(0, || redundancy_core::obs::Point::ReplicaDivergence {
+                    detail: format!(
+                        "{disagreeing} of {} encodings disagree",
+                        self.variants.len()
+                    ),
+                });
+            }
             Err(AttackDetected { disagreeing })
         }
     }

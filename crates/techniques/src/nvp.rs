@@ -9,8 +9,8 @@
 //! Classification (Table 2): deliberate / code / reactive-implicit /
 //! development.
 
-use redundancy_core::adjudicator::Adjudicator;
 use redundancy_core::adjudicator::voting::MajorityVoter;
+use redundancy_core::adjudicator::Adjudicator;
 use redundancy_core::context::ExecContext;
 use redundancy_core::patterns::{ExecutionMode, ParallelEvaluation, PatternReport};
 use redundancy_core::taxonomy::{
@@ -123,7 +123,9 @@ where
         I: Sync,
         O: Send,
     {
-        self.pattern.run(input, ctx)
+        redundancy_core::patterns::run_technique_span(ctx, "n-version", |ctx| {
+            self.pattern.run(input, ctx)
+        })
     }
 }
 
@@ -201,8 +203,11 @@ mod tests {
     #[test]
     fn reliability_improves_with_n_on_independent_faults() {
         let reliability = |n: usize| {
-            let versions =
-                correlated_versions(CorrelatedSuite::new(n, 0.15, 0.0, 7), |x: &u64| x * 2, |c, _| c + 1);
+            let versions = correlated_versions(
+                CorrelatedSuite::new(n, 0.15, 0.0, 7),
+                |x: &u64| x * 2,
+                |c, _| c + 1,
+            );
             let nvp = NVersion::new(versions);
             let mut ctx = ExecContext::new(3);
             let ok = (0..600u64)
@@ -220,8 +225,11 @@ mod tests {
     #[test]
     fn correlation_erodes_the_gain() {
         let reliability = |rho: f64| {
-            let versions =
-                correlated_versions(CorrelatedSuite::new(3, 0.15, rho, 11), |x: &u64| x * 2, |c, _| c + 1);
+            let versions = correlated_versions(
+                CorrelatedSuite::new(3, 0.15, rho, 11),
+                |x: &u64| x * 2,
+                |c, _| c + 1,
+            );
             let nvp = NVersion::new(versions);
             let mut ctx = ExecContext::new(5);
             let n = 3000u64;

@@ -12,6 +12,9 @@
 //! Classification (Table 2): deliberate / environment / reactive-implicit
 //! / malicious.
 
+use std::sync::Arc;
+
+use redundancy_core::obs::{ObsHandle, Observer, Point};
 use redundancy_core::taxonomy::{
     Adjudication, ArchitecturalPattern, Classification, FaultSet, Intention, RedundancyType,
 };
@@ -114,6 +117,7 @@ pub struct ProcessReplicas {
     replicas: Vec<Replica>,
     /// Bytes each replica allocates at start (a victim buffer).
     victim_len: u64,
+    obs: Option<ObsHandle>,
 }
 
 impl ProcessReplicas {
@@ -143,7 +147,16 @@ impl ProcessReplicas {
         Self {
             replicas,
             victim_len,
+            obs: None,
         }
+    }
+
+    /// Attaches an observer; replica divergence emits a
+    /// [`Point::ReplicaDivergence`] carrying the per-replica observations.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.obs = Some(ObsHandle::new(observer));
+        self
     }
 
     /// Number of replicas.
@@ -222,15 +235,18 @@ impl ProcessReplicas {
                 result: first.as_ref().ok().copied(),
             }
         } else {
-            ReplicaVerdict::AttackDetected {
-                observations: results
-                    .into_iter()
-                    .map(|r| match r {
-                        Ok(v) => format!("completed with {v}"),
-                        Err(e) => format!("faulted: {e}"),
-                    })
-                    .collect(),
+            let observations: Vec<String> = results
+                .into_iter()
+                .map(|r| match r {
+                    Ok(v) => format!("completed with {v}"),
+                    Err(e) => format!("faulted: {e}"),
+                })
+                .collect();
+            if let Some(obs) = &self.obs {
+                let detail = observations.join(" | ");
+                obs.emit(0, move || Point::ReplicaDivergence { detail });
             }
+            ReplicaVerdict::AttackDetected { observations }
         }
     }
 }
@@ -320,7 +336,13 @@ mod tests {
         // untagged VM, which runs it happily:
         let untagged = TaggedVm::untagged();
         let mut program = tag_program(&square_program(), 0);
-        program.insert(1, Instr { tag: 0, op: Opcode::Push(0x41) });
+        program.insert(
+            1,
+            Instr {
+                tag: 0,
+                op: Opcode::Push(0x41),
+            },
+        );
         assert!(untagged.execute(&program, &[5]).is_ok());
     }
 

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use redundancy_core::adjudicator::acceptance::AcceptanceTest;
 use redundancy_core::context::ExecContext;
@@ -64,7 +64,10 @@ pub struct RecoveryBlocks<I, O> {
     checkpoint_setup: Option<CheckpointSetup>,
 }
 
-type CheckpointSetup = (Arc<Mutex<SimProcess>>, Arc<Mutex<Option<ProcessCheckpoint>>>);
+type CheckpointSetup = (
+    Arc<Mutex<SimProcess>>,
+    Arc<Mutex<Option<ProcessCheckpoint>>>,
+);
 
 impl<I, O> RecoveryBlocks<I, O> {
     /// Creates a recovery-block structure with the given acceptance test.
@@ -94,8 +97,14 @@ impl<I, O> RecoveryBlocks<I, O> {
         let proc_for_rollback = Arc::clone(&process);
         let mut this = self;
         this.pattern = this.pattern.with_rollback(move |_ctx| {
-            let mut proc = proc_for_rollback.lock();
-            if let Some(saved) = ckpt.lock().as_ref() {
+            let mut proc = proc_for_rollback
+                .lock()
+                .expect("recovery-block state lock is never poisoned");
+            if let Some(saved) = ckpt
+                .lock()
+                .expect("recovery-block state lock is never poisoned")
+                .as_ref()
+            {
                 proc.restore(saved);
             }
         });
@@ -116,10 +125,22 @@ impl<I, O> RecoveryBlocks<I, O> {
     where
         O: Clone,
     {
-        if let Some((process, slot)) = &self.checkpoint_setup {
-            *slot.lock() = Some(process.lock().checkpoint());
-        }
-        self.pattern.run(input, ctx)
+        redundancy_core::patterns::run_technique_span(ctx, "recovery-blocks", |ctx| {
+            if let Some((process, slot)) = &self.checkpoint_setup {
+                *slot
+                    .lock()
+                    .expect("recovery-block state lock is never poisoned") = Some(
+                    process
+                        .lock()
+                        .expect("recovery-block state lock is never poisoned")
+                        .checkpoint(),
+                );
+                ctx.obs_emit(|| redundancy_core::obs::Point::Checkpoint {
+                    label: "sim-process",
+                });
+            }
+            self.pattern.run(input, ctx)
+        })
     }
 }
 
@@ -145,9 +166,9 @@ impl<I, O> Technique for RecoveryBlocks<I, O> {
 mod tests {
     use super::*;
     use redundancy_core::adjudicator::acceptance::FnAcceptance;
+    use redundancy_core::outcome::VariantFailure;
     use redundancy_core::variant::pure_variant;
     use redundancy_core::variant::FnVariant;
-    use redundancy_core::outcome::VariantFailure;
 
     fn nonneg() -> FnAcceptance<impl Fn(&i64, &i64) -> bool> {
         FnAcceptance::new("nonneg", |_: &i64, out: &i64| *out >= 0)
@@ -166,10 +187,10 @@ mod tests {
 
     #[test]
     fn falls_through_on_rejection_and_crash() {
-        let crasher: BoxedVariant<i64, i64> = Box::new(FnVariant::new(
-            "crasher",
-            |_: &i64, _: &mut ExecContext| Err(VariantFailure::crash("boom")),
-        ));
+        let crasher: BoxedVariant<i64, i64> =
+            Box::new(FnVariant::new("crasher", |_: &i64, _: &mut ExecContext| {
+                Err(VariantFailure::crash("boom"))
+            }));
         let rb = RecoveryBlocks::new(nonneg())
             .with_alternate(pure_variant("bad-output", 5, |_: &i64| -7))
             .with_alternate(crasher)
@@ -195,7 +216,10 @@ mod tests {
     #[test]
     fn process_state_rolls_back_between_alternates() {
         let process = Arc::new(Mutex::new(SimProcess::new(1, 0, 0x1000)));
-        process.lock().set("balance", 100);
+        process
+            .lock()
+            .expect("recovery-block state lock is never poisoned")
+            .set("balance", 100);
 
         // The faulty primary corrupts the balance then produces a bad
         // output; the alternate must observe the original balance.
@@ -203,7 +227,9 @@ mod tests {
         let primary: BoxedVariant<i64, i64> = Box::new(FnVariant::new(
             "corrupting-primary",
             move |_: &i64, _: &mut ExecContext| {
-                p1.lock().set("balance", -999);
+                p1.lock()
+                    .expect("recovery-block state lock is never poisoned")
+                    .set("balance", -999);
                 Ok(-1)
             },
         ));
@@ -211,7 +237,11 @@ mod tests {
         let alternate: BoxedVariant<i64, i64> = Box::new(FnVariant::new(
             "alternate",
             move |x: &i64, _: &mut ExecContext| {
-                let balance = p2.lock().get("balance").unwrap_or(0);
+                let balance = p2
+                    .lock()
+                    .expect("recovery-block state lock is never poisoned")
+                    .get("balance")
+                    .unwrap_or(0);
                 Ok(balance + x)
             },
         ));
@@ -222,7 +252,13 @@ mod tests {
         let mut ctx = ExecContext::new(0);
         let out = rb.run(&1, &mut ctx).into_output();
         assert_eq!(out, Some(101), "alternate saw corrupted state");
-        assert_eq!(process.lock().get("balance"), Some(100));
+        assert_eq!(
+            process
+                .lock()
+                .expect("recovery-block state lock is never poisoned")
+                .get("balance"),
+            Some(100)
+        );
     }
 
     #[test]

@@ -77,7 +77,8 @@ impl<I, O> Rejuvenator<I, O> {
     /// Number of rejuvenations performed.
     #[must_use]
     pub fn rejuvenations(&self) -> u64 {
-        self.rejuvenations.load(std::sync::atomic::Ordering::Relaxed)
+        self.rejuvenations
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Executes one call, rejuvenating first when the cadence says so.
@@ -85,9 +86,11 @@ impl<I, O> Rejuvenator<I, O> {
         use std::sync::atomic::Ordering;
         let n = self.calls.fetch_add(1, Ordering::Relaxed);
         if n > 0 && n.is_multiple_of(self.interval) {
+            let age_before = self.age.age();
             self.age.reset();
             self.rejuvenations.fetch_add(1, Ordering::Relaxed);
             ctx.advance_ns(self.rejuvenation_cost);
+            ctx.obs_emit(|| redundancy_core::obs::Point::Rejuvenation { age_before });
         }
         let mut child = ctx.fork(n);
         let outcome = run_contained(self.variant.as_ref(), input, &mut child);

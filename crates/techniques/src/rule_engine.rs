@@ -28,7 +28,12 @@ pub const ENTRY: TechniqueEntry = TechniqueEntry {
         FaultSet::DEVELOPMENT,
     ),
     patterns: &[ArchitecturalPattern::SequentialAlternatives],
-    citations: &["Goodenough 1975", "Baresi 2007", "Modafferi 2006", "Fugini 2006"],
+    citations: &[
+        "Goodenough 1975",
+        "Baresi 2007",
+        "Modafferi 2006",
+        "Fugini 2006",
+    ],
 };
 
 /// Outcome classification a rule can match on.
@@ -148,6 +153,28 @@ impl<I, O> RuleEngine<I, O> {
     /// Executes the primary; on a detectable failure, fires the first
     /// matching rule's recovery action.
     pub fn execute(&self, input: &I, ctx: &mut ExecContext) -> Handled<O> {
+        use redundancy_core::obs::{SpanKind, SpanStatus};
+
+        let span = ctx.obs_begin(|| SpanKind::Technique {
+            name: "rule-engine",
+        });
+        let before = ctx.cost();
+        let result = self.execute_inner(input, ctx);
+        let status = match &result {
+            Handled::Primary(_) => SpanStatus::Ok,
+            Handled::Recovered { .. } => SpanStatus::Accepted {
+                support: 1,
+                dissent: 1,
+            },
+            Handled::Unhandled(failure) => SpanStatus::Failed {
+                kind: failure.kind(),
+            },
+        };
+        ctx.obs_end(span, status, ctx.cost().delta_since(before).snapshot());
+        result
+    }
+
+    fn execute_inner(&self, input: &I, ctx: &mut ExecContext) -> Handled<O> {
         let mut child = ctx.fork(0);
         let outcome = run_contained(self.primary.as_ref(), input, &mut child);
         ctx.add_sequential_cost(outcome.cost);
@@ -160,13 +187,21 @@ impl<I, O> RuleEngine<I, O> {
                 let mut child = ctx.fork(1 + i as u64);
                 let recovery = run_contained(rule.action.as_ref(), input, &mut child);
                 ctx.add_sequential_cost(recovery.cost);
-                return match recovery.result {
+                let handled = match recovery.result {
                     Ok(output) => Handled::Recovered {
                         output,
                         rule: rule.name.clone(),
                     },
                     Err(failure) => Handled::Unhandled(failure),
                 };
+                if let Handled::Recovered { rule, .. } = &handled {
+                    let fired = rule.clone();
+                    ctx.obs_emit(move || redundancy_core::obs::Point::Workaround {
+                        rule: fired,
+                        applied: true,
+                    });
+                }
+                return handled;
             }
         }
         Handled::Unhandled(failure)
@@ -197,15 +232,19 @@ mod tests {
     use redundancy_core::variant::{pure_variant, FnVariant};
 
     fn failing_with(failure: VariantFailure) -> BoxedVariant<i64, i64> {
-        Box::new(FnVariant::new("primary", move |_: &i64, _: &mut ExecContext| {
-            Err(failure.clone())
-        }))
+        Box::new(FnVariant::new(
+            "primary",
+            move |_: &i64, _: &mut ExecContext| Err(failure.clone()),
+        ))
     }
 
     #[test]
     fn primary_success_bypasses_rules() {
-        let engine = RuleEngine::new(pure_variant("ok", 5, |x: &i64| x * 2))
-            .with_rule(Rule::new("r", FailureKind::Any, pure_variant("rec", 5, |_: &i64| -1)));
+        let engine = RuleEngine::new(pure_variant("ok", 5, |x: &i64| x * 2)).with_rule(Rule::new(
+            "r",
+            FailureKind::Any,
+            pure_variant("rec", 5, |_: &i64| -1),
+        ));
         let mut ctx = ExecContext::new(0);
         assert_eq!(engine.execute(&4, &mut ctx), Handled::Primary(8));
         assert_eq!(ctx.cost().invocations, 1, "rule action must not run");
@@ -239,8 +278,16 @@ mod tests {
     #[test]
     fn first_matching_rule_wins() {
         let engine = RuleEngine::new(failing_with(VariantFailure::crash("x")))
-            .with_rule(Rule::new("any-1", FailureKind::Any, pure_variant("a", 1, |_: &i64| 1)))
-            .with_rule(Rule::new("any-2", FailureKind::Any, pure_variant("b", 1, |_: &i64| 2)));
+            .with_rule(Rule::new(
+                "any-1",
+                FailureKind::Any,
+                pure_variant("a", 1, |_: &i64| 1),
+            ))
+            .with_rule(Rule::new(
+                "any-2",
+                FailureKind::Any,
+                pure_variant("b", 1, |_: &i64| 2),
+            ));
         let mut ctx = ExecContext::new(0);
         match engine.execute(&0, &mut ctx) {
             Handled::Recovered { rule, output } => {
@@ -293,8 +340,9 @@ mod tests {
     fn silent_wrong_output_is_invisible_to_the_engine() {
         // The engine reacts only to detectable failures: a wrong output
         // passes through, exactly the technique's documented limit.
-        let engine = RuleEngine::new(pure_variant("silently-wrong", 1, |_: &i64| -999))
-            .with_rule(Rule::new("r", FailureKind::Any, pure_variant("rec", 1, |x: &i64| *x)));
+        let engine = RuleEngine::new(pure_variant("silently-wrong", 1, |_: &i64| -999)).with_rule(
+            Rule::new("r", FailureKind::Any, pure_variant("rec", 1, |x: &i64| *x)),
+        );
         let mut ctx = ExecContext::new(0);
         assert_eq!(engine.execute(&1, &mut ctx), Handled::Primary(-999));
     }

@@ -163,7 +163,9 @@ where
         I: Sync,
         O: Send + Clone,
     {
-        self.pattern.run(input, ctx)
+        redundancy_core::patterns::run_technique_span(ctx, "self-checking", |ctx| {
+            self.pattern.run(input, ctx)
+        })
     }
 }
 
@@ -301,7 +303,10 @@ mod tests {
 
     #[test]
     fn entry_matches_table2() {
-        assert_eq!(ENTRY.classification.adjudication, Adjudication::ReactiveMixed);
+        assert_eq!(
+            ENTRY.classification.adjudication,
+            Adjudication::ReactiveMixed
+        );
         assert_eq!(ENTRY.classification.faults, FaultSet::DEVELOPMENT);
         assert_eq!(ENTRY.patterns, &[ArchitecturalPattern::ParallelSelection]);
         let sc: SelfChecking<i64, i64> = SelfChecking::new();
@@ -387,9 +392,7 @@ impl<I, O> SelfCheckingSystem<I, O> {
             let outcome =
                 redundancy_core::variant::run_contained(variant.as_ref(), input, &mut child);
             ctx.add_sequential_cost(outcome.cost);
-            let valid = outcome
-                .output()
-                .is_some_and(|out| test.accept(input, out));
+            let valid = outcome.output().is_some_and(|out| test.accept(input, out));
             if valid {
                 if delivered.is_none() {
                     delivered = outcome.result.ok();

@@ -110,10 +110,27 @@ impl<I, O> SelfOptimizing<I, O> {
     ///
     /// Panics if no implementation was added.
     pub fn call(&self, input: &I, ctx: &mut ExecContext) -> VariantOutcome<O> {
+        use redundancy_core::obs::{SpanKind, SpanStatus};
         assert!(
             !self.implementations.is_empty(),
             "self-optimizing code needs implementations"
         );
+        let span = ctx.obs_begin(|| SpanKind::Technique {
+            name: "self-optimizing",
+        });
+        let before = ctx.cost();
+        let outcome = self.call_inner(input, ctx);
+        let status = match &outcome.result {
+            Ok(_) => SpanStatus::Ok,
+            Err(failure) => SpanStatus::Failed {
+                kind: failure.kind(),
+            },
+        };
+        ctx.obs_end(span, status, ctx.cost().delta_since(before).snapshot());
+        outcome
+    }
+
+    fn call_inner(&self, input: &I, ctx: &mut ExecContext) -> VariantOutcome<O> {
         let idx = self.active();
         let variant = &self.implementations[idx];
         let stream = idx as u64 ^ ctx.rng().next_u64();
@@ -139,6 +156,10 @@ impl<I, O> SelfOptimizing<I, O> {
             self.active.store(next, Ordering::Relaxed);
             self.switches.fetch_add(1, Ordering::Relaxed);
             self.ema_millis.store(0, Ordering::Relaxed);
+            ctx.obs_emit(|| redundancy_core::obs::Point::Custom {
+                name: "impl-switch",
+                detail: format!("{idx}->{next}"),
+            });
         }
         outcome
     }
@@ -181,14 +202,22 @@ mod tests {
 
     /// A variant whose per-call work grows after a number of calls
     /// (performance degradation under load).
-    fn degrading(name: &str, base: u64, degrade_after: u64, degraded: u64) -> BoxedVariant<i64, i64> {
+    fn degrading(
+        name: &str,
+        base: u64,
+        degrade_after: u64,
+        degraded: u64,
+    ) -> BoxedVariant<i64, i64> {
         let calls = Arc::new(AtomicU64::new(0));
-        Box::new(FnVariant::new(name, move |x: &i64, ctx: &mut ExecContext| {
-            let n = calls.fetch_add(1, Ordering::Relaxed);
-            let work = if n >= degrade_after { degraded } else { base };
-            ctx.charge(work).map_err(|_| VariantFailure::Timeout)?;
-            Ok(x + 1)
-        }))
+        Box::new(FnVariant::new(
+            name,
+            move |x: &i64, ctx: &mut ExecContext| {
+                let n = calls.fetch_add(1, Ordering::Relaxed);
+                let work = if n >= degrade_after { degraded } else { base };
+                ctx.charge(work).map_err(|_| VariantFailure::Timeout)?;
+                Ok(x + 1)
+            },
+        ))
     }
 
     #[test]

@@ -31,7 +31,12 @@ pub const ENTRY: TechniqueEntry = TechniqueEntry {
         FaultSet::DEVELOPMENT,
     ),
     patterns: &[ArchitecturalPattern::SequentialAlternatives],
-    citations: &["Subramanian 2008", "Taher 2006", "Sadjadi 2005", "Mosincat 2008"],
+    citations: &[
+        "Subramanian 2008",
+        "Taher 2006",
+        "Sadjadi 2005",
+        "Mosincat 2008",
+    ],
 };
 
 /// How a substituted invocation concluded.
@@ -86,9 +91,45 @@ impl<'r> DynamicSubstitution<'r> {
         args: &[Value],
         ctx: &mut ExecContext,
     ) -> Result<SubstitutionReport, ServiceError> {
+        use redundancy_core::obs::{SpanKind, SpanStatus};
+
+        let span = ctx.obs_begin(|| SpanKind::Technique {
+            name: "service-substitution",
+        });
+        let before = ctx.cost();
+        let result = self.invoke_inner(interface, operation, args, ctx);
+        let status = match &result {
+            Ok(report) if report.substitutions == 0 => SpanStatus::Ok,
+            Ok(report) => SpanStatus::Accepted {
+                support: 1,
+                dissent: report.substitutions,
+            },
+            Err(_) => SpanStatus::Failed { kind: "service" },
+        };
+        ctx.obs_end(span, status, ctx.cost().delta_since(before).snapshot());
+        result
+    }
+
+    fn invoke_inner(
+        &self,
+        interface: &InterfaceId,
+        operation: &str,
+        args: &[Value],
+        ctx: &mut ExecContext,
+    ) -> Result<SubstitutionReport, ServiceError> {
         let mut substitutions = 0;
         let mut last_error = ServiceError::Unavailable;
+        // The provider whose failure we are failing over from, if any.
+        let mut failed_from: Option<String> = None;
         for provider in self.registry.providers_of(interface) {
+            if let Some(from) = failed_from.take() {
+                let to = provider.id().to_owned();
+                ctx.obs_emit(move || redundancy_core::obs::Point::ServiceRebind {
+                    interface: interface.name().to_owned(),
+                    from,
+                    to,
+                });
+            }
             match provider.invoke(operation, args, ctx) {
                 Ok(value) => {
                     return Ok(SubstitutionReport {
@@ -101,11 +142,20 @@ impl<'r> DynamicSubstitution<'r> {
                 Err(err) => {
                     last_error = err;
                     substitutions += 1;
+                    failed_from = Some(provider.id().to_owned());
                 }
             }
         }
         if self.use_converters {
             for (provider, converter) in self.registry.convertible_providers(interface) {
+                if let Some(from) = failed_from.take() {
+                    let to = provider.id().to_owned();
+                    ctx.obs_emit(move || redundancy_core::obs::Point::ServiceRebind {
+                        interface: interface.name().to_owned(),
+                        from,
+                        to,
+                    });
+                }
                 let op = converter.operation(operation);
                 let adapted = converter.arguments(args);
                 match provider.invoke(op, &adapted, ctx) {
@@ -120,6 +170,7 @@ impl<'r> DynamicSubstitution<'r> {
                     Err(err) => {
                         last_error = err;
                         substitutions += 1;
+                        failed_from = Some(provider.id().to_owned());
                     }
                 }
             }
@@ -199,7 +250,12 @@ mod tests {
         let sub = DynamicSubstitution::new(&registry);
         let mut ctx = ExecContext::new(1);
         let report = sub
-            .invoke(&InterfaceId::new("echo"), "echo", &[Value::Int(5)], &mut ctx)
+            .invoke(
+                &InterfaceId::new("echo"),
+                "echo",
+                &[Value::Int(5)],
+                &mut ctx,
+            )
             .unwrap();
         assert_eq!(report.value, Value::Int(5));
         assert_eq!(report.served_by, "echo.impl0");

@@ -81,11 +81,35 @@ mod tests {
         use RedundancyType::{Code, Data, Environment};
         let dev = FaultSet::DEVELOPMENT;
         let expected: Vec<(&str, Intention, RedundancyType, Adjudication, FaultSet)> = vec![
-            ("N-version programming", Deliberate, Code, ReactiveImplicit, dev),
+            (
+                "N-version programming",
+                Deliberate,
+                Code,
+                ReactiveImplicit,
+                dev,
+            ),
             ("Recovery blocks", Deliberate, Code, ReactiveExplicit, dev),
-            ("Self-checking programming", Deliberate, Code, ReactiveMixed, dev),
-            ("Self-optimizing code", Deliberate, Code, ReactiveExplicit, dev),
-            ("Exception handling, rule engines", Deliberate, Code, ReactiveExplicit, dev),
+            (
+                "Self-checking programming",
+                Deliberate,
+                Code,
+                ReactiveMixed,
+                dev,
+            ),
+            (
+                "Self-optimizing code",
+                Deliberate,
+                Code,
+                ReactiveExplicit,
+                dev,
+            ),
+            (
+                "Exception handling, rule engines",
+                Deliberate,
+                Code,
+                ReactiveExplicit,
+                dev,
+            ),
             (
                 "Wrappers",
                 Deliberate,
@@ -93,7 +117,13 @@ mod tests {
                 Preventive,
                 FaultSet::BOHRBUGS.with(FaultClass::Malicious),
             ),
-            ("Robust data structures, audits", Deliberate, Data, ReactiveImplicit, dev),
+            (
+                "Robust data structures, audits",
+                Deliberate,
+                Data,
+                ReactiveImplicit,
+                dev,
+            ),
             ("Data diversity", Deliberate, Data, ReactiveMixed, dev),
             (
                 "Data diversity for security",
@@ -109,7 +139,13 @@ mod tests {
                 Preventive,
                 FaultSet::HEISENBUGS,
             ),
-            ("Environment perturbation", Deliberate, Environment, ReactiveExplicit, dev),
+            (
+                "Environment perturbation",
+                Deliberate,
+                Environment,
+                ReactiveExplicit,
+                dev,
+            ),
             (
                 "Process replicas",
                 Deliberate,
@@ -117,7 +153,13 @@ mod tests {
                 ReactiveImplicit,
                 FaultSet::MALICIOUS,
             ),
-            ("Dynamic service substitution", Opportunistic, Code, ReactiveExplicit, dev),
+            (
+                "Dynamic service substitution",
+                Opportunistic,
+                Code,
+                ReactiveExplicit,
+                dev,
+            ),
             (
                 "Fault fixing, genetic programming",
                 Opportunistic,
@@ -125,7 +167,13 @@ mod tests {
                 ReactiveExplicit,
                 FaultSet::BOHRBUGS,
             ),
-            ("Automatic workarounds", Opportunistic, Code, ReactiveExplicit, dev),
+            (
+                "Automatic workarounds",
+                Opportunistic,
+                Code,
+                ReactiveExplicit,
+                dev,
+            ),
             (
                 "Checkpoint-recovery",
                 Opportunistic,
@@ -157,7 +205,11 @@ mod tests {
     #[test]
     fn every_entry_has_citations_and_patterns() {
         for entry in entries() {
-            assert!(!entry.citations.is_empty(), "{} lacks citations", entry.name);
+            assert!(
+                !entry.citations.is_empty(),
+                "{} lacks citations",
+                entry.name
+            );
             assert!(!entry.patterns.is_empty(), "{} lacks patterns", entry.name);
         }
     }

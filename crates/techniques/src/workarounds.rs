@@ -11,7 +11,9 @@
 //! development.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
+use redundancy_core::obs::{ObsHandle, Observer, Point};
 use redundancy_core::taxonomy::{
     Adjudication, ArchitecturalPattern, Classification, FaultSet, Intention, RedundancyType,
 };
@@ -74,11 +76,23 @@ pub struct Workaround<Op> {
 
 /// The workaround engine: a set of rewrite rules over an operation
 /// alphabet.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct WorkaroundEngine<Op> {
     rules: Vec<RewriteRule<Op>>,
     max_candidates: usize,
     max_depth: usize,
+    obs: Option<ObsHandle>,
+}
+
+impl<Op: std::fmt::Debug> std::fmt::Debug for WorkaroundEngine<Op> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkaroundEngine")
+            .field("rules", &self.rules)
+            .field("max_candidates", &self.max_candidates)
+            .field("max_depth", &self.max_depth)
+            .field("observed", &self.obs.is_some())
+            .finish()
+    }
 }
 
 impl<Op: Clone + PartialEq> WorkaroundEngine<Op> {
@@ -89,7 +103,16 @@ impl<Op: Clone + PartialEq> WorkaroundEngine<Op> {
             rules,
             max_candidates: 200,
             max_depth: 4,
+            obs: None,
         }
+    }
+
+    /// Attaches an observer; each workaround search emits a
+    /// [`Point::Workaround`] with its outcome.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.obs = Some(ObsHandle::new(observer));
+        self
     }
 
     /// Caps the number of candidate sequences generated (default 200).
@@ -117,9 +140,7 @@ impl<Op: Clone + PartialEq> WorkaroundEngine<Op> {
     fn neighbors(&self, seq: &[Op]) -> Vec<Vec<Op>> {
         let mut out = Vec::new();
         for rule in &self.rules {
-            for (pattern, replacement) in
-                [(&rule.from, &rule.to), (&rule.to, &rule.from)]
-            {
+            for (pattern, replacement) in [(&rule.from, &rule.to), (&rule.to, &rule.from)] {
                 if pattern.is_empty() || pattern.len() > seq.len() {
                     continue;
                 }
@@ -182,11 +203,23 @@ impl<Op: Clone + PartialEq> WorkaroundEngine<Op> {
         for candidate in self.equivalent_sequences(seq) {
             attempts += 1;
             if system.execute(&candidate).is_ok() {
+                if let Some(obs) = &self.obs {
+                    obs.emit(0, || Point::Workaround {
+                        rule: format!("bfs-candidate-{}", attempts - 1),
+                        applied: true,
+                    });
+                }
                 return Ok(Workaround {
                     sequence: candidate,
                     attempts: attempts - 1,
                 });
             }
+        }
+        if let Some(obs) = &self.obs {
+            obs.emit(0, || Point::Workaround {
+                rule: format!("exhausted-after-{attempts}"),
+                applied: false,
+            });
         }
         Err(attempts)
     }
@@ -372,7 +405,10 @@ mod tests {
     fn no_rules_no_workaround() {
         let mut system = Container::new().with_fault(Op::Add, 1);
         let engine: WorkaroundEngine<Op> = WorkaroundEngine::new(vec![]);
-        assert_eq!(engine.find_workaround(&mut system, &[Op::Add, Op::Add]), Err(0));
+        assert_eq!(
+            engine.find_workaround(&mut system, &[Op::Add, Op::Add]),
+            Err(0)
+        );
     }
 
     #[test]
@@ -405,11 +441,10 @@ mod tests {
         // Intrinsic-redundancy degree sweep (the E13 claim in miniature):
         // with richer rule sets, more failures are workaround-able.
         let seq = vec![Op::Add, Op::Add];
-        let poor: WorkaroundEngine<Op> =
-            WorkaroundEngine::new(vec![RewriteRule::new(
-                vec![Op::Reverse, Op::Reverse],
-                vec![Op::DoubleReverse],
-            )]);
+        let poor: WorkaroundEngine<Op> = WorkaroundEngine::new(vec![RewriteRule::new(
+            vec![Op::Reverse, Op::Reverse],
+            vec![Op::DoubleReverse],
+        )]);
         let rich = WorkaroundEngine::new(rules());
         let mut sys1 = Container::new().with_fault(Op::Add, 1);
         let mut sys2 = Container::new().with_fault(Op::Add, 1);

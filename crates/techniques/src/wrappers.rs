@@ -112,14 +112,19 @@ where
     }
 
     fn execute(&self, input: &I, ctx: &mut ExecContext) -> Result<O, VariantFailure> {
+        use redundancy_core::obs::Point;
         if (self.is_valid)(input) {
             return self.inner.execute(input, ctx);
         }
         if let Some(sanitize) = &self.sanitize {
             if let Some(repaired) = sanitize(input) {
+                ctx.obs_emit(|| Point::Sanitized {
+                    action: "rewritten",
+                });
                 return self.inner.execute(&repaired, ctx);
             }
         }
+        ctx.obs_emit(|| Point::Sanitized { action: "rejected" });
         Err(VariantFailure::error(
             "wrapper rejected an invalid interaction",
         ))
@@ -137,6 +142,7 @@ where
 pub struct HeapWrapper {
     memory: SimMemory,
     prevented: u64,
+    obs: Option<redundancy_core::obs::ObsHandle>,
 }
 
 impl HeapWrapper {
@@ -146,7 +152,19 @@ impl HeapWrapper {
         Self {
             memory,
             prevented: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches an observer; every prevented smash emits a
+    /// [`redundancy_core::obs::Point::Sanitized`] point.
+    #[must_use]
+    pub fn with_observer(
+        mut self,
+        observer: std::sync::Arc<dyn redundancy_core::obs::Observer>,
+    ) -> Self {
+        self.obs = Some(redundancy_core::obs::ObsHandle::new(observer));
+        self
     }
 
     /// Allocates a buffer.
@@ -180,6 +198,11 @@ impl HeapWrapper {
             Err(fault) => {
                 if matches!(fault, MemoryFault::BoundsViolation { .. }) {
                     self.prevented += 1;
+                    if let Some(obs) = &self.obs {
+                        obs.emit(0, || redundancy_core::obs::Point::Sanitized {
+                            action: "refused-write",
+                        });
+                    }
                 }
                 Err(fault)
             }
@@ -262,10 +285,10 @@ mod tests {
 
     #[test]
     fn sanitizing_wrapper_passes_valid_inputs() {
-        let wrapper = SanitizingWrapper::new(
-            pure_variant("sqrt-ish", 5, |x: &i64| x / 2),
-            |x: &i64| *x >= 0,
-        );
+        let wrapper =
+            SanitizingWrapper::new(pure_variant("sqrt-ish", 5, |x: &i64| x / 2), |x: &i64| {
+                *x >= 0
+            });
         let mut ctx = ExecContext::new(0);
         assert_eq!(wrapper.execute(&10, &mut ctx), Ok(5));
         assert_eq!(wrapper.disposition(&10), InputDisposition::Clean);
@@ -273,10 +296,8 @@ mod tests {
 
     #[test]
     fn sanitizing_wrapper_rejects_without_sanitizer() {
-        let wrapper = SanitizingWrapper::new(
-            pure_variant("inner", 5, |x: &i64| x / 2),
-            |x: &i64| *x >= 0,
-        );
+        let wrapper =
+            SanitizingWrapper::new(pure_variant("inner", 5, |x: &i64| x / 2), |x: &i64| *x >= 0);
         let mut ctx = ExecContext::new(0);
         assert!(matches!(
             wrapper.execute(&-10, &mut ctx),
@@ -287,11 +308,9 @@ mod tests {
 
     #[test]
     fn sanitizing_wrapper_repairs_when_possible() {
-        let wrapper = SanitizingWrapper::new(
-            pure_variant("inner", 5, |x: &i64| x * 2),
-            |x: &i64| *x >= 0,
-        )
-        .with_sanitizer(|x: &i64| Some(x.abs()));
+        let wrapper =
+            SanitizingWrapper::new(pure_variant("inner", 5, |x: &i64| x * 2), |x: &i64| *x >= 0)
+                .with_sanitizer(|x: &i64| Some(x.abs()));
         let mut ctx = ExecContext::new(0);
         assert_eq!(wrapper.execute(&-21, &mut ctx), Ok(42));
         assert_eq!(wrapper.disposition(&-21), InputDisposition::Sanitized);
@@ -299,11 +318,9 @@ mod tests {
 
     #[test]
     fn sanitizer_may_still_reject() {
-        let wrapper = SanitizingWrapper::new(
-            pure_variant("inner", 5, |x: &i64| *x),
-            |x: &i64| *x >= 0,
-        )
-        .with_sanitizer(|x: &i64| if *x > -100 { Some(-x) } else { None });
+        let wrapper =
+            SanitizingWrapper::new(pure_variant("inner", 5, |x: &i64| *x), |x: &i64| *x >= 0)
+                .with_sanitizer(|x: &i64| if *x > -100 { Some(-x) } else { None });
         let mut ctx = ExecContext::new(0);
         assert_eq!(wrapper.execute(&-5, &mut ctx), Ok(5));
         assert!(wrapper.execute(&-500, &mut ctx).is_err());

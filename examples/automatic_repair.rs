@@ -36,7 +36,9 @@ fn main() {
     let mut fresh = Container::new().with_fault(Op::Add, 1);
     println!(
         "  executes to the intended state: {:?}\n",
-        fresh.execute(&workaround.sequence).expect("workaround works")
+        fresh
+            .execute(&workaround.sequence)
+            .expect("workaround works")
     );
 
     // --- Phase 2: genetic-programming fault fixing -----------------------

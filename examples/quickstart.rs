@@ -37,7 +37,9 @@ fn main() {
     let mut ctx = ExecContext::new(42);
     let mut outvoted = 0;
     for round in 0..5u32 {
-        let data: Vec<u32> = (0..10 + round * 7).map(|i| (i * 37 + round) % 100).collect();
+        let data: Vec<u32> = (0..10 + round * 7)
+            .map(|i| (i * 37 + round) % 100)
+            .collect();
         let report = nvp.run(&data, &mut ctx);
         let disagreed = report
             .outcomes

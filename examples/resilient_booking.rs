@@ -57,12 +57,15 @@ fn build_registry() -> ServiceRegistry {
             .build(),
     ));
     registry.register_converter(
-        Converter::new(InterfaceId::new("payments"), InterfaceId::new("legacy-payments"))
-            .map_operation("charge", "settle_cents")
-            .adapt_args(|args| {
-                // The modern interface charges in whole currency units.
-                vec![Value::Int(args[0].as_int().unwrap_or(0) * 100)]
-            }),
+        Converter::new(
+            InterfaceId::new("payments"),
+            InterfaceId::new("legacy-payments"),
+        )
+        .map_operation("charge", "settle_cents")
+        .adapt_args(|args| {
+            // The modern interface charges in whole currency units.
+            vec![Value::Int(args[0].as_int().unwrap_or(0) * 100)]
+        }),
     );
     registry
 }
@@ -73,7 +76,12 @@ fn main() {
 
     // Step 1+2 as a BPEL process with fail-over binding and retry.
     let process = Activity::seq(vec![
-        Activity::invoke("flights", "quote", vec![Expr::Lit(Value::Int(2))], "flight_total"),
+        Activity::invoke(
+            "flights",
+            "quote",
+            vec![Expr::Lit(Value::Int(2))],
+            "flight_total",
+        ),
         Activity::Retry {
             inner: Box::new(Activity::invoke(
                 "hotels",

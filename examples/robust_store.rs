@@ -28,7 +28,11 @@ fn main() {
         other => println!("repair: {other:?}"),
     }
     assert!(queue.audit().is_clean());
-    println!("queue after repair: {:?} ({} jobs)", queue.to_vec(), queue.len());
+    println!(
+        "queue after repair: {:?} ({} jobs)",
+        queue.to_vec(),
+        queue.len()
+    );
 
     // A corrupted counter is also caught and recomputed.
     queue.corrupt_count(999);

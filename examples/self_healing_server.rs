@@ -7,9 +7,7 @@
 
 use redundancy::core::context::ExecContext;
 use redundancy::core::rng::SplitMix64;
-use redundancy::faults::{
-    Activation, DetectableFailures, FaultEffect, FaultSpec, FaultyVariant,
-};
+use redundancy::faults::{Activation, DetectableFailures, FaultEffect, FaultSpec, FaultyVariant};
 use redundancy::techniques::env_perturbation::{Rx, RxOutcome};
 use redundancy::techniques::microreboot::{ComponentTree, RebootPolicy};
 use redundancy::techniques::rejuvenation::Rejuvenator;
@@ -82,7 +80,10 @@ fn main() {
         reboots += record.reboots;
     }
     println!("\nlayer 3 — escalating micro-reboots over 40 corruption events:");
-    println!("  total downtime {downtime} (avg {}), {reboots} reboot operations", downtime / 40);
+    println!(
+        "  total downtime {downtime} (avg {}), {reboots} reboot operations",
+        downtime / 40
+    );
     let mut full_tree = ComponentTree::jagr_demo();
     full_tree.corrupt("db-c0", 0);
     let full = full_tree.recover("db-c0", RebootPolicy::Full);

@@ -18,6 +18,7 @@
 //! | [`gp`] | `redundancy-gp` | mini-language + genetic programming engine |
 //! | [`techniques`] | `redundancy-techniques` | all 17 techniques of the paper's Table 2 |
 //! | [`sim`] | `redundancy-sim` | Monte-Carlo experiment harness and statistics |
+//! | [`obs`] | `redundancy-obs` | structured execution tracing, metrics, exporters |
 //!
 //! # Quickstart: outvoting a buggy version
 //!
@@ -39,6 +40,7 @@
 pub use redundancy_core as core;
 pub use redundancy_faults as faults;
 pub use redundancy_gp as gp;
+pub use redundancy_obs as obs;
 pub use redundancy_sandbox as sandbox;
 pub use redundancy_services as services;
 pub use redundancy_sim as sim;

@@ -36,41 +36,50 @@ fn dataset() -> Vec<Row> {
 /// Store A: ordered (BTreeMap) — rows come back sorted by key.
 fn store_a() -> BoxedVariant<RangeQuery, Vec<Row>> {
     let table: BTreeMap<u32, String> = dataset().into_iter().collect();
-    Box::new(FnVariant::new("btree-store", move |q: &RangeQuery, _: &mut ExecContext| {
-        Ok(table
-            .range(q.lo..q.hi)
-            .map(|(k, v)| (*k, v.clone()))
-            .collect())
-    }))
+    Box::new(FnVariant::new(
+        "btree-store",
+        move |q: &RangeQuery, _: &mut ExecContext| {
+            Ok(table
+                .range(q.lo..q.hi)
+                .map(|(k, v)| (*k, v.clone()))
+                .collect())
+        },
+    ))
 }
 
 /// Store B: hash-based — rows come back in an implementation-defined
 /// order that differs from Store A's.
 fn store_b() -> BoxedVariant<RangeQuery, Vec<Row>> {
     let table: HashMap<u32, String> = dataset().into_iter().collect();
-    Box::new(FnVariant::new("hash-store", move |q: &RangeQuery, _: &mut ExecContext| {
-        let mut rows: Vec<Row> = table
-            .iter()
-            .filter(|(k, _)| (q.lo..q.hi).contains(k))
-            .map(|(k, v)| (*k, v.clone()))
-            .collect();
-        // Deterministic but non-sorted order (reverse insertion-ish).
-        rows.sort_by_key(|(k, _)| std::cmp::Reverse(*k));
-        Ok(rows)
-    }))
+    Box::new(FnVariant::new(
+        "hash-store",
+        move |q: &RangeQuery, _: &mut ExecContext| {
+            let mut rows: Vec<Row> = table
+                .iter()
+                .filter(|(k, _)| (q.lo..q.hi).contains(k))
+                .map(|(k, v)| (*k, v.clone()))
+                .collect();
+            // Deterministic but non-sorted order (reverse insertion-ish).
+            rows.sort_by_key(|(k, _)| std::cmp::Reverse(*k));
+            Ok(rows)
+        },
+    ))
 }
 
 /// Store C: log-structured scan with a faulty boundary (a real bug: the
 /// upper bound is treated inclusively).
 fn store_c_buggy() -> BoxedVariant<RangeQuery, Vec<Row>> {
     let log: Vec<Row> = dataset();
-    Box::new(FnVariant::new("log-store-buggy", move |q: &RangeQuery, _: &mut ExecContext| {
-        Ok(log
-            .iter()
-            .filter(|(k, _)| *k >= q.lo && *k <= q.hi) // bug: inclusive hi
-            .cloned()
-            .collect())
-    }))
+    Box::new(FnVariant::new(
+        "log-store-buggy",
+        move |q: &RangeQuery, _: &mut ExecContext| {
+            Ok(log
+                .iter()
+                .filter(|(k, _)| *k >= q.lo && *k <= q.hi) // bug: inclusive hi
+                .cloned()
+                .collect())
+        },
+    ))
 }
 
 fn canonicalize(mut rows: Vec<Row>) -> Vec<Row> {
@@ -83,9 +92,10 @@ fn canonicalize(mut rows: Vec<Row>) -> Vec<Row> {
 /// (Gashi's reconciliation middleware).
 fn canonicalized(inner: BoxedVariant<RangeQuery, Vec<Row>>) -> BoxedVariant<RangeQuery, Vec<Row>> {
     let name = format!("{}+canon", inner.name());
-    Box::new(FnVariant::new(name, move |q: &RangeQuery, ctx: &mut ExecContext| {
-        inner.execute(q, ctx).map(canonicalize)
-    }))
+    Box::new(FnVariant::new(
+        name,
+        move |q: &RangeQuery, ctx: &mut ExecContext| inner.execute(q, ctx).map(canonicalize),
+    ))
 }
 
 fn queries() -> Vec<RangeQuery> {

@@ -56,7 +56,11 @@ fn e6_smoke() {
 
 #[test]
 fn e7_smoke() {
-    assert_table(&exp::rejuvenation::run_failure_rates(TRIALS, SEED), 6, "never");
+    assert_table(
+        &exp::rejuvenation::run_failure_rates(TRIALS, SEED),
+        6,
+        "never",
+    );
     assert_table(&exp::rejuvenation::run_completion(3, SEED), 8, "never");
 }
 

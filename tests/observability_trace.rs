@@ -1,0 +1,310 @@
+//! Integration test for the observability layer: a seed-pinned NVP
+//! campaign over a [`FaultPlan`] must produce an exactly reproducible
+//! event stream, and the recorded trace must reconstruct, per trial,
+//! every variant outcome, the adjudicator's verdict (with rejection
+//! reasons), and the total fuel/cost.
+//!
+//! Everything asserted here is a pure function of `PLAN_SEED`,
+//! `DENSITY` and `CAMPAIGN_SEED`; if any pinned value drifts, the
+//! deterministic-replay guarantee broke.
+//!
+//! [`FaultPlan`]: redundancy::faults::FaultPlan
+
+use std::sync::Arc;
+
+use redundancy::core::adjudicator::voting::MajorityVoter;
+use redundancy::core::patterns::ParallelEvaluation;
+use redundancy::core::variant::BoxedVariant;
+use redundancy::faults::FaultPlan;
+use redundancy::obs::{
+    CostSnapshot, Event, EventKind, Observer, Point, RingBufferObserver, SpanKind, SpanStatus,
+    TraceSummary,
+};
+use redundancy::sim::split_trials;
+use redundancy::sim::trial::{Campaign, TrialOutcome, TrialSummary};
+
+const PLAN_SEED: u64 = 4;
+const DENSITY: f64 = 0.45;
+const CAMPAIGN_SEED: u64 = 2008;
+const TRIALS: usize = 6;
+const WORK: u64 = 10;
+
+/// Events per trial: trial span + pattern span + 3 variant spans
+/// (2 events each) + 1 verdict point.
+const EVENTS_PER_TRIAL: usize = 11;
+
+/// The cost every variant execution charges under this plan.
+const VARIANT_COST: CostSnapshot = CostSnapshot {
+    work_units: WORK,
+    virtual_ns: WORK,
+    invocations: 1,
+    design_cost: 1.0,
+};
+
+/// Per-trial total: three variants of parallel work; the virtual clock
+/// advances by the critical path (one variant), not the sum.
+const TRIAL_COST: CostSnapshot = CostSnapshot {
+    work_units: 3 * WORK,
+    virtual_ns: WORK,
+    invocations: 3,
+    design_cost: 3.0,
+};
+
+fn golden(x: &u64) -> u64 {
+    x * 2
+}
+
+/// Three NVP versions, each with its own Bohrbug assigned by the plan.
+/// Corruptors are per-slot (`+1001·(slot+1)`): wrong outputs are silent
+/// — the case majority voting exists for — but wrong outputs from
+/// *different* versions disagree, so a corrupted majority never forms.
+fn nvp_from_plan(plan: &FaultPlan) -> ParallelEvaluation<u64, u64> {
+    let mut pattern = ParallelEvaluation::new(MajorityVoter::new());
+    for slot in 0..plan.slots() {
+        let shift = 1001 * (slot as u64 + 1);
+        let variant: BoxedVariant<u64, u64> = Box::new(plan.build_variant_corrupting(
+            slot,
+            format!("v{slot}"),
+            WORK,
+            golden,
+            move |c, _| c + shift,
+        ));
+        pattern.push_variant(variant);
+    }
+    pattern
+}
+
+fn run_campaign(observer: Arc<dyn Observer>) -> TrialSummary {
+    let plan = FaultPlan::bohrbugs(PLAN_SEED, 3, DENSITY);
+    let pattern = nvp_from_plan(&plan);
+    Campaign::new(TRIALS).run_traced(CAMPAIGN_SEED, observer, |ctx, _seed, i| {
+        let input = i as u64;
+        let report = pattern.run(&input, ctx);
+        let cost = ctx.cost();
+        match report.verdict.output() {
+            Some(out) if *out == golden(&input) => TrialOutcome::Correct { cost },
+            Some(_) => TrialOutcome::Undetected { cost },
+            None => TrialOutcome::Detected { cost },
+        }
+    })
+}
+
+#[test]
+fn traced_nvp_campaign_emits_the_exact_pinned_event_sequence() {
+    let ring = RingBufferObserver::shared(1 << 14);
+    let summary = run_campaign(ring.clone());
+    let events = ring.events();
+
+    // Five trials outvote their single corrupted version; in trial 2 two
+    // versions corrupt the input (with disagreeing outputs), so the vote
+    // correctly refuses to pick an output — a detected failure.
+    assert_eq!(summary.reliability.successes, 5);
+    assert_eq!(summary.detected.successes, 1);
+    assert_eq!(summary.undetected.successes, 0);
+
+    assert_eq!(events.len(), TRIALS * EVENTS_PER_TRIAL);
+    assert_eq!(ring.dropped(), 0, "capture window must not evict");
+
+    // The full event sequence of trial 0, pinned field by field.
+    let expected_trial0 = [
+        Event {
+            seq: 0,
+            span: 1,
+            parent: 0,
+            clock: 0,
+            kind: EventKind::SpanStart {
+                kind: SpanKind::Trial {
+                    index: 0,
+                    seed: Campaign::trial_seed(CAMPAIGN_SEED, 0),
+                },
+            },
+        },
+        Event {
+            seq: 1,
+            span: 2,
+            parent: 1,
+            clock: 0,
+            kind: EventKind::SpanStart {
+                kind: SpanKind::Pattern {
+                    name: "parallel_evaluation",
+                },
+            },
+        },
+        Event {
+            seq: 2,
+            span: 3,
+            parent: 2,
+            clock: 0,
+            kind: EventKind::SpanStart {
+                kind: SpanKind::Variant {
+                    name: "v0".to_owned(),
+                },
+            },
+        },
+        Event {
+            seq: 3,
+            span: 3,
+            parent: 2,
+            clock: 10,
+            kind: EventKind::SpanEnd {
+                status: SpanStatus::Ok,
+                cost: VARIANT_COST,
+            },
+        },
+        Event {
+            seq: 4,
+            span: 4,
+            parent: 2,
+            clock: 0,
+            kind: EventKind::SpanStart {
+                kind: SpanKind::Variant {
+                    name: "v1".to_owned(),
+                },
+            },
+        },
+        Event {
+            seq: 5,
+            span: 4,
+            parent: 2,
+            clock: 10,
+            kind: EventKind::SpanEnd {
+                status: SpanStatus::Ok,
+                cost: VARIANT_COST,
+            },
+        },
+        Event {
+            seq: 6,
+            span: 5,
+            parent: 2,
+            clock: 0,
+            kind: EventKind::SpanStart {
+                kind: SpanKind::Variant {
+                    name: "v2".to_owned(),
+                },
+            },
+        },
+        Event {
+            seq: 7,
+            span: 5,
+            parent: 2,
+            clock: 10,
+            kind: EventKind::SpanEnd {
+                status: SpanStatus::Ok,
+                cost: VARIANT_COST,
+            },
+        },
+        Event {
+            seq: 8,
+            span: 2,
+            parent: 2,
+            clock: 10,
+            kind: EventKind::Point(Point::Verdict {
+                accepted: true,
+                support: 2,
+                dissent: 1,
+                rejection: None,
+            }),
+        },
+        Event {
+            seq: 9,
+            span: 2,
+            parent: 1,
+            clock: 10,
+            kind: EventKind::SpanEnd {
+                status: SpanStatus::Accepted {
+                    support: 2,
+                    dissent: 1,
+                },
+                cost: TRIAL_COST,
+            },
+        },
+        Event {
+            seq: 10,
+            span: 1,
+            parent: 0,
+            clock: 10,
+            kind: EventKind::SpanEnd {
+                status: SpanStatus::Trial {
+                    disposition: "correct",
+                },
+                cost: TRIAL_COST,
+            },
+        },
+    ];
+    assert_eq!(&events[..EVENTS_PER_TRIAL], &expected_trial0[..]);
+}
+
+#[test]
+fn identical_seeds_produce_identical_event_streams() {
+    let ring_a = RingBufferObserver::shared(1 << 14);
+    let ring_b = RingBufferObserver::shared(1 << 14);
+    let summary_a = run_campaign(ring_a.clone());
+    let summary_b = run_campaign(ring_b.clone());
+    assert_eq!(summary_a, summary_b);
+    assert_eq!(ring_a.events(), ring_b.events(), "event streams diverged");
+}
+
+#[test]
+fn trace_reconstructs_every_trial() {
+    let ring = RingBufferObserver::shared(1 << 14);
+    let _ = run_campaign(ring.clone());
+    let traces = split_trials(&ring.events());
+    assert_eq!(traces.len(), TRIALS);
+
+    let expected_dispositions = [
+        "correct", "correct", "detected", "correct", "correct", "correct",
+    ];
+    for (i, trace) in traces.iter().enumerate() {
+        assert_eq!(trace.index, i as u64);
+        assert_eq!(trace.seed, Campaign::trial_seed(CAMPAIGN_SEED, i));
+        assert_eq!(trace.disposition, expected_dispositions[i]);
+
+        // Every variant outcome is reconstructable. Bohrbug corruption is
+        // *silent*: all three executions conclude Ok with identical cost,
+        // and only the adjudicator (below) tells good from corrupt.
+        let variants = trace.variants();
+        assert_eq!(variants.len(), 3);
+        for (slot, variant) in variants.iter().enumerate() {
+            assert_eq!(variant.name, format!("v{slot}"));
+            assert_eq!(variant.status, SpanStatus::Ok);
+            assert_eq!(variant.cost, VARIANT_COST);
+        }
+
+        // The adjudicator's verdict — and its reason when it rejected.
+        let verdicts = trace.verdicts();
+        assert_eq!(verdicts.len(), 1);
+        if trace.disposition == "correct" {
+            assert!(verdicts[0].accepted);
+            assert_eq!((verdicts[0].support, verdicts[0].dissent), (2, 1));
+            assert!(trace.rejection_reasons().is_empty());
+        } else {
+            assert!(!verdicts[0].accepted);
+            assert_eq!(trace.rejection_reasons(), vec!["no_quorum"]);
+        }
+
+        // Total fuel/cost of the trial.
+        assert_eq!(trace.cost, TRIAL_COST);
+    }
+}
+
+#[test]
+fn trace_summary_aggregates_the_campaign() {
+    let ring = RingBufferObserver::shared(1 << 14);
+    let _ = run_campaign(ring.clone());
+    let summary = TraceSummary::from_events(&ring.events());
+
+    assert_eq!(summary.events, TRIALS * EVENTS_PER_TRIAL);
+    assert_eq!(summary.spans_closed, TRIALS * 5);
+    assert_eq!(summary.spans_open, 0);
+    assert_eq!(summary.accepted, 5);
+    assert_eq!(summary.rejected.get("no_quorum"), Some(&1));
+    assert!(summary.failed.is_empty());
+    assert_eq!(summary.points.get("verdict"), Some(&TRIALS));
+
+    // Roots of the trace are the trial spans, so the summed cost is the
+    // per-trial total times the campaign size.
+    let n = TRIALS as u64;
+    assert_eq!(summary.total_cost.work_units, n * TRIAL_COST.work_units);
+    assert_eq!(summary.total_cost.virtual_ns, n * TRIAL_COST.virtual_ns);
+    assert_eq!(summary.total_cost.invocations, n * TRIAL_COST.invocations);
+}

@@ -84,8 +84,7 @@ fn recovery_block_stack_handles_heisenbugs_under_fuel_budgets() {
             redundancy::faults::FaultEffect::Hang,
         ))
         .build_boxed();
-    let backup: BoxedVariant<u64, u64> = FaultyVariant::builder("backup", 10, golden)
-        .build_boxed();
+    let backup: BoxedVariant<u64, u64> = FaultyVariant::builder("backup", 10, golden).build_boxed();
     let pattern = SequentialAlternatives::new(FnAcceptance::new("any", |_: &u64, _: &u64| true))
         .with_variant(hanging)
         .with_variant(backup);

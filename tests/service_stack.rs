@@ -22,11 +22,14 @@ fn service_variant(
     operation: &'static str,
 ) -> BoxedVariant<i64, Value> {
     let name = provider.id().to_owned();
-    Box::new(FnVariant::new(name, move |x: &i64, ctx: &mut ExecContext| {
-        provider
-            .invoke(operation, &[Value::Int(*x)], ctx)
-            .map_err(|e| VariantFailure::error(e.to_string()))
-    }))
+    Box::new(FnVariant::new(
+        name,
+        move |x: &i64, ctx: &mut ExecContext| {
+            provider
+                .invoke(operation, &[Value::Int(*x)], ctx)
+                .map_err(|e| VariantFailure::error(e.to_string()))
+        },
+    ))
 }
 
 fn voting_registry() -> ServiceRegistry {
@@ -35,9 +38,9 @@ fn voting_registry() -> ServiceRegistry {
         registry.register(Arc::new(
             SimProvider::builder(id, InterfaceId::new("square"))
                 .operation("square", move |args, _| {
-                    let x = args[0].as_int().ok_or_else(|| {
-                        ServiceError::BadRequest("int expected".into())
-                    })?;
+                    let x = args[0]
+                        .as_int()
+                        .ok_or_else(|| ServiceError::BadRequest("int expected".into()))?;
                     Ok(Value::Int(x * x + bias))
                 })
                 .build(),
@@ -83,7 +86,9 @@ fn bpel_process_with_substitution_binder_survives_outages() {
     ]);
     let mut vars = Vars::new();
     let mut ctx = ExecContext::new(2);
-    engine.run(&process, &mut vars, &mut ctx).expect("fail-over");
+    engine
+        .run(&process, &mut vars, &mut ctx)
+        .expect("fail-over");
     assert_eq!(vars["place"], Value::Str("loc:7".into()));
 }
 
@@ -93,7 +98,12 @@ fn substitution_runtime_reports_provenance() {
     let substitution = DynamicSubstitution::new(&registry);
     let mut ctx = ExecContext::new(3);
     let report = substitution
-        .invoke(&InterfaceId::new("square"), "square", &[Value::Int(4)], &mut ctx)
+        .invoke(
+            &InterfaceId::new("square"),
+            "square",
+            &[Value::Int(4)],
+            &mut ctx,
+        )
         .expect("some provider serves");
     assert_eq!(report.value, Value::Int(16));
     assert_eq!(report.served_by, "sq.a");
@@ -110,7 +120,9 @@ fn parallel_flow_collects_independent_results() {
     ]);
     let mut vars = Vars::new();
     let mut ctx = ExecContext::new(4);
-    engine.run(&process, &mut vars, &mut ctx).expect("flow runs");
+    engine
+        .run(&process, &mut vars, &mut ctx)
+        .expect("flow runs");
     assert_eq!(vars["a"], Value::Int(9));
     assert_eq!(vars["b"], Value::Int(25));
 }
@@ -139,14 +151,24 @@ fn recovery_registry_protects_a_composite_process() {
     let recovery = RecoveryRegistry::new().with_rule(RecoveryRule::new(
         "backorder-on-outage",
         FailureMatch::Interface(InterfaceId::new("inventory")),
-        Activity::invoke("backorder", "enqueue", vec![Expr::Var("sku".into())], "ticket"),
+        Activity::invoke(
+            "backorder",
+            "enqueue",
+            vec![Expr::Var("sku".into())],
+            "ticket",
+        ),
     ));
     let process = Activity::seq(vec![
         Activity::Assign {
             var: "sku".into(),
             expr: Expr::Lit(Value::Int(1234)),
         },
-        Activity::invoke("inventory", "reserve", vec![Expr::Var("sku".into())], "hold"),
+        Activity::invoke(
+            "inventory",
+            "reserve",
+            vec![Expr::Var("sku".into())],
+            "hold",
+        ),
     ]);
     let mut vars = Vars::new();
     let mut ctx = ExecContext::new(11);

@@ -14,13 +14,17 @@ fn every_dimension_value_is_exercised_by_some_technique() {
     let entries = table2::entries();
     for intention in Intention::ALL {
         assert!(
-            entries.iter().any(|e| e.classification.intention == intention),
+            entries
+                .iter()
+                .any(|e| e.classification.intention == intention),
             "no technique with intention {intention}"
         );
     }
     for redundancy in RedundancyType::ALL {
         assert!(
-            entries.iter().any(|e| e.classification.redundancy == redundancy),
+            entries
+                .iter()
+                .any(|e| e.classification.redundancy == redundancy),
             "no technique with type {redundancy}"
         );
     }
@@ -34,7 +38,9 @@ fn every_dimension_value_is_exercised_by_some_technique() {
     }
     for class in FaultClass::ALL {
         assert!(
-            entries.iter().any(|e| e.classification.faults.contains(class)),
+            entries
+                .iter()
+                .any(|e| e.classification.faults.contains(class)),
             "no technique addressing {class}"
         );
     }
@@ -97,6 +103,10 @@ fn malicious_faults_are_addressed_only_by_the_three_security_rows() {
         .collect();
     assert_eq!(
         against_malicious,
-        vec!["Wrappers", "Data diversity for security", "Process replicas"]
+        vec![
+            "Wrappers",
+            "Data diversity for security",
+            "Process replicas"
+        ]
     );
 }
