@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy test build bench
+.PHONY: verify fmt clippy test build bench bench-campaign
 
 verify: fmt clippy test
 
@@ -22,3 +22,8 @@ build:
 
 bench:
 	$(CARGO) bench --workspace
+
+# Serial-vs-parallel campaign throughput, mirrored to BENCH_campaign.json.
+# (Absolute path: cargo runs the bench with the package dir as cwd.)
+bench-campaign:
+	CRITERION_JSON_OUT=$(CURDIR)/BENCH_campaign.json $(CARGO) bench -p redundancy-bench --bench campaign_throughput

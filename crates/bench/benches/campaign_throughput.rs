@@ -1,0 +1,91 @@
+//! Serial vs parallel Monte-Carlo campaign throughput (host-time).
+//!
+//! Runs the same 1000-trial NVP campaign through [`Campaign::run`] and
+//! through [`Campaign::run_parallel`] at several worker counts. Both
+//! drivers produce bit-identical summaries (asserted here before
+//! measuring), so the only thing that varies is wall-clock time. Run
+//! with `CRITERION_JSON_OUT=BENCH_campaign.json` (see `make
+//! bench-campaign`) to mirror the numbers into JSON.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redundancy_core::adjudicator::voting::MajorityVoter;
+use redundancy_core::context::ExecContext;
+use redundancy_core::patterns::ParallelEvaluation;
+use redundancy_core::variant::BoxedVariant;
+use redundancy_faults::FaultPlan;
+use redundancy_sim::trial::{Campaign, TrialOutcome};
+
+const TRIALS: usize = 1000;
+const CAMPAIGN_SEED: u64 = 2008;
+const WORK: u64 = 25;
+const DENSITY: f64 = 0.25;
+
+fn golden(x: &u64) -> u64 {
+    x * 2
+}
+
+/// A 3-version NVP ensemble where each version carries its own seeded
+/// Bohrbug — the workload every campaign below re-runs 1000 times.
+fn nvp_pattern() -> ParallelEvaluation<u64, u64> {
+    let plan = FaultPlan::bohrbugs(7, 3, DENSITY);
+    let mut pattern = ParallelEvaluation::new(MajorityVoter::new());
+    for slot in 0..plan.slots() {
+        let shift = 1001 * (slot as u64 + 1);
+        let variant: BoxedVariant<u64, u64> = Box::new(plan.build_variant_corrupting(
+            slot,
+            format!("v{slot}"),
+            WORK,
+            golden,
+            move |c, _| c + shift,
+        ));
+        pattern.push_variant(variant);
+    }
+    pattern
+}
+
+fn nvp_trial(pattern: &ParallelEvaluation<u64, u64>, seed: u64, i: usize) -> TrialOutcome {
+    let mut ctx = ExecContext::new(seed);
+    let input = i as u64;
+    let report = pattern.run(&input, &mut ctx);
+    let cost = ctx.cost();
+    match report.verdict.output() {
+        Some(out) if *out == golden(&input) => TrialOutcome::Correct { cost },
+        Some(_) => TrialOutcome::Undetected { cost },
+        None => TrialOutcome::Detected { cost },
+    }
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let pattern = nvp_pattern();
+    let campaign = Campaign::new(TRIALS);
+
+    // Guard the determinism contract before timing anything: the
+    // parallel driver must reproduce the serial summary exactly.
+    let serial = campaign.run(CAMPAIGN_SEED, |seed, i| nvp_trial(&pattern, seed, i));
+    for jobs in [2, 8] {
+        let parallel =
+            campaign.run_parallel(CAMPAIGN_SEED, jobs, |seed, i| nvp_trial(&pattern, seed, i));
+        assert_eq!(serial, parallel, "summary diverged at jobs={jobs}");
+    }
+
+    let mut group = c.benchmark_group("campaign");
+    group.bench_function(BenchmarkId::new("serial", TRIALS), |b| {
+        b.iter(|| campaign.run(CAMPAIGN_SEED, |seed, i| nvp_trial(&pattern, seed, i)));
+    });
+    for jobs in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("parallel_{TRIALS}_jobs"), jobs),
+            &jobs,
+            |b, &jobs| {
+                b.iter(|| {
+                    campaign
+                        .run_parallel(CAMPAIGN_SEED, jobs, |seed, i| nvp_trial(&pattern, seed, i))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -1,29 +1,37 @@
 //! Runs every experiment regenerator in sequence (the full reproduction).
+//!
+//! Pass `--jobs N` to compute independent experiment cells across N
+//! worker threads (default: all cores). Every table is identical for
+//! any value — parallelism only changes wall-clock time.
 
 use redundancy_bench::experiments as exp;
-use redundancy_bench::{default_seed, default_trials};
+use redundancy_bench::{default_seed, default_trials, jobs_arg};
 
 fn main() {
     let trials = default_trials();
     let seed = default_seed();
+    let jobs = jobs_arg();
     let rule = "=".repeat(72);
 
     println!("{rule}\nT1 — Table 1\n{rule}");
     print!("{}", exp::table1::run());
     println!("{rule}\nT2 — Table 2 (empirical)\n{rule}");
-    print!("{}", exp::table2_matrix::run(trials, seed));
+    print!("{}", exp::table2_matrix::run_jobs(trials, seed, jobs));
     println!("{rule}\nF1 — Figure 1 patterns\n{rule}");
-    print!("{}", exp::fig1_patterns::run(trials, seed));
+    print!("{}", exp::fig1_patterns::run_jobs(trials, seed, jobs));
     println!("{rule}\nE4 — 2k+1 tolerance\n{rule}");
-    print!("{}", exp::nvp_tolerance::run(trials, seed));
+    print!("{}", exp::nvp_tolerance::run_jobs(trials, seed, jobs));
     println!("{rule}\nE5 — correlated faults\n{rule}");
     print!("{}", exp::correlated::run(trials, seed));
     println!("{rule}\nE6 — cost/efficacy\n{rule}");
     print!("{}", exp::cost_efficacy::run(trials, seed));
     println!("{rule}\nE7a — rejuvenation failure rates\n{rule}");
-    print!("{}", exp::rejuvenation::run_failure_rates(trials, seed));
+    print!(
+        "{}",
+        exp::rejuvenation::run_failure_rates_jobs(trials, seed, jobs)
+    );
     println!("{rule}\nE7b — completion-time U-curve\n{rule}");
-    print!("{}", exp::rejuvenation::run_completion(60, seed));
+    print!("{}", exp::rejuvenation::run_completion_jobs(60, seed, jobs));
     println!("{rule}\nE8 — data diversity\n{rule}");
     print!("{}", exp::data_diversity::run(trials, seed));
     println!("{rule}\nE9 — security diversity\n{rule}");
@@ -33,7 +41,7 @@ fn main() {
     println!("{rule}\nE10b — RX knob ablation\n{rule}");
     print!("{}", exp::rx_ablation::run(trials, seed));
     println!("{rule}\nE11 — reboot policies\n{rule}");
-    print!("{}", exp::microreboot::run(50_000, seed));
+    print!("{}", exp::microreboot::run_jobs(50_000, seed, jobs));
     println!("{rule}\nE12 — service substitution\n{rule}");
     print!("{}", exp::substitution::run(trials, seed));
     println!("{rule}\nE13 — automatic workarounds\n{rule}");

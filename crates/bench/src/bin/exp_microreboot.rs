@@ -1,11 +1,11 @@
 //! Experiment E11: reboot policies on the JAGR component tree.
 
-use redundancy_bench::default_seed;
+use redundancy_bench::{default_seed, jobs_arg};
 
 fn main() {
     println!("E11 — availability and recovery time by reboot policy\n");
     print!(
         "{}",
-        redundancy_bench::experiments::microreboot::run(50_000, default_seed())
+        redundancy_bench::experiments::microreboot::run_jobs(50_000, default_seed(), jobs_arg())
     );
 }

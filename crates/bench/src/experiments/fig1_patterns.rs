@@ -16,6 +16,7 @@ use redundancy_core::obs::{ObsHandle, Observer};
 use redundancy_core::patterns::{ParallelEvaluation, ParallelSelection, SequentialAlternatives};
 use redundancy_core::variant::BoxedVariant;
 use redundancy_faults::correlation::{correlated_versions, CorrelatedSuite};
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 
 use crate::fmt_rate;
@@ -111,15 +112,36 @@ pub fn sequential_alternatives(trials: usize, seed: u64, obs: Option<&ObsHandle>
 /// Builds the Figure 1 comparison table.
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Table {
-    run_traced(trials, seed, None)
+    run_jobs(trials, seed, 1)
+}
+
+/// Like [`run`] with the three pattern rows measured across up to `jobs`
+/// worker threads; each row seeds its own context, so the table is
+/// identical for any `jobs`.
+#[must_use]
+pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
+    run_traced_jobs(trials, seed, None, jobs)
 }
 
 /// Like [`run`], with every request recorded to `observer` when one is
 /// given (what `exp_fig1 --trace` uses).
 #[must_use]
 pub fn run_traced(trials: usize, seed: u64, observer: Option<Arc<dyn Observer>>) -> Table {
+    run_traced_jobs(trials, seed, observer, 1)
+}
+
+/// Like [`run_traced`] with rows measured across up to `jobs` worker
+/// threads. The table is identical for any `jobs`, but with `jobs > 1`
+/// an observer's event stream interleaves rows in scheduling order;
+/// pass `jobs = 1` when capturing a stream for replay.
+#[must_use]
+pub fn run_traced_jobs(
+    trials: usize,
+    seed: u64,
+    observer: Option<Arc<dyn Observer>>,
+    jobs: usize,
+) -> Table {
     let handle = observer.map(ObsHandle::new);
-    let obs = handle.as_ref();
     let mut table = Table::new(&[
         "Pattern (Figure 1)",
         "Adjudicator",
@@ -127,23 +149,33 @@ pub fn run_traced(trials: usize, seed: u64, observer: Option<Arc<dyn Observer>>)
         "mean work",
         "mean latency",
     ]);
-    for (name, adjudicator, stats) in [
+    type PatternFn = fn(usize, u64, Option<&ObsHandle>) -> PatternStats;
+    let specs: [(&str, &str, PatternFn); 3] = [
         (
             "(a) parallel evaluation",
             "implicit majority vote",
-            parallel_evaluation(trials, seed, obs),
+            parallel_evaluation,
         ),
         (
             "(b) parallel selection",
             "explicit per-component test",
-            parallel_selection(trials, seed, obs),
+            parallel_selection,
         ),
         (
             "(c) sequential alternatives",
             "explicit shared test",
-            sequential_alternatives(trials, seed, obs),
+            sequential_alternatives,
         ),
-    ] {
+    ];
+    let tasks: Vec<_> = specs
+        .iter()
+        .map(|&(_, _, f)| {
+            let handle = handle.clone();
+            move || f(trials, seed, handle.as_ref())
+        })
+        .collect();
+    let computed = parallel_tasks(jobs, tasks);
+    for (&(name, adjudicator, _), stats) in specs.iter().zip(computed) {
         table.row_owned(vec![
             name.to_owned(),
             adjudicator.to_owned(),
@@ -205,5 +237,13 @@ mod tests {
         let table = run(100, SEED);
         assert_eq!(table.len(), 3);
         assert!(table.to_string().contains("parallel evaluation"));
+    }
+
+    #[test]
+    fn table_is_identical_for_any_job_count() {
+        let serial = run_jobs(100, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(serial, run_jobs(100, SEED, jobs).to_string(), "jobs={jobs}");
+        }
     }
 }

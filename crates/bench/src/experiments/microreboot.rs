@@ -6,6 +6,7 @@
 //! also curing deep corruption, yielding the best availability.
 
 use redundancy_core::rng::SplitMix64;
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 use redundancy_techniques::microreboot::{availability_sim, ComponentTree, RebootPolicy};
 
@@ -32,6 +33,14 @@ pub fn shallow_recovery_times() -> Vec<(RebootPolicy, u64, bool)> {
 /// Builds the E11 table: availability and mean recovery per policy.
 #[must_use]
 pub fn run(requests: u64, seed: u64) -> Table {
+    run_jobs(requests, seed, 1)
+}
+
+/// Like [`run`] with the three policy simulations run across up to
+/// `jobs` worker threads; every policy gets its own freshly seeded RNG,
+/// so the table is identical for any `jobs`.
+#[must_use]
+pub fn run_jobs(requests: u64, seed: u64, jobs: usize) -> Table {
     let mut table = Table::new(&[
         "policy",
         "availability",
@@ -39,13 +48,22 @@ pub fn run(requests: u64, seed: u64) -> Table {
         "shallow-failure recovery time",
     ]);
     let shallow = shallow_recovery_times();
-    for (policy, label) in [
+    let policies = [
         (RebootPolicy::Full, "full reboot"),
         (RebootPolicy::MicroOnly, "micro-reboot (no escalation)"),
         (RebootPolicy::Escalating, "micro-reboot + escalation (JAGR)"),
-    ] {
-        let mut rng = SplitMix64::new(seed);
-        let (availability, mean_recovery) = availability_sim(policy, requests, 0.01, 0.2, &mut rng);
+    ];
+    let tasks: Vec<_> = policies
+        .iter()
+        .map(|&(policy, _)| {
+            move || {
+                let mut rng = SplitMix64::new(seed);
+                availability_sim(policy, requests, 0.01, 0.2, &mut rng)
+            }
+        })
+        .collect();
+    let results = parallel_tasks(jobs, tasks);
+    for (&(policy, label), (availability, mean_recovery)) in policies.iter().zip(results) {
         let shallow_time = shallow
             .iter()
             .find(|(p, _, _)| *p == policy)
@@ -101,5 +119,17 @@ mod tests {
     #[test]
     fn table_renders_three_rows() {
         assert_eq!(run(5_000, SEED).len(), 3);
+    }
+
+    #[test]
+    fn table_is_identical_for_any_job_count() {
+        let serial = run_jobs(5_000, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(
+                serial,
+                run_jobs(5_000, SEED, jobs).to_string(),
+                "jobs={jobs}"
+            );
+        }
     }
 }

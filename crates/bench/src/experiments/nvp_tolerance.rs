@@ -10,6 +10,7 @@ use redundancy_core::adjudicator::voting::{MajorityVoter, MedianVoter, Plurality
 use redundancy_core::adjudicator::Adjudicator;
 use redundancy_core::context::ExecContext;
 use redundancy_faults::correlation::{correlated_versions, CorrelatedSuite};
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 use redundancy_techniques::nvp::NVersion;
 
@@ -48,15 +49,34 @@ pub fn reliability_with(
 /// Builds the E4 table: rows = N, columns = densities.
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Table {
+    run_jobs(trials, seed, 1)
+}
+
+/// Like [`run`] with the 16 (N, density) cells computed across up to
+/// `jobs` worker threads; every cell seeds its own versions and context,
+/// so the table is identical for any `jobs`.
+#[must_use]
+pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
     let densities = [0.05, 0.15, 0.30, 0.50];
+    let ns = [1usize, 3, 5, 7];
+    let tasks: Vec<_> = ns
+        .iter()
+        .flat_map(|&n| {
+            densities
+                .iter()
+                .map(move |&density| move || reliability(n, density, trials, seed))
+        })
+        .collect();
+    let rates = parallel_tasks(jobs, tasks);
+
     let mut headers: Vec<String> = vec!["N (tolerates k)".into()];
     headers.extend(densities.iter().map(|d| format!("p={d}")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(&header_refs);
-    for n in [1usize, 3, 5, 7] {
+    for (row, n) in ns.iter().enumerate() {
         let mut cells = vec![format!("{n} (k={})", (n - 1) / 2)];
-        for &density in &densities {
-            cells.push(fmt_rate(reliability(n, density, trials, seed)));
+        for col in 0..densities.len() {
+            cells.push(fmt_rate(rates[row * densities.len() + col]));
         }
         table.row_owned(cells);
     }
@@ -156,5 +176,13 @@ mod tests {
     fn tables_render() {
         assert_eq!(run(200, SEED).len(), 4);
         assert_eq!(run_adjudicator_ablation(200, SEED).len(), 3);
+    }
+
+    #[test]
+    fn table_is_identical_for_any_job_count() {
+        let serial = run_jobs(200, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(serial, run_jobs(200, SEED, jobs).to_string(), "jobs={jobs}");
+        }
     }
 }

@@ -8,6 +8,7 @@
 use redundancy_core::context::ExecContext;
 use redundancy_core::rng::SplitMix64;
 use redundancy_faults::{FaultSpec, FaultyVariant};
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 use redundancy_techniques::rejuvenation::{completion_time, CompletionModel, Rejuvenator};
 
@@ -51,14 +52,28 @@ pub fn mean_completion(rejuvenate_every: u64, repetitions: usize, seed: u64) -> 
 /// Builds the E7a table: failure rate vs rejuvenation cadence.
 #[must_use]
 pub fn run_failure_rates(trials: usize, seed: u64) -> Table {
+    run_failure_rates_jobs(trials, seed, 1)
+}
+
+/// Like [`run_failure_rates`] with the six cadence rows computed across
+/// up to `jobs` worker threads; every row seeds its own server and
+/// context, so the table is identical for any `jobs`.
+#[must_use]
+pub fn run_failure_rates_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
+    let intervals = [25u64, 50, 100, 200, 400, u64::MAX];
+    let tasks: Vec<_> = intervals
+        .iter()
+        .map(|&interval| move || failure_rate(interval, trials, seed))
+        .collect();
+    let rates = parallel_tasks(jobs, tasks);
     let mut table = Table::new(&["rejuvenation interval (calls)", "failure rate"]);
-    for interval in [25u64, 50, 100, 200, 400, u64::MAX] {
+    for (&interval, rate) in intervals.iter().zip(rates) {
         let label = if interval == u64::MAX {
             "never".to_owned()
         } else {
             interval.to_string()
         };
-        table.row_owned(vec![label, fmt_rate(failure_rate(interval, trials, seed))]);
+        table.row_owned(vec![label, fmt_rate(rate)]);
     }
     table
 }
@@ -66,17 +81,28 @@ pub fn run_failure_rates(trials: usize, seed: u64) -> Table {
 /// Builds the E7b table: completion time vs rejuvenate-every-N.
 #[must_use]
 pub fn run_completion(repetitions: usize, seed: u64) -> Table {
+    run_completion_jobs(repetitions, seed, 1)
+}
+
+/// Like [`run_completion`] with the eight cadence rows computed across
+/// up to `jobs` worker threads; every row seeds its own RNG, so the
+/// table is identical for any `jobs`.
+#[must_use]
+pub fn run_completion_jobs(repetitions: usize, seed: u64, jobs: usize) -> Table {
+    let cadences = [0u64, 1, 2, 4, 8, 16, 32, 64];
+    let tasks: Vec<_> = cadences
+        .iter()
+        .map(|&n| move || mean_completion(n, repetitions, seed))
+        .collect();
+    let times = parallel_tasks(jobs, tasks);
     let mut table = Table::new(&["rejuvenate every N checkpoints", "mean completion time"]);
-    for n in [0u64, 1, 2, 4, 8, 16, 32, 64] {
+    for (&n, time) in cadences.iter().zip(times) {
         let label = if n == 0 {
             "never".to_owned()
         } else {
             n.to_string()
         };
-        table.row_owned(vec![
-            label,
-            format!("{:.0}", mean_completion(n, repetitions, seed)),
-        ]);
+        table.row_owned(vec![label, format!("{time:.0}")]);
     }
     table
 }
@@ -117,5 +143,15 @@ mod tests {
     fn tables_render() {
         assert_eq!(run_failure_rates(300, SEED).len(), 6);
         assert_eq!(run_completion(5, SEED).len(), 8);
+    }
+
+    #[test]
+    fn tables_are_identical_for_any_job_count() {
+        let rates = run_failure_rates_jobs(300, SEED, 1).to_string();
+        let completion = run_completion_jobs(5, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(rates, run_failure_rates_jobs(300, SEED, jobs).to_string());
+            assert_eq!(completion, run_completion_jobs(5, SEED, jobs).to_string());
+        }
     }
 }

@@ -20,6 +20,7 @@ use redundancy_core::variant::Variant as _;
 use redundancy_core::variant::{pure_variant, BoxedVariant};
 use redundancy_faults::correlation::{correlated_versions, CorrelatedSuite};
 use redundancy_faults::{Activation, DetectableFailures, FaultEffect, FaultSpec, FaultyVariant};
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 use redundancy_techniques as tech;
 
@@ -555,7 +556,15 @@ fn microreboot(trials: usize, seed: u64) -> Row {
 /// Builds the empirical Table 2 matrix.
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Table {
-    run_traced(trials, seed, None).0
+    run_jobs(trials, seed, 1)
+}
+
+/// Like [`run`] with the technique rows computed across up to `jobs`
+/// worker threads. Every row seeds its own contexts, so the rendered
+/// table is identical for any `jobs`.
+#[must_use]
+pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
+    run_traced_jobs(trials, seed, None, jobs).0
 }
 
 /// Like [`run`], but every scenario context carries a [`MetricsObserver`]
@@ -565,6 +574,22 @@ pub fn run(trials: usize, seed: u64) -> Table {
 /// dissent), straight from the `recovery_latency_ticks` histograms.
 #[must_use]
 pub fn run_traced(trials: usize, seed: u64, extra: Option<Arc<dyn Observer>>) -> (Table, Table) {
+    run_traced_jobs(trials, seed, extra, 1)
+}
+
+/// Like [`run_traced`] with rows computed across up to `jobs` worker
+/// threads. Both tables are identical for any `jobs` — the metrics
+/// registry aggregates per-span histograms, which are insensitive to the
+/// order concurrent rows feed them — but the raw event *stream* an
+/// `extra` sink sees interleaves rows in scheduling order when
+/// `jobs > 1`; pass `jobs = 1` when capturing a stream for replay.
+#[must_use]
+pub fn run_traced_jobs(
+    trials: usize,
+    seed: u64,
+    extra: Option<Arc<dyn Observer>>,
+    jobs: usize,
+) -> (Table, Table) {
     let registry = MetricsRegistry::shared();
     let metrics: Arc<dyn Observer> = Arc::new(MetricsObserver::new(Arc::clone(&registry)));
     let observer = match extra {
@@ -575,7 +600,7 @@ pub fn run_traced(trials: usize, seed: u64, extra: Option<Arc<dyn Observer>>) ->
     };
     let handle = ObsHandle::new(observer);
     let obs = Some(&handle);
-    let matrix = build_matrix(trials, seed, obs);
+    let matrix = build_matrix(trials, seed, obs, jobs);
     (matrix, recovery_latency_table(&registry))
 }
 
@@ -603,7 +628,7 @@ pub fn recovery_latency_table(registry: &MetricsRegistry) -> Table {
     table
 }
 
-fn build_matrix(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> Table {
+fn build_matrix(trials: usize, seed: u64, obs: Option<&ObsHandle>, jobs: usize) -> Table {
     let mut table = Table::new(&[
         "Technique",
         "Classification (paper)",
@@ -611,44 +636,43 @@ fn build_matrix(trials: usize, seed: u64, obs: Option<&ObsHandle>) -> Table {
         "Heisenbugs",
         "malicious",
     ]);
-    let rows: Vec<(&str, Row)> = vec![
-        ("(unprotected baseline)", baseline(trials, seed, obs)),
-        ("N-version programming", nvp(trials, seed, obs)),
-        ("Recovery blocks", recovery_blocks(trials, seed, obs)),
-        (
-            "Self-checking programming",
-            self_checking(trials, seed, obs),
-        ),
-        ("Self-optimizing code", self_optimizing(trials, seed, obs)),
-        (
-            "Exception handling, rule engines",
-            rule_engine(trials, seed, obs),
-        ),
-        ("Wrappers", wrappers(trials, seed, obs)),
-        ("Robust data structures, audits", robust_data(trials, seed)),
-        ("Data diversity", data_diversity(trials, seed, obs)),
-        ("Data diversity for security", nvariant_data(trials, seed)),
-        ("Rejuvenation", rejuvenation(trials, seed, obs)),
-        (
-            "Environment perturbation",
-            env_perturbation(trials, seed, obs),
-        ),
-        ("Process replicas", process_replicas(trials, seed)),
-        (
-            "Dynamic service substitution",
-            service_substitution(trials, seed, obs),
-        ),
-        (
-            "Fault fixing, genetic programming",
-            fault_fixing(trials, seed),
-        ),
-        ("Automatic workarounds", workarounds(trials, seed)),
-        (
-            "Checkpoint-recovery",
-            checkpoint_recovery(trials, seed, obs),
-        ),
-        ("Reboot and micro-reboot", microreboot(trials, seed)),
+    // Each row seeds its own contexts/RNGs, so rows are independent work
+    // items: run them across the worker pool. Non-capturing closures
+    // adapt the rows that take no observer to the common signature.
+    type RowFn = fn(usize, u64, Option<&ObsHandle>) -> Row;
+    let specs: Vec<(&str, RowFn)> = vec![
+        ("(unprotected baseline)", baseline),
+        ("N-version programming", nvp),
+        ("Recovery blocks", recovery_blocks),
+        ("Self-checking programming", self_checking),
+        ("Self-optimizing code", self_optimizing),
+        ("Exception handling, rule engines", rule_engine),
+        ("Wrappers", wrappers),
+        ("Robust data structures, audits", |t, s, _| {
+            robust_data(t, s)
+        }),
+        ("Data diversity", data_diversity),
+        ("Data diversity for security", |t, s, _| nvariant_data(t, s)),
+        ("Rejuvenation", rejuvenation),
+        ("Environment perturbation", env_perturbation),
+        ("Process replicas", |t, s, _| process_replicas(t, s)),
+        ("Dynamic service substitution", service_substitution),
+        ("Fault fixing, genetic programming", |t, s, _| {
+            fault_fixing(t, s)
+        }),
+        ("Automatic workarounds", |t, s, _| workarounds(t, s)),
+        ("Checkpoint-recovery", checkpoint_recovery),
+        ("Reboot and micro-reboot", |t, s, _| microreboot(t, s)),
     ];
+    let tasks: Vec<_> = specs
+        .iter()
+        .map(|&(_, f)| {
+            let handle = obs.cloned();
+            move || f(trials, seed, handle.as_ref())
+        })
+        .collect();
+    let computed = parallel_tasks(jobs, tasks);
+    let rows: Vec<(&str, Row)> = specs.iter().map(|&(name, _)| name).zip(computed).collect();
     let entries = tech::table2::entries();
     for (name, row) in rows {
         let classification = entries
@@ -749,6 +773,14 @@ mod tests {
         let text = table.to_string();
         assert!(text.contains("N-version programming"));
         assert!(text.contains("—"));
+    }
+
+    #[test]
+    fn matrix_is_identical_for_any_job_count() {
+        let serial = run_jobs(60, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(serial, run_jobs(60, SEED, jobs).to_string(), "jobs={jobs}");
+        }
     }
 
     #[test]

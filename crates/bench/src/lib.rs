@@ -36,6 +36,31 @@ pub fn default_seed() -> u64 {
         .unwrap_or(0x5eed_2008)
 }
 
+/// The worker-thread count for experiment campaigns: `--jobs N` on the
+/// command line, else the `REDUNDANCY_JOBS` environment variable, else
+/// the hardware's available parallelism.
+///
+/// Results are bit-for-bit identical for any value (see
+/// [`redundancy_sim::parallel`]); the knob only trades wall-clock time
+/// for cores.
+#[must_use]
+pub fn jobs_arg() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
+                return n;
+            }
+        } else if let Some(n) = arg.strip_prefix("--jobs=").and_then(|s| s.parse().ok()) {
+            return n;
+        }
+    }
+    std::env::var("REDUNDANCY_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(redundancy_sim::available_jobs)
+}
+
 /// Whether `--trace` was passed on the command line: `exp_*` binaries
 /// that support it attach a [`RingBufferObserver`] and print the trace
 /// [`summary`] (and per-technique metrics) after their tables.

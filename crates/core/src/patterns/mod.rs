@@ -112,8 +112,11 @@ pub struct PatternReport<O> {
     /// Outcome of every alternative that was executed, in variant order
     /// (parallel patterns) or attempt order (sequential alternatives).
     pub outcomes: Vec<VariantOutcome<O>>,
-    /// Aggregate cost: parallel patterns use critical-path virtual time,
-    /// sequential alternatives sum attempt times.
+    /// Cost of *this pattern run* — the delta accrued on the context
+    /// during `run`, not the context's cumulative meter, so reports from
+    /// several runs on one context can be compared directly. Parallel
+    /// patterns use critical-path virtual time, sequential alternatives
+    /// sum attempt times.
     pub cost: Cost,
     /// Name of the variant whose output was selected, when the pattern
     /// selects a single component's result.

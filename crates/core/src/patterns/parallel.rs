@@ -1,5 +1,7 @@
 //! Figure 1(a) and 1(b): the two parallel patterns.
 
+use std::borrow::Borrow;
+
 use redundancy_obs::SpanKind;
 
 use crate::adjudicator::acceptance::{AcceptanceTest, BoxedAcceptance};
@@ -10,10 +12,14 @@ use crate::patterns::{emit_verdict, verdict_status, ExecutionMode, PatternReport
 use crate::variant::{run_contained, BoxedVariant};
 
 /// Runs each variant against `input` with a forked context, either in the
-/// calling thread or on scoped threads, and returns `(outcomes, children)`
-/// in variant order.
-fn execute_all<I, O>(
-    variants: &[BoxedVariant<I, O>],
+/// calling thread or on scoped threads, and returns the outcomes in
+/// variant order.
+///
+/// Generic over [`Borrow`] so callers can pass owned variants
+/// (`&[BoxedVariant]`) or, when the variant list is split-borrowed out of
+/// a larger structure, references (`&[&BoxedVariant]`).
+fn execute_all<I, O, V>(
+    variants: &[V],
     input: &I,
     ctx: &ExecContext,
     mode: ExecutionMode,
@@ -21,13 +27,14 @@ fn execute_all<I, O>(
 where
     I: Sync,
     O: Send,
+    V: Borrow<BoxedVariant<I, O>> + Sync,
 {
     match mode {
         ExecutionMode::Sequential => {
             let mut outcomes = Vec::with_capacity(variants.len());
             for (i, variant) in variants.iter().enumerate() {
                 let mut child = ctx.fork(i as u64);
-                outcomes.push(run_contained(variant.as_ref(), input, &mut child));
+                outcomes.push(run_contained(variant.borrow().as_ref(), input, &mut child));
             }
             outcomes
         }
@@ -40,7 +47,7 @@ where
                 for (i, (variant, slot)) in variants.iter().zip(slots.iter_mut()).enumerate() {
                     let mut child = ctx.fork(i as u64);
                     scope.spawn(move || {
-                        *slot = Some(run_contained(variant.as_ref(), input, &mut child));
+                        *slot = Some(run_contained(variant.borrow().as_ref(), input, &mut child));
                     });
                 }
             });
@@ -148,7 +155,7 @@ impl<I, O> ParallelEvaluation<I, O> {
         );
         PatternReport {
             verdict,
-            cost: ctx.cost(),
+            cost: ctx.cost().delta_since(before),
             outcomes,
             // Figure 1(a) merges results through the adjudicator; no single
             // component is "selected".
@@ -237,40 +244,13 @@ impl<I, O> ParallelSelection<I, O> {
             return PatternReport {
                 verdict,
                 outcomes: Vec::new(),
-                cost: ctx.cost(),
+                cost: ctx.cost().delta_since(before),
                 selected: None,
             };
         }
         // Split borrows: variants for execution, tests for validation.
         let variants: Vec<&BoxedVariant<I, O>> = self.components.iter().map(|(v, _)| v).collect();
-        let outcomes = match self.mode {
-            ExecutionMode::Sequential => {
-                let mut outcomes = Vec::with_capacity(variants.len());
-                for (i, variant) in variants.iter().enumerate() {
-                    let mut child = ctx.fork(i as u64);
-                    outcomes.push(run_contained(variant.as_ref(), input, &mut child));
-                }
-                outcomes
-            }
-            ExecutionMode::Threaded => {
-                let mut slots: Vec<Option<VariantOutcome<O>>> =
-                    (0..variants.len()).map(|_| None).collect();
-                // Variant threads are crash-contained (run_contained
-                // catches panics), so the scope never propagates a panic.
-                std::thread::scope(|scope| {
-                    for (i, (variant, slot)) in variants.iter().zip(slots.iter_mut()).enumerate() {
-                        let mut child = ctx.fork(i as u64);
-                        scope.spawn(move || {
-                            *slot = Some(run_contained(variant.as_ref(), input, &mut child));
-                        });
-                    }
-                });
-                slots
-                    .into_iter()
-                    .map(|slot| slot.expect("every scoped thread fills its slot"))
-                    .collect()
-            }
-        };
+        let outcomes = execute_all(&variants, input, ctx, self.mode);
         ctx.add_parallel_costs(outcomes.iter().map(|o| o.cost));
 
         let mut selected = None;
@@ -310,7 +290,7 @@ impl<I, O> ParallelSelection<I, O> {
         );
         PatternReport {
             verdict,
-            cost: ctx.cost(),
+            cost: ctx.cost().delta_since(before),
             selected: selected.map(|idx| outcomes[idx].variant.clone()),
             outcomes,
         }
@@ -549,6 +529,35 @@ mod tests {
             assert_eq!(a.result, b.result);
             assert_eq!(a.cost, b.cost);
         }
+    }
+
+    #[test]
+    fn report_cost_is_per_run_not_cumulative() {
+        // Regression: reports used to copy the context's cumulative meter,
+        // so the second pattern run on a shared context double-counted the
+        // first run's cost.
+        let build = || {
+            ParallelEvaluation::new(MajorityVoter::new())
+                .with_variant(pure_variant("a", 10, |x: &i32| x * 2))
+                .with_variant(pure_variant("b", 20, |x: &i32| x * 2))
+        };
+        let mut ctx = ExecContext::new(5);
+        let first = build().run(&1, &mut ctx);
+        let second = build().run(&1, &mut ctx);
+        assert_eq!(first.cost, second.cost);
+        assert_eq!(second.cost.virtual_ns, 20); // critical path of run 2 only
+        assert_eq!(second.cost.invocations, 2);
+        // The context itself still meters cumulatively across runs.
+        assert_eq!(ctx.cost().virtual_ns, 40);
+        assert_eq!(ctx.cost().invocations, 4);
+
+        // Same guarantee for parallel selection on the same warm context.
+        let test = FnAcceptance::new("any", |_: &i32, _: &i32| true);
+        let sel = ParallelSelection::new()
+            .with_component(pure_variant("c", 7, |x: &i32| x + 1), Box::new(test));
+        let report = sel.run(&1, &mut ctx);
+        assert_eq!(report.cost.virtual_ns, 7);
+        assert_eq!(report.cost.invocations, 1);
     }
 
     #[test]

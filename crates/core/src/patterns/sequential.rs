@@ -123,7 +123,7 @@ impl<I, O> SequentialAlternatives<I, O> {
             return PatternReport {
                 verdict,
                 outcomes: Vec::new(),
-                cost: ctx.cost(),
+                cost: ctx.cost().delta_since(before),
                 selected: None,
             };
         }
@@ -160,7 +160,7 @@ impl<I, O> SequentialAlternatives<I, O> {
                     );
                     return PatternReport {
                         verdict,
-                        cost: ctx.cost(),
+                        cost: ctx.cost().delta_since(before),
                         outcomes,
                         selected,
                     };
@@ -183,7 +183,7 @@ impl<I, O> SequentialAlternatives<I, O> {
         );
         PatternReport {
             verdict,
-            cost: ctx.cost(),
+            cost: ctx.cost().delta_since(before),
             outcomes,
             selected: None,
         }
@@ -302,6 +302,23 @@ mod tests {
         let report = p.run(&5, &mut ctx);
         assert!(!report.is_accepted());
         assert_eq!(report.executed(), 1);
+    }
+
+    #[test]
+    fn report_cost_is_per_run_not_cumulative() {
+        // Regression: the second run on a shared context used to report
+        // the cumulative meter instead of its own attempts.
+        let build = || {
+            SequentialAlternatives::new(positive_test())
+                .with_variant(pure_variant("primary", 10, |_: &i32| -1))
+                .with_variant(pure_variant("alternate", 50, |x: &i32| x + 2))
+        };
+        let mut ctx = ExecContext::new(0);
+        let first = build().run(&1, &mut ctx);
+        let second = build().run(&1, &mut ctx);
+        assert_eq!(first.cost, second.cost);
+        assert_eq!(second.cost.virtual_ns, 60); // 10 + 50, this run only
+        assert_eq!(ctx.cost().virtual_ns, 120); // context stays cumulative
     }
 
     #[test]

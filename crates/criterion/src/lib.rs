@@ -16,9 +16,16 @@
 //!
 //! reporting the minimum, median and maximum of the per-sample mean
 //! iteration times, in Criterion's familiar format.
+//!
+//! Setting the environment variable named by [`JSON_OUT_ENV`] to a file
+//! path additionally records every result as a JSON array of
+//! `{"label", "min_ns", "median_ns", "max_ns"}` objects; the file is
+//! rewritten after each benchmark, so it is complete even if a later
+//! benchmark aborts the run.
 
 use std::fmt;
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard black box, matching `criterion::black_box`.
@@ -119,6 +126,46 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
+/// Name of the environment variable that, when set to a file path,
+/// makes the driver mirror every printed result into that file as JSON.
+pub const JSON_OUT_ENV: &str = "CRITERION_JSON_OUT";
+
+/// Results accumulated for the JSON mirror across the whole process
+/// (benchmark groups run sequentially; the lock is uncontended).
+static JSON_RESULTS: Mutex<Vec<(String, f64, f64, f64)>> = Mutex::new(Vec::new());
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Appends one result and rewrites the JSON mirror file, if requested.
+/// Rewriting per benchmark keeps the file valid JSON at all times —
+/// there is no end-of-run hook in the `criterion_main!` contract.
+fn record_json(label: &str, min: f64, med: f64, max: f64) {
+    let Ok(path) = std::env::var(JSON_OUT_ENV) else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut results = JSON_RESULTS.lock().expect("json results lock");
+    results.push((label.to_owned(), min, med, max));
+    let mut out = String::from("[\n");
+    for (i, (label, min, med, max)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"label\": \"{}\", \"min_ns\": {min:.1}, \"median_ns\": {med:.1}, \"max_ns\": {max:.1}}}",
+            json_escape(label)
+        ));
+    }
+    out.push_str("\n]\n");
+    if let Err(err) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {err}");
+    }
+}
+
 fn run_and_report(label: &str, f: impl FnOnce(&mut Bencher)) {
     let mut bencher = Bencher {
         samples: Vec::new(),
@@ -139,6 +186,7 @@ fn run_and_report(label: &str, f: impl FnOnce(&mut Bencher)) {
         format_ns(med),
         format_ns(max)
     );
+    record_json(label, min, med, max);
 }
 
 /// A named group of related benchmarks.
@@ -233,6 +281,11 @@ mod tests {
         assert_eq!(format_ns(12_345.6), "12.346 µs");
         assert_eq!(format_ns(12_345_678.0), "12.346 ms");
         assert_eq!(format_ns(2.5e9), "2.500 s");
+    }
+
+    #[test]
+    fn json_escape_quotes_and_backslashes() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   (`VariantFailure::kind()`, `RejectionReason::kind()`).
 //! - **Bounded capture.** [`RingBufferObserver`] keeps the most recent N
 //!   events and counts what it dropped; exporters tolerate truncation.
+//! - **Sharded capture.** Parallel campaigns record each trial into its
+//!   own [`CollectorObserver`] shard; [`merge_shards`] stitches the
+//!   shards back together in trial order, renumbering span ids so the
+//!   merged stream is bit-for-bit identical to a serial recording.
 //!
 //! ## Worked example
 //!
@@ -59,6 +63,7 @@ mod event;
 mod export;
 mod metrics;
 mod observer;
+mod shard;
 
 pub use event::{CostSnapshot, Event, EventKind, Point, SpanId, SpanKind, SpanStatus, ROOT_SPAN};
 #[cfg(feature = "serde")]
@@ -70,3 +75,4 @@ pub use metrics::{
 pub use observer::{
     FanoutObserver, NoopObserver, ObsHandle, Observer, RingBufferObserver, SpanToken,
 };
+pub use shard::{forward_renumbered, merge_shards, CollectorObserver};

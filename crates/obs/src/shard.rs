@@ -1,0 +1,208 @@
+//! Sharded capture: record event streams on independent shards (one per
+//! trial or per worker) and merge them back into a single stream that is
+//! indistinguishable from a serial recording.
+//!
+//! A parallel Monte-Carlo campaign cannot share one [`ObsHandle`] across
+//! worker threads without interleaving the streams of concurrent trials
+//! and allocating span ids in scheduling order — both of which destroy
+//! the deterministic-replay guarantee. Instead, every trial records into
+//! its own [`CollectorObserver`] through its own handle (span ids start
+//! at 1 per shard), and [`merge_shards`] stitches the shards together in
+//! trial order, renumbering span ids exactly as one shared allocator
+//! would have assigned them. The merged stream is therefore *bit-for-bit
+//! identical* to what the serial traced run records, so every downstream
+//! consumer — `split_trials`, `TraceSummary`, exporters — works unchanged
+//! on parallel campaigns.
+//!
+//! [`ObsHandle`]: crate::ObsHandle
+
+use std::sync::Mutex;
+
+use crate::event::{Event, EventKind, ROOT_SPAN};
+use crate::observer::Observer;
+
+/// Unbounded in-memory capture for one shard (one trial or worker).
+///
+/// Unlike [`RingBufferObserver`](crate::RingBufferObserver) it never
+/// evicts and does not pre-allocate capacity, so creating one per trial
+/// is cheap. Sequence numbers are assigned contiguously from 0 in record
+/// order, shard-locally.
+#[derive(Default)]
+pub struct CollectorObserver {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CollectorObserver {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Takes the recorded events out, leaving the collector empty.
+    #[must_use]
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.lock())
+    }
+
+    /// Consumes the collector, returning the recorded events.
+    #[must_use]
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+            .into_inner()
+            .expect("collector lock is never poisoned")
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Event>> {
+        self.events
+            .lock()
+            .expect("collector lock is never poisoned")
+    }
+}
+
+impl Observer for CollectorObserver {
+    fn record(&self, mut event: Event) {
+        let mut events = self.lock();
+        event.seq = events.len() as u64;
+        events.push(event);
+    }
+}
+
+/// The number of span ids a shard's local allocator consumed: every
+/// `SpanStart` allocated exactly one id.
+fn spans_allocated(events: &[Event]) -> u64 {
+    events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::SpanStart { .. }))
+        .count() as u64
+}
+
+/// Renumbers one shard's span ids into the campaign-wide id space and
+/// forwards its events to `sink` in order.
+///
+/// Shard-local handles allocate ids `1..=k` contiguously in span-start
+/// order (see [`ObsHandle::new`](crate::ObsHandle::new)), so the remap is
+/// the affine shift `local + offset` with `ROOT_SPAN` left untouched —
+/// exactly the ids a single shared allocator would have handed out had
+/// the shards been recorded one after another. Returns the number of ids
+/// the shard consumed so the caller can advance its allocator cursor.
+pub fn forward_renumbered(events: Vec<Event>, offset: u64, sink: &dyn Observer) -> u64 {
+    let allocated = spans_allocated(&events);
+    for mut event in events {
+        if event.span != ROOT_SPAN {
+            event.span += offset;
+        }
+        if event.parent != ROOT_SPAN {
+            event.parent += offset;
+        }
+        sink.record(event);
+    }
+    allocated
+}
+
+/// Merges shard streams (each recorded through its own fresh
+/// [`ObsHandle`], ids starting at 1) into one flat stream, in shard
+/// order, renumbering span ids and sequence numbers as a single serial
+/// recording would have. See the module docs for why the result is
+/// bit-for-bit identical to the serial stream.
+#[must_use]
+pub fn merge_shards(shards: Vec<Vec<Event>>) -> Vec<Event> {
+    let merged = CollectorObserver::new();
+    let mut offset = 0;
+    for shard in shards {
+        offset += forward_renumbered(shard, offset, &merged);
+    }
+    merged.into_events()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CostSnapshot, SpanKind, SpanStatus};
+    use crate::observer::{ObsHandle, RingBufferObserver};
+    use std::sync::Arc;
+
+    /// Records `trials` two-span "trials" through one shared handle (the
+    /// serial shape) or one handle per trial (the sharded shape).
+    fn record_trial(handle: &mut ObsHandle, index: u64) {
+        let trial = handle.begin_span(0, || SpanKind::Trial { index, seed: index });
+        let inner = handle.begin_span(0, || SpanKind::Scope { name: "work" });
+        handle.end_span(inner, 5, SpanStatus::Ok, CostSnapshot::ZERO);
+        handle.end_span(
+            trial,
+            5,
+            SpanStatus::Trial {
+                disposition: "correct",
+            },
+            CostSnapshot::ZERO,
+        );
+    }
+
+    #[test]
+    fn merged_shards_match_a_serial_recording() {
+        let serial_ring = RingBufferObserver::shared(64);
+        let mut serial = ObsHandle::new(serial_ring.clone());
+        for i in 0..3 {
+            record_trial(&mut serial, i);
+        }
+
+        let shards: Vec<Vec<Event>> = (0..3)
+            .map(|i| {
+                let collector = Arc::new(CollectorObserver::new());
+                let mut handle = ObsHandle::new(collector.clone());
+                record_trial(&mut handle, i);
+                collector.take()
+            })
+            .collect();
+
+        assert_eq!(merge_shards(shards), serial_ring.events());
+    }
+
+    #[test]
+    fn collector_assigns_contiguous_seq_and_takes() {
+        let c = Arc::new(CollectorObserver::new());
+        let mut handle = ObsHandle::new(c.clone());
+        record_trial(&mut handle, 0);
+        assert_eq!(c.len(), 4);
+        let events = c.take();
+        assert!(c.is_empty());
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn forward_renumbered_reports_allocated_ids() {
+        let c = Arc::new(CollectorObserver::new());
+        let mut handle = ObsHandle::new(c.clone());
+        record_trial(&mut handle, 0);
+        let sink = CollectorObserver::new();
+        let allocated = forward_renumbered(c.take(), 10, &sink);
+        assert_eq!(allocated, 2);
+        let events = sink.into_events();
+        // Local ids 1 and 2 shifted to 11 and 12; ROOT parents untouched.
+        assert_eq!(events[0].span, 11);
+        assert_eq!(events[0].parent, ROOT_SPAN);
+        assert_eq!(events[1].span, 12);
+        assert_eq!(events[1].parent, 11);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        assert!(merge_shards(Vec::new()).is_empty());
+        assert!(merge_shards(vec![Vec::new(), Vec::new()]).is_empty());
+    }
+}

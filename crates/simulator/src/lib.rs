@@ -10,15 +10,23 @@
 //! a structured execution trace; [`forensics`] reconstructs per-trial
 //! stories (variant outcomes, adjudicator verdicts, costs) from the
 //! recorded stream.
+//!
+//! Campaign trials are independently seeded and therefore embarrassingly
+//! parallel: [`trial::Campaign::run_parallel`] and
+//! [`trial::Campaign::run_traced_parallel`] shard them across worker
+//! threads ([`parallel`]) while producing bit-for-bit the same summary —
+//! and, for traced runs, the same event stream — as the serial paths.
 
 #![warn(missing_docs)]
 
 pub mod forensics;
+pub mod parallel;
 pub mod stats;
 pub mod table;
 pub mod trial;
 
 pub use forensics::{split_trials, TrialTrace};
+pub use parallel::{available_jobs, parallel_indexed, parallel_tasks};
 pub use stats::{mean_ci, wilson_interval, Estimate, Proportion};
 pub use table::Table;
 pub use trial::{Campaign, TrialOutcome, TrialSummary};

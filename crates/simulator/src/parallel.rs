@@ -1,0 +1,151 @@
+//! Deterministic work sharding for embarrassingly parallel experiment
+//! loads.
+//!
+//! Every helper here preserves *index order* in its results: work is
+//! distributed across scoped worker threads, but outputs land in the slot
+//! of their input index, so summaries computed from the returned `Vec`
+//! are bitwise independent of the worker count and of OS scheduling.
+//! [`Campaign::run_parallel`](crate::trial::Campaign::run_parallel) and
+//! the experiment regenerators' `--jobs` knobs are built on these.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads to use by default: the hardware's
+/// available parallelism, or 1 when it cannot be queried.
+#[must_use]
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f(0..n)` across at most `jobs` scoped worker threads, returning
+/// the results in index order.
+///
+/// Workers claim indices from a shared cursor (dynamic load balancing:
+/// uneven per-index costs don't leave threads idle), but because results
+/// are written to their index's slot the output is identical for any
+/// `jobs`, including 1. With `jobs <= 1` (or `n <= 1`) no threads are
+/// spawned at all.
+///
+/// # Panics
+///
+/// Panics if `f` panicked on any worker (the scope joins all workers
+/// and re-panics).
+pub fn parallel_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let cursor = AtomicUsize::new(0);
+    let slot_cells: Vec<Mutex<&mut Option<T>>> = slots.iter_mut().map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                // Each index is claimed exactly once, so the lock is
+                // uncontended; it exists to hand the worker a mutable
+                // view of its slot.
+                **slot_cells[i].lock().expect("slot lock never poisoned") = Some(result);
+            });
+        }
+    });
+    drop(slot_cells);
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed"))
+        .collect()
+}
+
+/// Runs a batch of heterogeneous tasks across at most `jobs` worker
+/// threads, returning their results in task order.
+///
+/// The experiment regenerators use this to run independent table rows or
+/// cells concurrently: each task owns its own seed-derived state, so the
+/// rendered table is identical for any `jobs`.
+pub fn parallel_tasks<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 {
+        return tasks.into_iter().map(|task| task()).collect();
+    }
+    let task_cells: Vec<Mutex<Option<F>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    parallel_indexed(jobs, n, |i| {
+        let task = task_cells[i]
+            .lock()
+            .expect("task lock never poisoned")
+            .take()
+            .expect("each task runs once");
+        task()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexed_results_are_in_order_for_any_job_count() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            assert_eq!(
+                parallel_indexed(jobs, 97, |i| i * i),
+                expected,
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_handles_empty_and_single() {
+        assert_eq!(parallel_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_indexed(4, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn tasks_preserve_order_and_run_once() {
+        use std::sync::atomic::AtomicUsize;
+        let runs = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..20usize)
+            .map(|i| {
+                let runs = &runs;
+                Box::new(move || {
+                    runs.fetch_add(1, Ordering::Relaxed);
+                    i * 3
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let out = parallel_tasks(4, tasks);
+        assert_eq!(out, (0..20).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(runs.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panics_propagate() {
+        let _ = parallel_indexed(2, 8, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

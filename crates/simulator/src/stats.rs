@@ -2,7 +2,31 @@
 
 use std::fmt;
 
-/// A mean with a 95% normal-approximation confidence interval.
+/// Two-sided 95% Student-t critical values for `df = n - 1` in `1..=28`.
+///
+/// Small Monte-Carlo cells (the per-row replicates of Table 2 are often
+/// single digits) need the t distribution: at n = 5 the normal
+/// approximation's 1.96 understates the true half-width by almost 30%.
+/// From n = 30 on the difference is under 2.5% and the normal z = 1.96 is
+/// used instead.
+const T_CRIT_95: [f64; 28] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048,
+];
+
+/// The two-sided 95% critical value for a sample of size `n`: Student-t
+/// for `n < 30`, the normal approximation `z = 1.96` from 30 up.
+fn critical_value_95(n: usize) -> f64 {
+    match n {
+        0 | 1 => 0.0, // no spread is estimable from fewer than two samples
+        _ if n < 30 => T_CRIT_95[n - 2],
+        _ => 1.96,
+    }
+}
+
+/// A mean with a 95% confidence interval (Student-t below 30 samples,
+/// normal approximation from 30 up).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
     /// Sample mean.
@@ -37,6 +61,11 @@ impl fmt::Display for Estimate {
 
 /// Computes mean, standard deviation and a 95% CI for `samples`.
 ///
+/// The interval half-width uses the Student-t critical value for samples
+/// smaller than 30 (with `n - 1` degrees of freedom) and the normal
+/// approximation `z = 1.96` from 30 samples up. A single sample has no
+/// estimable spread and reports a zero-width interval.
+///
 /// # Panics
 ///
 /// Panics if `samples` is empty.
@@ -51,7 +80,7 @@ pub fn mean_ci(samples: &[f64]) -> Estimate {
         0.0
     };
     let stddev = var.sqrt();
-    let ci95 = 1.96 * stddev / (n as f64).sqrt();
+    let ci95 = critical_value_95(n) * stddev / (n as f64).sqrt();
     Estimate {
         mean,
         stddev,
@@ -132,6 +161,44 @@ mod tests {
         assert!((e.mean - 3.0).abs() < 1e-12);
         // var = 2.5, sd ≈ 1.5811
         assert!((e.stddev - 2.5f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_samples_use_student_t() {
+        // n = 5 → df = 4 → t = 2.776, not z = 1.96.
+        let e = mean_ci(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let expected = 2.776 * 2.5f64.sqrt() / 5f64.sqrt();
+        assert!((e.ci95 - expected).abs() < 1e-9, "ci {}", e.ci95);
+
+        // n = 2 → df = 1 → t = 12.706: a two-sample interval is huge.
+        let e2 = mean_ci(&[0.0, 1.0]);
+        let sd2 = 0.5f64.sqrt();
+        let expected2 = 12.706 * sd2 / 2f64.sqrt();
+        assert!((e2.ci95 - expected2).abs() < 1e-9, "ci {}", e2.ci95);
+    }
+
+    #[test]
+    fn large_samples_use_normal_approximation() {
+        // n = 30: alternating 0/1 → mean 0.5, sd of ~0.5085.
+        let samples: Vec<f64> = (0..30).map(|i| f64::from(i % 2)).collect();
+        let e = mean_ci(&samples);
+        let expected = 1.96 * e.stddev / 30f64.sqrt();
+        assert!((e.ci95 - expected).abs() < 1e-12, "ci {}", e.ci95);
+    }
+
+    #[test]
+    fn t_interval_is_wider_than_normal_for_same_spread() {
+        // The same per-sample spread must yield a *wider* scaled interval
+        // at n = 5 than z would give — the bug this pins was using 1.96
+        // everywhere.
+        let e = mean_ci(&[10.0, 12.0, 14.0, 16.0, 18.0]);
+        let z_width = 1.96 * e.stddev / 5f64.sqrt();
+        assert!(
+            e.ci95 > z_width * 1.4,
+            "t width {} vs z {}",
+            e.ci95,
+            z_width
+        );
     }
 
     #[test]

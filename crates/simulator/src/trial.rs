@@ -5,8 +5,11 @@ use std::sync::Arc;
 
 use redundancy_core::context::ExecContext;
 use redundancy_core::cost::Cost;
-use redundancy_core::obs::{ObsHandle, Observer, SpanKind, SpanStatus};
+use redundancy_core::obs::{
+    forward_renumbered, CollectorObserver, Event, ObsHandle, Observer, SpanKind, SpanStatus,
+};
 
+use crate::parallel::parallel_indexed;
 use crate::stats::{mean_ci, wilson_interval, Estimate, Proportion};
 
 /// The classification of one trial.
@@ -180,6 +183,96 @@ impl Campaign {
         }
         summarize(&outcomes)
     }
+
+    /// Runs the campaign with trials sharded across up to `jobs` worker
+    /// threads (`std::thread::scope`; no threads at all for `jobs <= 1`).
+    ///
+    /// Each trial derives its own seed exactly as [`run`](Self::run)
+    /// does and outcomes are collected in trial-index order, so the
+    /// returned [`TrialSummary`] is **bit-for-bit identical** to the
+    /// serial one for any worker count — parallelism changes wall-clock
+    /// time, never results. The only difference from [`run`](Self::run)
+    /// is the closure bound: workers share it, so it must be `Fn + Sync`
+    /// rather than `FnMut`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the trial closure, like [`run`](Self::run).
+    pub fn run_parallel<F>(&self, campaign_seed: u64, jobs: usize, trial: F) -> TrialSummary
+    where
+        F: Fn(u64, usize) -> TrialOutcome + Sync,
+    {
+        let outcomes = parallel_indexed(jobs, self.trials, |i| {
+            trial(Self::trial_seed(campaign_seed, i), i)
+        });
+        summarize(&outcomes)
+    }
+
+    /// Runs a traced campaign with trials sharded across up to `jobs`
+    /// worker threads, preserving both the summary *and* the recorded
+    /// event stream of the serial [`run_traced`](Self::run_traced).
+    ///
+    /// Concurrent trials cannot share one span-id allocator without
+    /// interleaving their streams in scheduling order, so every trial
+    /// records into its own [`CollectorObserver`] shard through a fresh
+    /// [`ObsHandle`]. When all trials have finished, the shards are
+    /// forwarded to `observer` in trial order with their span ids
+    /// renumbered into one campaign-wide sequence
+    /// ([`forward_renumbered`]) — exactly the ids and record order the
+    /// serial shared allocator produces. The stream `observer` sees is
+    /// therefore bit-for-bit identical to the serial one, and
+    /// [`crate::forensics::split_trials`] applies unchanged.
+    ///
+    /// Trade-off: the whole campaign's events are buffered in memory
+    /// before forwarding, so a bounded `observer` (e.g. a ring buffer)
+    /// bounds retention but not peak usage. For very long traced
+    /// campaigns, shard the campaign itself and merge summaries.
+    pub fn run_traced_parallel<F>(
+        &self,
+        campaign_seed: u64,
+        jobs: usize,
+        observer: Arc<dyn Observer>,
+        trial: F,
+    ) -> TrialSummary
+    where
+        F: Fn(&mut ExecContext, u64, usize) -> TrialOutcome + Sync,
+    {
+        if !observer.enabled() {
+            // A disabled sink records nothing either way; skip the
+            // per-trial shards entirely. Contexts are seeded identically,
+            // and tracing never perturbs the random stream, so outcomes
+            // are unchanged.
+            return self.run_parallel(campaign_seed, jobs, |seed, i| {
+                trial(&mut ExecContext::new(seed), seed, i)
+            });
+        }
+        let results: Vec<(TrialOutcome, Vec<Event>)> = parallel_indexed(jobs, self.trials, |i| {
+            let seed = Self::trial_seed(campaign_seed, i);
+            let shard = Arc::new(CollectorObserver::new());
+            let handle = ObsHandle::new(shard.clone() as Arc<dyn Observer>);
+            let mut ctx = ExecContext::new(seed).with_obs_handle(handle);
+            let span = ctx.obs_begin(|| SpanKind::Trial {
+                index: i as u64,
+                seed,
+            });
+            let outcome = trial(&mut ctx, seed, i);
+            ctx.obs_end(
+                span,
+                SpanStatus::Trial {
+                    disposition: outcome.disposition(),
+                },
+                outcome.cost().snapshot(),
+            );
+            (outcome, shard.take())
+        });
+        let mut offset = 0;
+        let mut outcomes = Vec::with_capacity(self.trials);
+        for (outcome, shard) in results {
+            offset += forward_renumbered(shard, offset, observer.as_ref());
+            outcomes.push(outcome);
+        }
+        summarize(&outcomes)
+    }
 }
 
 /// Summarizes a slice of trial outcomes.
@@ -283,6 +376,51 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_panics() {
         let _ = Campaign::new(0);
+    }
+
+    /// A seed-driven trial with varying dispositions and costs — enough
+    /// structure that any ordering or double-execution bug in the
+    /// parallel path would change the summary.
+    fn synthetic_trial(seed: u64, i: usize) -> TrialOutcome {
+        let cost = Cost::of_invocation((seed % 97) + i as u64, (seed % 31) + 1);
+        match seed % 5 {
+            0 => TrialOutcome::Undetected { cost },
+            1 | 2 => TrialOutcome::Detected { cost },
+            _ => TrialOutcome::Correct { cost },
+        }
+    }
+
+    #[test]
+    fn parallel_summary_is_bit_identical_to_serial() {
+        let campaign = Campaign::new(257);
+        let serial = campaign.run(0xDEAD_BEEF, synthetic_trial);
+        for jobs in [1, 2, 8] {
+            let parallel = campaign.run_parallel(0xDEAD_BEEF, jobs, synthetic_trial);
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_with_one_job_spawns_nothing_but_matches() {
+        let campaign = Campaign::new(3);
+        assert_eq!(
+            campaign.run(42, synthetic_trial),
+            campaign.run_parallel(42, 1, synthetic_trial)
+        );
+    }
+
+    #[test]
+    fn traced_parallel_with_disabled_observer_matches_serial_summary() {
+        use redundancy_core::obs::NoopObserver;
+        let campaign = Campaign::new(64);
+        let trial = |ctx: &mut ExecContext, _seed: u64, i: usize| {
+            // Consume randomness so the context matters.
+            let draw = ctx.rng().next_u64();
+            synthetic_trial(draw, i)
+        };
+        let serial = campaign.run_traced(7, Arc::new(NoopObserver), trial);
+        let parallel = campaign.run_traced_parallel(7, 4, Arc::new(NoopObserver), trial);
+        assert_eq!(serial, parallel);
     }
 
     #[test]
