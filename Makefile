@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy test build bench bench-campaign
+.PHONY: verify fmt clippy test build bench bench-campaign bench-smoke
 
 verify: fmt clippy test
 
@@ -15,7 +15,7 @@ clippy:
 	$(CARGO) clippy --workspace -- -D warnings
 
 test:
-	$(CARGO) test -q
+	$(CARGO) test -q --workspace
 
 build:
 	$(CARGO) build --release
@@ -27,3 +27,9 @@ bench:
 # (Absolute path: cargo runs the bench with the package dir as cwd.)
 bench-campaign:
 	CRITERION_JSON_OUT=$(CURDIR)/BENCH_campaign.json $(CARGO) bench -p redundancy-bench --bench campaign_throughput
+
+# Compile and run every bench with tiny sampling budgets. This is a CI
+# smoke test — it proves the benches build, run, and keep their
+# determinism guards green — not a measurement.
+bench-smoke:
+	CRITERION_SAMPLES=2 CRITERION_MEASURE_MS=20 CRITERION_WARMUP_MS=5 $(CARGO) bench --workspace

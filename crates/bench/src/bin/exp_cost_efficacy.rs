@@ -1,11 +1,15 @@
 //! Experiment E6: the cost/efficacy frontier of code redundancy.
 
-use redundancy_bench::{default_seed, default_trials};
+use redundancy_bench::{default_seed, default_trials, jobs_arg};
 
 fn main() {
     println!("E6 — cost vs efficacy (fault density 0.25)\n");
     print!(
         "{}",
-        redundancy_bench::experiments::cost_efficacy::run(default_trials(), default_seed())
+        redundancy_bench::experiments::cost_efficacy::run_jobs(
+            default_trials(),
+            default_seed(),
+            jobs_arg()
+        )
     );
 }

@@ -1,11 +1,15 @@
 //! Experiment E16: robust-structure detection and repair rates.
 
-use redundancy_bench::{default_seed, default_trials};
+use redundancy_bench::{default_seed, default_trials, jobs_arg};
 
 fn main() {
     println!("E16 — robust data structures under corruption\n");
     print!(
         "{}",
-        redundancy_bench::experiments::robust_data::run(default_trials(), default_seed())
+        redundancy_bench::experiments::robust_data::run_jobs(
+            default_trials(),
+            default_seed(),
+            jobs_arg()
+        )
     );
 }

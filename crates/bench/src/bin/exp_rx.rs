@@ -1,11 +1,11 @@
 //! Experiment E10: RX vs plain re-execution by fault type.
 
-use redundancy_bench::{default_seed, default_trials};
+use redundancy_bench::{default_seed, default_trials, jobs_arg};
 
 fn main() {
     println!("E10 — recovery by fault type (density 0.35, 6 attempts)\n");
     print!(
         "{}",
-        redundancy_bench::experiments::rx::run(default_trials(), default_seed())
+        redundancy_bench::experiments::rx::run_jobs(default_trials(), default_seed(), jobs_arg())
     );
 }

@@ -1,11 +1,15 @@
 //! Experiment E9: attack-stopping rates of diversity-based defenses.
 
-use redundancy_bench::{default_seed, default_trials};
+use redundancy_bench::{default_seed, default_trials, jobs_arg};
 
 fn main() {
     println!("E9 — attacks stopped vs replica/variant count\n");
     print!(
         "{}",
-        redundancy_bench::experiments::security::run(default_trials().min(1000), default_seed())
+        redundancy_bench::experiments::security::run_jobs(
+            default_trials().min(1000),
+            default_seed(),
+            jobs_arg()
+        )
     );
 }

@@ -1,11 +1,15 @@
 //! Experiment E12: availability vs number of alternative providers.
 
-use redundancy_bench::{default_seed, default_trials};
+use redundancy_bench::{default_seed, default_trials, jobs_arg};
 
 fn main() {
     println!("E12 — dynamic service substitution (provider failure rate 0.4)\n");
     print!(
         "{}",
-        redundancy_bench::experiments::substitution::run(default_trials(), default_seed())
+        redundancy_bench::experiments::substitution::run_jobs(
+            default_trials(),
+            default_seed(),
+            jobs_arg()
+        )
     );
 }

@@ -1,11 +1,15 @@
 //! Experiment E13: workaround success vs intrinsic redundancy degree.
 
-use redundancy_bench::{default_seed, default_trials};
+use redundancy_bench::{default_seed, default_trials, jobs_arg};
 
 fn main() {
     println!("E13 — failures worked around vs equivalence rules known\n");
     print!(
         "{}",
-        redundancy_bench::experiments::workarounds::run(default_trials(), default_seed())
+        redundancy_bench::experiments::workarounds::run_jobs(
+            default_trials(),
+            default_seed(),
+            jobs_arg()
+        )
     );
 }

@@ -1,11 +1,15 @@
 //! Experiment E15: heap-smash prevention by wrappers and padding.
 
-use redundancy_bench::{default_seed, default_trials};
+use redundancy_bench::{default_seed, default_trials, jobs_arg};
 
 fn main() {
     println!("E15 — heap smashing (64-byte buffers, 1..=128-byte overflows)\n");
     print!(
         "{}",
-        redundancy_bench::experiments::wrappers::run(default_trials(), default_seed())
+        redundancy_bench::experiments::wrappers::run_jobs(
+            default_trials(),
+            default_seed(),
+            jobs_arg()
+        )
     );
 }

@@ -8,6 +8,7 @@
 //! approximation.
 
 use redundancy_core::rng::SplitMix64;
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 use redundancy_techniques::checkpoint_recovery::long_run;
 
@@ -40,30 +41,42 @@ pub fn young_interval(checkpoint_cost: u64, fail_prob: f64) -> f64 {
 /// Builds the interval sweep table.
 #[must_use]
 pub fn run(repetitions: usize, seed: u64) -> Table {
+    run_jobs(repetitions, seed, 1)
+}
+
+/// Like [`run`] with the interval sweep sharded across up to `jobs`
+/// worker threads; every interval seeds its own RNG, so the table is
+/// identical for any `jobs`.
+#[must_use]
+pub fn run_jobs(repetitions: usize, seed: u64, jobs: usize) -> Table {
     let total_work = 20_000;
     let checkpoint_cost = 25;
     let fail_prob = 0.002;
     let mut table = Table::new(&["checkpoint interval", "mean completion time"]);
-    for interval in [0u64, 25, 50, 100, 158, 400, 1_000, 2_000] {
-        let label = if interval == 0 {
-            "none (restart from scratch)".to_owned()
-        } else {
-            interval.to_string()
-        };
-        table.row_owned(vec![
-            label,
-            format!(
-                "{:.0}",
+    let intervals = [0u64, 25, 50, 100, 158, 400, 1_000, 2_000];
+    let tasks: Vec<_> = intervals
+        .iter()
+        .map(|&interval| {
+            move || {
                 mean_completion(
                     interval,
                     total_work,
                     checkpoint_cost,
                     fail_prob,
                     repetitions,
-                    seed
+                    seed,
                 )
-            ),
-        ]);
+            }
+        })
+        .collect();
+    let results = parallel_tasks(jobs, tasks);
+    for (&interval, mean) in intervals.iter().zip(results) {
+        let label = if interval == 0 {
+            "none (restart from scratch)".to_owned()
+        } else {
+            interval.to_string()
+        };
+        table.row_owned(vec![label, format!("{mean:.0}")]);
     }
     table.row_owned(vec![
         format!(
@@ -125,5 +138,13 @@ mod tests {
     #[test]
     fn table_renders() {
         assert_eq!(run(3, SEED).len(), 9);
+    }
+
+    #[test]
+    fn table_is_identical_for_any_job_count() {
+        let serial = run_jobs(3, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(serial, run_jobs(3, SEED, jobs).to_string(), "jobs={jobs}");
+        }
     }
 }

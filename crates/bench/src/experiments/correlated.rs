@@ -8,6 +8,7 @@
 
 use redundancy_core::context::ExecContext;
 use redundancy_faults::correlation::{correlated_versions, CorrelatedSuite};
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 use redundancy_techniques::nvp::NVersion;
 
@@ -34,11 +35,24 @@ pub fn reliability_at_rho(rho: f64, density: f64, trials: usize, seed: u64) -> f
 /// Builds the E5 table: reliability and gain-over-single-version vs ρ.
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Table {
+    run_jobs(trials, seed, 1)
+}
+
+/// Like [`run`] with the ρ sweep sharded across up to `jobs` worker
+/// threads; every row seeds its own suite and context, so the table is
+/// identical for any `jobs`.
+#[must_use]
+pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
     let density = 0.2;
     let single = 1.0 - density;
+    let rhos = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let tasks: Vec<_> = rhos
+        .iter()
+        .map(|&rho| move || reliability_at_rho(rho, density, trials, seed))
+        .collect();
+    let results = parallel_tasks(jobs, tasks);
     let mut table = Table::new(&["rho", "NVP(3) reliability", "single version", "gain"]);
-    for rho in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let r = reliability_at_rho(rho, density, trials, seed);
+    for (rho, r) in rhos.iter().zip(results) {
         table.row_owned(vec![
             format!("{rho:.2}"),
             fmt_rate(r),
@@ -82,5 +96,13 @@ mod tests {
     #[test]
     fn table_renders_five_rhos() {
         assert_eq!(run(300, SEED).len(), 5);
+    }
+
+    #[test]
+    fn table_is_identical_for_any_job_count() {
+        let serial = run_jobs(300, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(serial, run_jobs(300, SEED, jobs).to_string(), "jobs={jobs}");
+        }
     }
 }

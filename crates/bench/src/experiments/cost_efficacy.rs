@@ -14,6 +14,7 @@ use redundancy_core::context::ExecContext;
 use redundancy_core::variant::BoxedVariant;
 use redundancy_faults::correlation::{correlated_versions, CorrelatedSuite};
 use redundancy_faults::spec::{hash_fraction, mix64};
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 use redundancy_techniques::nvp::NVersion;
 use redundancy_techniques::recovery_blocks::RecoveryBlocks;
@@ -132,6 +133,14 @@ pub fn single_point(trials: usize, seed: u64) -> CostPoint {
 /// Builds the E6 table.
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Table {
+    run_jobs(trials, seed, 1)
+}
+
+/// Like [`run`] with the six technique measurements sharded across up to
+/// `jobs` worker threads; every point seeds its own context, so the
+/// table is identical for any `jobs`.
+#[must_use]
+pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
     let mut table = Table::new(&[
         "Technique",
         "reliability",
@@ -139,11 +148,19 @@ pub fn run(trials: usize, seed: u64) -> Table {
         "mean latency",
         "design cost",
     ]);
-    let mut points = vec![single_point(trials, seed), nvp_point(trials, seed)];
-    for coverage in [1.0, 0.8, 0.5] {
-        points.push(recovery_blocks_point(trials, seed, coverage));
-    }
-    points.push(self_checking_point(trials, seed));
+    let tasks: Vec<_> = (0..6usize)
+        .map(|idx| {
+            move || match idx {
+                0 => single_point(trials, seed),
+                1 => nvp_point(trials, seed),
+                2 => recovery_blocks_point(trials, seed, 1.0),
+                3 => recovery_blocks_point(trials, seed, 0.8),
+                4 => recovery_blocks_point(trials, seed, 0.5),
+                _ => self_checking_point(trials, seed),
+            }
+        })
+        .collect();
+    let points = parallel_tasks(jobs, tasks);
     for p in points {
         table.row_owned(vec![
             p.technique.clone(),
@@ -227,5 +244,13 @@ mod tests {
     #[test]
     fn table_renders_six_rows() {
         assert_eq!(run(200, SEED).len(), 6);
+    }
+
+    #[test]
+    fn table_is_identical_for_any_job_count() {
+        let serial = run_jobs(200, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(serial, run_jobs(200, SEED, jobs).to_string(), "jobs={jobs}");
+        }
     }
 }

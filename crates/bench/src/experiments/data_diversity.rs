@@ -9,6 +9,7 @@
 
 use redundancy_core::context::ExecContext;
 use redundancy_faults::{FaultSpec, FaultyVariant};
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 use redundancy_techniques::data_diversity::{NCopy, ReExpression, RetryBlock};
 
@@ -66,17 +67,29 @@ pub fn ncopy_rate(k: usize, trials: usize, seed: u64) -> f64 {
 /// Builds the E8 table.
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Table {
+    run_jobs(trials, seed, 1)
+}
+
+/// Like [`run`] with the re-expression sweep sharded across up to `jobs`
+/// worker threads; every row seeds its own contexts, so the table is
+/// identical for any `jobs`.
+#[must_use]
+pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
     let mut table = Table::new(&[
         "re-expressions",
         "retry blocks",
         "N-copy (majority)",
         "1 - p^(k+1) (prediction)",
     ]);
-    for k in 0..=4usize {
+    let tasks: Vec<_> = (0..=4usize)
+        .map(|k| move || (retry_rate(k, trials, seed), ncopy_rate(k, trials, seed)))
+        .collect();
+    let results = parallel_tasks(jobs, tasks);
+    for (k, (retry, ncopy)) in results.into_iter().enumerate() {
         table.row_owned(vec![
             k.to_string(),
-            fmt_rate(retry_rate(k, trials, seed)),
-            fmt_rate(ncopy_rate(k, trials, seed)),
+            fmt_rate(retry),
+            fmt_rate(ncopy),
             fmt_rate(1.0 - DENSITY.powi(k as i32 + 1)),
         ]);
     }
@@ -129,5 +142,13 @@ mod tests {
     #[test]
     fn table_renders_five_rows() {
         assert_eq!(run(200, SEED).len(), 5);
+    }
+
+    #[test]
+    fn table_is_identical_for_any_job_count() {
+        let serial = run_jobs(200, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(serial, run_jobs(200, SEED, jobs).to_string(), "jobs={jobs}");
+        }
     }
 }

@@ -7,6 +7,7 @@
 //! to exceed the redundancy and some become unrepairable.
 
 use redundancy_core::rng::SplitMix64;
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 use redundancy_techniques::robust_data::{RepairOutcome, RobustList};
 
@@ -107,9 +108,21 @@ pub fn measure(damage: Damage, trials: usize, seed: u64) -> RepairStats {
 /// Builds the E16 table.
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Table {
+    run_jobs(trials, seed, 1)
+}
+
+/// Like [`run`] with the corruption patterns sharded across up to `jobs`
+/// worker threads; every pattern seeds its own RNG, so the table is
+/// identical for any `jobs`.
+#[must_use]
+pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
     let mut table = Table::new(&["corruption", "detected", "repaired"]);
-    for damage in Damage::ALL {
-        let stats = measure(damage, trials, seed);
+    let tasks: Vec<_> = Damage::ALL
+        .iter()
+        .map(|&damage| move || measure(damage, trials, seed))
+        .collect();
+    let results = parallel_tasks(jobs, tasks);
+    for (damage, stats) in Damage::ALL.iter().zip(results) {
         table.row_owned(vec![
             damage.label().to_owned(),
             fmt_rate(stats.detected),
@@ -162,5 +175,13 @@ mod tests {
     #[test]
     fn table_renders_five_rows() {
         assert_eq!(run(50, SEED).len(), 5);
+    }
+
+    #[test]
+    fn table_is_identical_for_any_job_count() {
+        let serial = run_jobs(50, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(serial, run_jobs(50, SEED, jobs).to_string(), "jobs={jobs}");
+        }
     }
 }

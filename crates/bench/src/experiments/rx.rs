@@ -11,6 +11,7 @@ use redundancy_core::variant::BoxedVariant;
 use redundancy_faults::{
     Activation, DetectableFailures, EnvSignature, FaultEffect, FaultSpec, FaultyVariant,
 };
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 use redundancy_techniques::checkpoint_recovery::CheckpointRecovery;
 use redundancy_techniques::env_perturbation::Rx;
@@ -99,22 +100,44 @@ pub fn reexecution_rate(fault: FaultType, retries: u32, trials: usize, seed: u64
 /// Builds the E10 comparison table (6 recovery attempts each).
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Table {
+    run_jobs(trials, seed, 1)
+}
+
+/// Like [`run`] with the fault-type rows sharded across up to `jobs`
+/// worker threads; every measurement seeds its own context, so the table
+/// is identical for any `jobs`.
+#[must_use]
+pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
     let mut table = Table::new(&[
         "fault type",
         "no protection",
         "re-execution (ckpt-recovery)",
         "RX (perturbed re-execution)",
     ]);
-    for fault in [
+    let faults = [
         FaultType::EnvSensitive,
         FaultType::Transient,
         FaultType::EnvBlind,
-    ] {
+    ];
+    let tasks: Vec<_> = faults
+        .iter()
+        .map(|&fault| {
+            move || {
+                (
+                    reexecution_rate(fault, 0, trials, seed),
+                    reexecution_rate(fault, 6, trials, seed),
+                    rx_rate(fault, 6, trials, seed),
+                )
+            }
+        })
+        .collect();
+    let results = parallel_tasks(jobs, tasks);
+    for (fault, (bare, reexec, rx)) in faults.iter().zip(results) {
         table.row_owned(vec![
             fault.label().to_owned(),
-            fmt_rate(reexecution_rate(fault, 0, trials, seed)),
-            fmt_rate(reexecution_rate(fault, 6, trials, seed)),
-            fmt_rate(rx_rate(fault, 6, trials, seed)),
+            fmt_rate(bare),
+            fmt_rate(reexec),
+            fmt_rate(rx),
         ]);
     }
     table
@@ -163,5 +186,13 @@ mod tests {
     #[test]
     fn table_renders_three_rows() {
         assert_eq!(run(150, SEED).len(), 3);
+    }
+
+    #[test]
+    fn table_is_identical_for_any_job_count() {
+        let serial = run_jobs(150, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(serial, run_jobs(150, SEED, jobs).to_string(), "jobs={jobs}");
+        }
     }
 }

@@ -13,6 +13,7 @@ use redundancy_faults::{
     Activation, DetectableFailures, EnvKnobs, FaultEffect, FaultSpec, FaultyVariant,
 };
 use redundancy_sandbox::env::EnvConfig;
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 use redundancy_techniques::env_perturbation::Rx;
 
@@ -161,15 +162,30 @@ pub fn delivery_rate(fault: KnobFault, schedule: Schedule, trials: usize, seed: 
 /// Builds the E10b matrix: fault family × schedule.
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Table {
+    run_jobs(trials, seed, 1)
+}
+
+/// Like [`run`] with the 4×5 fault/schedule cells sharded across up to
+/// `jobs` worker threads; every cell seeds its own context, so the table
+/// is identical for any `jobs`.
+#[must_use]
+pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
     let mut headers = vec!["fault \\ RX schedule".to_owned()];
     headers.extend(Schedule::ALL.iter().map(|s| s.label().to_owned()));
     let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(&refs);
-    for fault in KnobFault::ALL {
+    let cells: Vec<(KnobFault, Schedule)> = KnobFault::ALL
+        .iter()
+        .flat_map(|&fault| Schedule::ALL.iter().map(move |&schedule| (fault, schedule)))
+        .collect();
+    let tasks: Vec<_> = cells
+        .iter()
+        .map(|&(fault, schedule)| move || delivery_rate(fault, schedule, trials, seed))
+        .collect();
+    let rates = parallel_tasks(jobs, tasks);
+    for (fault, row_rates) in KnobFault::ALL.iter().zip(rates.chunks(Schedule::ALL.len())) {
         let mut row = vec![fault.label().to_owned()];
-        for schedule in Schedule::ALL {
-            row.push(fmt_rate(delivery_rate(fault, schedule, trials, seed)));
-        }
+        row.extend(row_rates.iter().map(|&r| fmt_rate(r)));
         table.row_owned(row);
     }
     table
@@ -244,5 +260,13 @@ mod tests {
         let t = run(60, SEED);
         assert_eq!(t.len(), 4);
         assert!(t.to_string().contains("full RX menu"));
+    }
+
+    #[test]
+    fn table_is_identical_for_any_job_count() {
+        let serial = run_jobs(60, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(serial, run_jobs(60, SEED, jobs).to_string(), "jobs={jobs}");
+        }
     }
 }

@@ -9,6 +9,7 @@
 
 use redundancy_core::rng::SplitMix64;
 use redundancy_sandbox::vm::Opcode;
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 use redundancy_techniques::nvariant_data::NVariantCell;
 use redundancy_techniques::process_replicas::{ProcessReplicas, ReplicaVerdict, Request};
@@ -113,18 +114,40 @@ pub fn data_attacks(n: usize, trials: usize, seed: u64) -> AttackStats {
 /// Builds the E9 table: stop rate per attack type and replica count.
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Table {
+    run_jobs(trials, seed, 1)
+}
+
+/// Like [`run`] with the replica-count sweep sharded across up to `jobs`
+/// worker threads; every campaign seeds its own RNG, so the table is
+/// identical for any `jobs`.
+#[must_use]
+pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
     let mut table = Table::new(&[
         "replicas/variants",
         "memory attacks stopped",
         "code injection stopped",
         "data corruption stopped",
     ]);
-    for n in [1usize, 2, 3, 5] {
+    let counts = [1usize, 2, 3, 5];
+    let tasks: Vec<_> = counts
+        .iter()
+        .map(|&n| {
+            move || {
+                (
+                    memory_attacks(n, trials, seed).stopped_rate(trials),
+                    injection_attacks(n, trials, seed).stopped_rate(trials),
+                    data_attacks(n, trials, seed).stopped_rate(trials),
+                )
+            }
+        })
+        .collect();
+    let results = parallel_tasks(jobs, tasks);
+    for (n, (memory, injection, data)) in counts.iter().zip(results) {
         table.row_owned(vec![
             n.to_string(),
-            fmt_rate(memory_attacks(n, trials, seed).stopped_rate(trials)),
-            fmt_rate(injection_attacks(n, trials, seed).stopped_rate(trials)),
-            fmt_rate(data_attacks(n, trials, seed).stopped_rate(trials)),
+            fmt_rate(memory),
+            fmt_rate(injection),
+            fmt_rate(data),
         ]);
     }
     table
@@ -171,5 +194,13 @@ mod tests {
     #[test]
     fn table_renders_four_rows() {
         assert_eq!(run(50, SEED).len(), 4);
+    }
+
+    #[test]
+    fn table_is_identical_for_any_job_count() {
+        let serial = run_jobs(50, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(serial, run_jobs(50, SEED, jobs).to_string(), "jobs={jobs}");
+        }
     }
 }

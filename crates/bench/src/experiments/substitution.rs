@@ -11,6 +11,7 @@ use redundancy_core::context::ExecContext;
 use redundancy_services::provider::SimProvider;
 use redundancy_services::registry::{Converter, InterfaceId};
 use redundancy_services::value::Value;
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 use redundancy_techniques::service_substitution::{replicated_registry, DynamicSubstitution};
 
@@ -65,18 +66,39 @@ pub fn availability_with_converters(n: usize, similar: usize, trials: usize, see
 /// Builds the E12 table.
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Table {
+    run_jobs(trials, seed, 1)
+}
+
+/// Like [`run`] with the provider-count sweep sharded across up to
+/// `jobs` worker threads; every row builds its own registry and context,
+/// so the table is identical for any `jobs`.
+#[must_use]
+pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
     let mut table = Table::new(&[
         "providers",
         "availability (exact only)",
         "+2 similar via converter",
         "1 - p^n (prediction)",
     ]);
-    for n in [1usize, 2, 3, 4, 5] {
+    let counts = [1usize, 2, 3, 4, 5];
+    let tasks: Vec<_> = counts
+        .iter()
+        .map(|&n| {
+            move || {
+                (
+                    availability_exact(n, trials, seed),
+                    availability_with_converters(n, 2, trials, seed),
+                )
+            }
+        })
+        .collect();
+    let results = parallel_tasks(jobs, tasks);
+    for (n, (exact, converted)) in counts.iter().zip(results) {
         table.row_owned(vec![
             n.to_string(),
-            fmt_rate(availability_exact(n, trials, seed)),
-            fmt_rate(availability_with_converters(n, 2, trials, seed)),
-            fmt_rate(1.0 - FAIL.powi(n as i32)),
+            fmt_rate(exact),
+            fmt_rate(converted),
+            fmt_rate(1.0 - FAIL.powi(*n as i32)),
         ]);
     }
     table
@@ -113,5 +135,13 @@ mod tests {
     #[test]
     fn table_renders_five_rows() {
         assert_eq!(run(300, SEED).len(), 5);
+    }
+
+    #[test]
+    fn table_is_identical_for_any_job_count() {
+        let serial = run_jobs(300, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(serial, run_jobs(300, SEED, jobs).to_string(), "jobs={jobs}");
+        }
     }
 }

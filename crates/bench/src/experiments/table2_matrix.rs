@@ -20,7 +20,7 @@ use redundancy_core::variant::Variant as _;
 use redundancy_core::variant::{pure_variant, BoxedVariant};
 use redundancy_faults::correlation::{correlated_versions, CorrelatedSuite};
 use redundancy_faults::{Activation, DetectableFailures, FaultEffect, FaultSpec, FaultyVariant};
-use redundancy_sim::parallel_tasks;
+use redundancy_sim::parallel_tasks_lpt;
 use redundancy_sim::table::Table;
 use redundancy_techniques as tech;
 
@@ -639,40 +639,52 @@ fn build_matrix(trials: usize, seed: u64, obs: Option<&ObsHandle>, jobs: usize) 
     // Each row seeds its own contexts/RNGs, so rows are independent work
     // items: run them across the worker pool. Non-capturing closures
     // adapt the rows that take no observer to the common signature.
+    //
+    // Rows are wildly heterogeneous — fault fixing runs a GP corpus and
+    // takes an order of magnitude longer than, say, rejuvenation — so
+    // each carries a relative cost hint and the scheduler claims the
+    // heaviest rows first (LPT). Hints only shape the claim order; the
+    // table rows stay in presentation order regardless of `jobs`.
     type RowFn = fn(usize, u64, Option<&ObsHandle>) -> Row;
-    let specs: Vec<(&str, RowFn)> = vec![
-        ("(unprotected baseline)", baseline),
-        ("N-version programming", nvp),
-        ("Recovery blocks", recovery_blocks),
-        ("Self-checking programming", self_checking),
-        ("Self-optimizing code", self_optimizing),
-        ("Exception handling, rule engines", rule_engine),
-        ("Wrappers", wrappers),
-        ("Robust data structures, audits", |t, s, _| {
+    let specs: Vec<(&str, u64, RowFn)> = vec![
+        ("(unprotected baseline)", 2, baseline),
+        ("N-version programming", 9, nvp),
+        ("Recovery blocks", 4, recovery_blocks),
+        ("Self-checking programming", 6, self_checking),
+        ("Self-optimizing code", 2, self_optimizing),
+        ("Exception handling, rule engines", 4, rule_engine),
+        ("Wrappers", 6, wrappers),
+        ("Robust data structures, audits", 5, |t, s, _| {
             robust_data(t, s)
         }),
-        ("Data diversity", data_diversity),
-        ("Data diversity for security", |t, s, _| nvariant_data(t, s)),
-        ("Rejuvenation", rejuvenation),
-        ("Environment perturbation", env_perturbation),
-        ("Process replicas", |t, s, _| process_replicas(t, s)),
-        ("Dynamic service substitution", service_substitution),
-        ("Fault fixing, genetic programming", |t, s, _| {
+        ("Data diversity", 6, data_diversity),
+        ("Data diversity for security", 3, |t, s, _| {
+            nvariant_data(t, s)
+        }),
+        ("Rejuvenation", 2, rejuvenation),
+        ("Environment perturbation", 8, env_perturbation),
+        ("Process replicas", 6, |t, s, _| process_replicas(t, s)),
+        ("Dynamic service substitution", 6, service_substitution),
+        ("Fault fixing, genetic programming", 100, |t, s, _| {
             fault_fixing(t, s)
         }),
-        ("Automatic workarounds", |t, s, _| workarounds(t, s)),
-        ("Checkpoint-recovery", checkpoint_recovery),
-        ("Reboot and micro-reboot", |t, s, _| microreboot(t, s)),
+        ("Automatic workarounds", 8, |t, s, _| workarounds(t, s)),
+        ("Checkpoint-recovery", 6, checkpoint_recovery),
+        ("Reboot and micro-reboot", 10, |t, s, _| microreboot(t, s)),
     ];
     let tasks: Vec<_> = specs
         .iter()
-        .map(|&(_, f)| {
+        .map(|&(_, cost, f)| {
             let handle = obs.cloned();
-            move || f(trials, seed, handle.as_ref())
+            (cost, move || f(trials, seed, handle.as_ref()))
         })
         .collect();
-    let computed = parallel_tasks(jobs, tasks);
-    let rows: Vec<(&str, Row)> = specs.iter().map(|&(name, _)| name).zip(computed).collect();
+    let computed = parallel_tasks_lpt(jobs, tasks);
+    let rows: Vec<(&str, Row)> = specs
+        .iter()
+        .map(|&(name, _, _)| name)
+        .zip(computed)
+        .collect();
     let entries = tech::table2::entries();
     for (name, row) in rows {
         let classification = entries

@@ -7,6 +7,7 @@
 //! covers; the full rule set rescues (in this API) every scenario.
 
 use redundancy_core::rng::SplitMix64;
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 use redundancy_techniques::workarounds::container::{rules, Container, Op};
 use redundancy_techniques::workarounds::{OpSystem, RewriteRule, WorkaroundEngine};
@@ -56,13 +57,21 @@ pub fn success_rate(rule_set: &[RewriteRule<Op>], trials: usize, seed: u64) -> f
 /// Builds the E13 table: success rate vs rule-set size.
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Table {
-    let all = rules();
+    run_jobs(trials, seed, 1)
+}
+
+/// Like [`run`] with the rule-set-size sweep sharded across up to `jobs`
+/// worker threads; every row builds its own rule set and RNG, so the
+/// table is identical for any `jobs`.
+#[must_use]
+pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
     let mut table = Table::new(&["equivalence rules known", "failures worked around"]);
-    for k in 0..=all.len() {
-        table.row_owned(vec![
-            k.to_string(),
-            fmt_rate(success_rate(&all[..k], trials, seed)),
-        ]);
+    let tasks: Vec<_> = (0..=rules().len())
+        .map(|k| move || success_rate(&rules()[..k], trials, seed))
+        .collect();
+    let results = parallel_tasks(jobs, tasks);
+    for (k, rate) in results.into_iter().enumerate() {
+        table.row_owned(vec![k.to_string(), fmt_rate(rate)]);
     }
     table
 }
@@ -101,5 +110,13 @@ mod tests {
     #[test]
     fn table_renders() {
         assert_eq!(run(50, SEED).len(), rules().len() + 1);
+    }
+
+    #[test]
+    fn table_is_identical_for_any_job_count() {
+        let serial = run_jobs(50, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(serial, run_jobs(50, SEED, jobs).to_string(), "jobs={jobs}");
+        }
     }
 }

@@ -8,6 +8,7 @@
 
 use redundancy_core::rng::SplitMix64;
 use redundancy_sandbox::memory::SimMemory;
+use redundancy_sim::parallel_tasks;
 use redundancy_sim::table::Table;
 use redundancy_techniques::wrappers::HeapWrapper;
 
@@ -88,19 +89,35 @@ pub fn padded(pad: u64, trials: usize, seed: u64) -> SmashStats {
 /// Builds the E15 table.
 #[must_use]
 pub fn run(trials: usize, seed: u64) -> Table {
+    run_jobs(trials, seed, 1)
+}
+
+/// Like [`run`] with the four configurations sharded across up to `jobs`
+/// worker threads; every campaign seeds its own RNG and heap, so the
+/// table is identical for any `jobs`.
+#[must_use]
+pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
     let mut table = Table::new(&["configuration", "corruption rate", "writes refused"]);
-    let raw = unprotected(trials, seed);
-    let wrap = wrapped(trials, seed);
-    let pad64 = padded(64, trials, seed);
-    let pad256 = padded(256, trials, seed);
-    for (label, stats) in [
-        ("unchecked heap", raw),
-        ("healer wrapper (bounds check)", wrap),
-        ("64-byte padding, unchecked", pad64),
-        ("256-byte padding, unchecked", pad256),
-    ] {
+    let labels = [
+        "unchecked heap",
+        "healer wrapper (bounds check)",
+        "64-byte padding, unchecked",
+        "256-byte padding, unchecked",
+    ];
+    let tasks: Vec<_> = (0..labels.len())
+        .map(|idx| {
+            move || match idx {
+                0 => unprotected(trials, seed),
+                1 => wrapped(trials, seed),
+                2 => padded(64, trials, seed),
+                _ => padded(256, trials, seed),
+            }
+        })
+        .collect();
+    let results = parallel_tasks(jobs, tasks);
+    for (label, stats) in labels.iter().zip(results) {
         table.row_owned(vec![
-            label.to_owned(),
+            (*label).to_owned(),
             fmt_rate(stats.corruptions as f64 / trials as f64),
             fmt_rate(stats.refused as f64 / trials as f64),
         ]);
@@ -142,5 +159,13 @@ mod tests {
     #[test]
     fn table_renders_four_rows() {
         assert_eq!(run(100, SEED).len(), 4);
+    }
+
+    #[test]
+    fn table_is_identical_for_any_job_count() {
+        let serial = run_jobs(100, SEED, 1).to_string();
+        for jobs in [2, 8] {
+            assert_eq!(serial, run_jobs(100, SEED, jobs).to_string(), "jobs={jobs}");
+        }
     }
 }

@@ -17,6 +17,13 @@
 //! reporting the minimum, median and maximum of the per-sample mean
 //! iteration times, in Criterion's familiar format.
 //!
+//! The sampling schedule is tunable through the environment: the
+//! variables named by [`SAMPLES_ENV`], [`MEASURE_MS_ENV`] and
+//! [`WARMUP_MS_ENV`] override the sample count and the per-benchmark
+//! measurement/warmup budgets (in milliseconds). `make bench-smoke`
+//! uses these to compile-and-run every bench in seconds as a CI
+//! smoke test.
+//!
 //! Setting the environment variable named by [`JSON_OUT_ENV`] to a file
 //! path additionally records every result as a JSON array of
 //! `{"label", "min_ns", "median_ns", "max_ns"}` objects; the file is
@@ -33,14 +40,54 @@ pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
 }
 
+/// Default number of measurement samples per benchmark.
+const DEFAULT_SAMPLES: usize = 24;
+
+/// Default target wall time spent measuring each benchmark, in ms.
+const DEFAULT_MEASURE_MS: u64 = 400;
+
+/// Default target wall time spent warming up each benchmark, in ms.
+const DEFAULT_WARMUP_MS: u64 = 120;
+
+/// Environment variable overriding the sample count (`CRITERION_SAMPLES`).
+pub const SAMPLES_ENV: &str = "CRITERION_SAMPLES";
+
+/// Environment variable overriding the measurement budget in milliseconds
+/// (`CRITERION_MEASURE_MS`).
+pub const MEASURE_MS_ENV: &str = "CRITERION_MEASURE_MS";
+
+/// Environment variable overriding the warmup budget in milliseconds
+/// (`CRITERION_WARMUP_MS`).
+pub const WARMUP_MS_ENV: &str = "CRITERION_WARMUP_MS";
+
+/// Reads a positive integer from the environment, falling back to
+/// `default` when unset, empty, or unparsable. Zero is clamped to the
+/// default too: zero samples or a zero time budget would make every
+/// benchmark degenerate.
+fn env_override(var: &str, default: u64) -> u64 {
+    match std::env::var(var) {
+        Ok(value) => match value.trim().parse::<u64>() {
+            Ok(parsed) if parsed > 0 => parsed,
+            _ => default,
+        },
+        Err(_) => default,
+    }
+}
+
 /// Number of measurement samples per benchmark.
-const SAMPLES: usize = 24;
+fn samples() -> usize {
+    env_override(SAMPLES_ENV, DEFAULT_SAMPLES as u64) as usize
+}
 
 /// Target wall time spent measuring each benchmark.
-const MEASURE_TIME: Duration = Duration::from_millis(400);
+fn measure_time() -> Duration {
+    Duration::from_millis(env_override(MEASURE_MS_ENV, DEFAULT_MEASURE_MS))
+}
 
 /// Target wall time spent warming up each benchmark.
-const WARMUP_TIME: Duration = Duration::from_millis(120);
+fn warmup_time() -> Duration {
+    Duration::from_millis(env_override(WARMUP_MS_ENV, DEFAULT_WARMUP_MS))
+}
 
 /// Identifies one parameterized benchmark: a function name plus a
 /// parameter rendered into the label.
@@ -90,20 +137,21 @@ impl Bencher {
     /// phases. The routine's return value is black-boxed so its
     /// computation cannot be optimized away.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let samples = samples();
         // Warmup: estimate the per-iteration cost.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
-        while warm_start.elapsed() < WARMUP_TIME {
+        while warm_start.elapsed() < warmup_time() {
             hint::black_box(routine());
             warm_iters += 1;
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
         // Choose a batch size so each sample takes roughly an equal share
         // of the measurement budget.
-        let budget = MEASURE_TIME.as_secs_f64() / SAMPLES as f64;
+        let budget = measure_time().as_secs_f64() / samples as f64;
         let batch = ((budget / per_iter.max(1e-9)) as u64).max(1);
         self.samples.clear();
-        for _ in 0..SAMPLES {
+        for _ in 0..samples {
             let start = Instant::now();
             for _ in 0..batch {
                 hint::black_box(routine());
@@ -286,6 +334,20 @@ mod tests {
     #[test]
     fn json_escape_quotes_and_backslashes() {
         assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+
+    #[test]
+    fn env_override_falls_back_on_unset_empty_or_bad_values() {
+        // Unset.
+        assert_eq!(env_override("CRITERION_TEST_UNSET_VAR", 24), 24);
+        // Set to a valid value (unique name: tests run concurrently).
+        std::env::set_var("CRITERION_TEST_VALID_VAR", "7");
+        assert_eq!(env_override("CRITERION_TEST_VALID_VAR", 24), 7);
+        // Garbage and zero both fall back.
+        std::env::set_var("CRITERION_TEST_BAD_VAR", "fast");
+        assert_eq!(env_override("CRITERION_TEST_BAD_VAR", 24), 24);
+        std::env::set_var("CRITERION_TEST_ZERO_VAR", "0");
+        assert_eq!(env_override("CRITERION_TEST_ZERO_VAR", 24), 24);
     }
 
     #[test]

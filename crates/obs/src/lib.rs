@@ -75,4 +75,7 @@ pub use metrics::{
 pub use observer::{
     FanoutObserver, NoopObserver, ObsHandle, Observer, RingBufferObserver, SpanToken,
 };
-pub use shard::{forward_renumbered, merge_shards, CollectorObserver};
+pub use shard::{
+    forward_renumbered, forward_renumbered_drain, merge_shards, with_worker_shard,
+    CollectorObserver, ShardPool, StreamingMerger,
+};

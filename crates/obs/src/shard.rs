@@ -16,7 +16,9 @@
 //!
 //! [`ObsHandle`]: crate::ObsHandle
 
-use std::sync::Mutex;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::event::{Event, EventKind, ROOT_SPAN};
 use crate::observer::Observer;
@@ -65,6 +67,15 @@ impl CollectorObserver {
             .expect("collector lock is never poisoned")
     }
 
+    /// Installs `buf` (cleared) as the backing storage, dropping the
+    /// current contents. Recycling a drained shard's allocation through
+    /// here (see [`ShardPool`]) makes per-trial collection allocation-free
+    /// once buffers have warmed up.
+    pub fn install_buffer(&self, mut buf: Vec<Event>) {
+        buf.clear();
+        *self.lock() = buf;
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Event>> {
         self.events
             .lock()
@@ -99,8 +110,16 @@ fn spans_allocated(events: &[Event]) -> u64 {
 /// the shards been recorded one after another. Returns the number of ids
 /// the shard consumed so the caller can advance its allocator cursor.
 pub fn forward_renumbered(events: Vec<Event>, offset: u64, sink: &dyn Observer) -> u64 {
-    let allocated = spans_allocated(&events);
-    for mut event in events {
+    let mut events = events;
+    forward_renumbered_drain(&mut events, offset, sink)
+}
+
+/// Like [`forward_renumbered`], but drains `events` in place, leaving an
+/// empty vector whose allocation the caller can recycle (see
+/// [`ShardPool`]).
+pub fn forward_renumbered_drain(events: &mut Vec<Event>, offset: u64, sink: &dyn Observer) -> u64 {
+    let allocated = spans_allocated(events);
+    for mut event in events.drain(..) {
         if event.span != ROOT_SPAN {
             event.span += offset;
         }
@@ -125,6 +144,204 @@ pub fn merge_shards(shards: Vec<Vec<Event>>) -> Vec<Event> {
         offset += forward_renumbered(shard, offset, &merged);
     }
     merged.into_events()
+}
+
+/// Maximum spare buffers a [`ShardPool`] retains; beyond this, returned
+/// buffers are simply dropped (steady state never needs more spares than
+/// in-flight shards, which the streaming merge bounds).
+const SHARD_POOL_CAP: usize = 1024;
+
+/// A free list of event buffers shared between shard producers and the
+/// merger: producers [`check_out`](ShardPool::check_out) a warmed-up
+/// buffer per trial, the merge drains it into the sink and
+/// [`check_in`](ShardPool::check_in)s the empty allocation.
+///
+/// Together with the per-worker collector arena ([`with_worker_shard`])
+/// this removes the per-trial buffer growth that dominated traced
+/// campaigns' allocation profile.
+#[derive(Default)]
+pub struct ShardPool {
+    spare: Mutex<Vec<Vec<Event>>>,
+}
+
+impl ShardPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a spare (empty, capacity-warm) buffer, or a fresh one.
+    #[must_use]
+    pub fn check_out(&self) -> Vec<Event> {
+        self.spare
+            .lock()
+            .expect("shard pool lock never poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a buffer's allocation to the pool (cleared).
+    pub fn check_in(&self, mut buf: Vec<Event>) {
+        buf.clear();
+        let mut spare = self.spare.lock().expect("shard pool lock never poisoned");
+        if spare.len() < SHARD_POOL_CAP {
+            spare.push(buf);
+        }
+    }
+
+    /// Number of spare buffers currently pooled.
+    #[must_use]
+    pub fn spares(&self) -> usize {
+        self.spare
+            .lock()
+            .expect("shard pool lock never poisoned")
+            .len()
+    }
+}
+
+thread_local! {
+    /// Per-worker pooled collector (see [`with_worker_shard`]).
+    static WORKER_SHARD: RefCell<Option<Arc<CollectorObserver>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's pooled [`CollectorObserver`], creating it
+/// on first use and recycling it afterwards.
+///
+/// Traced parallel campaigns record every trial through a collector
+/// shard; allocating one `Arc<CollectorObserver>` per trial showed up as
+/// pure overhead at sub-microsecond trial costs. Worker threads are
+/// persistent (see the simulator's pool), so one collector per worker
+/// amortizes that to zero. Re-entrant calls (a traced trial that itself
+/// runs a traced campaign) fall back to a fresh collector.
+pub fn with_worker_shard<R>(f: impl FnOnce(&Arc<CollectorObserver>) -> R) -> R {
+    let cached = WORKER_SHARD.with(|slot| slot.borrow_mut().take());
+    let shard = cached.unwrap_or_else(|| Arc::new(CollectorObserver::new()));
+    let result = f(&shard);
+    WORKER_SHARD.with(|slot| {
+        let mut cell = slot.borrow_mut();
+        if cell.is_none() {
+            *cell = Some(shard);
+        }
+    });
+    result
+}
+
+/// Streams shard merging: forwards trial `i`'s events to the sink as
+/// soon as every trial `< i` has been submitted, instead of buffering
+/// the whole campaign and merging at the end.
+///
+/// The sink sees exactly the stream [`merge_shards`] would produce —
+/// submissions are renumbered and forwarded under one lock, in strict
+/// trial order — but peak memory is bounded by the *out-of-orderness* of
+/// the submitters (a window of in-flight trials), not by the campaign
+/// size. With [`with_window`](Self::with_window), submitters that run
+/// too far ahead block until the gap trial arrives, making the bound a
+/// hard guarantee; the submitter owning the gap trial can never block,
+/// so the window cannot deadlock (chunks are claimed in index order).
+pub struct StreamingMerger {
+    sink: Arc<dyn Observer>,
+    pool: Option<Arc<ShardPool>>,
+    window: Option<usize>,
+    state: Mutex<MergeState>,
+    advanced: Condvar,
+}
+
+struct MergeState {
+    /// Next trial index to forward.
+    next: usize,
+    /// Span-id offset accumulated over forwarded shards.
+    offset: u64,
+    /// Shards submitted out of order, waiting for the gap to fill.
+    pending: BTreeMap<usize, Vec<Event>>,
+    /// High-water mark of `pending` (including the shard being merged).
+    peak_buffered: usize,
+}
+
+impl StreamingMerger {
+    /// Creates a merger forwarding to `sink`, starting at trial 0.
+    #[must_use]
+    pub fn new(sink: Arc<dyn Observer>) -> Self {
+        StreamingMerger {
+            sink,
+            pool: None,
+            window: None,
+            state: Mutex::new(MergeState {
+                next: 0,
+                offset: 0,
+                pending: BTreeMap::new(),
+                peak_buffered: 0,
+            }),
+            advanced: Condvar::new(),
+        }
+    }
+
+    /// Recycles drained shard allocations into `pool`.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<ShardPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Enforces a hard bound on buffered shards: a submission more than
+    /// `window` trials ahead of the merge frontier blocks until the
+    /// frontier advances. `window` is clamped to at least 1.
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = Some(window.max(1));
+        self
+    }
+
+    /// Submits trial `index`'s shard, forwarding it (and any unblocked
+    /// successors) if the merge frontier has reached it.
+    ///
+    /// Each index must be submitted exactly once; indices must cover
+    /// `0..n` by the time the campaign ends or later shards stay queued.
+    pub fn submit(&self, index: usize, events: Vec<Event>) {
+        let mut state = self.state.lock().expect("merger lock never poisoned");
+        if let Some(window) = self.window {
+            // Too far ahead: wait for the frontier. The submitter of the
+            // frontier trial itself never enters this branch
+            // (index == state.next fails the guard), so progress is
+            // guaranteed.
+            while index > state.next && index - state.next >= window {
+                state = self
+                    .advanced
+                    .wait(state)
+                    .expect("merger lock never poisoned");
+            }
+        }
+        state.pending.insert(index, events);
+        state.peak_buffered = state.peak_buffered.max(state.pending.len());
+        while let Some(mut shard) = {
+            let next = state.next;
+            state.pending.remove(&next)
+        } {
+            state.offset += forward_renumbered_drain(&mut shard, state.offset, self.sink.as_ref());
+            state.next += 1;
+            if let Some(pool) = &self.pool {
+                pool.check_in(shard);
+            }
+        }
+        drop(state);
+        self.advanced.notify_all();
+    }
+
+    /// High-water mark of simultaneously buffered shards (including the
+    /// one being merged at the time).
+    #[must_use]
+    pub fn peak_buffered(&self) -> usize {
+        self.state
+            .lock()
+            .expect("merger lock never poisoned")
+            .peak_buffered
+    }
+
+    /// Number of shards forwarded so far.
+    #[must_use]
+    pub fn forwarded(&self) -> usize {
+        self.state.lock().expect("merger lock never poisoned").next
+    }
 }
 
 #[cfg(test)]
@@ -204,5 +421,135 @@ mod tests {
     fn merge_of_nothing_is_empty() {
         assert!(merge_shards(Vec::new()).is_empty());
         assert!(merge_shards(vec![Vec::new(), Vec::new()]).is_empty());
+    }
+
+    /// Produces one recorded shard per trial, for feeding mergers.
+    fn recorded_shards(n: u64) -> Vec<Vec<Event>> {
+        (0..n)
+            .map(|i| {
+                let collector = Arc::new(CollectorObserver::new());
+                let mut handle = ObsHandle::new(collector.clone());
+                record_trial(&mut handle, i);
+                collector.take()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_merge_matches_batch_merge_for_out_of_order_submits() {
+        let shards = recorded_shards(6);
+        let expected = merge_shards(shards.clone());
+
+        let sink = Arc::new(CollectorObserver::new());
+        let merger = StreamingMerger::new(sink.clone());
+        // Worst-case order: last first.
+        for (i, shard) in shards.into_iter().enumerate().rev() {
+            merger.submit(i, shard);
+        }
+        assert_eq!(merger.forwarded(), 6);
+        assert_eq!(sink.take(), expected);
+    }
+
+    #[test]
+    fn streaming_merge_forwards_eagerly_and_tracks_peak() {
+        let shards = recorded_shards(4);
+        let sink = Arc::new(CollectorObserver::new());
+        let merger = StreamingMerger::new(sink.clone());
+        let mut iter = shards.into_iter().enumerate();
+
+        // In-order submission: each shard is forwarded immediately, so at
+        // most one shard is ever buffered.
+        let (i0, s0) = iter.next().unwrap();
+        merger.submit(i0, s0);
+        assert_eq!(merger.forwarded(), 1);
+        assert!(!sink.is_empty(), "first shard must stream out immediately");
+        for (i, s) in iter {
+            merger.submit(i, s);
+        }
+        assert_eq!(merger.peak_buffered(), 1);
+    }
+
+    #[test]
+    fn streaming_merge_recycles_buffers_through_the_pool() {
+        let shards = recorded_shards(3);
+        let pool = Arc::new(ShardPool::new());
+        let sink = Arc::new(CollectorObserver::new());
+        let merger = StreamingMerger::new(sink).with_pool(pool.clone());
+        for (i, shard) in shards.into_iter().enumerate() {
+            merger.submit(i, shard);
+        }
+        assert_eq!(pool.spares(), 3);
+        // Checked-out buffers come back empty but capacity-warm.
+        let buf = pool.check_out();
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 4);
+        assert_eq!(pool.spares(), 2);
+    }
+
+    #[test]
+    fn windowed_merge_blocks_runahead_submitters() {
+        use std::sync::mpsc;
+
+        let shards = recorded_shards(5);
+        let expected = merge_shards(shards.clone());
+        let sink = Arc::new(CollectorObserver::new());
+        let merger = Arc::new(StreamingMerger::new(sink.clone()).with_window(2));
+
+        // Submit trial 3 from another thread: 3 - next(0) >= 2, so it
+        // must block until trials 0..=1 land.
+        let (tx, rx) = mpsc::channel();
+        let runner = {
+            let merger = Arc::clone(&merger);
+            let shard = shards[3].clone();
+            std::thread::spawn(move || {
+                tx.send(()).unwrap();
+                merger.submit(3, shard);
+            })
+        };
+        rx.recv().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(
+            merger.forwarded(),
+            0,
+            "run-ahead shard must not be accepted before the window opens"
+        );
+
+        for i in [0usize, 1, 2, 4] {
+            merger.submit(i, shards[i].clone());
+        }
+        runner.join().unwrap();
+        assert_eq!(merger.forwarded(), 5);
+        assert!(merger.peak_buffered() <= 2);
+        assert_eq!(sink.take(), expected);
+    }
+
+    #[test]
+    fn worker_shard_is_reused_per_thread() {
+        let first = with_worker_shard(|shard| {
+            assert!(shard.is_empty());
+            Arc::as_ptr(shard)
+        });
+        let second = with_worker_shard(|shard| Arc::as_ptr(shard));
+        assert_eq!(first, second, "same thread must reuse its collector");
+
+        // Re-entrant use falls back to a distinct collector.
+        with_worker_shard(|outer| {
+            let outer_ptr = Arc::as_ptr(outer);
+            with_worker_shard(|inner| {
+                assert_ne!(outer_ptr, Arc::as_ptr(inner));
+            });
+        });
+    }
+
+    #[test]
+    fn install_buffer_recycles_capacity() {
+        let c = Arc::new(CollectorObserver::new());
+        let mut handle = ObsHandle::new(c.clone());
+        record_trial(&mut handle, 0);
+        let events = c.take();
+        let capacity = events.capacity();
+        c.install_buffer(events);
+        assert!(c.is_empty());
+        assert!(c.take().capacity() >= capacity.min(4));
     }
 }

@@ -334,8 +334,6 @@ macro_rules! proptest {
 
 #[cfg(test)]
 mod tests {
-    use crate::prelude::*;
-
     proptest! {
         #[test]
         fn ranges_stay_in_bounds(x in 5u64..10, y in -3i64..3, f in 0.25f64..0.75) {

@@ -13,20 +13,26 @@
 //!
 //! Campaign trials are independently seeded and therefore embarrassingly
 //! parallel: [`trial::Campaign::run_parallel`] and
-//! [`trial::Campaign::run_traced_parallel`] shard them across worker
-//! threads ([`parallel`]) while producing bit-for-bit the same summary —
-//! and, for traced runs, the same event stream — as the serial paths.
+//! [`trial::Campaign::run_traced_parallel`] shard them across the
+//! persistent worker pool ([`pool`]) in chunks ([`parallel`]) while
+//! producing bit-for-bit the same summary — and, for traced runs, the
+//! same event stream — as the serial paths.
 
 #![warn(missing_docs)]
 
 pub mod forensics;
 pub mod parallel;
+pub mod pool;
 pub mod stats;
 pub mod table;
 pub mod trial;
 
 pub use forensics::{split_trials, TrialTrace};
-pub use parallel::{available_jobs, parallel_indexed, parallel_tasks};
+pub use parallel::{
+    available_jobs, chunk_size, parallel_indexed, parallel_indexed_chunked, parallel_tasks,
+    parallel_tasks_lpt,
+};
+pub use pool::WorkerPool;
 pub use stats::{mean_ci, wilson_interval, Estimate, Proportion};
 pub use table::Table;
 pub use trial::{Campaign, TrialOutcome, TrialSummary};

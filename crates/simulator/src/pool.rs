@@ -1,0 +1,366 @@
+//! A persistent, lazily-spawned worker pool for parallel regions.
+//!
+//! The first generation of [`crate::parallel`] spawned a fresh
+//! `std::thread::scope` per campaign, which put thread creation and join
+//! inside every measurement: at sub-microsecond trial costs the spawn
+//! overhead dominated the work. [`WorkerPool`] amortizes that away —
+//! worker threads are spawned once, on first demand, and then reused
+//! across campaigns, experiment rows, and criterion iterations for the
+//! life of the process.
+//!
+//! The pool executes **regions**: a region is one shared `Fn() + Sync`
+//! closure that every participant (the calling thread plus up to
+//! `helpers` pool workers) runs exactly once. The closure typically
+//! claims chunks of work from a shared atomic cursor until none remain,
+//! so a region finishes when all participants have drained the cursor.
+//! [`WorkerPool::run_region`] blocks until every participant has
+//! returned, which is what makes it sound to hand the pool a closure
+//! borrowing the caller's stack.
+//!
+//! Panic handling: a panicking participant does not poison the pool.
+//! Worker panics are caught, the first payload is kept, and
+//! [`WorkerPool::run_region`] re-raises it on the calling thread after
+//! every participant has finished (a panic on the calling thread also
+//! waits for the helpers before unwinding, so borrowed data stays valid
+//! for as long as any worker can touch it).
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Upper bound on pool threads: beyond this, queued region tickets are
+/// drained by existing workers (and by the caller, which always helps
+/// while waiting), so correctness never depends on reaching the cap.
+const MAX_POOL_THREADS: usize = 256;
+
+/// How long a waiting caller sleeps between checks for nested-region
+/// work it could help with. Plain (non-nested) regions never hit this
+/// timeout: finishing helpers notify the region's condvar directly.
+const HELP_POLL: Duration = Duration::from_millis(1);
+
+/// One parallel region: the shared closure plus completion tracking.
+///
+/// `work` is the caller's closure with its lifetime erased to `'static`;
+/// the erasure is sound because [`WorkerPool::run_region`] does not
+/// return (or unwind) until `remaining` reaches zero, i.e. until no
+/// worker can touch the closure again.
+struct Region {
+    work: &'static (dyn Fn() + Sync),
+    state: Mutex<RegionState>,
+    finished: Condvar,
+}
+
+struct RegionState {
+    /// Helper invocations of `work` still outstanding.
+    remaining: usize,
+    /// First panic payload raised by a helper, if any.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Region {
+    /// Runs one participant's share: invoke the closure, record a panic,
+    /// and signal completion.
+    fn run_ticket(self: &Arc<Self>) {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| (self.work)()));
+        let mut state = self.state.lock().expect("region lock never poisoned");
+        if let Err(payload) = result {
+            state.panic.get_or_insert(payload);
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            self.finished.notify_all();
+        }
+    }
+}
+
+struct PoolInner {
+    /// Pending helper invocations, FIFO across regions.
+    queue: VecDeque<Arc<Region>>,
+    /// Worker threads spawned so far.
+    spawned: usize,
+}
+
+struct Shared {
+    inner: Mutex<PoolInner>,
+    work_ready: Condvar,
+}
+
+/// A persistent pool of worker threads executing parallel regions.
+///
+/// Most callers want the process-wide [`WorkerPool::global`] instance —
+/// that is what [`crate::parallel_indexed`] and friends use, so every
+/// campaign, experiment row and bench iteration shares one set of
+/// threads. Independent pools (e.g. for isolation in tests) can be
+/// created with [`WorkerPool::new`].
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkerPool {
+    /// Creates an empty pool; threads are spawned lazily on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        WorkerPool {
+            shared: Arc::new(Shared {
+                inner: Mutex::new(PoolInner {
+                    queue: VecDeque::new(),
+                    spawned: 0,
+                }),
+                work_ready: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The process-wide pool.
+    #[must_use]
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(WorkerPool::new)
+    }
+
+    /// Number of worker threads spawned so far (they persist once
+    /// spawned; this never decreases).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.shared
+            .inner
+            .lock()
+            .expect("pool lock never poisoned")
+            .spawned
+    }
+
+    /// Runs `work` on the calling thread and on up to `helpers` pool
+    /// workers concurrently, returning once **every** participant has
+    /// returned from the closure.
+    ///
+    /// The closure is shared, so it must coordinate its own work split —
+    /// typically by claiming chunk indices from an atomic cursor. With
+    /// `helpers == 0` this is exactly `work()` inline.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from any participant (after all participants
+    /// have finished). A panicking region does not poison the pool.
+    pub fn run_region(&self, helpers: usize, work: &(dyn Fn() + Sync)) {
+        if helpers == 0 {
+            work();
+            return;
+        }
+        // SAFETY: `region` holds this borrow only until `remaining`
+        // drops to zero, and we do not return or unwind past this frame
+        // before waiting for that (see below), so the closure outlives
+        // every use despite the erased lifetime.
+        let work_static: &'static (dyn Fn() + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(work) };
+        let region = Arc::new(Region {
+            work: work_static,
+            state: Mutex::new(RegionState {
+                remaining: helpers,
+                panic: None,
+            }),
+            finished: Condvar::new(),
+        });
+        {
+            let mut inner = self.shared.inner.lock().expect("pool lock never poisoned");
+            for _ in 0..helpers {
+                inner.queue.push_back(Arc::clone(&region));
+            }
+            // Lazily grow the pool toward the queued demand. Capped:
+            // queued tickets beyond the cap are drained by existing
+            // workers and by the waiting caller.
+            let want = inner.queue.len().min(MAX_POOL_THREADS);
+            while inner.spawned < want {
+                inner.spawned += 1;
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("redundancy-pool-{}", inner.spawned))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker thread spawn");
+            }
+            self.shared.work_ready.notify_all();
+        }
+        // Participate. A panic here must still wait for the helpers
+        // before unwinding (they may still hold the borrow).
+        let caller_result = panic::catch_unwind(AssertUnwindSafe(|| (region.work)()));
+        self.wait_region(&region);
+        if let Err(payload) = caller_result {
+            panic::resume_unwind(payload);
+        }
+        let helper_panic = region
+            .state
+            .lock()
+            .expect("region lock never poisoned")
+            .panic
+            .take();
+        if let Some(payload) = helper_panic {
+            panic::resume_unwind(payload);
+        }
+    }
+
+    /// Blocks until `region` has no outstanding helper invocations,
+    /// draining other queued tickets while waiting (so nested regions
+    /// submitted from inside a region cannot deadlock the pool).
+    fn wait_region(&self, region: &Arc<Region>) {
+        loop {
+            let ticket = self
+                .shared
+                .inner
+                .lock()
+                .expect("pool lock never poisoned")
+                .queue
+                .pop_front();
+            if let Some(other) = ticket {
+                other.run_ticket();
+                continue;
+            }
+            let state = region.state.lock().expect("region lock never poisoned");
+            if state.remaining == 0 {
+                return;
+            }
+            // Wake on region completion; the timeout re-checks the queue
+            // for nested-region tickets we could help with.
+            let (state, _) = region
+                .finished
+                .wait_timeout(state, HELP_POLL)
+                .expect("region lock never poisoned");
+            if state.remaining == 0 {
+                return;
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let region = {
+            let mut inner = shared.inner.lock().expect("pool lock never poisoned");
+            loop {
+                if let Some(region) = inner.queue.pop_front() {
+                    break region;
+                }
+                inner = shared
+                    .work_ready
+                    .wait(inner)
+                    .expect("pool lock never poisoned");
+            }
+        };
+        region.run_ticket();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn region_runs_on_caller_and_helpers() {
+        let pool = WorkerPool::new();
+        let invocations = AtomicUsize::new(0);
+        pool.run_region(3, &|| {
+            invocations.fetch_add(1, Ordering::Relaxed);
+        });
+        // Caller + 3 helpers, each exactly once.
+        assert_eq!(invocations.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn zero_helpers_runs_inline_without_threads() {
+        let pool = WorkerPool::new();
+        let invocations = AtomicUsize::new(0);
+        pool.run_region(0, &|| {
+            invocations.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(invocations.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.threads(), 0);
+    }
+
+    #[test]
+    fn threads_are_reused_across_regions() {
+        let pool = WorkerPool::new();
+        for _ in 0..10 {
+            let sum = AtomicUsize::new(0);
+            let cursor = AtomicUsize::new(0);
+            pool.run_region(2, &|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= 100 {
+                    break;
+                }
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 4950);
+        }
+        assert!(
+            pool.threads() <= 2,
+            "pool spawned {} threads for 2 helpers",
+            pool.threads()
+        );
+    }
+
+    #[test]
+    fn helper_panic_propagates_after_region_completes() {
+        let pool = WorkerPool::new();
+        let cursor = AtomicUsize::new(0);
+        let completed = AtomicUsize::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_region(2, &|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= 50 {
+                    break;
+                }
+                assert!(i != 25, "boom at 25");
+                completed.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .expect("panic payload is a string");
+        assert!(message.contains("boom at 25"), "got: {message}");
+        // The pool survives the panic and keeps working.
+        let ran = AtomicUsize::new(0);
+        pool.run_region(2, &|| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn nested_regions_complete() {
+        let pool = WorkerPool::global();
+        let outer_cursor = AtomicUsize::new(0);
+        let total = AtomicUsize::new(0);
+        pool.run_region(2, &|| loop {
+            let i = outer_cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= 4 {
+                break;
+            }
+            // Each outer item opens its own inner region.
+            let inner_cursor = AtomicUsize::new(0);
+            pool.run_region(2, &|| loop {
+                let j = inner_cursor.fetch_add(1, Ordering::Relaxed);
+                if j >= 10 {
+                    break;
+                }
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a: *const WorkerPool = WorkerPool::global();
+        let b: *const WorkerPool = WorkerPool::global();
+        assert_eq!(a, b);
+    }
+}

@@ -6,10 +6,10 @@ use std::sync::Arc;
 use redundancy_core::context::ExecContext;
 use redundancy_core::cost::Cost;
 use redundancy_core::obs::{
-    forward_renumbered, CollectorObserver, Event, ObsHandle, Observer, SpanKind, SpanStatus,
+    with_worker_shard, ObsHandle, Observer, ShardPool, SpanKind, SpanStatus, StreamingMerger,
 };
 
-use crate::parallel::parallel_indexed;
+use crate::parallel::{chunk_size, parallel_indexed, parallel_indexed_chunked};
 use crate::stats::{mean_ci, wilson_interval, Estimate, Proportion};
 
 /// The classification of one trial.
@@ -214,19 +214,24 @@ impl Campaign {
     ///
     /// Concurrent trials cannot share one span-id allocator without
     /// interleaving their streams in scheduling order, so every trial
-    /// records into its own [`CollectorObserver`] shard through a fresh
-    /// [`ObsHandle`]. When all trials have finished, the shards are
-    /// forwarded to `observer` in trial order with their span ids
-    /// renumbered into one campaign-wide sequence
-    /// ([`forward_renumbered`]) — exactly the ids and record order the
+    /// records into its worker's pooled
+    /// [`CollectorObserver`](redundancy_core::obs::CollectorObserver)
+    /// shard through a fresh [`ObsHandle`]. As soon as every earlier
+    /// trial has finished, a trial's shard is forwarded to `observer`
+    /// with its span ids renumbered into one campaign-wide sequence
+    /// ([`StreamingMerger`]) — exactly the ids and record order the
     /// serial shared allocator produces. The stream `observer` sees is
     /// therefore bit-for-bit identical to the serial one, and
     /// [`crate::forensics::split_trials`] applies unchanged.
     ///
-    /// Trade-off: the whole campaign's events are buffered in memory
-    /// before forwarding, so a bounded `observer` (e.g. a ring buffer)
-    /// bounds retention but not peak usage. For very long traced
-    /// campaigns, shard the campaign itself and merge summaries.
+    /// Unlike the first generation of this method (which buffered every
+    /// shard until the campaign ended), peak buffering is bounded by a
+    /// small window of in-flight trials — workers that run too far ahead
+    /// of the merge frontier wait for it — so a bounded `observer` (e.g.
+    /// a ring buffer) bounds peak memory too, independent of campaign
+    /// length. Drained shard allocations are recycled through a
+    /// [`ShardPool`], making steady-state trace collection
+    /// allocation-free.
     pub fn run_traced_parallel<F>(
         &self,
         campaign_seed: u64,
@@ -237,42 +242,93 @@ impl Campaign {
     where
         F: Fn(&mut ExecContext, u64, usize) -> TrialOutcome + Sync,
     {
+        self.run_traced_parallel_stats(campaign_seed, jobs, observer, trial)
+            .0
+    }
+
+    /// Like [`run_traced_parallel`](Self::run_traced_parallel), but also
+    /// returns the merge statistics (buffering window and high-water
+    /// mark), so callers — and the memory-bound tests — can observe that
+    /// streaming actually bounded peak shard buffering.
+    pub fn run_traced_parallel_stats<F>(
+        &self,
+        campaign_seed: u64,
+        jobs: usize,
+        observer: Arc<dyn Observer>,
+        trial: F,
+    ) -> (TrialSummary, TracedMergeStats)
+    where
+        F: Fn(&mut ExecContext, u64, usize) -> TrialOutcome + Sync,
+    {
         if !observer.enabled() {
             // A disabled sink records nothing either way; skip the
             // per-trial shards entirely. Contexts are seeded identically,
             // and tracing never perturbs the random stream, so outcomes
             // are unchanged.
-            return self.run_parallel(campaign_seed, jobs, |seed, i| {
+            let summary = self.run_parallel(campaign_seed, jobs, |seed, i| {
                 trial(&mut ExecContext::new(seed), seed, i)
             });
-        }
-        let results: Vec<(TrialOutcome, Vec<Event>)> = parallel_indexed(jobs, self.trials, |i| {
-            let seed = Self::trial_seed(campaign_seed, i);
-            let shard = Arc::new(CollectorObserver::new());
-            let handle = ObsHandle::new(shard.clone() as Arc<dyn Observer>);
-            let mut ctx = ExecContext::new(seed).with_obs_handle(handle);
-            let span = ctx.obs_begin(|| SpanKind::Trial {
-                index: i as u64,
-                seed,
-            });
-            let outcome = trial(&mut ctx, seed, i);
-            ctx.obs_end(
-                span,
-                SpanStatus::Trial {
-                    disposition: outcome.disposition(),
+            return (
+                summary,
+                TracedMergeStats {
+                    window: 0,
+                    peak_buffered: 0,
                 },
-                outcome.cost().snapshot(),
             );
-            (outcome, shard.take())
-        });
-        let mut offset = 0;
-        let mut outcomes = Vec::with_capacity(self.trials);
-        for (outcome, shard) in results {
-            offset += forward_renumbered(shard, offset, observer.as_ref());
-            outcomes.push(outcome);
         }
-        summarize(&outcomes)
+        let jobs = jobs.clamp(1, self.trials);
+        let chunk = chunk_size(self.trials, jobs);
+        // Big enough that a full complement of workers each holding one
+        // in-flight chunk never stalls; small enough that peak buffering
+        // stays O(jobs · chunk), not O(trials). Blocking on the window is
+        // deadlock-free: chunks are claimed in ascending index order, so
+        // the worker that owns the merge frontier's trial is never the
+        // one waiting (see [`StreamingMerger::with_window`]).
+        let window = (2 * jobs * chunk).max(16).min(self.trials.max(1));
+        let shard_pool = Arc::new(ShardPool::new());
+        let merger = StreamingMerger::new(observer)
+            .with_pool(Arc::clone(&shard_pool))
+            .with_window(window);
+        let outcomes = parallel_indexed_chunked(jobs, self.trials, chunk, |i| {
+            let seed = Self::trial_seed(campaign_seed, i);
+            let (outcome, events) = with_worker_shard(|shard| {
+                shard.install_buffer(shard_pool.check_out());
+                let handle = ObsHandle::new(Arc::clone(shard) as Arc<dyn Observer>);
+                let mut ctx = ExecContext::new(seed).with_obs_handle(handle);
+                let span = ctx.obs_begin(|| SpanKind::Trial {
+                    index: i as u64,
+                    seed,
+                });
+                let outcome = trial(&mut ctx, seed, i);
+                ctx.obs_end(
+                    span,
+                    SpanStatus::Trial {
+                        disposition: outcome.disposition(),
+                    },
+                    outcome.cost().snapshot(),
+                );
+                (outcome, shard.take())
+            });
+            merger.submit(i, events);
+            outcome
+        });
+        let stats = TracedMergeStats {
+            window,
+            peak_buffered: merger.peak_buffered(),
+        };
+        (summarize(&outcomes), stats)
     }
+}
+
+/// How the streaming merge of a traced parallel campaign behaved; see
+/// [`Campaign::run_traced_parallel_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracedMergeStats {
+    /// The buffering window the merge enforced (0 when tracing was
+    /// disabled and no merge ran).
+    pub window: usize,
+    /// High-water mark of simultaneously buffered trial shards.
+    pub peak_buffered: usize,
 }
 
 /// Summarizes a slice of trial outcomes.
@@ -421,6 +477,73 @@ mod tests {
         let serial = campaign.run_traced(7, Arc::new(NoopObserver), trial);
         let parallel = campaign.run_traced_parallel(7, 4, Arc::new(NoopObserver), trial);
         assert_eq!(serial, parallel);
+    }
+
+    /// A traced trial that opens an inner span and consumes randomness,
+    /// so both the event stream and the outcomes depend on scheduling
+    /// being handled correctly.
+    fn traced_trial(ctx: &mut ExecContext, _seed: u64, i: usize) -> TrialOutcome {
+        let span = ctx.obs_begin(|| SpanKind::Scope { name: "work" });
+        let draw = ctx.rng().next_u64();
+        ctx.obs_end(span, SpanStatus::Ok, Cost::ZERO.snapshot());
+        synthetic_trial(draw, i)
+    }
+
+    #[test]
+    fn traced_parallel_stream_is_bit_identical_to_serial() {
+        use redundancy_core::obs::CollectorObserver;
+        let campaign = Campaign::new(97);
+        let serial_sink = Arc::new(CollectorObserver::new());
+        let serial = campaign.run_traced(11, serial_sink.clone(), traced_trial);
+        let serial_events = serial_sink.take();
+        assert!(!serial_events.is_empty());
+        for jobs in [1, 2, 8] {
+            let sink = Arc::new(CollectorObserver::new());
+            let parallel = campaign.run_traced_parallel(11, jobs, sink.clone(), traced_trial);
+            assert_eq!(serial, parallel, "summary for jobs={jobs}");
+            assert_eq!(serial_events, sink.take(), "stream for jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn streaming_merge_bounds_peak_buffered_shards() {
+        use redundancy_core::obs::CollectorObserver;
+        let campaign = Campaign::new(500);
+        let sink = Arc::new(CollectorObserver::new());
+        let (summary, stats) =
+            campaign.run_traced_parallel_stats(13, 8, sink.clone(), traced_trial);
+        assert_eq!(summary.reliability.trials, 500);
+        assert!(stats.window > 0);
+        assert!(
+            stats.window < campaign.trials(),
+            "window {} must be a real bound below n={}",
+            stats.window,
+            campaign.trials()
+        );
+        assert!(
+            stats.peak_buffered <= stats.window,
+            "peak {} exceeded window {}",
+            stats.peak_buffered,
+            stats.window
+        );
+        // And the stream still matches the serial recording.
+        let serial_sink = Arc::new(CollectorObserver::new());
+        let _ = campaign.run_traced(13, serial_sink.clone(), traced_trial);
+        assert_eq!(serial_sink.take(), sink.take());
+    }
+
+    #[test]
+    fn traced_parallel_splits_into_per_trial_forensics() {
+        use crate::forensics::split_trials;
+        use redundancy_core::obs::CollectorObserver;
+        let campaign = Campaign::new(40);
+        let sink = Arc::new(CollectorObserver::new());
+        let _ = campaign.run_traced_parallel(21, 4, sink.clone(), traced_trial);
+        let trials = split_trials(&sink.take());
+        assert_eq!(trials.len(), 40);
+        for (i, t) in trials.iter().enumerate() {
+            assert_eq!(t.index, i as u64);
+        }
     }
 
     #[test]
