@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy test build bench bench-campaign bench-smoke
+.PHONY: verify fmt clippy test build bench bench-campaign bench-smoke examples
 
 verify: fmt clippy test
 
@@ -33,3 +33,14 @@ bench-campaign:
 # determinism guards green — not a measurement.
 bench-smoke:
 	CRITERION_SAMPLES=2 CRITERION_MEASURE_MS=20 CRITERION_WARMUP_MS=5 $(CARGO) bench --workspace
+
+# Build and run every example end to end. A CI smoke test: the examples
+# are the documented entry points, so they must keep compiling *and*
+# finishing cleanly.
+examples:
+	$(CARGO) build --examples
+	$(CARGO) run -q --example quickstart
+	$(CARGO) run -q --example resilient_booking
+	$(CARGO) run -q --example robust_store
+	$(CARGO) run -q --example self_healing_server
+	$(CARGO) run -q --example automatic_repair

@@ -54,4 +54,7 @@ fn main() {
     print!("{}", exp::robust_data::run(trials, seed));
     println!("{rule}\nE17 — checkpoint-interval U-curve\n{rule}");
     print!("{}", exp::checkpoint_interval::run(60, seed));
+    println!("{rule}\nE18 — eager adjudication early exit\n{rule}");
+    print!("{}", exp::early_exit::run_jobs(trials, seed, jobs));
+    print!("{}", exp::early_exit::run_quorum_jobs(trials, seed, jobs));
 }

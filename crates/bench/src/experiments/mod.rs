@@ -5,6 +5,7 @@ pub mod checkpoint_interval;
 pub mod correlated;
 pub mod cost_efficacy;
 pub mod data_diversity;
+pub mod early_exit;
 pub mod fig1_patterns;
 pub mod gp_fix;
 pub mod microreboot;

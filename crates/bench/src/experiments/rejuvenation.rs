@@ -147,11 +147,7 @@ mod tests {
 
     #[test]
     fn tables_are_identical_for_any_job_count() {
-        let rates = run_failure_rates_jobs(300, SEED, 1).to_string();
-        let completion = run_completion_jobs(5, SEED, 1).to_string();
-        for jobs in [2, 8] {
-            assert_eq!(rates, run_failure_rates_jobs(300, SEED, jobs).to_string());
-            assert_eq!(completion, run_completion_jobs(5, SEED, jobs).to_string());
-        }
+        crate::assert_jobs_invariant!(|jobs| run_failure_rates_jobs(300, SEED, jobs));
+        crate::assert_jobs_invariant!(|jobs| run_completion_jobs(5, SEED, jobs));
     }
 }

@@ -72,6 +72,36 @@ pub fn trace_enabled() -> bool {
     std::env::args().any(|arg| arg == "--trace")
 }
 
+/// Asserts that an experiment is **jobs-invariant**: the rendered table
+/// must be byte-identical whether its campaign runs serially or sharded
+/// across worker threads. Pass a closure mapping a job count to anything
+/// `Display` (typically `|jobs| run_jobs(trials, SEED, jobs)`); the
+/// macro renders it at `jobs = 1` and requires the same bytes at
+/// `jobs = 2` and `jobs = 8`.
+///
+/// Every experiment with a `run_jobs` entry point carries this test —
+/// parallelism must only ever trade wall-clock time for cores, never
+/// change results.
+///
+/// # Examples
+///
+/// ```
+/// redundancy_bench::assert_jobs_invariant!(|jobs| {
+///     format!("a table that ignores its {} workers", usize::from(jobs > 0))
+/// });
+/// ```
+#[macro_export]
+macro_rules! assert_jobs_invariant {
+    ($make:expr) => {{
+        #[allow(unused_mut)]
+        let mut make = $make;
+        let serial = make(1usize).to_string();
+        for jobs in [2usize, 8] {
+            assert_eq!(serial, make(jobs).to_string(), "jobs={jobs}");
+        }
+    }};
+}
+
 /// Formats a rate as a fixed-width string.
 #[must_use]
 pub fn fmt_rate(rate: f64) -> String {

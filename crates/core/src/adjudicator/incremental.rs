@@ -1,0 +1,490 @@
+//! Streaming adjudication: verdicts that fix before every variant ran.
+//!
+//! The paper's Figure-1 patterns differ precisely in *when* the
+//! adjudicator can commit: parallel selection commits on the first
+//! validated component, while classic parallel evaluation waits for every
+//! alternative. But most voters are decided long before the last vote is
+//! in — a majority of 5 is fixed after 3 agreements — and every variant
+//! executed past that point is pure waste. This module gives adjudicators
+//! a streaming interface so pattern engines can stop early:
+//!
+//! - [`IncrementalAdjudicator`] consumes one [`VariantOutcome`] at a time
+//!   and reports a [`Decision`]: the verdict is fixed
+//!   ([`Decision::Decided`]), acceptance has become mathematically
+//!   impossible ([`Decision::Unreachable`]), or more outcomes are needed
+//!   ([`Decision::Undecided`]).
+//! - Every batch [`Adjudicator`] streams automatically through the
+//!   blanket [`Adjudicator::begin_incremental`] adapter (it simply never
+//!   decides early); the voting family overrides it with native
+//!   implementations that do.
+//!
+//! A verdict from an early decision carries *partial* support/dissent
+//! counts — only the outcomes actually fed — which is exactly the honest
+//! number: the skipped variants voted for nobody.
+
+use crate::adjudicator::Adjudicator;
+use crate::outcome::{VariantOutcome, Verdict};
+
+/// What a streaming adjudicator knows after consuming one more outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision<O> {
+    /// The verdict is mathematically fixed: no combination of the
+    /// remaining outcomes can change it. Engines may skip or cancel every
+    /// variant that has not finished.
+    Decided(Verdict<O>),
+    /// The verdict still depends on outcomes not yet fed.
+    Undecided,
+    /// No acceptance is reachable any more (the final verdict will be a
+    /// rejection, though its precise reason may depend on the remaining
+    /// outcomes). Engines may stop and draw the rejection from the
+    /// outcomes fed so far.
+    Unreachable,
+}
+
+impl<O> Decision<O> {
+    /// Whether this decision ends the stream (either variant of early
+    /// exit).
+    #[must_use]
+    pub fn is_final(&self) -> bool {
+        !matches!(self, Decision::Undecided)
+    }
+}
+
+/// An adjudicator consuming variant outcomes one at a time, in variant
+/// order. Obtain one from [`Adjudicator::begin_incremental`].
+pub trait IncrementalAdjudicator<O> {
+    /// Feeds the outcome of the next variant.
+    ///
+    /// Once a final decision ([`Decision::Decided`] or
+    /// [`Decision::Unreachable`]) is returned, the stream is over and
+    /// `feed` must not be called again.
+    fn feed(&mut self, outcome: &VariantOutcome<O>) -> Decision<O>;
+
+    /// Draws the final verdict from the full slice of executed outcomes.
+    /// Called when the stream ended without a final decision (and, after
+    /// [`Decision::Unreachable`], with the prefix fed so far); must agree
+    /// with the batch [`Adjudicator::adjudicate`] on the same slice.
+    fn finish(&mut self, outcomes: &[VariantOutcome<O>]) -> Verdict<O>;
+}
+
+/// The blanket adapter wrapping any batch [`Adjudicator`]: it never
+/// decides early and delegates the final verdict to the batch
+/// `adjudicate`. This is what keeps every existing adjudicator —
+/// including median, tolerance and trimmed-mean voters, whose verdicts
+/// genuinely depend on every outcome — correct under streaming engines.
+pub struct BatchIncremental<'a, A: ?Sized> {
+    adjudicator: &'a A,
+}
+
+impl<'a, A: ?Sized> BatchIncremental<'a, A> {
+    /// Wraps a batch adjudicator.
+    pub fn new(adjudicator: &'a A) -> Self {
+        Self { adjudicator }
+    }
+}
+
+impl<O, A> IncrementalAdjudicator<O> for BatchIncremental<'_, A>
+where
+    A: Adjudicator<O> + ?Sized,
+{
+    fn feed(&mut self, _outcome: &VariantOutcome<O>) -> Decision<O> {
+        Decision::Undecided
+    }
+
+    fn finish(&mut self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
+        self.adjudicator.adjudicate(outcomes)
+    }
+}
+
+/// Native streaming state for the threshold voting family (majority,
+/// quorum, plurality): tracks agreement classes as outcomes arrive and
+/// decides as soon as the leading class is unassailable, or acceptance is
+/// unreachable.
+pub struct StreamingVote<'a, O> {
+    adjudicator: &'a dyn Adjudicator<O>,
+    threshold: usize,
+    total: usize,
+    fed: usize,
+    /// `(representative output, count)` per agreement class, in first
+    /// appearance order.
+    classes: Vec<(O, usize)>,
+}
+
+impl<'a, O> StreamingVote<'a, O> {
+    /// Creates streaming state for a voter requiring `threshold` agreeing
+    /// outputs out of `total` variants. `adjudicator` supplies the batch
+    /// semantics for [`finish`](IncrementalAdjudicator::finish).
+    pub fn new(adjudicator: &'a dyn Adjudicator<O>, threshold: usize, total: usize) -> Self {
+        Self {
+            adjudicator,
+            threshold,
+            total,
+            fed: 0,
+            classes: Vec::new(),
+        }
+    }
+}
+
+impl<O: Clone + PartialEq> IncrementalAdjudicator<O> for StreamingVote<'_, O> {
+    fn feed(&mut self, outcome: &VariantOutcome<O>) -> Decision<O> {
+        self.fed += 1;
+        if let Ok(output) = &outcome.result {
+            match self.classes.iter_mut().find(|(rep, _)| rep == output) {
+                Some((_, count)) => *count += 1,
+                None => self.classes.push((output.clone(), 1)),
+            }
+        }
+        let remaining = self.total.saturating_sub(self.fed);
+        let Some(best_idx) = (0..self.classes.len()).max_by_key(|&i| self.classes[i].1) else {
+            // No successful outcome yet: acceptance needs at least
+            // `threshold` future agreements.
+            return if remaining < self.threshold {
+                Decision::Unreachable
+            } else {
+                Decision::Undecided
+            };
+        };
+        let best = self.classes[best_idx].1;
+        // The strongest any class (existing or brand new) can finish at.
+        if best + remaining < self.threshold {
+            return Decision::Unreachable;
+        }
+        let second = self
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != best_idx)
+            .map(|(_, &(_, count))| count)
+            .max()
+            .unwrap_or(0);
+        // Decided only when the leader meets the threshold AND cannot be
+        // caught even if every remaining outcome joins the runner-up (or
+        // forms a new class). Strict lead also rules out ties, so the
+        // same condition is sound for tie-rejecting plurality votes.
+        if best >= self.threshold && best > second + remaining {
+            let output = self.classes[best_idx].0.clone();
+            return Decision::Decided(Verdict::accepted(output, best, self.fed - best));
+        }
+        Decision::Undecided
+    }
+
+    fn finish(&mut self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
+        self.adjudicator.adjudicate(outcomes)
+    }
+}
+
+/// Native streaming state for unanimity voting: the first failure or
+/// divergence decides (negatively) on the spot, and agreement of all
+/// `total` outcomes decides positively at the last feed.
+pub struct StreamingUnanimity<'a, O> {
+    adjudicator: &'a dyn Adjudicator<O>,
+    total: usize,
+    fed: usize,
+    first: Option<O>,
+}
+
+impl<'a, O> StreamingUnanimity<'a, O> {
+    /// Creates streaming state over `total` variants.
+    pub fn new(adjudicator: &'a dyn Adjudicator<O>, total: usize) -> Self {
+        Self {
+            adjudicator,
+            total,
+            fed: 0,
+            first: None,
+        }
+    }
+}
+
+impl<O: Clone + PartialEq> IncrementalAdjudicator<O> for StreamingUnanimity<'_, O> {
+    fn feed(&mut self, outcome: &VariantOutcome<O>) -> Decision<O> {
+        use crate::outcome::RejectionReason;
+        self.fed += 1;
+        let Ok(output) = &outcome.result else {
+            // Batch unanimity rejects `AllFailed` on any failure.
+            return Decision::Decided(Verdict::rejected(RejectionReason::AllFailed));
+        };
+        match &self.first {
+            Some(first) if first != output => {
+                return Decision::Decided(Verdict::rejected(RejectionReason::Disagreement));
+            }
+            Some(_) => {}
+            None => self.first = Some(output.clone()),
+        }
+        if self.fed == self.total {
+            let first = self.first.clone().expect("at least one success fed");
+            Decision::Decided(Verdict::accepted(first, self.total, 0))
+        } else {
+            Decision::Undecided
+        }
+    }
+
+    fn finish(&mut self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
+        self.adjudicator.adjudicate(outcomes)
+    }
+}
+
+/// Native streaming state for [`FirstSuccess`](crate::adjudicator::FirstSuccess):
+/// the first successful outcome decides.
+pub struct StreamingFirstSuccess<'a, O> {
+    adjudicator: &'a dyn Adjudicator<O>,
+    fed: usize,
+}
+
+impl<'a, O> StreamingFirstSuccess<'a, O> {
+    /// Creates streaming state.
+    pub fn new(adjudicator: &'a dyn Adjudicator<O>) -> Self {
+        Self {
+            adjudicator,
+            fed: 0,
+        }
+    }
+}
+
+impl<O: Clone> IncrementalAdjudicator<O> for StreamingFirstSuccess<'_, O> {
+    fn feed(&mut self, outcome: &VariantOutcome<O>) -> Decision<O> {
+        self.fed += 1;
+        match &outcome.result {
+            Ok(output) => {
+                // Identical to the batch verdict: support 1, dissent = the
+                // failures that came before.
+                Decision::Decided(Verdict::accepted(output.clone(), 1, self.fed - 1))
+            }
+            Err(_) => Decision::Undecided,
+        }
+    }
+
+    fn finish(&mut self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
+        self.adjudicator.adjudicate(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjudicator::voting::{
+        MajorityVoter, MedianVoter, PluralityVoter, QuorumVoter, UnanimityVoter,
+    };
+    use crate::adjudicator::FirstSuccess;
+    use crate::outcome::{RejectionReason, VariantFailure};
+
+    fn ok(v: i64) -> VariantOutcome<i64> {
+        VariantOutcome::ok("v", v)
+    }
+
+    fn fail() -> VariantOutcome<i64> {
+        VariantOutcome::failed("v", VariantFailure::Timeout)
+    }
+
+    #[test]
+    fn majority_decides_after_unassailable_lead() {
+        let adj = MajorityVoter::new();
+        let mut inc = adj.begin_incremental(5);
+        assert_eq!(inc.feed(&ok(7)), Decision::Undecided);
+        assert_eq!(inc.feed(&ok(7)), Decision::Undecided);
+        // 3 of 5 agree: majority fixed, two variants never need to run.
+        assert_eq!(
+            inc.feed(&ok(7)),
+            Decision::Decided(Verdict::accepted(7, 3, 0))
+        );
+    }
+
+    #[test]
+    fn majority_unreachable_after_too_many_failures() {
+        let adj = MajorityVoter::new();
+        let mut inc = adj.begin_incremental(3);
+        assert_eq!(inc.feed(&fail()), Decision::Undecided);
+        // Best possible is 1 + 1 = 2 but threshold stays 2... second
+        // failure leaves one remaining vs threshold 2: unreachable.
+        assert_eq!(inc.feed(&fail()), Decision::Unreachable);
+    }
+
+    #[test]
+    fn quorum_waits_for_strict_lead() {
+        // Quorum 2 of 5: two agreements are NOT decisive — another class
+        // could still reach 3 and outvote the current leader under batch
+        // max-class semantics.
+        let adj = QuorumVoter::new(2);
+        let mut inc = adj.begin_incremental(5);
+        assert_eq!(inc.feed(&ok(1)), Decision::Undecided);
+        // 2 of 5 meet the quorum, but a rival class could still reach 3
+        // and outvote the leader under batch max-class semantics.
+        assert_eq!(inc.feed(&ok(1)), Decision::Undecided);
+        // 3 of 5: the two remaining outcomes cannot catch up.
+        assert_eq!(
+            inc.feed(&ok(1)),
+            Decision::Decided(Verdict::accepted(1, 3, 0))
+        );
+    }
+
+    #[test]
+    fn plurality_decides_on_strict_lead() {
+        let adj = PluralityVoter::new();
+        let mut inc = adj.begin_incremental(4);
+        assert_eq!(inc.feed(&ok(9)), Decision::Undecided);
+        assert_eq!(inc.feed(&ok(9)), Decision::Undecided);
+        // Leader at 3, one remaining: nobody ties or passes it.
+        assert_eq!(
+            inc.feed(&ok(9)),
+            Decision::Decided(Verdict::accepted(9, 3, 0))
+        );
+    }
+
+    #[test]
+    fn unanimity_rejects_on_first_divergence() {
+        let adj = UnanimityVoter::new();
+        let mut inc = adj.begin_incremental(4);
+        assert_eq!(inc.feed(&ok(1)), Decision::Undecided);
+        assert_eq!(
+            inc.feed(&ok(2)),
+            Decision::Decided(Verdict::rejected(RejectionReason::Disagreement))
+        );
+    }
+
+    #[test]
+    fn unanimity_rejects_on_first_failure() {
+        let adj = UnanimityVoter::new();
+        let mut inc = adj.begin_incremental(4);
+        assert_eq!(
+            inc.feed(&fail()),
+            Decision::Decided(Verdict::rejected(RejectionReason::AllFailed))
+        );
+    }
+
+    #[test]
+    fn unanimity_accepts_only_at_the_end() {
+        let adj = UnanimityVoter::new();
+        let mut inc = adj.begin_incremental(2);
+        assert_eq!(inc.feed(&ok(5)), Decision::Undecided);
+        assert_eq!(
+            inc.feed(&ok(5)),
+            Decision::Decided(Verdict::accepted(5, 2, 0))
+        );
+    }
+
+    #[test]
+    fn first_success_decides_on_first_ok() {
+        let adj = FirstSuccess::new();
+        let mut inc = adj.begin_incremental(3);
+        assert_eq!(inc.feed(&fail()), Decision::Undecided);
+        assert_eq!(
+            inc.feed(&ok(8)),
+            Decision::Decided(Verdict::accepted(8, 1, 1))
+        );
+    }
+
+    #[test]
+    fn batch_adapter_never_decides_early() {
+        let adj = MedianVoter::new();
+        let mut inc = adj.begin_incremental(3);
+        let outcomes = vec![ok(1), ok(2), ok(3)];
+        for o in &outcomes {
+            assert_eq!(inc.feed(o), Decision::Undecided);
+        }
+        assert_eq!(inc.finish(&outcomes), adj.adjudicate(&outcomes));
+    }
+
+    #[test]
+    fn boxed_adjudicator_forwards_native_incremental() {
+        // A boxed majority voter must keep its native streaming override,
+        // not fall back to the batch adapter.
+        let adj: Box<dyn Adjudicator<i64>> = Box::new(MajorityVoter::new());
+        let mut inc = adj.begin_incremental(3);
+        assert_eq!(inc.feed(&ok(4)), Decision::Undecided);
+        assert!(inc.feed(&ok(4)).is_final());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// An arbitrary outcome stream: `Some(v)` succeeds with output
+        /// `v`, `None` fails detectably. Values are drawn from a small
+        /// range so agreement classes actually form.
+        fn outcomes_strategy() -> impl Strategy<Value = Vec<VariantOutcome<i64>>> {
+            proptest::collection::vec(proptest::option::of(0i64..4), 0..10).prop_map(|seq| {
+                seq.into_iter()
+                    .enumerate()
+                    .map(|(i, v)| match v {
+                        Some(v) => VariantOutcome::ok(format!("v{i}"), v),
+                        None => VariantOutcome::failed(format!("v{i}"), VariantFailure::Timeout),
+                    })
+                    .collect()
+            })
+        }
+
+        /// Streams `outcomes` through `adj.begin_incremental` and checks
+        /// the streaming contract against the batch verdict:
+        /// - a `Decided` mid-stream must agree with the batch verdict on
+        ///   acceptance, and on the output when accepted;
+        /// - `Unreachable` mid-stream implies the batch rejects;
+        /// - an undecided full stream must `finish` to exactly the batch
+        ///   verdict.
+        fn check_incremental_matches_batch(
+            adj: &dyn Adjudicator<i64>,
+            outcomes: &[VariantOutcome<i64>],
+        ) -> Result<(), TestCaseError> {
+            let batch = adj.adjudicate(outcomes);
+            let mut inc = adj.begin_incremental(outcomes.len());
+            for outcome in outcomes {
+                match inc.feed(outcome) {
+                    Decision::Undecided => {}
+                    Decision::Decided(verdict) => {
+                        prop_assert_eq!(
+                            verdict.is_accepted(),
+                            batch.is_accepted(),
+                            "early verdict disposition diverged from batch"
+                        );
+                        if verdict.is_accepted() {
+                            prop_assert_eq!(verdict.output(), batch.output());
+                        }
+                        return Ok(());
+                    }
+                    Decision::Unreachable => {
+                        prop_assert!(
+                            !batch.is_accepted(),
+                            "unreachable claimed but batch accepted"
+                        );
+                        return Ok(());
+                    }
+                }
+            }
+            prop_assert_eq!(inc.finish(outcomes), batch);
+            Ok(())
+        }
+
+        proptest! {
+            #[test]
+            fn majority_incremental_matches_batch(outcomes in outcomes_strategy()) {
+                check_incremental_matches_batch(&MajorityVoter::new(), &outcomes)?;
+            }
+
+            #[test]
+            fn plurality_incremental_matches_batch(outcomes in outcomes_strategy()) {
+                check_incremental_matches_batch(&PluralityVoter::new(), &outcomes)?;
+            }
+
+            #[test]
+            fn quorum_incremental_matches_batch(
+                outcomes in outcomes_strategy(),
+                quorum in 1usize..4,
+            ) {
+                check_incremental_matches_batch(&QuorumVoter::new(quorum), &outcomes)?;
+            }
+
+            #[test]
+            fn unanimity_incremental_matches_batch(outcomes in outcomes_strategy()) {
+                check_incremental_matches_batch(&UnanimityVoter::new(), &outcomes)?;
+            }
+
+            #[test]
+            fn first_success_incremental_matches_batch(outcomes in outcomes_strategy()) {
+                check_incremental_matches_batch(&FirstSuccess::new(), &outcomes)?;
+            }
+
+            #[test]
+            fn batch_adapter_matches_batch_for_median(outcomes in outcomes_strategy()) {
+                check_incremental_matches_batch(&MedianVoter::new(), &outcomes)?;
+            }
+        }
+    }
+}

@@ -9,15 +9,21 @@
 //! - [`voting`] provides the implicit family (majority, plurality, quorum,
 //!   unanimity, median, numeric tolerance voting);
 //! - [`acceptance`] provides the explicit family ([`AcceptanceTest`] and
-//!   combinators).
+//!   combinators);
+//! - [`incremental`] provides the streaming interface
+//!   ([`IncrementalAdjudicator`]) that lets pattern engines fix a verdict
+//!   before every variant has run.
 //!
 //! [`AcceptanceTest`]: acceptance::AcceptanceTest
 
 pub mod acceptance;
+pub mod incremental;
 pub mod voting;
 
 use crate::outcome::{RejectionReason, VariantOutcome, Verdict};
 use crate::taxonomy::Adjudication;
+
+pub use incremental::{BatchIncremental, Decision, IncrementalAdjudicator};
 
 /// Decides a single output from the outcomes of several variants.
 ///
@@ -32,6 +38,21 @@ pub trait Adjudicator<O>: Send + Sync {
 
     /// Draws a verdict from the given outcomes.
     fn adjudicate(&self, outcomes: &[VariantOutcome<O>]) -> Verdict<O>;
+
+    /// Starts a streaming adjudication over `total` variants.
+    ///
+    /// The default wraps the batch [`adjudicate`](Self::adjudicate) in a
+    /// [`BatchIncremental`] adapter that never decides early, so every
+    /// adjudicator streams correctly out of the box. Adjudicators whose
+    /// verdict can fix before all outcomes are in (the voting family,
+    /// [`FirstSuccess`]) override this with native state machines.
+    fn begin_incremental<'a>(&'a self, total: usize) -> Box<dyn IncrementalAdjudicator<O> + 'a>
+    where
+        O: 'a,
+    {
+        let _ = total;
+        Box::new(BatchIncremental::new(self))
+    }
 }
 
 impl<O> Adjudicator<O> for Box<dyn Adjudicator<O>> {
@@ -45,6 +66,13 @@ impl<O> Adjudicator<O> for Box<dyn Adjudicator<O>> {
 
     fn adjudicate(&self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
         self.as_ref().adjudicate(outcomes)
+    }
+
+    fn begin_incremental<'a>(&'a self, total: usize) -> Box<dyn IncrementalAdjudicator<O> + 'a>
+    where
+        O: 'a,
+    {
+        self.as_ref().begin_incremental(total)
     }
 }
 
@@ -97,6 +125,13 @@ impl<O: Clone> Adjudicator<O> for FirstSuccess {
             }
         }
         Verdict::rejected(RejectionReason::AllFailed)
+    }
+
+    fn begin_incremental<'a>(&'a self, _total: usize) -> Box<dyn IncrementalAdjudicator<O> + 'a>
+    where
+        O: 'a,
+    {
+        Box::new(incremental::StreamingFirstSuccess::new(self))
     }
 }
 

@@ -7,6 +7,7 @@
 //! [`MajorityVoter`], verified by the property tests at the bottom of this
 //! module and measured by experiment E4.
 
+use crate::adjudicator::incremental::{IncrementalAdjudicator, StreamingUnanimity, StreamingVote};
 use crate::adjudicator::Adjudicator;
 use crate::outcome::{RejectionReason, VariantOutcome, Verdict};
 use crate::taxonomy::Adjudication;
@@ -116,6 +117,13 @@ impl<O: Clone + PartialEq> Adjudicator<O> for MajorityVoter {
         let threshold = outcomes.len() / 2 + 1;
         vote(outcomes, |a, b| a == b, threshold, false)
     }
+
+    fn begin_incremental<'a>(&'a self, total: usize) -> Box<dyn IncrementalAdjudicator<O> + 'a>
+    where
+        O: 'a,
+    {
+        Box::new(StreamingVote::new(self, total / 2 + 1, total))
+    }
 }
 
 /// Plurality voter: accepts the most common output, requiring only that it
@@ -143,6 +151,15 @@ impl<O: Clone + PartialEq> Adjudicator<O> for PluralityVoter {
 
     fn adjudicate(&self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
         vote(outcomes, |a, b| a == b, 1, true)
+    }
+
+    fn begin_incremental<'a>(&'a self, total: usize) -> Box<dyn IncrementalAdjudicator<O> + 'a>
+    where
+        O: 'a,
+    {
+        // The streaming accept condition requires a strict, uncatchable
+        // lead, which subsumes plurality's tie rejection.
+        Box::new(StreamingVote::new(self, 1, total))
     }
 }
 
@@ -184,6 +201,13 @@ impl<O: Clone + PartialEq> Adjudicator<O> for QuorumVoter {
 
     fn adjudicate(&self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
         vote(outcomes, |a, b| a == b, self.quorum, false)
+    }
+
+    fn begin_incremental<'a>(&'a self, total: usize) -> Box<dyn IncrementalAdjudicator<O> + 'a>
+    where
+        O: 'a,
+    {
+        Box::new(StreamingVote::new(self, self.quorum, total))
     }
 }
 
@@ -227,6 +251,17 @@ impl<O: Clone + PartialEq> Adjudicator<O> for UnanimityVoter {
         } else {
             Verdict::rejected(RejectionReason::Disagreement)
         }
+    }
+
+    fn begin_incremental<'a>(&'a self, total: usize) -> Box<dyn IncrementalAdjudicator<O> + 'a>
+    where
+        O: 'a,
+    {
+        // Unanimity streams negatively: the first failure or divergence
+        // decides rejection on the spot. (When a stream contains both, the
+        // incremental rejection *reason* is whichever came first, while
+        // the batch voter reports `AllFailed`; the disposition agrees.)
+        Box::new(StreamingUnanimity::new(self, total))
     }
 }
 

@@ -17,6 +17,7 @@
 //! identical in behavior.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use redundancy_obs::{CostSnapshot, ObsHandle, Observer, Point, SpanKind, SpanStatus, SpanToken};
@@ -37,6 +38,35 @@ impl fmt::Display for FuelExhausted {
 }
 
 impl std::error::Error for FuelExhausted {}
+
+/// A shared flag pattern engines raise once their verdict is fixed, so
+/// still-running variants can stop cooperatively. Checked (one relaxed
+/// atomic load) on every [`ExecContext::charge`] of a context that carries
+/// one; contexts without a token (the default) pay nothing.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates an un-fired token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token: every context carrying it starts failing
+    /// [`ExecContext::charge`] calls.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// Per-execution context: deterministic randomness, cost metering, fuel.
 ///
@@ -63,6 +93,13 @@ pub struct ExecContext {
     forks: std::cell::Cell<u64>,
     /// Observability handle; `None` (the default) means untraced.
     obs: Option<ObsHandle>,
+    /// Cancellation token; `None` (the default) means uncancellable.
+    /// Inherited by forks so nested pattern runs stop too.
+    cancel: Option<CancelToken>,
+    /// Set when a [`charge`](Self::charge) failed because the token fired
+    /// (rather than because fuel ran out), so `run_contained` can report
+    /// the resulting failure as `Cancelled` instead of `Timeout`.
+    cancelled: bool,
 }
 
 impl ExecContext {
@@ -76,6 +113,8 @@ impl ExecContext {
             initial_fuel: None,
             forks: std::cell::Cell::new(0),
             obs: None,
+            cancel: None,
+            cancelled: false,
         }
     }
 
@@ -90,7 +129,25 @@ impl ExecContext {
             initial_fuel: Some(fuel),
             forks: std::cell::Cell::new(0),
             obs: None,
+            cancel: None,
+            cancelled: false,
         }
+    }
+
+    /// Attaches a cancellation token: once it fires, every
+    /// [`charge`](Self::charge) on this context (and its forks) fails, so
+    /// a cooperative variant winds down at its next metering point.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether a fired cancellation token interrupted this context (as
+    /// opposed to genuine fuel exhaustion).
+    #[must_use]
+    pub fn was_cancelled(&self) -> bool {
+        self.cancelled
     }
 
     /// Attaches an observer: every pattern engine and technique running
@@ -162,6 +219,15 @@ impl ExecContext {
     /// Returns [`FuelExhausted`] when a fuel budget is configured and the
     /// charge does not fit in the remaining budget.
     pub fn charge(&mut self, units: u64) -> Result<(), FuelExhausted> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                // The verdict is already fixed: abandon the remaining work
+                // without charging for it. `run_contained` turns the
+                // resulting failure into `VariantFailure::Cancelled`.
+                self.cancelled = true;
+                return Err(FuelExhausted);
+            }
+        }
         if let Some(fuel) = self.fuel.as_mut() {
             if *fuel < units {
                 // Consume what is left: the hung execution did burn it.
@@ -242,6 +308,11 @@ impl ExecContext {
             // the untraced hot path. The fork counter and rng above are
             // computed identically whether or not an observer is attached.
             obs: self.obs.as_ref().filter(|h| h.enabled()).cloned(),
+            // Children inherit the token so nested patterns stop too; the
+            // clone is one Arc refcount bump and only paid by cancellable
+            // runs (Eager threaded mode).
+            cancel: self.cancel.clone(),
+            cancelled: false,
         }
     }
 
@@ -396,6 +467,37 @@ mod tests {
         let token = ctx.obs_begin(|| unreachable!("untraced: kind closure must not run"));
         assert!(token.is_none());
         ctx.obs_emit(|| unreachable!("untraced: point closure must not run"));
+    }
+
+    #[test]
+    fn cancel_token_interrupts_charges() {
+        let token = CancelToken::new();
+        let mut ctx = ExecContext::new(1).with_cancel_token(token.clone());
+        ctx.charge(10).unwrap();
+        assert!(!ctx.was_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(ctx.charge(10), Err(FuelExhausted));
+        assert!(ctx.was_cancelled());
+        // The abandoned charge is not billed.
+        assert_eq!(ctx.cost().work_units, 10);
+    }
+
+    #[test]
+    fn cancel_token_reaches_forked_children() {
+        let token = CancelToken::new();
+        let ctx = ExecContext::new(1).with_cancel_token(token.clone());
+        let mut child = ctx.fork(0).fork(3);
+        token.cancel();
+        assert_eq!(child.charge(1), Err(FuelExhausted));
+        assert!(child.was_cancelled());
+    }
+
+    #[test]
+    fn contexts_without_token_ignore_cancellation() {
+        let mut ctx = ExecContext::new(1);
+        ctx.charge(5).unwrap();
+        assert!(!ctx.was_cancelled());
     }
 
     #[test]

@@ -29,6 +29,13 @@ pub enum VariantFailure {
     },
     /// The variant produced no result (e.g. an unavailable service).
     Omission,
+    /// The variant was cooperatively cancelled mid-flight: the verdict was
+    /// already fixed, so its remaining work was abandoned
+    /// (`DecisionPolicy::Eager`, threaded mode).
+    Cancelled,
+    /// The variant was never started: the verdict was fixed before its
+    /// turn (`DecisionPolicy::Eager`, sequential mode).
+    Skipped,
 }
 
 impl VariantFailure {
@@ -56,7 +63,16 @@ impl VariantFailure {
             VariantFailure::Timeout => "timeout",
             VariantFailure::Error { .. } => "error",
             VariantFailure::Omission => "omission",
+            VariantFailure::Cancelled => "cancelled",
+            VariantFailure::Skipped => "skipped",
         }
+    }
+
+    /// Whether this failure means the variant never ran to completion
+    /// because an early decision made its result irrelevant.
+    #[must_use]
+    pub fn is_early_exit(&self) -> bool {
+        matches!(self, VariantFailure::Cancelled | VariantFailure::Skipped)
     }
 }
 
@@ -67,6 +83,8 @@ impl fmt::Display for VariantFailure {
             VariantFailure::Timeout => f.write_str("timeout"),
             VariantFailure::Error { message } => write!(f, "error: {message}"),
             VariantFailure::Omission => f.write_str("omission"),
+            VariantFailure::Cancelled => f.write_str("cancelled after early decision"),
+            VariantFailure::Skipped => f.write_str("skipped after early decision"),
         }
     }
 }
@@ -269,6 +287,11 @@ mod tests {
         assert_eq!(VariantFailure::Timeout.kind(), "timeout");
         assert_eq!(VariantFailure::error("e").kind(), "error");
         assert_eq!(VariantFailure::Omission.kind(), "omission");
+        assert_eq!(VariantFailure::Cancelled.kind(), "cancelled");
+        assert_eq!(VariantFailure::Skipped.kind(), "skipped");
+        assert!(VariantFailure::Cancelled.is_early_exit());
+        assert!(VariantFailure::Skipped.is_early_exit());
+        assert!(!VariantFailure::Timeout.is_early_exit());
         assert_eq!(VariantFailure::crash("boom").to_string(), "crash: boom");
     }
 

@@ -1,0 +1,205 @@
+//! The shared streaming engine behind the parallel Figure-1 patterns.
+//!
+//! Under [`DecisionPolicy::Eager`](crate::patterns::DecisionPolicy), a
+//! pattern does not "run all, then adjudicate": outcomes are fed to a
+//! [`StreamJudge`] strictly in variant order as they become available, and
+//! the moment the verdict is mathematically fixed the engine stops paying
+//! for redundancy it no longer needs:
+//!
+//! - in [`ExecutionMode::Sequential`], variants whose turn never came are
+//!   *skipped* — recorded as [`VariantFailure::Skipped`] outcomes with a
+//!   zero-cost variant span, since they were never forked or started;
+//! - in [`ExecutionMode::Threaded`], every variant has already been
+//!   spawned, so stragglers are *cooperatively cancelled* through a
+//!   [`CancelToken`] checked at each `ExecContext::charge`; they surface
+//!   as [`VariantFailure::Cancelled`] outcomes carrying the partial cost
+//!   they accrued before noticing.
+//!
+//! Determinism: the verdict only ever depends on outcomes fed in variant
+//! order, so it is reproducible across runs and thread schedules. Which
+//! stragglers got cancelled (vs. finished just in time) in threaded mode
+//! is inherently timing-dependent — the *verdict* is not.
+
+use std::borrow::Borrow;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+
+use redundancy_obs::{CostSnapshot, Point, SpanKind, SpanStatus};
+
+use crate::adjudicator::incremental::Decision;
+use crate::context::{CancelToken, ExecContext};
+use crate::outcome::{VariantFailure, VariantOutcome, Verdict};
+use crate::patterns::ExecutionMode;
+use crate::variant::{run_contained, BoxedVariant};
+
+/// How a streaming pattern turns an ordered outcome stream into a verdict.
+/// Parallel evaluation adapts an
+/// [`IncrementalAdjudicator`](crate::adjudicator::IncrementalAdjudicator);
+/// parallel selection validates each outcome with its per-component
+/// acceptance test.
+pub(crate) trait StreamJudge<O> {
+    /// Feeds the outcome of variant `idx`. Called strictly in variant
+    /// order; never called again after a final decision.
+    fn feed(&mut self, idx: usize, outcome: &VariantOutcome<O>) -> Decision<O>;
+
+    /// Draws the verdict from the executed outcomes when the stream ended
+    /// undecided, or from the fed prefix after
+    /// [`Decision::Unreachable`].
+    fn conclude(&mut self, outcomes: &[VariantOutcome<O>]) -> Verdict<O>;
+}
+
+/// What an eager engine run produced.
+pub(crate) struct StreamRun<O> {
+    /// One outcome per variant, in variant order (including skipped and
+    /// cancelled entries).
+    pub outcomes: Vec<VariantOutcome<O>>,
+    /// The verdict.
+    pub verdict: Verdict<O>,
+}
+
+/// Runs `variants` under the eager policy, feeding `judge` in variant
+/// order and exiting early once the verdict is fixed. Charges the
+/// critical-path (parallel) cost of all executed work to `ctx`.
+pub(crate) fn run_eager<I, O, V, J>(
+    variants: &[V],
+    input: &I,
+    ctx: &mut ExecContext,
+    mode: ExecutionMode,
+    judge: &mut J,
+) -> StreamRun<O>
+where
+    I: Sync,
+    O: Send,
+    V: Borrow<BoxedVariant<I, O>> + Sync,
+    J: StreamJudge<O>,
+{
+    match mode {
+        ExecutionMode::Sequential => run_eager_sequential(variants, input, ctx, judge),
+        ExecutionMode::Threaded => run_eager_threaded(variants, input, ctx, judge),
+    }
+}
+
+fn run_eager_sequential<I, O, V, J>(
+    variants: &[V],
+    input: &I,
+    ctx: &mut ExecContext,
+    judge: &mut J,
+) -> StreamRun<O>
+where
+    V: Borrow<BoxedVariant<I, O>>,
+    J: StreamJudge<O>,
+{
+    let total = variants.len();
+    let mut outcomes: Vec<VariantOutcome<O>> = Vec::with_capacity(total);
+    let mut verdict: Option<Verdict<O>> = None;
+    for (i, variant) in variants.iter().enumerate() {
+        if verdict.is_some() {
+            // The verdict is fixed: this variant's turn never comes. It is
+            // not forked (keeping the executed prefix's random streams
+            // identical to the exhaustive policy's) and costs nothing, but
+            // it is first-class in the report and the trace.
+            let name = variant.borrow().name().to_owned();
+            let span = ctx.obs_begin(|| SpanKind::Variant { name: name.clone() });
+            ctx.obs_end(
+                span,
+                SpanStatus::Failed { kind: "skipped" },
+                CostSnapshot::ZERO,
+            );
+            outcomes.push(VariantOutcome::failed(name, VariantFailure::Skipped));
+            continue;
+        }
+        let mut child = ctx.fork(i as u64);
+        let outcome = run_contained(variant.borrow().as_ref(), input, &mut child);
+        let decision = judge.feed(i, &outcome);
+        outcomes.push(outcome);
+        if decision.is_final() {
+            ctx.obs_emit(|| Point::EarlyDecision {
+                executed: i + 1,
+                total,
+            });
+            verdict = Some(match decision {
+                Decision::Decided(v) => v,
+                // Acceptance is off the table: the rejection follows from
+                // the prefix fed so far.
+                _ => judge.conclude(&outcomes),
+            });
+        }
+    }
+    ctx.add_parallel_costs(outcomes.iter().map(|o| o.cost));
+    let verdict = verdict.unwrap_or_else(|| judge.conclude(&outcomes));
+    StreamRun { outcomes, verdict }
+}
+
+fn run_eager_threaded<I, O, V, J>(
+    variants: &[V],
+    input: &I,
+    ctx: &mut ExecContext,
+    judge: &mut J,
+) -> StreamRun<O>
+where
+    I: Sync,
+    O: Send,
+    V: Borrow<BoxedVariant<I, O>> + Sync,
+    J: StreamJudge<O>,
+{
+    let total = variants.len();
+    let token = CancelToken::new();
+    // Fork every child up front, in variant order, exactly as the
+    // exhaustive threaded engine does — the random streams (and thus each
+    // variant's behavior up to cancellation) are identical across
+    // policies. Each child carries the shared cancellation token.
+    let children: Vec<ExecContext> = (0..total)
+        .map(|i| ctx.fork(i as u64).with_cancel_token(token.clone()))
+        .collect();
+
+    let mut ordered: Vec<VariantOutcome<O>> = Vec::with_capacity(total);
+    let mut verdict: Option<Verdict<O>> = None;
+    // Variant threads are crash-contained (run_contained catches panics),
+    // so the scope never propagates a panic.
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        for (i, (variant, mut child)) in variants.iter().zip(children).enumerate() {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let outcome = run_contained(variant.borrow().as_ref(), input, &mut child);
+                // The receiver outlives the scope; a send can only fail if
+                // the main thread panicked, which already aborts the test.
+                let _ = tx.send((i, outcome));
+            });
+        }
+        drop(tx);
+        // Buffer out-of-order arrivals and feed the judge strictly in
+        // variant order, so the verdict never depends on thread timing.
+        let mut pending: BTreeMap<usize, VariantOutcome<O>> = BTreeMap::new();
+        for _ in 0..total {
+            let (i, outcome) = rx.recv().expect("every variant thread sends once");
+            pending.insert(i, outcome);
+            while let Some(next) = pending.remove(&ordered.len()) {
+                let idx = ordered.len();
+                ordered.push(next);
+                if verdict.is_none() {
+                    let decision = judge.feed(idx, &ordered[idx]);
+                    if decision.is_final() {
+                        // Fire the token first so stragglers stop charging
+                        // as soon as possible.
+                        token.cancel();
+                        ctx.obs_emit(|| Point::EarlyDecision {
+                            executed: idx + 1,
+                            total,
+                        });
+                        verdict = Some(match decision {
+                            Decision::Decided(v) => v,
+                            _ => judge.conclude(&ordered),
+                        });
+                    }
+                }
+            }
+        }
+    });
+    ctx.add_parallel_costs(ordered.iter().map(|o| o.cost));
+    let verdict = verdict.unwrap_or_else(|| judge.conclude(&ordered));
+    StreamRun {
+        outcomes: ordered,
+        verdict,
+    }
+}

@@ -17,10 +17,18 @@
 //! Results are identical across modes because every variant draws from its
 //! own forked random stream.
 //!
+//! Orthogonally, the parallel engines support two [`DecisionPolicy`]s:
+//! `Exhaustive` (run every alternative, then adjudicate — bit-identical to
+//! the historical engines) and `Eager` (stream outcomes through an
+//! [`IncrementalAdjudicator`] and stop paying for redundancy the moment
+//! the verdict is mathematically fixed).
+//!
 //! [`ParallelEvaluation`]: parallel::ParallelEvaluation
 //! [`ParallelSelection`]: parallel::ParallelSelection
 //! [`SequentialAlternatives`]: sequential::SequentialAlternatives
+//! [`IncrementalAdjudicator`]: crate::adjudicator::IncrementalAdjudicator
 
+pub(crate) mod engine;
 pub mod parallel;
 pub mod sequential;
 
@@ -103,6 +111,26 @@ pub enum ExecutionMode {
     Threaded,
 }
 
+/// When a pattern engine commits to a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DecisionPolicy {
+    /// Execute every alternative, then adjudicate the full outcome set.
+    /// The historical behavior, and bit-identical to it: summaries,
+    /// reports, costs and traces are unchanged on fixed seeds.
+    #[default]
+    Exhaustive,
+    /// Stream outcomes through the adjudicator's incremental interface
+    /// (in variant order) and stop as soon as the verdict is
+    /// mathematically fixed: not-yet-started alternatives are skipped
+    /// ([`VariantFailure::Skipped`](crate::outcome::VariantFailure)) and
+    /// in-flight stragglers are cooperatively cancelled
+    /// ([`VariantFailure::Cancelled`](crate::outcome::VariantFailure)).
+    /// The accepted/rejected disposition and output always match
+    /// `Exhaustive`; support/dissent counts reflect only the outcomes
+    /// actually fed, and costs are lower.
+    Eager,
+}
+
 /// Everything a pattern run produced: the verdict, the raw outcomes, and
 /// the aggregate cost under the pattern's timing semantics.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,9 +170,40 @@ impl<O> PatternReport<O> {
         self.verdict.into_output()
     }
 
-    /// Number of alternatives that were actually executed.
+    /// Number of alternatives that actually started executing (everything
+    /// except variants skipped by an eager early decision).
     #[must_use]
     pub fn executed(&self) -> usize {
-        self.outcomes.len()
+        self.outcomes.len() - self.skipped()
+    }
+
+    /// Number of alternatives never started because the verdict was fixed
+    /// before their turn (`DecisionPolicy::Eager`, sequential mode).
+    #[must_use]
+    pub fn skipped(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.result, Err(crate::outcome::VariantFailure::Skipped)))
+            .count()
+    }
+
+    /// Number of alternatives cooperatively cancelled mid-flight after the
+    /// verdict was fixed (`DecisionPolicy::Eager`, threaded mode).
+    #[must_use]
+    pub fn cancelled(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.result, Err(crate::outcome::VariantFailure::Cancelled)))
+            .count()
+    }
+
+    /// Number of alternatives whose full execution was avoided by an eager
+    /// early decision (skipped + cancelled).
+    #[must_use]
+    pub fn early_exited(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(&o.result, Err(f) if f.is_early_exit()))
+            .count()
     }
 }

@@ -5,11 +5,16 @@ use std::borrow::Borrow;
 use redundancy_obs::SpanKind;
 
 use crate::adjudicator::acceptance::{AcceptanceTest, BoxedAcceptance};
+use crate::adjudicator::incremental::{Decision, IncrementalAdjudicator};
 use crate::adjudicator::Adjudicator;
 use crate::context::ExecContext;
 use crate::outcome::{RejectionReason, VariantOutcome, Verdict};
-use crate::patterns::{emit_verdict, verdict_status, ExecutionMode, PatternReport};
+use crate::patterns::engine::{self, StreamJudge};
+use crate::patterns::{emit_verdict, verdict_status, DecisionPolicy, ExecutionMode, PatternReport};
 use crate::variant::{run_contained, BoxedVariant};
+
+/// A selection component: a variant paired with its own acceptance test.
+type Component<I, O> = (BoxedVariant<I, O>, BoxedAcceptance<I, O>);
 
 /// Runs each variant against `input` with a forked context, either in the
 /// calling thread or on scoped threads, and returns the outcomes in
@@ -59,6 +64,56 @@ where
     }
 }
 
+/// Streaming judge of Figure 1(a): delegates to the adjudicator's
+/// incremental interface, falling back to batch adjudication when the
+/// stream ends undecided.
+struct EvaluationJudge<'a, O> {
+    incremental: Box<dyn IncrementalAdjudicator<O> + 'a>,
+    adjudicator: &'a dyn Adjudicator<O>,
+}
+
+impl<O> StreamJudge<O> for EvaluationJudge<'_, O> {
+    fn feed(&mut self, _idx: usize, outcome: &VariantOutcome<O>) -> Decision<O> {
+        self.incremental.feed(outcome)
+    }
+
+    fn conclude(&mut self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
+        self.adjudicator.adjudicate(outcomes)
+    }
+}
+
+/// Streaming judge of Figure 1(b): validates each outcome with its
+/// component's own acceptance test; the first validated result decides.
+struct SelectionJudge<'a, I, O> {
+    components: &'a [Component<I, O>],
+    input: &'a I,
+    selected: Option<usize>,
+}
+
+impl<I, O: Clone> StreamJudge<O> for SelectionJudge<'_, I, O> {
+    fn feed(&mut self, idx: usize, outcome: &VariantOutcome<O>) -> Decision<O> {
+        if let Some(output) = outcome.output() {
+            if self.components[idx].1.accept(self.input, output) {
+                self.selected = Some(idx);
+                // The first validated component (in priority order) wins;
+                // support counts it alone, dissent the components fed
+                // before it.
+                return Decision::Decided(Verdict::accepted(output.clone(), 1, idx));
+            }
+        }
+        Decision::Undecided
+    }
+
+    fn conclude(&mut self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
+        // Only reached when no fed component validated.
+        if outcomes.iter().all(|o| !o.is_ok()) {
+            Verdict::rejected(RejectionReason::AllFailed)
+        } else {
+            Verdict::rejected(RejectionReason::AcceptanceFailed)
+        }
+    }
+}
+
 /// Figure 1(a): *parallel evaluation* — execute every alternative with the
 /// same input configuration and let a single adjudicator merge the results.
 ///
@@ -87,6 +142,7 @@ pub struct ParallelEvaluation<I, O> {
     variants: Vec<BoxedVariant<I, O>>,
     adjudicator: Box<dyn Adjudicator<O>>,
     mode: ExecutionMode,
+    policy: DecisionPolicy,
 }
 
 impl<I, O> ParallelEvaluation<I, O> {
@@ -97,6 +153,7 @@ impl<I, O> ParallelEvaluation<I, O> {
             variants: Vec::new(),
             adjudicator: Box::new(adjudicator),
             mode: ExecutionMode::Sequential,
+            policy: DecisionPolicy::default(),
         }
     }
 
@@ -117,6 +174,23 @@ impl<I, O> ParallelEvaluation<I, O> {
     pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Selects the decision policy (builder style). The default,
+    /// [`DecisionPolicy::Exhaustive`], reproduces the historical engine
+    /// bit for bit; [`DecisionPolicy::Eager`] streams outcomes through
+    /// the adjudicator's incremental interface and stops early once the
+    /// verdict is fixed.
+    #[must_use]
+    pub fn with_policy(mut self, policy: DecisionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The decision policy in effect.
+    #[must_use]
+    pub fn policy(&self) -> DecisionPolicy {
+        self.policy
     }
 
     /// Number of alternatives.
@@ -144,9 +218,22 @@ impl<I, O> ParallelEvaluation<I, O> {
             name: "parallel_evaluation",
         });
         let before = ctx.cost();
-        let outcomes = execute_all(&self.variants, input, ctx, self.mode);
-        ctx.add_parallel_costs(outcomes.iter().map(|o| o.cost));
-        let verdict = self.adjudicator.adjudicate(&outcomes);
+        let (outcomes, verdict) = match self.policy {
+            DecisionPolicy::Exhaustive => {
+                let outcomes = execute_all(&self.variants, input, ctx, self.mode);
+                ctx.add_parallel_costs(outcomes.iter().map(|o| o.cost));
+                let verdict = self.adjudicator.adjudicate(&outcomes);
+                (outcomes, verdict)
+            }
+            DecisionPolicy::Eager => {
+                let mut judge = EvaluationJudge {
+                    incremental: self.adjudicator.begin_incremental(self.variants.len()),
+                    adjudicator: self.adjudicator.as_ref(),
+                };
+                let run = engine::run_eager(&self.variants, input, ctx, self.mode, &mut judge);
+                (run.outcomes, run.verdict)
+            }
+        };
         emit_verdict(ctx, &verdict);
         ctx.obs_end(
             span,
@@ -171,8 +258,9 @@ impl<I, O> ParallelEvaluation<I, O> {
 /// This is self-checking programming: "acting" components ahead in the
 /// list, "hot spares" behind them.
 pub struct ParallelSelection<I, O> {
-    components: Vec<(BoxedVariant<I, O>, BoxedAcceptance<I, O>)>,
+    components: Vec<Component<I, O>>,
     mode: ExecutionMode,
+    policy: DecisionPolicy,
 }
 
 impl<I, O> ParallelSelection<I, O> {
@@ -182,6 +270,7 @@ impl<I, O> ParallelSelection<I, O> {
         Self {
             components: Vec::new(),
             mode: ExecutionMode::Sequential,
+            policy: DecisionPolicy::default(),
         }
     }
 
@@ -208,6 +297,22 @@ impl<I, O> ParallelSelection<I, O> {
     pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Selects the decision policy (builder style). Under
+    /// [`DecisionPolicy::Eager`] the first validated (highest-priority)
+    /// result decides immediately: lower-priority components are skipped
+    /// in sequential mode and cooperatively cancelled in threaded mode.
+    #[must_use]
+    pub fn with_policy(mut self, policy: DecisionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The decision policy in effect.
+    #[must_use]
+    pub fn policy(&self) -> DecisionPolicy {
+        self.policy
     }
 
     /// Number of components.
@@ -250,36 +355,50 @@ impl<I, O> ParallelSelection<I, O> {
         }
         // Split borrows: variants for execution, tests for validation.
         let variants: Vec<&BoxedVariant<I, O>> = self.components.iter().map(|(v, _)| v).collect();
-        let outcomes = execute_all(&variants, input, ctx, self.mode);
-        ctx.add_parallel_costs(outcomes.iter().map(|o| o.cost));
+        let (outcomes, verdict, selected) = match self.policy {
+            DecisionPolicy::Exhaustive => {
+                let outcomes = execute_all(&variants, input, ctx, self.mode);
+                ctx.add_parallel_costs(outcomes.iter().map(|o| o.cost));
 
-        let mut selected = None;
-        let mut validated = 0usize;
-        for (idx, outcome) in outcomes.iter().enumerate() {
-            if let Some(output) = outcome.output() {
-                if self.components[idx].1.accept(input, output) {
-                    validated += 1;
-                    if selected.is_none() {
-                        selected = Some(idx);
+                let mut selected = None;
+                let mut validated = 0usize;
+                for (idx, outcome) in outcomes.iter().enumerate() {
+                    if let Some(output) = outcome.output() {
+                        if self.components[idx].1.accept(input, output) {
+                            validated += 1;
+                            if selected.is_none() {
+                                selected = Some(idx);
+                            }
+                        }
                     }
                 }
+                let verdict = match selected {
+                    Some(idx) => Verdict::accepted(
+                        outcomes[idx]
+                            .output()
+                            .expect("selected outcome is validated")
+                            .clone(),
+                        validated,
+                        outcomes.len() - validated,
+                    ),
+                    None => {
+                        if outcomes.iter().all(|o| !o.is_ok()) {
+                            Verdict::rejected(RejectionReason::AllFailed)
+                        } else {
+                            Verdict::rejected(RejectionReason::AcceptanceFailed)
+                        }
+                    }
+                };
+                (outcomes, verdict, selected)
             }
-        }
-        let verdict = match selected {
-            Some(idx) => Verdict::accepted(
-                outcomes[idx]
-                    .output()
-                    .expect("selected outcome is validated")
-                    .clone(),
-                validated,
-                outcomes.len() - validated,
-            ),
-            None => {
-                if outcomes.iter().all(|o| !o.is_ok()) {
-                    Verdict::rejected(RejectionReason::AllFailed)
-                } else {
-                    Verdict::rejected(RejectionReason::AcceptanceFailed)
-                }
+            DecisionPolicy::Eager => {
+                let mut judge = SelectionJudge {
+                    components: &self.components,
+                    input,
+                    selected: None,
+                };
+                let run = engine::run_eager(&variants, input, ctx, self.mode, &mut judge);
+                (run.outcomes, run.verdict, judge.selected)
             }
         };
         emit_verdict(ctx, &verdict);
@@ -558,6 +677,183 @@ mod tests {
         let report = sel.run(&1, &mut ctx);
         assert_eq!(report.cost.virtual_ns, 7);
         assert_eq!(report.cost.invocations, 1);
+    }
+
+    #[test]
+    fn eager_sequential_skips_unneeded_variants() {
+        use redundancy_obs::{EventKind, Point, RingBufferObserver, SpanStatus};
+
+        let ring = RingBufferObserver::shared(64);
+        let p = ParallelEvaluation::new(MajorityVoter::new())
+            .with_policy(DecisionPolicy::Eager)
+            .with_variant(pure_variant("a", 10, |x: &i32| x * 2))
+            .with_variant(pure_variant("b", 20, |x: &i32| x * 2))
+            .with_variant(pure_variant("c", 30, |x: &i32| x * 2))
+            .with_variant(pure_variant("d", 40, |x: &i32| x * 2))
+            .with_variant(pure_variant("e", 50, |x: &i32| x * 2));
+        let mut ctx = ExecContext::new(1).with_observer(ring.clone());
+        let report = p.run(&10, &mut ctx);
+
+        // 3 of 5 agreeing fixes a majority; d and e never run.
+        assert_eq!(report.output(), Some(&20));
+        assert_eq!(report.executed(), 3);
+        assert_eq!(report.skipped(), 2);
+        assert_eq!(report.outcomes.len(), 5);
+        assert_eq!(report.outcomes[3].result, Err(VariantFailure::Skipped));
+        assert_eq!(report.outcomes[4].result, Err(VariantFailure::Skipped));
+        // Cost covers only the executed prefix: critical path 30, work 60.
+        assert_eq!(report.cost.virtual_ns, 30);
+        assert_eq!(report.cost.work_units, 60);
+        assert_eq!(report.cost.invocations, 3);
+
+        let events = ring.events();
+        assert!(events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::Point(Point::EarlyDecision {
+                executed: 3,
+                total: 5
+            })
+        )));
+        // Skipped variants still get first-class (zero-cost) spans.
+        let skipped_spans = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    &e.kind,
+                    EventKind::SpanEnd {
+                        status: SpanStatus::Failed { kind: "skipped" },
+                        cost,
+                    } if *cost == redundancy_obs::CostSnapshot::ZERO
+                )
+            })
+            .count();
+        assert_eq!(skipped_spans, 2);
+    }
+
+    #[test]
+    fn eager_matches_exhaustive_disposition_and_output() {
+        let build = |policy| {
+            ParallelEvaluation::new(MajorityVoter::new())
+                .with_policy(policy)
+                .with_variant(pure_variant("a", 10, |x: &i32| x + 1))
+                .with_variant(pure_variant("b", 30, |x: &i32| x + 1))
+                .with_variant(failing_variant("c"))
+                .with_variant(pure_variant("d", 20, |x: &i32| x + 2))
+                .with_variant(pure_variant("e", 25, |x: &i32| x + 1))
+        };
+        let mut c1 = ExecContext::new(42);
+        let exhaustive = build(DecisionPolicy::Exhaustive).run(&5, &mut c1);
+        let mut c2 = ExecContext::new(42);
+        let eager = build(DecisionPolicy::Eager).run(&5, &mut c2);
+        assert_eq!(exhaustive.is_accepted(), eager.is_accepted());
+        assert_eq!(exhaustive.output(), eager.output());
+        // Early exit can only make the run cheaper.
+        assert!(eager.cost.work_units <= exhaustive.cost.work_units);
+        assert!(eager.cost.virtual_ns <= exhaustive.cost.virtual_ns);
+    }
+
+    #[test]
+    fn eager_threaded_cancels_stragglers() {
+        use redundancy_obs::{EventKind, Point, RingBufferObserver};
+
+        let ring = RingBufferObserver::shared(64);
+        let straggler: BoxedVariant<i32, i32> = Box::new(FnVariant::new(
+            "straggler",
+            |x: &i32, ctx: &mut ExecContext| {
+                // Cooperative long-running loop: each charge checks the
+                // cancellation token, each sleep yields real time so the
+                // cancel reliably lands mid-flight.
+                for _ in 0..2_000 {
+                    ctx.charge(1).map_err(|_| VariantFailure::Timeout)?;
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                }
+                Ok(*x)
+            },
+        ));
+        let p = ParallelEvaluation::new(MajorityVoter::new())
+            .with_mode(ExecutionMode::Threaded)
+            .with_policy(DecisionPolicy::Eager)
+            .with_variant(pure_variant("a", 10, |x: &i32| x * 2))
+            .with_variant(pure_variant("b", 20, |x: &i32| x * 2))
+            .with_variant(straggler);
+        let mut ctx = ExecContext::new(9).with_observer(ring.clone());
+        let report = p.run(&10, &mut ctx);
+
+        // Two agreeing of three fix the majority regardless of the
+        // straggler; the straggler is cooperatively cancelled.
+        assert_eq!(report.output(), Some(&20));
+        assert_eq!(report.outcomes[2].result, Err(VariantFailure::Cancelled));
+        assert_eq!(report.cancelled(), 1);
+        assert_eq!(report.early_exited(), 1);
+        let events = ring.events();
+        assert!(events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::Point(Point::VariantCancelled { variant }) if variant == "straggler"
+        )));
+        assert!(events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::Point(Point::EarlyDecision {
+                executed: 2,
+                total: 3
+            })
+        )));
+    }
+
+    #[test]
+    fn eager_selection_skips_lower_priority_components() {
+        let t = || {
+            Box::new(FnAcceptance::new("nonneg", |_: &i32, out: &i32| *out >= 0))
+                as BoxedAcceptance<i32, i32>
+        };
+        let p = ParallelSelection::new()
+            .with_policy(DecisionPolicy::Eager)
+            .with_component(pure_variant("acting", 10, |_: &i32| -5), t())
+            .with_component(pure_variant("spare1", 10, |x: &i32| x + 2), t())
+            .with_component(pure_variant("spare2", 10, |x: &i32| x + 3), t());
+        let mut ctx = ExecContext::new(3);
+        let report = p.run(&4, &mut ctx);
+        assert_eq!(report.output(), Some(&6));
+        assert_eq!(report.selected.as_deref(), Some("spare1"));
+        assert_eq!(report.skipped(), 1);
+        assert_eq!(report.outcomes[2].result, Err(VariantFailure::Skipped));
+    }
+
+    #[test]
+    fn eager_with_batch_only_adjudicator_never_exits_early() {
+        use crate::adjudicator::voting::MedianVoter;
+        // Median depends on every outcome: the blanket adapter keeps it
+        // correct under the eager policy by never deciding early.
+        let build = |policy| {
+            ParallelEvaluation::new(MedianVoter::new())
+                .with_policy(policy)
+                .with_variant(pure_variant("a", 10, |x: &i32| x + 1))
+                .with_variant(pure_variant("b", 20, |x: &i32| x + 5))
+                .with_variant(pure_variant("c", 30, |x: &i32| x + 9))
+        };
+        let mut c1 = ExecContext::new(4);
+        let exhaustive = build(DecisionPolicy::Exhaustive).run(&1, &mut c1);
+        let mut c2 = ExecContext::new(4);
+        let eager = build(DecisionPolicy::Eager).run(&1, &mut c2);
+        assert_eq!(exhaustive.verdict, eager.verdict);
+        assert_eq!(exhaustive.cost, eager.cost);
+        assert_eq!(eager.skipped(), 0);
+    }
+
+    #[test]
+    fn eager_unreachable_rejects_from_prefix() {
+        // Quorum 3 of 3 with an early crash: acceptance becomes
+        // unreachable after the first outcome; b and c are skipped.
+        use crate::adjudicator::voting::QuorumVoter;
+        let p = ParallelEvaluation::new(QuorumVoter::new(3))
+            .with_policy(DecisionPolicy::Eager)
+            .with_variant(failing_variant("crasher"))
+            .with_variant(pure_variant("b", 20, |x: &i32| x + 1))
+            .with_variant(pure_variant("c", 30, |x: &i32| x + 1));
+        let mut ctx = ExecContext::new(2);
+        let report = p.run(&1, &mut ctx);
+        assert!(!report.is_accepted());
+        assert_eq!(report.executed(), 1);
+        assert_eq!(report.skipped(), 2);
     }
 
     #[test]

@@ -126,6 +126,18 @@ where
         Ok(res) => res,
         Err(payload) => Err(VariantFailure::crash(panic_message(payload.as_ref()))),
     };
+    // A failure under a fired cancellation token is a cooperative stop,
+    // not a genuine timeout/crash: report it as such so adjudicators and
+    // traces can tell abandoned work from failed work.
+    let result = match result {
+        Err(_) if ctx.was_cancelled() => {
+            ctx.obs_emit(|| redundancy_obs::Point::VariantCancelled {
+                variant: name.clone(),
+            });
+            Err(VariantFailure::Cancelled)
+        }
+        other => other,
+    };
     let status = match &result {
         Ok(_) => redundancy_obs::SpanStatus::Ok,
         Err(failure) => redundancy_obs::SpanStatus::Failed {
@@ -233,6 +245,17 @@ mod tests {
         let mut ctx = ExecContext::with_fuel(0, 10);
         let outcome = run_contained(v.as_ref(), &1, &mut ctx);
         assert_eq!(outcome.result, Err(VariantFailure::Timeout));
+    }
+
+    #[test]
+    fn cancelled_charge_reports_cancelled_not_timeout() {
+        use crate::context::CancelToken;
+        let v = pure_variant("slow", 100, |x: &i32| *x);
+        let token = CancelToken::new();
+        token.cancel();
+        let mut ctx = ExecContext::new(0).with_cancel_token(token);
+        let outcome = run_contained(v.as_ref(), &1, &mut ctx);
+        assert_eq!(outcome.result, Err(VariantFailure::Cancelled));
     }
 
     #[test]

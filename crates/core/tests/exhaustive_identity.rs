@@ -1,0 +1,134 @@
+//! Frozen-reference regression test for the streaming-engine refactor.
+//!
+//! The pattern engines were rebuilt around streaming verdicts. The
+//! guarantee of `DecisionPolicy::Exhaustive` (the default) is that the
+//! rebuild changed *nothing* observable: reports, per-variant outcomes,
+//! costs, and full traced event streams are bit-identical to the
+//! pre-refactor engines on fixed seeds. This test pins that by carrying a
+//! frozen copy of the pre-refactor "run all, then adjudicate" engine
+//! (written against the public API) and comparing it against
+//! `ParallelEvaluation::run` outcome by outcome and event by event.
+
+use redundancy_core::adjudicator::voting::{MajorityVoter, MedianVoter};
+use redundancy_core::adjudicator::Adjudicator;
+use redundancy_core::context::ExecContext;
+use redundancy_core::outcome::VariantFailure;
+use redundancy_core::patterns::{emit_verdict, verdict_status, ParallelEvaluation, PatternReport};
+use redundancy_core::variant::{pure_variant, run_contained, BoxedVariant, FnVariant};
+use redundancy_obs::{RingBufferObserver, SpanKind};
+
+/// The pre-refactor parallel-evaluation engine, frozen: fork each variant
+/// in order, run them all, charge the critical path, adjudicate the full
+/// outcome set, emit the verdict, end the pattern span.
+fn reference_run<I, O: Clone>(
+    variants: &[BoxedVariant<I, O>],
+    adjudicator: &dyn Adjudicator<O>,
+    input: &I,
+    ctx: &mut ExecContext,
+) -> PatternReport<O> {
+    let span = ctx.obs_begin(|| SpanKind::Pattern {
+        name: "parallel_evaluation",
+    });
+    let before = ctx.cost();
+    let mut outcomes = Vec::with_capacity(variants.len());
+    for (i, variant) in variants.iter().enumerate() {
+        let mut child = ctx.fork(i as u64);
+        outcomes.push(run_contained(variant.as_ref(), input, &mut child));
+    }
+    ctx.add_parallel_costs(outcomes.iter().map(|o| o.cost));
+    let verdict = adjudicator.adjudicate(&outcomes);
+    emit_verdict(ctx, &verdict);
+    ctx.obs_end(
+        span,
+        verdict_status(&verdict),
+        ctx.cost().delta_since(before).snapshot(),
+    );
+    PatternReport {
+        verdict,
+        cost: ctx.cost().delta_since(before),
+        outcomes,
+        selected: None,
+    }
+}
+
+/// A variant whose output depends on its forked random stream, so any
+/// change in fork order or count shows up as a different output.
+fn noisy_variant(name: &str, work: u64) -> BoxedVariant<i32, i64> {
+    Box::new(FnVariant::new(
+        name,
+        move |x: &i32, ctx: &mut ExecContext| {
+            ctx.charge(work).map_err(|_| VariantFailure::Timeout)?;
+            let noise = (ctx.rng().next_u64() % 3) as i64;
+            Ok(i64::from(*x) * 10 + noise)
+        },
+    ))
+}
+
+fn variant_set() -> Vec<BoxedVariant<i32, i64>> {
+    vec![
+        noisy_variant("n1", 10),
+        noisy_variant("n2", 25),
+        pure_variant("p3", 15, |x: &i32| i64::from(*x) * 10),
+        Box::new(FnVariant::new(
+            "crasher",
+            |_: &i32, _: &mut ExecContext| -> Result<i64, VariantFailure> { panic!("injected") },
+        )),
+        noisy_variant("n5", 40),
+    ]
+}
+
+#[test]
+fn exhaustive_reports_match_frozen_reference_on_fixed_seeds() {
+    for seed in [0u64, 1, 7, 42, 0x5eed_2008, u64::MAX] {
+        let mut ref_ctx = ExecContext::new(seed);
+        let reference = reference_run(&variant_set(), &MajorityVoter::new(), &3, &mut ref_ctx);
+
+        let mut engine = ParallelEvaluation::new(MajorityVoter::new());
+        for v in variant_set() {
+            engine.push_variant(v);
+        }
+        let mut ctx = ExecContext::new(seed);
+        let report = engine.run(&3, &mut ctx);
+
+        assert_eq!(report.verdict, reference.verdict, "seed {seed:#x}");
+        assert_eq!(report.cost, reference.cost, "seed {seed:#x}");
+        assert_eq!(report.selected, reference.selected, "seed {seed:#x}");
+        assert_eq!(
+            report.outcomes, reference.outcomes,
+            "per-variant outcomes diverged at seed {seed:#x}"
+        );
+        assert_eq!(ctx.cost(), ref_ctx.cost(), "context meters diverged");
+    }
+}
+
+#[test]
+fn exhaustive_traced_streams_match_frozen_reference_on_fixed_seeds() {
+    for seed in [0u64, 13, 0x5eed_2008] {
+        let ref_ring = RingBufferObserver::shared(256);
+        let mut ref_ctx = ExecContext::new(seed).with_observer(ref_ring.clone());
+        let _ = reference_run(&variant_set(), &MedianVoter::new(), &5, &mut ref_ctx);
+
+        let mut engine = ParallelEvaluation::new(MedianVoter::new());
+        for v in variant_set() {
+            engine.push_variant(v);
+        }
+        let ring = RingBufferObserver::shared(256);
+        let mut ctx = ExecContext::new(seed).with_observer(ring.clone());
+        let _ = engine.run(&5, &mut ctx);
+
+        let reference_events = ref_ring.events();
+        let events = ring.events();
+        assert_eq!(
+            events.len(),
+            reference_events.len(),
+            "event counts diverged at seed {seed:#x}"
+        );
+        for (got, want) in events.iter().zip(reference_events.iter()) {
+            assert_eq!(got.seq, want.seq, "seed {seed:#x}");
+            assert_eq!(got.span, want.span, "seed {seed:#x}");
+            assert_eq!(got.parent, want.parent, "seed {seed:#x}");
+            assert_eq!(got.clock, want.clock, "seed {seed:#x}");
+            assert_eq!(got.kind, want.kind, "seed {seed:#x}");
+        }
+    }
+}

@@ -25,10 +25,14 @@
 //! smoke test.
 //!
 //! Setting the environment variable named by [`JSON_OUT_ENV`] to a file
-//! path additionally records every result as a JSON array of
-//! `{"label", "min_ns", "median_ns", "max_ns"}` objects; the file is
-//! rewritten after each benchmark, so it is complete even if a later
-//! benchmark aborts the run.
+//! path additionally records every result into that file as a JSON
+//! object with two keys: `"host"` (logical core count, the
+//! `REDUNDANCY_JOBS` override if any, and the effective sampling
+//! schedule — everything needed to compare mirrors taken on different
+//! machines) and `"results"` (an array of `{"label", "min_ns",
+//! "median_ns", "max_ns"}` objects). The file is rewritten after each
+//! benchmark, so it is complete even if a later benchmark aborts the
+//! run.
 
 use std::fmt;
 use std::hint;
@@ -186,6 +190,31 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Environment variable read (not interpreted) for the host block:
+/// the worker-count override the campaign layer honours.
+const JOBS_ENV: &str = "REDUNDANCY_JOBS";
+
+/// Renders the host/configuration block recorded alongside the results:
+/// logical cores, the `REDUNDANCY_JOBS` override if any, and the
+/// *effective* sampling schedule (after environment overrides). Numbers
+/// mirrored on different machines — the ROADMAP's "re-measure on
+/// multi-core" item — are only comparable with this context attached.
+fn host_metadata_json() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let jobs = match std::env::var(JOBS_ENV) {
+        Ok(value) if !value.is_empty() => format!("\"{}\"", json_escape(&value)),
+        _ => "null".to_owned(),
+    };
+    format!(
+        "{{\"logical_cores\": {cores}, \"redundancy_jobs\": {jobs}, \
+         \"criterion_samples\": {}, \"criterion_measure_ms\": {}, \
+         \"criterion_warmup_ms\": {}}}",
+        samples(),
+        measure_time().as_millis(),
+        warmup_time().as_millis()
+    )
+}
+
 /// Appends one result and rewrites the JSON mirror file, if requested.
 /// Rewriting per benchmark keeps the file valid JSON at all times —
 /// there is no end-of-run hook in the `criterion_main!` contract.
@@ -198,7 +227,9 @@ fn record_json(label: &str, min: f64, med: f64, max: f64) {
     }
     let mut results = JSON_RESULTS.lock().expect("json results lock");
     results.push((label.to_owned(), min, med, max));
-    let mut out = String::from("[\n");
+    let mut out = String::from("{\n");
+    out.push_str(&format!("\"host\": {},\n", host_metadata_json()));
+    out.push_str("\"results\": [\n");
     for (i, (label, min, med, max)) in results.iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
@@ -208,7 +239,7 @@ fn record_json(label: &str, min: f64, med: f64, max: f64) {
             json_escape(label)
         ));
     }
-    out.push_str("\n]\n");
+    out.push_str("\n]\n}\n");
     if let Err(err) = std::fs::write(&path, out) {
         eprintln!("warning: could not write {path}: {err}");
     }
@@ -354,5 +385,44 @@ mod tests {
     fn benchmark_id_labels() {
         assert_eq!(BenchmarkId::new("majority", 3).label, "majority/3");
         assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+
+    #[test]
+    fn host_metadata_names_cores_jobs_and_schedule() {
+        let host = host_metadata_json();
+        for key in [
+            "\"logical_cores\": ",
+            "\"redundancy_jobs\": ",
+            "\"criterion_samples\": ",
+            "\"criterion_measure_ms\": ",
+            "\"criterion_warmup_ms\": ",
+        ] {
+            assert!(host.contains(key), "missing {key} in {host}");
+        }
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert!(
+            host.contains(&format!("\"logical_cores\": {cores}")),
+            "{host}"
+        );
+    }
+
+    #[test]
+    fn json_mirror_wraps_results_with_host_block() {
+        let path = std::env::temp_dir().join("criterion_stub_mirror_test.json");
+        std::env::set_var(JSON_OUT_ENV, &path);
+        record_json("group/case/1", 10.0, 20.0, 30.0);
+        std::env::remove_var(JSON_OUT_ENV);
+        let written = std::fs::read_to_string(&path).expect("mirror file");
+        let _ = std::fs::remove_file(&path);
+        assert!(written.starts_with("{\n\"host\": {"), "{written}");
+        assert!(written.contains("\"results\": [\n"), "{written}");
+        assert!(
+            written.contains(
+                "{\"label\": \"group/case/1\", \"min_ns\": 10.0, \
+                 \"median_ns\": 20.0, \"max_ns\": 30.0}"
+            ),
+            "{written}"
+        );
+        assert!(written.trim_end().ends_with("]\n}"), "{written}");
     }
 }

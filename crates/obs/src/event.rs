@@ -239,6 +239,20 @@ pub enum Point {
         /// What the wrapper did: `"rewritten"`, `"rejected"`, ...
         action: &'static str,
     },
+    /// A streaming adjudicator fixed its verdict before every variant
+    /// ran (the early-exit point of `DecisionPolicy::Eager`).
+    EarlyDecision {
+        /// Variants whose outcomes were fed before the verdict fixed.
+        executed: usize,
+        /// Total variants the pattern holds.
+        total: usize,
+    },
+    /// A straggler variant was cooperatively cancelled after the verdict
+    /// was already fixed.
+    VariantCancelled {
+        /// Name of the cancelled variant.
+        variant: String,
+    },
     /// Anything else (escape hatch for one-off instrumentation).
     Custom {
         /// Event name.
@@ -268,6 +282,8 @@ impl Point {
             Point::Repair { .. } => "repair",
             Point::Workaround { .. } => "workaround",
             Point::Sanitized { .. } => "sanitized",
+            Point::EarlyDecision { .. } => "early-decision",
+            Point::VariantCancelled { .. } => "variant-cancelled",
             Point::Custom { name, .. } => name,
         }
     }

@@ -358,6 +358,13 @@ mod jsonl {
                 out.push_str(",\"action\":");
                 escape(action, out);
             }
+            Point::EarlyDecision { executed, total } => {
+                let _ = write!(out, ",\"executed\":{executed},\"total\":{total}");
+            }
+            Point::VariantCancelled { variant } => {
+                out.push_str(",\"variant\":");
+                escape(variant, out);
+            }
             Point::Custom { detail, .. } => {
                 out.push_str(",\"detail\":");
                 escape(detail, out);

@@ -10,7 +10,9 @@
 //! - range strategies over the primitive integer and float types,
 //! - [`any`] for full-range values of primitive types,
 //! - [`collection::vec`] for vectors of a strategy with a length range,
+//! - [`option::of`] for optional values,
 //! - tuple strategies,
+//! - [`Strategy::prop_map`] for derived strategies,
 //! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`.
 //!
 //! Unlike the real proptest there is no shrinking: a failing case panics
@@ -95,6 +97,29 @@ pub trait Strategy {
 
     /// Produces one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derives a strategy by mapping generated values through `f`.
+    fn prop_map<T: fmt::Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: fmt::Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
 }
 
 macro_rules! int_range_strategy {
@@ -233,6 +258,35 @@ pub mod collection {
     }
 }
 
+/// Optional-value strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Option<S::Value>` (see [`of`]).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Match the real proptest default: `None` about 1 time in 4.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.element.generate(rng))
+            }
+        }
+    }
+
+    /// `of(element)`: generates `None` sometimes, `Some(element)` otherwise.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { element }
+    }
+}
+
 /// Everything the property tests import.
 pub mod prelude {
     pub use crate::{
@@ -334,6 +388,8 @@ macro_rules! proptest {
 
 #[cfg(test)]
 mod tests {
+    use crate::Strategy;
+
     proptest! {
         #[test]
         fn ranges_stay_in_bounds(x in 5u64..10, y in -3i64..3, f in 0.25f64..0.75) {
@@ -360,6 +416,15 @@ mod tests {
                 return Ok(());
             }
             prop_assert!(x > 0);
+        }
+
+        #[test]
+        fn options_and_maps_compose(
+            v in crate::collection::vec(crate::option::of(0u8..3), 1..40).prop_map(|v| {
+                v.into_iter().map(|o| o.map(i32::from)).collect::<Vec<_>>()
+            }),
+        ) {
+            prop_assert!(v.iter().flatten().all(|&x| x < 3));
         }
     }
 

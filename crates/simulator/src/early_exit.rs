@@ -1,0 +1,261 @@
+//! Campaign-level aggregation of the work saved by eager early exit.
+//!
+//! When a pattern runs under
+//! [`DecisionPolicy::Eager`](redundancy_core::patterns::DecisionPolicy),
+//! each [`PatternReport`] records which alternatives were skipped or
+//! cooperatively cancelled. A Monte-Carlo campaign wants those counts
+//! *across* trials: [`EarlyExitCounters`] accumulates them with atomic
+//! adds, so the same counter can be shared by the workers of
+//! [`Campaign::run_parallel`](crate::trial::Campaign::run_parallel) —
+//! addition commutes, so the totals are identical for any worker count or
+//! scheduling, preserving the campaign layer's jobs-invariance guarantee.
+//!
+//! The *cost* side of the saving is measured by running the same campaign
+//! under both policies (same seeds, so executed prefixes are identical)
+//! and comparing summaries: [`work_saved`] turns the two
+//! [`TrialSummary`]s into a per-trial saving and a percentage.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use redundancy_core::patterns::PatternReport;
+
+use crate::trial::TrialSummary;
+
+/// Thread-safe accumulator of early-exit activity across a campaign.
+///
+/// # Examples
+///
+/// ```
+/// use redundancy_core::adjudicator::voting::MajorityVoter;
+/// use redundancy_core::context::ExecContext;
+/// use redundancy_core::patterns::{DecisionPolicy, ParallelEvaluation};
+/// use redundancy_core::variant::pure_variant;
+/// use redundancy_sim::early_exit::EarlyExitCounters;
+///
+/// let p = ParallelEvaluation::new(MajorityVoter::new())
+///     .with_policy(DecisionPolicy::Eager)
+///     .with_variant(pure_variant("a", 5, |x: &i64| x + 1))
+///     .with_variant(pure_variant("b", 5, |x: &i64| x + 1))
+///     .with_variant(pure_variant("c", 5, |x: &i64| x + 1));
+/// let counters = EarlyExitCounters::new();
+/// let report = p.run(&1, &mut ExecContext::new(0));
+/// counters.record(&report);
+/// let stats = counters.snapshot();
+/// assert_eq!(stats.runs, 1);
+/// assert_eq!(stats.skipped, 1); // majority fixed after two agreeing variants
+/// ```
+#[derive(Debug, Default)]
+pub struct EarlyExitCounters {
+    runs: AtomicU64,
+    variants: AtomicU64,
+    executed: AtomicU64,
+    skipped: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+impl EarlyExitCounters {
+    /// Creates a zeroed accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one pattern run's early-exit activity. Safe to call
+    /// concurrently from campaign workers.
+    pub fn record<O>(&self, report: &PatternReport<O>) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.variants
+            .fetch_add(report.outcomes.len() as u64, Ordering::Relaxed);
+        self.executed
+            .fetch_add(report.executed() as u64, Ordering::Relaxed);
+        self.skipped
+            .fetch_add(report.skipped() as u64, Ordering::Relaxed);
+        self.cancelled
+            .fetch_add(report.cancelled() as u64, Ordering::Relaxed);
+    }
+
+    /// A consistent snapshot of the totals so far.
+    #[must_use]
+    pub fn snapshot(&self) -> EarlyExitStats {
+        EarlyExitStats {
+            runs: self.runs.load(Ordering::Relaxed),
+            variants: self.variants.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            skipped: self.skipped.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Totals of early-exit activity across a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EarlyExitStats {
+    /// Pattern runs recorded.
+    pub runs: u64,
+    /// Alternatives across all runs (executed + skipped + cancelled).
+    pub variants: u64,
+    /// Alternatives that actually started executing.
+    pub executed: u64,
+    /// Alternatives never started because the verdict was already fixed.
+    pub skipped: u64,
+    /// Alternatives cooperatively cancelled mid-flight.
+    pub cancelled: u64,
+}
+
+impl EarlyExitStats {
+    /// Alternatives whose full execution was avoided (skipped +
+    /// cancelled).
+    #[must_use]
+    pub fn early_exited(&self) -> u64 {
+        self.skipped + self.cancelled
+    }
+
+    /// Fraction of all alternatives that never ran to completion; 0 when
+    /// nothing was recorded.
+    #[must_use]
+    pub fn saved_fraction(&self) -> f64 {
+        if self.variants == 0 {
+            0.0
+        } else {
+            self.early_exited() as f64 / self.variants as f64
+        }
+    }
+
+    /// Mean alternatives executed per run; 0 when nothing was recorded.
+    #[must_use]
+    pub fn executed_per_run(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.executed as f64 / self.runs as f64
+        }
+    }
+}
+
+/// The cost side of early exit: how much cheaper the eager campaign was.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkSaved {
+    /// Mean work units saved per trial (exhaustive mean − eager mean).
+    pub work_units_per_trial: f64,
+    /// Saving as a percentage of the exhaustive mean work (0 when the
+    /// exhaustive campaign did no work).
+    pub percent: f64,
+    /// Mean virtual-time (latency) saving per trial in nanoseconds.
+    pub latency_ns_per_trial: f64,
+}
+
+/// Compares two summaries of the *same* campaign (same trials, same
+/// seeds) run under `Exhaustive` and `Eager` policies.
+#[must_use]
+pub fn work_saved(exhaustive: &TrialSummary, eager: &TrialSummary) -> WorkSaved {
+    let work_units_per_trial = exhaustive.work.mean - eager.work.mean;
+    let percent = if exhaustive.work.mean > 0.0 {
+        100.0 * work_units_per_trial / exhaustive.work.mean
+    } else {
+        0.0
+    };
+    WorkSaved {
+        work_units_per_trial,
+        percent,
+        latency_ns_per_trial: exhaustive.latency.mean - eager.latency.mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use redundancy_core::adjudicator::voting::MajorityVoter;
+    use redundancy_core::context::ExecContext;
+    use redundancy_core::cost::Cost;
+    use redundancy_core::patterns::{DecisionPolicy, ParallelEvaluation};
+    use redundancy_core::variant::{pure_variant, BoxedVariant};
+
+    use super::*;
+    use crate::trial::{Campaign, TrialOutcome};
+
+    fn five_agreeing() -> ParallelEvaluation<i64, i64> {
+        let mut p = ParallelEvaluation::new(MajorityVoter::new());
+        for name in ["a", "b", "c", "d", "e"] {
+            let v: BoxedVariant<i64, i64> = pure_variant(name, 10, |x: &i64| x + 1);
+            p.push_variant(v);
+        }
+        p
+    }
+
+    #[test]
+    fn counters_accumulate_skips() {
+        let p = five_agreeing().with_policy(DecisionPolicy::Eager);
+        let counters = EarlyExitCounters::new();
+        for seed in 0..10 {
+            let report = p.run(&1, &mut ExecContext::new(seed));
+            counters.record(&report);
+        }
+        let stats = counters.snapshot();
+        assert_eq!(stats.runs, 10);
+        assert_eq!(stats.variants, 50);
+        // Majority of 5 fixes after 3 agreeing variants: 2 skipped per run.
+        assert_eq!(stats.executed, 30);
+        assert_eq!(stats.skipped, 20);
+        assert_eq!(stats.cancelled, 0);
+        assert_eq!(stats.early_exited(), 20);
+        assert!((stats.saved_fraction() - 0.4).abs() < 1e-12);
+        assert!((stats.executed_per_run() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_are_jobs_invariant_under_parallel_campaigns() {
+        let run_with_jobs = |jobs: usize| {
+            let p = five_agreeing().with_policy(DecisionPolicy::Eager);
+            let counters = Arc::new(EarlyExitCounters::new());
+            let campaign = Campaign::new(200);
+            let c = Arc::clone(&counters);
+            let summary = campaign.run_parallel(0x5eed, jobs, move |seed, _i| {
+                let mut ctx = ExecContext::new(seed);
+                let report = p.run(&1, &mut ctx);
+                c.record(&report);
+                TrialOutcome::Correct { cost: ctx.cost() }
+            });
+            (summary, counters.snapshot())
+        };
+        let (serial_summary, serial_stats) = run_with_jobs(1);
+        for jobs in [2, 8] {
+            let (summary, stats) = run_with_jobs(jobs);
+            assert_eq!(serial_summary, summary, "summary for jobs={jobs}");
+            assert_eq!(serial_stats, stats, "counters for jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn work_saved_compares_policies() {
+        let campaign = Campaign::new(100);
+        let run_policy = |policy| {
+            let p = five_agreeing().with_policy(policy);
+            campaign.run(3, |seed, _| {
+                let mut ctx = ExecContext::new(seed);
+                let _ = p.run(&1, &mut ctx);
+                TrialOutcome::Correct { cost: ctx.cost() }
+            })
+        };
+        let exhaustive = run_policy(DecisionPolicy::Exhaustive);
+        let eager = run_policy(DecisionPolicy::Eager);
+        let saved = work_saved(&exhaustive, &eager);
+        // 2 of 5 variants (each 10 work units) are skipped every trial.
+        assert!((saved.work_units_per_trial - 20.0).abs() < 1e-9);
+        assert!((saved.percent - 40.0).abs() < 1e-9);
+        assert!(saved.latency_ns_per_trial >= 0.0);
+    }
+
+    #[test]
+    fn zero_stats_are_safe() {
+        let stats = EarlyExitStats::default();
+        assert_eq!(stats.saved_fraction(), 0.0);
+        assert_eq!(stats.executed_per_run(), 0.0);
+        let zero = TrialSummary {
+            work: crate::stats::mean_ci(&[0.0]),
+            ..Campaign::new(1).run(0, |_, _| TrialOutcome::Correct { cost: Cost::ZERO })
+        };
+        let saved = work_saved(&zero, &zero);
+        assert_eq!(saved.percent, 0.0);
+    }
+}

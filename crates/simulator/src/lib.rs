@@ -11,6 +11,11 @@
 //! stories (variant outcomes, adjudicator verdicts, costs) from the
 //! recorded stream.
 //!
+//! Campaigns measuring eager decision policies aggregate the redundancy
+//! they avoided paying for with [`early_exit::EarlyExitCounters`] (safe
+//! to share across campaign workers) and quantify the saving with
+//! [`early_exit::work_saved`].
+//!
 //! Campaign trials are independently seeded and therefore embarrassingly
 //! parallel: [`trial::Campaign::run_parallel`] and
 //! [`trial::Campaign::run_traced_parallel`] shard them across the
@@ -20,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod early_exit;
 pub mod forensics;
 pub mod parallel;
 pub mod pool;
@@ -27,6 +33,7 @@ pub mod stats;
 pub mod table;
 pub mod trial;
 
+pub use early_exit::{work_saved, EarlyExitCounters, EarlyExitStats, WorkSaved};
 pub use forensics::{split_trials, TrialTrace};
 pub use parallel::{
     available_jobs, chunk_size, parallel_indexed, parallel_indexed_chunked, parallel_tasks,

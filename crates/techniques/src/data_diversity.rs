@@ -19,11 +19,11 @@
 use std::sync::Arc;
 
 use redundancy_core::adjudicator::voting::MajorityVoter;
-use redundancy_core::adjudicator::Adjudicator;
+use redundancy_core::adjudicator::{Adjudicator, Decision};
 use redundancy_core::context::ExecContext;
-use redundancy_core::obs::{Point, SpanKind};
-use redundancy_core::outcome::{RejectionReason, VariantOutcome, Verdict};
-use redundancy_core::patterns::{emit_verdict, verdict_status};
+use redundancy_core::obs::{CostSnapshot, Point, SpanKind, SpanStatus};
+use redundancy_core::outcome::{RejectionReason, VariantFailure, VariantOutcome, Verdict};
+use redundancy_core::patterns::{emit_verdict, verdict_status, DecisionPolicy};
 use redundancy_core::taxonomy::{
     Adjudication, ArchitecturalPattern, Classification, FaultSet, Intention, RedundancyType,
 };
@@ -174,6 +174,21 @@ where
         self.reexpressions.len()
     }
 
+    /// Accepts a decision policy for uniformity with [`NCopy`]. Retry
+    /// blocks are *inherently* eager — re-expressions after the first
+    /// accepted result never run — so the policy changes nothing and
+    /// [`policy`](Self::policy) always reports [`DecisionPolicy::Eager`].
+    #[must_use]
+    pub fn with_policy(self, _policy: DecisionPolicy) -> Self {
+        self
+    }
+
+    /// The decision policy in effect (always [`DecisionPolicy::Eager`]).
+    #[must_use]
+    pub fn policy(&self) -> DecisionPolicy {
+        DecisionPolicy::Eager
+    }
+
     /// Runs the retry block.
     pub fn run(&self, input: &I, ctx: &mut ExecContext) -> Verdict<O> {
         let span = ctx.obs_begin(|| SpanKind::Technique {
@@ -221,6 +236,7 @@ pub struct NCopy<I, O> {
     program: Arc<dyn Variant<I, O>>,
     reexpressions: Vec<ReExpression<I, O>>,
     adjudicator: Box<dyn Adjudicator<O>>,
+    policy: DecisionPolicy,
 }
 
 impl<I, O> NCopy<I, O>
@@ -239,6 +255,7 @@ where
             program: Arc::new(program),
             reexpressions: vec![ReExpression::identity()],
             adjudicator: Box::new(MajorityVoter::new()),
+            policy: DecisionPolicy::Exhaustive,
         }
     }
 
@@ -247,6 +264,23 @@ where
     pub fn with_reexpression(mut self, re: ReExpression<I, O>) -> Self {
         self.reexpressions.push(re);
         self
+    }
+
+    /// Sets the decision policy. Under [`DecisionPolicy::Eager`] the vote
+    /// concludes as soon as a quorum of decoded outputs is mathematically
+    /// fixed: remaining copies are skipped and never forked, so their cost
+    /// is saved. The disposition and accepted output always match
+    /// `Exhaustive`.
+    #[must_use]
+    pub fn with_policy(mut self, policy: DecisionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The decision policy in effect.
+    #[must_use]
+    pub fn policy(&self) -> DecisionPolicy {
+        self.policy
     }
 
     /// Number of copies.
@@ -259,6 +293,20 @@ where
     pub fn run(&self, input: &I, ctx: &mut ExecContext) -> Verdict<O> {
         let span = ctx.obs_begin(|| SpanKind::Technique { name: "n-copy" });
         let before = ctx.cost();
+        let verdict = match self.policy {
+            DecisionPolicy::Exhaustive => self.run_exhaustive(input, ctx),
+            DecisionPolicy::Eager => self.run_eager(input, ctx),
+        };
+        emit_verdict(ctx, &verdict);
+        ctx.obs_end(
+            span,
+            verdict_status(&verdict),
+            ctx.cost().delta_since(before).snapshot(),
+        );
+        verdict
+    }
+
+    fn run_exhaustive(&self, input: &I, ctx: &mut ExecContext) -> Verdict<O> {
         let mut outcomes = Vec::with_capacity(self.reexpressions.len());
         let mut costs = Vec::with_capacity(self.reexpressions.len());
         for (i, re) in self.reexpressions.iter().enumerate() {
@@ -269,14 +317,46 @@ where
             outcomes.push(outcome);
         }
         ctx.add_parallel_costs(costs);
-        let verdict = self.adjudicator.adjudicate(&outcomes);
-        emit_verdict(ctx, &verdict);
-        ctx.obs_end(
-            span,
-            verdict_status(&verdict),
-            ctx.cost().delta_since(before).snapshot(),
-        );
-        verdict
+        self.adjudicator.adjudicate(&outcomes)
+    }
+
+    fn run_eager(&self, input: &I, ctx: &mut ExecContext) -> Verdict<O> {
+        let total = self.reexpressions.len();
+        let mut judge = self.adjudicator.begin_incremental(total);
+        let mut outcomes: Vec<VariantOutcome<O>> = Vec::with_capacity(total);
+        let mut verdict: Option<Verdict<O>> = None;
+        for (i, re) in self.reexpressions.iter().enumerate() {
+            if verdict.is_some() {
+                // Quorum already fixed: this copy is never forked or run,
+                // but its skip is first-class in the trace.
+                let name = format!("{}@{}", self.program.name(), re.name());
+                let span = ctx.obs_begin(|| SpanKind::Variant { name: name.clone() });
+                ctx.obs_end(
+                    span,
+                    SpanStatus::Failed { kind: "skipped" },
+                    CostSnapshot::ZERO,
+                );
+                outcomes.push(VariantOutcome::failed(name, VariantFailure::Skipped));
+                continue;
+            }
+            let variant = reexpressed_variant(Arc::clone(&self.program), re.clone());
+            let mut child = ctx.fork(i as u64);
+            let outcome = run_contained(variant.as_ref(), input, &mut child);
+            let decision = judge.feed(&outcome);
+            outcomes.push(outcome);
+            if decision.is_final() {
+                ctx.obs_emit(|| Point::EarlyDecision {
+                    executed: i + 1,
+                    total,
+                });
+                verdict = Some(match decision {
+                    Decision::Decided(v) => v,
+                    _ => judge.finish(&outcomes),
+                });
+            }
+        }
+        ctx.add_parallel_costs(outcomes.iter().map(|o| o.cost));
+        verdict.unwrap_or_else(|| judge.finish(&outcomes))
     }
 }
 
@@ -386,6 +466,42 @@ mod tests {
             .count();
         let rate = ok as f64 / 400.0;
         assert!((rate - 0.75).abs() < 0.07, "rate {rate}");
+    }
+
+    #[test]
+    fn eager_ncopy_matches_exhaustive_disposition_at_lower_cost() {
+        let mk = |policy| {
+            NCopy::new(buggy_linear(0.25))
+                .with_reexpression(shift(11))
+                .with_reexpression(shift(23))
+                .with_policy(policy)
+        };
+        let exhaustive = mk(DecisionPolicy::Exhaustive);
+        let eager = mk(DecisionPolicy::Eager);
+        assert_eq!(eager.policy(), DecisionPolicy::Eager);
+        let mut c1 = ExecContext::new(1);
+        let mut c2 = ExecContext::new(1);
+        for x in 0..300i64 {
+            let a = exhaustive.run(&x, &mut c1);
+            let b = eager.run(&x, &mut c2);
+            assert_eq!(a.is_accepted(), b.is_accepted(), "x={x}");
+            assert_eq!(a.output(), b.output(), "x={x}");
+        }
+        // Majority of 3 usually fixes after 2 agreeing copies: the third
+        // copy is skipped and its work saved.
+        assert!(
+            c2.cost().work_units < c1.cost().work_units,
+            "eager {} vs exhaustive {}",
+            c2.cost().work_units,
+            c1.cost().work_units
+        );
+    }
+
+    #[test]
+    fn retry_block_policy_is_inherently_eager() {
+        let rb = RetryBlock::new(buggy_linear(0.0), |x: &i64, out: &i64| *out == 2 * x + 6)
+            .with_policy(DecisionPolicy::Exhaustive);
+        assert_eq!(rb.policy(), DecisionPolicy::Eager);
     }
 
     #[test]

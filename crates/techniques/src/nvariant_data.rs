@@ -13,6 +13,7 @@
 //! Classification (Table 2): deliberate / data / reactive-implicit /
 //! malicious.
 
+use redundancy_core::patterns::DecisionPolicy;
 use redundancy_core::rng::SplitMix64;
 use redundancy_core::taxonomy::{
     Adjudication, ArchitecturalPattern, Classification, FaultSet, Intention, RedundancyType,
@@ -89,6 +90,7 @@ impl Encoding {
 pub struct NVariantCell {
     variants: Vec<(Encoding, u64)>,
     obs: Option<redundancy_core::obs::ObsHandle>,
+    policy: DecisionPolicy,
 }
 
 impl PartialEq for NVariantCell {
@@ -123,7 +125,26 @@ impl NVariantCell {
         Self {
             variants,
             obs: None,
+            policy: DecisionPolicy::Exhaustive,
         }
+    }
+
+    /// Sets the decision policy. Under [`DecisionPolicy::Eager`] a read
+    /// short-circuits at the *first* disagreeing decoding — the attack
+    /// verdict is already fixed — instead of decoding and comparing every
+    /// remaining variant. Detection is unchanged; the reported
+    /// `disagreeing` count then reflects only the comparisons actually
+    /// performed.
+    #[must_use]
+    pub fn with_policy(mut self, policy: DecisionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The decision policy in effect.
+    #[must_use]
+    pub fn policy(&self) -> DecisionPolicy {
+        self.policy
     }
 
     /// Attaches an observer; detected corruption emits a
@@ -158,12 +179,17 @@ impl NVariantCell {
     /// Returns [`AttackDetected`] when decodings disagree.
     pub fn read(&self) -> Result<u64, AttackDetected> {
         let first = self.variants[0].0.decode(self.variants[0].1);
-        let disagreeing = self
+        let mut disagreement = self
             .variants
             .iter()
             .skip(1)
-            .filter(|(enc, stored)| enc.decode(*stored) != first)
-            .count();
+            .map(|(enc, stored)| enc.decode(*stored) != first);
+        let disagreeing = match self.policy {
+            DecisionPolicy::Exhaustive => disagreement.filter(|&d| d).count(),
+            // The first disagreement fixes the verdict; later variants are
+            // never decoded or compared.
+            DecisionPolicy::Eager => usize::from(disagreement.any(|d| d)),
+        };
         if disagreeing == 0 {
             Ok(first)
         } else {
@@ -270,6 +296,33 @@ mod tests {
         let err = cell.read().unwrap_err();
         assert!(err.disagreeing >= 3, "disagreeing {}", err.disagreeing);
         assert_eq!(cell.variants(), 5);
+    }
+
+    #[test]
+    fn eager_policy_detects_the_same_attacks() {
+        let mut rng = SplitMix64::new(17);
+        for t in 0..500 {
+            let mut exhaustive = NVariantCell::new(4, t);
+            let mut eager = NVariantCell::new(4, t).with_policy(DecisionPolicy::Eager);
+            let value = rng.next_u64();
+            exhaustive.write(value);
+            eager.write(value);
+            assert_eq!(exhaustive.read().is_err(), eager.read().is_err());
+            let payload = rng.next_u64();
+            exhaustive.attack_overwrite(payload);
+            eager.attack_overwrite(payload);
+            assert_eq!(exhaustive.read().is_err(), eager.read().is_err(), "t={t}");
+        }
+    }
+
+    #[test]
+    fn eager_read_short_circuits_the_count() {
+        let mut cell = NVariantCell::new(5, 4).with_policy(DecisionPolicy::Eager);
+        assert_eq!(cell.policy(), DecisionPolicy::Eager);
+        cell.write(1);
+        cell.attack_overwrite(999);
+        // Only the comparison that fixed the verdict is reported.
+        assert_eq!(cell.read().unwrap_err().disagreeing, 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use redundancy_core::adjudicator::voting::MajorityVoter;
 use redundancy_core::adjudicator::Adjudicator;
 use redundancy_core::context::ExecContext;
-use redundancy_core::patterns::{ExecutionMode, ParallelEvaluation, PatternReport};
+use redundancy_core::patterns::{DecisionPolicy, ExecutionMode, ParallelEvaluation, PatternReport};
 use redundancy_core::taxonomy::{
     Adjudication, ArchitecturalPattern, Classification, FaultSet, Intention, RedundancyType,
 };
@@ -103,6 +103,23 @@ where
     pub fn threaded(mut self) -> Self {
         self.pattern = self.pattern.with_mode(ExecutionMode::Threaded);
         self
+    }
+
+    /// Sets the decision policy. Under [`DecisionPolicy::Eager`] the vote
+    /// concludes the moment a quorum is mathematically fixed: remaining
+    /// versions are skipped (sequential mode) or cooperatively cancelled
+    /// (threaded mode), reducing cost without changing the disposition or
+    /// the accepted output.
+    #[must_use]
+    pub fn with_policy(mut self, policy: DecisionPolicy) -> Self {
+        self.pattern = self.pattern.with_policy(policy);
+        self
+    }
+
+    /// The decision policy in effect.
+    #[must_use]
+    pub fn policy(&self) -> DecisionPolicy {
+        self.pattern.policy()
     }
 
     /// Number of versions.
@@ -278,6 +295,35 @@ mod tests {
         let seq = NVersion::new(mk()).run(&1, &mut c1);
         let thr = NVersion::new(mk()).threaded().run(&1, &mut c2);
         assert_eq!(seq.verdict, thr.verdict);
+    }
+
+    #[test]
+    fn eager_policy_skips_versions_once_majority_is_fixed() {
+        let mk = |policy| {
+            NVersion::new(vec![
+                pure_variant("a", 10, |x: &i64| x * 2),
+                pure_variant("b", 10, |x: &i64| x * 2),
+                pure_variant("c", 10, |x: &i64| x * 2),
+                pure_variant("d", 10, |x: &i64| x * 2),
+                pure_variant("e", 10, |x: &i64| x * 2),
+            ])
+            .with_policy(policy)
+        };
+        let mut c1 = ExecContext::new(2);
+        let exhaustive = mk(DecisionPolicy::Exhaustive).run(&4, &mut c1);
+        let mut c2 = ExecContext::new(2);
+        let eager = mk(DecisionPolicy::Eager).run(&4, &mut c2);
+
+        assert_eq!(eager.into_output(), Some(8));
+        assert_eq!(exhaustive.skipped(), 0);
+        // Majority (3 of 5) fixed after the third agreeing version.
+        let eager = {
+            let mut ctx = ExecContext::new(2);
+            mk(DecisionPolicy::Eager).run(&4, &mut ctx)
+        };
+        assert_eq!(eager.executed(), 3);
+        assert_eq!(eager.skipped(), 2);
+        assert!(c2.cost().work_units < c1.cost().work_units);
     }
 
     #[test]

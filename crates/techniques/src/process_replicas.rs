@@ -15,6 +15,7 @@
 use std::sync::Arc;
 
 use redundancy_core::obs::{ObsHandle, Observer, Point};
+use redundancy_core::patterns::DecisionPolicy;
 use redundancy_core::taxonomy::{
     Adjudication, ArchitecturalPattern, Classification, FaultSet, Intention, RedundancyType,
 };
@@ -118,6 +119,7 @@ pub struct ProcessReplicas {
     /// Bytes each replica allocates at start (a victim buffer).
     victim_len: u64,
     obs: Option<ObsHandle>,
+    policy: DecisionPolicy,
 }
 
 impl ProcessReplicas {
@@ -148,7 +150,25 @@ impl ProcessReplicas {
             replicas,
             victim_len,
             obs: None,
+            policy: DecisionPolicy::Exhaustive,
         }
+    }
+
+    /// Sets the decision policy. Under [`DecisionPolicy::Eager`] serving
+    /// stops at the *first* replica that diverges from replica 0 — the
+    /// attack verdict is already fixed, so the remaining replicas never
+    /// process the request and are recorded as skipped in the forensic
+    /// observations. Benign (unanimous) requests still run everywhere.
+    #[must_use]
+    pub fn with_policy(mut self, policy: DecisionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The decision policy in effect.
+    #[must_use]
+    pub fn policy(&self) -> DecisionPolicy {
+        self.policy
     }
 
     /// Attaches an observer; replica divergence emits a
@@ -172,32 +192,32 @@ impl ProcessReplicas {
         self.replicas[0].memory.partition_base() + self.victim_len / 2
     }
 
-    /// Processes a request through every replica and compares behavior.
+    /// Processes a request replica by replica and compares behavior. Under
+    /// [`DecisionPolicy::Eager`] the comparison is streamed: the first
+    /// divergence fixes the attack verdict and the remaining replicas are
+    /// skipped.
     pub fn execute(&mut self, request: &Request) -> ReplicaVerdict {
+        let n = self.replicas.len();
+        let policy = self.policy;
+        let obs = self.obs.as_ref();
         match request {
             Request::Compute { program, args } => {
-                let results: Vec<Result<i64, String>> = self
-                    .replicas
-                    .iter()
-                    .map(|r| {
-                        let tagged: Vec<Instr> = tag_program(program, r.tag);
-                        r.vm.execute(&tagged, args).map_err(|e| e.to_string())
-                    })
-                    .collect();
-                self.compare(results)
+                let replicas = &self.replicas;
+                streamed_comparison(policy, obs, n, |i| {
+                    let r = &replicas[i];
+                    let tagged: Vec<Instr> = tag_program(program, r.tag);
+                    r.vm.execute(&tagged, args).map_err(|e| e.to_string())
+                })
             }
             Request::MemoryAttack { addr, len } => {
-                let results: Vec<Result<i64, String>> = self
-                    .replicas
-                    .iter_mut()
-                    .map(|r| {
-                        r.memory
-                            .write_absolute(*addr, *len)
-                            .map(|()| 0)
-                            .map_err(|e| e.to_string())
-                    })
-                    .collect();
-                self.compare(results)
+                let replicas = &mut self.replicas;
+                streamed_comparison(policy, obs, n, |i| {
+                    replicas[i]
+                        .memory
+                        .write_absolute(*addr, *len)
+                        .map(|()| 0)
+                        .map_err(|e| e.to_string())
+                })
             }
             Request::CodeInjection {
                 program,
@@ -205,49 +225,77 @@ impl ProcessReplicas {
                 payload,
                 position,
             } => {
-                let results: Vec<Result<i64, String>> = self
-                    .replicas
-                    .iter()
-                    .map(|r| {
-                        let mut tagged: Vec<Instr> = tag_program(program, r.tag);
-                        let injected: Vec<Instr> = tag_program(payload, 0); // attacker tag
-                        let at = (*position).min(tagged.len());
-                        for (k, instr) in injected.into_iter().enumerate() {
-                            tagged.insert(at + k, instr);
-                        }
-                        r.vm.execute(&tagged, args).map_err(|e| e.to_string())
-                    })
-                    .collect();
-                self.compare(results)
+                let replicas = &self.replicas;
+                streamed_comparison(policy, obs, n, |i| {
+                    let r = &replicas[i];
+                    let mut tagged: Vec<Instr> = tag_program(program, r.tag);
+                    let injected: Vec<Instr> = tag_program(payload, 0); // attacker tag
+                    let at = (*position).min(tagged.len());
+                    for (k, instr) in injected.into_iter().enumerate() {
+                        tagged.insert(at + k, instr);
+                    }
+                    r.vm.execute(&tagged, args).map_err(|e| e.to_string())
+                })
             }
         }
     }
+}
 
-    fn compare(&self, results: Vec<Result<i64, String>>) -> ReplicaVerdict {
-        let first = &results[0];
-        let unanimous = results.iter().all(|r| match (r, first) {
-            (Ok(a), Ok(b)) => a == b,
-            (Err(_), Err(_)) => true, // all fail => consistent rejection
-            _ => false,
-        });
-        if unanimous {
-            ReplicaVerdict::Agreed {
-                result: first.as_ref().ok().copied(),
-            }
-        } else {
-            let observations: Vec<String> = results
-                .into_iter()
-                .map(|r| match r {
-                    Ok(v) => format!("completed with {v}"),
-                    Err(e) => format!("faulted: {e}"),
-                })
-                .collect();
-            if let Some(obs) = &self.obs {
-                let detail = observations.join(" | ");
-                obs.emit(0, move || Point::ReplicaDivergence { detail });
-            }
-            ReplicaVerdict::AttackDetected { observations }
+/// Runs `run(i)` for each replica, comparing against replica 0 as results
+/// stream in. Exhaustive: every replica runs, then the full set is
+/// compared — byte-identical to the historical behavior. Eager: the first
+/// divergence fixes `AttackDetected`; replicas never run after it and are
+/// recorded as skipped observations.
+fn streamed_comparison(
+    policy: DecisionPolicy,
+    obs: Option<&ObsHandle>,
+    n: usize,
+    mut run: impl FnMut(usize) -> Result<i64, String>,
+) -> ReplicaVerdict {
+    let mut results: Vec<Result<i64, String>> = Vec::with_capacity(n);
+    let mut executed = n;
+    for i in 0..n {
+        let result = run(i);
+        let diverged = i > 0
+            && !matches!(
+                (&result, &results[0]),
+                (Ok(a), Ok(b)) if a == b
+            )
+            && !matches!((&result, &results[0]), (Err(_), Err(_)));
+        results.push(result);
+        if diverged && policy == DecisionPolicy::Eager {
+            executed = i + 1;
+            break;
         }
+    }
+    let first = &results[0];
+    let unanimous = results.iter().all(|r| match (r, first) {
+        (Ok(a), Ok(b)) => a == b,
+        (Err(_), Err(_)) => true, // all fail => consistent rejection
+        _ => false,
+    });
+    if unanimous {
+        ReplicaVerdict::Agreed {
+            result: first.as_ref().ok().copied(),
+        }
+    } else {
+        let mut observations: Vec<String> = results
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => format!("completed with {v}"),
+                Err(e) => format!("faulted: {e}"),
+            })
+            .collect();
+        for _ in executed..n {
+            observations.push(format!(
+                "skipped: attack already detected after {executed} of {n} replicas"
+            ));
+        }
+        if let Some(obs) = obs {
+            let detail = observations.join(" | ");
+            obs.emit(0, move || Point::ReplicaDivergence { detail });
+        }
+        ReplicaVerdict::AttackDetected { observations }
     }
 }
 
@@ -380,6 +428,63 @@ mod tests {
             }
         }
         assert_eq!(detected, tried, "all in-partition attacks must be caught");
+    }
+
+    #[test]
+    fn eager_policy_stops_replicas_at_first_divergence() {
+        let mut eager = ProcessReplicas::new(4).with_policy(DecisionPolicy::Eager);
+        assert_eq!(eager.policy(), DecisionPolicy::Eager);
+        let target = eager.leaked_address();
+        let verdict = eager.execute(&Request::MemoryAttack {
+            addr: target,
+            len: 8,
+        });
+        assert!(verdict.is_attack());
+        if let ReplicaVerdict::AttackDetected { observations } = verdict {
+            // Replica 1 diverges from replica 0; replicas 2 and 3 never
+            // process the request.
+            assert_eq!(observations.len(), 4);
+            assert!(observations[0].contains("completed"));
+            assert!(observations[1].contains("faulted"));
+            assert!(observations[2].starts_with("skipped"));
+            assert!(observations[3].starts_with("skipped"));
+        }
+    }
+
+    #[test]
+    fn eager_policy_matches_exhaustive_verdicts() {
+        let mut exhaustive = ProcessReplicas::new(3);
+        let mut eager = ProcessReplicas::new(3).with_policy(DecisionPolicy::Eager);
+        let requests = vec![
+            Request::Compute {
+                program: square_program(),
+                args: vec![7],
+            },
+            Request::MemoryAttack {
+                addr: exhaustive.leaked_address(),
+                len: 8,
+            },
+            Request::MemoryAttack {
+                addr: 0xffff_ffff_ffff_0000,
+                len: 8,
+            },
+            Request::CodeInjection {
+                program: square_program(),
+                args: vec![5],
+                payload: vec![Opcode::Push(0x41), Opcode::Add],
+                position: 1,
+            },
+        ];
+        for request in &requests {
+            let a = exhaustive.execute(request);
+            let b = eager.execute(request);
+            assert_eq!(a.is_attack(), b.is_attack(), "{request:?}");
+            if let (ReplicaVerdict::Agreed { result: ra }, ReplicaVerdict::Agreed { result: rb }) =
+                (&a, &b)
+            {
+                assert_eq!(ra, rb, "{request:?}");
+            }
+        }
     }
 
     #[test]

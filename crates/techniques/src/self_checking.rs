@@ -14,7 +14,7 @@
 use redundancy_core::adjudicator::acceptance::{AcceptanceTest, BoxedAcceptance, FnAcceptance};
 use redundancy_core::context::ExecContext;
 use redundancy_core::outcome::VariantFailure;
-use redundancy_core::patterns::{ExecutionMode, ParallelSelection, PatternReport};
+use redundancy_core::patterns::{DecisionPolicy, ExecutionMode, ParallelSelection, PatternReport};
 use redundancy_core::taxonomy::{
     Adjudication, ArchitecturalPattern, Classification, FaultSet, Intention, RedundancyType,
 };
@@ -148,6 +148,23 @@ where
     pub fn threaded(mut self) -> Self {
         self.pattern = self.pattern.with_mode(ExecutionMode::Threaded);
         self
+    }
+
+    /// Sets the decision policy. Under [`DecisionPolicy::Eager`] the run
+    /// concludes as soon as the acting result validates: hot spares whose
+    /// turn never comes are skipped (sequential mode) or cooperatively
+    /// cancelled (threaded mode) instead of finishing their now-useless
+    /// executions.
+    #[must_use]
+    pub fn with_policy(mut self, policy: DecisionPolicy) -> Self {
+        self.pattern = self.pattern.with_policy(policy);
+        self
+    }
+
+    /// The decision policy in effect.
+    #[must_use]
+    pub fn policy(&self) -> DecisionPolicy {
+        self.pattern.policy()
     }
 
     /// Number of self-checking components.
@@ -299,6 +316,27 @@ mod tests {
             .with_tested_component(always_failing("b"), positive());
         let mut ctx = ExecContext::new(0);
         assert!(!sc.run(&1, &mut ctx).is_accepted());
+    }
+
+    #[test]
+    fn eager_policy_skips_hot_spares_once_acting_validates() {
+        let mk = |policy| {
+            SelfChecking::new()
+                .with_tested_component(pure_variant("acting", 10, |x: &i64| x + 1), positive())
+                .with_tested_component(pure_variant("spare1", 10, |x: &i64| x + 1), positive())
+                .with_tested_component(pure_variant("spare2", 10, |x: &i64| x + 1), positive())
+                .with_policy(policy)
+        };
+        let mut c1 = ExecContext::new(4);
+        let exhaustive = mk(DecisionPolicy::Exhaustive).run(&1, &mut c1);
+        let mut c2 = ExecContext::new(4);
+        let eager = mk(DecisionPolicy::Eager).run(&1, &mut c2);
+
+        assert_eq!(eager.output(), exhaustive.output());
+        assert_eq!(eager.selected, exhaustive.selected);
+        assert_eq!(eager.executed(), 1, "acting result decides immediately");
+        assert_eq!(eager.skipped(), 2);
+        assert!(c2.cost().work_units < c1.cost().work_units);
     }
 
     #[test]

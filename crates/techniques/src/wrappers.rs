@@ -14,6 +14,16 @@
 //!
 //! Classification (Table 2): deliberate / code / preventive / Bohrbugs +
 //! malicious.
+//!
+//! Wrappers are *intra-component*: they have no redundant executions of
+//! their own to decide over, so there is no decision policy to set here.
+//! They compose with the eager pattern engines for free instead — a
+//! wrapped variant charges the same execution context as an unwrapped
+//! one, so when a pattern running under
+//! [`DecisionPolicy::Eager`](redundancy_core::patterns::DecisionPolicy)
+//! fixes its verdict, in-flight wrapped variants observe the cancellation
+//! token at their next charge exactly like bare variants do (see the
+//! `wrapped_variants_cooperate_with_eager_cancellation` test).
 
 use redundancy_core::context::ExecContext;
 use redundancy_core::outcome::VariantFailure;
@@ -250,6 +260,41 @@ impl Technique for HeapWrapper {
 mod tests {
     use super::*;
     use redundancy_core::variant::pure_variant;
+
+    #[test]
+    fn wrapped_variants_cooperate_with_eager_cancellation() {
+        use redundancy_core::adjudicator::voting::MajorityVoter;
+        use redundancy_core::patterns::{DecisionPolicy, ExecutionMode, ParallelEvaluation};
+        use redundancy_core::variant::FnVariant;
+
+        // A wrapper around a long-running component: the wrapper passes
+        // the input through, and the inner loop charges the (cancellable)
+        // context on every step.
+        let slow: BoxedVariant<i32, i32> =
+            Box::new(FnVariant::new("slow", |x: &i32, ctx: &mut ExecContext| {
+                for _ in 0..2_000 {
+                    ctx.charge(1).map_err(|_| VariantFailure::Timeout)?;
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                }
+                Ok(*x)
+            }));
+        let wrapped: BoxedVariant<i32, i32> =
+            Box::new(SanitizingWrapper::new(slow, |x: &i32| *x >= 0));
+        let p = ParallelEvaluation::new(MajorityVoter::new())
+            .with_mode(ExecutionMode::Threaded)
+            .with_policy(DecisionPolicy::Eager)
+            .with_variant(pure_variant("a", 10, |x: &i32| x * 2))
+            .with_variant(pure_variant("b", 20, |x: &i32| x * 2))
+            .with_variant(wrapped);
+        let mut ctx = ExecContext::new(3);
+        let report = p.run(&10, &mut ctx);
+
+        // The two agreeing fast variants fix the majority; the wrapped
+        // straggler notices the token through its inner charges.
+        assert_eq!(report.output(), Some(&20));
+        assert_eq!(report.outcomes[2].result, Err(VariantFailure::Cancelled));
+        assert_eq!(report.cancelled(), 1);
+    }
 
     #[test]
     fn heap_wrapper_prevents_all_smashes() {

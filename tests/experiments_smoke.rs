@@ -90,6 +90,12 @@ fn e17_smoke() {
 }
 
 #[test]
+fn e18_smoke() {
+    assert_table(&exp::early_exit::run(TRIALS, SEED), 4, "saved");
+    assert_table(&exp::early_exit::run_quorum(TRIALS, SEED), 4, "q=");
+}
+
+#[test]
 fn e11_smoke() {
     assert_table(&exp::microreboot::run(2_000, SEED), 3, "JAGR");
 }
