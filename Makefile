@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy test build bench bench-campaign bench-smoke examples
+.PHONY: verify fmt clippy test build bench bench-campaign bench-smoke chaos-smoke examples
 
 verify: fmt clippy test
 
@@ -33,6 +33,14 @@ bench-campaign:
 # determinism guards green — not a measurement.
 bench-smoke:
 	CRITERION_SAMPLES=2 CRITERION_MEASURE_MS=20 CRITERION_WARMUP_MS=5 $(CARGO) bench --workspace
+
+# Kill-and-resume determinism gate: runs E19 in its reduced --smoke
+# configuration, which injects scripted worker kills / mid-trial
+# cancellations into checkpointed campaigns and asserts the resumed
+# summaries (and the traced event stream) are byte-identical to an
+# uninterrupted run. Fails loudly if crash-only resumption ever drifts.
+chaos-smoke:
+	$(CARGO) run -q -p redundancy-bench --bin exp_resume -- --smoke
 
 # Build and run every example end to end. A CI smoke test: the examples
 # are the documented entry points, so they must keep compiling *and*

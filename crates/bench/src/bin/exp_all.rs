@@ -8,6 +8,14 @@ use redundancy_bench::experiments as exp;
 use redundancy_bench::{default_seed, default_trials, jobs_arg};
 
 fn main() {
+    // E19 scripts worker kills and catches them; keep the default
+    // hook's backtraces for real panics only.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !redundancy_sim::ChaosPlan::is_chaos_panic(info.payload()) {
+            default_hook(info);
+        }
+    }));
     let trials = default_trials();
     let seed = default_seed();
     let jobs = jobs_arg();
@@ -57,4 +65,6 @@ fn main() {
     println!("{rule}\nE18 — eager adjudication early exit\n{rule}");
     print!("{}", exp::early_exit::run_jobs(trials, seed, jobs));
     print!("{}", exp::early_exit::run_quorum_jobs(trials, seed, jobs));
+    println!("{rule}\nE19 — resumable campaigns: interval vs work lost\n{rule}");
+    print!("{}", exp::resume::run_jobs(128, seed, jobs));
 }

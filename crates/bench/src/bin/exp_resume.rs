@@ -1,0 +1,34 @@
+//! Extension experiment: resumable campaigns — checkpoint interval vs
+//! work lost to an injected kill, plus the traced chaos smoke check.
+//!
+//! `--smoke` runs a reduced configuration suitable for CI
+//! (`make chaos-smoke`).
+
+use redundancy_bench::experiments::resume;
+use redundancy_bench::{default_seed, jobs_arg};
+use redundancy_sim::ChaosPlan;
+
+fn main() {
+    // The experiment *scripts* worker kills and catches them; keep the
+    // default hook's backtraces for real panics only.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !ChaosPlan::is_chaos_panic(info.payload()) {
+            default_hook(info);
+        }
+    }));
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let trials = if smoke { 64 } else { 256 };
+    let seed = default_seed();
+    println!("E19 — resumable campaigns: checkpoint interval vs work lost");
+    println!(
+        "({trials} trials, kill injected before trial {})\n",
+        trials * 3 / 4
+    );
+    print!("{}", resume::run_jobs(trials, seed, jobs_arg()));
+    let kills = resume::chaos_smoke(if smoke { 60 } else { 120 }, seed, jobs_arg());
+    println!(
+        "\nchaos smoke: PASS — traced campaign survived {kills} scripted kill(s); \
+         resumed summary and event stream byte-identical to the clean run"
+    );
+}

@@ -11,6 +11,7 @@ pub mod gp_fix;
 pub mod microreboot;
 pub mod nvp_tolerance;
 pub mod rejuvenation;
+pub mod resume;
 pub mod robust_data;
 pub mod rx;
 pub mod rx_ablation;

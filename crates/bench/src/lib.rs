@@ -55,10 +55,34 @@ pub fn jobs_arg() -> usize {
             return n;
         }
     }
-    std::env::var("REDUNDANCY_JOBS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(redundancy_sim::available_jobs)
+    match std::env::var("REDUNDANCY_JOBS") {
+        Ok(value) => match parse_jobs_env(&value) {
+            Ok(jobs) => jobs,
+            Err(warning) => {
+                if let Some(warning) = warning {
+                    eprintln!("{warning}");
+                }
+                redundancy_sim::available_jobs()
+            }
+        },
+        Err(_) => redundancy_sim::available_jobs(),
+    }
+}
+
+/// Parses a `REDUNDANCY_JOBS` value: `Ok(n)` for a positive integer,
+/// `Err(None)` for an empty value (treated as unset), `Err(Some(msg))`
+/// for a set-but-ignored value — [`jobs_arg`] prints the message so a
+/// typo (`REDUNDANCY_JOBS=0`, `=abc`) doesn't silently re-serialize the
+/// campaign on the hardware default.
+fn parse_jobs_env(value: &str) -> Result<usize, Option<String>> {
+    match value.trim().parse::<usize>() {
+        Ok(jobs) if jobs > 0 => Ok(jobs),
+        _ if value.trim().is_empty() => Err(None),
+        _ => Err(Some(format!(
+            "warning: ignoring REDUNDANCY_JOBS={value:?}: expected a positive integer, \
+             using available parallelism"
+        ))),
+    }
 }
 
 /// Whether `--trace` was passed on the command line: `exp_*` binaries
@@ -112,4 +136,28 @@ pub fn fmt_rate(rate: f64) -> String {
 #[must_use]
 pub fn fmt_opt_rate(rate: Option<f64>) -> String {
     rate.map_or_else(|| "   —".to_owned(), |r| format!("{r:.3}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_env_values_parse_warn_or_stay_silent() {
+        assert_eq!(parse_jobs_env("4"), Ok(4));
+        assert_eq!(parse_jobs_env(" 16 "), Ok(16));
+        // Empty is "unset": silent fallback.
+        assert_eq!(parse_jobs_env(""), Err(None));
+        assert_eq!(parse_jobs_env("  "), Err(None));
+        // Garbage and zero warn, naming the variable and the value.
+        for bad in ["0", "abc", "-2"] {
+            let warning = parse_jobs_env(bad)
+                .expect_err("bad value falls back")
+                .expect("bad value warns");
+            assert!(
+                warning.contains("REDUNDANCY_JOBS") && warning.contains(bad),
+                "warning must name the variable and the value: {warning}"
+            );
+        }
+    }
 }

@@ -17,7 +17,7 @@
 //! identical in behavior.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use redundancy_obs::{CostSnapshot, ObsHandle, Observer, Point, SpanKind, SpanStatus, SpanToken};
@@ -46,6 +46,10 @@ impl std::error::Error for FuelExhausted {}
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    /// Optional charge-check fuse (see [`CancelToken::cancel_after`]):
+    /// each [`is_cancelled`](CancelToken::is_cancelled) check consumes
+    /// one unit, and the token fires itself when the budget is spent.
+    fuse: Option<Arc<AtomicU64>>,
 }
 
 impl CancelToken {
@@ -55,16 +59,47 @@ impl CancelToken {
         Self::default()
     }
 
+    /// Creates a token that fires itself on the `checks`-th
+    /// [`is_cancelled`](CancelToken::is_cancelled) check (`checks` is
+    /// clamped to at least 1). Since contexts check once per
+    /// [`ExecContext::charge`], this cancels an execution at a
+    /// deterministic charge point — the simulator's chaos harness uses
+    /// it to inject cancellation mid-trial without patching call sites.
+    #[must_use]
+    pub fn cancel_after(checks: u64) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            fuse: Some(Arc::new(AtomicU64::new(checks.max(1)))),
+        }
+    }
+
     /// Fires the token: every context carrying it starts failing
     /// [`ExecContext::charge`] calls.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Release);
     }
 
-    /// Whether the token has fired.
+    /// Whether the token has fired. With a
+    /// [`cancel_after`](CancelToken::cancel_after) fuse, each call
+    /// consumes one unit of the budget and the last unit fires the
+    /// token.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(fuse) = &self.fuse {
+            match fuse.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1)) {
+                // This check consumed the last unit, or the budget was
+                // already spent: the fuse has blown.
+                Ok(1) | Err(_) => {
+                    self.flag.store(true, Ordering::Release);
+                    return true;
+                }
+                Ok(_) => {}
+            }
+        }
+        false
     }
 }
 
@@ -491,6 +526,27 @@ mod tests {
         token.cancel();
         assert_eq!(child.charge(1), Err(FuelExhausted));
         assert!(child.was_cancelled());
+    }
+
+    #[test]
+    fn cancel_after_fires_on_the_nth_charge() {
+        let token = CancelToken::cancel_after(3);
+        let mut ctx = ExecContext::new(u64::MAX).with_cancel_token(token.clone());
+        ctx.charge(1).unwrap();
+        ctx.charge(1).unwrap();
+        assert!(!ctx.was_cancelled());
+        // The third charge check consumes the last fuse unit.
+        assert_eq!(ctx.charge(1), Err(FuelExhausted));
+        assert!(ctx.was_cancelled());
+        // Once blown the token stays fired without further fuse math.
+        assert!(token.is_cancelled());
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_after_zero_is_clamped_to_the_first_check() {
+        let mut ctx = ExecContext::new(u64::MAX).with_cancel_token(CancelToken::cancel_after(0));
+        assert_eq!(ctx.charge(1), Err(FuelExhausted));
     }
 
     #[test]

@@ -68,14 +68,50 @@ pub const WARMUP_MS_ENV: &str = "CRITERION_WARMUP_MS";
 /// `default` when unset, empty, or unparsable. Zero is clamped to the
 /// default too: zero samples or a zero time budget would make every
 /// benchmark degenerate.
+///
+/// A *set but ignored* value (garbage or zero) is reported once per
+/// variable on stderr — silently benchmarking with the defaults after
+/// the user asked for something else invalidates their comparison.
 fn env_override(var: &str, default: u64) -> u64 {
+    let (value, warning) = env_override_checked(var, default);
+    if let Some(warning) = warning {
+        warn_once(var, &warning);
+    }
+    value
+}
+
+/// The fallback logic of [`env_override`], returning the warning text
+/// (if the value was set but ignored) instead of printing it, so tests
+/// can assert on it.
+fn env_override_checked(var: &str, default: u64) -> (u64, Option<String>) {
     match std::env::var(var) {
         Ok(value) => match value.trim().parse::<u64>() {
-            Ok(parsed) if parsed > 0 => parsed,
-            _ => default,
+            Ok(parsed) if parsed > 0 => (parsed, None),
+            // Empty counts as unset, not as a bad value.
+            _ if value.trim().is_empty() => (default, None),
+            _ => (
+                default,
+                Some(format!(
+                    "warning: ignoring {var}={value:?}: expected a positive integer, \
+                     using default {default}"
+                )),
+            ),
         },
-        Err(_) => default,
+        Err(_) => (default, None),
     }
+}
+
+/// Prints `message` to stderr the first time `var` triggers it; the
+/// sampling knobs are re-read on every benchmark, and one warning per
+/// run is signal where dozens would be noise.
+fn warn_once(var: &str, message: &str) {
+    static WARNED: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let mut warned = WARNED.lock().expect("warned lock");
+    if warned.iter().any(|w| w == var) {
+        return;
+    }
+    warned.push(var.to_owned());
+    eprintln!("{message}");
 }
 
 /// Number of measurement samples per benchmark.
@@ -379,6 +415,43 @@ mod tests {
         assert_eq!(env_override("CRITERION_TEST_BAD_VAR", 24), 24);
         std::env::set_var("CRITERION_TEST_ZERO_VAR", "0");
         assert_eq!(env_override("CRITERION_TEST_ZERO_VAR", 24), 24);
+    }
+
+    #[test]
+    fn ignored_override_values_warn_naming_variable_and_value() {
+        // Garbage: fall back and say which variable held what.
+        std::env::set_var("CRITERION_TEST_WARN_BAD", "abc");
+        let (value, warning) = env_override_checked("CRITERION_TEST_WARN_BAD", 24);
+        assert_eq!(value, 24);
+        let warning = warning.expect("a set-but-ignored value warns");
+        assert!(
+            warning.contains("CRITERION_TEST_WARN_BAD") && warning.contains("\"abc\""),
+            "warning must name the variable and the value: {warning}"
+        );
+        assert!(
+            warning.contains("24"),
+            "warning names the default: {warning}"
+        );
+        // Zero is ignored too (degenerate schedule), and warns.
+        std::env::set_var("CRITERION_TEST_WARN_ZERO", "0");
+        let (value, warning) = env_override_checked("CRITERION_TEST_WARN_ZERO", 24);
+        assert_eq!(value, 24);
+        assert!(warning.expect("zero warns").contains("\"0\""));
+        // Valid, empty, and unset values stay silent.
+        std::env::set_var("CRITERION_TEST_WARN_OK", "12");
+        assert_eq!(
+            env_override_checked("CRITERION_TEST_WARN_OK", 24),
+            (12, None)
+        );
+        std::env::set_var("CRITERION_TEST_WARN_EMPTY", "  ");
+        assert_eq!(
+            env_override_checked("CRITERION_TEST_WARN_EMPTY", 24),
+            (24, None)
+        );
+        assert_eq!(
+            env_override_checked("CRITERION_TEST_WARN_UNSET", 24),
+            (24, None)
+        );
     }
 
     #[test]

@@ -189,7 +189,7 @@ pub fn summary(events: &[Event]) -> String {
 }
 
 #[cfg(feature = "serde")]
-pub use self::jsonl::{event_to_json, to_jsonl};
+pub use self::jsonl::{event_from_json, event_to_json, from_jsonl, to_jsonl, ParseError};
 
 #[cfg(feature = "serde")]
 mod jsonl {
@@ -198,7 +198,7 @@ mod jsonl {
 
     use std::fmt::Write as _;
 
-    use crate::event::{Event, EventKind, Point, SpanKind, SpanStatus};
+    use crate::event::{CostSnapshot, Event, EventKind, Point, SpanKind, SpanStatus};
 
     fn escape(s: &str, out: &mut String) {
         out.push('"');
@@ -415,6 +415,552 @@ mod jsonl {
         }
         out
     }
+
+    // ---- parsing: the exact inverse of the serializers above ----
+
+    /// Error from [`event_from_json`] / [`from_jsonl`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ParseError {
+        message: String,
+    }
+
+    impl ParseError {
+        fn new(message: impl Into<String>) -> Self {
+            ParseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for ParseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for ParseError {}
+
+    /// A parsed JSON value. Numbers are kept as raw text and converted
+    /// per field, so `u64` values above 2^53 (seeds, span ids) never pass
+    /// through `f64` and lose precision.
+    enum Json {
+        Null,
+        Bool(bool),
+        Num(String),
+        Str(String),
+        // Event lines never carry arrays, so the payload is unread; it is
+        // parsed (not skipped) so malformed nesting is still an error.
+        Arr(#[allow(dead_code)] Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        fn fields(&self, what: &str) -> Result<&[(String, Json)], ParseError> {
+            match self {
+                Json::Obj(fields) => Ok(fields),
+                _ => Err(ParseError::new(format!("{what}: expected an object"))),
+            }
+        }
+
+        fn str_value(&self, what: &str) -> Result<&str, ParseError> {
+            match self {
+                Json::Str(s) => Ok(s),
+                _ => Err(ParseError::new(format!("{what}: expected a string"))),
+            }
+        }
+
+        fn bool_value(&self, what: &str) -> Result<bool, ParseError> {
+            match self {
+                Json::Bool(b) => Ok(*b),
+                _ => Err(ParseError::new(format!("{what}: expected a boolean"))),
+            }
+        }
+
+        fn raw_num(&self, what: &str) -> Result<&str, ParseError> {
+            match self {
+                Json::Num(raw) => Ok(raw),
+                _ => Err(ParseError::new(format!("{what}: expected a number"))),
+            }
+        }
+    }
+
+    struct Cursor<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Cursor<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+            if self.peek() == Some(byte) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(ParseError::new(format!(
+                    "expected '{}' at byte {}",
+                    byte as char, self.pos
+                )))
+            }
+        }
+
+        fn literal(&mut self, word: &str) -> Result<(), ParseError> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(())
+            } else {
+                Err(ParseError::new(format!(
+                    "expected '{word}' at byte {}",
+                    self.pos
+                )))
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, ParseError> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Json::Str(self.string()?)),
+                Some(b't') => {
+                    self.literal("true")?;
+                    Ok(Json::Bool(true))
+                }
+                Some(b'f') => {
+                    self.literal("false")?;
+                    Ok(Json::Bool(false))
+                }
+                Some(b'n') => {
+                    self.literal("null")?;
+                    Ok(Json::Null)
+                }
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(ParseError::new(format!(
+                    "unexpected input at byte {}",
+                    self.pos
+                ))),
+            }
+        }
+
+        fn number(&mut self) -> Result<Json, ParseError> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(
+                self.peek(),
+                Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+            ) {
+                self.pos += 1;
+            }
+            let raw =
+                std::str::from_utf8(&self.bytes[start..self.pos]).expect("number tokens are ascii");
+            if raw.is_empty() {
+                return Err(ParseError::new(format!("empty number at byte {start}")));
+            }
+            Ok(Json::Num(raw.to_owned()))
+        }
+
+        fn string(&mut self) -> Result<String, ParseError> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err(ParseError::new("unterminated string")),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self
+                            .peek()
+                            .ok_or_else(|| ParseError::new("unterminated escape"))?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let code = self.hex4()?;
+                                let decoded = if (0xd800..0xdc00).contains(&code) {
+                                    // High surrogate: a low surrogate
+                                    // escape must follow.
+                                    self.literal("\\u")?;
+                                    let low = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&low) {
+                                        return Err(ParseError::new("invalid low surrogate"));
+                                    }
+                                    char::from_u32(
+                                        0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00),
+                                    )
+                                } else {
+                                    char::from_u32(code)
+                                };
+                                out.push(
+                                    decoded.ok_or_else(|| ParseError::new("invalid \\u escape"))?,
+                                );
+                            }
+                            other => {
+                                return Err(ParseError::new(format!(
+                                    "unknown escape '\\{}'",
+                                    other as char
+                                )))
+                            }
+                        }
+                    }
+                    Some(_) => {
+                        // Copy the run up to the next quote or escape.
+                        // Both delimiters are ASCII, so the slice cannot
+                        // split a multi-byte character.
+                        let start = self.pos;
+                        while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                            self.pos += 1;
+                        }
+                        let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| ParseError::new("invalid utf-8 in string"))?;
+                        out.push_str(run);
+                    }
+                }
+            }
+        }
+
+        fn hex4(&mut self) -> Result<u32, ParseError> {
+            let end = self.pos + 4;
+            let slice = self
+                .bytes
+                .get(self.pos..end)
+                .ok_or_else(|| ParseError::new("truncated \\u escape"))?;
+            let text =
+                std::str::from_utf8(slice).map_err(|_| ParseError::new("invalid \\u escape"))?;
+            let code =
+                u32::from_str_radix(text, 16).map_err(|_| ParseError::new("invalid \\u escape"))?;
+            self.pos = end;
+            Ok(code)
+        }
+
+        fn object(&mut self) -> Result<Json, ParseError> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                let value = self.value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => {
+                        return Err(ParseError::new(format!(
+                            "expected ',' or '}}' at byte {}",
+                            self.pos
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, ParseError> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => {
+                        return Err(ParseError::new(format!(
+                            "expected ',' or ']' at byte {}",
+                            self.pos
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_json(text: &str) -> Result<Json, ParseError> {
+        let mut cursor = Cursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = cursor.value()?;
+        cursor.skip_ws();
+        if cursor.pos != cursor.bytes.len() {
+            return Err(ParseError::new(format!(
+                "trailing input at byte {}",
+                cursor.pos
+            )));
+        }
+        Ok(value)
+    }
+
+    fn field<'j>(fields: &'j [(String, Json)], key: &str) -> Option<&'j Json> {
+        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn required<'j>(fields: &'j [(String, Json)], key: &str) -> Result<&'j Json, ParseError> {
+        field(fields, key).ok_or_else(|| ParseError::new(format!("missing field \"{key}\"")))
+    }
+
+    fn num_field<T: std::str::FromStr>(
+        fields: &[(String, Json)],
+        key: &str,
+    ) -> Result<T, ParseError> {
+        let raw = required(fields, key)?.raw_num(key)?;
+        raw.parse::<T>()
+            .map_err(|_| ParseError::new(format!("field \"{key}\": invalid number {raw:?}")))
+    }
+
+    fn str_field<'j>(fields: &'j [(String, Json)], key: &str) -> Result<&'j str, ParseError> {
+        required(fields, key)?.str_value(key)
+    }
+
+    fn bool_field(fields: &[(String, Json)], key: &str) -> Result<bool, ParseError> {
+        required(fields, key)?.bool_value(key)
+    }
+
+    /// Interns a label, returning a `&'static str`. The event model
+    /// carries technique/pattern/scope names, failure kinds, rejection
+    /// reasons and trial dispositions as `&'static str`; parsed events
+    /// reconstruct them by leaking each *distinct* label once. The label
+    /// vocabulary is small and fixed (compile-time constants upstream),
+    /// so the leak is bounded.
+    fn intern(label: &str) -> &'static str {
+        use std::collections::BTreeSet;
+        use std::sync::Mutex;
+        static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+        let mut set = INTERNED.lock().expect("label interner lock");
+        if let Some(existing) = set.get(label) {
+            existing
+        } else {
+            let leaked: &'static str = Box::leak(label.to_owned().into_boxed_str());
+            set.insert(leaked);
+            leaked
+        }
+    }
+
+    fn span_kind_from(value: &Json) -> Result<SpanKind, ParseError> {
+        let fields = value.fields("span kind")?;
+        let (key, inner) = fields
+            .first()
+            .ok_or_else(|| ParseError::new("span kind: empty object"))?;
+        match key.as_str() {
+            "trial" => {
+                let t = inner.fields("trial span")?;
+                Ok(SpanKind::Trial {
+                    index: num_field(t, "index")?,
+                    seed: num_field(t, "seed")?,
+                })
+            }
+            "technique" => Ok(SpanKind::Technique {
+                name: intern(inner.str_value("technique")?),
+            }),
+            "pattern" => Ok(SpanKind::Pattern {
+                name: intern(inner.str_value("pattern")?),
+            }),
+            "variant" => Ok(SpanKind::Variant {
+                name: inner.str_value("variant")?.to_owned(),
+            }),
+            "scope" => Ok(SpanKind::Scope {
+                name: intern(inner.str_value("scope")?),
+            }),
+            other => Err(ParseError::new(format!("unknown span kind \"{other}\""))),
+        }
+    }
+
+    fn status_from(value: &Json) -> Result<SpanStatus, ParseError> {
+        let fields = value.fields("span status")?;
+        let (key, inner) = fields
+            .first()
+            .ok_or_else(|| ParseError::new("span status: empty object"))?;
+        match key.as_str() {
+            "ok" => Ok(SpanStatus::Ok),
+            "accepted" => {
+                let a = inner.fields("accepted status")?;
+                Ok(SpanStatus::Accepted {
+                    support: num_field(a, "support")?,
+                    dissent: num_field(a, "dissent")?,
+                })
+            }
+            "rejected" => Ok(SpanStatus::Rejected {
+                reason: intern(inner.str_value("rejected")?),
+            }),
+            "failed" => Ok(SpanStatus::Failed {
+                kind: intern(inner.str_value("failed")?),
+            }),
+            "trial" => Ok(SpanStatus::Trial {
+                disposition: intern(inner.str_value("trial")?),
+            }),
+            other => Err(ParseError::new(format!("unknown span status \"{other}\""))),
+        }
+    }
+
+    fn point_from(value: &Json) -> Result<Point, ParseError> {
+        let fields = value.fields("point")?;
+        let name = str_field(fields, "name")?;
+        Ok(match name {
+            "verdict" => Point::Verdict {
+                accepted: bool_field(fields, "accepted")?,
+                support: num_field(fields, "support")?,
+                dissent: num_field(fields, "dissent")?,
+                rejection: match field(fields, "rejection") {
+                    Some(v) => Some(intern(v.str_value("rejection")?)),
+                    None => None,
+                },
+            },
+            "fuel_exhausted" => Point::FuelExhausted {
+                consumed: num_field(fields, "consumed")?,
+            },
+            "checkpoint" => Point::Checkpoint {
+                label: intern(str_field(fields, "label")?),
+            },
+            "rollback" => Point::Rollback {
+                label: intern(str_field(fields, "label")?),
+            },
+            "rejuvenation" => Point::Rejuvenation {
+                age_before: num_field(fields, "age_before")?,
+            },
+            "reboot" => Point::Reboot {
+                component: str_field(fields, "component")?.to_owned(),
+                depth: num_field(fields, "depth")?,
+            },
+            "service_rebind" => Point::ServiceRebind {
+                interface: str_field(fields, "interface")?.to_owned(),
+                from: str_field(fields, "from")?.to_owned(),
+                to: str_field(fields, "to")?.to_owned(),
+            },
+            "reexpression" => Point::Reexpression {
+                name: str_field(fields, "reexpression")?.to_owned(),
+                attempt: num_field(fields, "attempt")?,
+            },
+            "perturbation" => Point::Perturbation {
+                knob: intern(str_field(fields, "knob")?),
+                attempt: num_field(fields, "attempt")?,
+            },
+            "gp_generation" => Point::GpGeneration {
+                generation: num_field(fields, "generation")?,
+                best_fitness: num_field(fields, "best_fitness")?,
+            },
+            "replica_divergence" => Point::ReplicaDivergence {
+                detail: str_field(fields, "detail")?.to_owned(),
+            },
+            "audit" => Point::Audit {
+                clean: bool_field(fields, "clean")?,
+                errors: num_field(fields, "errors")?,
+            },
+            "repair" => Point::Repair {
+                outcome: intern(str_field(fields, "outcome")?),
+            },
+            "workaround" => Point::Workaround {
+                rule: str_field(fields, "rule")?.to_owned(),
+                applied: bool_field(fields, "applied")?,
+            },
+            "sanitized" => Point::Sanitized {
+                action: intern(str_field(fields, "action")?),
+            },
+            "early-decision" => Point::EarlyDecision {
+                executed: num_field(fields, "executed")?,
+                total: num_field(fields, "total")?,
+            },
+            "variant-cancelled" => Point::VariantCancelled {
+                variant: str_field(fields, "variant")?.to_owned(),
+            },
+            custom => Point::Custom {
+                name: intern(custom),
+                detail: str_field(fields, "detail")?.to_owned(),
+            },
+        })
+    }
+
+    /// Parses one event from the JSON object produced by
+    /// [`event_to_json`]. Numeric fields are converted from the raw
+    /// number text per field, so `u64` values above 2^53 (seeds, span
+    /// ids) round-trip exactly.
+    pub fn event_from_json(line: &str) -> Result<Event, ParseError> {
+        let value = parse_json(line.trim())?;
+        let fields = value.fields("event")?;
+        let kind = if let Some(start) = field(fields, "start") {
+            EventKind::SpanStart {
+                kind: span_kind_from(start)?,
+            }
+        } else if let Some(end) = field(fields, "end") {
+            let e = end.fields("span end")?;
+            let cost = required(e, "cost")?.fields("cost")?;
+            EventKind::SpanEnd {
+                status: status_from(required(e, "status")?)?,
+                cost: CostSnapshot {
+                    work_units: num_field(cost, "work_units")?,
+                    virtual_ns: num_field(cost, "virtual_ns")?,
+                    invocations: num_field(cost, "invocations")?,
+                    design_cost: num_field(cost, "design_cost")?,
+                },
+            }
+        } else if let Some(point) = field(fields, "point") {
+            EventKind::Point(point_from(point)?)
+        } else {
+            return Err(ParseError::new(
+                "event: missing \"start\", \"end\" or \"point\"",
+            ));
+        };
+        Ok(Event {
+            seq: num_field(fields, "seq")?,
+            span: num_field(fields, "span")?,
+            parent: num_field(fields, "parent")?,
+            clock: num_field(fields, "clock")?,
+            kind,
+        })
+    }
+
+    /// Parses a JSON-lines trace — the exact inverse of [`to_jsonl`].
+    /// Blank lines are skipped; the first malformed line aborts with its
+    /// 1-based line number in the error.
+    pub fn from_jsonl(text: &str) -> Result<Vec<Event>, ParseError> {
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            events.push(
+                event_from_json(line)
+                    .map_err(|e| ParseError::new(format!("line {}: {e}", i + 1)))?,
+            );
+        }
+        Ok(events)
+    }
 }
 
 #[cfg(test)]
@@ -562,5 +1108,207 @@ mod tests {
         };
         let json = event_to_json(&event);
         assert!(json.contains("quote \\\" backslash \\\\ newline \\n"));
+    }
+
+    /// One event per `SpanKind`, `SpanStatus` and `Point` variant, with
+    /// values chosen to stress the parser: seeds above 2^53, escaped
+    /// strings, non-trivial floats.
+    #[cfg(feature = "serde")]
+    fn exhaustive_trace() -> Vec<Event> {
+        let kinds = vec![
+            EventKind::SpanStart {
+                kind: SpanKind::Trial {
+                    index: 41,
+                    seed: 0xdead_beef_cafe_f00d,
+                },
+            },
+            EventKind::SpanStart {
+                kind: SpanKind::Technique { name: "n-version" },
+            },
+            EventKind::SpanStart {
+                kind: SpanKind::Pattern {
+                    name: "parallel_evaluation",
+                },
+            },
+            EventKind::SpanStart {
+                kind: SpanKind::Variant {
+                    name: "v \"quoted\" \\ tab\t".to_owned(),
+                },
+            },
+            EventKind::SpanStart {
+                kind: SpanKind::Scope { name: "gp-search" },
+            },
+            EventKind::SpanEnd {
+                status: SpanStatus::Ok,
+                cost: CostSnapshot::ZERO,
+            },
+            EventKind::SpanEnd {
+                status: SpanStatus::Accepted {
+                    support: 2,
+                    dissent: 1,
+                },
+                cost: CostSnapshot {
+                    work_units: 9,
+                    virtual_ns: 123,
+                    invocations: 3,
+                    design_cost: 0.1 + 0.2, // 0.30000000000000004
+                },
+            },
+            EventKind::SpanEnd {
+                status: SpanStatus::Rejected {
+                    reason: "no_quorum",
+                },
+                cost: CostSnapshot::ZERO,
+            },
+            EventKind::SpanEnd {
+                status: SpanStatus::Failed { kind: "crash" },
+                cost: CostSnapshot::ZERO,
+            },
+            EventKind::SpanEnd {
+                status: SpanStatus::Trial {
+                    disposition: "correct",
+                },
+                cost: CostSnapshot::ZERO,
+            },
+            EventKind::Point(Point::Verdict {
+                accepted: true,
+                support: 3,
+                dissent: 0,
+                rejection: None,
+            }),
+            EventKind::Point(Point::Verdict {
+                accepted: false,
+                support: 0,
+                dissent: 0,
+                rejection: Some("no_majority"),
+            }),
+            EventKind::Point(Point::FuelExhausted { consumed: 777 }),
+            EventKind::Point(Point::Checkpoint { label: "process" }),
+            EventKind::Point(Point::Rollback { label: "process" }),
+            EventKind::Point(Point::Rejuvenation { age_before: 12 }),
+            EventKind::Point(Point::Reboot {
+                component: "cache".to_owned(),
+                depth: 2,
+            }),
+            EventKind::Point(Point::ServiceRebind {
+                interface: "store".to_owned(),
+                from: "a".to_owned(),
+                to: "b".to_owned(),
+            }),
+            EventKind::Point(Point::Reexpression {
+                name: "reorder".to_owned(),
+                attempt: 1,
+            }),
+            EventKind::Point(Point::Perturbation {
+                knob: "memory-layout",
+                attempt: 3,
+            }),
+            EventKind::Point(Point::GpGeneration {
+                generation: 7,
+                best_fitness: 0.25,
+            }),
+            EventKind::Point(Point::ReplicaDivergence {
+                detail: "control\u{1} char".to_owned(),
+            }),
+            EventKind::Point(Point::Audit {
+                clean: false,
+                errors: 4,
+            }),
+            EventKind::Point(Point::Repair { outcome: "partial" }),
+            EventKind::Point(Point::Workaround {
+                rule: "swap-args".to_owned(),
+                applied: true,
+            }),
+            EventKind::Point(Point::Sanitized {
+                action: "rewritten",
+            }),
+            EventKind::Point(Point::EarlyDecision {
+                executed: 2,
+                total: 5,
+            }),
+            EventKind::Point(Point::VariantCancelled {
+                variant: "v3".to_owned(),
+            }),
+            EventKind::Point(Point::Custom {
+                name: "my_event",
+                detail: "unicode: é λ \u{1f600}".to_owned(),
+            }),
+        ];
+        kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| Event {
+                seq: i as u64,
+                span: 0x8000_0000_0000_0000 + i as u64, // above 2^53
+                parent: i as u64 / 2,
+                clock: 10 * i as u64,
+                kind,
+            })
+            .collect()
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn jsonl_parses_back_every_variant() {
+        let trace = exhaustive_trace();
+        let text = to_jsonl(&trace);
+        let parsed = from_jsonl(&text).expect("trace parses");
+        assert_eq!(parsed, trace);
+        // And the parse is exact: re-serializing gives identical bytes.
+        assert_eq!(to_jsonl(&parsed), text);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn parsed_static_labels_are_interned_per_distinct_value() {
+        let trace = exhaustive_trace();
+        let text = to_jsonl(&trace);
+        let a = from_jsonl(&text).expect("parses");
+        let b = from_jsonl(&text).expect("parses");
+        // Two parses of the same label yield the same leaked allocation.
+        let tech = |events: &[Event]| -> &'static str {
+            events
+                .iter()
+                .find_map(|e| match &e.kind {
+                    EventKind::SpanStart {
+                        kind: SpanKind::Technique { name },
+                    } => Some(*name),
+                    _ => None,
+                })
+                .expect("technique span present")
+        };
+        assert!(std::ptr::eq(tech(&a), tech(&b)));
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn parse_errors_name_the_line_and_field() {
+        let err = from_jsonl("{\"seq\":0}\n").expect_err("missing fields");
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        let err = from_jsonl("{\"seq\":0,\"span\":1,\"parent\":0,\"clock\":0,\"point\":{\"name\":\"audit\",\"clean\":true}}")
+            .expect_err("missing errors field");
+        assert!(err.to_string().contains("errors"), "{err}");
+        let err = event_from_json("not json").expect_err("garbage");
+        assert!(!err.to_string().is_empty());
+        // Torn tail: a truncated line is an error, not a silent skip.
+        assert!(event_from_json("{\"seq\":0,\"span\":1,\"par").is_err());
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn u64_values_above_2p53_round_trip_exactly() {
+        let seed = u64::MAX - 1; // not representable in f64
+        let event = Event {
+            seq: u64::MAX,
+            span: 1,
+            parent: 0,
+            clock: 0,
+            kind: EventKind::SpanStart {
+                kind: SpanKind::Trial { index: 0, seed },
+            },
+        };
+        let parsed = event_from_json(&event_to_json(&event)).expect("parses");
+        assert_eq!(parsed, event);
     }
 }

@@ -67,7 +67,7 @@ mod shard;
 
 pub use event::{CostSnapshot, Event, EventKind, Point, SpanId, SpanKind, SpanStatus, ROOT_SPAN};
 #[cfg(feature = "serde")]
-pub use export::{event_to_json, to_jsonl};
+pub use export::{event_from_json, event_to_json, from_jsonl, to_jsonl, ParseError};
 pub use export::{render_span_tree, summary, TraceSummary};
 pub use metrics::{
     Histogram, MetricKey, MetricsObserver, MetricsRegistry, FUEL_BUCKETS, TICK_BUCKETS,
@@ -76,6 +76,6 @@ pub use observer::{
     FanoutObserver, NoopObserver, ObsHandle, Observer, RingBufferObserver, SpanToken,
 };
 pub use shard::{
-    forward_renumbered, forward_renumbered_drain, merge_shards, with_worker_shard,
-    CollectorObserver, ShardPool, StreamingMerger,
+    forward_renumbered, forward_renumbered_drain, merge_shards, renumber_in_place,
+    with_worker_shard, CollectorObserver, ShardPool, StreamingMerger,
 };

@@ -118,15 +118,25 @@ pub fn forward_renumbered(events: Vec<Event>, offset: u64, sink: &dyn Observer) 
 /// empty vector whose allocation the caller can recycle (see
 /// [`ShardPool`]).
 pub fn forward_renumbered_drain(events: &mut Vec<Event>, offset: u64, sink: &dyn Observer) -> u64 {
+    let allocated = renumber_in_place(events, offset);
+    for event in events.drain(..) {
+        sink.record(event);
+    }
+    allocated
+}
+
+/// Shifts one shard's span ids into the campaign-wide id space without
+/// forwarding anything: the renumbering half of [`forward_renumbered`].
+/// Returns the number of ids the shard consumed.
+pub fn renumber_in_place(events: &mut [Event], offset: u64) -> u64 {
     let allocated = spans_allocated(events);
-    for mut event in events.drain(..) {
+    for event in events.iter_mut() {
         if event.span != ROOT_SPAN {
             event.span += offset;
         }
         if event.parent != ROOT_SPAN {
             event.parent += offset;
         }
-        sink.record(event);
     }
     allocated
 }
@@ -227,6 +237,10 @@ pub fn with_worker_shard<R>(f: impl FnOnce(&Arc<CollectorObserver>) -> R) -> R {
     result
 }
 
+/// An observer of each trial's renumbered events at forward time
+/// (see [`StreamingMerger::with_tap`]).
+type TrialTap = Box<dyn Fn(usize, &[Event]) + Send + Sync>;
+
 /// Streams shard merging: forwards trial `i`'s events to the sink as
 /// soon as every trial `< i` has been submitted, instead of buffering
 /// the whole campaign and merging at the end.
@@ -243,6 +257,7 @@ pub struct StreamingMerger {
     sink: Arc<dyn Observer>,
     pool: Option<Arc<ShardPool>>,
     window: Option<usize>,
+    tap: Option<TrialTap>,
     state: Mutex<MergeState>,
     advanced: Condvar,
 }
@@ -256,6 +271,9 @@ struct MergeState {
     pending: BTreeMap<usize, Vec<Event>>,
     /// High-water mark of `pending` (including the shard being merged).
     peak_buffered: usize,
+    /// Set by [`StreamingMerger::abort`]: a submitter is unwinding, so
+    /// blocked submitters must wake and later submissions are discarded.
+    aborted: bool,
 }
 
 impl StreamingMerger {
@@ -266,11 +284,13 @@ impl StreamingMerger {
             sink,
             pool: None,
             window: None,
+            tap: None,
             state: Mutex::new(MergeState {
                 next: 0,
                 offset: 0,
                 pending: BTreeMap::new(),
                 peak_buffered: 0,
+                aborted: false,
             }),
             advanced: Condvar::new(),
         }
@@ -292,6 +312,51 @@ impl StreamingMerger {
         self
     }
 
+    /// Starts the merge frontier at trial `next` with `offset` span ids
+    /// already consumed, instead of trial 0 — the resume entry point: a
+    /// campaign replaying trials `0..next` from a checkpoint continues
+    /// the id space exactly where the interrupted run's merge left off.
+    #[must_use]
+    pub fn with_start(mut self, next: usize, offset: u64) -> Self {
+        let state = self.state.get_mut().expect("merger lock never poisoned");
+        state.next = next;
+        state.offset = offset;
+        self
+    }
+
+    /// Observes each trial's events — span ids renumbered into the
+    /// campaign-wide id space, i.e. exactly the slice of the merged
+    /// stream this trial contributes — just before they are forwarded to
+    /// the sink. `seq` values are still shard-local: sinks assign global
+    /// sequence numbers at record time, so replaying tapped slices
+    /// through a fresh sink (the checkpoint-resume path) reproduces the
+    /// merged stream exactly. The tap runs under the merger lock, in
+    /// strict trial order; keep it cheap (the checkpoint committer
+    /// serializes to an in-memory buffer).
+    #[must_use]
+    pub fn with_tap(mut self, tap: impl Fn(usize, &[Event]) + Send + Sync + 'static) -> Self {
+        self.tap = Some(Box::new(tap));
+        self
+    }
+
+    /// Unblocks every submitter waiting on the window and discards all
+    /// later submissions.
+    ///
+    /// A submitter that panics never submits its trial, so the merge
+    /// frontier stops there forever and — with a window — every other
+    /// submitter eventually blocks on the condvar: the campaign would
+    /// deadlock instead of propagating the panic. Callers that catch a
+    /// trial panic call `abort` before unwinding; blocked `submit` calls
+    /// return immediately (their events are dropped — the stream is
+    /// abandoned anyway).
+    pub fn abort(&self) {
+        self.state
+            .lock()
+            .expect("merger lock never poisoned")
+            .aborted = true;
+        self.advanced.notify_all();
+    }
+
     /// Submits trial `index`'s shard, forwarding it (and any unblocked
     /// successors) if the merge frontier has reached it.
     ///
@@ -304,12 +369,15 @@ impl StreamingMerger {
             // frontier trial itself never enters this branch
             // (index == state.next fails the guard), so progress is
             // guaranteed.
-            while index > state.next && index - state.next >= window {
+            while !state.aborted && index > state.next && index - state.next >= window {
                 state = self
                     .advanced
                     .wait(state)
                     .expect("merger lock never poisoned");
             }
+        }
+        if state.aborted {
+            return;
         }
         state.pending.insert(index, events);
         state.peak_buffered = state.peak_buffered.max(state.pending.len());
@@ -317,7 +385,14 @@ impl StreamingMerger {
             let next = state.next;
             state.pending.remove(&next)
         } {
-            state.offset += forward_renumbered_drain(&mut shard, state.offset, self.sink.as_ref());
+            let trial = state.next;
+            state.offset += renumber_in_place(&mut shard, state.offset);
+            if let Some(tap) = &self.tap {
+                tap(trial, &shard);
+            }
+            for event in shard.drain(..) {
+                self.sink.record(event);
+            }
             state.next += 1;
             if let Some(pool) = &self.pool {
                 pool.check_in(shard);
@@ -520,6 +595,219 @@ mod tests {
         runner.join().unwrap();
         assert_eq!(merger.forwarded(), 5);
         assert!(merger.peak_buffered() <= 2);
+        assert_eq!(sink.take(), expected);
+    }
+
+    /// The window boundary is exact: with window `w` and frontier at
+    /// `next`, index `next + w - 1` is the furthest admissible
+    /// submission (`index - next >= window` blocks), and `next + w`
+    /// blocks.
+    #[test]
+    fn windowed_merge_boundary_is_exact() {
+        use std::sync::mpsc;
+
+        let shards = recorded_shards(6);
+        let window = 3;
+        let sink = Arc::new(CollectorObserver::new());
+        let merger = Arc::new(StreamingMerger::new(sink).with_window(window));
+
+        // Frontier is at 0. Index 2 == next + window - 1 must be
+        // admitted without blocking (submit on this thread would hang
+        // forever if the guard were `index - next >= window - 1`).
+        merger.submit(2, shards[2].clone());
+        assert_eq!(merger.forwarded(), 0, "gap at 0 not filled yet");
+
+        // Index 3 == next + window sits exactly on the boundary
+        // (3 - 0 >= 3) and must block.
+        let (tx, rx) = mpsc::channel();
+        let blocked = {
+            let merger = Arc::clone(&merger);
+            let shard = shards[3].clone();
+            std::thread::spawn(move || {
+                tx.send(()).unwrap();
+                merger.submit(3, shard);
+            })
+        };
+        rx.recv().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        {
+            let state = merger.state.lock().unwrap();
+            assert!(
+                !state.pending.contains_key(&3),
+                "index == next + window must wait outside the buffer"
+            );
+        }
+
+        // Filling the gap advances the frontier past the boundary and
+        // releases the blocked submitter.
+        merger.submit(0, shards[0].clone());
+        merger.submit(1, shards[1].clone());
+        blocked.join().unwrap();
+        for i in 4..6 {
+            merger.submit(i, shards[i].clone());
+        }
+        assert_eq!(merger.forwarded(), 6);
+        assert!(merger.peak_buffered() <= window);
+    }
+
+    /// Adversarial schedule: the owner of the gap trial is delayed while
+    /// every other submitter races as far ahead as it can. The window
+    /// must hold as a hard bound on buffered shards, nobody may
+    /// deadlock, and the merged stream must still be byte-identical to
+    /// the batch merge.
+    #[test]
+    fn windowed_merge_survives_runahead_stampede() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+
+        let n = 64;
+        let window = 4;
+        let shards = recorded_shards(n as u64);
+        let expected = merge_shards(shards.clone());
+
+        let sink = Arc::new(CollectorObserver::new());
+        let merger = Arc::new(StreamingMerger::new(sink.clone()).with_window(window));
+        let racers = 4;
+        let barrier = Arc::new(Barrier::new(racers + 1));
+        let max_seen_ahead = Arc::new(AtomicUsize::new(0));
+
+        std::thread::scope(|scope| {
+            // Four racers split trials 1.. among themselves by stride
+            // and submit as fast as they can.
+            for r in 0..racers {
+                let merger = Arc::clone(&merger);
+                let barrier = Arc::clone(&barrier);
+                let max_seen_ahead = Arc::clone(&max_seen_ahead);
+                let shards = &shards;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let mut i = 1 + r;
+                    while i < n {
+                        merger.submit(i, shards[i].clone());
+                        // How far past the frontier did this submission
+                        // land? Sampled after the fact, so it can read
+                        // low, never high.
+                        let ahead = i.saturating_sub(merger.forwarded());
+                        max_seen_ahead.fetch_max(ahead, Ordering::Relaxed);
+                        i += racers;
+                    }
+                });
+            }
+            // The gap owner holds trial 0 back until the stampede is
+            // under way.
+            barrier.wait();
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert_eq!(merger.forwarded(), 0, "nothing may pass the gap");
+            merger.submit(0, shards[0].clone());
+        });
+
+        assert_eq!(merger.forwarded(), n);
+        assert!(
+            merger.peak_buffered() <= window,
+            "peak {} exceeded window {}",
+            merger.peak_buffered(),
+            window
+        );
+        assert!(
+            max_seen_ahead.load(Ordering::Relaxed) < window,
+            "a submission landed {} ahead of the frontier (window {})",
+            max_seen_ahead.load(Ordering::Relaxed),
+            window
+        );
+        assert_eq!(sink.take(), expected);
+    }
+
+    #[test]
+    fn abort_releases_blocked_submitters_and_discards_late_submissions() {
+        use std::sync::mpsc;
+
+        let shards = recorded_shards(4);
+        let sink = Arc::new(CollectorObserver::new());
+        let merger = Arc::new(StreamingMerger::new(sink.clone()).with_window(1));
+
+        // Trial 1 blocks on the window (1 - 0 >= 1): the trial-0
+        // submitter is about to panic, so without abort this thread
+        // would wait forever.
+        let (tx, rx) = mpsc::channel();
+        let blocked = {
+            let merger = Arc::clone(&merger);
+            let shard = shards[1].clone();
+            std::thread::spawn(move || {
+                tx.send(()).unwrap();
+                merger.submit(1, shard);
+            })
+        };
+        rx.recv().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        merger.abort();
+        blocked.join().expect("abort must release the submitter");
+
+        // Submissions after the abort are discarded, not forwarded.
+        merger.submit(0, shards[0].clone());
+        assert_eq!(merger.forwarded(), 0);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn with_start_continues_an_interrupted_merge() {
+        let shards = recorded_shards(6);
+        let expected = merge_shards(shards.clone());
+
+        // First run: trials 0..3 forwarded, then the process "dies".
+        let first_sink = Arc::new(CollectorObserver::new());
+        let first = StreamingMerger::new(first_sink.clone());
+        let mut offset = 0;
+        for (i, shard) in shards.iter().take(3).cloned().enumerate() {
+            first.submit(i, shard);
+            offset = spans_allocated(&first_sink.lock()) as u64;
+        }
+        let replayed: Vec<Event> = first_sink.take();
+
+        // Resume: replay the persisted prefix into a fresh sink, then
+        // continue the merge from trial 3 with the offset carried over.
+        let sink = Arc::new(CollectorObserver::new());
+        for event in replayed {
+            sink.lock().push(event);
+        }
+        let resumed = StreamingMerger::new(sink.clone()).with_start(3, offset);
+        for (i, shard) in shards.iter().cloned().enumerate().skip(3) {
+            resumed.submit(i, shard);
+        }
+        assert_eq!(resumed.forwarded(), 6);
+        assert_eq!(sink.take(), expected);
+    }
+
+    #[test]
+    fn tap_sees_renumbered_events_in_trial_order() {
+        let shards = recorded_shards(4);
+        let expected = merge_shards(shards.clone());
+
+        let tapped: Arc<Mutex<Vec<(usize, Vec<Event>)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::new(CollectorObserver::new());
+        let merger = {
+            let tapped = Arc::clone(&tapped);
+            StreamingMerger::new(sink.clone())
+                .with_tap(move |i, events| tapped.lock().unwrap().push((i, events.to_vec())))
+        };
+        // Reverse order: the tap must still fire 0,1,2,3.
+        for (i, shard) in shards.into_iter().enumerate().rev() {
+            merger.submit(i, shard);
+        }
+        let tapped = tapped.lock().unwrap();
+        assert_eq!(
+            tapped.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        // Replaying the tapped slices through a fresh seq-assigning sink
+        // reproduces the merged stream exactly: span ids are already
+        // campaign-wide, and the sink restores global seqs.
+        let replay = CollectorObserver::new();
+        for (_, events) in tapped.iter() {
+            for event in events {
+                replay.record(event.clone());
+            }
+        }
+        assert_eq!(replay.into_events(), expected);
         assert_eq!(sink.take(), expected);
     }
 

@@ -26,6 +26,35 @@ pub struct VerdictRecord {
     pub rejection: Option<&'static str>,
 }
 
+/// Whether a variant actually ran, coarser than its raw [`SpanStatus`]:
+/// eager decision policies close variant spans for work they *avoided*
+/// (`VariantFailure::Skipped` / `Cancelled`), and forensics must not
+/// count those as executions.
+///
+/// [`VariantFailure::Skipped`]: redundancy_core::outcome::VariantFailure
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariantDisposition {
+    /// The variant ran to its own conclusion (success or genuine
+    /// failure).
+    Executed,
+    /// The variant never started: the verdict was already fixed
+    /// (zero-cost span, status `Failed { kind: "skipped" }`).
+    Skipped,
+    /// The variant started but was cooperatively cancelled after the
+    /// verdict fixed (status `Failed { kind: "cancelled" }`).
+    Cancelled,
+}
+
+impl VariantDisposition {
+    fn from_status(status: &SpanStatus) -> Self {
+        match status {
+            SpanStatus::Failed { kind: "skipped" } => VariantDisposition::Skipped,
+            SpanStatus::Failed { kind: "cancelled" } => VariantDisposition::Cancelled,
+            _ => VariantDisposition::Executed,
+        }
+    }
+}
+
 /// One variant execution inside a trial.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VariantRecord {
@@ -33,6 +62,8 @@ pub struct VariantRecord {
     pub name: String,
     /// How it concluded.
     pub status: SpanStatus,
+    /// Whether it actually ran (see [`VariantDisposition`]).
+    pub disposition: VariantDisposition,
     /// What it cost.
     pub cost: CostSnapshot,
 }
@@ -69,6 +100,7 @@ impl TrialTrace {
                         let (_, name) = open.remove(pos);
                         out.push(VariantRecord {
                             name,
+                            disposition: VariantDisposition::from_status(status),
                             status: status.clone(),
                             cost: *cost,
                         });
@@ -109,6 +141,30 @@ impl TrialTrace {
         self.verdicts()
             .into_iter()
             .filter_map(|v| v.rejection)
+            .collect()
+    }
+
+    /// The trial's early-exit point, if a streaming adjudicator fixed
+    /// its verdict before every variant ran: `(executed, total)` from
+    /// [`Point::EarlyDecision`]. `None` for exhaustive trials.
+    #[must_use]
+    pub fn early_exit(&self) -> Option<(usize, usize)> {
+        self.events.iter().find_map(|event| match &event.kind {
+            EventKind::Point(Point::EarlyDecision { executed, total }) => Some((*executed, *total)),
+            _ => None,
+        })
+    }
+
+    /// Names of variants cooperatively cancelled after the verdict was
+    /// already fixed ([`Point::VariantCancelled`]), in emission order.
+    #[must_use]
+    pub fn cancelled_variants(&self) -> Vec<String> {
+        self.events
+            .iter()
+            .filter_map(|event| match &event.kind {
+                EventKind::Point(Point::VariantCancelled { variant }) => Some(variant.clone()),
+                _ => None,
+            })
             .collect()
     }
 
@@ -264,6 +320,125 @@ mod tests {
         let traces = split_trials(&events);
         assert_eq!(traces.len(), 1, "only the complete trial survives");
         assert_eq!(traces[0].index, 1);
+    }
+
+    #[test]
+    fn eager_campaign_traces_reconcile_skipped_variants_and_costs() {
+        use redundancy_core::patterns::DecisionPolicy;
+        let ring = RingBufferObserver::shared(4096);
+        let pattern: ParallelEvaluation<i64, i64> = ParallelEvaluation::new(MajorityVoter::new())
+            .with_policy(DecisionPolicy::Eager)
+            .with_variant(pure_variant("a", 10, |x: &i64| x + 1))
+            .with_variant(pure_variant("b", 10, |x: &i64| x + 1))
+            .with_variant(pure_variant("c", 10, |x: &i64| x + 1));
+        let summary = Campaign::new(3).run_traced(33, ring.clone(), |ctx, _seed, _i| {
+            let report = pattern.run(&1, ctx);
+            let cost = ctx.cost();
+            if report.verdict.output() == Some(&2) {
+                TrialOutcome::Correct { cost }
+            } else {
+                TrialOutcome::Detected { cost }
+            }
+        });
+        assert_eq!(summary.reliability.successes, 3);
+
+        let traces = split_trials(&ring.events());
+        assert_eq!(traces.len(), 3);
+        for trace in &traces {
+            // The eager majority fixed after two agreeing outcomes; the
+            // third variant's span exists but records avoided work.
+            let variants = trace.variants();
+            assert_eq!(variants.len(), 3);
+            assert_eq!(variants[0].disposition, VariantDisposition::Executed);
+            assert_eq!(variants[1].disposition, VariantDisposition::Executed);
+            assert_eq!(variants[2].disposition, VariantDisposition::Skipped);
+            assert_eq!(variants[2].status, SpanStatus::Failed { kind: "skipped" });
+            assert_eq!(variants[2].cost, CostSnapshot::ZERO);
+            assert_eq!(trace.early_exit(), Some((2, 3)));
+            assert!(trace.cancelled_variants().is_empty());
+            // Cost reconciliation: the trial paid exactly the executed
+            // variants' work, nothing for the skipped one.
+            let executed: u64 = variants
+                .iter()
+                .filter(|v| v.disposition == VariantDisposition::Executed)
+                .map(|v| v.cost.work_units)
+                .sum();
+            assert_eq!(executed, 20);
+            assert_eq!(trace.cost.work_units, 20);
+            // The skipped span's "failure" is bookkeeping, not a
+            // rejection: the verdict accepted.
+            assert!(trace.rejection_reasons().is_empty());
+            assert!(trace.verdicts()[0].accepted);
+        }
+    }
+
+    #[test]
+    fn cancelled_variants_surface_in_the_trace() {
+        use redundancy_core::obs::ROOT_SPAN;
+        // Hand-built stream: threaded-eager cancellation is
+        // timing-dependent, but its event shape is fixed.
+        let mk = |seq, span, parent, kind| Event {
+            seq,
+            span,
+            parent,
+            clock: 0,
+            kind,
+        };
+        let events = vec![
+            mk(
+                0,
+                1,
+                ROOT_SPAN,
+                EventKind::SpanStart {
+                    kind: SpanKind::Trial { index: 0, seed: 9 },
+                },
+            ),
+            mk(
+                1,
+                2,
+                1,
+                EventKind::SpanStart {
+                    kind: SpanKind::Variant {
+                        name: "straggler".into(),
+                    },
+                },
+            ),
+            mk(
+                2,
+                2,
+                1,
+                EventKind::Point(Point::VariantCancelled {
+                    variant: "straggler".into(),
+                }),
+            ),
+            mk(
+                3,
+                2,
+                1,
+                EventKind::SpanEnd {
+                    status: SpanStatus::Failed { kind: "cancelled" },
+                    cost: CostSnapshot::ZERO,
+                },
+            ),
+            mk(
+                4,
+                1,
+                ROOT_SPAN,
+                EventKind::SpanEnd {
+                    status: SpanStatus::Trial {
+                        disposition: "correct",
+                    },
+                    cost: CostSnapshot::ZERO,
+                },
+            ),
+        ];
+        let traces = split_trials(&events);
+        assert_eq!(traces.len(), 1);
+        let variants = traces[0].variants();
+        assert_eq!(variants.len(), 1);
+        assert_eq!(variants[0].disposition, VariantDisposition::Cancelled);
+        assert_eq!(traces[0].cancelled_variants(), vec!["straggler".to_owned()]);
+        assert_eq!(traces[0].early_exit(), None);
     }
 
     #[test]

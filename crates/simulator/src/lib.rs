@@ -25,6 +25,8 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod early_exit;
 pub mod forensics;
 pub mod parallel;
@@ -33,11 +35,13 @@ pub mod stats;
 pub mod table;
 pub mod trial;
 
+pub use chaos::ChaosPlan;
+pub use checkpoint::{CheckpointLog, CheckpointSpec, Resumed};
 pub use early_exit::{work_saved, EarlyExitCounters, EarlyExitStats, WorkSaved};
-pub use forensics::{split_trials, TrialTrace};
+pub use forensics::{split_trials, TrialTrace, VariantDisposition, VariantRecord, VerdictRecord};
 pub use parallel::{
-    available_jobs, chunk_size, parallel_indexed, parallel_indexed_chunked, parallel_tasks,
-    parallel_tasks_lpt,
+    available_jobs, chunk_size, parallel_indexed, parallel_indexed_chunked,
+    parallel_indexed_chunked_hooked, parallel_tasks, parallel_tasks_lpt,
 };
 pub use pool::WorkerPool;
 pub use stats::{mean_ci, wilson_interval, Estimate, Proportion};

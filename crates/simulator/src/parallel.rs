@@ -96,6 +96,29 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_indexed_chunked_hooked(jobs, n, chunk, |_| {}, f)
+}
+
+/// Like [`parallel_indexed_chunked`] with a `before_chunk` hook invoked
+/// with the chunk index right after a worker claims it, before any of
+/// its items run. The simulator's chaos harness injects deterministic
+/// scheduling delays here ([`ChaosPlan::chunk_delay`]); the hook runs on
+/// the claiming worker's thread and must not panic the schedule apart —
+/// results are index-ordered regardless of how long any hook stalls.
+///
+/// [`ChaosPlan::chunk_delay`]: crate::chaos::ChaosPlan::chunk_delay
+pub fn parallel_indexed_chunked_hooked<T, F, H>(
+    jobs: usize,
+    n: usize,
+    chunk: usize,
+    before_chunk: H,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    H: Fn(usize) + Sync,
+{
     let jobs = jobs.clamp(1, n.max(1));
     let chunk = chunk.max(1);
     let n_chunks = n.div_ceil(chunk.min(n.max(1)));
@@ -103,7 +126,16 @@ where
     // `jobs - 1` helpers — and never more than the extra chunks.
     let helpers = (jobs - 1).min(n_chunks.saturating_sub(1));
     if helpers == 0 {
-        return (0..n).map(f).collect();
+        // Inline, chunk by chunk, so the hook fires exactly as it would
+        // with workers (once per chunk, before its items).
+        let mut out = Vec::with_capacity(n);
+        for c in 0..n_chunks {
+            before_chunk(c);
+            for i in c * chunk..((c + 1) * chunk).min(n) {
+                out.push(f(i));
+            }
+        }
+        return out;
     }
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let writer = SlotWriter(slots.as_mut_ptr());
@@ -113,6 +145,7 @@ where
         if c >= n_chunks {
             break;
         }
+        before_chunk(c);
         let start = c * chunk;
         let end = ((c + 1) * chunk).min(n);
         for i in start..end {
@@ -264,6 +297,24 @@ mod tests {
     fn chunk_zero_is_clamped_to_one() {
         let expected: Vec<usize> = (0..13).collect();
         assert_eq!(parallel_indexed_chunked(4, 13, 0, |i| i), expected);
+    }
+
+    #[test]
+    fn chunk_hook_fires_once_per_chunk_for_any_job_count() {
+        for jobs in [1usize, 4] {
+            let seen = Mutex::new(Vec::new());
+            let out = parallel_indexed_chunked_hooked(
+                jobs,
+                10,
+                3,
+                |c| seen.lock().unwrap().push(c),
+                |i| i,
+            );
+            assert_eq!(out, (0..10).collect::<Vec<_>>());
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3], "jobs={jobs}");
+        }
     }
 
     #[test]

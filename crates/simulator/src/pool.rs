@@ -56,6 +56,11 @@ struct RegionState {
     remaining: usize,
     /// First panic payload raised by a helper, if any.
     panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Panics beyond the kept one, counted rather than stored: several
+    /// workers hitting the same bug in one region is a different
+    /// diagnosis than one worker hitting it, and the count must not be
+    /// silently dropped with the payloads.
+    suppressed: usize,
 }
 
 impl Region {
@@ -65,13 +70,36 @@ impl Region {
         let result = panic::catch_unwind(AssertUnwindSafe(|| (self.work)()));
         let mut state = self.state.lock().expect("region lock never poisoned");
         if let Err(payload) = result {
-            state.panic.get_or_insert(payload);
+            if state.panic.is_some() {
+                state.suppressed += 1;
+            } else {
+                state.panic = Some(payload);
+            }
         }
         state.remaining -= 1;
         if state.remaining == 0 {
             self.finished.notify_all();
         }
     }
+}
+
+/// Re-raises `payload`, annotating string payloads with how many
+/// further panics the region swallowed. Non-string payloads are
+/// re-raised untouched — losing the count beats losing the payload.
+fn resume_with_suppressed(payload: Box<dyn std::any::Any + Send>, suppressed: usize) -> ! {
+    if suppressed > 0 {
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+        if let Some(message) = message {
+            let plural = if suppressed == 1 { "" } else { "s" };
+            panic::resume_unwind(Box::new(format!(
+                "{message} (and {suppressed} more worker panic{plural} suppressed in this region)"
+            )));
+        }
+    }
+    panic::resume_unwind(payload);
 }
 
 struct PoolInner {
@@ -164,6 +192,7 @@ impl WorkerPool {
             state: Mutex::new(RegionState {
                 remaining: helpers,
                 panic: None,
+                suppressed: 0,
             }),
             finished: Condvar::new(),
         });
@@ -191,16 +220,20 @@ impl WorkerPool {
         let caller_result = panic::catch_unwind(AssertUnwindSafe(|| (region.work)()));
         self.wait_region(&region);
         if let Err(payload) = caller_result {
-            panic::resume_unwind(payload);
+            // The caller's own panic wins; helper payloads are dropped
+            // but still counted.
+            let suppressed = {
+                let state = region.state.lock().expect("region lock never poisoned");
+                state.suppressed + usize::from(state.panic.is_some())
+            };
+            resume_with_suppressed(payload, suppressed);
         }
-        let helper_panic = region
-            .state
-            .lock()
-            .expect("region lock never poisoned")
-            .panic
-            .take();
+        let (helper_panic, suppressed) = {
+            let mut state = region.state.lock().expect("region lock never poisoned");
+            (state.panic.take(), state.suppressed)
+        };
         if let Some(payload) = helper_panic {
-            panic::resume_unwind(payload);
+            resume_with_suppressed(payload, suppressed);
         }
     }
 
@@ -332,6 +365,62 @@ mod tests {
             ran.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ran.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn concurrent_panics_are_counted_not_silently_dropped() {
+        let pool = WorkerPool::new();
+        // Every participant (caller + 2 helpers) reaches the barrier,
+        // then panics: exactly three panics, two of them suppressed.
+        let barrier = std::sync::Barrier::new(3);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_region(2, &|| {
+                barrier.wait();
+                panic!("boom in region");
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("annotated payload is a String");
+        assert!(message.contains("boom in region"), "got: {message}");
+        assert!(
+            message.contains("2 more worker panics suppressed"),
+            "suppressed count missing: {message}"
+        );
+        // The pool survives a fully panicked region.
+        let ran = AtomicUsize::new(0);
+        pool.run_region(2, &|| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn single_panic_payload_is_re_raised_untouched() {
+        let pool = WorkerPool::new();
+        let cursor = AtomicUsize::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_region(2, &|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= 30 {
+                    break;
+                }
+                assert!(i != 15, "lone failure");
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .expect("panic payload is a string");
+        assert!(message.contains("lone failure"), "got: {message}");
+        assert!(
+            !message.contains("suppressed"),
+            "no annotation without a second panic: {message}"
+        );
     }
 
     #[test]

@@ -1,15 +1,18 @@
 //! Monte-Carlo campaigns: run a seeded trial many times, classify and
 //! summarize.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use redundancy_core::context::ExecContext;
+use redundancy_core::context::{CancelToken, ExecContext};
 use redundancy_core::cost::Cost;
 use redundancy_core::obs::{
     with_worker_shard, ObsHandle, Observer, ShardPool, SpanKind, SpanStatus, StreamingMerger,
 };
 
-use crate::parallel::{chunk_size, parallel_indexed, parallel_indexed_chunked};
+use crate::chaos::ChaosPlan;
+use crate::checkpoint::{self, CheckpointLog, CheckpointSpec};
+use crate::parallel::{chunk_size, parallel_indexed, parallel_indexed_chunked_hooked};
 use crate::stats::{mean_ci, wilson_interval, Estimate, Proportion};
 
 /// The classification of one trial.
@@ -276,47 +279,316 @@ impl Campaign {
                 },
             );
         }
-        let jobs = jobs.clamp(1, self.trials);
-        let chunk = chunk_size(self.trials, jobs);
+        let (outcomes, stats) =
+            self.traced_parallel_segment(campaign_seed, jobs, observer, 0, 0, None, None, trial);
+        (summarize(&outcomes), stats)
+    }
+
+    /// Runs the campaign like [`run_parallel`](Self::run_parallel),
+    /// checkpointing completed trials to `spec`'s file so a killed run
+    /// can be restarted with the same arguments and **skip the committed
+    /// prefix**: trials are independently seeded by index, so the
+    /// resumed summary is bit-identical to an uninterrupted run's.
+    ///
+    /// Outcomes commit in contiguous batches of
+    /// [`CheckpointSpec::interval`] trials; work completed but not yet
+    /// flushed when the process dies is re-run on resume (the trade-off
+    /// experiment E19 measures). Restarting with a different seed, trial
+    /// count, or tracedness is refused
+    /// ([`checkpoint::Error::Mismatch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`checkpoint::Error`] when the checkpoint file cannot be
+    /// read or written, records a committed-trial gap
+    /// ([`checkpoint::Error::Corrupt`]), or pins different campaign
+    /// parameters.
+    pub fn run_parallel_resumable<F>(
+        &self,
+        campaign_seed: u64,
+        jobs: usize,
+        spec: &CheckpointSpec,
+        trial: F,
+    ) -> Result<TrialSummary, checkpoint::Error>
+    where
+        F: Fn(u64, usize) -> TrialOutcome + Sync,
+    {
+        self.run_parallel_resumable_chaos(campaign_seed, jobs, spec, None, trial)
+    }
+
+    /// [`run_parallel_resumable`](Self::run_parallel_resumable) with an
+    /// optional [`ChaosPlan`] injecting harness faults: worker kills at
+    /// trial boundaries and scheduling delays on chunks. (Charge-point
+    /// cancellation needs an [`ExecContext`] and therefore only applies
+    /// to the traced runner.) A killed trial's outcome is never
+    /// recorded, so resuming after a chaos panic converges on the clean
+    /// run's summary.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_parallel_resumable`](Self::run_parallel_resumable).
+    pub fn run_parallel_resumable_chaos<F>(
+        &self,
+        campaign_seed: u64,
+        jobs: usize,
+        spec: &CheckpointSpec,
+        chaos: Option<&ChaosPlan>,
+        trial: F,
+    ) -> Result<TrialSummary, checkpoint::Error>
+    where
+        F: Fn(u64, usize) -> TrialOutcome + Sync,
+    {
+        let (log, resumed) = CheckpointLog::open(spec, campaign_seed, self.trials, false)?;
+        let start = resumed.outcomes.len();
+        let mut outcomes = resumed.outcomes;
+        if start < self.trials {
+            let remaining = self.trials - start;
+            let jobs = jobs.clamp(1, remaining);
+            let chunk = chunk_size(remaining, jobs);
+            let fresh = parallel_indexed_chunked_hooked(
+                jobs,
+                remaining,
+                chunk,
+                |c| {
+                    if let Some(delay) = chaos.and_then(|plan| plan.chunk_delay(c)) {
+                        std::thread::sleep(delay);
+                    }
+                },
+                |k| {
+                    let i = start + k;
+                    if let Some(plan) = chaos {
+                        plan.before_trial(i);
+                    }
+                    let outcome = trial(Self::trial_seed(campaign_seed, i), i);
+                    if let Some(plan) = chaos {
+                        plan.after_trial(i);
+                    }
+                    log.record_outcome(i, &outcome);
+                    outcome
+                },
+            );
+            outcomes.extend(fresh);
+        }
+        log.finish()?;
+        Ok(summarize(&outcomes))
+    }
+
+    /// Runs a traced campaign like
+    /// [`run_traced_parallel`](Self::run_traced_parallel), checkpointing
+    /// both completed-trial outcomes **and the committed prefix of the
+    /// merged event stream** to `spec`'s file. On restart the committed
+    /// prefix is replayed into `observer` (which re-assigns global
+    /// sequence numbers) and the merge resumes where it stopped, so both
+    /// the final [`TrialSummary`] and the stream `observer` sees are
+    /// identical to an uninterrupted run's — byte-for-byte once
+    /// exported.
+    ///
+    /// A disabled `observer` falls back to the untraced resumable path;
+    /// note the checkpoint file then pins `traced = false` and cannot be
+    /// shared with an enabled run ([`checkpoint::Error::Mismatch`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_parallel_resumable`](Self::run_parallel_resumable).
+    pub fn run_traced_parallel_resumable<F>(
+        &self,
+        campaign_seed: u64,
+        jobs: usize,
+        observer: Arc<dyn Observer>,
+        spec: &CheckpointSpec,
+        trial: F,
+    ) -> Result<TrialSummary, checkpoint::Error>
+    where
+        F: Fn(&mut ExecContext, u64, usize) -> TrialOutcome + Sync,
+    {
+        self.run_traced_parallel_resumable_chaos(campaign_seed, jobs, observer, spec, None, trial)
+    }
+
+    /// [`run_traced_parallel_resumable`](Self::run_traced_parallel_resumable)
+    /// with an optional [`ChaosPlan`]: worker kills at trial boundaries,
+    /// cooperative cancellation on a scripted fuel-charge check
+    /// ([`CancelToken::cancel_after`]), and chunk scheduling delays. A
+    /// chaos-cancelled trial panics (payload `"chaos: ..."`) instead of
+    /// recording its partial outcome, so the resumed campaign re-runs it
+    /// cleanly and still matches the clean run bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_parallel_resumable`](Self::run_parallel_resumable).
+    pub fn run_traced_parallel_resumable_chaos<F>(
+        &self,
+        campaign_seed: u64,
+        jobs: usize,
+        observer: Arc<dyn Observer>,
+        spec: &CheckpointSpec,
+        chaos: Option<&ChaosPlan>,
+        trial: F,
+    ) -> Result<TrialSummary, checkpoint::Error>
+    where
+        F: Fn(&mut ExecContext, u64, usize) -> TrialOutcome + Sync,
+    {
+        if !observer.enabled() {
+            // Nothing to trace: run the untraced resumable path, but
+            // keep the chaos cancel fuse working by arming each trial's
+            // context exactly as the traced path would.
+            return self.run_parallel_resumable_chaos(
+                campaign_seed,
+                jobs,
+                spec,
+                chaos,
+                |seed, i| {
+                    let mut ctx = ExecContext::new(seed);
+                    if let Some(checks) = chaos.and_then(|plan| plan.charge_fuse(i)) {
+                        ctx = ctx.with_cancel_token(CancelToken::cancel_after(checks));
+                    }
+                    let outcome = trial(&mut ctx, seed, i);
+                    if ctx.was_cancelled() {
+                        ChaosPlan::cancelled_trial(i);
+                    }
+                    outcome
+                },
+            );
+        }
+        let (log, resumed) = CheckpointLog::open(spec, campaign_seed, self.trials, true)?;
+        let log = Arc::new(log);
+        let start = resumed.outcomes.len();
+        // Replay the committed stream prefix: the sink assigns global
+        // sequence numbers at record time, so replay continues the
+        // numbering exactly where the interrupted run left off.
+        for event in resumed.events {
+            observer.record(event);
+        }
+        let mut outcomes = resumed.outcomes;
+        if start < self.trials {
+            let (fresh, _stats) = self.traced_parallel_segment(
+                campaign_seed,
+                jobs,
+                observer,
+                start,
+                resumed.span_offset,
+                Some(&log),
+                chaos,
+                trial,
+            );
+            outcomes.extend(fresh);
+        }
+        log.finish()?;
+        Ok(summarize(&outcomes))
+    }
+
+    /// The traced-parallel engine shared by
+    /// [`run_traced_parallel_stats`](Self::run_traced_parallel_stats)
+    /// (`start = 0`, no log, no chaos) and the resumable runners: runs
+    /// trials `start..trials`, streaming their merged shards into
+    /// `observer` with span ids continuing from `span_offset`.
+    ///
+    /// When a trial panics — a bug in the trial closure or a scripted
+    /// chaos fault — the merger is aborted *before* the panic propagates,
+    /// releasing workers blocked on the merge window (the panicked trial
+    /// will never submit, so they would otherwise wait forever), then
+    /// the panic resumes and surfaces from the worker pool as usual.
+    #[allow(clippy::too_many_arguments)]
+    fn traced_parallel_segment<F>(
+        &self,
+        campaign_seed: u64,
+        jobs: usize,
+        observer: Arc<dyn Observer>,
+        start: usize,
+        span_offset: u64,
+        log: Option<&Arc<CheckpointLog>>,
+        chaos: Option<&ChaosPlan>,
+        trial: F,
+    ) -> (Vec<TrialOutcome>, TracedMergeStats)
+    where
+        F: Fn(&mut ExecContext, u64, usize) -> TrialOutcome + Sync,
+    {
+        let remaining = self.trials - start;
+        let jobs = jobs.clamp(1, remaining);
+        let chunk = chunk_size(remaining, jobs);
         // Big enough that a full complement of workers each holding one
         // in-flight chunk never stalls; small enough that peak buffering
         // stays O(jobs · chunk), not O(trials). Blocking on the window is
         // deadlock-free: chunks are claimed in ascending index order, so
         // the worker that owns the merge frontier's trial is never the
         // one waiting (see [`StreamingMerger::with_window`]).
-        let window = (2 * jobs * chunk).max(16).min(self.trials.max(1));
+        let window = (2 * jobs * chunk).max(16).min(remaining.max(1));
         let shard_pool = Arc::new(ShardPool::new());
-        let merger = StreamingMerger::new(observer)
+        let mut merger = StreamingMerger::new(observer)
             .with_pool(Arc::clone(&shard_pool))
-            .with_window(window);
-        let outcomes = parallel_indexed_chunked(jobs, self.trials, chunk, |i| {
-            let seed = Self::trial_seed(campaign_seed, i);
-            let (outcome, events) = with_worker_shard(|shard| {
-                shard.install_buffer(shard_pool.check_out());
-                let handle = ObsHandle::new(Arc::clone(shard) as Arc<dyn Observer>);
-                let mut ctx = ExecContext::new(seed).with_obs_handle(handle);
-                let span = ctx.obs_begin(|| SpanKind::Trial {
-                    index: i as u64,
-                    seed,
-                });
-                let outcome = trial(&mut ctx, seed, i);
-                ctx.obs_end(
-                    span,
-                    SpanStatus::Trial {
-                        disposition: outcome.disposition(),
-                    },
-                    outcome.cost().snapshot(),
-                );
-                (outcome, shard.take())
-            });
-            merger.submit(i, events);
-            outcome
-        });
+            .with_window(window)
+            .with_start(start, span_offset);
+        if let Some(log) = log {
+            // The tap runs under the merger lock in strict trial order,
+            // handing each trial's renumbered slice to the checkpoint.
+            let log = Arc::clone(log);
+            merger = merger.with_tap(move |i, events| log.record_events(i, events));
+        }
+        let outcomes = parallel_indexed_chunked_hooked(
+            jobs,
+            remaining,
+            chunk,
+            |c| {
+                if let Some(delay) = chaos.and_then(|plan| plan.chunk_delay(c)) {
+                    std::thread::sleep(delay);
+                }
+            },
+            |k| {
+                let i = start + k;
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(plan) = chaos {
+                        plan.before_trial(i);
+                    }
+                    let seed = Self::trial_seed(campaign_seed, i);
+                    let (outcome, events) = with_worker_shard(|shard| {
+                        shard.install_buffer(shard_pool.check_out());
+                        let handle = ObsHandle::new(Arc::clone(shard) as Arc<dyn Observer>);
+                        let mut ctx = ExecContext::new(seed).with_obs_handle(handle);
+                        if let Some(checks) = chaos.and_then(|plan| plan.charge_fuse(i)) {
+                            ctx = ctx.with_cancel_token(CancelToken::cancel_after(checks));
+                        }
+                        let span = ctx.obs_begin(|| SpanKind::Trial {
+                            index: i as u64,
+                            seed,
+                        });
+                        let outcome = trial(&mut ctx, seed, i);
+                        if ctx.was_cancelled() {
+                            // Scripted cancellation: discard the partial
+                            // outcome so the resumed re-run (clean, no
+                            // fuse) is the one that counts.
+                            ChaosPlan::cancelled_trial(i);
+                        }
+                        ctx.obs_end(
+                            span,
+                            SpanStatus::Trial {
+                                disposition: outcome.disposition(),
+                            },
+                            outcome.cost().snapshot(),
+                        );
+                        (outcome, shard.take())
+                    });
+                    if let Some(plan) = chaos {
+                        plan.after_trial(i);
+                    }
+                    merger.submit(i, events);
+                    if let Some(log) = log {
+                        log.record_outcome(i, &outcome);
+                    }
+                    outcome
+                }));
+                match result {
+                    Ok(outcome) => outcome,
+                    Err(payload) => {
+                        merger.abort();
+                        resume_unwind(payload);
+                    }
+                }
+            },
+        );
         let stats = TracedMergeStats {
             window,
             peak_buffered: merger.peak_buffered(),
         };
-        (summarize(&outcomes), stats)
+        (outcomes, stats)
     }
 }
 
@@ -544,6 +816,153 @@ mod tests {
         for (i, t) in trials.iter().enumerate() {
             assert_eq!(t.index, i as u64);
         }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "redundancy_trial_{}_{}.ckpt",
+            tag,
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn traced_parallel_panic_propagates_without_deadlock() {
+        use redundancy_core::obs::CollectorObserver;
+        let campaign = Campaign::new(64);
+        let sink = Arc::new(CollectorObserver::new());
+        // Without the merger abort, workers that ran ahead of the dead
+        // trial would block forever on the merge window here.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            campaign.run_traced_parallel(3, 4, sink.clone(), |ctx, seed, i| {
+                assert!(i != 13, "trial bug");
+                traced_trial(ctx, seed, i)
+            })
+        }));
+        assert!(result.is_err());
+        // The pool and a fresh merger keep working afterwards.
+        let retry_sink = Arc::new(CollectorObserver::new());
+        let retry = campaign.run_traced_parallel(3, 4, retry_sink.clone(), traced_trial);
+        let serial_sink = Arc::new(CollectorObserver::new());
+        let serial = campaign.run_traced(3, serial_sink.clone(), traced_trial);
+        assert_eq!(serial, retry);
+        assert_eq!(serial_sink.take(), retry_sink.take());
+    }
+
+    #[test]
+    fn killed_untraced_campaign_resumes_to_identical_summary() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let campaign = Campaign::new(120);
+        let clean = campaign.run_parallel(5, 4, synthetic_trial);
+        for jobs in [1usize, 2, 8] {
+            let path = temp_path(&format!("untraced_{jobs}"));
+            let _ = std::fs::remove_file(&path);
+            let spec = CheckpointSpec::new(&path, 8);
+            let chaos = ChaosPlan::new(1).kill_before_trial(60);
+            let killed = catch_unwind(AssertUnwindSafe(|| {
+                campaign.run_parallel_resumable_chaos(5, jobs, &spec, Some(&chaos), synthetic_trial)
+            }));
+            let payload = killed.expect_err("the chaos kill must fire");
+            assert!(ChaosPlan::is_chaos_panic(&*payload));
+            // The resumed run (same plan: kill sites are one-shot) skips
+            // the committed prefix and still matches the clean summary.
+            let reruns = AtomicUsize::new(0);
+            let resumed = campaign
+                .run_parallel_resumable_chaos(5, jobs, &spec, Some(&chaos), |seed, i| {
+                    reruns.fetch_add(1, Ordering::Relaxed);
+                    synthetic_trial(seed, i)
+                })
+                .expect("resume succeeds");
+            assert_eq!(clean, resumed, "jobs={jobs}");
+            assert!(
+                reruns.load(Ordering::Relaxed) < campaign.trials(),
+                "jobs={jobs}: resume re-ran every trial"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    /// A traced trial that charges fuel (so chaos cancellation has a
+    /// charge point to fire on) and consumes randomness.
+    fn charging_trial(ctx: &mut ExecContext, _seed: u64, i: usize) -> TrialOutcome {
+        let span = ctx.obs_begin(|| SpanKind::Scope { name: "work" });
+        for _ in 0..4 {
+            let _ = ctx.charge(1);
+        }
+        let draw = ctx.rng().next_u64();
+        ctx.obs_end(span, SpanStatus::Ok, Cost::ZERO.snapshot());
+        synthetic_trial(draw, i)
+    }
+
+    #[test]
+    fn killed_traced_campaign_resumes_to_identical_stream() {
+        use redundancy_core::obs::CollectorObserver;
+        let campaign = Campaign::new(97);
+        let clean_sink = Arc::new(CollectorObserver::new());
+        let clean = campaign.run_traced(11, clean_sink.clone(), charging_trial);
+        let clean_events = clean_sink.take();
+        for jobs in [1usize, 2, 8] {
+            let path = temp_path(&format!("traced_{jobs}"));
+            let _ = std::fs::remove_file(&path);
+            let spec = CheckpointSpec::new(&path, 4);
+            let chaos = ChaosPlan::new(2)
+                .cancel_at_charge(20, 3)
+                .kill_after_trial(48);
+            // Depending on run-ahead, both faults may fire in one
+            // attempt or across two; each kill gets a fresh sink, as a
+            // process restart would.
+            let mut attempts = 0;
+            let (resumed, final_events) = loop {
+                attempts += 1;
+                assert!(attempts <= 5, "jobs={jobs}: chaos never converged");
+                let sink = Arc::new(CollectorObserver::new());
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    campaign.run_traced_parallel_resumable_chaos(
+                        11,
+                        jobs,
+                        sink.clone(),
+                        &spec,
+                        Some(&chaos),
+                        charging_trial,
+                    )
+                }));
+                match run {
+                    Ok(summary) => break (summary.expect("checkpoint io"), sink.take()),
+                    Err(payload) => assert!(ChaosPlan::is_chaos_panic(&*payload)),
+                }
+            };
+            assert!(attempts >= 2, "jobs={jobs}: no attempt was killed");
+            assert_eq!(clean, resumed, "summary for jobs={jobs}");
+            assert_eq!(clean_events, final_events, "stream for jobs={jobs}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn completed_resumable_campaign_reruns_nothing() {
+        use redundancy_core::obs::CollectorObserver;
+        let campaign = Campaign::new(30);
+        let path = temp_path("complete");
+        let _ = std::fs::remove_file(&path);
+        let spec = CheckpointSpec::new(&path, 4);
+        let sink = Arc::new(CollectorObserver::new());
+        let first = campaign
+            .run_traced_parallel_resumable(3, 4, sink.clone(), &spec, charging_trial)
+            .expect("first run");
+        let first_events = sink.take();
+        // Re-running replays everything from the checkpoint: identical
+        // summary and stream without executing a single trial.
+        let sink = Arc::new(CollectorObserver::new());
+        let replayed = campaign
+            .run_traced_parallel_resumable(3, 4, sink.clone(), &spec, |_, _, _| {
+                unreachable!("all trials are committed")
+            })
+            .expect("replay run");
+        assert_eq!(first, replayed);
+        assert_eq!(first_events, sink.take());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

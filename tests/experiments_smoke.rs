@@ -96,6 +96,12 @@ fn e18_smoke() {
 }
 
 #[test]
+fn e19_smoke() {
+    assert_table(&exp::resume::run(24, SEED), 4, "yes");
+    assert!(exp::resume::chaos_smoke(24, SEED, 2) >= 1);
+}
+
+#[test]
 fn e11_smoke() {
     assert_table(&exp::microreboot::run(2_000, SEED), 3, "JAGR");
 }
