@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy test build bench bench-campaign bench-smoke chaos-smoke examples
+.PHONY: verify fmt clippy test build bench bench-campaign bench-smoke chaos-smoke monitor-smoke examples
 
 verify: fmt clippy test
 
@@ -41,6 +41,13 @@ bench-smoke:
 # uninterrupted run. Fails loudly if crash-only resumption ever drifts.
 chaos-smoke:
 	$(CARGO) run -q -p redundancy-bench --bin exp_resume -- --smoke
+
+# Flight-recorder gate: runs a campaign under the background monitor and
+# asserts the contract — results bit-identical to an unmonitored run,
+# Prometheus export passes the exposition-format validator, every JSONL
+# snapshot is well-formed.
+monitor-smoke:
+	$(CARGO) run -q -p redundancy-bench --bin exp_monitor
 
 # Build and run every example end to end. A CI smoke test: the examples
 # are the documented entry points, so they must keep compiling *and*

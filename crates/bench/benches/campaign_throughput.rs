@@ -15,11 +15,19 @@
 //!   full execution tracing into a bounded ring sink, measuring the
 //!   pooled-shard + streaming-merge path of
 //!   [`Campaign::run_traced_parallel`].
+//! - **Monitored** (`campaign/monitored_parallel_*`): the light campaign
+//!   again, but with the flight recorder live — global telemetry on and
+//!   a background [`CampaignMonitor`] sampling it — quantifying the
+//!   recorder's overhead against `campaign/parallel_*` (budget: ≤ 2%).
+//!   Benched back-to-back with its unmonitored twin at each worker
+//!   count so host drift doesn't masquerade as recorder overhead.
 //!
 //! Every parallel driver is asserted bit-identical to its serial
 //! counterpart before anything is timed, so the only thing that varies
 //! is wall-clock time. Run with `CRITERION_JSON_OUT=BENCH_campaign.json`
 //! (see `make bench-campaign`) to mirror the numbers into JSON.
+
+use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use redundancy_core::adjudicator::voting::MajorityVoter;
@@ -29,6 +37,7 @@ use redundancy_core::patterns::ParallelEvaluation;
 use redundancy_core::variant::BoxedVariant;
 use redundancy_faults::FaultPlan;
 use redundancy_sim::trial::{Campaign, TrialOutcome};
+use redundancy_sim::{CampaignMonitor, MonitorConfig};
 
 const TRIALS: usize = 1000;
 const TRIALS_HEAVY: usize = 100;
@@ -134,7 +143,14 @@ fn bench_campaign(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("campaign");
 
-    // Light workload: sub-microsecond trials.
+    // Light workload: sub-microsecond trials. Each unmonitored bench is
+    // immediately followed by its flight-recorder-live twin: on a noisy
+    // host, thermal and scheduling drift between measurements taken
+    // minutes apart easily exceeds the recorder's few-ns-per-trial cost,
+    // so the overhead comparison only means something when the two
+    // measurements are back to back. The monitor guard is scoped to the
+    // monitored bench alone, so every unmonitored bench still measures
+    // the recorder truly off (one relaxed load per hook).
     group.bench_function(BenchmarkId::new("serial", TRIALS), |b| {
         b.iter(|| campaign.run(CAMPAIGN_SEED, |seed, i| nvp_trial(&pattern, seed, i)));
     });
@@ -149,6 +165,29 @@ fn bench_campaign(c: &mut Criterion) {
                 });
             },
         );
+        let monitor = CampaignMonitor::start(MonitorConfig {
+            interval: Duration::from_millis(200),
+            live: false,
+            prometheus_path: None,
+            jsonl_path: None,
+        });
+        let monitored =
+            campaign.run_parallel(CAMPAIGN_SEED, jobs, |seed, i| nvp_trial(&pattern, seed, i));
+        assert_eq!(
+            serial, monitored,
+            "summary diverged with monitor live at jobs={jobs}"
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("monitored_parallel_{TRIALS}_jobs"), jobs),
+            &jobs,
+            |b, &jobs| {
+                b.iter(|| {
+                    campaign
+                        .run_parallel(CAMPAIGN_SEED, jobs, |seed, i| nvp_trial(&pattern, seed, i))
+                });
+            },
+        );
+        drop(monitor);
     }
 
     // Heavy workload: ~10 µs of compute per trial.

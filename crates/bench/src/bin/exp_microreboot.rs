@@ -3,6 +3,7 @@
 use redundancy_bench::{default_seed, jobs_arg};
 
 fn main() {
+    let _monitor = redundancy_bench::monitor_from_args();
     println!("E11 — availability and recovery time by reboot policy\n");
     print!(
         "{}",

@@ -3,6 +3,7 @@
 use redundancy_bench::{default_seed, default_trials, jobs_arg};
 
 fn main() {
+    let _monitor = redundancy_bench::monitor_from_args();
     let seed = default_seed();
     let jobs = jobs_arg();
     println!("E7a — aging-failure rate vs rejuvenation cadence\n");

@@ -6,9 +6,14 @@
 
 use redundancy_bench::experiments::resume;
 use redundancy_bench::{default_seed, jobs_arg};
+use redundancy_core::obs::telemetry::{Counter, Telemetry};
 use redundancy_sim::ChaosPlan;
 
 fn main() {
+    let monitor = redundancy_bench::monitor_from_args();
+    // The chaos experiment reports its injected faults from the flight
+    // recorder, so keep telemetry on even without --monitor.
+    Telemetry::global().set_enabled(true);
     // The experiment *scripts* worker kills and catches them; keep the
     // default hook's backtraces for real panics only.
     let default_hook = std::panic::take_hook();
@@ -31,4 +36,15 @@ fn main() {
         "\nchaos smoke: PASS — traced campaign survived {kills} scripted kill(s); \
          resumed summary and event stream byte-identical to the clean run"
     );
+    let recorded = Telemetry::global().snapshot();
+    println!(
+        "flight recorder: {} worker kill(s), {} cancel fuse(s), {} injected delay(s); \
+         pool caught {} panic(s), suppressed {} duplicate(s)",
+        recorded.counter(Counter::ChaosKills),
+        recorded.counter(Counter::ChaosCancels),
+        recorded.counter(Counter::ChaosDelays),
+        recorded.counter(Counter::PoolPanicsCaught),
+        recorded.counter(Counter::PoolPanicsSuppressed),
+    );
+    drop(monitor);
 }

@@ -3,6 +3,7 @@
 use redundancy_bench::{default_seed, default_trials, jobs_arg};
 
 fn main() {
+    let _monitor = redundancy_bench::monitor_from_args();
     println!("E10b — RX knob ablation (fault density 0.4, 6 rounds)\n");
     print!(
         "{}",

@@ -3,6 +3,7 @@
 use redundancy_bench::{default_seed, default_trials, jobs_arg};
 
 fn main() {
+    let _monitor = redundancy_bench::monitor_from_args();
     println!("E15 — heap smashing (64-byte buffers, 1..=128-byte overflows)\n");
     print!(
         "{}",

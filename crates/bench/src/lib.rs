@@ -85,6 +85,121 @@ fn parse_jobs_env(value: &str) -> Result<usize, Option<String>> {
     }
 }
 
+/// Default sampling interval of the campaign flight recorder.
+pub const DEFAULT_MONITOR_INTERVAL_MS: u64 = 500;
+
+/// How the `--monitor` family of flags resolved for this invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MonitorArgs {
+    /// Whether the flight recorder should run at all.
+    pub enabled: bool,
+    /// Sampling interval in milliseconds (`None` = default 500 ms).
+    pub interval_ms: Option<u64>,
+    /// `--monitor-prom=PATH`: write Prometheus text format here.
+    pub prometheus: Option<String>,
+    /// `--monitor-jsonl=PATH`: append JSONL snapshots here.
+    pub jsonl: Option<String>,
+}
+
+/// Resolves the flight-recorder knobs from command-line arguments and
+/// the `REDUNDANCY_MONITOR_MS` environment variable.
+///
+/// `--monitor` turns the recorder on; `--monitor-interval-ms N` (or
+/// `=N`), `--monitor-prom=PATH` and `--monitor-jsonl=PATH` each imply
+/// it. A valid `REDUNDANCY_MONITOR_MS` turns it on at that interval
+/// (explicit flags win); an invalid one still turns it on but returns a
+/// warning naming the variable and value — same warn-once contract as
+/// `REDUNDANCY_JOBS` — and falls back to the default interval.
+pub fn monitor_args<I: Iterator<Item = String>>(
+    args: I,
+    env_ms: Option<&str>,
+) -> (MonitorArgs, Option<String>) {
+    let mut resolved = MonitorArgs::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--monitor" {
+            resolved.enabled = true;
+        } else if arg == "--monitor-interval-ms" {
+            if let Some(ms) = args.next().and_then(|s| s.parse().ok()) {
+                resolved.interval_ms = Some(ms);
+                resolved.enabled = true;
+            }
+        } else if let Some(ms) = arg
+            .strip_prefix("--monitor-interval-ms=")
+            .and_then(|s| s.parse().ok())
+        {
+            resolved.interval_ms = Some(ms);
+            resolved.enabled = true;
+        } else if let Some(path) = arg.strip_prefix("--monitor-prom=") {
+            resolved.prometheus = Some(path.to_owned());
+            resolved.enabled = true;
+        } else if let Some(path) = arg.strip_prefix("--monitor-jsonl=") {
+            resolved.jsonl = Some(path.to_owned());
+            resolved.enabled = true;
+        }
+    }
+    let mut warning = None;
+    if let Some(value) = env_ms {
+        match parse_monitor_env(value) {
+            Ok(ms) => {
+                resolved.enabled = true;
+                if resolved.interval_ms.is_none() {
+                    resolved.interval_ms = Some(ms);
+                }
+            }
+            Err(None) => {}
+            Err(Some(message)) => {
+                // The user asked for monitoring, however garbled: run it
+                // at the default interval rather than silently not.
+                resolved.enabled = true;
+                warning = Some(message);
+            }
+        }
+    }
+    (resolved, warning)
+}
+
+/// Parses a `REDUNDANCY_MONITOR_MS` value: `Ok(ms)` for a positive
+/// integer, `Err(None)` for an empty value (treated as unset),
+/// `Err(Some(msg))` for a set-but-unusable value.
+fn parse_monitor_env(value: &str) -> Result<u64, Option<String>> {
+    match value.trim().parse::<u64>() {
+        Ok(ms) if ms > 0 => Ok(ms),
+        _ if value.trim().is_empty() => Err(None),
+        _ => Err(Some(format!(
+            "warning: ignoring REDUNDANCY_MONITOR_MS={value:?}: expected a positive integer \
+             of milliseconds, monitoring at the default {DEFAULT_MONITOR_INTERVAL_MS} ms"
+        ))),
+    }
+}
+
+/// Starts the campaign flight recorder if this invocation asked for it
+/// (`--monitor` / `--monitor-interval-ms` / `--monitor-prom=` /
+/// `--monitor-jsonl=` / `REDUNDANCY_MONITOR_MS`); prints the warn-once
+/// message for an invalid environment value. The `exp_*` binaries call
+/// this at the top of `main` and hold the guard for their lifetime —
+/// dropping it writes the final snapshot and switches telemetry off.
+#[must_use]
+pub fn monitor_from_args() -> Option<redundancy_sim::CampaignMonitor> {
+    let env = std::env::var("REDUNDANCY_MONITOR_MS").ok();
+    let (resolved, warning) = monitor_args(std::env::args(), env.as_deref());
+    if let Some(warning) = warning {
+        eprintln!("{warning}");
+    }
+    if !resolved.enabled {
+        return None;
+    }
+    let config = redundancy_sim::MonitorConfig {
+        interval: std::time::Duration::from_millis(
+            resolved.interval_ms.unwrap_or(DEFAULT_MONITOR_INTERVAL_MS),
+        ),
+        live: true,
+        prometheus_path: resolved.prometheus.map(std::path::PathBuf::from),
+        jsonl_path: resolved.jsonl.map(std::path::PathBuf::from),
+    };
+    Some(redundancy_sim::CampaignMonitor::start(config))
+}
+
 /// Whether `--trace` was passed on the command line: `exp_*` binaries
 /// that support it attach a [`RingBufferObserver`] and print the trace
 /// [`summary`] (and per-technique metrics) after their tables.
@@ -159,5 +274,83 @@ mod tests {
                 "warning must name the variable and the value: {warning}"
             );
         }
+    }
+
+    #[test]
+    fn monitor_env_values_parse_warn_or_stay_silent() {
+        assert_eq!(parse_monitor_env("250"), Ok(250));
+        assert_eq!(parse_monitor_env(" 1000 "), Ok(1000));
+        assert_eq!(parse_monitor_env(""), Err(None));
+        assert_eq!(parse_monitor_env("  "), Err(None));
+        for bad in ["0", "fast", "-5"] {
+            let warning = parse_monitor_env(bad)
+                .expect_err("bad value falls back")
+                .expect("bad value warns");
+            assert!(
+                warning.contains("REDUNDANCY_MONITOR_MS") && warning.contains(bad),
+                "warning must name the variable and the value: {warning}"
+            );
+        }
+    }
+
+    fn resolve(args: &[&str], env: Option<&str>) -> (MonitorArgs, Option<String>) {
+        monitor_args(args.iter().map(ToString::to_string), env)
+    }
+
+    #[test]
+    fn monitor_flags_resolve_and_imply_enablement() {
+        let (off, warning) = resolve(&["exp", "--jobs", "4"], None);
+        assert_eq!(off, MonitorArgs::default());
+        assert!(warning.is_none());
+
+        let (on, _) = resolve(&["exp", "--monitor"], None);
+        assert!(on.enabled);
+        assert_eq!(on.interval_ms, None);
+
+        for args in [
+            &["exp", "--monitor-interval-ms", "50"][..],
+            &["exp", "--monitor-interval-ms=50"][..],
+        ] {
+            let (resolved, _) = resolve(args, None);
+            assert!(resolved.enabled, "interval flag implies --monitor");
+            assert_eq!(resolved.interval_ms, Some(50));
+        }
+
+        let (paths, _) = resolve(
+            &[
+                "exp",
+                "--monitor-prom=/tmp/m.prom",
+                "--monitor-jsonl=m.jsonl",
+            ],
+            None,
+        );
+        assert!(paths.enabled, "export paths imply --monitor");
+        assert_eq!(paths.prometheus.as_deref(), Some("/tmp/m.prom"));
+        assert_eq!(paths.jsonl.as_deref(), Some("m.jsonl"));
+    }
+
+    #[test]
+    fn monitor_env_enables_but_explicit_interval_wins() {
+        let (from_env, warning) = resolve(&["exp"], Some("250"));
+        assert!(from_env.enabled);
+        assert_eq!(from_env.interval_ms, Some(250));
+        assert!(warning.is_none());
+
+        let (explicit, _) = resolve(&["exp", "--monitor-interval-ms=50"], Some("250"));
+        assert_eq!(explicit.interval_ms, Some(50));
+
+        // Garbage env still turns monitoring on, at the default interval,
+        // and surfaces the warn-once message.
+        let (garbled, warning) = resolve(&["exp"], Some("fast"));
+        assert!(garbled.enabled);
+        assert_eq!(garbled.interval_ms, None);
+        assert!(warning
+            .expect("garbage warns")
+            .contains("REDUNDANCY_MONITOR_MS"));
+
+        // Empty env is "unset": silent, stays off.
+        let (unset, warning) = resolve(&["exp"], Some(""));
+        assert!(!unset.enabled);
+        assert!(warning.is_none());
     }
 }

@@ -248,6 +248,7 @@ impl<I, O> ParallelEvaluation<I, O> {
             // component is "selected".
             selected: None,
         }
+        .recorded()
     }
 }
 
@@ -351,7 +352,8 @@ impl<I, O> ParallelSelection<I, O> {
                 outcomes: Vec::new(),
                 cost: ctx.cost().delta_since(before),
                 selected: None,
-            };
+            }
+            .recorded();
         }
         // Split borrows: variants for execution, tests for validation.
         let variants: Vec<&BoxedVariant<I, O>> = self.components.iter().map(|(v, _)| v).collect();
@@ -413,6 +415,7 @@ impl<I, O> ParallelSelection<I, O> {
             selected: selected.map(|idx| outcomes[idx].variant.clone()),
             outcomes,
         }
+        .recorded()
     }
 }
 

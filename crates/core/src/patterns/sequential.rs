@@ -143,7 +143,8 @@ impl<I, O> SequentialAlternatives<I, O> {
                 outcomes: Vec::new(),
                 cost: ctx.cost().delta_since(before),
                 selected: None,
-            };
+            }
+            .recorded();
         }
         let limit = self
             .max_attempts
@@ -181,7 +182,8 @@ impl<I, O> SequentialAlternatives<I, O> {
                         cost: ctx.cost().delta_since(before),
                         outcomes,
                         selected,
-                    };
+                    }
+                    .recorded();
                 }
                 Some(false) => any_silent_rejection = true,
                 None => {}
@@ -205,6 +207,7 @@ impl<I, O> SequentialAlternatives<I, O> {
             outcomes,
             selected: None,
         }
+        .recorded()
     }
 }
 

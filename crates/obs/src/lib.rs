@@ -26,6 +26,12 @@
 //!   own [`CollectorObserver`] shard; [`merge_shards`] stitches the
 //!   shards back together in trial order, renumbering span ids so the
 //!   merged stream is bit-for-bit identical to a serial recording.
+//! - **Lock-free telemetry.** The [`telemetry`] module keeps per-thread
+//!   shards of relaxed atomic counters and latency histograms, gated on
+//!   one process-wide flag and aggregated only on demand — the data
+//!   plane of the simulator's campaign flight recorder. [`prometheus`]
+//!   renders snapshots in Prometheus text exposition format (and
+//!   validates them back).
 //!
 //! ## Worked example
 //!
@@ -63,7 +69,9 @@ mod event;
 mod export;
 mod metrics;
 mod observer;
+pub mod prometheus;
 mod shard;
+pub mod telemetry;
 
 pub use event::{CostSnapshot, Event, EventKind, Point, SpanId, SpanKind, SpanStatus, ROOT_SPAN};
 #[cfg(feature = "serde")]
@@ -79,3 +87,4 @@ pub use shard::{
     forward_renumbered, forward_renumbered_drain, merge_shards, renumber_in_place,
     with_worker_shard, CollectorObserver, ShardPool, StreamingMerger,
 };
+pub use telemetry::{Telemetry, TelemetryShard, TelemetrySnapshot};

@@ -127,6 +127,36 @@ impl Histogram {
         self.overflow
     }
 
+    /// Reassembles a histogram from externally accumulated parts (the
+    /// telemetry shards aggregate in relaxed atomics and only build a
+    /// `Histogram` at snapshot time). `counts` must align with `bounds`;
+    /// the total count is derived, and `min`/`max` are normalised to the
+    /// empty-histogram sentinels when no samples were recorded.
+    pub(crate) fn from_parts(
+        bounds: &[u64],
+        counts: Vec<u64>,
+        overflow: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Self {
+        assert_eq!(
+            bounds.len(),
+            counts.len(),
+            "histogram parts must align with bounds"
+        );
+        let count = counts.iter().sum::<u64>() + overflow;
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts,
+            overflow,
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max: if count == 0 { 0 } else { max },
+        }
+    }
+
     /// Approximate quantile (0.0..=1.0) from bucket upper bounds: returns
     /// the upper bound of the bucket containing the `q`-quantile sample
     /// (or the observed max for the overflow bucket). `None` if empty.
@@ -513,6 +543,76 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_unsorted_bounds() {
         let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn empty_histogram_answers_every_query_without_panicking() {
+        let h = Histogram::new(TICK_BUCKETS);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+    }
+
+    #[test]
+    fn single_sample_histogram_pins_every_quantile_to_its_bucket() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), Some(42.0));
+        assert_eq!((h.min(), h.max()), (Some(42), Some(42)));
+        // Every quantile of a one-sample histogram is that sample's
+        // bucket upper bound — including q=0.0, whose rank clamps to 1.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(100));
+        }
+    }
+
+    #[test]
+    fn overflow_only_histogram_reports_observed_max_for_all_quantiles() {
+        let mut h = Histogram::new(&[10]);
+        h.record(5_000);
+        h.record(70_000);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bucket_counts(), &[0]);
+        // No finite bucket reaches any rank, so quantiles fall through
+        // to the observed max rather than inventing a bound.
+        assert_eq!(h.quantile(0.5), Some(70_000));
+        assert_eq!(h.quantile(1.0), Some(70_000));
+        // Out-of-range q is clamped, not propagated.
+        assert_eq!(h.quantile(7.5), Some(70_000));
+        assert_eq!(h.quantile(-1.0), Some(70_000));
+    }
+
+    #[test]
+    fn registry_render_handles_empty_and_overflow_histograms() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.render(), "", "empty registry renders nothing");
+        reg.observe("lag", "ck", &[10], 99); // overflow-bucket-only
+        let rendered = reg.render();
+        assert!(rendered.contains("lag{ck}"));
+        assert!(rendered.contains("count=1"));
+        assert!(
+            rendered.contains("p95<=99"),
+            "p95 uses observed max: {rendered}"
+        );
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_recorded_histogram() {
+        let mut recorded = Histogram::new(&[10, 100]);
+        for v in [1, 50, 5_000] {
+            recorded.record(v);
+        }
+        let rebuilt = Histogram::from_parts(&[10, 100], vec![1, 1], 1, 5_051, 1, 5_000);
+        assert_eq!(rebuilt, recorded);
+        // Empty parts normalise min/max to the empty sentinels.
+        let empty = Histogram::from_parts(&[10, 100], vec![0, 0], 0, 0, u64::MAX, 0);
+        assert_eq!(empty, Histogram::new(&[10, 100]));
     }
 
     #[test]

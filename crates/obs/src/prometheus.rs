@@ -1,0 +1,379 @@
+//! Prometheus text exposition format for telemetry snapshots.
+//!
+//! [`render_telemetry`] turns a [`TelemetrySnapshot`] into the plain-text
+//! format Prometheus scrapes: every counter becomes a
+//! `redundancy_<name>_total` counter family, every timer becomes a
+//! `redundancy_<name>` histogram family with cumulative `_bucket{le=...}`
+//! series, `_sum` and `_count`. The campaign monitor writes this to a
+//! file atomically (write-then-rename) so a node-exporter-style textfile
+//! collector — or a human with `curl`-free eyes — can pick it up.
+//!
+//! [`validate`] is the matching checker: it parses a rendered exposition
+//! back, enforcing comment shape, metric-name syntax, numeric sample
+//! values, cumulative bucket monotonicity and `_count` == `+Inf`
+//! consistency. The `monitor-smoke` experiment runs it against the file
+//! the monitor actually wrote, so format drift fails CI rather than a
+//! downstream scrape.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::Histogram;
+use crate::telemetry::TelemetrySnapshot;
+
+/// Prefix applied to every exported metric family name.
+pub const PROM_PREFIX: &str = "redundancy_";
+
+/// Renders a telemetry snapshot in Prometheus text exposition format.
+#[must_use]
+pub fn render_telemetry(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for (counter, value) in snapshot.counters() {
+        let name = format!("{PROM_PREFIX}{}_total", counter.name());
+        let _ = writeln!(out, "# HELP {name} {}", counter.help());
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (timer, hist) in snapshot.timers() {
+        render_histogram(
+            &mut out,
+            &format!("{PROM_PREFIX}{}", timer.name()),
+            timer.help(),
+            hist,
+        );
+    }
+    out
+}
+
+/// Appends one histogram family (`# HELP`/`# TYPE`, cumulative
+/// `_bucket{le="..."}` series including `+Inf`, `_sum`, `_count`) to
+/// `out`.
+pub fn render_histogram(out: &mut String, name: &str, help: &str, hist: &Histogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (&bound, &count) in hist.bounds().iter().zip(hist.bucket_counts()) {
+        cumulative += count;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+    }
+    cumulative += hist.overflow();
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+    let _ = writeln!(out, "{name}_sum {}", hist.sum());
+    let _ = writeln!(out, "{name}_count {}", hist.count());
+}
+
+/// Checks that `text` is well-formed Prometheus text exposition format
+/// and internally consistent. Returns the number of metric families on
+/// success, or a description of the first problem found.
+///
+/// Enforced: comment lines are `# HELP`/`# TYPE` with valid metric
+/// names; samples are `name{labels} value` with numeric values; within
+/// each histogram family the `le` buckets are cumulative
+/// (non-decreasing) and `_count` equals the `+Inf` bucket.
+///
+/// # Errors
+///
+/// Returns `Err` with a line-numbered message on the first malformed
+/// line or inconsistent family.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let mut families: BTreeMap<String, FamilyCheck> = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            validate_comment(comment, lineno, &mut families)?;
+        } else {
+            validate_sample(line, lineno, &mut families)?;
+        }
+    }
+    for (family, check) in &families {
+        check.finish(family)?;
+    }
+    Ok(families.len())
+}
+
+/// Per-family running state while validating.
+#[derive(Debug, Default)]
+struct FamilyCheck {
+    kind: Option<String>,
+    last_bucket: Option<(f64, f64)>,
+    inf_bucket: Option<f64>,
+    count: Option<f64>,
+    samples: usize,
+}
+
+impl FamilyCheck {
+    fn finish(&self, family: &str) -> Result<(), String> {
+        if self.kind.as_deref() == Some("histogram") {
+            let inf = self
+                .inf_bucket
+                .ok_or_else(|| format!("histogram {family} has no +Inf bucket"))?;
+            let count = self
+                .count
+                .ok_or_else(|| format!("histogram {family} has no _count sample"))?;
+            if (inf - count).abs() > f64::EPSILON {
+                return Err(format!(
+                    "histogram {family}: _count {count} != +Inf bucket {inf}"
+                ));
+            }
+        }
+        if self.kind.is_some() && self.samples == 0 {
+            return Err(format!("family {family} declared but has no samples"));
+        }
+        Ok(())
+    }
+}
+
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Strips a histogram-series suffix back to its family name.
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            return stem;
+        }
+    }
+    name
+}
+
+fn validate_comment(
+    comment: &str,
+    lineno: usize,
+    families: &mut BTreeMap<String, FamilyCheck>,
+) -> Result<(), String> {
+    let comment = comment.trim_start();
+    let (keyword, rest) = comment
+        .split_once(' ')
+        .ok_or_else(|| format!("line {lineno}: bare comment marker"))?;
+    match keyword {
+        "HELP" => {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if !is_valid_metric_name(name) {
+                return Err(format!("line {lineno}: HELP names invalid metric {name:?}"));
+            }
+            families.entry(name.to_owned()).or_default();
+            Ok(())
+        }
+        "TYPE" => {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !is_valid_metric_name(name) {
+                return Err(format!("line {lineno}: TYPE names invalid metric {name:?}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {lineno}: unknown metric type {kind:?}"));
+            }
+            families.entry(name.to_owned()).or_default().kind = Some(kind.to_owned());
+            Ok(())
+        }
+        _ => Err(format!(
+            "line {lineno}: comment is neither # HELP nor # TYPE"
+        )),
+    }
+}
+
+fn validate_sample(
+    line: &str,
+    lineno: usize,
+    families: &mut BTreeMap<String, FamilyCheck>,
+) -> Result<(), String> {
+    // Split `name{labels} value` / `name value`.
+    let (name_part, value_part) = if let Some(open) = line.find('{') {
+        let close = line
+            .rfind('}')
+            .ok_or_else(|| format!("line {lineno}: unclosed label braces"))?;
+        if close < open {
+            return Err(format!("line {lineno}: mismatched label braces"));
+        }
+        (&line[..open], line[close + 1..].trim())
+    } else {
+        line.split_once(' ')
+            .map(|(n, v)| (n, v.trim()))
+            .ok_or_else(|| format!("line {lineno}: sample has no value"))?
+    };
+    let name = name_part.trim();
+    if !is_valid_metric_name(name) {
+        return Err(format!("line {lineno}: invalid metric name {name:?}"));
+    }
+    let value: f64 = value_part
+        .split_whitespace()
+        .next()
+        .unwrap_or("")
+        .parse()
+        .map_err(|_| format!("line {lineno}: non-numeric sample value {value_part:?}"))?;
+
+    let family = family_of(name).to_owned();
+    let check = families.entry(family.clone()).or_default();
+    check.samples += 1;
+    if check.kind.as_deref() != Some("histogram") {
+        return Ok(());
+    }
+    if name.ends_with("_bucket") {
+        let le = label_value(line, "le")
+            .ok_or_else(|| format!("line {lineno}: histogram bucket without le label"))?;
+        let bound = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse()
+                .map_err(|_| format!("line {lineno}: non-numeric le bound {le:?}"))?
+        };
+        if let Some((prev_bound, prev_cum)) = check.last_bucket {
+            if bound <= prev_bound {
+                return Err(format!(
+                    "line {lineno}: {family} le bounds not increasing ({prev_bound} -> {bound})"
+                ));
+            }
+            if value < prev_cum {
+                return Err(format!(
+                    "line {lineno}: {family} cumulative bucket decreased ({prev_cum} -> {value})"
+                ));
+            }
+        }
+        check.last_bucket = Some((bound, value));
+        if bound.is_infinite() {
+            check.inf_bucket = Some(value);
+        }
+    } else if name.ends_with("_count") {
+        check.count = Some(value);
+    }
+    Ok(())
+}
+
+/// Extracts a label value (`key="value"`) from a sample line, if present.
+fn label_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let open = line.find('{')?;
+    let close = line.rfind('}')?;
+    for pair in line[open + 1..close].split(',') {
+        let (k, v) = pair.split_once('=')?;
+        if k.trim() == key {
+            return Some(v.trim().trim_matches('"'));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{Counter, Telemetry, Timer};
+
+    /// Deterministic LCG so the golden exposition is seed-pinned without
+    /// any wall-clock input.
+    fn pinned_snapshot() -> TelemetrySnapshot {
+        let telemetry = Telemetry::new();
+        let shard = telemetry.register_shard();
+        let mut state = 0x5eed_2008_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state >> 33
+        };
+        for counter in Counter::ALL {
+            shard.add(counter, next() % 1_000);
+        }
+        for timer in Timer::ALL {
+            for _ in 0..8 {
+                shard.observe_ns(timer, next() % 2_000_000_000);
+            }
+        }
+        telemetry.snapshot()
+    }
+
+    #[test]
+    fn golden_exposition_is_stable_and_validates() {
+        let text = render_telemetry(&pinned_snapshot());
+        // Spot-pin the head of the exposition: the first counter family
+        // with its seed-derived value. Any format drift (prefix, suffix,
+        // comment shape, ordering) breaks this.
+        let head: Vec<&str> = text.lines().take(3).collect();
+        assert_eq!(
+            head,
+            vec![
+                "# HELP redundancy_trials_scheduled_total Trials campaigns committed to run",
+                "# TYPE redundancy_trials_scheduled_total counter",
+                "redundancy_trials_scheduled_total 898",
+            ]
+        );
+        // The whole document must parse and cover every family.
+        let families = validate(&text).expect("rendered exposition validates");
+        assert_eq!(families, Counter::COUNT + Timer::COUNT);
+        // Histograms carry the full bucket ladder plus +Inf.
+        assert!(text.contains("redundancy_trial_ns_bucket{le=\"1000\"}"));
+        assert!(text.contains("redundancy_trial_ns_bucket{le=\"+Inf\"} 8"));
+        assert!(text.contains("redundancy_trial_ns_count 8"));
+        // Render twice: byte-identical (no hidden nondeterminism).
+        assert_eq!(text, render_telemetry(&pinned_snapshot()));
+    }
+
+    #[test]
+    fn empty_snapshot_still_renders_every_family() {
+        let text = render_telemetry(&Telemetry::new().snapshot());
+        let families = validate(&text).expect("empty exposition validates");
+        assert_eq!(families, Counter::COUNT + Timer::COUNT);
+        assert!(text.contains("redundancy_chaos_kills_total 0"));
+        assert!(text.contains("redundancy_merger_stall_ns_count 0"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        let cases = [
+            ("redundancy_x nope", "non-numeric"),
+            ("# WHAT redundancy_x counter", "neither"),
+            ("# TYPE redundancy_x widget", "unknown metric type"),
+            ("1bad_name 3", "invalid metric name"),
+            ("redundancy_x{le=\"10\" 3", "unclosed label braces"),
+        ];
+        for (text, needle) in cases {
+            let err = validate(text).expect_err(text);
+            assert!(err.contains(needle), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_histograms() {
+        let decreasing = "\
+# TYPE h histogram
+h_bucket{le=\"10\"} 5
+h_bucket{le=\"20\"} 3
+h_bucket{le=\"+Inf\"} 5
+h_sum 1
+h_count 5
+";
+        let err = validate(decreasing).unwrap_err();
+        assert!(err.contains("cumulative bucket decreased"), "{err}");
+
+        let count_mismatch = "\
+# TYPE h histogram
+h_bucket{le=\"10\"} 5
+h_bucket{le=\"+Inf\"} 5
+h_sum 1
+h_count 7
+";
+        let err = validate(count_mismatch).unwrap_err();
+        assert!(err.contains("_count"), "{err}");
+
+        let no_inf = "\
+# TYPE h histogram
+h_bucket{le=\"10\"} 5
+h_sum 1
+h_count 5
+";
+        let err = validate(no_inf).unwrap_err();
+        assert!(err.contains("+Inf"), "{err}");
+    }
+}

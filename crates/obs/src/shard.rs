@@ -368,19 +368,27 @@ impl StreamingMerger {
             // Too far ahead: wait for the frontier. The submitter of the
             // frontier trial itself never enters this branch
             // (index == state.next fails the guard), so progress is
-            // guaranteed.
+            // guaranteed. Time spent here is run-ahead backpressure — the
+            // flight recorder counts and times it per blocked submission.
+            let mut stalled_since = None;
             while !state.aborted && index > state.next && index - state.next >= window {
+                if stalled_since.is_none() {
+                    crate::telemetry::add(crate::telemetry::Counter::MergerStalls, 1);
+                    stalled_since = crate::telemetry::timer_start();
+                }
                 state = self
                     .advanced
                     .wait(state)
                     .expect("merger lock never poisoned");
             }
+            crate::telemetry::timer_stop(crate::telemetry::Timer::MergerStallNs, stalled_since);
         }
         if state.aborted {
             return;
         }
         state.pending.insert(index, events);
         state.peak_buffered = state.peak_buffered.max(state.pending.len());
+        let mut forwarded = 0u64;
         while let Some(mut shard) = {
             let next = state.next;
             state.pending.remove(&next)
@@ -394,11 +402,15 @@ impl StreamingMerger {
                 self.sink.record(event);
             }
             state.next += 1;
+            forwarded += 1;
             if let Some(pool) = &self.pool {
                 pool.check_in(shard);
             }
         }
         drop(state);
+        if forwarded > 0 {
+            crate::telemetry::add(crate::telemetry::Counter::MergerTrialsForwarded, forwarded);
+        }
         self.advanced.notify_all();
     }
 

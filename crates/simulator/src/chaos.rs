@@ -24,6 +24,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use redundancy_core::obs::telemetry::{self, Counter};
 use redundancy_faults::spec::{hash_fraction, mix64};
 
 /// A fire-once injection site within a plan.
@@ -109,6 +110,7 @@ impl ChaosPlan {
     /// kills the worker before this trial.
     pub fn before_trial(&self, index: usize) {
         if self.kill_before.contains(&index) && self.fire(Site::KillBefore(index)) {
+            telemetry::add(Counter::ChaosKills, 1);
             panic!("chaos: killed before trial {index}");
         }
     }
@@ -119,6 +121,7 @@ impl ChaosPlan {
     /// where finished work is lost because it was never committed.
     pub fn after_trial(&self, index: usize) {
         if self.kill_after.contains(&index) && self.fire(Site::KillAfter(index)) {
+            telemetry::add(Counter::ChaosKills, 1);
             panic!("chaos: killed after trial {index}");
         }
     }
@@ -137,6 +140,7 @@ impl ChaosPlan {
     /// partial outcome must be *discarded* (not recorded as a detected
     /// failure) or the resumed campaign would disagree with a clean run.
     pub fn cancelled_trial(index: usize) -> ! {
+        telemetry::add(Counter::ChaosCancels, 1);
         panic!("chaos: cancelled trial {index}")
     }
 

@@ -51,6 +51,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use redundancy_core::cost::Cost;
+use redundancy_core::obs::telemetry::{self, Counter, Timer};
 use redundancy_core::obs::{event_from_json, event_to_json, Event, EventKind};
 
 use crate::trial::TrialOutcome;
@@ -321,9 +322,15 @@ impl CheckpointLog {
             out.push_str(&trial.outcome.expect("ready trials have outcomes"));
         }
         let mut file = self.file.lock().expect("checkpoint file lock");
+        let commit_timer = telemetry::timer_start();
         let result = file.write_all(out.as_bytes()).and_then(|()| file.flush());
+        telemetry::timer_stop(Timer::CheckpointCommitNs, commit_timer);
         match result {
-            Ok(()) => state.committed += ready,
+            Ok(()) => {
+                state.committed += ready;
+                telemetry::add(Counter::CheckpointCommits, 1);
+                telemetry::add(Counter::CheckpointTrialsCommitted, ready as u64);
+            }
             Err(err) => state.error = Some(err),
         }
     }

@@ -72,6 +72,9 @@ impl EarlyExitCounters {
             .fetch_add(report.skipped() as u64, Ordering::Relaxed);
         self.cancelled
             .fetch_add(report.cancelled() as u64, Ordering::Relaxed);
+        // No flight-recorder mirroring here: the pattern engines record
+        // every run at report construction, so adding it again would
+        // double-count campaigns that use this accumulator.
     }
 
     /// A consistent snapshot of the totals so far.

@@ -22,6 +22,14 @@
 //! persistent worker pool ([`pool`]) in chunks ([`parallel`]) while
 //! producing bit-for-bit the same summary — and, for traced runs, the
 //! same event stream — as the serial paths.
+//!
+//! A running campaign can be watched live: the engine's hot paths feed
+//! lock-free telemetry shards (chunk claims, sampled trial durations,
+//! merge stalls, checkpoint commit lag, chaos faults, pool panics), and
+//! [`monitor::CampaignMonitor`] samples them in the background to drive
+//! a stderr progress line plus Prometheus-text and JSONL export — the
+//! campaign flight recorder. Monitoring never changes results:
+//! summaries and traced streams are bit-identical with it on or off.
 
 #![warn(missing_docs)]
 
@@ -29,6 +37,7 @@ pub mod chaos;
 pub mod checkpoint;
 pub mod early_exit;
 pub mod forensics;
+pub mod monitor;
 pub mod parallel;
 pub mod pool;
 pub mod stats;
@@ -39,6 +48,7 @@ pub use chaos::ChaosPlan;
 pub use checkpoint::{CheckpointLog, CheckpointSpec, Resumed};
 pub use early_exit::{work_saved, EarlyExitCounters, EarlyExitStats, WorkSaved};
 pub use forensics::{split_trials, TrialTrace, VariantDisposition, VariantRecord, VerdictRecord};
+pub use monitor::{CampaignMonitor, MonitorConfig};
 pub use parallel::{
     available_jobs, chunk_size, parallel_indexed, parallel_indexed_chunked,
     parallel_indexed_chunked_hooked, parallel_tasks, parallel_tasks_lpt,

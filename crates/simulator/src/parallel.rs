@@ -19,6 +19,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use redundancy_core::obs::telemetry::{self, Counter, Timer};
+
 use crate::pool::WorkerPool;
 
 /// How many chunks each worker should get on average: > 1 so uneven
@@ -127,13 +129,22 @@ where
     let helpers = (jobs - 1).min(n_chunks.saturating_sub(1));
     if helpers == 0 {
         // Inline, chunk by chunk, so the hook fires exactly as it would
-        // with workers (once per chunk, before its items).
+        // with workers (once per chunk, before its items). Claim latency
+        // is not meaningful here (there is no contended cursor), but
+        // claim/complete counts and busy time keep the flight recorder's
+        // utilization view consistent across the two paths.
         let mut out = Vec::with_capacity(n);
         for c in 0..n_chunks {
+            telemetry::add(Counter::ChunksClaimed, 1);
             before_chunk(c);
+            let run_timer = telemetry::timer_start();
             for i in c * chunk..((c + 1) * chunk).min(n) {
                 out.push(f(i));
             }
+            if let Some(ns) = telemetry::timer_stop(Timer::ChunkRunNs, run_timer) {
+                telemetry::add(Counter::WorkerBusyNs, ns);
+            }
+            telemetry::add(Counter::ChunksCompleted, 1);
         }
         return out;
     }
@@ -141,19 +152,27 @@ where
     let writer = SlotWriter(slots.as_mut_ptr());
     let cursor = AtomicUsize::new(0);
     WorkerPool::global().run_region(helpers, &|| loop {
+        let claim_timer = telemetry::timer_start();
         let c = cursor.fetch_add(1, Ordering::Relaxed);
         if c >= n_chunks {
             break;
         }
+        telemetry::timer_stop(Timer::ChunkClaimNs, claim_timer);
+        telemetry::add(Counter::ChunksClaimed, 1);
         before_chunk(c);
         let start = c * chunk;
         let end = ((c + 1) * chunk).min(n);
+        let run_timer = telemetry::timer_start();
         for i in start..end {
             let value = f(i);
             // SAFETY: chunk `c` was claimed exactly once, so indices
             // `start..end` are written by this worker alone, in bounds.
             unsafe { writer.set(i, value) };
         }
+        if let Some(ns) = telemetry::timer_stop(Timer::ChunkRunNs, run_timer) {
+            telemetry::add(Counter::WorkerBusyNs, ns);
+        }
+        telemetry::add(Counter::ChunksCompleted, 1);
     });
     slots
         .into_iter()

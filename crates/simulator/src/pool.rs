@@ -29,6 +29,8 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
+use redundancy_core::obs::telemetry::{self, Counter};
+
 /// Upper bound on pool threads: beyond this, queued region tickets are
 /// drained by existing workers (and by the caller, which always helps
 /// while waiting), so correctness never depends on reaching the cap.
@@ -72,8 +74,10 @@ impl Region {
         if let Err(payload) = result {
             if state.panic.is_some() {
                 state.suppressed += 1;
+                telemetry::add(Counter::PoolPanicsSuppressed, 1);
             } else {
                 state.panic = Some(payload);
+                telemetry::add(Counter::PoolPanicsCaught, 1);
             }
         }
         state.remaining -= 1;
@@ -177,6 +181,7 @@ impl WorkerPool {
     /// Re-raises a panic from any participant (after all participants
     /// have finished). A panicking region does not poison the pool.
     pub fn run_region(&self, helpers: usize, work: &(dyn Fn() + Sync)) {
+        telemetry::add(Counter::PoolRegions, 1);
         if helpers == 0 {
             work();
             return;
@@ -272,6 +277,13 @@ impl WorkerPool {
 
 fn worker_loop(shared: &Shared) {
     loop {
+        // Idle time is measured per acquisition: everything between
+        // finishing one ticket and picking up the next counts as parked.
+        // (Recorded only once a ticket arrives, so a worker currently
+        // blocked shows up in the *next* snapshot — good enough for a
+        // utilization gauge, and it keeps the wait loop clock-free when
+        // telemetry is off.)
+        let idle_since = telemetry::timer_start();
         let region = {
             let mut inner = shared.inner.lock().expect("pool lock never poisoned");
             loop {
@@ -284,6 +296,10 @@ fn worker_loop(shared: &Shared) {
                     .expect("pool lock never poisoned");
             }
         };
+        if let Some(started) = idle_since {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            telemetry::add(Counter::WorkerIdleNs, ns);
+        }
         region.run_ticket();
     }
 }

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use redundancy_core::context::{CancelToken, ExecContext};
 use redundancy_core::cost::Cost;
+use redundancy_core::obs::telemetry::{self, Counter, Timer};
 use redundancy_core::obs::{
     with_worker_shard, ObsHandle, Observer, ShardPool, SpanKind, SpanStatus, StreamingMerger,
 };
@@ -37,6 +38,15 @@ pub enum TrialOutcome {
 }
 
 impl TrialOutcome {
+    /// The flight-recorder counter this disposition bumps.
+    fn counter(&self) -> Counter {
+        match self {
+            TrialOutcome::Correct { .. } => Counter::TrialsCorrect,
+            TrialOutcome::Undetected { .. } => Counter::TrialsUndetected,
+            TrialOutcome::Detected { .. } => Counter::TrialsDetected,
+        }
+    }
+
     /// The cost of the trial.
     #[must_use]
     pub fn cost(&self) -> Cost {
@@ -82,6 +92,38 @@ pub struct TrialSummary {
     pub invocations: Estimate,
     /// Total design cost charged across the campaign divided by trials.
     pub design_cost: f64,
+}
+
+/// Only every 64th trial is wall-clock timed for the flight recorder:
+/// at sub-microsecond trial costs, two `Instant::now()` calls per trial
+/// would dominate the telemetry budget, while a 1-in-64 sample still
+/// feeds the duration histogram faithfully (a thousand-trial campaign
+/// contributes ~16 samples per run, and campaigns repeat).
+const TRIAL_SAMPLE_MASK: usize = 63;
+
+/// Starts the sampled per-trial timer (`None` for unsampled trials or
+/// while the recorder is off — no clock read either way).
+#[inline]
+fn trial_timer(i: usize) -> Option<std::time::Instant> {
+    if i & TRIAL_SAMPLE_MASK == 0 {
+        telemetry::timer_start()
+    } else {
+        None
+    }
+}
+
+/// Per-trial flight-recorder bookkeeping, consolidated behind a single
+/// gate check: one shard lookup covers the sampled duration and the
+/// disposition counter. Recorder off: one relaxed load and a branch.
+#[inline]
+fn record_trial(timed: Option<std::time::Instant>, outcome: &TrialOutcome) {
+    if let Some(shard) = telemetry::active_shard() {
+        if let Some(started) = timed {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            shard.observe_ns(Timer::TrialNs, ns);
+        }
+        shard.add(outcome.counter(), 1);
+    }
 }
 
 /// A seeded Monte-Carlo campaign.
@@ -141,9 +183,13 @@ impl Campaign {
     where
         F: FnMut(u64, usize) -> TrialOutcome,
     {
+        telemetry::add(Counter::TrialsScheduled, self.trials as u64);
         let mut outcomes = Vec::with_capacity(self.trials);
         for i in 0..self.trials {
-            outcomes.push(trial(Self::trial_seed(campaign_seed, i), i));
+            let timed = trial_timer(i);
+            let outcome = trial(Self::trial_seed(campaign_seed, i), i);
+            record_trial(timed, &outcome);
+            outcomes.push(outcome);
         }
         summarize(&outcomes)
     }
@@ -165,10 +211,12 @@ impl Campaign {
     where
         F: FnMut(&mut ExecContext, u64, usize) -> TrialOutcome,
     {
+        telemetry::add(Counter::TrialsScheduled, self.trials as u64);
         let handle = ObsHandle::new(observer);
         let mut outcomes = Vec::with_capacity(self.trials);
         for i in 0..self.trials {
             let seed = Self::trial_seed(campaign_seed, i);
+            let timed = trial_timer(i);
             let mut ctx = ExecContext::new(seed).with_obs_handle(handle.clone());
             let span = ctx.obs_begin(|| SpanKind::Trial {
                 index: i as u64,
@@ -182,6 +230,7 @@ impl Campaign {
                 },
                 outcome.cost().snapshot(),
             );
+            record_trial(timed, &outcome);
             outcomes.push(outcome);
         }
         summarize(&outcomes)
@@ -205,8 +254,12 @@ impl Campaign {
     where
         F: Fn(u64, usize) -> TrialOutcome + Sync,
     {
+        telemetry::add(Counter::TrialsScheduled, self.trials as u64);
         let outcomes = parallel_indexed(jobs, self.trials, |i| {
-            trial(Self::trial_seed(campaign_seed, i), i)
+            let timed = trial_timer(i);
+            let outcome = trial(Self::trial_seed(campaign_seed, i), i);
+            record_trial(timed, &outcome);
+            outcome
         });
         summarize(&outcomes)
     }
@@ -343,6 +396,7 @@ impl Campaign {
         let mut outcomes = resumed.outcomes;
         if start < self.trials {
             let remaining = self.trials - start;
+            telemetry::add(Counter::TrialsScheduled, remaining as u64);
             let jobs = jobs.clamp(1, remaining);
             let chunk = chunk_size(remaining, jobs);
             let fresh = parallel_indexed_chunked_hooked(
@@ -351,6 +405,7 @@ impl Campaign {
                 chunk,
                 |c| {
                     if let Some(delay) = chaos.and_then(|plan| plan.chunk_delay(c)) {
+                        telemetry::add(Counter::ChaosDelays, 1);
                         std::thread::sleep(delay);
                     }
                 },
@@ -359,10 +414,16 @@ impl Campaign {
                     if let Some(plan) = chaos {
                         plan.before_trial(i);
                     }
+                    let timed = trial_timer(i);
                     let outcome = trial(Self::trial_seed(campaign_seed, i), i);
                     if let Some(plan) = chaos {
                         plan.after_trial(i);
                     }
+                    // Recorded only once the outcome survives the chaos
+                    // hooks: a killed trial is re-run on resume, and
+                    // neither its count nor its duration sample may land
+                    // twice.
+                    record_trial(timed, &outcome);
                     log.record_outcome(i, &outcome);
                     outcome
                 },
@@ -503,6 +564,7 @@ impl Campaign {
         F: Fn(&mut ExecContext, u64, usize) -> TrialOutcome + Sync,
     {
         let remaining = self.trials - start;
+        telemetry::add(Counter::TrialsScheduled, remaining as u64);
         let jobs = jobs.clamp(1, remaining);
         let chunk = chunk_size(remaining, jobs);
         // Big enough that a full complement of workers each holding one
@@ -529,6 +591,7 @@ impl Campaign {
             chunk,
             |c| {
                 if let Some(delay) = chaos.and_then(|plan| plan.chunk_delay(c)) {
+                    telemetry::add(Counter::ChaosDelays, 1);
                     std::thread::sleep(delay);
                 }
             },
@@ -538,6 +601,7 @@ impl Campaign {
                     if let Some(plan) = chaos {
                         plan.before_trial(i);
                     }
+                    let timed = trial_timer(i);
                     let seed = Self::trial_seed(campaign_seed, i);
                     let (outcome, events) = with_worker_shard(|shard| {
                         shard.install_buffer(shard_pool.check_out());
@@ -569,6 +633,11 @@ impl Campaign {
                     if let Some(plan) = chaos {
                         plan.after_trial(i);
                     }
+                    // Recorded after the chaos hooks so a killed trial's
+                    // count and duration sample never land twice across
+                    // its resume re-run; before `submit` so the count
+                    // never includes merge stalls.
+                    record_trial(timed, &outcome);
                     merger.submit(i, events);
                     if let Some(log) = log {
                         log.record_outcome(i, &outcome);

@@ -1,0 +1,123 @@
+//! Flight-recorder invariance: telemetry is an observer, never an actor.
+//!
+//! One test, alone in its own integration binary: it drives the
+//! process-global [`Telemetry`] registry, and sharing that with other
+//! tests in the same process would race on `reset`/`set_enabled`.
+//!
+//! The contract under test is two-sided. Campaign results must be
+//! bit-identical with telemetry (and the live monitor) on or off at any
+//! `--jobs`; and the *scheduling-invariant* telemetry totals — trials
+//! scheduled, the three outcome counters, trials forwarded by the
+//! streaming merger — must be identical for `--jobs` 1, 2 and 8. Chunk
+//! and stall counters are intentionally excluded: chunk sizing adapts to
+//! the worker count, so those totals legitimately vary.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use redundancy_core::context::ExecContext;
+use redundancy_core::cost::Cost;
+use redundancy_core::obs::telemetry::{Counter, Telemetry};
+use redundancy_core::obs::{CollectorObserver, SpanKind, SpanStatus};
+use redundancy_sim::{Campaign, CampaignMonitor, MonitorConfig, TrialOutcome};
+
+const TRIALS: usize = 600;
+const SEED: u64 = 0x0b5e_07a1 ^ 0x5eed_2008;
+
+fn classify(draw: u64) -> TrialOutcome {
+    let cost = Cost::of_invocation(1, draw % 100);
+    match draw % 20 {
+        0 => TrialOutcome::Undetected { cost },
+        1..=3 => TrialOutcome::Detected { cost },
+        _ => TrialOutcome::Correct { cost },
+    }
+}
+
+fn traced_trial(ctx: &mut ExecContext, _seed: u64, _i: usize) -> TrialOutcome {
+    let span = ctx.obs_begin(|| SpanKind::Scope { name: "work" });
+    let draw = ctx.rng().next_u64();
+    ctx.obs_end(span, SpanStatus::Ok, Cost::ZERO.snapshot());
+    classify(draw)
+}
+
+/// The telemetry totals that must not depend on the worker count.
+fn invariant_counters(telemetry: &Telemetry) -> Vec<(Counter, u64)> {
+    let snapshot = telemetry.snapshot();
+    [
+        Counter::TrialsScheduled,
+        Counter::TrialsCorrect,
+        Counter::TrialsUndetected,
+        Counter::TrialsDetected,
+        Counter::MergerTrialsForwarded,
+    ]
+    .into_iter()
+    .map(|counter| (counter, snapshot.counter(counter)))
+    .collect()
+}
+
+#[test]
+fn telemetry_and_monitor_never_change_results_and_totals_are_jobs_invariant() {
+    let campaign = Campaign::new(TRIALS);
+    let telemetry = Telemetry::global();
+
+    // Reference run with the recorder off.
+    telemetry.set_enabled(false);
+    let reference_sink = Arc::new(CollectorObserver::new());
+    let reference = campaign.run_traced(SEED, reference_sink.clone(), traced_trial);
+    let reference_events = reference_sink.take();
+    assert!(!reference_events.is_empty());
+    assert_eq!(reference.reliability.trials, TRIALS);
+
+    // With the recorder on, every jobs count must reproduce the
+    // reference bit-for-bit and accumulate identical invariant totals.
+    let mut totals_per_jobs = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        telemetry.reset();
+        telemetry.set_enabled(true);
+
+        let untraced = campaign.run_parallel(SEED, jobs, |seed, _i| {
+            classify(ExecContext::new(seed).rng().next_u64())
+        });
+        assert_eq!(reference, untraced, "untraced summary for jobs={jobs}");
+
+        let sink = Arc::new(CollectorObserver::new());
+        let traced = campaign.run_traced_parallel(SEED, jobs, sink.clone(), traced_trial);
+        assert_eq!(reference, traced, "traced summary for jobs={jobs}");
+        assert_eq!(
+            reference_events,
+            sink.take(),
+            "event stream for jobs={jobs}"
+        );
+
+        let totals = invariant_counters(telemetry);
+        let scheduled = totals[0].1;
+        assert_eq!(
+            scheduled,
+            2 * TRIALS as u64,
+            "both campaigns schedule all trials at jobs={jobs}"
+        );
+        totals_per_jobs.push((jobs, totals));
+        telemetry.set_enabled(false);
+    }
+    let (_, baseline_totals) = &totals_per_jobs[0];
+    for (jobs, totals) in &totals_per_jobs[1..] {
+        assert_eq!(
+            baseline_totals, totals,
+            "invariant telemetry totals changed between jobs=1 and jobs={jobs}"
+        );
+    }
+
+    // The full monitor (sampler thread included) must not perturb the
+    // stream either.
+    let monitor = CampaignMonitor::start(MonitorConfig {
+        interval: Duration::from_millis(5),
+        live: false,
+        prometheus_path: None,
+        jsonl_path: None,
+    });
+    let sink = Arc::new(CollectorObserver::new());
+    let monitored = campaign.run_traced_parallel(SEED, 4, sink.clone(), traced_trial);
+    monitor.stop();
+    assert_eq!(reference, monitored, "summary with monitor running");
+    assert_eq!(reference_events, sink.take(), "stream with monitor running");
+}
