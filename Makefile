@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy test build bench bench-campaign bench-smoke chaos-smoke monitor-smoke examples
+.PHONY: verify fmt clippy test build bench bench-campaign bench-adjudicate bench-smoke chaos-smoke monitor-smoke examples
 
 verify: fmt clippy test
 
@@ -23,10 +23,19 @@ build:
 bench:
 	$(CARGO) bench --workspace
 
-# Serial-vs-parallel campaign throughput, mirrored to BENCH_campaign.json.
-# (Absolute path: cargo runs the bench with the package dir as cwd.)
+# Serial-vs-parallel campaign throughput plus adjudication kernel
+# throughput, both mirrored into BENCH_campaign.json — the recorder
+# merges by label, so the two binaries share one file. (Absolute path:
+# cargo runs each bench with the package dir as cwd.)
 bench-campaign:
 	CRITERION_JSON_OUT=$(CURDIR)/BENCH_campaign.json $(CARGO) bench -p redundancy-bench --bench campaign_throughput
+	CRITERION_JSON_OUT=$(CURDIR)/BENCH_campaign.json $(CARGO) bench -p redundancy-bench --bench adjudicate_throughput
+
+# Batch-adjudication bench with tiny sampling budgets: a CI smoke test
+# that proves the kernel benches build, run, and keep their
+# verdict-equivalence guards green — not a measurement.
+bench-adjudicate:
+	CRITERION_SAMPLES=2 CRITERION_MEASURE_MS=20 CRITERION_WARMUP_MS=5 $(CARGO) bench -p redundancy-bench --bench adjudicate_throughput
 
 # Compile and run every bench with tiny sampling budgets. This is a CI
 # smoke test — it proves the benches build, run, and keep their

@@ -12,17 +12,22 @@
 //!   combinators);
 //! - [`incremental`] provides the streaming interface
 //!   ([`IncrementalAdjudicator`]) that lets pattern engines fix a verdict
-//!   before every variant has run.
+//!   before every variant has run;
+//! - [`batch`] provides the branchless campaign back-end: exact-equality
+//!   voting rules ([`VoteRule`]) computed over SoA outcome columns, with
+//!   a row kernel the pattern engines route Exhaustive runs through.
 //!
 //! [`AcceptanceTest`]: acceptance::AcceptanceTest
 
 pub mod acceptance;
+pub mod batch;
 pub mod incremental;
 pub mod voting;
 
 use crate::outcome::{RejectionReason, VariantOutcome, Verdict};
 use crate::taxonomy::Adjudication;
 
+pub use batch::{OutcomeColumns, RowDecision, RowVerdict, VoteRule};
 pub use incremental::{BatchIncremental, Decision, IncrementalAdjudicator};
 
 /// Decides a single output from the outcomes of several variants.
@@ -53,6 +58,35 @@ pub trait Adjudicator<O>: Send + Sync {
         let _ = total;
         Box::new(BatchIncremental::new(self))
     }
+
+    /// The exact-equality [`VoteRule`] this adjudicator computes, if any.
+    ///
+    /// Returning `Some(rule)` is a promise that
+    /// [`adjudicate`](Self::adjudicate) is observably identical to
+    /// [`batch::vote_row`] under `rule` with the output's `==` as the
+    /// agreement relation — it lets campaign back-ends pack whole batches
+    /// of outcome rows into [`OutcomeColumns`] and adjudicate them through
+    /// the branchless SoA kernels. Adjudicators whose agreement relation
+    /// is not plain equality (acceptance tests, median, tolerance, trimmed
+    /// mean) keep the default `None` and always take their scalar path.
+    fn vote_rule(&self) -> Option<VoteRule> {
+        None
+    }
+
+    /// Adjudicates one complete row of outcomes on the batch fast path.
+    ///
+    /// Pattern engines call this instead of
+    /// [`adjudicate`](Self::adjudicate) when every variant has finished
+    /// (Exhaustive runs). The default simply delegates to `adjudicate`;
+    /// the exact-equality voting family overrides it to route through the
+    /// branchless [`batch::vote_row`] kernel when [`batch::enabled`]
+    /// returns `true`. Overrides must produce verdicts observably
+    /// identical to `adjudicate` — same winner, same tie behavior, same
+    /// rejection precedence — so toggling the batch path never changes
+    /// results.
+    fn adjudicate_batch_row(&self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
+        self.adjudicate(outcomes)
+    }
 }
 
 impl<O> Adjudicator<O> for Box<dyn Adjudicator<O>> {
@@ -73,6 +107,14 @@ impl<O> Adjudicator<O> for Box<dyn Adjudicator<O>> {
         O: 'a,
     {
         self.as_ref().begin_incremental(total)
+    }
+
+    fn vote_rule(&self) -> Option<VoteRule> {
+        self.as_ref().vote_rule()
+    }
+
+    fn adjudicate_batch_row(&self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
+        self.as_ref().adjudicate_batch_row(outcomes)
     }
 }
 

@@ -7,6 +7,7 @@
 //! [`MajorityVoter`], verified by the property tests at the bottom of this
 //! module and measured by experiment E4.
 
+use crate::adjudicator::batch::{self, VoteRule};
 use crate::adjudicator::incremental::{IncrementalAdjudicator, StreamingUnanimity, StreamingVote};
 use crate::adjudicator::Adjudicator;
 use crate::outcome::{RejectionReason, VariantOutcome, Verdict};
@@ -124,6 +125,18 @@ impl<O: Clone + PartialEq> Adjudicator<O> for MajorityVoter {
     {
         Box::new(StreamingVote::new(self, total / 2 + 1, total))
     }
+
+    fn vote_rule(&self) -> Option<VoteRule> {
+        Some(VoteRule::Majority)
+    }
+
+    fn adjudicate_batch_row(&self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
+        if batch::enabled() {
+            batch::vote_row(VoteRule::Majority, |a, b| a == b, outcomes)
+        } else {
+            self.adjudicate(outcomes)
+        }
+    }
 }
 
 /// Plurality voter: accepts the most common output, requiring only that it
@@ -160,6 +173,18 @@ impl<O: Clone + PartialEq> Adjudicator<O> for PluralityVoter {
         // The streaming accept condition requires a strict, uncatchable
         // lead, which subsumes plurality's tie rejection.
         Box::new(StreamingVote::new(self, 1, total))
+    }
+
+    fn vote_rule(&self) -> Option<VoteRule> {
+        Some(VoteRule::Plurality)
+    }
+
+    fn adjudicate_batch_row(&self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
+        if batch::enabled() {
+            batch::vote_row(VoteRule::Plurality, |a, b| a == b, outcomes)
+        } else {
+            self.adjudicate(outcomes)
+        }
     }
 }
 
@@ -208,6 +233,18 @@ impl<O: Clone + PartialEq> Adjudicator<O> for QuorumVoter {
         O: 'a,
     {
         Box::new(StreamingVote::new(self, self.quorum, total))
+    }
+
+    fn vote_rule(&self) -> Option<VoteRule> {
+        Some(VoteRule::Quorum(self.quorum))
+    }
+
+    fn adjudicate_batch_row(&self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
+        if batch::enabled() {
+            batch::vote_row(VoteRule::Quorum(self.quorum), |a, b| a == b, outcomes)
+        } else {
+            self.adjudicate(outcomes)
+        }
     }
 }
 
@@ -263,11 +300,36 @@ impl<O: Clone + PartialEq> Adjudicator<O> for UnanimityVoter {
         // the batch voter reports `AllFailed`; the disposition agrees.)
         Box::new(StreamingUnanimity::new(self, total))
     }
+
+    fn vote_rule(&self) -> Option<VoteRule> {
+        Some(VoteRule::Unanimity)
+    }
+
+    fn adjudicate_batch_row(&self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
+        if batch::enabled() {
+            batch::vote_row(VoteRule::Unanimity, |a, b| a == b, outcomes)
+        } else {
+            self.adjudicate(outcomes)
+        }
+    }
 }
 
 /// Median voter for totally ordered outputs: returns the median of the
 /// successful outputs. Standard for numeric N-version outputs where exact
 /// agreement is unlikely; tolerates up to half-minus-one corrupt values.
+///
+/// # Conventions
+///
+/// With an even number of successful outputs the *upper* middle is
+/// returned (sorted index `len / 2`) — medians must be real outputs, not
+/// interpolations, so one of the two middles has to be picked, and the
+/// upper one is what `len / 2` indexing yields for odd counts too.
+///
+/// `dissent` counts every outcome that did not equal the median — both
+/// detectably failed variants and successful-but-different outputs — per
+/// the [`Verdict::Accepted`] contract ("contradicting the output,
+/// including detectable failures"). Callers needing the crashed/deviating
+/// split can recover it from the outcomes slice they already hold.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MedianVoter;
 
@@ -303,10 +365,28 @@ impl<O: Clone + Ord> Adjudicator<O> for MedianVoter {
     }
 }
 
-/// Tolerance voter for floating-point outputs: outputs within `epsilon` of
-/// each other are considered to agree (inexact voting, as needed when
-/// independently designed numeric versions legitimately differ in low-order
-/// bits).
+/// Tolerance voter for floating-point outputs: nearby outputs are
+/// considered to agree (inexact voting, as needed when independently
+/// designed numeric versions legitimately differ in low-order bits).
+///
+/// # Clustering convention
+///
+/// Successful finite outputs are sorted (by [`f64::total_cmp`]) and
+/// clustered by *chained* agreement: consecutive sorted values belong to
+/// one cluster while each adjacent gap is at most `epsilon`, so a cluster
+/// may span more than `epsilon` end to end. The largest cluster wins,
+/// with ties broken toward the smallest values (the leftmost cluster);
+/// the accepted output is the cluster's upper-middle element (index
+/// `len / 2`, matching [`MedianVoter`]'s even-count convention). This
+/// makes the verdict a pure function of the *multiset* of outputs —
+/// permutation-invariant, unlike greedy first-appearance clustering
+/// where the arrival order of representatives could split or merge
+/// clusters.
+///
+/// Non-finite outputs (NaN, ±∞) are treated as failed votes, exactly as
+/// in [`TrimmedMeanVoter`]: NaN agrees with nothing under any epsilon,
+/// and two same-signed infinities would otherwise "agree" at every
+/// epsilon.
 #[derive(Debug, Clone, Copy)]
 pub struct ToleranceVoter {
     epsilon: f64,
@@ -341,12 +421,39 @@ impl Adjudicator<f64> for ToleranceVoter {
     }
 
     fn adjudicate(&self, outcomes: &[VariantOutcome<f64>]) -> Verdict<f64> {
-        vote(
-            outcomes,
-            |a, b| (a - b).abs() <= self.epsilon,
-            self.threshold,
-            false,
-        )
+        if outcomes.is_empty() {
+            return Verdict::rejected(RejectionReason::NoOutcomes);
+        }
+        let mut ok: Vec<f64> = outcomes
+            .iter()
+            .filter_map(VariantOutcome::output)
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        if ok.is_empty() {
+            return Verdict::rejected(RejectionReason::AllFailed);
+        }
+        ok.sort_by(f64::total_cmp);
+        // Largest chained window over the sorted values; `>` (not `>=`)
+        // keeps the leftmost window on ties.
+        let mut best_start = 0usize;
+        let mut best_len = 1usize;
+        let mut start = 0usize;
+        for i in 1..ok.len() {
+            if ok[i] - ok[i - 1] > self.epsilon {
+                start = i;
+            }
+            let len = i - start + 1;
+            if len > best_len {
+                best_start = start;
+                best_len = len;
+            }
+        }
+        if best_len < self.threshold {
+            return Verdict::rejected(RejectionReason::NoQuorum);
+        }
+        let output = ok[best_start + best_len / 2];
+        Verdict::accepted(output, best_len, outcomes.len() - best_len)
     }
 }
 
@@ -538,6 +645,103 @@ mod tests {
     }
 
     #[test]
+    fn tolerance_voter_is_order_independent() {
+        // Regression: greedy first-appearance clustering split this row
+        // differently depending on which value arrived first — with 1.0
+        // as representative, 1.01 fell outside epsilon; with 1.005 first,
+        // all three clustered. Sort-then-window sees one chained cluster
+        // regardless of order.
+        let adj = ToleranceVoter::new(0.007, 3);
+        let a = adj.adjudicate(&oks(&[1.0, 1.005, 1.01]));
+        let b = adj.adjudicate(&oks(&[1.005, 1.0, 1.01]));
+        let c = adj.adjudicate(&oks(&[1.01, 1.0, 1.005]));
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.into_output(), Some(1.005)); // upper-middle of the cluster
+    }
+
+    #[test]
+    fn tolerance_voter_tie_prefers_smallest_cluster_values() {
+        // Two clusters of two; the leftmost (smaller values) wins.
+        let adj = ToleranceVoter::new(0.01, 2);
+        let v = adj.adjudicate(&oks(&[5.0, 5.005, 9.0, 9.005]));
+        assert_eq!(v.into_output(), Some(5.005));
+    }
+
+    #[test]
+    fn tolerance_voter_treats_non_finite_as_failed() {
+        use crate::outcome::VariantFailure;
+        // Mirrors trimmed_mean_ignores_nan_and_failures: non-finite
+        // outputs vote like crashes in both inexact voters.
+        let adj = ToleranceVoter::new(0.01, 2);
+        let mut outcomes = oks(&[2.0, 2.005, f64::NAN, f64::INFINITY]);
+        outcomes.push(VariantOutcome::failed("v4", VariantFailure::Timeout));
+        let v = adj.adjudicate(&outcomes);
+        match v {
+            Verdict::Accepted {
+                output,
+                support,
+                dissent,
+            } => {
+                assert_eq!(output, 2.005);
+                assert_eq!(support, 2);
+                assert_eq!(dissent, 3); // NaN + inf + timeout all dissent
+            }
+            Verdict::Rejected { .. } => panic!("expected acceptance"),
+        }
+        // All-non-finite rows reject like all-failed rows.
+        let junk = oks(&[f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!(
+            adj.adjudicate(&junk),
+            Verdict::rejected(RejectionReason::AllFailed)
+        );
+    }
+
+    #[test]
+    fn tolerance_voter_incremental_adapter_agrees() {
+        // ToleranceVoter keeps the default BatchIncremental front-end; the
+        // streamed verdict must equal the batch one.
+        let adj = ToleranceVoter::new(0.01, 2);
+        let outcomes = oks(&[1.000, 1.005, 3.2]);
+        let mut inc = adj.begin_incremental(outcomes.len());
+        for outcome in &outcomes {
+            let _ = inc.feed(outcome);
+        }
+        assert_eq!(inc.finish(&outcomes), adj.adjudicate(&outcomes));
+    }
+
+    #[test]
+    fn median_even_count_picks_upper_middle() {
+        let adj = MedianVoter::new();
+        // Sorted successes [3, 5, 8, 9]: index 4/2 = 2 -> 8.
+        assert_eq!(adj.adjudicate(&oks(&[9, 3, 8, 5])).into_output(), Some(8));
+    }
+
+    #[test]
+    fn median_dissent_lumps_failures_with_disagreement() {
+        use crate::outcome::VariantFailure;
+        // Verdict::dissent is documented as "contradicting the output
+        // (including detectable failures)": a crashed variant and a
+        // deviating variant are indistinguishable in the counts, and the
+        // caller keeps the outcomes slice if it needs the split.
+        let adj = MedianVoter::new();
+        let mut outcomes = oks(&[7, 7, 9]);
+        outcomes.push(VariantOutcome::failed("v3", VariantFailure::crash("x")));
+        match adj.adjudicate(&outcomes) {
+            Verdict::Accepted {
+                output,
+                support,
+                dissent,
+            } => {
+                assert_eq!(output, 7);
+                assert_eq!(support, 2);
+                assert_eq!(dissent, 2); // one deviating + one crashed
+            }
+            Verdict::Rejected { .. } => panic!("expected acceptance"),
+        }
+    }
+
+    #[test]
     fn all_voters_reject_empty_and_all_failed() {
         use crate::outcome::VariantFailure;
         let empty: Vec<VariantOutcome<i32>> = vec![];
@@ -624,6 +828,29 @@ mod tests {
                     prop_assert!(support > (support + dissent) / 2);
                     prop_assert_eq!(support + dissent, values.len());
                 }
+            }
+
+            /// The tolerance voter's verdict depends only on the multiset
+            /// of outputs, never on arrival order (the bug the
+            /// sort-then-window clustering fixed).
+            #[test]
+            fn tolerance_is_permutation_invariant(
+                values in proptest::collection::vec(0u8..40, 1..9),
+                seed in 0u64..1000,
+                epsilon_steps in 0u8..4,
+            ) {
+                // Values on a coarse grid (steps of 0.05) with epsilon on
+                // the same grid, so clusters form and split often.
+                let to_f = |v: &u8| f64::from(*v) * 0.05;
+                let values: Vec<f64> = values.iter().map(to_f).collect();
+                let epsilon = f64::from(epsilon_steps) * 0.05 + 0.001;
+                let adj = ToleranceVoter::new(epsilon, 2);
+                let original = adj.adjudicate(&oks(&values));
+                let mut shuffled = values.clone();
+                let mut rng = crate::rng::SplitMix64::new(seed);
+                rng.shuffle(&mut shuffled);
+                let permuted = adj.adjudicate(&oks(&shuffled));
+                prop_assert_eq!(original, permuted);
             }
 
             /// The median voter's output is always one of the successful

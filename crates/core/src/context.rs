@@ -484,9 +484,7 @@ mod tests {
         let mut ctx = ExecContext::new(7).with_observer(ring.clone());
         let outer = ctx.obs_begin(|| SpanKind::Technique { name: "t" });
         let mut child = ctx.fork(1);
-        let inner = child.obs_begin(|| SpanKind::Variant {
-            name: "v".to_owned(),
-        });
+        let inner = child.obs_begin(|| SpanKind::Variant { name: "v".into() });
         child.obs_end(inner, SpanStatus::Ok, Cost::ZERO.snapshot());
         ctx.obs_end(outer, SpanStatus::Ok, ctx.cost().snapshot());
         let events = ring.events();

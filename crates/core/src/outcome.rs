@@ -165,7 +165,7 @@ pub enum Verdict<O> {
 }
 
 /// Why an adjudicator rejected all candidate outputs.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RejectionReason {
     /// No candidate reached the required agreement threshold.

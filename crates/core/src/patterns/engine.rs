@@ -98,14 +98,17 @@ where
             // not forked (keeping the executed prefix's random streams
             // identical to the exhaustive policy's) and costs nothing, but
             // it is first-class in the report and the trace.
-            let name = variant.borrow().name().to_owned();
+            let name = variant.borrow().interned_name();
             let span = ctx.obs_begin(|| SpanKind::Variant { name: name.clone() });
             ctx.obs_end(
                 span,
                 SpanStatus::Failed { kind: "skipped" },
                 CostSnapshot::ZERO,
             );
-            outcomes.push(VariantOutcome::failed(name, VariantFailure::Skipped));
+            outcomes.push(VariantOutcome::failed(
+                name.as_ref(),
+                VariantFailure::Skipped,
+            ));
             continue;
         }
         let mut child = ctx.fork(i as u64);

@@ -78,7 +78,7 @@ impl<O> StreamJudge<O> for EvaluationJudge<'_, O> {
     }
 
     fn conclude(&mut self, outcomes: &[VariantOutcome<O>]) -> Verdict<O> {
-        self.adjudicator.adjudicate(outcomes)
+        self.adjudicator.adjudicate_batch_row(outcomes)
     }
 }
 
@@ -222,7 +222,9 @@ impl<I, O> ParallelEvaluation<I, O> {
             DecisionPolicy::Exhaustive => {
                 let outcomes = execute_all(&self.variants, input, ctx, self.mode);
                 ctx.add_parallel_costs(outcomes.iter().map(|o| o.cost));
-                let verdict = self.adjudicator.adjudicate(&outcomes);
+                // Exact-equality voters route through the branchless row
+                // kernel; everything else keeps its scalar path.
+                let verdict = self.adjudicator.adjudicate_batch_row(&outcomes);
                 (outcomes, verdict)
             }
             DecisionPolicy::Eager => {
@@ -594,7 +596,7 @@ mod tests {
         ));
         assert!(matches!(
             &events[1].kind,
-            EventKind::SpanStart { kind: SpanKind::Variant { name } } if name == "good1"
+            EventKind::SpanStart { kind: SpanKind::Variant { name } } if name.as_ref() == "good1"
         ));
         // The crasher's span ends with its failure kind.
         assert!(matches!(
@@ -791,7 +793,7 @@ mod tests {
         let events = ring.events();
         assert!(events.iter().any(|e| matches!(
             &e.kind,
-            EventKind::Point(Point::VariantCancelled { variant }) if variant == "straggler"
+            EventKind::Point(Point::VariantCancelled { variant }) if variant.as_ref() == "straggler"
         )));
         assert!(events.iter().any(|e| matches!(
             &e.kind,

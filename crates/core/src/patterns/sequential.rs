@@ -1,4 +1,10 @@
 //! Figure 1(c): the *sequential alternatives* pattern.
+//!
+//! Unlike the parallel engines, this pattern never routes through the
+//! batch adjudication kernel ([`crate::adjudicator::batch`]): each
+//! alternative is checked by an explicit acceptance test the moment it
+//! finishes, so there is no complete outcome row to vote over — the
+//! pattern is inherently eager and its adjudication is per-variant.
 
 use redundancy_obs::{Point, SpanKind};
 

@@ -24,6 +24,16 @@ pub trait Variant<I, O>: Send + Sync {
     /// Identifies the variant in outcomes, logs and tables.
     fn name(&self) -> &str;
 
+    /// The name as a shared interned string, used for trace events.
+    ///
+    /// The default allocates from [`name`](Self::name) on every call;
+    /// variants that execute hot (campaign workloads) should store their
+    /// name as a [`redundancy_obs::Name`] and override this with a
+    /// refcount clone so traced runs don't allocate per variant span.
+    fn interned_name(&self) -> redundancy_obs::Name {
+        redundancy_obs::Name::from(self.name())
+    }
+
     /// Executes the variant.
     ///
     /// # Errors
@@ -53,7 +63,7 @@ pub trait Variant<I, O>: Send + Sync {
 /// assert_eq!(double.execute(&21, &mut ctx), Ok(42));
 /// ```
 pub struct FnVariant<F> {
-    name: String,
+    name: redundancy_obs::Name,
     design_cost: f64,
     f: F,
 }
@@ -62,7 +72,7 @@ impl<F> FnVariant<F> {
     /// Wraps a closure as a variant.
     pub fn new(name: impl Into<String>, f: F) -> Self {
         Self {
-            name: name.into(),
+            name: name.into().into(),
             design_cost: 1.0,
             f,
         }
@@ -84,6 +94,10 @@ where
         &self.name
     }
 
+    fn interned_name(&self) -> redundancy_obs::Name {
+        self.name.clone()
+    }
+
     fn execute(&self, input: &I, ctx: &mut ExecContext) -> Result<O, VariantFailure> {
         (self.f)(input, ctx)
     }
@@ -96,6 +110,10 @@ where
 impl<I, O> Variant<I, O> for Box<dyn Variant<I, O>> {
     fn name(&self) -> &str {
         self.as_ref().name()
+    }
+
+    fn interned_name(&self) -> redundancy_obs::Name {
+        self.as_ref().interned_name()
     }
 
     fn execute(&self, input: &I, ctx: &mut ExecContext) -> Result<O, VariantFailure> {
@@ -117,7 +135,7 @@ pub fn run_contained<I, O, V>(variant: &V, input: &I, ctx: &mut ExecContext) -> 
 where
     V: Variant<I, O> + ?Sized,
 {
-    let name = variant.name().to_owned();
+    let name = variant.interned_name();
     let span = ctx.obs_begin(|| redundancy_obs::SpanKind::Variant { name: name.clone() });
     let before = ctx.cost();
     ctx.record_invocation(variant.design_cost());
@@ -147,7 +165,7 @@ where
     ctx.obs_end(span, status, ctx.cost().delta_since(before).snapshot());
     let cost = ctx.take_cost();
     VariantOutcome {
-        variant: name,
+        variant: name.as_ref().to_owned(),
         result,
         cost,
     }

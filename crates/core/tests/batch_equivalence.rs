@@ -1,0 +1,157 @@
+//! Equivalence suite for the branchless batch adjudication back-end.
+//!
+//! The batch path ships three representations of the same vote — the
+//! scalar voters, the zero-alloc row kernel (`vote_row` via
+//! `adjudicate_batch_row`), and the SoA column kernels
+//! (`OutcomeColumns::adjudicate`) — plus the streaming front-end from
+//! the incremental refactor. These proptests pin all of them to the
+//! historical scalar verdicts on arbitrary outcome streams: same winner,
+//! same support/dissent counts, same rejection reason, for every voting
+//! rule, whether the batch toggle is on or off.
+
+use proptest::prelude::*;
+use redundancy_core::adjudicator::voting::{
+    MajorityVoter, PluralityVoter, QuorumVoter, UnanimityVoter,
+};
+use redundancy_core::adjudicator::{batch, Adjudicator, OutcomeColumns, VoteRule};
+use redundancy_core::outcome::{VariantFailure, VariantOutcome};
+
+/// An arbitrary outcome stream: `Some(v)` succeeds with output `v`,
+/// `None` fails detectably. Values are drawn from a small range so
+/// agreement classes actually form, and rows are capped at the column
+/// arity limit.
+fn outcomes_strategy() -> impl Strategy<Value = Vec<VariantOutcome<i64>>> {
+    proptest::collection::vec(proptest::option::of(0i64..4), 0..10).prop_map(row_to_outcomes)
+}
+
+fn row_to_outcomes(row: Vec<Option<i64>>) -> Vec<VariantOutcome<i64>> {
+    row.into_iter()
+        .enumerate()
+        .map(|(i, v)| match v {
+            Some(v) => VariantOutcome::ok(format!("v{i}"), v),
+            None => VariantOutcome::failed(format!("v{i}"), VariantFailure::Timeout),
+        })
+        .collect()
+}
+
+fn voters() -> Vec<(VoteRule, Box<dyn Adjudicator<i64>>)> {
+    vec![
+        (VoteRule::Majority, Box::new(MajorityVoter::new())),
+        (VoteRule::Plurality, Box::new(PluralityVoter::new())),
+        (VoteRule::Quorum(2), Box::new(QuorumVoter::new(2))),
+        (VoteRule::Unanimity, Box::new(UnanimityVoter::new())),
+    ]
+}
+
+/// Pins one outcome row across every representation of one voter.
+fn check_row(
+    rule: VoteRule,
+    voter: &dyn Adjudicator<i64>,
+    outcomes: &[VariantOutcome<i64>],
+) -> Result<(), TestCaseError> {
+    let scalar = voter.adjudicate(outcomes);
+    // Row kernel, direct.
+    prop_assert_eq!(
+        batch::vote_row(rule, |a, b| a == b, outcomes),
+        scalar.clone(),
+        "vote_row diverged under {:?}",
+        rule
+    );
+    // Engine entry point (routes through vote_row when the toggle is on,
+    // falls back to adjudicate when off; identical either way).
+    prop_assert_eq!(
+        voter.adjudicate_batch_row(outcomes),
+        scalar.clone(),
+        "adjudicate_batch_row diverged under {:?}",
+        rule
+    );
+    // Streaming front-end: feed everything, then finish.
+    let mut inc = voter.begin_incremental(outcomes.len());
+    let mut early = None;
+    for outcome in outcomes {
+        match inc.feed(outcome) {
+            redundancy_core::adjudicator::Decision::Undecided => {}
+            redundancy_core::adjudicator::Decision::Decided(v) => {
+                early = Some(v);
+                break;
+            }
+            redundancy_core::adjudicator::Decision::Unreachable => {
+                prop_assert!(!scalar.is_accepted(), "unreachable but scalar accepted");
+                return Ok(());
+            }
+        }
+    }
+    match early {
+        Some(v) => {
+            prop_assert_eq!(v.is_accepted(), scalar.is_accepted());
+            if v.is_accepted() {
+                prop_assert_eq!(v.output(), scalar.output());
+            }
+        }
+        None => prop_assert_eq!(inc.finish(outcomes), scalar),
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Row kernel, trait entry point, and streaming front-end all agree
+    /// with the scalar voters on arbitrary streams.
+    #[test]
+    fn all_representations_agree(outcomes in outcomes_strategy()) {
+        for (rule, voter) in &voters() {
+            check_row(*rule, voter.as_ref(), &outcomes)?;
+        }
+    }
+
+    /// The SoA column kernels reproduce the scalar verdict row by row on
+    /// arbitrary packed chunks.
+    #[test]
+    fn columns_agree_with_scalar_voters(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(proptest::option::of(0i64..4), 1..8),
+            1..12,
+        ),
+        arity_pick in 1usize..8,
+    ) {
+        // Normalize every row to one arity (columns are rectangular).
+        let arity = arity_pick.min(rows[0].len()).max(1);
+        let rows: Vec<Vec<Option<i64>>> = rows
+            .into_iter()
+            .map(|mut r| {
+                r.resize(arity, None);
+                r
+            })
+            .collect();
+        let mut columns: OutcomeColumns<i64> = OutcomeColumns::new(arity);
+        for row in &rows {
+            columns.push_row(row);
+        }
+        for (rule, voter) in &voters() {
+            let verdicts = columns.adjudicate(*rule);
+            prop_assert_eq!(verdicts.len(), rows.len());
+            for (row, verdict) in rows.iter().zip(&verdicts) {
+                let outcomes = row_to_outcomes(row.clone());
+                prop_assert_eq!(
+                    verdict.to_verdict(&columns),
+                    voter.adjudicate(&outcomes),
+                    "rule {:?}, row {:?}",
+                    rule,
+                    row
+                );
+            }
+        }
+    }
+
+    /// `push_outcomes` packs exactly like `push_row` on the same data.
+    #[test]
+    fn push_outcomes_matches_push_row(row in proptest::collection::vec(proptest::option::of(0i64..4), 1..8)) {
+        let outcomes = row_to_outcomes(row.clone());
+        let mut by_row: OutcomeColumns<i64> = OutcomeColumns::new(row.len());
+        by_row.push_row(&row);
+        let mut by_outcomes: OutcomeColumns<i64> = OutcomeColumns::new(row.len());
+        by_outcomes.push_outcomes(&outcomes);
+        for (rule, _) in &voters() {
+            prop_assert_eq!(by_row.adjudicate(*rule), by_outcomes.adjudicate(*rule));
+        }
+    }
+}

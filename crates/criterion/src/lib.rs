@@ -32,7 +32,11 @@
 //! machines) and `"results"` (an array of `{"label", "min_ns",
 //! "median_ns", "max_ns"}` objects). The file is rewritten after each
 //! benchmark, so it is complete even if a later benchmark aborts the
-//! run.
+//! run. Rewrites *merge by label* with whatever the file already
+//! holds: entries recorded by other bench binaries (or earlier runs)
+//! survive, and entries this process re-measures replace their old
+//! values — so several bench targets can mirror into one file
+//! back-to-back.
 
 use std::fmt;
 use std::hint;
@@ -263,10 +267,12 @@ fn record_json(label: &str, min: f64, med: f64, max: f64) {
     }
     let mut results = JSON_RESULTS.lock().expect("json results lock");
     results.push((label.to_owned(), min, med, max));
+    let existing = std::fs::read_to_string(&path).ok();
+    let merged = merge_with_existing(existing.as_deref(), &results);
     let mut out = String::from("{\n");
     out.push_str(&format!("\"host\": {},\n", host_metadata_json()));
     out.push_str("\"results\": [\n");
-    for (i, (label, min, med, max)) in results.iter().enumerate() {
+    for (i, (label, min, med, max)) in merged.iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
         }
@@ -279,6 +285,76 @@ fn record_json(label: &str, min: f64, med: f64, max: f64) {
     if let Err(err) = std::fs::write(&path, out) {
         eprintln!("warning: could not write {path}: {err}");
     }
+}
+
+/// Merges this process's results with an existing mirror file: entries
+/// already on disk keep their position unless this process re-measured
+/// the same label, in which case the fresh value wins (appended with
+/// the rest of this process's results). Bench binaries run one after
+/// another against the same mirror path, so each must preserve the
+/// others' entries when it rewrites.
+fn merge_with_existing(
+    existing: Option<&str>,
+    results: &[(String, f64, f64, f64)],
+) -> Vec<(String, f64, f64, f64)> {
+    let mut merged: Vec<(String, f64, f64, f64)> = Vec::new();
+    if let Some(existing) = existing {
+        for line in existing.lines() {
+            if let Some(entry) = parse_result_line(line) {
+                if !results.iter().any(|(label, ..)| *label == entry.0) {
+                    merged.push(entry);
+                }
+            }
+        }
+    }
+    merged.extend(results.iter().cloned());
+    merged
+}
+
+/// Parses one result line of the mirror's own fixed format back into a
+/// `(label, min, median, max)` tuple; `None` for any other line (the
+/// host block, brackets, or hand-edited content, which merging then
+/// drops rather than corrupts).
+fn parse_result_line(line: &str) -> Option<(String, f64, f64, f64)> {
+    let rest = line.trim().strip_prefix("{\"label\": \"")?;
+    let mut label = String::new();
+    let mut tail = String::new();
+    let mut escaped = false;
+    let mut closed = false;
+    for c in rest.chars() {
+        if closed {
+            tail.push(c);
+        } else if escaped {
+            label.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            closed = true;
+        } else {
+            label.push(c);
+        }
+    }
+    if !closed {
+        return None;
+    }
+    Some((
+        label,
+        parse_number_field(&tail, "min_ns")?,
+        parse_number_field(&tail, "median_ns")?,
+        parse_number_field(&tail, "max_ns")?,
+    ))
+}
+
+/// Extracts the numeric value following `"key": ` in `s`.
+fn parse_number_field(s: &str, key: &str) -> Option<f64> {
+    let pattern = format!("\"{key}\": ");
+    let start = s.find(&pattern)? + pattern.len();
+    let rest = &s[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 fn run_and_report(label: &str, f: impl FnOnce(&mut Bencher)) {
@@ -477,6 +553,45 @@ mod tests {
             host.contains(&format!("\"logical_cores\": {cores}")),
             "{host}"
         );
+    }
+
+    #[test]
+    fn result_lines_round_trip_through_the_parser() {
+        let line = format!(
+            "  {{\"label\": \"{}\", \"min_ns\": 10.0, \"median_ns\": 20.5, \"max_ns\": 30.0}},",
+            json_escape(r#"odd "quoted\label"#)
+        );
+        let (label, min, med, max) = parse_result_line(&line).expect("parses own format");
+        assert_eq!(label, r#"odd "quoted\label"#);
+        assert_eq!((min, med, max), (10.0, 20.5, 30.0));
+        // Non-result lines never parse.
+        for other in [
+            "{",
+            "\"results\": [",
+            "]",
+            "}",
+            "\"host\": {\"logical_cores\": 4}",
+        ] {
+            assert_eq!(parse_result_line(other), None, "{other}");
+        }
+    }
+
+    #[test]
+    fn merging_preserves_foreign_entries_and_overrides_matching_labels() {
+        let existing = "{\n\"host\": {},\n\"results\": [\n  \
+             {\"label\": \"other/bench\", \"min_ns\": 1.0, \"median_ns\": 2.0, \"max_ns\": 3.0},\n  \
+             {\"label\": \"mine/bench\", \"min_ns\": 9.0, \"median_ns\": 9.0, \"max_ns\": 9.0}\n]\n}\n";
+        let fresh = vec![("mine/bench".to_owned(), 4.0, 5.0, 6.0)];
+        let merged = merge_with_existing(Some(existing), &fresh);
+        assert_eq!(
+            merged,
+            vec![
+                ("other/bench".to_owned(), 1.0, 2.0, 3.0), // kept
+                ("mine/bench".to_owned(), 4.0, 5.0, 6.0),  // re-measured wins
+            ]
+        );
+        // No file yet: just this process's results.
+        assert_eq!(merge_with_existing(None, &fresh), fresh);
     }
 
     #[test]

@@ -18,6 +18,14 @@
 /// get ids from 1 upwards, allocated deterministically per context tree.
 pub type SpanId = u64;
 
+/// An interned event name: a shared immutable string.
+///
+/// Per-variant events fire once per variant *per trial*, so campaign
+/// traces emit millions of them. Carrying the name as `Arc<str>` lets
+/// emitters intern it once (e.g. in the variant itself) and clone a
+/// refcount per event instead of allocating a fresh `String` each time.
+pub type Name = std::sync::Arc<str>;
+
 /// The root span id: events outside any span belong to it.
 pub const ROOT_SPAN: SpanId = 0;
 
@@ -68,8 +76,8 @@ pub enum SpanKind {
     },
     /// One contained variant execution.
     Variant {
-        /// The variant's name.
-        name: String,
+        /// The variant's name (interned: cloning is a refcount bump).
+        name: Name,
     },
     /// A generic named region (service invocation, GP search, ...).
     Scope {
@@ -250,8 +258,8 @@ pub enum Point {
     /// A straggler variant was cooperatively cancelled after the verdict
     /// was already fixed.
     VariantCancelled {
-        /// Name of the cancelled variant.
-        variant: String,
+        /// Name of the cancelled variant (interned).
+        variant: Name,
     },
     /// Anything else (escape hatch for one-off instrumentation).
     Custom {
@@ -336,9 +344,7 @@ mod tests {
             SpanKind::Pattern {
                 name: "parallel_evaluation",
             },
-            SpanKind::Variant {
-                name: "v1".to_owned(),
-            },
+            SpanKind::Variant { name: "v1".into() },
             SpanKind::Scope { name: "gp" },
         ];
         for k in kinds {

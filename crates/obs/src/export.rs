@@ -793,7 +793,7 @@ mod jsonl {
                 name: intern(inner.str_value("pattern")?),
             }),
             "variant" => Ok(SpanKind::Variant {
-                name: inner.str_value("variant")?.to_owned(),
+                name: inner.str_value("variant")?.into(),
             }),
             "scope" => Ok(SpanKind::Scope {
                 name: intern(inner.str_value("scope")?),
@@ -897,7 +897,7 @@ mod jsonl {
                 total: num_field(fields, "total")?,
             },
             "variant-cancelled" => Point::VariantCancelled {
-                variant: str_field(fields, "variant")?.to_owned(),
+                variant: str_field(fields, "variant")?.into(),
             },
             custom => Point::Custom {
                 name: intern(custom),
@@ -985,9 +985,7 @@ mod tests {
                 parent: 1,
                 clock: 0,
                 kind: EventKind::SpanStart {
-                    kind: SpanKind::Variant {
-                        name: "v1".to_owned(),
-                    },
+                    kind: SpanKind::Variant { name: "v1".into() },
                 },
             },
             Event {
@@ -1132,7 +1130,7 @@ mod tests {
             },
             EventKind::SpanStart {
                 kind: SpanKind::Variant {
-                    name: "v \"quoted\" \\ tab\t".to_owned(),
+                    name: "v \"quoted\" \\ tab\t".into(),
                 },
             },
             EventKind::SpanStart {
@@ -1227,7 +1225,7 @@ mod tests {
                 total: 5,
             }),
             EventKind::Point(Point::VariantCancelled {
-                variant: "v3".to_owned(),
+                variant: "v3".into(),
             }),
             EventKind::Point(Point::Custom {
                 name: "my_event",

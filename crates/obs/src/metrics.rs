@@ -348,7 +348,7 @@ pub struct MetricsObserver {
 #[derive(Debug, Clone)]
 enum OpenSpan {
     Technique(&'static str),
-    Variant(String),
+    Variant(crate::event::Name),
     Trial,
     Other,
 }

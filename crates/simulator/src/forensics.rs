@@ -94,7 +94,7 @@ impl TrialTrace {
             match &event.kind {
                 EventKind::SpanStart {
                     kind: SpanKind::Variant { name },
-                } => open.push((event.span, name.clone())),
+                } => open.push((event.span, name.as_ref().to_owned())),
                 EventKind::SpanEnd { status, cost } => {
                     if let Some(pos) = open.iter().position(|(id, _)| *id == event.span) {
                         let (_, name) = open.remove(pos);
@@ -162,7 +162,9 @@ impl TrialTrace {
         self.events
             .iter()
             .filter_map(|event| match &event.kind {
-                EventKind::Point(Point::VariantCancelled { variant }) => Some(variant.clone()),
+                EventKind::Point(Point::VariantCancelled { variant }) => {
+                    Some(variant.as_ref().to_owned())
+                }
                 _ => None,
             })
             .collect()

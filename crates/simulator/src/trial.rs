@@ -1,9 +1,11 @@
 //! Monte-Carlo campaigns: run a seeded trial many times, classify and
 //! summarize.
 
+use std::hash::Hash;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
+use redundancy_core::adjudicator::{OutcomeColumns, RowVerdict, VoteRule};
 use redundancy_core::context::{CancelToken, ExecContext};
 use redundancy_core::cost::Cost;
 use redundancy_core::obs::telemetry::{self, Counter, Timer};
@@ -232,6 +234,74 @@ impl Campaign {
             );
             record_trial(timed, &outcome);
             outcomes.push(outcome);
+        }
+        summarize(&outcomes)
+    }
+
+    /// Runs the campaign through the branchless batch adjudication
+    /// back-end: trials fill rows of an
+    /// [`OutcomeColumns`] chunk (`None` slots are detectable failures),
+    /// whole segments of rows are adjudicated at once under `rule` with
+    /// the SoA popcount kernels, and `classify` maps each compact
+    /// [`RowVerdict`] — with the chunk available to resolve interned
+    /// winning outputs — to a [`TrialOutcome`].
+    ///
+    /// This is the campaign shape the batch path exists for: the same
+    /// `arity`-wide vote adjudicated once per trial over thousands of
+    /// trials. Columns, verdict buffer and row scratch are reused across
+    /// segments, so the steady-state loop allocates only for outputs the
+    /// interner has not seen before. `produce` must fill `row` with
+    /// exactly `arity` slots and returns the trial's cost.
+    ///
+    /// Per-trial duration sampling does not apply here — adjudication is
+    /// amortized across a segment, so there is no per-trial interval to
+    /// time — but disposition counters still feed the flight recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is outside the columns' supported range or
+    /// `produce` fills a row with the wrong arity.
+    pub fn run_batch_adjudicated<O, P, C>(
+        &self,
+        campaign_seed: u64,
+        rule: VoteRule,
+        arity: usize,
+        mut produce: P,
+        mut classify: C,
+    ) -> TrialSummary
+    where
+        O: Clone + Eq + Hash,
+        P: FnMut(u64, usize, &mut Vec<Option<O>>) -> Cost,
+        C: FnMut(&RowVerdict, &OutcomeColumns<O>, Cost) -> TrialOutcome,
+    {
+        /// Trials per packed segment: big enough to amortize the
+        /// adjudication pass and keep the interner warm, small enough
+        /// that the columns stay cache-resident.
+        const BATCH_SEGMENT: usize = 1024;
+        telemetry::add(Counter::TrialsScheduled, self.trials as u64);
+        let segment = BATCH_SEGMENT.min(self.trials);
+        let mut columns: OutcomeColumns<O> = OutcomeColumns::with_row_capacity(arity, segment);
+        let mut verdicts: Vec<RowVerdict> = Vec::new();
+        let mut row: Vec<Option<O>> = Vec::with_capacity(arity);
+        let mut costs: Vec<Cost> = Vec::with_capacity(segment);
+        let mut outcomes = Vec::with_capacity(self.trials);
+        let mut start = 0usize;
+        while start < self.trials {
+            let end = (start + BATCH_SEGMENT).min(self.trials);
+            columns.clear();
+            costs.clear();
+            for i in start..end {
+                row.clear();
+                costs.push(produce(Self::trial_seed(campaign_seed, i), i, &mut row));
+                columns.push_row(&row);
+            }
+            columns.adjudicate_into(rule, &mut verdicts);
+            for (verdict, &cost) in verdicts.iter().zip(&costs) {
+                let outcome = classify(verdict, &columns, cost);
+                record_trial(None, &outcome);
+                outcomes.push(outcome);
+            }
+            start = end;
         }
         summarize(&outcomes)
     }
@@ -1032,6 +1102,77 @@ mod tests {
         assert_eq!(first, replayed);
         assert_eq!(first_events, sink.take());
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Seed-driven 3-wide outcome row over a small value domain with
+    /// failures mixed in — the same shape the scalar reference below
+    /// rebuilds as `VariantOutcome`s.
+    fn synthetic_row(seed: u64, row: &mut Vec<Option<u64>>) {
+        for slot in 0..3u64 {
+            let draw = seed
+                .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                .rotate_left(u32::try_from(slot * 21).expect("small"));
+            row.push(if draw % 7 == 0 {
+                None // detectable failure
+            } else {
+                Some(draw % 4)
+            });
+        }
+    }
+
+    #[test]
+    fn batch_adjudicated_campaign_matches_scalar_voting() {
+        use redundancy_core::adjudicator::voting::MajorityVoter;
+        use redundancy_core::adjudicator::Adjudicator;
+        use redundancy_core::outcome::{VariantFailure, VariantOutcome};
+
+        let campaign = Campaign::new(2500); // spans multiple segments
+        let expected = 1u64; // "correct" reference output
+        let classify = |accepted: Option<&u64>, cost: Cost| match accepted {
+            Some(out) if *out == expected => TrialOutcome::Correct { cost },
+            Some(_) => TrialOutcome::Undetected { cost },
+            None => TrialOutcome::Detected { cost },
+        };
+
+        let batch = campaign.run_batch_adjudicated(
+            99,
+            VoteRule::Majority,
+            3,
+            |seed, i, row| {
+                synthetic_row(seed, row);
+                Cost::of_invocation((seed % 13) + i as u64, 3)
+            },
+            |verdict, columns, cost| {
+                let accepted = match verdict.decision {
+                    redundancy_core::adjudicator::RowDecision::Accepted { class, .. } => {
+                        Some(columns.value(class))
+                    }
+                    redundancy_core::adjudicator::RowDecision::Rejected(_) => None,
+                };
+                classify(accepted, cost)
+            },
+        );
+
+        let voter = MajorityVoter::new();
+        let scalar = campaign.run(99, |seed, i| {
+            let mut row = Vec::new();
+            synthetic_row(seed, &mut row);
+            let outcomes: Vec<VariantOutcome<u64>> = row
+                .iter()
+                .enumerate()
+                .map(|(s, v)| match v {
+                    Some(v) => VariantOutcome::ok(format!("v{s}"), *v),
+                    None => VariantOutcome::failed(format!("v{s}"), VariantFailure::Timeout),
+                })
+                .collect();
+            let verdict = voter.adjudicate(&outcomes);
+            classify(
+                verdict.output(),
+                Cost::of_invocation((seed % 13) + i as u64, 3),
+            )
+        });
+
+        assert_eq!(batch, scalar);
     }
 
     #[test]

@@ -330,7 +330,9 @@ where
                 // Quorum already fixed: this copy is never forked or run,
                 // but its skip is first-class in the trace.
                 let name = format!("{}@{}", self.program.name(), re.name());
-                let span = ctx.obs_begin(|| SpanKind::Variant { name: name.clone() });
+                let span = ctx.obs_begin(|| SpanKind::Variant {
+                    name: name.as_str().into(),
+                });
                 ctx.obs_end(
                     span,
                     SpanStatus::Failed { kind: "skipped" },

@@ -155,9 +155,7 @@ fn traced_nvp_campaign_emits_the_exact_pinned_event_sequence() {
             parent: 2,
             clock: 0,
             kind: EventKind::SpanStart {
-                kind: SpanKind::Variant {
-                    name: "v0".to_owned(),
-                },
+                kind: SpanKind::Variant { name: "v0".into() },
             },
         },
         Event {
@@ -176,9 +174,7 @@ fn traced_nvp_campaign_emits_the_exact_pinned_event_sequence() {
             parent: 2,
             clock: 0,
             kind: EventKind::SpanStart {
-                kind: SpanKind::Variant {
-                    name: "v1".to_owned(),
-                },
+                kind: SpanKind::Variant { name: "v1".into() },
             },
         },
         Event {
@@ -197,9 +193,7 @@ fn traced_nvp_campaign_emits_the_exact_pinned_event_sequence() {
             parent: 2,
             clock: 0,
             kind: EventKind::SpanStart {
-                kind: SpanKind::Variant {
-                    name: "v2".to_owned(),
-                },
+                kind: SpanKind::Variant { name: "v2".into() },
             },
         },
         Event {
