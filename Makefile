@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy test build bench bench-campaign bench-adjudicate bench-smoke chaos-smoke monitor-smoke examples
+.PHONY: verify fmt clippy test build bench bench-campaign bench-adjudicate bench-trace bench-smoke chaos-smoke monitor-smoke examples
 
 verify: fmt clippy test
 
@@ -30,12 +30,21 @@ bench:
 bench-campaign:
 	CRITERION_JSON_OUT=$(CURDIR)/BENCH_campaign.json $(CARGO) bench -p redundancy-bench --bench campaign_throughput
 	CRITERION_JSON_OUT=$(CURDIR)/BENCH_campaign.json $(CARGO) bench -p redundancy-bench --bench adjudicate_throughput
+	CRITERION_JSON_OUT=$(CURDIR)/BENCH_campaign.json $(CARGO) bench -p redundancy-bench --bench trace_throughput
 
 # Batch-adjudication bench with tiny sampling budgets: a CI smoke test
 # that proves the kernel benches build, run, and keep their
 # verdict-equivalence guards green — not a measurement.
 bench-adjudicate:
 	CRITERION_SAMPLES=2 CRITERION_MEASURE_MS=20 CRITERION_WARMUP_MS=5 $(CARGO) bench -p redundancy-bench --bench adjudicate_throughput
+
+# Traced-vs-untraced overhead bench with tiny sampling budgets: a CI
+# smoke test that proves the trace bench builds, runs, and keeps its
+# traced-equals-untraced determinism guard green — not a measurement.
+# For real numbers run it via bench-campaign's JSON recorder:
+#   CRITERION_JSON_OUT=$(CURDIR)/BENCH_campaign.json cargo bench -p redundancy-bench --bench trace_throughput
+bench-trace:
+	CRITERION_SAMPLES=2 CRITERION_MEASURE_MS=20 CRITERION_WARMUP_MS=5 $(CARGO) bench -p redundancy-bench --bench trace_throughput
 
 # Compile and run every bench with tiny sampling budgets. This is a CI
 # smoke test — it proves the benches build, run, and keep their

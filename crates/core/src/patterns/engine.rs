@@ -98,15 +98,15 @@ where
             // not forked (keeping the executed prefix's random streams
             // identical to the exhaustive policy's) and costs nothing, but
             // it is first-class in the report and the trace.
-            let name = variant.borrow().interned_name();
-            let span = ctx.obs_begin(|| SpanKind::Variant { name: name.clone() });
+            let name = variant.borrow().symbol();
+            let span = ctx.obs_begin(|| SpanKind::Variant { name });
             ctx.obs_end(
                 span,
                 SpanStatus::Failed { kind: "skipped" },
                 CostSnapshot::ZERO,
             );
             outcomes.push(VariantOutcome::failed(
-                name.as_ref(),
+                name.resolve(),
                 VariantFailure::Skipped,
             ));
             continue;

@@ -596,7 +596,7 @@ mod tests {
         ));
         assert!(matches!(
             &events[1].kind,
-            EventKind::SpanStart { kind: SpanKind::Variant { name } } if name.as_ref() == "good1"
+            EventKind::SpanStart { kind: SpanKind::Variant { name } } if *name == "good1"
         ));
         // The crasher's span ends with its failure kind.
         assert!(matches!(
@@ -793,7 +793,7 @@ mod tests {
         let events = ring.events();
         assert!(events.iter().any(|e| matches!(
             &e.kind,
-            EventKind::Point(Point::VariantCancelled { variant }) if variant.as_ref() == "straggler"
+            EventKind::Point(Point::VariantCancelled { variant }) if *variant == "straggler"
         )));
         assert!(events.iter().any(|e| matches!(
             &e.kind,

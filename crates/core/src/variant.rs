@@ -24,14 +24,15 @@ pub trait Variant<I, O>: Send + Sync {
     /// Identifies the variant in outcomes, logs and tables.
     fn name(&self) -> &str;
 
-    /// The name as a shared interned string, used for trace events.
+    /// The name as an interned [`Symbol`](redundancy_obs::Symbol), used
+    /// for trace events.
     ///
-    /// The default allocates from [`name`](Self::name) on every call;
-    /// variants that execute hot (campaign workloads) should store their
-    /// name as a [`redundancy_obs::Name`] and override this with a
-    /// refcount clone so traced runs don't allocate per variant span.
-    fn interned_name(&self) -> redundancy_obs::Name {
-        redundancy_obs::Name::from(self.name())
+    /// The default interns [`name`](Self::name) on every call — a lock
+    /// plus a hash lookup; variants that execute hot (campaign
+    /// workloads) should store their symbol and override this with a
+    /// field copy so traced runs don't touch the interner per span.
+    fn symbol(&self) -> redundancy_obs::Symbol {
+        redundancy_obs::Symbol::intern(self.name())
     }
 
     /// Executes the variant.
@@ -63,16 +64,18 @@ pub trait Variant<I, O>: Send + Sync {
 /// assert_eq!(double.execute(&21, &mut ctx), Ok(42));
 /// ```
 pub struct FnVariant<F> {
-    name: redundancy_obs::Name,
+    name: redundancy_obs::Symbol,
     design_cost: f64,
     f: F,
 }
 
 impl<F> FnVariant<F> {
-    /// Wraps a closure as a variant.
-    pub fn new(name: impl Into<String>, f: F) -> Self {
+    /// Wraps a closure as a variant. The name is interned once here, so
+    /// traced executions copy a 4-byte symbol per span instead of
+    /// allocating.
+    pub fn new(name: impl AsRef<str>, f: F) -> Self {
         Self {
-            name: name.into().into(),
+            name: redundancy_obs::Symbol::intern(name.as_ref()),
             design_cost: 1.0,
             f,
         }
@@ -91,11 +94,11 @@ where
     F: Fn(&I, &mut ExecContext) -> Result<O, VariantFailure> + Send + Sync,
 {
     fn name(&self) -> &str {
-        &self.name
+        self.name.resolve()
     }
 
-    fn interned_name(&self) -> redundancy_obs::Name {
-        self.name.clone()
+    fn symbol(&self) -> redundancy_obs::Symbol {
+        self.name
     }
 
     fn execute(&self, input: &I, ctx: &mut ExecContext) -> Result<O, VariantFailure> {
@@ -112,8 +115,8 @@ impl<I, O> Variant<I, O> for Box<dyn Variant<I, O>> {
         self.as_ref().name()
     }
 
-    fn interned_name(&self) -> redundancy_obs::Name {
-        self.as_ref().interned_name()
+    fn symbol(&self) -> redundancy_obs::Symbol {
+        self.as_ref().symbol()
     }
 
     fn execute(&self, input: &I, ctx: &mut ExecContext) -> Result<O, VariantFailure> {
@@ -135,8 +138,8 @@ pub fn run_contained<I, O, V>(variant: &V, input: &I, ctx: &mut ExecContext) -> 
 where
     V: Variant<I, O> + ?Sized,
 {
-    let name = variant.interned_name();
-    let span = ctx.obs_begin(|| redundancy_obs::SpanKind::Variant { name: name.clone() });
+    let name = variant.symbol();
+    let span = ctx.obs_begin(|| redundancy_obs::SpanKind::Variant { name });
     let before = ctx.cost();
     ctx.record_invocation(variant.design_cost());
     let result = catch_unwind(AssertUnwindSafe(|| variant.execute(input, ctx)));
@@ -149,9 +152,7 @@ where
     // traces can tell abandoned work from failed work.
     let result = match result {
         Err(_) if ctx.was_cancelled() => {
-            ctx.obs_emit(|| redundancy_obs::Point::VariantCancelled {
-                variant: name.clone(),
-            });
+            ctx.obs_emit(|| redundancy_obs::Point::VariantCancelled { variant: name });
             Err(VariantFailure::Cancelled)
         }
         other => other,
@@ -165,7 +166,7 @@ where
     ctx.obs_end(span, status, ctx.cost().delta_since(before).snapshot());
     let cost = ctx.take_cost();
     VariantOutcome {
-        variant: name.as_ref().to_owned(),
+        variant: name.resolve().to_owned(),
         result,
         cost,
     }

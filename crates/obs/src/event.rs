@@ -14,17 +14,11 @@
 //! this crate can sit *below* `redundancy-core` in the dependency graph
 //! and every layer of the stack can emit events.
 
+use crate::intern::Symbol;
+
 /// Identifier of a span. `0` is the root (no enclosing span); real spans
 /// get ids from 1 upwards, allocated deterministically per context tree.
 pub type SpanId = u64;
-
-/// An interned event name: a shared immutable string.
-///
-/// Per-variant events fire once per variant *per trial*, so campaign
-/// traces emit millions of them. Carrying the name as `Arc<str>` lets
-/// emitters intern it once (e.g. in the variant itself) and clone a
-/// refcount per event instead of allocating a fresh `String` each time.
-pub type Name = std::sync::Arc<str>;
 
 /// The root span id: events outside any span belong to it.
 pub const ROOT_SPAN: SpanId = 0;
@@ -54,7 +48,7 @@ impl CostSnapshot {
 }
 
 /// What kind of execution region a span covers.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SpanKind {
     /// One Monte-Carlo trial of a campaign.
     Trial {
@@ -76,8 +70,8 @@ pub enum SpanKind {
     },
     /// One contained variant execution.
     Variant {
-        /// The variant's name (interned: cloning is a refcount bump).
-        name: Name,
+        /// The variant's name (interned: copying is four bytes).
+        name: Symbol,
     },
     /// A generic named region (service invocation, GP search, ...).
     Scope {
@@ -101,7 +95,7 @@ impl SpanKind {
 }
 
 /// How a span concluded.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SpanStatus {
     /// The region completed normally (no adjudication involved).
     Ok,
@@ -147,7 +141,7 @@ impl SpanStatus {
 }
 
 /// An instantaneous, technique-specific occurrence.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Point {
     /// An adjudicator produced a verdict.
     Verdict {
@@ -182,24 +176,24 @@ pub enum Point {
     },
     /// A component (or component subtree) was rebooted.
     Reboot {
-        /// Component name.
-        component: String,
+        /// Component name (interned).
+        component: Symbol,
         /// Reboot escalation depth (0 = leaf micro-reboot).
         depth: u32,
     },
     /// A service call was rebound to a different provider.
     ServiceRebind {
-        /// Interface being served.
-        interface: String,
+        /// Interface being served (interned).
+        interface: Symbol,
         /// Provider that failed (empty for the initial binding).
-        from: String,
+        from: Symbol,
         /// Provider now serving.
-        to: String,
+        to: Symbol,
     },
     /// A retry block re-expressed its input.
     Reexpression {
-        /// Re-expression name.
-        name: String,
+        /// Re-expression name (interned).
+        name: Symbol,
         /// Retry attempt number (1 = first re-expression).
         attempt: u32,
     },
@@ -219,8 +213,8 @@ pub enum Point {
     },
     /// Replicated processes diverged (attack or fault detected).
     ReplicaDivergence {
-        /// Human-readable description.
-        detail: String,
+        /// Human-readable description (interned).
+        detail: Symbol,
     },
     /// A structure audit ran.
     Audit {
@@ -237,8 +231,8 @@ pub enum Point {
     },
     /// A workaround was applied in place of a failing sequence.
     Workaround {
-        /// The rewriting rule used.
-        rule: String,
+        /// The rewriting rule used (interned).
+        rule: Symbol,
         /// Whether the workaround succeeded.
         applied: bool,
     },
@@ -259,14 +253,14 @@ pub enum Point {
     /// was already fixed.
     VariantCancelled {
         /// Name of the cancelled variant (interned).
-        variant: Name,
+        variant: Symbol,
     },
     /// Anything else (escape hatch for one-off instrumentation).
     Custom {
         /// Event name.
         name: &'static str,
-        /// Free-form detail.
-        detail: String,
+        /// Free-form detail (interned).
+        detail: Symbol,
     },
 }
 
@@ -298,7 +292,7 @@ impl Point {
 }
 
 /// What an event reports.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
     /// A span began. The event's `span` field is the new span's id; the
     /// `parent` field is the enclosing span.
@@ -318,7 +312,11 @@ pub enum EventKind {
 }
 
 /// One record in an execution trace.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Since every payload label is either `&'static str` or an interned
+/// [`Symbol`], `Event` is plain-old-data: it derives [`Copy`], so
+/// recording, cloning and merging events never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Event {
     /// Global sequence number, assigned by the observer at record time.
     pub seq: u64,
@@ -375,7 +373,7 @@ mod tests {
         assert_eq!(
             Point::Custom {
                 name: "my_event",
-                detail: String::new()
+                detail: Symbol::intern("")
             }
             .name(),
             "my_event"

@@ -235,7 +235,7 @@ mod jsonl {
             }
             SpanKind::Variant { name } => {
                 out.push_str("{\"variant\":");
-                escape(name, out);
+                escape(name.resolve(), out);
                 out.push('}');
             }
             SpanKind::Scope { name } => {
@@ -304,7 +304,7 @@ mod jsonl {
             }
             Point::Reboot { component, depth } => {
                 out.push_str(",\"component\":");
-                escape(component, out);
+                escape(component.resolve(), out);
                 let _ = write!(out, ",\"depth\":{depth}");
             }
             Point::ServiceRebind {
@@ -313,15 +313,15 @@ mod jsonl {
                 to,
             } => {
                 out.push_str(",\"interface\":");
-                escape(interface, out);
+                escape(interface.resolve(), out);
                 out.push_str(",\"from\":");
-                escape(from, out);
+                escape(from.resolve(), out);
                 out.push_str(",\"to\":");
-                escape(to, out);
+                escape(to.resolve(), out);
             }
             Point::Reexpression { name, attempt } => {
                 out.push_str(",\"reexpression\":");
-                escape(name, out);
+                escape(name.resolve(), out);
                 let _ = write!(out, ",\"attempt\":{attempt}");
             }
             Point::Perturbation { knob, attempt } => {
@@ -340,7 +340,7 @@ mod jsonl {
             }
             Point::ReplicaDivergence { detail } => {
                 out.push_str(",\"detail\":");
-                escape(detail, out);
+                escape(detail.resolve(), out);
             }
             Point::Audit { clean, errors } => {
                 let _ = write!(out, ",\"clean\":{clean},\"errors\":{errors}");
@@ -351,7 +351,7 @@ mod jsonl {
             }
             Point::Workaround { rule, applied } => {
                 out.push_str(",\"rule\":");
-                escape(rule, out);
+                escape(rule.resolve(), out);
                 let _ = write!(out, ",\"applied\":{applied}");
             }
             Point::Sanitized { action } => {
@@ -363,11 +363,11 @@ mod jsonl {
             }
             Point::VariantCancelled { variant } => {
                 out.push_str(",\"variant\":");
-                escape(variant, out);
+                escape(variant.resolve(), out);
             }
             Point::Custom { detail, .. } => {
                 out.push_str(",\"detail\":");
-                escape(detail, out);
+                escape(detail.resolve(), out);
             }
         }
         out.push('}');
@@ -855,16 +855,16 @@ mod jsonl {
                 age_before: num_field(fields, "age_before")?,
             },
             "reboot" => Point::Reboot {
-                component: str_field(fields, "component")?.to_owned(),
+                component: str_field(fields, "component")?.into(),
                 depth: num_field(fields, "depth")?,
             },
             "service_rebind" => Point::ServiceRebind {
-                interface: str_field(fields, "interface")?.to_owned(),
-                from: str_field(fields, "from")?.to_owned(),
-                to: str_field(fields, "to")?.to_owned(),
+                interface: str_field(fields, "interface")?.into(),
+                from: str_field(fields, "from")?.into(),
+                to: str_field(fields, "to")?.into(),
             },
             "reexpression" => Point::Reexpression {
-                name: str_field(fields, "reexpression")?.to_owned(),
+                name: str_field(fields, "reexpression")?.into(),
                 attempt: num_field(fields, "attempt")?,
             },
             "perturbation" => Point::Perturbation {
@@ -876,7 +876,7 @@ mod jsonl {
                 best_fitness: num_field(fields, "best_fitness")?,
             },
             "replica_divergence" => Point::ReplicaDivergence {
-                detail: str_field(fields, "detail")?.to_owned(),
+                detail: str_field(fields, "detail")?.into(),
             },
             "audit" => Point::Audit {
                 clean: bool_field(fields, "clean")?,
@@ -886,7 +886,7 @@ mod jsonl {
                 outcome: intern(str_field(fields, "outcome")?),
             },
             "workaround" => Point::Workaround {
-                rule: str_field(fields, "rule")?.to_owned(),
+                rule: str_field(fields, "rule")?.into(),
                 applied: bool_field(fields, "applied")?,
             },
             "sanitized" => Point::Sanitized {
@@ -901,7 +901,7 @@ mod jsonl {
             },
             custom => Point::Custom {
                 name: intern(custom),
-                detail: str_field(fields, "detail")?.to_owned(),
+                detail: str_field(fields, "detail")?.into(),
             },
         })
     }
@@ -1101,7 +1101,7 @@ mod tests {
             parent: 0,
             clock: 0,
             kind: EventKind::Point(Point::ReplicaDivergence {
-                detail: "quote \" backslash \\ newline \n".to_owned(),
+                detail: "quote \" backslash \\ newline \n".into(),
             }),
         };
         let json = event_to_json(&event);
@@ -1185,16 +1185,16 @@ mod tests {
             EventKind::Point(Point::Rollback { label: "process" }),
             EventKind::Point(Point::Rejuvenation { age_before: 12 }),
             EventKind::Point(Point::Reboot {
-                component: "cache".to_owned(),
+                component: "cache".into(),
                 depth: 2,
             }),
             EventKind::Point(Point::ServiceRebind {
-                interface: "store".to_owned(),
-                from: "a".to_owned(),
-                to: "b".to_owned(),
+                interface: "store".into(),
+                from: "a".into(),
+                to: "b".into(),
             }),
             EventKind::Point(Point::Reexpression {
-                name: "reorder".to_owned(),
+                name: "reorder".into(),
                 attempt: 1,
             }),
             EventKind::Point(Point::Perturbation {
@@ -1206,7 +1206,7 @@ mod tests {
                 best_fitness: 0.25,
             }),
             EventKind::Point(Point::ReplicaDivergence {
-                detail: "control\u{1} char".to_owned(),
+                detail: "control\u{1} char".into(),
             }),
             EventKind::Point(Point::Audit {
                 clean: false,
@@ -1214,7 +1214,7 @@ mod tests {
             }),
             EventKind::Point(Point::Repair { outcome: "partial" }),
             EventKind::Point(Point::Workaround {
-                rule: "swap-args".to_owned(),
+                rule: "swap-args".into(),
                 applied: true,
             }),
             EventKind::Point(Point::Sanitized {
@@ -1229,7 +1229,7 @@ mod tests {
             }),
             EventKind::Point(Point::Custom {
                 name: "my_event",
-                detail: "unicode: é λ \u{1f600}".to_owned(),
+                detail: "unicode: é λ \u{1f600}".into(),
             }),
         ];
         kinds
@@ -1308,5 +1308,35 @@ mod tests {
         };
         let parsed = event_from_json(&event_to_json(&event)).expect("parses");
         assert_eq!(parsed, event);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn interned_symbols_round_trip_through_event_json() {
+        use crate::intern::Symbol;
+        let name = Symbol::intern("variant: é λ \"quoted\" \\ back \n tail");
+        let event = Event {
+            seq: 7,
+            span: 3,
+            parent: 1,
+            clock: 11,
+            kind: EventKind::SpanStart {
+                kind: SpanKind::Variant { name },
+            },
+        };
+        let line = event_to_json(&event);
+        let parsed = event_from_json(&line).expect("parses");
+        let EventKind::SpanStart {
+            kind: SpanKind::Variant { name: reparsed },
+        } = parsed.kind
+        else {
+            panic!("wrong kind: {parsed:?}");
+        };
+        // The parser re-interns into the same table: same dense id, and
+        // resolving yields the very same leaked allocation.
+        assert_eq!(reparsed, name);
+        assert!(std::ptr::eq(reparsed.resolve(), name.resolve()));
+        // And the checkpoint round trip is byte-exact.
+        assert_eq!(event_to_json(&parsed), line);
     }
 }

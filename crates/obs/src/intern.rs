@@ -1,0 +1,280 @@
+//! Process-global string interning for trace events.
+//!
+//! The traced hot path emits millions of events per campaign, and the
+//! dynamic labels they used to carry (`String` component names, provider
+//! ids, rewrite-rule names, divergence details) made every such event a
+//! heap allocation — plus another per clone as events moved through
+//! fan-outs, ring buffers and shard merges. Interning replaces each owned
+//! string with a [`Symbol`]: a `u32` index into a process-global,
+//! append-only symbol table. Emitters intern once (at registration time,
+//! or on the first occurrence of a label) and then copy four bytes per
+//! event; exporters resolve the symbol back to the exact original string,
+//! so serialized traces are byte-identical to what the owned-string
+//! representation produced.
+//!
+//! # Design
+//!
+//! - **Interning** (`&str → Symbol`) takes a [`Mutex`] around a
+//!   `HashMap<&'static str, u32>` and leaks each *distinct* string once.
+//!   This is the cold path: the steady-state campaign loop only interns
+//!   labels it has already seen, which is a lock + hash lookup and never
+//!   allocates.
+//! - **Resolving** (`Symbol → &'static str`) is lock-free: symbols index
+//!   into fixed-size chunks published through `AtomicPtr`, and each slot
+//!   stores its string as an atomic `(ptr, len)` pair. A resolve is two
+//!   atomic loads and an index — no lock, no allocation, safe to call
+//!   from every worker at once.
+//! - **Identity**: interning the same string twice yields the same
+//!   symbol, so `Symbol` equality is string equality and resolved
+//!   references are pointer-equal for the life of the process.
+//!
+//! The leak is bounded by the label vocabulary, which is small and fixed
+//! for campaign workloads (component names, provider ids, variant names,
+//! re-expression labels are all decided at setup time). Free-form
+//! `detail` strings are formatted from small domains; a workload that
+//! interned unbounded unique strings would grow the table without bound,
+//! which is the same contract the JSONL parser's label interner has
+//! always had.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Entries per chunk of the symbol table.
+const CHUNK_SIZE: usize = 1024;
+
+/// Maximum number of chunks (bounds the table at ~1M distinct symbols —
+/// far beyond any bounded label vocabulary; exceeding it panics rather
+/// than silently recycling ids).
+const MAX_CHUNKS: usize = 1024;
+
+/// One slot of the resolve table: the leaked string's data pointer and
+/// length, stored as separate atomics so readers never race the writer.
+/// The writer stores `len` first and publishes with a release store of
+/// `ptr`; a reader's acquire load of a non-null `ptr` therefore observes
+/// the matching `len`.
+struct Slot {
+    ptr: AtomicPtr<u8>,
+    len: AtomicUsize,
+}
+
+/// Lock-free-read side of the table: chunk `i` holds symbols
+/// `i*CHUNK_SIZE ..`, published via a release store once allocated.
+static CHUNKS: [AtomicPtr<Slot>; MAX_CHUNKS] =
+    [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_CHUNKS];
+
+/// Write side: deduplication map from interned string to symbol id.
+static MAP: Mutex<Option<HashMap<&'static str, u32>>> = Mutex::new(None);
+
+/// An interned string: a dense `u32` handle into the process-global
+/// symbol table.
+///
+/// `Symbol` is [`Copy`], four bytes, and compares equal exactly when the
+/// underlying strings are equal. Event payloads carry symbols instead of
+/// owned strings, which makes [`Event`](crate::Event) plain-old-data:
+/// cloning an event is a `memcpy` and recording one never allocates.
+///
+/// # Examples
+///
+/// ```
+/// use redundancy_obs::Symbol;
+///
+/// let a = Symbol::intern("cache");
+/// let b = Symbol::intern("cache");
+/// assert_eq!(a, b);
+/// assert_eq!(a.resolve(), "cache");
+/// // Resolved references are stable for the life of the process.
+/// assert!(std::ptr::eq(a.resolve(), b.resolve()));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Interns `s`, returning its stable symbol. The first occurrence of
+    /// a distinct string leaks one copy; later calls are a lock + hash
+    /// lookup with no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table exceeds `MAX_CHUNKS * CHUNK_SIZE` distinct
+    /// symbols (a leak guard, not a realistic limit).
+    #[must_use]
+    pub fn intern(s: &str) -> Symbol {
+        let mut guard = MAP.lock().expect("symbol interner lock never poisoned");
+        let map = guard.get_or_insert_with(HashMap::new);
+        if let Some(&id) = map.get(s) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(map.len()).expect("symbol table exceeds u32 ids");
+        let (chunk_idx, slot_idx) = (id as usize / CHUNK_SIZE, id as usize % CHUNK_SIZE);
+        assert!(
+            chunk_idx < MAX_CHUNKS,
+            "symbol table exceeded {} entries — interning an unbounded vocabulary?",
+            MAX_CHUNKS * CHUNK_SIZE
+        );
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let mut chunk = CHUNKS[chunk_idx].load(Ordering::Acquire);
+        if chunk.is_null() {
+            let fresh: Box<[Slot]> = (0..CHUNK_SIZE)
+                .map(|_| Slot {
+                    ptr: AtomicPtr::new(std::ptr::null_mut()),
+                    len: AtomicUsize::new(0),
+                })
+                .collect();
+            chunk = Box::leak(fresh).as_mut_ptr();
+            CHUNKS[chunk_idx].store(chunk, Ordering::Release);
+        }
+        // Publish the slot: len first, then ptr with release, so any
+        // reader that acquires a non-null ptr sees the matching len.
+        // SAFETY: `chunk` points at CHUNK_SIZE leaked slots and
+        // `slot_idx < CHUNK_SIZE`; slots are written exactly once (the
+        // map holds the lock and `id` is fresh).
+        let slot = unsafe { &*chunk.add(slot_idx) };
+        slot.len.store(leaked.len(), Ordering::Relaxed);
+        slot.ptr
+            .store(leaked.as_ptr().cast_mut(), Ordering::Release);
+        map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Resolves the symbol to its interned string: two atomic loads and
+    /// an index, no lock taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol did not come from [`intern`](Self::intern)
+    /// in this process (e.g. a raw id fabricated out of thin air).
+    #[must_use]
+    pub fn resolve(self) -> &'static str {
+        let idx = self.0 as usize;
+        let chunk = CHUNKS[idx / CHUNK_SIZE].load(Ordering::Acquire);
+        assert!(!chunk.is_null(), "symbol {} was never interned", self.0);
+        // SAFETY: non-null chunks point at CHUNK_SIZE leaked slots.
+        let slot = unsafe { &*chunk.add(idx % CHUNK_SIZE) };
+        let ptr = slot.ptr.load(Ordering::Acquire);
+        assert!(!ptr.is_null(), "symbol {} was never interned", self.0);
+        let len = slot.len.load(Ordering::Relaxed);
+        // SAFETY: (ptr, len) were published together from a leaked,
+        // immutable `&'static str`.
+        unsafe { std::str::from_utf8_unchecked(std::slice::from_raw_parts(ptr, len)) }
+    }
+
+    /// The raw table index, for diagnostics.
+    #[must_use]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.resolve() == *other
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.resolve() == other
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.resolve())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.resolve())
+    }
+}
+
+/// Free-function alias for [`Symbol::intern`], for call sites that read
+/// better without the type name.
+#[must_use]
+pub fn intern(s: &str) -> Symbol {
+    Symbol::intern(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let a = Symbol::intern("alpha-test-label");
+        let b = Symbol::intern("alpha-test-label");
+        assert_eq!(a, b);
+        assert_eq!(a.as_u32(), b.as_u32());
+        let c = Symbol::intern("beta-test-label");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn resolve_round_trips_exactly() {
+        for s in ["", "x", "with \"quotes\" and \\ escapes", "unicode é λ 😀"] {
+            let sym = Symbol::intern(s);
+            assert_eq!(sym.resolve(), s);
+        }
+    }
+
+    #[test]
+    fn resolved_references_are_stable() {
+        let a = Symbol::intern("stable-ref-label").resolve();
+        let b = Symbol::intern("stable-ref-label").resolve();
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn resolve_is_safe_under_concurrent_interning() {
+        use std::sync::Barrier;
+        let threads = 8;
+        let barrier = Barrier::new(threads);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for i in 0..200 {
+                        // Half the labels collide across threads, half are
+                        // thread-unique, stressing both dedup and growth.
+                        let shared = format!("concurrent-shared-{}", i % 50);
+                        let unique = format!("concurrent-unique-{t}-{i}");
+                        assert_eq!(Symbol::intern(&shared).resolve(), shared);
+                        assert_eq!(Symbol::intern(&unique).resolve(), unique);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn comparisons_and_display() {
+        let sym = Symbol::intern("display-me");
+        assert_eq!(sym, "display-me");
+        assert_eq!(sym.to_string(), "display-me");
+        assert_eq!(format!("{sym:?}"), "Symbol(\"display-me\")");
+        let via_into: Symbol = "display-me".into();
+        assert_eq!(via_into, sym);
+    }
+}

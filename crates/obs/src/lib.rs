@@ -67,18 +67,18 @@
 
 mod event;
 mod export;
+pub mod intern;
 mod metrics;
 mod observer;
 pub mod prometheus;
 mod shard;
 pub mod telemetry;
 
-pub use event::{
-    CostSnapshot, Event, EventKind, Name, Point, SpanId, SpanKind, SpanStatus, ROOT_SPAN,
-};
+pub use event::{CostSnapshot, Event, EventKind, Point, SpanId, SpanKind, SpanStatus, ROOT_SPAN};
 #[cfg(feature = "serde")]
 pub use export::{event_from_json, event_to_json, from_jsonl, to_jsonl, ParseError};
 pub use export::{render_span_tree, summary, TraceSummary};
+pub use intern::Symbol;
 pub use metrics::{
     Histogram, MetricKey, MetricsObserver, MetricsRegistry, FUEL_BUCKETS, TICK_BUCKETS,
 };
@@ -87,6 +87,7 @@ pub use observer::{
 };
 pub use shard::{
     forward_renumbered, forward_renumbered_drain, merge_shards, renumber_in_place,
-    with_worker_shard, CollectorObserver, ShardPool, StreamingMerger,
+    with_worker_arena, with_worker_shard, CollectorObserver, ShardPool, StreamingMerger,
+    WorkerArena,
 };
 pub use telemetry::{Telemetry, TelemetryShard, TelemetrySnapshot};

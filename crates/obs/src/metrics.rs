@@ -348,7 +348,7 @@ pub struct MetricsObserver {
 #[derive(Debug, Clone)]
 enum OpenSpan {
     Technique(&'static str),
-    Variant(crate::event::Name),
+    Variant(crate::intern::Symbol),
     Trial,
     Other,
 }

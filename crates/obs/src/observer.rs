@@ -62,7 +62,7 @@ impl Observer for NoopObserver {
 ///         clock: i,
 ///         kind: EventKind::Point(Point::Custom {
 ///             name: "tick",
-///             detail: String::new(),
+///             detail: "".into(),
 ///         }),
 ///     });
 /// }
@@ -132,9 +132,19 @@ impl RingBufferObserver {
     }
 
     /// Copies the retained events out, oldest first.
+    ///
+    /// The output vector is allocated *before* the lock is taken and the
+    /// buffer never exceeds `capacity`, so the critical section is two
+    /// bulk memcpys — recording threads are not stalled behind an
+    /// element-by-element clone.
     #[must_use]
     pub fn events(&self) -> Vec<Event> {
-        self.lock().buf.iter().cloned().collect()
+        let mut out = Vec::with_capacity(self.capacity);
+        let inner = self.lock();
+        let (front, back) = inner.buf.as_slices();
+        out.extend_from_slice(front);
+        out.extend_from_slice(back);
+        out
     }
 
     /// Takes the retained events out, leaving the buffer empty (the drop
@@ -194,11 +204,17 @@ impl Observer for FanoutObserver {
     }
 
     fn record(&self, event: Event) {
-        for sink in &self.sinks {
-            if sink.enabled() {
-                sink.record(event.clone());
-            }
+        // Hand the incoming event itself to the final enabled sink
+        // instead of copying for every sink including the last.
+        let mut enabled = self.sinks.iter().filter(|s| s.enabled());
+        let Some(mut current) = enabled.next() else {
+            return;
+        };
+        for next in enabled {
+            current.record(event);
+            current = next;
         }
+        current.record(event);
     }
 }
 
@@ -233,6 +249,25 @@ impl ObsHandle {
         ObsHandle {
             observer,
             ids: Arc::new(AtomicU64::new(1)),
+            current: ROOT_SPAN,
+            enabled,
+        }
+    }
+
+    /// Wraps an observer reusing a caller-pooled span-id allocator. The
+    /// counter is reset to 1, so span numbering matches a fresh handle,
+    /// but the `Arc` itself is recycled — per-trial handle construction
+    /// on the traced campaign path stays allocation-free.
+    ///
+    /// The caller must not share `ids` with a handle that is still live:
+    /// the reset would make span ids collide.
+    #[must_use]
+    pub fn with_id_allocator(observer: Arc<dyn Observer>, ids: Arc<AtomicU64>) -> Self {
+        let enabled = observer.enabled();
+        ids.store(1, Ordering::Relaxed);
+        ObsHandle {
+            observer,
+            ids,
             current: ROOT_SPAN,
             enabled,
         }
@@ -339,7 +374,7 @@ mod tests {
             clock,
             kind: EventKind::Point(Point::Custom {
                 name: "tick",
-                detail: String::new(),
+                detail: "".into(),
             }),
         }
     }
@@ -408,7 +443,7 @@ mod tests {
         assert_eq!(handle.current_span(), 2);
         handle.emit(2, || Point::Custom {
             name: "inside",
-            detail: String::new(),
+            detail: "".into(),
         });
         handle.end_span(inner, 3, SpanStatus::Ok, CostSnapshot::ZERO);
         assert_eq!(handle.current_span(), 1);
@@ -455,6 +490,45 @@ mod tests {
         assert_eq!(a.len(), 2);
         assert_eq!(b.len(), 2);
         assert!(!FanoutObserver::new(vec![Arc::new(NoopObserver)]).enabled());
+    }
+
+    #[test]
+    fn fanout_two_sinks_both_receive_every_event() {
+        // Regression for the last-sink copy: with exactly two sinks, the
+        // second (final) sink receives the event by value — both must
+        // still see the identical stream.
+        let a = RingBufferObserver::shared(8);
+        let b = RingBufferObserver::shared(8);
+        let fan = FanoutObserver::new(vec![
+            a.clone() as Arc<dyn Observer>,
+            b.clone() as Arc<dyn Observer>,
+        ]);
+        for i in 0..5 {
+            fan.record(tick(i));
+        }
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.len(), 5);
+        // A disabled final sink must not swallow the event meant for the
+        // enabled one before it.
+        let c = RingBufferObserver::shared(8);
+        let fan = FanoutObserver::new(vec![c.clone() as Arc<dyn Observer>, Arc::new(NoopObserver)]);
+        for i in 0..3 {
+            fan.record(tick(i));
+        }
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn pooled_id_allocator_matches_fresh_handle_numbering() {
+        let ring = RingBufferObserver::shared(64);
+        let ids = Arc::new(AtomicU64::new(77));
+        let mut handle = ObsHandle::with_id_allocator(ring.clone(), Arc::clone(&ids));
+        let span = handle.begin_span(0, || SpanKind::Scope { name: "s" });
+        handle.end_span(span, 1, SpanStatus::Ok, CostSnapshot::ZERO);
+        // The recycled counter was reset, so the first span id is 1 —
+        // exactly what ObsHandle::new would have produced.
+        assert_eq!(ring.events()[0].span, 1);
+        assert_eq!(ids.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -18,10 +18,11 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use crate::event::{Event, EventKind, ROOT_SPAN};
-use crate::observer::Observer;
+use crate::observer::{ObsHandle, Observer};
 
 /// Unbounded in-memory capture for one shard (one trial or worker).
 ///
@@ -161,6 +162,36 @@ pub fn merge_shards(shards: Vec<Vec<Event>>) -> Vec<Event> {
 /// in-flight shards, which the streaming merge bounds).
 const SHARD_POOL_CAP: usize = 1024;
 
+/// Default cap on the per-event capacity a fresh buffer is pre-reserved
+/// to (see [`prewarm_cap`]). Far above any per-trial event count the
+/// simulator produces, while still bounding a pathological trial's
+/// influence on every later checkout.
+const DEFAULT_SHARD_PREWARM: usize = 4096;
+
+/// Resolves `REDUNDANCY_SHARD_PREWARM`: the cap on how many events a
+/// *fresh* pool checkout pre-reserves capacity for (fresh checkouts
+/// mirror the observed high-water mark, clamped to this cap). An empty
+/// value is treated as unset; a set-but-invalid value warns once and
+/// falls back to the default, so a typo doesn't silently change the
+/// allocation profile.
+fn prewarm_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| match std::env::var("REDUNDANCY_SHARD_PREWARM") {
+        Ok(value) => match value.trim().parse::<usize>() {
+            Ok(cap) => cap,
+            _ if value.trim().is_empty() => DEFAULT_SHARD_PREWARM,
+            _ => {
+                eprintln!(
+                    "warning: ignoring REDUNDANCY_SHARD_PREWARM={value:?}: expected an \
+                     event count, using default {DEFAULT_SHARD_PREWARM}"
+                );
+                DEFAULT_SHARD_PREWARM
+            }
+        },
+        Err(_) => DEFAULT_SHARD_PREWARM,
+    })
+}
+
 /// A free list of event buffers shared between shard producers and the
 /// merger: producers [`check_out`](ShardPool::check_out) a warmed-up
 /// buffer per trial, the merge drains it into the sink and
@@ -172,6 +203,9 @@ const SHARD_POOL_CAP: usize = 1024;
 #[derive(Default)]
 pub struct ShardPool {
     spare: Mutex<Vec<Vec<Event>>>,
+    /// Largest buffer capacity ever checked back in: what "warm" means
+    /// for this pool's workload.
+    high_water: AtomicUsize,
 }
 
 impl ShardPool {
@@ -181,18 +215,29 @@ impl ShardPool {
         Self::default()
     }
 
-    /// Takes a spare (empty, capacity-warm) buffer, or a fresh one.
+    /// Takes a spare (empty, capacity-warm) buffer. When the pool is dry
+    /// (the first checkouts of a campaign, or a burst wider than the
+    /// steady-state window) the fresh buffer is pre-reserved to the
+    /// observed high-water capacity — clamped by
+    /// `REDUNDANCY_SHARD_PREWARM` — so it does not regrow step by step
+    /// through its first trial.
     #[must_use]
     pub fn check_out(&self) -> Vec<Event> {
-        self.spare
+        if let Some(buf) = self
+            .spare
             .lock()
             .expect("shard pool lock never poisoned")
             .pop()
-            .unwrap_or_default()
+        {
+            return buf;
+        }
+        let reserve = self.high_water.load(Ordering::Relaxed).min(prewarm_cap());
+        Vec::with_capacity(reserve)
     }
 
     /// Returns a buffer's allocation to the pool (cleared).
     pub fn check_in(&self, mut buf: Vec<Event>) {
+        self.high_water.fetch_max(buf.capacity(), Ordering::Relaxed);
         buf.clear();
         let mut spare = self.spare.lock().expect("shard pool lock never poisoned");
         if spare.len() < SHARD_POOL_CAP {
@@ -210,31 +255,77 @@ impl ShardPool {
     }
 }
 
-thread_local! {
-    /// Per-worker pooled collector (see [`with_worker_shard`]).
-    static WORKER_SHARD: RefCell<Option<Arc<CollectorObserver>>> = const { RefCell::new(None) };
+/// The per-worker-thread allocation arena for traced trials: a pooled
+/// [`CollectorObserver`] plus a pooled span-id allocator, both reused
+/// across every trial the worker runs (see [`with_worker_arena`]).
+#[derive(Clone)]
+pub struct WorkerArena {
+    collector: Arc<CollectorObserver>,
+    ids: Arc<AtomicU64>,
 }
 
-/// Runs `f` with this thread's pooled [`CollectorObserver`], creating it
-/// on first use and recycling it afterwards.
+impl WorkerArena {
+    fn new() -> Self {
+        WorkerArena {
+            collector: Arc::new(CollectorObserver::new()),
+            ids: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// The arena's collector shard.
+    #[must_use]
+    pub fn collector(&self) -> &Arc<CollectorObserver> {
+        &self.collector
+    }
+
+    /// Builds a trial-local [`ObsHandle`] recording into the arena's
+    /// collector, reusing the arena's pooled id allocator (reset to 1)
+    /// instead of allocating a fresh one — the last heap allocation the
+    /// per-trial traced hot path performed. Only one handle may be live
+    /// per arena at a time; the worker-thread discipline of
+    /// [`with_worker_arena`] guarantees that.
+    #[must_use]
+    pub fn handle(&self) -> ObsHandle {
+        ObsHandle::with_id_allocator(
+            Arc::clone(&self.collector) as Arc<dyn Observer>,
+            Arc::clone(&self.ids),
+        )
+    }
+}
+
+thread_local! {
+    /// Per-worker pooled arena (see [`with_worker_arena`]).
+    static WORKER_ARENA: RefCell<Option<WorkerArena>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's pooled [`WorkerArena`], creating it on
+/// first use and recycling it afterwards.
 ///
 /// Traced parallel campaigns record every trial through a collector
-/// shard; allocating one `Arc<CollectorObserver>` per trial showed up as
-/// pure overhead at sub-microsecond trial costs. Worker threads are
-/// persistent (see the simulator's pool), so one collector per worker
-/// amortizes that to zero. Re-entrant calls (a traced trial that itself
-/// runs a traced campaign) fall back to a fresh collector.
-pub fn with_worker_shard<R>(f: impl FnOnce(&Arc<CollectorObserver>) -> R) -> R {
-    let cached = WORKER_SHARD.with(|slot| slot.borrow_mut().take());
-    let shard = cached.unwrap_or_else(|| Arc::new(CollectorObserver::new()));
-    let result = f(&shard);
-    WORKER_SHARD.with(|slot| {
+/// shard; allocating one `Arc<CollectorObserver>` (and one span-id
+/// counter) per trial showed up as pure overhead at sub-microsecond
+/// trial costs. Worker threads are persistent (see the simulator's
+/// pool), so one arena per worker amortizes that to zero. Re-entrant
+/// calls (a traced trial that itself runs a traced campaign) fall back
+/// to a fresh arena.
+pub fn with_worker_arena<R>(f: impl FnOnce(&WorkerArena) -> R) -> R {
+    let cached = WORKER_ARENA.with(|slot| slot.borrow_mut().take());
+    let arena = cached.unwrap_or_else(WorkerArena::new);
+    let result = f(&arena);
+    WORKER_ARENA.with(|slot| {
         let mut cell = slot.borrow_mut();
         if cell.is_none() {
-            *cell = Some(shard);
+            *cell = Some(arena);
         }
     });
     result
+}
+
+/// Runs `f` with this thread's pooled [`CollectorObserver`] — the
+/// collector half of [`with_worker_arena`], kept for callers that manage
+/// their own handles.
+pub fn with_worker_shard<R>(f: impl FnOnce(&Arc<CollectorObserver>) -> R) -> R {
+    with_worker_arena(|arena| f(&arena.collector))
 }
 
 /// An observer of each trial's renumbered events at forward time
@@ -386,13 +477,21 @@ impl StreamingMerger {
         if state.aborted {
             return;
         }
-        state.pending.insert(index, events);
-        state.peak_buffered = state.peak_buffered.max(state.pending.len());
+        state.peak_buffered = state.peak_buffered.max(state.pending.len() + 1);
+        // In-order fast path: the frontier trial's shard never touches the
+        // pending map (a BTreeMap insert+remove allocates a node per trial,
+        // which at jobs=1 is every trial).
+        let mut incoming = Some(events);
+        if index != state.next {
+            state
+                .pending
+                .insert(index, incoming.take().expect("just set"));
+        }
         let mut forwarded = 0u64;
-        while let Some(mut shard) = {
+        while let Some(mut shard) = incoming.take().or_else(|| {
             let next = state.next;
             state.pending.remove(&next)
-        } {
+        }) {
             let trial = state.next;
             state.offset += renumber_in_place(&mut shard, state.offset);
             if let Some(tap) = &self.tap {
@@ -816,7 +915,7 @@ mod tests {
         let replay = CollectorObserver::new();
         for (_, events) in tapped.iter() {
             for event in events {
-                replay.record(event.clone());
+                replay.record(*event);
             }
         }
         assert_eq!(replay.into_events(), expected);
@@ -851,5 +950,59 @@ mod tests {
         c.install_buffer(events);
         assert!(c.is_empty());
         assert!(c.take().capacity() >= capacity.min(4));
+    }
+
+    #[test]
+    fn worker_arena_reuses_collector_and_id_allocator() {
+        let (first_collector, first_events) = with_worker_arena(|arena| {
+            let mut handle = arena.handle();
+            record_trial(&mut handle, 0);
+            (Arc::as_ptr(arena.collector()), arena.collector().take())
+        });
+        let (second_collector, second_events) = with_worker_arena(|arena| {
+            let mut handle = arena.handle();
+            record_trial(&mut handle, 1);
+            (Arc::as_ptr(arena.collector()), arena.collector().take())
+        });
+        assert_eq!(
+            first_collector, second_collector,
+            "same thread must reuse its arena"
+        );
+        // The pooled id allocator resets per handle: both trials get the
+        // same shard-local span ids, exactly as two fresh handles would.
+        let ids = |events: &[Event]| events.iter().map(|e| e.span).collect::<Vec<_>>();
+        assert_eq!(ids(&first_events), ids(&second_events));
+    }
+
+    #[test]
+    fn dry_pool_checkout_prewarms_to_high_water() {
+        let pool = ShardPool::new();
+        assert_eq!(pool.check_out().capacity(), 0, "no history: no reserve");
+        pool.check_in(Vec::with_capacity(64));
+        let warm = pool.check_out();
+        assert!(warm.capacity() >= 64, "pooled buffer keeps its capacity");
+        // Pool is dry again, but the high-water mark is remembered: a
+        // fresh buffer arrives pre-reserved instead of growing from zero.
+        let fresh = pool.check_out();
+        assert!(fresh.capacity() >= 64, "dry checkout mirrors high water");
+    }
+
+    #[test]
+    fn in_order_submissions_never_buffer() {
+        let sink = Arc::new(CollectorObserver::new());
+        let merger = StreamingMerger::new(sink.clone());
+        for i in 0..8 {
+            let collector = Arc::new(CollectorObserver::new());
+            let mut handle = ObsHandle::new(collector.clone());
+            record_trial(&mut handle, i);
+            merger.submit(i as usize, collector.take());
+        }
+        assert_eq!(merger.forwarded(), 8);
+        assert_eq!(
+            merger.peak_buffered(),
+            1,
+            "in-order submissions bypass the pending map"
+        );
+        assert_eq!(sink.take().len(), 8 * 4);
     }
 }

@@ -94,14 +94,14 @@ impl TrialTrace {
             match &event.kind {
                 EventKind::SpanStart {
                     kind: SpanKind::Variant { name },
-                } => open.push((event.span, name.as_ref().to_owned())),
+                } => open.push((event.span, name.resolve().to_owned())),
                 EventKind::SpanEnd { status, cost } => {
                     if let Some(pos) = open.iter().position(|(id, _)| *id == event.span) {
                         let (_, name) = open.remove(pos);
                         out.push(VariantRecord {
                             name,
                             disposition: VariantDisposition::from_status(status),
-                            status: status.clone(),
+                            status: *status,
                             cost: *cost,
                         });
                     }
@@ -163,7 +163,7 @@ impl TrialTrace {
             .iter()
             .filter_map(|event| match &event.kind {
                 EventKind::Point(Point::VariantCancelled { variant }) => {
-                    Some(variant.as_ref().to_owned())
+                    Some(variant.resolve().to_owned())
                 }
                 _ => None,
             })
@@ -215,13 +215,13 @@ pub fn split_trials(events: &[Event]) -> Vec<TrialTrace> {
                         seed: *seed,
                         disposition: "",
                         cost: CostSnapshot::ZERO,
-                        events: vec![event.clone()],
+                        events: vec![*event],
                     },
                 ));
             }
             EventKind::SpanEnd { status, cost } => {
                 if let Some((span, trace)) = &mut current {
-                    trace.events.push(event.clone());
+                    trace.events.push(*event);
                     if event.span == *span {
                         if let SpanStatus::Trial { disposition } = status {
                             trace.disposition = disposition;
@@ -234,7 +234,7 @@ pub fn split_trials(events: &[Event]) -> Vec<TrialTrace> {
             }
             _ => {
                 if let Some((_, trace)) = &mut current {
-                    trace.events.push(event.clone());
+                    trace.events.push(*event);
                 }
             }
         }

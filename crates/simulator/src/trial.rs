@@ -10,7 +10,7 @@ use redundancy_core::context::{CancelToken, ExecContext};
 use redundancy_core::cost::Cost;
 use redundancy_core::obs::telemetry::{self, Counter, Timer};
 use redundancy_core::obs::{
-    with_worker_shard, ObsHandle, Observer, ShardPool, SpanKind, SpanStatus, StreamingMerger,
+    with_worker_arena, ObsHandle, Observer, ShardPool, SpanKind, SpanStatus, StreamingMerger,
 };
 
 use crate::chaos::ChaosPlan;
@@ -673,9 +673,10 @@ impl Campaign {
                     }
                     let timed = trial_timer(i);
                     let seed = Self::trial_seed(campaign_seed, i);
-                    let (outcome, events) = with_worker_shard(|shard| {
+                    let (outcome, events) = with_worker_arena(|arena| {
+                        let shard = arena.collector();
                         shard.install_buffer(shard_pool.check_out());
-                        let handle = ObsHandle::new(Arc::clone(shard) as Arc<dyn Observer>);
+                        let handle = arena.handle();
                         let mut ctx = ExecContext::new(seed).with_obs_handle(handle);
                         if let Some(checks) = chaos.and_then(|plan| plan.charge_fuse(i)) {
                             ctx = ctx.with_cancel_token(CancelToken::cancel_after(checks));

@@ -210,7 +210,7 @@ where
         for (i, re) in self.reexpressions.iter().enumerate() {
             if i > 0 {
                 ctx.obs_emit(|| Point::Reexpression {
-                    name: re.name().to_owned(),
+                    name: redundancy_core::obs::Symbol::intern(re.name()),
                     attempt: u32::try_from(i).unwrap_or(u32::MAX),
                 });
             }

@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use redundancy_core::obs::{ObsHandle, Observer, Point};
+use redundancy_core::obs::{ObsHandle, Observer, Point, Symbol};
 use redundancy_core::rng::SplitMix64;
 use redundancy_core::taxonomy::{
     Adjudication, ArchitecturalPattern, Classification, FaultSet, Intention, RedundancyType,
@@ -38,6 +38,9 @@ pub const ENTRY: TechniqueEntry = TechniqueEntry {
 #[derive(Debug, Clone)]
 struct Component {
     name: String,
+    /// The name interned once at insertion, so reboot events copy a
+    /// symbol instead of cloning the `String`.
+    symbol: Symbol,
     parent: Option<usize>,
     children: Vec<usize>,
     /// Restart cost of this component alone (its children add theirs).
@@ -95,7 +98,7 @@ impl ComponentTree {
 
     fn emit_reboot(&self, idx: usize, depth: u32, clock: u64) {
         if let Some(obs) = &self.obs {
-            let component = self.components[idx].name.clone();
+            let component = self.components[idx].symbol;
             obs.emit(clock, move || Point::Reboot { component, depth });
         }
     }
@@ -133,6 +136,7 @@ impl ComponentTree {
         );
         let idx = self.components.len();
         self.components.push(Component {
+            symbol: Symbol::intern(&name),
             name: name.clone(),
             parent,
             children: Vec::new(),

@@ -195,10 +195,10 @@ impl NVariantCell {
         } else {
             if let Some(obs) = &self.obs {
                 obs.emit(0, || redundancy_core::obs::Point::ReplicaDivergence {
-                    detail: format!(
+                    detail: redundancy_core::obs::Symbol::intern(&format!(
                         "{disagreeing} of {} encodings disagree",
                         self.variants.len()
-                    ),
+                    )),
                 });
             }
             Err(AttackDetected { disagreeing })

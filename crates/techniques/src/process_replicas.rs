@@ -292,7 +292,9 @@ fn streamed_comparison(
             ));
         }
         if let Some(obs) = obs {
-            let detail = observations.join(" | ");
+            // Divergence is the rare (attack) path, so interning the
+            // joined observation report here is off the hot loop.
+            let detail = redundancy_core::obs::Symbol::intern(&observations.join(" | "));
             obs.emit(0, move || Point::ReplicaDivergence { detail });
         }
         ReplicaVerdict::AttackDetected { observations }

@@ -195,7 +195,7 @@ impl<I, O> RuleEngine<I, O> {
                     Err(failure) => Handled::Unhandled(failure),
                 };
                 if let Handled::Recovered { rule, .. } = &handled {
-                    let fired = rule.clone();
+                    let fired = redundancy_core::obs::Symbol::intern(rule);
                     ctx.obs_emit(move || redundancy_core::obs::Point::Workaround {
                         rule: fired,
                         applied: true,

@@ -158,7 +158,7 @@ impl<I, O> SelfOptimizing<I, O> {
             self.ema_millis.store(0, Ordering::Relaxed);
             ctx.obs_emit(|| redundancy_core::obs::Point::Custom {
                 name: "impl-switch",
-                detail: format!("{idx}->{next}"),
+                detail: redundancy_core::obs::Symbol::intern(&format!("{idx}->{next}")),
             });
         }
         outcome

@@ -134,15 +134,19 @@ impl<'r> DynamicSubstitution<'r> {
         args: &[Value],
         ctx: &mut ExecContext,
     ) -> Result<SubstitutionReport, ServiceError> {
+        use redundancy_core::obs::Symbol;
         let mut substitutions = 0;
         let mut last_error = ServiceError::Unavailable;
         // The provider whose failure we are failing over from, if any.
-        let mut failed_from: Option<String> = None;
+        // Interned: provider ids and interface names form a small fixed
+        // vocabulary, so rebind events carry symbols, not fresh strings.
+        let mut failed_from: Option<Symbol> = None;
         for provider in self.registry.providers_of(interface) {
             if let Some(from) = failed_from.take() {
-                let to = provider.id().to_owned();
+                let to = Symbol::intern(provider.id());
+                let name = Symbol::intern(interface.name());
                 ctx.obs_emit(move || redundancy_core::obs::Point::ServiceRebind {
-                    interface: interface.name().to_owned(),
+                    interface: name,
                     from,
                     to,
                 });
@@ -159,16 +163,17 @@ impl<'r> DynamicSubstitution<'r> {
                 Err(err) => {
                     last_error = err;
                     substitutions += 1;
-                    failed_from = Some(provider.id().to_owned());
+                    failed_from = Some(Symbol::intern(provider.id()));
                 }
             }
         }
         if self.use_converters {
             for (provider, converter) in self.registry.convertible_providers(interface) {
                 if let Some(from) = failed_from.take() {
-                    let to = provider.id().to_owned();
+                    let to = Symbol::intern(provider.id());
+                    let name = Symbol::intern(interface.name());
                     ctx.obs_emit(move || redundancy_core::obs::Point::ServiceRebind {
-                        interface: interface.name().to_owned(),
+                        interface: name,
                         from,
                         to,
                     });
@@ -187,7 +192,7 @@ impl<'r> DynamicSubstitution<'r> {
                     Err(err) => {
                         last_error = err;
                         substitutions += 1;
-                        failed_from = Some(provider.id().to_owned());
+                        failed_from = Some(Symbol::intern(provider.id()));
                     }
                 }
             }

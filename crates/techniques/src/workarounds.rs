@@ -205,7 +205,10 @@ impl<Op: Clone + PartialEq> WorkaroundEngine<Op> {
             if system.execute(&candidate).is_ok() {
                 if let Some(obs) = &self.obs {
                     obs.emit(0, || Point::Workaround {
-                        rule: format!("bfs-candidate-{}", attempts - 1),
+                        rule: redundancy_core::obs::Symbol::intern(&format!(
+                            "bfs-candidate-{}",
+                            attempts - 1
+                        )),
                         applied: true,
                     });
                 }
@@ -217,7 +220,7 @@ impl<Op: Clone + PartialEq> WorkaroundEngine<Op> {
         }
         if let Some(obs) = &self.obs {
             obs.emit(0, || Point::Workaround {
-                rule: format!("exhausted-after-{attempts}"),
+                rule: redundancy_core::obs::Symbol::intern(&format!("exhausted-after-{attempts}")),
                 applied: false,
             });
         }
