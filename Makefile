@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy test build bench bench-campaign bench-adjudicate bench-trace bench-smoke chaos-smoke monitor-smoke examples
+.PHONY: verify fmt clippy test build bench bench-campaign bench-adjudicate bench-trace bench-services bench-smoke chaos-smoke monitor-smoke services-smoke examples
 
 verify: fmt clippy test
 
@@ -31,6 +31,12 @@ bench-campaign:
 	CRITERION_JSON_OUT=$(CURDIR)/BENCH_campaign.json $(CARGO) bench -p redundancy-bench --bench campaign_throughput
 	CRITERION_JSON_OUT=$(CURDIR)/BENCH_campaign.json $(CARGO) bench -p redundancy-bench --bench adjudicate_throughput
 	CRITERION_JSON_OUT=$(CURDIR)/BENCH_campaign.json $(CARGO) bench -p redundancy-bench --bench trace_throughput
+
+# Event-loop runtime throughput and tail latency (E20 cells): wall-clock
+# cost of driving a workload through the loop plus the virtual-time
+# req/sec and p99/p999 families, mirrored into BENCH_campaign.json.
+bench-services:
+	CRITERION_JSON_OUT=$(CURDIR)/BENCH_campaign.json $(CARGO) bench -p redundancy-bench --bench services_throughput
 
 # Batch-adjudication bench with tiny sampling budgets: a CI smoke test
 # that proves the kernel benches build, run, and keep their
@@ -66,6 +72,13 @@ chaos-smoke:
 # snapshot is well-formed.
 monitor-smoke:
 	$(CARGO) run -q -p redundancy-bench --bin exp_monitor
+
+# Event-loop runtime gate: runs E20 in its reduced --smoke configuration
+# under the flight recorder and asserts the seeded per-request ledger is
+# bit-identical across two runs. Fails loudly if the deterministic event
+# loop ever drifts.
+services-smoke:
+	$(CARGO) run -q -p redundancy-bench --bin exp_services -- --smoke --monitor
 
 # Build and run every example end to end. A CI smoke test: the examples
 # are the documented entry points, so they must keep compiling *and*

@@ -68,4 +68,6 @@ fn main() {
     print!("{}", exp::early_exit::run_quorum_jobs(trials, seed, jobs));
     println!("{rule}\nE19 — resumable campaigns: interval vs work lost\n{rule}");
     print!("{}", exp::resume::run_jobs(128, seed, jobs));
+    println!("{rule}\nE20 — event-loop service runtime\n{rule}");
+    print!("{}", exp::services_rt::run_jobs(trials, seed, jobs));
 }

@@ -204,6 +204,29 @@ impl Bencher {
             self.samples.push(elapsed * 1e9 / batch as f64);
         }
     }
+
+    /// Measures `routine` with a caller-supplied clock, Criterion-style:
+    /// the routine receives an iteration count and returns the total
+    /// `Duration` those iterations took *by whatever clock the caller
+    /// chooses*. This is how benches report simulated metrics — e.g. a
+    /// virtual-time p99 from a deterministic event loop — through the
+    /// same reporting/JSON-mirror pipeline as wall-clock measurements.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let samples = samples();
+        // Calibrate the batch size from the routine's *wall* cost (its
+        // reported Duration may tick a different clock entirely).
+        let start = Instant::now();
+        let first = routine(1);
+        let wall_per_iter = start.elapsed().as_secs_f64().max(1e-9);
+        let budget = measure_time().as_secs_f64() / samples as f64;
+        let batch = ((budget / wall_per_iter) as u64).clamp(1, 1_000_000);
+        self.samples.clear();
+        self.samples.push(first.as_secs_f64() * 1e9);
+        for _ in 1..samples {
+            let total = routine(batch);
+            self.samples.push(total.as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
 }
 
 fn format_ns(ns: f64) -> String {

@@ -327,6 +327,39 @@ mod tests {
         assert_eq!(families, Counter::COUNT + Timer::COUNT);
         assert!(text.contains("redundancy_chaos_kills_total 0"));
         assert!(text.contains("redundancy_merger_stall_ns_count 0"));
+        assert!(text.contains("redundancy_service_arrivals_total 0"));
+        assert!(text.contains("redundancy_service_hedges_won_total 0"));
+    }
+
+    #[test]
+    fn service_runtime_families_are_exported() {
+        // The event-loop runtime's counters and histograms must all
+        // reach the exposition, with the queue-depth family on its own
+        // power-of-two ladder rather than the nanosecond one.
+        let telemetry = Telemetry::new();
+        let shard = telemetry.register_shard();
+        shard.add(Counter::ServiceArrivals, 12);
+        shard.add(Counter::ServiceHedgesFired, 4);
+        shard.add(Counter::ServiceHedgesWon, 1);
+        shard.add(Counter::ServiceHedgesCancelled, 3);
+        shard.add(Counter::ServiceConverterPassthrough, 2);
+        shard.observe_ns(Timer::ServiceLatencyNs, 3_000_000);
+        shard.observe_ns(Timer::ServiceQueueWaitNs, 40_000);
+        shard.observe_ns(Timer::ServiceQueueDepth, 17);
+        let text = render_telemetry(&telemetry.snapshot());
+        validate(&text).expect("service exposition validates");
+        assert!(text.contains("redundancy_service_arrivals_total 12"));
+        assert!(text.contains("redundancy_service_hedges_fired_total 4"));
+        assert!(text.contains("redundancy_service_hedges_won_total 1"));
+        assert!(text.contains("redundancy_service_hedges_cancelled_total 3"));
+        assert!(text.contains("redundancy_service_converter_passthrough_total 2"));
+        assert!(text.contains("redundancy_service_latency_ns_bucket{le=\"4000000\"} 1"));
+        assert!(text.contains("redundancy_service_queue_wait_ns_count 1"));
+        // Depth ladder: 17 lands in the le="32" rung, and the family's
+        // first rung is le="1" — impossible on NS_BUCKETS.
+        assert!(text.contains("redundancy_service_queue_depth_bucket{le=\"1\"} 0"));
+        assert!(text.contains("redundancy_service_queue_depth_bucket{le=\"32\"} 1"));
+        assert!(text.contains("redundancy_service_queue_depth_count 1"));
     }
 
     #[test]

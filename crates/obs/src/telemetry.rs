@@ -48,6 +48,12 @@ pub const NS_BUCKETS: &[u64] = &[
     1_000_000_000,
 ];
 
+/// Fixed upper bucket bounds for *depth* histograms (queue occupancy
+/// sampled at enqueue time): powers of two from 1 to 1024. Same ladder
+/// length as [`NS_BUCKETS`] so every histogram shard stays one fixed-size
+/// array regardless of which ladder a timer uses.
+pub const DEPTH_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024];
+
 /// A monotonic engine counter. Each variant is one metric; see
 /// [`Counter::name`] for the export name and [`Counter::help`] for what
 /// it counts.
@@ -97,11 +103,37 @@ pub enum Counter {
     VariantsSkipped,
     /// Pattern alternatives cooperatively cancelled mid-flight.
     VariantsCancelled,
+    /// Requests that arrived at the service event-loop runtime.
+    ServiceArrivals,
+    /// Requests admitted into execution (arrived − admitted ≈ waiting).
+    ServiceAdmitted,
+    /// Requests shed at admission because the queue was full.
+    ServiceRejected,
+    /// Requests that completed with an acceptable response.
+    ServiceOk,
+    /// Requests that exhausted every attempt and failed.
+    ServiceFailed,
+    /// Requests abandoned because their deadline budget expired.
+    ServiceDeadlineExceeded,
+    /// Requests parked in the bounded backpressure queue.
+    ServiceEnqueued,
+    /// Requests released from the backpressure queue into execution.
+    ServiceDequeued,
+    /// Hedge (duplicate) attempts fired by the hedged policy.
+    ServiceHedgesFired,
+    /// Requests whose winning response came from a hedge attempt.
+    ServiceHedgesWon,
+    /// Outstanding attempts cancelled when a sibling won first.
+    ServiceHedgesCancelled,
+    /// Sequential failover attempts fired after a primary failure.
+    ServiceFailovers,
+    /// Converter operation lookups that fell through unmapped.
+    ServiceConverterPassthrough,
 }
 
 impl Counter {
     /// Every counter, in declaration (= shard index) order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 35] = [
         Counter::TrialsScheduled,
         Counter::TrialsCorrect,
         Counter::TrialsUndetected,
@@ -124,6 +156,19 @@ impl Counter {
         Counter::VariantsExecuted,
         Counter::VariantsSkipped,
         Counter::VariantsCancelled,
+        Counter::ServiceArrivals,
+        Counter::ServiceAdmitted,
+        Counter::ServiceRejected,
+        Counter::ServiceOk,
+        Counter::ServiceFailed,
+        Counter::ServiceDeadlineExceeded,
+        Counter::ServiceEnqueued,
+        Counter::ServiceDequeued,
+        Counter::ServiceHedgesFired,
+        Counter::ServiceHedgesWon,
+        Counter::ServiceHedgesCancelled,
+        Counter::ServiceFailovers,
+        Counter::ServiceConverterPassthrough,
     ];
 
     /// Number of counters (shard array length).
@@ -155,6 +200,19 @@ impl Counter {
             Counter::VariantsExecuted => "variants_executed",
             Counter::VariantsSkipped => "variants_skipped",
             Counter::VariantsCancelled => "variants_cancelled",
+            Counter::ServiceArrivals => "service_arrivals",
+            Counter::ServiceAdmitted => "service_admitted",
+            Counter::ServiceRejected => "service_rejected",
+            Counter::ServiceOk => "service_ok",
+            Counter::ServiceFailed => "service_failed",
+            Counter::ServiceDeadlineExceeded => "service_deadline_exceeded",
+            Counter::ServiceEnqueued => "service_enqueued",
+            Counter::ServiceDequeued => "service_dequeued",
+            Counter::ServiceHedgesFired => "service_hedges_fired",
+            Counter::ServiceHedgesWon => "service_hedges_won",
+            Counter::ServiceHedgesCancelled => "service_hedges_cancelled",
+            Counter::ServiceFailovers => "service_failovers",
+            Counter::ServiceConverterPassthrough => "service_converter_passthrough",
         }
     }
 
@@ -184,6 +242,19 @@ impl Counter {
             Counter::VariantsExecuted => "Pattern alternatives executed",
             Counter::VariantsSkipped => "Pattern alternatives skipped by early exit",
             Counter::VariantsCancelled => "Pattern alternatives cancelled mid-flight",
+            Counter::ServiceArrivals => "Requests arrived at the service runtime",
+            Counter::ServiceAdmitted => "Requests admitted into execution",
+            Counter::ServiceRejected => "Requests shed at admission (queue full)",
+            Counter::ServiceOk => "Requests completed with an acceptable response",
+            Counter::ServiceFailed => "Requests that exhausted every attempt",
+            Counter::ServiceDeadlineExceeded => "Requests abandoned past their deadline budget",
+            Counter::ServiceEnqueued => "Requests parked in the backpressure queue",
+            Counter::ServiceDequeued => "Requests released from the backpressure queue",
+            Counter::ServiceHedgesFired => "Hedge attempts fired by the hedged policy",
+            Counter::ServiceHedgesWon => "Requests won by a hedge attempt",
+            Counter::ServiceHedgesCancelled => "Attempts cancelled after a sibling won",
+            Counter::ServiceFailovers => "Sequential failover attempts fired",
+            Counter::ServiceConverterPassthrough => "Converter operation lookups left unmapped",
         }
     }
 }
@@ -202,16 +273,26 @@ pub enum Timer {
     MergerStallNs,
     /// Duration of one checkpoint batch write+flush (commit lag).
     CheckpointCommitNs,
+    /// Virtual-time end-to-end request latency in the service runtime.
+    ServiceLatencyNs,
+    /// Virtual time requests spent parked in the backpressure queue.
+    ServiceQueueWaitNs,
+    /// Backpressure queue depth sampled at each enqueue
+    /// ([`DEPTH_BUCKETS`] ladder, not nanoseconds).
+    ServiceQueueDepth,
 }
 
 impl Timer {
     /// Every timer, in declaration (= shard index) order.
-    pub const ALL: [Timer; 5] = [
+    pub const ALL: [Timer; 8] = [
         Timer::TrialNs,
         Timer::ChunkClaimNs,
         Timer::ChunkRunNs,
         Timer::MergerStallNs,
         Timer::CheckpointCommitNs,
+        Timer::ServiceLatencyNs,
+        Timer::ServiceQueueWaitNs,
+        Timer::ServiceQueueDepth,
     ];
 
     /// Number of timers (shard array length).
@@ -226,6 +307,22 @@ impl Timer {
             Timer::ChunkRunNs => "chunk_run_ns",
             Timer::MergerStallNs => "merger_stall_ns",
             Timer::CheckpointCommitNs => "checkpoint_commit_ns",
+            Timer::ServiceLatencyNs => "service_latency_ns",
+            Timer::ServiceQueueWaitNs => "service_queue_wait_ns",
+            Timer::ServiceQueueDepth => "service_queue_depth",
+        }
+    }
+
+    /// The bucket ladder this timer's histogram uses. All latency timers
+    /// share [`NS_BUCKETS`]; occupancy gauges like queue depth use
+    /// [`DEPTH_BUCKETS`]. Both ladders have the same length, which is
+    /// what keeps [`TelemetryShard`] a fixed-size array of fixed-size
+    /// histograms.
+    #[must_use]
+    pub fn buckets(self) -> &'static [u64] {
+        match self {
+            Timer::ServiceQueueDepth => DEPTH_BUCKETS,
+            _ => NS_BUCKETS,
         }
     }
 
@@ -238,6 +335,9 @@ impl Timer {
             Timer::ChunkRunNs => "Wall-clock duration of executing one chunk",
             Timer::MergerStallNs => "Time submitters blocked on the merge window",
             Timer::CheckpointCommitNs => "Duration of checkpoint batch commits",
+            Timer::ServiceLatencyNs => "Virtual end-to-end service request latency",
+            Timer::ServiceQueueWaitNs => "Virtual time requests waited in the queue",
+            Timer::ServiceQueueDepth => "Backpressure queue depth at enqueue",
         }
     }
 }
@@ -257,7 +357,12 @@ fn bump(cell: &AtomicU64, delta: u64) {
     );
 }
 
-/// One histogram of relaxed atomics over [`NS_BUCKETS`].
+// Every bucket ladder must fit the fixed-size shard arrays.
+const _: () = assert!(DEPTH_BUCKETS.len() == NS_BUCKETS.len());
+
+/// One histogram of relaxed atomics over an 11-rung bucket ladder (the
+/// ladder itself — [`NS_BUCKETS`] or [`DEPTH_BUCKETS`] — is supplied at
+/// record/aggregate time via [`Timer::buckets`]).
 #[derive(Debug)]
 struct AtomicHistogram {
     buckets: [AtomicU64; NS_BUCKETS.len()],
@@ -279,8 +384,8 @@ impl AtomicHistogram {
     }
 
     #[inline]
-    fn record(&self, value: u64) {
-        let bucket = match NS_BUCKETS.iter().position(|&b| value <= b) {
+    fn record(&self, value: u64, bounds: &[u64]) {
+        let bucket = match bounds.iter().position(|&b| value <= b) {
             Some(i) => &self.buckets[i],
             None => &self.overflow,
         };
@@ -338,10 +443,11 @@ impl TelemetryShard {
         bump(&self.counters[counter as usize], delta);
     }
 
-    /// Records a nanosecond sample into `timer`'s histogram (relaxed).
+    /// Records a sample into `timer`'s histogram (relaxed), bucketed on
+    /// that timer's own ladder ([`Timer::buckets`]).
     #[inline]
     pub fn observe_ns(&self, timer: Timer, ns: u64) {
-        self.timers[timer as usize].record(ns);
+        self.timers[timer as usize].record(ns, timer.buckets());
     }
 
     fn reset(&self) {
@@ -462,7 +568,7 @@ impl Telemetry {
         let timers = Timer::ALL
             .iter()
             .map(|&timer| {
-                let mut bucket_counts = vec![0u64; NS_BUCKETS.len()];
+                let mut bucket_counts = vec![0u64; timer.buckets().len()];
                 let (mut overflow, mut sum) = (0u64, 0u64);
                 let (mut min, mut max) = (u64::MAX, 0u64);
                 for shard in shards.iter() {
@@ -475,7 +581,7 @@ impl Telemetry {
                     min = min.min(hist.min.load(Ordering::Relaxed));
                     max = max.max(hist.max.load(Ordering::Relaxed));
                 }
-                Histogram::from_parts(NS_BUCKETS, bucket_counts, overflow, sum, min, max)
+                Histogram::from_parts(timer.buckets(), bucket_counts, overflow, sum, min, max)
             })
             .collect();
         TelemetrySnapshot { counters, timers }
@@ -525,6 +631,35 @@ impl TelemetrySnapshot {
     pub fn workers_busy(&self) -> u64 {
         self.counter(Counter::ChunksClaimed)
             .saturating_sub(self.counter(Counter::ChunksCompleted))
+    }
+
+    /// Service requests admitted but not yet resolved ≈ requests
+    /// currently in flight inside the event-loop runtime.
+    #[must_use]
+    pub fn service_in_flight(&self) -> u64 {
+        let resolved = self.counter(Counter::ServiceOk)
+            + self.counter(Counter::ServiceFailed)
+            + self.counter(Counter::ServiceDeadlineExceeded);
+        self.counter(Counter::ServiceAdmitted)
+            .saturating_sub(resolved)
+    }
+
+    /// Service requests currently parked in the backpressure queue
+    /// (enqueued − dequeued).
+    #[must_use]
+    pub fn service_queue_depth(&self) -> u64 {
+        self.counter(Counter::ServiceEnqueued)
+            .saturating_sub(self.counter(Counter::ServiceDequeued))
+    }
+
+    /// Service requests that reached a terminal disposition, whatever it
+    /// was (ok, failed, deadline-exceeded, or shed at admission).
+    #[must_use]
+    pub fn service_resolved(&self) -> u64 {
+        self.counter(Counter::ServiceOk)
+            + self.counter(Counter::ServiceFailed)
+            + self.counter(Counter::ServiceDeadlineExceeded)
+            + self.counter(Counter::ServiceRejected)
     }
 
     /// Fraction of pattern alternatives whose full execution early exit
@@ -709,6 +844,47 @@ mod tests {
         if !enabled() {
             assert!(timer_start().is_none());
         }
+    }
+
+    #[test]
+    fn service_gauges_follow_their_counters() {
+        let telemetry = Telemetry::new();
+        let shard = telemetry.register_shard();
+        shard.add(Counter::ServiceArrivals, 20);
+        shard.add(Counter::ServiceAdmitted, 15);
+        shard.add(Counter::ServiceOk, 9);
+        shard.add(Counter::ServiceFailed, 2);
+        shard.add(Counter::ServiceDeadlineExceeded, 1);
+        shard.add(Counter::ServiceRejected, 3);
+        shard.add(Counter::ServiceEnqueued, 8);
+        shard.add(Counter::ServiceDequeued, 6);
+        let snapshot = telemetry.snapshot();
+        assert_eq!(snapshot.service_in_flight(), 3);
+        assert_eq!(snapshot.service_queue_depth(), 2);
+        assert_eq!(snapshot.service_resolved(), 15);
+    }
+
+    #[test]
+    fn queue_depth_samples_land_on_the_depth_ladder() {
+        let telemetry = Telemetry::new();
+        let shard = telemetry.register_shard();
+        // Depth samples are small integers; on NS_BUCKETS all of them
+        // would collapse into the first (≤ 1 µs) rung. The depth ladder
+        // must separate them.
+        for depth in [1u64, 3, 7, 100, 5_000] {
+            shard.observe_ns(Timer::ServiceQueueDepth, depth);
+        }
+        let snapshot = telemetry.snapshot();
+        let hist = snapshot.timer(Timer::ServiceQueueDepth);
+        assert_eq!(hist.bounds(), DEPTH_BUCKETS);
+        assert_eq!(hist.count(), 5);
+        assert_eq!(hist.overflow(), 1); // 5_000 > 1_024
+        assert_eq!(hist.min(), Some(1));
+        assert_eq!(hist.max(), Some(5_000));
+        // Latency timers keep the nanosecond ladder.
+        shard.observe_ns(Timer::ServiceLatencyNs, 2_000);
+        let snapshot = telemetry.snapshot();
+        assert_eq!(snapshot.timer(Timer::ServiceLatencyNs).bounds(), NS_BUCKETS);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Deterministic virtual-time event scheduling.
+//!
+//! The service runtime ([`crate::runtime`]) is a discrete-event
+//! simulator: nothing in it reads a wall clock or sleeps. Time is a
+//! plain `u64` nanosecond counter that jumps from one scheduled event to
+//! the next, so a run over millions of in-flight requests is exactly as
+//! reproducible as a single seeded RNG stream — and runs as fast as the
+//! host can drain the heap, not as slow as the latencies it models.
+//!
+//! [`EventQueue`] is the scheduler's core: a binary min-heap ordered by
+//! `(time, sequence)`. The sequence number is assigned at scheduling
+//! time, which gives **FIFO tie-breaking for simultaneous events** —
+//! without it, heap order among equal timestamps would depend on
+//! insertion history in ways that are easy to perturb and hard to debug.
+//! Determinism here is load-bearing: the per-request ledger the runtime
+//! emits is asserted bit-identical across runs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: fires at `at`, FIFO among equals via `seq`.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // (time, seq) out first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic min-heap of timed events.
+///
+/// Events pop in nondecreasing time order; events scheduled for the
+/// same instant pop in the order they were scheduled. The queue also
+/// tracks the virtual *now* — the timestamp of the last popped event —
+/// and rejects scheduling into the past, which turns subtle causality
+/// bugs into loud panics.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at virtual time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// The virtual time of the most recently popped event.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute virtual time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current virtual time — a scheduled
+    /// past is always a logic error in a discrete-event loop.
+    pub fn schedule(&mut self, at: u64, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled into the past ({at} < now {})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pops the earliest event, advancing virtual time to its timestamp.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "heap yielded an event in the past");
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The timestamp of the next event without popping it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|entry| entry.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(10));
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.now(), 20);
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for label in ["first", "second", "third", "fourth"] {
+            q.schedule(100, label);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "second", "third", "fourth"]);
+    }
+
+    #[test]
+    fn interleaved_schedules_keep_fifo_among_equals() {
+        let mut q = EventQueue::new();
+        q.schedule(50, 1u32);
+        q.schedule(40, 0);
+        assert_eq!(q.pop(), Some((40, 0)));
+        // Scheduled *after* popping to t=40, still ties FIFO at t=50.
+        q.schedule(50, 2);
+        q.schedule(50, 3);
+        assert_eq!(q.pop(), Some((50, 1)));
+        assert_eq!(q.pop(), Some((50, 2)));
+        assert_eq!(q.pop(), Some((50, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(100, ());
+        let _ = q.pop();
+        q.schedule(99, ());
+    }
+}

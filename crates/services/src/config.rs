@@ -1,0 +1,291 @@
+//! Environment knobs for the event-loop runtime.
+//!
+//! The runtime's operational parameters can be overridden without
+//! recompiling, mirroring the `REDUNDANCY_TRIALS` / `REDUNDANCY_JOBS`
+//! convention used by the experiment binaries:
+//!
+//! | variable | meaning | unit |
+//! |---|---|---|
+//! | `REDUNDANCY_HEDGE_DELAY` | hedge delay before a speculative duplicate | virtual µs |
+//! | `REDUNDANCY_DEADLINE_MS` | per-request deadline budget (0 disables) | virtual ms |
+//! | `REDUNDANCY_INFLIGHT` | admission-control concurrency cap | requests |
+//! | `REDUNDANCY_QUEUE` | backpressure queue capacity | requests |
+//!
+//! Each knob follows the warn-once contract established for
+//! `REDUNDANCY_JOBS`: an unset or empty variable is silent, a
+//! well-formed value applies, and a malformed value is *ignored with a
+//! warning naming the variable and the value* — a typo never silently
+//! reconfigures a campaign. Parsing is pure (`parse_*_env`) so every
+//! accept/reject decision is unit-testable without touching the process
+//! environment.
+
+use crate::runtime::{RequestPolicy, RuntimeConfig};
+
+/// Parses a `REDUNDANCY_HEDGE_DELAY` value (virtual microseconds).
+///
+/// `Ok(ns)` for a non-negative integer (converted to ns), `Err(None)`
+/// for empty/unset, `Err(Some(msg))` for a malformed value.
+pub fn parse_hedge_delay_env(value: &str) -> Result<u64, Option<String>> {
+    match value.trim().parse::<u64>() {
+        Ok(us) => Ok(us.saturating_mul(1_000)),
+        _ if value.trim().is_empty() => Err(None),
+        _ => Err(Some(format!(
+            "warning: ignoring REDUNDANCY_HEDGE_DELAY={value:?}: expected virtual \
+             microseconds as a non-negative integer"
+        ))),
+    }
+}
+
+/// Parses a `REDUNDANCY_DEADLINE_MS` value (virtual milliseconds,
+/// `0` = no deadline).
+///
+/// `Ok(ns)`, `Err(None)` for empty/unset, `Err(Some(msg))` otherwise.
+pub fn parse_deadline_env(value: &str) -> Result<u64, Option<String>> {
+    match value.trim().parse::<u64>() {
+        Ok(ms) => Ok(ms.saturating_mul(1_000_000)),
+        _ if value.trim().is_empty() => Err(None),
+        _ => Err(Some(format!(
+            "warning: ignoring REDUNDANCY_DEADLINE_MS={value:?}: expected virtual \
+             milliseconds as a non-negative integer (0 disables deadlines)"
+        ))),
+    }
+}
+
+/// Parses a `REDUNDANCY_INFLIGHT` value (must be ≥ 1: an admission cap
+/// of zero would deadlock the loop).
+///
+/// `Ok(n)`, `Err(None)` for empty/unset, `Err(Some(msg))` otherwise.
+pub fn parse_inflight_env(value: &str) -> Result<usize, Option<String>> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ if value.trim().is_empty() => Err(None),
+        _ => Err(Some(format!(
+            "warning: ignoring REDUNDANCY_INFLIGHT={value:?}: expected a positive integer"
+        ))),
+    }
+}
+
+/// Parses a `REDUNDANCY_QUEUE` value (0 is legal: shed immediately when
+/// the admission cap is reached).
+///
+/// `Ok(n)`, `Err(None)` for empty/unset, `Err(Some(msg))` otherwise.
+pub fn parse_queue_env(value: &str) -> Result<usize, Option<String>> {
+    match value.trim().parse::<usize>() {
+        Ok(n) => Ok(n),
+        _ if value.trim().is_empty() => Err(None),
+        _ => Err(Some(format!(
+            "warning: ignoring REDUNDANCY_QUEUE={value:?}: expected a non-negative integer"
+        ))),
+    }
+}
+
+/// Applies the four knobs to `base` using `lookup` as the environment,
+/// returning the resolved config plus any warnings (the caller prints
+/// them — once — to keep this function pure and testable).
+///
+/// `REDUNDANCY_HEDGE_DELAY` only takes effect when the base policy is
+/// [`RequestPolicy::Hedged`] — there is no delay to override otherwise.
+#[must_use]
+pub fn apply_env(
+    base: RuntimeConfig,
+    lookup: impl Fn(&str) -> Option<String>,
+) -> (RuntimeConfig, Vec<String>) {
+    let mut config = base;
+    let mut warnings = Vec::new();
+    let mut knob = |name: &str, apply: &mut dyn FnMut(&str) -> Option<String>| {
+        if let Some(value) = lookup(name) {
+            if let Some(warning) = apply(&value) {
+                warnings.push(warning);
+            }
+        }
+    };
+    knob(
+        "REDUNDANCY_HEDGE_DELAY",
+        &mut |value| match parse_hedge_delay_env(value) {
+            Ok(ns) => {
+                if let RequestPolicy::Hedged { delay_ns, .. } = &mut config.policy {
+                    *delay_ns = ns;
+                }
+                None
+            }
+            Err(warning) => warning,
+        },
+    );
+    knob(
+        "REDUNDANCY_DEADLINE_MS",
+        &mut |value| match parse_deadline_env(value) {
+            Ok(ns) => {
+                config.deadline_ns = ns;
+                None
+            }
+            Err(warning) => warning,
+        },
+    );
+    knob(
+        "REDUNDANCY_INFLIGHT",
+        &mut |value| match parse_inflight_env(value) {
+            Ok(n) => {
+                config.max_in_flight = n;
+                None
+            }
+            Err(warning) => warning,
+        },
+    );
+    knob(
+        "REDUNDANCY_QUEUE",
+        &mut |value| match parse_queue_env(value) {
+            Ok(n) => {
+                config.queue_capacity = n;
+                None
+            }
+            Err(warning) => warning,
+        },
+    );
+    (config, warnings)
+}
+
+impl RuntimeConfig {
+    /// Resolves this config against the process environment, printing
+    /// each warning (if any) to stderr exactly once.
+    #[must_use]
+    pub fn overridden_from_env(self) -> RuntimeConfig {
+        let (config, warnings) = apply_env(self, |name| std::env::var(name).ok());
+        for warning in warnings {
+            eprintln!("{warning}");
+        }
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_of<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| (*v).to_owned())
+        }
+    }
+
+    #[test]
+    fn hedge_delay_knob_converts_microseconds_and_warns_on_garbage() {
+        assert_eq!(parse_hedge_delay_env("250"), Ok(250_000));
+        assert_eq!(parse_hedge_delay_env("0"), Ok(0));
+        assert_eq!(parse_hedge_delay_env("  "), Err(None));
+        let warning = parse_hedge_delay_env("fast").unwrap_err().unwrap();
+        assert!(warning.contains("REDUNDANCY_HEDGE_DELAY"));
+        assert!(warning.contains("\"fast\""));
+        // Applies only to a hedged policy.
+        let hedged = RuntimeConfig {
+            policy: RequestPolicy::Hedged {
+                delay_ns: 1,
+                max_hedges: 2,
+            },
+            ..RuntimeConfig::default()
+        };
+        let (resolved, warnings) = apply_env(hedged, env_of(&[("REDUNDANCY_HEDGE_DELAY", "250")]));
+        assert!(warnings.is_empty());
+        assert_eq!(
+            resolved.policy,
+            RequestPolicy::Hedged {
+                delay_ns: 250_000,
+                max_hedges: 2
+            }
+        );
+        let single = RuntimeConfig::default();
+        let (resolved, _) = apply_env(single, env_of(&[("REDUNDANCY_HEDGE_DELAY", "250")]));
+        assert_eq!(resolved.policy, RequestPolicy::Single, "no-op for Single");
+    }
+
+    #[test]
+    fn deadline_knob_converts_milliseconds_and_warns_on_garbage() {
+        assert_eq!(parse_deadline_env("20"), Ok(20_000_000));
+        assert_eq!(parse_deadline_env("0"), Ok(0), "0 disables deadlines");
+        assert_eq!(parse_deadline_env(""), Err(None));
+        let warning = parse_deadline_env("-3").unwrap_err().unwrap();
+        assert!(warning.contains("REDUNDANCY_DEADLINE_MS"));
+        assert!(warning.contains("\"-3\""));
+        let (resolved, warnings) = apply_env(
+            RuntimeConfig::default(),
+            env_of(&[("REDUNDANCY_DEADLINE_MS", "20")]),
+        );
+        assert!(warnings.is_empty());
+        assert_eq!(resolved.deadline_ns, 20_000_000);
+    }
+
+    #[test]
+    fn inflight_knob_rejects_zero_with_a_warning() {
+        assert_eq!(parse_inflight_env("512"), Ok(512));
+        assert_eq!(parse_inflight_env(""), Err(None));
+        let warning = parse_inflight_env("0").unwrap_err().unwrap();
+        assert!(warning.contains("REDUNDANCY_INFLIGHT"));
+        let (resolved, warnings) = apply_env(
+            RuntimeConfig::default(),
+            env_of(&[("REDUNDANCY_INFLIGHT", "0")]),
+        );
+        assert_eq!(warnings.len(), 1, "bad value warns instead of applying");
+        assert_eq!(
+            resolved.max_in_flight,
+            RuntimeConfig::default().max_in_flight
+        );
+    }
+
+    #[test]
+    fn queue_knob_accepts_zero_and_warns_on_garbage() {
+        assert_eq!(parse_queue_env("0"), Ok(0), "0 = shed at the admission cap");
+        assert_eq!(parse_queue_env("8192"), Ok(8192));
+        assert_eq!(parse_queue_env(" "), Err(None));
+        let warning = parse_queue_env("lots").unwrap_err().unwrap();
+        assert!(warning.contains("REDUNDANCY_QUEUE"));
+        let (resolved, warnings) = apply_env(
+            RuntimeConfig::default(),
+            env_of(&[("REDUNDANCY_QUEUE", "8192")]),
+        );
+        assert!(warnings.is_empty());
+        assert_eq!(resolved.queue_capacity, 8192);
+    }
+
+    #[test]
+    fn unset_environment_changes_nothing_silently() {
+        let (resolved, warnings) = apply_env(RuntimeConfig::default(), |_| None);
+        assert_eq!(resolved, RuntimeConfig::default());
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn all_knobs_compose_in_one_pass() {
+        let base = RuntimeConfig {
+            policy: RequestPolicy::Hedged {
+                delay_ns: 1_000,
+                max_hedges: 1,
+            },
+            ..RuntimeConfig::default()
+        };
+        let (resolved, warnings) = apply_env(
+            base,
+            env_of(&[
+                ("REDUNDANCY_HEDGE_DELAY", "5"),
+                ("REDUNDANCY_DEADLINE_MS", "100"),
+                ("REDUNDANCY_INFLIGHT", "32"),
+                ("REDUNDANCY_QUEUE", "bogus"),
+            ]),
+        );
+        assert_eq!(warnings.len(), 1, "only the malformed knob warns");
+        assert!(warnings[0].contains("REDUNDANCY_QUEUE"));
+        assert_eq!(
+            resolved,
+            RuntimeConfig {
+                policy: RequestPolicy::Hedged {
+                    delay_ns: 5_000,
+                    max_hedges: 1
+                },
+                deadline_ns: 100_000_000,
+                max_in_flight: 32,
+                queue_capacity: RuntimeConfig::default().queue_capacity,
+            }
+        );
+    }
+}

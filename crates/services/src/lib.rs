@@ -20,17 +20,39 @@
 //!   parallel flow, retry, and scopes with fault handlers;
 //! - [`recovery`] — Baresi/Pernici-style registries of failure-matching
 //!   rules with recovery activities, protecting whole processes.
+//!
+//! On top of the per-call substrate sits the *request-level* runtime:
+//!
+//! - [`clock`] — a deterministic discrete-event queue on a virtual
+//!   nanosecond clock (no wall time, no threads, seeded and
+//!   reproducible);
+//! - [`runtime`] — the event-loop service runtime holding thousands to
+//!   millions of requests in flight, applying the paper's Figure-1
+//!   patterns as request policies: parallel selection as *hedged
+//!   requests* (cancel on first acceptable response) and sequential
+//!   alternatives as *failover with deadline budgets*, behind admission
+//!   control and a bounded backpressure queue;
+//! - [`config`] — `REDUNDANCY_*` environment knobs for the runtime's
+//!   operational parameters, with the warn-once contract.
 
 #![warn(missing_docs)]
 
+pub mod clock;
+pub mod config;
 pub mod process;
 pub mod provider;
 pub mod recovery;
 pub mod registry;
+pub mod runtime;
 pub mod value;
 
+pub use clock::EventQueue;
 pub use process::{Activity, Engine, Expr, ProcessError, Vars};
-pub use provider::{Provider, ServiceError, SimProvider, SimProviderBuilder};
-pub use recovery::{FailureMatch, RecoveredRun, RecoveryRegistry, RecoveryRule};
+pub use provider::{PlannedInvoke, Provider, ServiceError, SimProvider, SimProviderBuilder};
+pub use recovery::{Backoff, FailureMatch, RecoveredRun, RecoveryRegistry, RecoveryRule};
 pub use registry::{Converter, InterfaceId, ServiceRegistry};
+pub use runtime::{
+    PlannedProvider, RequestOutcome, RequestPolicy, RequestRecord, RuntimeConfig, RuntimeReport,
+    ServiceRuntime, Workload,
+};
 pub use value::Value;

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use redundancy_core::context::ExecContext;
 
 use crate::provider::{Provider, ServiceError};
+use crate::recovery::Backoff;
 use crate::registry::{InterfaceId, ServiceRegistry};
 use crate::value::Value;
 
@@ -73,12 +74,15 @@ pub enum Activity {
     /// virtual time is the critical path; variable writes apply in branch
     /// order.
     Flow(Vec<Activity>),
-    /// Retry the inner activity up to `attempts` times on failure.
+    /// Retry the inner activity up to `attempts` times on failure,
+    /// charging `backoff` between attempts as exact virtual time.
     Retry {
         /// The activity to retry.
         inner: Box<Activity>,
         /// Maximum attempts (≥ 1).
         attempts: u32,
+        /// Virtual-time pause schedule between attempts.
+        backoff: Backoff,
     },
     /// Run `inner`; if it fails, run `handler` (fault handler).
     Scope {
@@ -111,6 +115,27 @@ impl Activity {
     #[must_use]
     pub fn seq(activities: Vec<Activity>) -> Activity {
         Activity::Sequence(activities)
+    }
+
+    /// A `Retry` with immediate (no-backoff) reattempts.
+    #[must_use]
+    pub fn retry(inner: Activity, attempts: u32) -> Activity {
+        Activity::Retry {
+            inner: Box::new(inner),
+            attempts,
+            backoff: Backoff::None,
+        }
+    }
+
+    /// A `Retry` pausing on `backoff`'s virtual-time schedule between
+    /// attempts.
+    #[must_use]
+    pub fn retry_with_backoff(inner: Activity, attempts: u32, backoff: Backoff) -> Activity {
+        Activity::Retry {
+            inner: Box::new(inner),
+            attempts,
+            backoff,
+        }
     }
 }
 
@@ -297,10 +322,15 @@ impl<'r> Engine<'r> {
                     None => Ok(()),
                 }
             }
-            Activity::Retry { inner, attempts } => {
+            Activity::Retry {
+                inner,
+                attempts,
+                backoff,
+            } => {
                 let attempts = (*attempts).max(1);
                 let mut last = None;
-                for _ in 0..attempts {
+                for completed in 0..attempts {
+                    ctx.advance_ns(backoff.delay_ns(completed));
                     match self.run(inner, vars, ctx) {
                         Ok(()) => return Ok(()),
                         Err(e) => last = Some(e),
@@ -386,19 +416,51 @@ mod tests {
     fn retry_eventually_succeeds() {
         let reg = flaky_registry(0.6);
         let engine = Engine::new(&reg);
-        let process = Activity::Retry {
-            inner: Box::new(Activity::invoke(
-                "math",
-                "double",
-                vec![Expr::Lit(Value::Int(3))],
-                "y",
-            )),
-            attempts: 50,
-        };
+        let process = Activity::retry(
+            Activity::invoke("math", "double", vec![Expr::Lit(Value::Int(3))], "y"),
+            50,
+        );
         let mut vars = Vars::new();
         let mut ctx = ExecContext::new(2);
         engine.run(&process, &mut vars, &mut ctx).unwrap();
         assert_eq!(vars.get("y"), Some(&Value::Int(6)));
+    }
+
+    #[test]
+    fn retry_backoff_is_charged_as_exact_virtual_time() {
+        // All providers dead: every attempt fails, so the retry walks
+        // its full backoff schedule. With 10 ns per invoke (both
+        // registered providers are tried per attempt under Failover)
+        // the total cost is a closed-form number, not a measurement.
+        let reg = {
+            let mut reg = ServiceRegistry::new();
+            for id in ["d1", "d2"] {
+                reg.register(Arc::new(
+                    SimProvider::builder(id, InterfaceId::new("math"))
+                        .fail_prob(1.0)
+                        .latency(10, 0)
+                        .operation("double", |_, _| Ok(Value::Null))
+                        .build(),
+                ));
+            }
+            reg
+        };
+        let engine = Engine::new(&reg).with_binder(Binder::Failover);
+        let process = Activity::retry_with_backoff(
+            Activity::invoke("math", "double", vec![Expr::Lit(Value::Int(1))], "y"),
+            3,
+            Backoff::Exponential {
+                base_ns: 1_000,
+                factor: 3,
+                cap_ns: 10_000,
+            },
+        );
+        let mut vars = Vars::new();
+        let mut ctx = ExecContext::new(4);
+        assert!(engine.run(&process, &mut vars, &mut ctx).is_err());
+        // 3 attempts x 2 providers x 10 ns, plus pauses 1000 and 3000
+        // before attempts 2 and 3.
+        assert_eq!(ctx.cost().virtual_ns, 3 * 2 * 10 + 1_000 + 3_000);
     }
 
     #[test]

@@ -63,6 +63,24 @@ pub trait Provider: Send + Sync {
 type OpHandler =
     Box<dyn Fn(&[Value], &mut SplitMix64) -> Result<Value, ServiceError> + Send + Sync>;
 
+/// A fully decided invocation: how long it will take (virtual ns) and
+/// what it will return, computed *before* any time passes.
+///
+/// The synchronous [`Provider::invoke`] path charges the latency to its
+/// `ExecContext` immediately; the event-loop runtime instead schedules a
+/// completion event `latency_ns` in the virtual future and keeps
+/// thousands of such planned invokes in flight at once. Both paths draw
+/// from the same RNG stream in the same order, so a provider behaves
+/// identically whichever engine drives it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedInvoke {
+    /// Virtual nanoseconds until the response lands.
+    pub latency_ns: u64,
+    /// The response (wrong *results* are still `Ok` — adjudication is
+    /// upstream's job).
+    pub result: Result<Value, ServiceError>,
+}
+
 /// A simulated provider built from per-operation closures and a
 /// reliability/latency profile.
 ///
@@ -92,6 +110,10 @@ pub struct SimProvider {
     fail_prob: f64,
     latency_work: u64,
     latency_jitter: u64,
+    /// Probability that an invocation hits a latency spike.
+    spike_prob: f64,
+    /// Extra virtual ns a spiked invocation costs.
+    spike_ns: u64,
     /// Invocations served (drives optional wear-out).
     calls: AtomicU64,
     /// Per-call increase in failure probability (service degradation).
@@ -110,6 +132,8 @@ impl SimProvider {
                 fail_prob: 0.0,
                 latency_work: 10,
                 latency_jitter: 0,
+                spike_prob: 0.0,
+                spike_ns: 0,
                 calls: AtomicU64::new(0),
                 wear_out: 0.0,
             },
@@ -126,6 +150,56 @@ impl SimProvider {
     #[must_use]
     pub fn effective_fail_prob(&self) -> f64 {
         (self.fail_prob + self.wear_out * self.calls() as f64).min(1.0)
+    }
+
+    /// Decides one invocation — latency and response — without charging
+    /// any `ExecContext`, drawing all randomness from `rng`.
+    ///
+    /// This is the single source of truth for the provider's behavior:
+    /// [`Provider::invoke`] delegates here and then charges the planned
+    /// latency synchronously, while the event-loop runtime schedules the
+    /// completion in virtual time. The RNG draw order is pinned (jitter
+    /// if configured, spike if configured, failure, handler split) so
+    /// seeded results never drift between the two engines.
+    pub fn plan_invoke(
+        &self,
+        operation: &str,
+        args: &[Value],
+        rng: &mut SplitMix64,
+    ) -> PlannedInvoke {
+        let Some(handler) = self.operations.get(operation) else {
+            // Unknown operations are rejected before any time passes,
+            // any draw happens, or the call counter moves.
+            return PlannedInvoke {
+                latency_ns: 0,
+                result: Err(ServiceError::NoSuchOperation(operation.to_owned())),
+            };
+        };
+        let fail_prob = self.effective_fail_prob();
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        // Latency: base work plus jitter plus the occasional spike.
+        let jitter = if self.latency_jitter > 0 {
+            rng.range_u64(0, self.latency_jitter + 1)
+        } else {
+            0
+        };
+        let spike = if self.spike_prob > 0.0 && rng.chance(self.spike_prob) {
+            self.spike_ns
+        } else {
+            0
+        };
+        let latency_ns = self.latency_work + jitter + spike;
+        if rng.chance(fail_prob) {
+            return PlannedInvoke {
+                latency_ns,
+                result: Err(ServiceError::Unavailable),
+            };
+        }
+        let mut handler_rng = rng.split();
+        PlannedInvoke {
+            latency_ns,
+            result: handler(args, &mut handler_rng),
+        }
     }
 }
 
@@ -144,24 +218,9 @@ impl Provider for SimProvider {
         args: &[Value],
         ctx: &mut ExecContext,
     ) -> Result<Value, ServiceError> {
-        let handler = self
-            .operations
-            .get(operation)
-            .ok_or_else(|| ServiceError::NoSuchOperation(operation.to_owned()))?;
-        let fail_prob = self.effective_fail_prob();
-        self.calls.fetch_add(1, Ordering::Relaxed);
-        // Latency: base work plus jitter.
-        let jitter = if self.latency_jitter > 0 {
-            ctx.rng().range_u64(0, self.latency_jitter + 1)
-        } else {
-            0
-        };
-        ctx.advance_ns(self.latency_work + jitter);
-        if ctx.rng().chance(fail_prob) {
-            return Err(ServiceError::Unavailable);
-        }
-        let mut rng = ctx.rng().split();
-        handler(args, &mut rng)
+        let planned = self.plan_invoke(operation, args, ctx.rng());
+        ctx.advance_ns(planned.latency_ns);
+        planned.result
     }
 }
 
@@ -198,6 +257,20 @@ impl SimProviderBuilder {
     pub fn latency(mut self, base: u64, jitter: u64) -> Self {
         self.inner.latency_work = base;
         self.inner.latency_jitter = jitter;
+        self
+    }
+
+    /// Makes a fraction `prob` of invocations cost `extra_ns` more —
+    /// the heavy-tailed latency profile hedged requests exist to beat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]`.
+    #[must_use]
+    pub fn latency_spike(mut self, prob: f64, extra_ns: u64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability must be in [0, 1]");
+        self.inner.spike_prob = prob;
+        self.inner.spike_ns = extra_ns;
         self
     }
 
@@ -304,5 +377,72 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn invalid_fail_prob_panics() {
         let _ = SimProvider::builder("x", InterfaceId::new("i")).fail_prob(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_spike_prob_panics() {
+        let _ = SimProvider::builder("x", InterfaceId::new("i")).latency_spike(-0.1, 10);
+    }
+
+    #[test]
+    fn latency_spikes_fatten_the_tail() {
+        let p = SimProvider::builder("spiky", InterfaceId::new("x"))
+            .latency(100, 0)
+            .latency_spike(0.1, 10_000)
+            .operation("op", |_, _| Ok(Value::Null))
+            .build();
+        let mut rng = SplitMix64::new(7);
+        let mut spiked = 0usize;
+        for _ in 0..10_000 {
+            let planned = p.plan_invoke("op", &[], &mut rng);
+            assert!(planned.latency_ns == 100 || planned.latency_ns == 10_100);
+            if planned.latency_ns > 100 {
+                spiked += 1;
+            }
+        }
+        let rate = spiked as f64 / 10_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "observed spike rate {rate}");
+    }
+
+    #[test]
+    fn plan_and_invoke_agree_on_the_same_stream() {
+        // The synchronous path must be plan + charge, nothing more: the
+        // same seed gives the same responses and total virtual time.
+        let build = || {
+            SimProvider::builder("twin", InterfaceId::new("x"))
+                .fail_prob(0.3)
+                .latency(200, 50)
+                .operation("op", |_, rng| Ok(Value::Int(rng.range_u64(0, 100) as i64)))
+                .build()
+        };
+        // ExecContext::new(seed) seeds SplitMix64::new(seed), so a bare
+        // rng and a context starting from the same seed share a stream:
+        // plan through one, invoke through the other, compare exactly.
+        let (planner, invoker) = (build(), build());
+        let mut plan_rng = SplitMix64::new(9);
+        let mut ctx = ExecContext::new(9);
+        let mut total_ns = 0u64;
+        for _ in 0..500 {
+            let planned = planner.plan_invoke("op", &[], &mut plan_rng);
+            let direct = invoker.invoke("op", &[], &mut ctx);
+            assert_eq!(planned.result, direct);
+            total_ns += planned.latency_ns;
+        }
+        assert_eq!(ctx.cost().virtual_ns, total_ns);
+        assert_eq!(planner.calls(), invoker.calls());
+    }
+
+    #[test]
+    fn unknown_operation_plans_without_cost_or_call_count() {
+        let p = adder("a1", 0.0);
+        let mut rng = SplitMix64::new(1);
+        let planned = p.plan_invoke("mul", &[], &mut rng);
+        assert_eq!(planned.latency_ns, 0);
+        assert_eq!(
+            planned.result,
+            Err(ServiceError::NoSuchOperation("mul".into()))
+        );
+        assert_eq!(p.calls(), 0);
     }
 }

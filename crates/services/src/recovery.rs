@@ -13,6 +13,55 @@ use crate::process::{Activity, Engine, ProcessError, Vars};
 use crate::provider::ServiceError;
 use crate::registry::InterfaceId;
 
+/// A virtual-time delay schedule between retry attempts.
+///
+/// Backoff in this codebase never sleeps: delays are *charged* — either
+/// to an `ExecContext` (`advance_ns`) on the synchronous engine path, or
+/// scheduled as a future event by the event-loop runtime. Either way the
+/// schedule is exact and deterministic: `delay_ns(k)` is the pause
+/// before attempt `k + 1` (so `delay_ns(0)` is never charged — the
+/// first attempt starts immediately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backoff {
+    /// Retry immediately.
+    None,
+    /// The same pause before every retry.
+    Fixed(u64),
+    /// `base_ns * factor^(k-1)`, capped at `cap_ns`.
+    Exponential {
+        /// Pause before the first retry.
+        base_ns: u64,
+        /// Multiplier applied per further retry.
+        factor: u64,
+        /// Upper bound on any single pause.
+        cap_ns: u64,
+    },
+}
+
+impl Backoff {
+    /// The virtual-ns pause after `completed` failed attempts (0 for
+    /// `completed == 0`: nothing precedes the first attempt).
+    #[must_use]
+    pub fn delay_ns(&self, completed: u32) -> u64 {
+        if completed == 0 {
+            return 0;
+        }
+        match *self {
+            Backoff::None => 0,
+            Backoff::Fixed(ns) => ns,
+            Backoff::Exponential {
+                base_ns,
+                factor,
+                cap_ns,
+            } => {
+                let exponent = completed - 1;
+                let mult = factor.saturating_pow(exponent);
+                base_ns.saturating_mul(mult).min(cap_ns)
+            }
+        }
+    }
+}
+
 /// What kind of process failure a recovery rule matches.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FailureMatch {
@@ -60,23 +109,37 @@ impl FailureMatch {
     }
 }
 
-/// A recovery rule: a failure matcher plus the recovery activity to run.
+/// A recovery rule: a failure matcher plus the recovery activity to run,
+/// optionally retried on a [`Backoff`] schedule.
 #[derive(Debug, Clone)]
 pub struct RecoveryRule {
     name: String,
     matcher: FailureMatch,
     recovery: Activity,
+    attempts: u32,
+    backoff: Backoff,
 }
 
 impl RecoveryRule {
-    /// Creates a rule.
+    /// Creates a rule whose recovery runs once, with no retry.
     #[must_use]
     pub fn new(name: impl Into<String>, matcher: FailureMatch, recovery: Activity) -> Self {
         Self {
             name: name.into(),
             matcher,
             recovery,
+            attempts: 1,
+            backoff: Backoff::None,
         }
+    }
+
+    /// Retries the recovery up to `attempts` times, charging `backoff`
+    /// between attempts as exact virtual time.
+    #[must_use]
+    pub fn with_retry(mut self, attempts: u32, backoff: Backoff) -> Self {
+        self.attempts = attempts.max(1);
+        self.backoff = backoff;
+        self
     }
 
     /// The rule's name.
@@ -161,15 +224,22 @@ impl RecoveryRegistry {
             Err(failure) => {
                 for rule in &self.rules {
                     if rule.matcher.matches(&failure) {
-                        return match engine.run(&rule.recovery, vars, ctx) {
-                            Ok(()) => RecoveredRun::Recovered {
-                                rule: rule.name.clone(),
-                                failure,
-                            },
-                            Err(recovery_failure) => RecoveredRun::Unrecovered {
-                                failure,
-                                recovery_failure: Some(recovery_failure),
-                            },
+                        let mut last = None;
+                        for completed in 0..rule.attempts {
+                            ctx.advance_ns(rule.backoff.delay_ns(completed));
+                            match engine.run(&rule.recovery, vars, ctx) {
+                                Ok(()) => {
+                                    return RecoveredRun::Recovered {
+                                        rule: rule.name.clone(),
+                                        failure,
+                                    }
+                                }
+                                Err(recovery_failure) => last = Some(recovery_failure),
+                            }
+                        }
+                        return RecoveredRun::Unrecovered {
+                            failure,
+                            recovery_failure: last,
                         };
                     }
                 }
@@ -324,6 +394,118 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn backoff_schedules_are_virtual_time_exact() {
+        // delay_ns(0) is always 0: nothing precedes the first attempt.
+        for backoff in [
+            Backoff::None,
+            Backoff::Fixed(500),
+            Backoff::Exponential {
+                base_ns: 100,
+                factor: 2,
+                cap_ns: 1_000,
+            },
+        ] {
+            assert_eq!(backoff.delay_ns(0), 0, "{backoff:?}");
+        }
+        assert_eq!(Backoff::None.delay_ns(3), 0);
+        assert_eq!(Backoff::Fixed(500).delay_ns(1), 500);
+        assert_eq!(Backoff::Fixed(500).delay_ns(7), 500);
+        let exp = Backoff::Exponential {
+            base_ns: 100,
+            factor: 2,
+            cap_ns: 1_000,
+        };
+        assert_eq!(exp.delay_ns(1), 100);
+        assert_eq!(exp.delay_ns(2), 200);
+        assert_eq!(exp.delay_ns(3), 400);
+        assert_eq!(exp.delay_ns(4), 800);
+        assert_eq!(exp.delay_ns(5), 1_000, "capped");
+        assert_eq!(exp.delay_ns(40), 1_000, "still capped");
+        // Saturating, never panicking, even at absurd exponents.
+        let huge = Backoff::Exponential {
+            base_ns: u64::MAX / 2,
+            factor: u64::MAX,
+            cap_ns: u64::MAX,
+        };
+        assert_eq!(huge.delay_ns(u32::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn retried_recovery_charges_the_exact_backoff_schedule() {
+        // Recovery targets a dead service: every attempt fails, so the
+        // rule walks its whole schedule. Virtual time must advance by
+        // exactly sum(delays) + attempts * invoke_latency — no sleeps,
+        // no slack.
+        let mut reg = ServiceRegistry::new();
+        reg.register(Arc::new(
+            SimProvider::builder("dead", InterfaceId::new("payments"))
+                .fail_prob(1.0)
+                .latency(10, 0)
+                .operation("charge", |_, _| Ok(Value::Null))
+                .build(),
+        ));
+        let engine = Engine::new(&reg);
+        let registry = RecoveryRegistry::new().with_rule(
+            RecoveryRule::new("retry-hard", FailureMatch::Any, charge_activity()).with_retry(
+                4,
+                Backoff::Exponential {
+                    base_ns: 1_000,
+                    factor: 2,
+                    cap_ns: 3_000,
+                },
+            ),
+        );
+        let mut vars = Vars::new();
+        let mut ctx = ExecContext::new(6);
+        let run = registry.run_protected(&engine, &charge_activity(), &mut vars, &mut ctx);
+        assert!(matches!(
+            run,
+            RecoveredRun::Unrecovered {
+                recovery_failure: Some(_),
+                ..
+            }
+        ));
+        // 1 original + 4 recovery attempts, 10 ns each, plus backoff
+        // pauses 1000 + 2000 + 3000(capped) before attempts 2..4.
+        assert_eq!(ctx.cost().virtual_ns, 5 * 10 + 1_000 + 2_000 + 3_000);
+    }
+
+    #[test]
+    fn retried_recovery_succeeds_once_the_service_comes_back() {
+        // fail_prob 0.55: the first recovery attempt may fail, later
+        // ones eventually succeed — the retried rule must report
+        // Recovered, not Unrecovered, and stop retrying once clean.
+        let mut reg = ServiceRegistry::new();
+        reg.register(Arc::new(
+            SimProvider::builder("pay.live", InterfaceId::new("payments"))
+                .fail_prob(1.0)
+                .operation("charge", |_, _| Ok(Value::Null))
+                .build(),
+        ));
+        reg.register(Arc::new(
+            SimProvider::builder("flaky-queue", InterfaceId::new("deferred"))
+                .fail_prob(0.55)
+                .operation("enqueue", |args, _| {
+                    Ok(Value::Str(format!("queued:{}", args[0])))
+                })
+                .build(),
+        ));
+        let engine = Engine::new(&reg);
+        let registry = RecoveryRegistry::new().with_rule(
+            RecoveryRule::new("defer", FailureMatch::Any, defer_activity())
+                .with_retry(50, Backoff::Fixed(100)),
+        );
+        let mut vars = Vars::new();
+        let mut ctx = ExecContext::new(11);
+        let run = registry.run_protected(&engine, &charge_activity(), &mut vars, &mut ctx);
+        match run {
+            RecoveredRun::Recovered { ref rule, .. } => assert_eq!(rule, "defer"),
+            other => panic!("expected recovery, got {other:?}"),
+        }
+        assert_eq!(vars["ticket"], Value::Str("queued:42".into()));
     }
 
     #[test]

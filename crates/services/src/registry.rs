@@ -105,9 +105,33 @@ impl Converter {
     }
 
     /// Translates an operation name.
+    ///
+    /// Names missing from the operation map pass through unchanged —
+    /// the permissive behavior substitution needs for interfaces that
+    /// mostly agree — but no longer silently: each pass-through bumps
+    /// the `service_converter_passthrough` telemetry counter, so a
+    /// converter quietly forwarding unmapped operations shows up in the
+    /// flight recorder instead of masking a missing mapping. Use
+    /// [`Converter::resolve_operation`] to branch on it directly.
     #[must_use]
     pub fn operation<'a>(&'a self, op: &'a str) -> &'a str {
-        self.op_map.get(op).map_or(op, String::as_str)
+        self.resolve_operation(op).0
+    }
+
+    /// Translates an operation name, reporting whether a mapping was
+    /// actually found (`false` = unmapped pass-through).
+    #[must_use]
+    pub fn resolve_operation<'a>(&'a self, op: &'a str) -> (&'a str, bool) {
+        match self.op_map.get(op) {
+            Some(mapped) => (mapped.as_str(), true),
+            None => {
+                redundancy_core::obs::telemetry::add(
+                    redundancy_core::obs::telemetry::Counter::ServiceConverterPassthrough,
+                    1,
+                );
+                (op, false)
+            }
+        }
     }
 
     /// Translates arguments.
@@ -266,6 +290,32 @@ mod tests {
         assert_eq!(similar[0].0.id(), "m1");
         assert_eq!(similar[0].1.operation("forecast"), "prevision");
         assert_eq!(similar[0].1.operation("other"), "other");
+    }
+
+    #[test]
+    fn unmapped_operations_pass_through_observably() {
+        let conv = Converter::new(InterfaceId::new("weather"), InterfaceId::new("meteo"))
+            .map_operation("forecast", "prevision");
+        assert_eq!(conv.resolve_operation("forecast"), ("prevision", true));
+        assert_eq!(conv.resolve_operation("humidity"), ("humidity", false));
+        // The global-telemetry counter only moves when the recorder is
+        // on; what must hold always is the mapped/unmapped signal.
+        use redundancy_core::obs::telemetry::{Counter, Telemetry};
+        let global = Telemetry::global();
+        let was_enabled = global.is_enabled();
+        global.set_enabled(true);
+        let before = global
+            .snapshot()
+            .counter(Counter::ServiceConverterPassthrough);
+        assert_eq!(conv.operation("humidity"), "humidity");
+        assert_eq!(conv.operation("forecast"), "prevision");
+        let after = global
+            .snapshot()
+            .counter(Counter::ServiceConverterPassthrough);
+        global.set_enabled(was_enabled);
+        // ≥ rather than ==: the registry is process-global and sibling
+        // tests may translate operations while the recorder is on.
+        assert!(after - before >= 1, "unmapped lookup was recorded");
     }
 
     #[test]

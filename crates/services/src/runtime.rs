@@ -1,0 +1,1007 @@
+//! The deterministic event-loop service runtime.
+//!
+//! [`Engine::run`](crate::process::Engine) executes one synchronous
+//! request at a time; this module is its scaled counterpart: a
+//! discrete-event loop (no wall clock, no threads, no tokio — one
+//! seeded RNG stream and an [`EventQueue`]) that keeps thousands to
+//! millions of requests in flight at once and resolves each under a
+//! *request-level redundancy policy*. The paper's Figure-1 patterns map
+//! directly:
+//!
+//! - **parallel selection** → [`RequestPolicy::Hedged`]: duplicate the
+//!   request to another provider after a hedge delay (or immediately on
+//!   failure), first acceptable response wins, outstanding attempts are
+//!   cancelled;
+//! - **sequential alternatives** → [`RequestPolicy::Failover`]: try
+//!   providers one after another on a [`Backoff`] schedule, inside a
+//!   per-request deadline budget;
+//! - plus the operational guards redundancy needs under load:
+//!   **admission control** (a bounded number of requests executes
+//!   concurrently), a **bounded backpressure queue** in front of it,
+//!   and **load shedding** once that queue is full.
+//!
+//! Every seam reports into `obs::telemetry` (arrivals, admissions,
+//! hedges fired/won/cancelled, failovers, queue depth and latency
+//! histograms), so the PR-6 flight recorder and Prometheus export cover
+//! this runtime exactly as they cover the Monte-Carlo engine. The
+//! per-request [`RequestRecord`] ledger is bit-identical for a given
+//! seed — the determinism tests hash it.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use redundancy_core::obs::telemetry::{self, Counter, Timer};
+use redundancy_core::rng::SplitMix64;
+
+use crate::clock::EventQueue;
+use crate::provider::{PlannedInvoke, Provider, SimProvider};
+use crate::recovery::Backoff;
+use crate::value::Value;
+
+/// A provider the event loop can drive: decides an invocation's latency
+/// and response up front ([`PlannedInvoke`]) so the loop can schedule
+/// the completion in virtual time instead of blocking on it.
+pub trait PlannedProvider: Send + Sync {
+    /// Unique provider id.
+    fn id(&self) -> &str;
+
+    /// Decides one invocation without any time passing.
+    fn plan(&self, operation: &str, args: &[Value], rng: &mut SplitMix64) -> PlannedInvoke;
+}
+
+impl PlannedProvider for SimProvider {
+    fn id(&self) -> &str {
+        Provider::id(self)
+    }
+
+    fn plan(&self, operation: &str, args: &[Value], rng: &mut SplitMix64) -> PlannedInvoke {
+        self.plan_invoke(operation, args, rng)
+    }
+}
+
+/// How the runtime spends redundancy on each request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestPolicy {
+    /// One attempt on one provider; its failure is the request's.
+    Single,
+    /// Figure-1 parallel selection at request granularity: after
+    /// `delay_ns` without a response (or immediately when an attempt
+    /// fails), duplicate the request to the next provider, up to
+    /// `max_hedges` extras. First acceptable response wins; attempts
+    /// still in flight are cancelled.
+    Hedged {
+        /// Virtual ns to wait before each speculative duplicate.
+        delay_ns: u64,
+        /// Maximum hedge attempts on top of the primary.
+        max_hedges: u32,
+    },
+    /// Figure-1 sequential alternatives: on failure, try the next
+    /// provider after a backoff pause, up to `max_attempts` total,
+    /// all inside the request's deadline budget.
+    Failover {
+        /// Total attempts allowed (primary included, ≥ 1).
+        max_attempts: u32,
+        /// Virtual-time pause schedule between attempts.
+        backoff: Backoff,
+    },
+}
+
+/// Event-loop limits and policy for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// The redundancy policy applied to every request.
+    pub policy: RequestPolicy,
+    /// Per-request budget in virtual ns, counted from *arrival* (so it
+    /// covers queueing). `0` disables deadlines.
+    pub deadline_ns: u64,
+    /// Admission control: requests executing concurrently (≥ 1).
+    pub max_in_flight: usize,
+    /// Bounded backpressure queue in front of admission; arrivals
+    /// beyond `max_in_flight + queue_capacity` are shed.
+    pub queue_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            policy: RequestPolicy::Single,
+            deadline_ns: 0,
+            max_in_flight: 1_024,
+            queue_capacity: 4_096,
+        }
+    }
+}
+
+/// An open-loop request stream: `requests` arrivals with exponential
+/// interarrival gaps around `mean_interarrival_ns`, every request
+/// invoking the same operation with the same arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Total requests to generate.
+    pub requests: u64,
+    /// Mean virtual-ns gap between consecutive arrivals.
+    pub mean_interarrival_ns: u64,
+    /// Operation invoked by every request.
+    pub operation: String,
+    /// Arguments passed to every request.
+    pub args: Vec<Value>,
+}
+
+/// How one request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestOutcome {
+    /// An attempt returned an acceptable response.
+    Ok {
+        /// Which attempt won (0 = primary, ≥ 1 = hedge/failover).
+        attempt: u32,
+        /// Index of the winning provider in the runtime's provider list.
+        provider: u32,
+    },
+    /// Every allowed attempt failed.
+    Failed,
+    /// The deadline budget expired first.
+    DeadlineExceeded,
+    /// Shed at admission: the backpressure queue was full.
+    Rejected,
+}
+
+/// One line of the per-request ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestRecord {
+    /// Request id (= arrival order).
+    pub id: u64,
+    /// Virtual arrival time.
+    pub arrival_ns: u64,
+    /// When execution started (`None`: never admitted).
+    pub start_ns: Option<u64>,
+    /// When the request resolved.
+    pub end_ns: u64,
+    /// Attempts dispatched.
+    pub attempts: u32,
+    /// Terminal disposition.
+    pub outcome: RequestOutcome,
+}
+
+impl RequestRecord {
+    /// End-to-end virtual latency (queueing included).
+    #[must_use]
+    pub fn latency_ns(&self) -> u64 {
+        self.end_ns - self.arrival_ns
+    }
+}
+
+/// Everything one run produced: the full ledger plus aggregate counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeReport {
+    /// Per-request records in resolution order (deterministic per seed).
+    pub ledger: Vec<RequestRecord>,
+    /// Virtual time of the last event.
+    pub makespan_ns: u64,
+    /// Requests resolved acceptably.
+    pub ok: u64,
+    /// Requests that exhausted every attempt.
+    pub failed: u64,
+    /// Requests shed at admission.
+    pub rejected: u64,
+    /// Requests that outlived their deadline budget.
+    pub deadline_exceeded: u64,
+    /// Hedge attempts dispatched.
+    pub hedges_fired: u64,
+    /// Requests won by a hedge attempt.
+    pub hedges_won: u64,
+    /// In-flight attempts cancelled after a sibling resolved first.
+    pub hedges_cancelled: u64,
+    /// Failover attempts dispatched.
+    pub failovers: u64,
+    /// Most requests ever executing at once.
+    pub peak_in_flight: usize,
+    /// Deepest the backpressure queue ever got.
+    pub peak_queue_depth: usize,
+}
+
+impl RuntimeReport {
+    /// Sustained throughput in requests per *virtual* second.
+    #[must_use]
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.ledger.len() as f64 / (self.makespan_ns as f64 / 1e9)
+        }
+    }
+
+    /// Exact (nearest-rank over the full ledger, no sketch) latency
+    /// quantile of the *successful* requests, in virtual ns.
+    #[must_use]
+    pub fn latency_quantile(&self, q: f64) -> Option<u64> {
+        let mut latencies: Vec<u64> = self
+            .ledger
+            .iter()
+            .filter(|r| matches!(r.outcome, RequestOutcome::Ok { .. }))
+            .map(RequestRecord::latency_ns)
+            .collect();
+        if latencies.is_empty() {
+            return None;
+        }
+        latencies.sort_unstable();
+        let rank = ((q.clamp(0.0, 1.0) * latencies.len() as f64).ceil() as usize)
+            .clamp(1, latencies.len());
+        Some(latencies[rank - 1])
+    }
+
+    /// FNV-1a hash over every ledger field — the bit-identity fingerprint
+    /// the determinism tests compare across runs.
+    #[must_use]
+    pub fn ledger_digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+        let mut eat = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for record in &self.ledger {
+            eat(record.id);
+            eat(record.arrival_ns);
+            eat(record.start_ns.map_or(u64::MAX, |s| s));
+            eat(record.end_ns);
+            eat(u64::from(record.attempts));
+            let (kind, a, p) = match record.outcome {
+                RequestOutcome::Ok { attempt, provider } => {
+                    (0u64, u64::from(attempt), u64::from(provider))
+                }
+                RequestOutcome::Failed => (1, 0, 0),
+                RequestOutcome::DeadlineExceeded => (2, 0, 0),
+                RequestOutcome::Rejected => (3, 0, 0),
+            };
+            eat(kind);
+            eat(a);
+            eat(p);
+        }
+        eat(self.makespan_ns);
+        hash
+    }
+}
+
+/// The events the loop schedules. Stale events (for already-resolved
+/// requests) are cancelled lazily: they pop, find no live state, and
+/// are dropped — cheaper and simpler than heap surgery.
+#[derive(Debug)]
+enum Event {
+    /// Request `req` arrives at the front door.
+    Arrival { req: u64 },
+    /// An attempt's planned response lands.
+    AttemptDone {
+        req: u64,
+        attempt: u32,
+        provider: u32,
+        ok: bool,
+    },
+    /// The hedge delay elapsed with no response yet.
+    HedgeTimer { req: u64 },
+    /// A failover backoff pause ended.
+    RetryTimer { req: u64 },
+    /// The request's deadline budget ran out.
+    Deadline { req: u64 },
+}
+
+/// Live per-request state (dropped at resolution).
+struct ReqState {
+    arrival_ns: u64,
+    start_ns: Option<u64>,
+    attempts_started: u32,
+    outstanding: u32,
+    next_provider: usize,
+    rng: SplitMix64,
+}
+
+/// The event-loop runtime: a provider pool plus a policy/limits config.
+pub struct ServiceRuntime {
+    providers: Vec<Arc<dyn PlannedProvider>>,
+    config: RuntimeConfig,
+}
+
+impl ServiceRuntime {
+    /// Creates a runtime over `providers` (tried round-robin, offset by
+    /// request id so load spreads even under `Single`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `providers` is empty or `max_in_flight` is zero.
+    #[must_use]
+    pub fn new(providers: Vec<Arc<dyn PlannedProvider>>, config: RuntimeConfig) -> Self {
+        assert!(!providers.is_empty(), "runtime needs at least one provider");
+        assert!(config.max_in_flight > 0, "max_in_flight must be ≥ 1");
+        ServiceRuntime { providers, config }
+    }
+
+    /// The configured limits and policy.
+    #[must_use]
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Drives `workload` to completion and returns the full report.
+    /// Deterministic: the same `(workload, seed, config)` produces a
+    /// bit-identical ledger, independent of host, wall-clock, or how
+    /// many other runtimes run concurrently.
+    #[must_use]
+    pub fn run(&self, workload: &Workload, seed: u64) -> RuntimeReport {
+        let mut sim = Sim {
+            providers: &self.providers,
+            config: &self.config,
+            workload,
+            seed,
+            events: EventQueue::new(),
+            states: HashMap::new(),
+            waiting: VecDeque::new(),
+            in_flight: 0,
+            arrival_rng: SplitMix64::new(seed ^ 0xa55e_55ed_ca11_ab1e),
+            report: RuntimeReport {
+                ledger: Vec::with_capacity(usize::try_from(workload.requests).unwrap_or(0)),
+                makespan_ns: 0,
+                ok: 0,
+                failed: 0,
+                rejected: 0,
+                deadline_exceeded: 0,
+                hedges_fired: 0,
+                hedges_won: 0,
+                hedges_cancelled: 0,
+                failovers: 0,
+                peak_in_flight: 0,
+                peak_queue_depth: 0,
+            },
+        };
+        if workload.requests > 0 {
+            sim.events.schedule(0, Event::Arrival { req: 0 });
+        }
+        while let Some((now, event)) = sim.events.pop() {
+            sim.handle(now, event);
+        }
+        sim.report.makespan_ns = sim.events.now();
+        debug_assert!(sim.states.is_empty(), "every request must resolve");
+        sim.report
+    }
+}
+
+/// One run's whole mutable state; methods are the event handlers.
+struct Sim<'a> {
+    providers: &'a [Arc<dyn PlannedProvider>],
+    config: &'a RuntimeConfig,
+    workload: &'a Workload,
+    seed: u64,
+    events: EventQueue<Event>,
+    states: HashMap<u64, ReqState>,
+    waiting: VecDeque<u64>,
+    in_flight: usize,
+    arrival_rng: SplitMix64,
+    report: RuntimeReport,
+}
+
+impl Sim<'_> {
+    /// Exponential interarrival gap (open-loop Poisson arrivals).
+    fn next_interarrival(&mut self) -> u64 {
+        #[allow(clippy::cast_precision_loss)]
+        let mean = self.workload.mean_interarrival_ns.max(1) as f64;
+        let u = self.arrival_rng.next_f64();
+        // u ∈ [0, 1): 1-u ∈ (0, 1], ln ≤ 0, gap ≥ 0.
+        let gap = -mean * (1.0 - u).ln();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            gap as u64
+        }
+    }
+
+    /// Per-request RNG, derived from the run seed and the request id
+    /// alone — independent of event interleaving by construction.
+    fn request_rng(&self, req: u64) -> SplitMix64 {
+        SplitMix64::new(self.seed ^ req.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn handle(&mut self, now: u64, event: Event) {
+        match event {
+            Event::Arrival { req } => self.on_arrival(now, req),
+            Event::AttemptDone {
+                req,
+                attempt,
+                provider,
+                ok,
+            } => self.on_attempt_done(now, req, attempt, provider, ok),
+            Event::HedgeTimer { req } => self.on_hedge_timer(now, req),
+            Event::RetryTimer { req } => self.on_retry_timer(now, req),
+            Event::Deadline { req } => self.on_deadline(now, req),
+        }
+    }
+
+    fn on_arrival(&mut self, now: u64, req: u64) {
+        telemetry::add(Counter::ServiceArrivals, 1);
+        if req + 1 < self.workload.requests {
+            let gap = self.next_interarrival();
+            self.events
+                .schedule(now + gap, Event::Arrival { req: req + 1 });
+        }
+        if self.in_flight >= self.config.max_in_flight
+            && self.waiting.len() >= self.config.queue_capacity
+        {
+            // Load shedding: full queue, reject at the front door.
+            telemetry::add(Counter::ServiceRejected, 1);
+            self.report.rejected += 1;
+            self.report.ledger.push(RequestRecord {
+                id: req,
+                arrival_ns: now,
+                start_ns: None,
+                end_ns: now,
+                attempts: 0,
+                outcome: RequestOutcome::Rejected,
+            });
+            return;
+        }
+        self.states.insert(
+            req,
+            ReqState {
+                arrival_ns: now,
+                start_ns: None,
+                attempts_started: 0,
+                outstanding: 0,
+                next_provider: usize::try_from(req % self.providers.len() as u64)
+                    .unwrap_or_default(),
+                rng: self.request_rng(req),
+            },
+        );
+        // The deadline budget starts at arrival, so queue time counts
+        // against it: a request that waited has less execution runway
+        // left once admitted.
+        if self.config.deadline_ns > 0 {
+            self.events.schedule(
+                now.saturating_add(self.config.deadline_ns),
+                Event::Deadline { req },
+            );
+        }
+        if self.in_flight < self.config.max_in_flight {
+            self.start_execution(now, req);
+        } else {
+            self.waiting.push_back(req);
+            telemetry::add(Counter::ServiceEnqueued, 1);
+            telemetry::observe_ns(Timer::ServiceQueueDepth, self.waiting.len() as u64);
+            self.report.peak_queue_depth = self.report.peak_queue_depth.max(self.waiting.len());
+        }
+    }
+
+    fn start_execution(&mut self, now: u64, req: u64) {
+        telemetry::add(Counter::ServiceAdmitted, 1);
+        self.in_flight += 1;
+        self.report.peak_in_flight = self.report.peak_in_flight.max(self.in_flight);
+        let state = self.states.get_mut(&req).expect("starting a live request");
+        state.start_ns = Some(now);
+        self.dispatch_attempt(now, req);
+        if let RequestPolicy::Hedged {
+            delay_ns,
+            max_hedges,
+        } = self.config.policy
+        {
+            if max_hedges > 0 {
+                self.events
+                    .schedule(now.saturating_add(delay_ns), Event::HedgeTimer { req });
+            }
+        }
+    }
+
+    fn dispatch_attempt(&mut self, now: u64, req: u64) {
+        let state = self
+            .states
+            .get_mut(&req)
+            .expect("dispatch on a live request");
+        let attempt = state.attempts_started;
+        state.attempts_started += 1;
+        state.outstanding += 1;
+        let provider_idx = state.next_provider % self.providers.len();
+        state.next_provider += 1;
+        let mut attempt_rng = state.rng.split();
+        let PlannedInvoke { latency_ns, result } = self.providers[provider_idx].plan(
+            &self.workload.operation,
+            &self.workload.args,
+            &mut attempt_rng,
+        );
+        self.events.schedule(
+            now.saturating_add(latency_ns),
+            Event::AttemptDone {
+                req,
+                attempt,
+                provider: u32::try_from(provider_idx).unwrap_or(u32::MAX),
+                ok: result.is_ok(),
+            },
+        );
+    }
+
+    fn on_attempt_done(&mut self, now: u64, req: u64, attempt: u32, provider: u32, ok: bool) {
+        let Some(state) = self.states.get_mut(&req) else {
+            return; // Stale: the request resolved while this attempt flew.
+        };
+        state.outstanding -= 1;
+        if ok {
+            let hedged = matches!(self.config.policy, RequestPolicy::Hedged { .. });
+            if hedged && attempt > 0 {
+                telemetry::add(Counter::ServiceHedgesWon, 1);
+                self.report.hedges_won += 1;
+            }
+            let cancelled = u64::from(state.outstanding);
+            if hedged && cancelled > 0 {
+                telemetry::add(Counter::ServiceHedgesCancelled, cancelled);
+                self.report.hedges_cancelled += cancelled;
+            }
+            self.resolve(now, req, RequestOutcome::Ok { attempt, provider });
+            return;
+        }
+        match self.config.policy {
+            RequestPolicy::Single => {
+                if self.states[&req].outstanding == 0 {
+                    self.resolve(now, req, RequestOutcome::Failed);
+                }
+            }
+            RequestPolicy::Hedged { max_hedges, .. } => {
+                let state = &self.states[&req];
+                if state.outstanding > 0 {
+                    return; // A sibling is still flying; let it race.
+                }
+                if state.attempts_started < 1 + max_hedges {
+                    // Fail-fast hedge: no point waiting for the timer
+                    // when we already know the attempt died.
+                    telemetry::add(Counter::ServiceHedgesFired, 1);
+                    self.report.hedges_fired += 1;
+                    self.dispatch_attempt(now, req);
+                } else {
+                    self.resolve(now, req, RequestOutcome::Failed);
+                }
+            }
+            RequestPolicy::Failover {
+                max_attempts,
+                backoff,
+            } => {
+                let state = &self.states[&req];
+                if state.attempts_started < max_attempts.max(1) {
+                    let pause = backoff.delay_ns(state.attempts_started);
+                    self.events
+                        .schedule(now.saturating_add(pause), Event::RetryTimer { req });
+                } else if state.outstanding == 0 {
+                    self.resolve(now, req, RequestOutcome::Failed);
+                }
+            }
+        }
+    }
+
+    fn on_hedge_timer(&mut self, now: u64, req: u64) {
+        if !self.states.contains_key(&req) {
+            return; // Resolved before the hedge delay elapsed: no hedge needed.
+        }
+        let RequestPolicy::Hedged {
+            delay_ns,
+            max_hedges,
+        } = self.config.policy
+        else {
+            return;
+        };
+        if self.states[&req].attempts_started > max_hedges {
+            return;
+        }
+        telemetry::add(Counter::ServiceHedgesFired, 1);
+        self.report.hedges_fired += 1;
+        self.dispatch_attempt(now, req);
+        if self.states[&req].attempts_started < 1 + max_hedges {
+            self.events
+                .schedule(now.saturating_add(delay_ns), Event::HedgeTimer { req });
+        }
+    }
+
+    fn on_retry_timer(&mut self, now: u64, req: u64) {
+        if !self.states.contains_key(&req) {
+            return; // Deadline beat the backoff pause.
+        }
+        telemetry::add(Counter::ServiceFailovers, 1);
+        self.report.failovers += 1;
+        self.dispatch_attempt(now, req);
+    }
+
+    fn on_deadline(&mut self, now: u64, req: u64) {
+        let Some(state) = self.states.get(&req) else {
+            return; // Resolved in time; the deadline is moot.
+        };
+        if matches!(self.config.policy, RequestPolicy::Hedged { .. }) && state.outstanding > 0 {
+            let cancelled = u64::from(state.outstanding);
+            telemetry::add(Counter::ServiceHedgesCancelled, cancelled);
+            self.report.hedges_cancelled += cancelled;
+        }
+        self.resolve(now, req, RequestOutcome::DeadlineExceeded);
+    }
+
+    /// Terminal bookkeeping: ledger, telemetry, slot release, dequeue.
+    fn resolve(&mut self, now: u64, req: u64, outcome: RequestOutcome) {
+        let state = self.states.remove(&req).expect("resolving a live request");
+        let (counter, tally) = match outcome {
+            RequestOutcome::Ok { .. } => (Counter::ServiceOk, &mut self.report.ok),
+            RequestOutcome::Failed => (Counter::ServiceFailed, &mut self.report.failed),
+            RequestOutcome::DeadlineExceeded => (
+                Counter::ServiceDeadlineExceeded,
+                &mut self.report.deadline_exceeded,
+            ),
+            RequestOutcome::Rejected => unreachable!("rejections never become live requests"),
+        };
+        telemetry::add(counter, 1);
+        *tally += 1;
+        telemetry::observe_ns(Timer::ServiceLatencyNs, now - state.arrival_ns);
+        if let Some(start) = state.start_ns {
+            telemetry::observe_ns(Timer::ServiceQueueWaitNs, start - state.arrival_ns);
+        }
+        self.report.ledger.push(RequestRecord {
+            id: req,
+            arrival_ns: state.arrival_ns,
+            start_ns: state.start_ns,
+            end_ns: now,
+            attempts: state.attempts_started,
+            outcome,
+        });
+        if state.start_ns.is_some() {
+            // An executing request frees its admission slot; pull the
+            // next waiter (skipping any that died of deadline in line —
+            // their queue entries are cancelled lazily, like events).
+            self.in_flight -= 1;
+            while self.in_flight < self.config.max_in_flight {
+                let Some(next) = self.waiting.pop_front() else {
+                    break;
+                };
+                if !self.states.contains_key(&next) {
+                    continue;
+                }
+                telemetry::add(Counter::ServiceDequeued, 1);
+                self.start_execution(now, next);
+            }
+        } else {
+            // Died while queued: it logically left the queue now.
+            telemetry::add(Counter::ServiceDequeued, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::InterfaceId;
+
+    fn provider(id: &str, fail: f64, base_ns: u64) -> Arc<dyn PlannedProvider> {
+        Arc::new(
+            SimProvider::builder(id, InterfaceId::new("echo"))
+                .fail_prob(fail)
+                .latency(base_ns, base_ns / 10)
+                .operation("ping", |_, _| Ok(Value::Str("pong".into())))
+                .build(),
+        )
+    }
+
+    fn spiky_provider(
+        id: &str,
+        base_ns: u64,
+        spike_prob: f64,
+        spike_ns: u64,
+    ) -> Arc<dyn PlannedProvider> {
+        Arc::new(
+            SimProvider::builder(id, InterfaceId::new("echo"))
+                .latency(base_ns, base_ns / 10)
+                .latency_spike(spike_prob, spike_ns)
+                .operation("ping", |_, _| Ok(Value::Str("pong".into())))
+                .build(),
+        )
+    }
+
+    fn workload(requests: u64) -> Workload {
+        Workload {
+            requests,
+            mean_interarrival_ns: 1_000,
+            operation: "ping".into(),
+            args: vec![],
+        }
+    }
+
+    fn runtime(policy: RequestPolicy, providers: Vec<Arc<dyn PlannedProvider>>) -> ServiceRuntime {
+        ServiceRuntime::new(
+            providers,
+            RuntimeConfig {
+                policy,
+                deadline_ns: 0,
+                max_in_flight: 64,
+                queue_capacity: 256,
+            },
+        )
+    }
+
+    #[test]
+    fn healthy_single_policy_completes_everything() {
+        let rt = runtime(
+            RequestPolicy::Single,
+            vec![provider("p0", 0.0, 500), provider("p1", 0.0, 500)],
+        );
+        let report = rt.run(&workload(2_000), 1);
+        assert_eq!(report.ok, 2_000);
+        assert_eq!(
+            report.failed + report.rejected + report.deadline_exceeded,
+            0
+        );
+        assert_eq!(report.ledger.len(), 2_000);
+        assert_eq!(report.hedges_fired, 0);
+        assert!(report.makespan_ns > 0);
+        assert!(report.requests_per_sec() > 0.0);
+        // Every id resolves exactly once.
+        let mut ids: Vec<u64> = report.ledger.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 2_000);
+    }
+
+    #[test]
+    fn same_seed_gives_a_bit_identical_ledger() {
+        let build = || {
+            runtime(
+                RequestPolicy::Hedged {
+                    delay_ns: 2_000,
+                    max_hedges: 2,
+                },
+                vec![
+                    spiky_provider("a", 1_000, 0.05, 50_000),
+                    spiky_provider("b", 1_000, 0.05, 50_000),
+                    spiky_provider("c", 1_000, 0.05, 50_000),
+                ],
+            )
+        };
+        let first = build().run(&workload(5_000), 0x5eed_2008);
+        let second = build().run(&workload(5_000), 0x5eed_2008);
+        assert_eq!(first, second, "ledger must be bit-identical per seed");
+        assert_eq!(first.ledger_digest(), second.ledger_digest());
+        let other_seed = build().run(&workload(5_000), 0x5eed_2009);
+        assert_ne!(
+            first.ledger_digest(),
+            other_seed.ledger_digest(),
+            "different seeds explore different runs"
+        );
+    }
+
+    #[test]
+    fn hedging_cuts_the_latency_tail_under_spikes() {
+        let spiky = || {
+            vec![
+                spiky_provider("a", 1_000, 0.05, 100_000),
+                spiky_provider("b", 1_000, 0.05, 100_000),
+                spiky_provider("c", 1_000, 0.05, 100_000),
+            ]
+        };
+        let unhedged = runtime(RequestPolicy::Single, spiky()).run(&workload(20_000), 7);
+        let hedged = runtime(
+            RequestPolicy::Hedged {
+                delay_ns: 3_000,
+                max_hedges: 2,
+            },
+            spiky(),
+        )
+        .run(&workload(20_000), 7);
+        assert_eq!(unhedged.ok, 20_000);
+        assert_eq!(hedged.ok, 20_000);
+        let (p99_plain, p99_hedged) = (
+            unhedged.latency_quantile(0.99).unwrap(),
+            hedged.latency_quantile(0.99).unwrap(),
+        );
+        // 5% spikes of 100 µs on a 1 µs base: unhedged p99 sits on the
+        // spike; a 3 µs hedge caps it near 2 × base + delay.
+        assert!(
+            p99_hedged * 10 < p99_plain,
+            "hedged p99 {p99_hedged} not ≪ unhedged {p99_plain}"
+        );
+        assert!(hedged.hedges_fired > 0);
+        assert!(hedged.hedges_won > 0);
+        assert!(hedged.hedges_cancelled > 0);
+    }
+
+    #[test]
+    fn failover_survives_a_dead_primary_within_budget() {
+        let rt = ServiceRuntime::new(
+            vec![provider("dead", 1.0, 500), provider("alive", 0.0, 500)],
+            RuntimeConfig {
+                policy: RequestPolicy::Failover {
+                    max_attempts: 3,
+                    backoff: Backoff::Fixed(1_000),
+                },
+                deadline_ns: 1_000_000,
+                max_in_flight: 64,
+                queue_capacity: 256,
+            },
+        );
+        let report = rt.run(&workload(2_000), 3);
+        // Every request reaches the live provider within two attempts
+        // (round-robin start means half hit "alive" first).
+        assert_eq!(report.ok, 2_000);
+        assert!(report.failovers > 0, "dead primary forces failovers");
+        // Requests starting on the dead provider record attempt 1 wins.
+        let failover_wins = report
+            .ledger
+            .iter()
+            .filter(|r| matches!(r.outcome, RequestOutcome::Ok { attempt, .. } if attempt > 0))
+            .count();
+        assert_eq!(failover_wins as u64, report.failovers);
+    }
+
+    #[test]
+    fn all_dead_providers_fail_after_exhausting_attempts() {
+        let rt = runtime(
+            RequestPolicy::Failover {
+                max_attempts: 3,
+                backoff: Backoff::None,
+            },
+            vec![provider("d0", 1.0, 100), provider("d1", 1.0, 100)],
+        );
+        let report = rt.run(&workload(500), 5);
+        assert_eq!(report.failed, 500);
+        assert_eq!(report.ok, 0);
+        assert!(report.ledger.iter().all(|r| r.attempts == 3));
+    }
+
+    #[test]
+    fn deadlines_bound_every_latency() {
+        let rt = ServiceRuntime::new(
+            vec![spiky_provider("s", 1_000, 0.2, 10_000_000)],
+            RuntimeConfig {
+                policy: RequestPolicy::Single,
+                deadline_ns: 50_000,
+                max_in_flight: 8,
+                queue_capacity: 64,
+            },
+        );
+        let report = rt.run(&workload(3_000), 11);
+        assert!(
+            report.deadline_exceeded > 0,
+            "big spikes must blow the budget"
+        );
+        for record in &report.ledger {
+            assert!(
+                record.latency_ns() <= 50_000,
+                "request {} latency {} exceeds its budget",
+                record.id,
+                record.latency_ns()
+            );
+        }
+    }
+
+    #[test]
+    fn admission_control_bounds_concurrency_and_sheds_load() {
+        // 100 ms provider latency vs 1 µs interarrivals: arrivals
+        // massively outrun completions, so the queue fills and the rest
+        // is shed.
+        let rt = ServiceRuntime::new(
+            vec![provider("slow", 0.0, 100_000_000)],
+            RuntimeConfig {
+                policy: RequestPolicy::Single,
+                deadline_ns: 0,
+                max_in_flight: 4,
+                queue_capacity: 16,
+            },
+        );
+        let report = rt.run(&workload(500), 2);
+        assert_eq!(report.peak_in_flight, 4, "admission cap respected");
+        assert!(report.peak_queue_depth <= 16, "queue bound respected");
+        assert!(report.rejected > 0, "overload must shed");
+        assert_eq!(
+            report.ok + report.failed + report.rejected + report.deadline_exceeded,
+            500,
+            "every request has exactly one disposition"
+        );
+        // Queued-then-served requests record their wait.
+        assert!(report
+            .ledger
+            .iter()
+            .any(|r| r.start_ns.is_some_and(|s| s > r.arrival_ns)));
+    }
+
+    #[test]
+    fn queue_wait_counts_against_the_deadline_budget() {
+        // 1 ms service time through a single slot with ~instant
+        // arrivals: only ~5 requests finish inside the 5 ms budget.
+        // The budget is armed at *arrival*, so the rest die at exactly
+        // arrival + budget — a request that waited in the backpressure
+        // queue gets correspondingly less execution runway, it does not
+        // restart the clock at admission.
+        let rt = ServiceRuntime::new(
+            vec![provider("slow", 0.0, 1_000_000)],
+            RuntimeConfig {
+                policy: RequestPolicy::Single,
+                deadline_ns: 5_000_000,
+                max_in_flight: 1,
+                queue_capacity: 64,
+            },
+        );
+        let report = rt.run(&workload(100), 4);
+        assert!(report.deadline_exceeded > 0, "the backlog must time out");
+        let mut killed_after_queueing = 0;
+        for record in &report.ledger {
+            if record.outcome != RequestOutcome::DeadlineExceeded {
+                continue;
+            }
+            assert_eq!(
+                record.latency_ns(),
+                5_000_000,
+                "deadline deaths land at exactly arrival + budget"
+            );
+            let start = record.start_ns.expect("FIFO admission reaches the head");
+            if start > record.arrival_ns {
+                assert!(
+                    record.end_ns - start < 5_000_000,
+                    "queue wait must shrink the runway left after admission"
+                );
+                killed_after_queueing += 1;
+            }
+        }
+        assert!(
+            killed_after_queueing > 0,
+            "some victims waited in queue first"
+        );
+    }
+
+    #[test]
+    fn single_policy_millions_scale_smoke() {
+        // 200k requests through the loop in one test: the structure the
+        // "millions in flight" claim rests on (bounded heap, lazy
+        // cancellation, O(log n) scheduling) at a size CI can afford.
+        let rt = ServiceRuntime::new(
+            vec![provider("p", 0.0, 50_000), provider("q", 0.0, 50_000)],
+            RuntimeConfig {
+                policy: RequestPolicy::Single,
+                deadline_ns: 0,
+                max_in_flight: 100_000,
+                queue_capacity: 100_000,
+            },
+        );
+        let mut load = workload(200_000);
+        load.mean_interarrival_ns = 10; // brutal arrival rate
+        let report = rt.run(&load, 6);
+        assert_eq!(report.ok, 200_000);
+        assert!(report.peak_in_flight > 1_000, "true concurrency reached");
+    }
+
+    #[test]
+    fn report_quantiles_are_exact_nearest_rank() {
+        let mut report = RuntimeReport {
+            ledger: (0..100)
+                .map(|i| RequestRecord {
+                    id: i,
+                    arrival_ns: 0,
+                    start_ns: Some(0),
+                    end_ns: (i + 1) * 10,
+                    attempts: 1,
+                    outcome: RequestOutcome::Ok {
+                        attempt: 0,
+                        provider: 0,
+                    },
+                })
+                .collect(),
+            makespan_ns: 1_000,
+            ok: 100,
+            failed: 0,
+            rejected: 0,
+            deadline_exceeded: 0,
+            hedges_fired: 0,
+            hedges_won: 0,
+            hedges_cancelled: 0,
+            failovers: 0,
+            peak_in_flight: 1,
+            peak_queue_depth: 0,
+        };
+        assert_eq!(report.latency_quantile(0.5), Some(500));
+        assert_eq!(report.latency_quantile(0.99), Some(990));
+        assert_eq!(report.latency_quantile(1.0), Some(1_000));
+        assert_eq!(report.latency_quantile(0.0), Some(10));
+        report.ledger.clear();
+        assert_eq!(report.latency_quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one provider")]
+    fn empty_provider_pool_panics() {
+        let _ = ServiceRuntime::new(vec![], RuntimeConfig::default());
+    }
+}

@@ -226,11 +226,20 @@ pub fn progress_line(prev: &TelemetrySnapshot, cur: &TelemetrySnapshot, dt: Dura
     let completed = cur.trials_completed();
     let scheduled = cur.counter(Counter::TrialsScheduled);
     let runs = cur.counter(Counter::PatternRuns);
+    let arrivals = cur.counter(Counter::ServiceArrivals);
     // Harnesses that drive the pattern engines directly (most exp_*
-    // tables) never schedule Campaign trials; lead with what actually
-    // moved so the line isn't a useless "0/0 trials".
+    // tables) never schedule Campaign trials; the service event-loop
+    // runtime schedules neither trials nor pattern runs. Lead with what
+    // actually moved so the line isn't a useless "0/0 trials".
     let (unit, completed, scheduled, prev_completed) = if scheduled == 0 && runs > 0 {
         ("patterns", runs, runs, prev.counter(Counter::PatternRuns))
+    } else if scheduled == 0 && runs == 0 && arrivals > 0 {
+        (
+            "requests",
+            cur.service_resolved(),
+            arrivals,
+            prev.service_resolved(),
+        )
     } else {
         ("trials", completed, scheduled, prev.trials_completed())
     };
@@ -244,7 +253,7 @@ pub fn progress_line(prev: &TelemetrySnapshot, cur: &TelemetrySnapshot, dt: Dura
     let mut line = if unit == "patterns" {
         format!("[monitor] {completed} patterns")
     } else {
-        format!("[monitor] {completed}/{scheduled} trials")
+        format!("[monitor] {completed}/{scheduled} {unit}")
     };
     let _ = write!(line, "  {} {unit}/s", fmt_compact(rate));
     if rate > 0.0 && scheduled > completed {
@@ -259,6 +268,25 @@ pub fn progress_line(prev: &TelemetrySnapshot, cur: &TelemetrySnapshot, dt: Dura
     }
     if cur.counter(Counter::PatternRuns) > 0 {
         let _ = write!(line, "  saved {:.1}%", 100.0 * cur.variant_work_saved());
+    }
+    if unit == "requests" {
+        let _ = write!(line, "  inflight {}", cur.service_in_flight());
+        let depth = cur.service_queue_depth();
+        if depth > 0 {
+            let _ = write!(line, "  queued {depth}");
+        }
+        let fired = cur.counter(Counter::ServiceHedgesFired);
+        if fired > 0 {
+            let _ = write!(
+                line,
+                "  hedges {fired}f/{}w",
+                cur.counter(Counter::ServiceHedgesWon)
+            );
+        }
+        let shed = cur.counter(Counter::ServiceRejected);
+        if shed > 0 {
+            let _ = write!(line, "  shed {shed}");
+        }
     }
     let kills = cur.counter(Counter::ChaosKills);
     let cancels = cur.counter(Counter::ChaosCancels);
@@ -523,6 +551,33 @@ mod tests {
         let line = progress_line(&empty, &empty, Duration::from_millis(500));
         assert!(line.starts_with("[monitor] 0/0 trials"), "{line}");
         assert!(!line.contains("eta"), "no ETA with no rate: {line}");
+    }
+
+    #[test]
+    fn progress_line_falls_back_to_service_requests() {
+        let telemetry = Telemetry::new();
+        let shard = telemetry.register_shard();
+        shard.add(Counter::ServiceArrivals, 500);
+        shard.add(Counter::ServiceAdmitted, 450);
+        let prev = telemetry.snapshot();
+        shard.add(Counter::ServiceArrivals, 500);
+        shard.add(Counter::ServiceAdmitted, 530);
+        shard.add(Counter::ServiceOk, 880);
+        shard.add(Counter::ServiceFailed, 10);
+        shard.add(Counter::ServiceDeadlineExceeded, 10);
+        shard.add(Counter::ServiceRejected, 20);
+        shard.add(Counter::ServiceEnqueued, 40);
+        shard.add(Counter::ServiceDequeued, 35);
+        shard.add(Counter::ServiceHedgesFired, 60);
+        shard.add(Counter::ServiceHedgesWon, 12);
+        let cur = telemetry.snapshot();
+        let line = progress_line(&prev, &cur, Duration::from_secs(1));
+        assert!(line.starts_with("[monitor] 920/1000 requests"), "{line}");
+        assert!(line.contains("920 requests/s"), "{line}");
+        assert!(line.contains("inflight 80"), "{line}");
+        assert!(line.contains("queued 5"), "{line}");
+        assert!(line.contains("hedges 60f/12w"), "{line}");
+        assert!(line.contains("shed 20"), "{line}");
     }
 
     #[test]

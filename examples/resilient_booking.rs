@@ -82,15 +82,15 @@ fn main() {
             vec![Expr::Lit(Value::Int(2))],
             "flight_total",
         ),
-        Activity::Retry {
-            inner: Box::new(Activity::invoke(
+        Activity::retry(
+            Activity::invoke(
                 "hotels",
                 "reserve",
                 vec![Expr::Lit(Value::Int(3))],
                 "hotel_total",
-            )),
-            attempts: 8,
-        },
+            ),
+            8,
+        ),
     ]);
     let engine = Engine::new(&registry).with_binder(Binder::Failover);
     let mut vars = Vars::new();
