@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy test build bench bench-campaign bench-adjudicate bench-trace bench-services bench-smoke chaos-smoke monitor-smoke services-smoke examples
+.PHONY: verify fmt clippy test build bench bench-campaign bench-adjudicate bench-trace bench-services bench-smoke chaos-smoke monitor-smoke services-smoke services-shard-smoke examples
 
 verify: fmt clippy test
 
@@ -79,6 +79,15 @@ monitor-smoke:
 # loop ever drifts.
 services-smoke:
 	$(CARGO) run -q -p redundancy-bench --bin exp_services -- --smoke --monitor
+
+# Sharded-runtime gate: runs E21 in its --smoke configuration, which
+# asserts (1) breaker-off ledger digests are bit-identical at shards
+# {1,2,8}, (2) breaker-on runs are jobs-invariant, (3) the circuit
+# breaker measurably cuts failed attempts with the hedged p99 no worse
+# than the single-loop baseline, and (4) service telemetry totals do
+# not depend on pool scheduling.
+services-shard-smoke:
+	$(CARGO) run -q -p redundancy-bench --bin exp_shard -- --smoke --monitor
 
 # Build and run every example end to end. A CI smoke test: the examples
 # are the documented entry points, so they must keep compiling *and*

@@ -20,9 +20,11 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use redundancy_bench::experiments::services_rt::{run_cell, POLICIES, SCENARIOS};
+use redundancy_bench::experiments::shard_rt::run_sharded;
 
 const REQUESTS: u64 = 2_000;
 const SEED: u64 = 0x5eed_2008;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
 
 fn bench_services(c: &mut Criterion) {
     // Guard before timing: the ledger must be bit-identical per seed,
@@ -54,7 +56,7 @@ fn bench_services(c: &mut Criterion) {
         for policy in POLICIES {
             let report = run_cell(scenario, policy, REQUESTS, SEED);
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            let ns_per_req = (1e9 / report.requests_per_sec()).round() as u64;
+            let ns_per_req = (1e9 / report.offered_per_sec()).round() as u64;
             let p99 = report.latency_quantile(0.99).unwrap_or(0);
             let p999 = report.latency_quantile(0.999).unwrap_or(0);
             for (metric, ns) in [
@@ -67,6 +69,24 @@ fn bench_services(c: &mut Criterion) {
                 });
             }
         }
+    }
+
+    // Sharded families: wall-clock cost of the same spiky/hedged
+    // workload fanned across N event loops on the worker pool. Guard
+    // first: every shard count must reproduce the shards=1 digest
+    // (breakers off, caps non-binding), or the merge is broken.
+    let baseline = run_sharded(1, REQUESTS, SEED, false).ledger_digest();
+    for shards in SHARD_COUNTS {
+        assert_eq!(
+            run_sharded(shards, REQUESTS, SEED, false).ledger_digest(),
+            baseline,
+            "shards={shards} digest drifted from the single-loop baseline"
+        );
+    }
+    for shards in SHARD_COUNTS {
+        group.bench_function(format!("sharded/spiky-hedged-s{shards}/{REQUESTS}"), |b| {
+            b.iter(|| run_sharded(shards, REQUESTS, SEED, false));
+        });
     }
     group.finish();
 }

@@ -17,6 +17,7 @@ pub mod rx;
 pub mod rx_ablation;
 pub mod security;
 pub mod services_rt;
+pub mod shard_rt;
 pub mod substitution;
 pub mod table1;
 pub mod table2_matrix;

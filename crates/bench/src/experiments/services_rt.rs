@@ -79,6 +79,7 @@ fn config(policy: &str) -> RuntimeConfig {
         deadline_ns: 100_000_000, // 100 ms budget per request
         max_in_flight: 256,
         queue_capacity: 1_024,
+        breaker: None,
     }
 }
 
@@ -87,12 +88,7 @@ fn config(policy: &str) -> RuntimeConfig {
 #[must_use]
 pub fn run_cell(scenario: &str, policy: &str, requests: u64, seed: u64) -> RuntimeReport {
     let runtime = ServiceRuntime::new(pool(scenario), config(policy));
-    let workload = Workload {
-        requests,
-        mean_interarrival_ns: 100_000,
-        operation: "work".into(),
-        args: vec![],
-    };
+    let workload = Workload::poisson(requests, 100_000, "work");
     runtime.run(&workload, seed)
 }
 
@@ -126,7 +122,7 @@ pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
         "p999 µs",
         "hedge f/w/c",
         "failovers",
-        "virt krps",
+        "goodput krps",
     ]);
     let requests = trials as u64;
     let cells: Vec<(&str, &str)> = SCENARIOS
@@ -155,7 +151,7 @@ pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
                 report.hedges_fired, report.hedges_won, report.hedges_cancelled
             ),
             report.failovers.to_string(),
-            format!("{:.1}", report.requests_per_sec() / 1_000.0),
+            format!("{:.1}", report.goodput_per_sec() / 1_000.0),
         ]);
     }
     table

@@ -363,6 +363,33 @@ mod tests {
     }
 
     #[test]
+    fn shard_and_breaker_families_are_exported() {
+        let telemetry = Telemetry::new();
+        let shard = telemetry.register_shard();
+        shard.add(Counter::ServiceShardRuns, 8);
+        shard.add(Counter::ServiceBreakerOpens, 5);
+        shard.add(Counter::ServiceBreakerHalfOpens, 4);
+        shard.add(Counter::ServiceBreakerCloses, 3);
+        shard.add(Counter::ServiceBreakerSkips, 40);
+        shard.add(Counter::ServiceBreakerShed, 7);
+        shard.add(Counter::ServiceAttemptsFailed, 21);
+        shard.observe_ns(Timer::ServiceBreakerOpenNs, 5_000_000);
+        let text = render_telemetry(&telemetry.snapshot());
+        validate(&text).expect("breaker exposition validates");
+        assert!(text.contains("redundancy_service_shard_runs_total 8"));
+        assert!(text.contains("redundancy_service_breaker_opens_total 5"));
+        assert!(text.contains("redundancy_service_breaker_half_opens_total 4"));
+        assert!(text.contains("redundancy_service_breaker_closes_total 3"));
+        assert!(text.contains("redundancy_service_breaker_skips_total 40"));
+        assert!(text.contains("redundancy_service_breaker_shed_total 7"));
+        assert!(text.contains("redundancy_service_attempts_failed_total 21"));
+        // The open-duration histogram stays on the nanosecond ladder.
+        assert!(text.contains("redundancy_service_breaker_open_ns_bucket{le=\"4000000\"} 0"));
+        assert!(text.contains("redundancy_service_breaker_open_ns_bucket{le=\"16000000\"} 1"));
+        assert!(text.contains("redundancy_service_breaker_open_ns_count 1"));
+    }
+
+    #[test]
     fn validator_rejects_malformed_expositions() {
         let cases = [
             ("redundancy_x nope", "non-numeric"),

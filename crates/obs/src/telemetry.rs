@@ -129,11 +129,25 @@ pub enum Counter {
     ServiceFailovers,
     /// Converter operation lookups that fell through unmapped.
     ServiceConverterPassthrough,
+    /// Per-shard event loops launched by the sharded runtime.
+    ServiceShardRuns,
+    /// Circuit breakers that tripped Closed → Open.
+    ServiceBreakerOpens,
+    /// Circuit breakers that moved Open → HalfOpen after cooldown.
+    ServiceBreakerHalfOpens,
+    /// Circuit breakers that closed after successful half-open probes.
+    ServiceBreakerCloses,
+    /// Provider rotation slots skipped because the circuit refused.
+    ServiceBreakerSkips,
+    /// Requests shed at arrival because every circuit was open.
+    ServiceBreakerShed,
+    /// Individual attempts that completed unsuccessfully.
+    ServiceAttemptsFailed,
 }
 
 impl Counter {
     /// Every counter, in declaration (= shard index) order.
-    pub const ALL: [Counter; 35] = [
+    pub const ALL: [Counter; 42] = [
         Counter::TrialsScheduled,
         Counter::TrialsCorrect,
         Counter::TrialsUndetected,
@@ -169,6 +183,13 @@ impl Counter {
         Counter::ServiceHedgesCancelled,
         Counter::ServiceFailovers,
         Counter::ServiceConverterPassthrough,
+        Counter::ServiceShardRuns,
+        Counter::ServiceBreakerOpens,
+        Counter::ServiceBreakerHalfOpens,
+        Counter::ServiceBreakerCloses,
+        Counter::ServiceBreakerSkips,
+        Counter::ServiceBreakerShed,
+        Counter::ServiceAttemptsFailed,
     ];
 
     /// Number of counters (shard array length).
@@ -213,6 +234,13 @@ impl Counter {
             Counter::ServiceHedgesCancelled => "service_hedges_cancelled",
             Counter::ServiceFailovers => "service_failovers",
             Counter::ServiceConverterPassthrough => "service_converter_passthrough",
+            Counter::ServiceShardRuns => "service_shard_runs",
+            Counter::ServiceBreakerOpens => "service_breaker_opens",
+            Counter::ServiceBreakerHalfOpens => "service_breaker_half_opens",
+            Counter::ServiceBreakerCloses => "service_breaker_closes",
+            Counter::ServiceBreakerSkips => "service_breaker_skips",
+            Counter::ServiceBreakerShed => "service_breaker_shed",
+            Counter::ServiceAttemptsFailed => "service_attempts_failed",
         }
     }
 
@@ -255,6 +283,13 @@ impl Counter {
             Counter::ServiceHedgesCancelled => "Attempts cancelled after a sibling won",
             Counter::ServiceFailovers => "Sequential failover attempts fired",
             Counter::ServiceConverterPassthrough => "Converter operation lookups left unmapped",
+            Counter::ServiceShardRuns => "Per-shard event loops launched",
+            Counter::ServiceBreakerOpens => "Circuit breakers tripped open",
+            Counter::ServiceBreakerHalfOpens => "Circuit breakers entering half-open probing",
+            Counter::ServiceBreakerCloses => "Circuit breakers closed after probes",
+            Counter::ServiceBreakerSkips => "Rotation slots skipped on an open circuit",
+            Counter::ServiceBreakerShed => "Requests shed with every circuit open",
+            Counter::ServiceAttemptsFailed => "Individual attempts completed unsuccessfully",
         }
     }
 }
@@ -280,11 +315,13 @@ pub enum Timer {
     /// Backpressure queue depth sampled at each enqueue
     /// ([`DEPTH_BUCKETS`] ladder, not nanoseconds).
     ServiceQueueDepth,
+    /// Virtual time a circuit breaker spent Open before closing again.
+    ServiceBreakerOpenNs,
 }
 
 impl Timer {
     /// Every timer, in declaration (= shard index) order.
-    pub const ALL: [Timer; 8] = [
+    pub const ALL: [Timer; 9] = [
         Timer::TrialNs,
         Timer::ChunkClaimNs,
         Timer::ChunkRunNs,
@@ -293,6 +330,7 @@ impl Timer {
         Timer::ServiceLatencyNs,
         Timer::ServiceQueueWaitNs,
         Timer::ServiceQueueDepth,
+        Timer::ServiceBreakerOpenNs,
     ];
 
     /// Number of timers (shard array length).
@@ -310,6 +348,7 @@ impl Timer {
             Timer::ServiceLatencyNs => "service_latency_ns",
             Timer::ServiceQueueWaitNs => "service_queue_wait_ns",
             Timer::ServiceQueueDepth => "service_queue_depth",
+            Timer::ServiceBreakerOpenNs => "service_breaker_open_ns",
         }
     }
 
@@ -338,6 +377,7 @@ impl Timer {
             Timer::ServiceLatencyNs => "Virtual end-to-end service request latency",
             Timer::ServiceQueueWaitNs => "Virtual time requests waited in the queue",
             Timer::ServiceQueueDepth => "Backpressure queue depth at enqueue",
+            Timer::ServiceBreakerOpenNs => "Virtual time circuits spent open before closing",
         }
     }
 }

@@ -1,0 +1,252 @@
+//! Open-loop arrival processes for the event-loop runtime.
+//!
+//! PR 9's runtime hard-wired Poisson arrivals drawn from one sequential
+//! RNG stream; that coupling is exactly what sharding cannot tolerate —
+//! a shard must not need to replay every other shard's draws to know
+//! when its own requests arrive. This module decouples arrival
+//! generation from the event loop: [`ArrivalProcess::arrival_times`]
+//! precomputes the *entire* arrival schedule up front, with each gap
+//! drawn from a per-id RNG stream (`seed ^ id·φ64`, the same order-free
+//! scheme the runtime uses per request). The single-loop runtime and
+//! every shard consume the same table, so arrival times are identical
+//! for any `--shards`/`--jobs` by construction.
+//!
+//! Three processes cover the regimes the circuit breaker needs to react
+//! to:
+//!
+//! - [`ArrivalProcess::Poisson`] — the PR-9 steady state: exponential
+//!   gaps around one mean;
+//! - [`ArrivalProcess::OnOff`] — a two-phase Markov-modulated Poisson
+//!   process: bursts at one rate, lulls at another, alternating on a
+//!   fixed virtual-time period (diurnal load in miniature);
+//! - [`ArrivalProcess::Trace`] — replay explicit arrival offsets,
+//!   tiling the trace when the workload outlives it.
+
+use redundancy_core::rng::SplitMix64;
+
+/// Seed-domain separator for arrival draws, so the arrival stream never
+/// collides with the per-request attempt streams derived from the same
+/// campaign seed.
+const ARRIVAL_SALT: u64 = 0xa55e_55ed_ca11_ab1e;
+
+/// Weyl increment shared with the runtime's per-request streams.
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// When requests enter the system: the open-loop half of a [`Workload`].
+///
+/// [`Workload`]: crate::runtime::Workload
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Exponential interarrival gaps around `mean_gap_ns` (open-loop
+    /// Poisson arrivals — the PR-9 behaviour).
+    Poisson {
+        /// Mean virtual-ns gap between consecutive arrivals (≥ 1).
+        mean_gap_ns: u64,
+    },
+    /// Bursty/diurnal load: Poisson arrivals whose mean gap alternates
+    /// between an *on* phase and an *off* phase on a fixed virtual-time
+    /// cycle. A gap is drawn at the rate of the phase the previous
+    /// arrival landed in.
+    OnOff {
+        /// Mean gap during the on (burst) phase.
+        on_gap_ns: u64,
+        /// Mean gap during the off (lull) phase.
+        off_gap_ns: u64,
+        /// Virtual duration of each on phase.
+        on_ns: u64,
+        /// Virtual duration of each off phase.
+        off_ns: u64,
+    },
+    /// Replay recorded arrival offsets (non-decreasing virtual ns from
+    /// t = 0). Workloads longer than the trace tile it: repetition `k`
+    /// is shifted by `k * (last + 1)` so times stay non-decreasing.
+    Trace(Vec<u64>),
+}
+
+impl ArrivalProcess {
+    /// Precomputes the full arrival schedule for `requests` ids.
+    ///
+    /// The schedule is a pure function of `(self, requests, seed)`:
+    /// gap `i` is drawn from the per-id stream of id `i`, so the table
+    /// is bit-identical however the downstream run is sharded or
+    /// scheduled. `times[0]` is always 0 (the first request opens the
+    /// run); times are non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is an empty [`ArrivalProcess::Trace`] and
+    /// `requests > 0` — there is no schedule to replay.
+    #[must_use]
+    pub fn arrival_times(&self, requests: u64, seed: u64) -> Vec<u64> {
+        let n = usize::try_from(requests).unwrap_or(usize::MAX);
+        let mut times = Vec::with_capacity(n);
+        if requests == 0 {
+            return times;
+        }
+        match *self {
+            ArrivalProcess::Poisson { mean_gap_ns } => {
+                let mut t = 0u64;
+                times.push(t);
+                for id in 1..requests {
+                    t = t.saturating_add(exponential_gap(seed, id, mean_gap_ns));
+                    times.push(t);
+                }
+            }
+            ArrivalProcess::OnOff {
+                on_gap_ns,
+                off_gap_ns,
+                on_ns,
+                off_ns,
+            } => {
+                let period = on_ns.saturating_add(off_ns);
+                let mut t = 0u64;
+                times.push(t);
+                for id in 1..requests {
+                    // Phase of the *previous* arrival decides the rate;
+                    // a degenerate period (both phases 0) stays "on".
+                    let in_on = period == 0 || t % period < on_ns;
+                    let mean = if in_on { on_gap_ns } else { off_gap_ns };
+                    t = t.saturating_add(exponential_gap(seed, id, mean));
+                    times.push(t);
+                }
+            }
+            ArrivalProcess::Trace(ref trace) => {
+                assert!(
+                    !trace.is_empty(),
+                    "an empty arrival trace cannot schedule {requests} requests"
+                );
+                debug_assert!(
+                    trace.windows(2).all(|w| w[0] <= w[1]),
+                    "arrival traces must be non-decreasing"
+                );
+                let span = trace.last().copied().unwrap_or(0).saturating_add(1);
+                let len = trace.len() as u64;
+                for id in 0..requests {
+                    let base = (id / len).saturating_mul(span);
+                    let offset = trace[usize::try_from(id % len).unwrap_or(0)];
+                    times.push(base.saturating_add(offset));
+                }
+                // Tiling anchors repetition 0 at the trace itself, so
+                // times[0] == trace[0]; normalise to open at t = 0.
+                let first = times[0];
+                for t in &mut times {
+                    *t -= first;
+                }
+            }
+        }
+        times
+    }
+}
+
+/// One exponential gap with the given mean, drawn from id `id`'s own
+/// stream — independent of every other id's draws by construction.
+fn exponential_gap(seed: u64, id: u64, mean_gap_ns: u64) -> u64 {
+    let mut rng = SplitMix64::new(seed ^ ARRIVAL_SALT ^ id.wrapping_mul(GOLDEN_GAMMA));
+    #[allow(clippy::cast_precision_loss)]
+    let mean = mean_gap_ns.max(1) as f64;
+    let u = rng.next_f64();
+    // u ∈ [0, 1): 1-u ∈ (0, 1], ln ≤ 0, gap ≥ 0.
+    let gap = -mean * (1.0 - u).ln();
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        gap as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_schedule_is_deterministic_and_nondecreasing() {
+        let process = ArrivalProcess::Poisson { mean_gap_ns: 1_000 };
+        let a = process.arrival_times(10_000, 42);
+        let b = process.arrival_times(10_000, 42);
+        assert_eq!(a, b);
+        assert_eq!(a[0], 0, "the first arrival opens the run");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        let other = process.arrival_times(10_000, 43);
+        assert_ne!(a, other, "different seeds explore different schedules");
+    }
+
+    #[test]
+    fn poisson_mean_gap_is_close_to_nominal() {
+        let process = ArrivalProcess::Poisson { mean_gap_ns: 1_000 };
+        let times = process.arrival_times(50_000, 7);
+        let span = *times.last().unwrap();
+        #[allow(clippy::cast_precision_loss)]
+        let mean = span as f64 / (times.len() - 1) as f64;
+        assert!(
+            (mean - 1_000.0).abs() < 30.0,
+            "observed mean gap {mean} far from 1000"
+        );
+    }
+
+    #[test]
+    fn gaps_are_order_free_per_id() {
+        // A prefix of a longer schedule is exactly the shorter schedule:
+        // gap i depends on id i alone, not on how many gaps preceded it.
+        let process = ArrivalProcess::Poisson { mean_gap_ns: 500 };
+        let long = process.arrival_times(1_000, 9);
+        let short = process.arrival_times(100, 9);
+        assert_eq!(&long[..100], &short[..]);
+    }
+
+    #[test]
+    fn on_off_alternates_between_burst_and_lull_rates() {
+        let process = ArrivalProcess::OnOff {
+            on_gap_ns: 100,
+            off_gap_ns: 10_000,
+            on_ns: 1_000_000,
+            off_ns: 1_000_000,
+        };
+        let times = process.arrival_times(20_000, 11);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // Count arrivals landing in on vs off phases: bursts must be
+        // far denser than lulls.
+        let (mut on, mut off) = (0u64, 0u64);
+        for &t in &times {
+            if t % 2_000_000 < 1_000_000 {
+                on += 1;
+            } else {
+                off += 1;
+            }
+        }
+        assert!(
+            on > off * 5,
+            "bursts must dominate: on={on} off={off} arrivals"
+        );
+        // And the whole schedule is reproducible.
+        assert_eq!(times, process.arrival_times(20_000, 11));
+    }
+
+    #[test]
+    fn trace_replays_and_tiles_without_going_backwards() {
+        let process = ArrivalProcess::Trace(vec![0, 5, 5, 40]);
+        let times = process.arrival_times(10, 0);
+        assert_eq!(times, vec![0, 5, 5, 40, 41, 46, 46, 81, 82, 87]);
+        // Seed-independent: a trace is a replay, not a draw.
+        assert_eq!(times, process.arrival_times(10, 999));
+    }
+
+    #[test]
+    fn trace_with_nonzero_origin_is_normalised_to_open_at_zero() {
+        let process = ArrivalProcess::Trace(vec![100, 150, 400]);
+        let times = process.arrival_times(3, 0);
+        assert_eq!(times, vec![0, 50, 300]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty arrival trace")]
+    fn empty_trace_with_requests_panics() {
+        let _ = ArrivalProcess::Trace(vec![]).arrival_times(5, 0);
+    }
+
+    #[test]
+    fn zero_requests_yield_an_empty_schedule() {
+        assert!(ArrivalProcess::Poisson { mean_gap_ns: 10 }
+            .arrival_times(0, 1)
+            .is_empty());
+        assert!(ArrivalProcess::Trace(vec![]).arrival_times(0, 1).is_empty());
+    }
+}

@@ -1,0 +1,388 @@
+//! Per-provider circuit breakers for the event-loop runtime.
+//!
+//! A provider that is failing or dragging is cheaper to *stop calling*
+//! than to keep timing out against: the breaker watches each provider's
+//! recent outcome profile (a sliding window of failure and slow-call
+//! classifications, after "self-healing by runtime execution
+//! profiling") and trips Open when the bad fraction crosses a
+//! threshold. While Open the provider admits nothing; after a
+//! virtual-time cooldown it goes HalfOpen and admits a bounded number
+//! of probe attempts — all probes succeeding closes the circuit, any
+//! probe failing re-opens it and restarts the cooldown.
+//!
+//! The runtime consults breakers at three seams (see
+//! [`runtime`](crate::runtime)): the admission controller sheds a
+//! request outright when *every* provider is Open, the hedged policy
+//! never targets an Open provider, and failover skips Open providers in
+//! its rotation (charging the backoff pause it would have spent).
+//!
+//! Everything here runs in virtual time — cooldowns are event-loop
+//! timestamps, never wall-clock — so breaker behaviour is bit-for-bit
+//! deterministic per `(seed, shards)` and each shard owns independent
+//! breaker state for its own provider pool.
+
+use redundancy_core::obs::telemetry::{self, Counter, Timer};
+
+/// Tuning for one [`CircuitBreaker`]. Integer-only so configs stay
+/// `Copy + Eq` (the failure threshold is a percentage, not a float).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BreakerConfig {
+    /// Sliding window length: how many recent outcomes the failure
+    /// fraction is computed over (≥ 1).
+    pub window: usize,
+    /// Open when `bad_outcomes * 100 >= failure_pct * outcomes` inside
+    /// the window (clamped to 1..=100 at evaluation time).
+    pub failure_pct: u8,
+    /// Outcomes required in the window before the breaker judges at
+    /// all — a cold provider is not condemned on one sample.
+    pub min_samples: usize,
+    /// Virtual ns an Open circuit waits before going HalfOpen.
+    pub cooldown_ns: u64,
+    /// Probe attempts admitted in HalfOpen; that many consecutive
+    /// successes close the circuit, any failure re-opens it (≥ 1).
+    pub half_open_probes: u32,
+    /// Latency at or above which an *ok* response still counts as a bad
+    /// outcome (slow-call profiling); `0` disables the latency profile.
+    pub slow_call_ns: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 64,
+            failure_pct: 50,
+            min_samples: 16,
+            cooldown_ns: 5_000_000,
+            half_open_probes: 3,
+            slow_call_ns: 0,
+        }
+    }
+}
+
+/// Where a breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Calls flow; outcomes are profiled into the window.
+    Closed,
+    /// Calls are refused until the cooldown elapses.
+    Open,
+    /// A bounded number of probes decides reopen vs close.
+    HalfOpen,
+}
+
+/// One provider's breaker: profile window, state machine, and tallies.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Ring buffer of recent outcome classifications (`true` = bad).
+    ring: Vec<bool>,
+    ring_pos: usize,
+    bad_in_window: usize,
+    /// Virtual instant an Open circuit may go HalfOpen.
+    open_until_ns: u64,
+    /// When the current/most recent Open began (for the open-duration
+    /// histogram).
+    opened_at_ns: u64,
+    probes_in_flight: u32,
+    probe_successes: u32,
+    opens: u64,
+    half_opens: u64,
+    closes: u64,
+}
+
+impl CircuitBreaker {
+    /// A Closed breaker with an empty profile window.
+    #[must_use]
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            ring: Vec::with_capacity(config.window.max(1)),
+            ring_pos: 0,
+            bad_in_window: 0,
+            open_until_ns: 0,
+            opened_at_ns: 0,
+            probes_in_flight: 0,
+            probe_successes: 0,
+            opens: 0,
+            half_opens: 0,
+            closes: 0,
+        }
+    }
+
+    /// Current state (after any cooldown-driven transition the last
+    /// [`admits`](Self::admits) call performed).
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the circuit opened (first trips and probe re-opens).
+    #[must_use]
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Times the circuit moved Open → HalfOpen after a cooldown.
+    #[must_use]
+    pub fn half_opens(&self) -> u64 {
+        self.half_opens
+    }
+
+    /// Times probing closed the circuit again.
+    #[must_use]
+    pub fn closes(&self) -> u64 {
+        self.closes
+    }
+
+    /// Whether this provider may be dispatched to at virtual instant
+    /// `now`. Drives the cooldown transition: an Open circuit whose
+    /// cooldown elapsed becomes HalfOpen here.
+    pub fn admits(&mut self, now: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now < self.open_until_ns {
+                    return false;
+                }
+                self.state = BreakerState::HalfOpen;
+                self.probes_in_flight = 0;
+                self.probe_successes = 0;
+                self.half_opens += 1;
+                telemetry::add(Counter::ServiceBreakerHalfOpens, 1);
+                true
+            }
+            BreakerState::HalfOpen => self.probes_in_flight < self.config.half_open_probes.max(1),
+        }
+    }
+
+    /// Reserves the dispatch [`admits`](Self::admits) just allowed (a
+    /// HalfOpen circuit counts its in-flight probes; Closed needs no
+    /// reservation).
+    pub fn on_dispatch(&mut self, _now: u64) {
+        if self.state == BreakerState::HalfOpen {
+            self.probes_in_flight += 1;
+        }
+    }
+
+    /// Feeds one completed attempt into the profile: `ok` is the
+    /// provider's verdict, `latency_ns` its virtual service time (bad
+    /// when it reaches the configured slow-call bound).
+    pub fn on_result(&mut self, now: u64, ok: bool, latency_ns: u64) {
+        let bad = !ok || (self.config.slow_call_ns > 0 && latency_ns >= self.config.slow_call_ns);
+        match self.state {
+            BreakerState::Closed => {
+                self.push_outcome(bad);
+                let samples = self.ring.len();
+                if samples >= self.config.min_samples.max(1)
+                    && self.bad_in_window * 100
+                        >= usize::from(self.config.failure_pct.clamp(1, 100)) * samples
+                {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                if bad {
+                    self.trip(now);
+                } else {
+                    self.probe_successes += 1;
+                    if self.probe_successes >= self.config.half_open_probes.max(1) {
+                        self.close(now);
+                    }
+                }
+            }
+            // A pre-trip attempt landing while Open: the circuit already
+            // judged this provider; stale evidence changes nothing.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Slides `bad` into the window, aging out the oldest outcome once
+    /// the window is full.
+    fn push_outcome(&mut self, bad: bool) {
+        let window = self.config.window.max(1);
+        if self.ring.len() < window {
+            self.ring.push(bad);
+        } else {
+            if self.ring[self.ring_pos] {
+                self.bad_in_window -= 1;
+            }
+            self.ring[self.ring_pos] = bad;
+            self.ring_pos = (self.ring_pos + 1) % window;
+        }
+        if bad {
+            self.bad_in_window += 1;
+        }
+    }
+
+    fn trip(&mut self, now: u64) {
+        self.state = BreakerState::Open;
+        self.open_until_ns = now.saturating_add(self.config.cooldown_ns.max(1));
+        self.opened_at_ns = now;
+        self.ring.clear();
+        self.ring_pos = 0;
+        self.bad_in_window = 0;
+        self.opens += 1;
+        telemetry::add(Counter::ServiceBreakerOpens, 1);
+    }
+
+    fn close(&mut self, now: u64) {
+        self.state = BreakerState::Closed;
+        self.ring.clear();
+        self.ring_pos = 0;
+        self.bad_in_window = 0;
+        self.closes += 1;
+        telemetry::add(Counter::ServiceBreakerCloses, 1);
+        telemetry::observe_ns(Timer::ServiceBreakerOpenNs, now - self.opened_at_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            failure_pct: 50,
+            min_samples: 4,
+            cooldown_ns: 1_000,
+            half_open_probes: 2,
+            slow_call_ns: 0,
+        }
+    }
+
+    #[test]
+    fn stays_closed_below_min_samples_even_when_everything_fails() {
+        let mut b = CircuitBreaker::new(config());
+        for t in 0..3 {
+            assert!(b.admits(t));
+            b.on_dispatch(t);
+            b.on_result(t, false, 100);
+        }
+        assert_eq!(b.state(), BreakerState::Closed, "3 < min_samples of 4");
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn trips_open_on_failure_rate_and_refuses_until_cooldown() {
+        let mut b = CircuitBreaker::new(config());
+        for t in 0..4 {
+            b.on_result(t, false, 100);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        assert!(!b.admits(10), "open circuits refuse dispatch");
+        assert!(!b.admits(1_002), "cooldown counts from the trip instant");
+        assert!(b.admits(3 + 1_000), "cooldown elapsed: half-open probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.half_opens(), 1);
+    }
+
+    #[test]
+    fn half_open_admits_a_bounded_number_of_probes() {
+        let mut b = CircuitBreaker::new(config());
+        for t in 0..4 {
+            b.on_result(t, false, 100);
+        }
+        assert!(b.admits(2_000));
+        b.on_dispatch(2_000);
+        assert!(b.admits(2_000), "second probe slot free");
+        b.on_dispatch(2_000);
+        assert!(!b.admits(2_000), "probe budget (2) exhausted");
+    }
+
+    #[test]
+    fn successful_probes_close_and_record_open_duration() {
+        let mut b = CircuitBreaker::new(config());
+        for t in 0..4 {
+            b.on_result(t, false, 100);
+        }
+        assert!(b.admits(5_000));
+        b.on_dispatch(5_000);
+        b.on_result(5_100, true, 100);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "one success of two");
+        assert!(b.admits(5_100));
+        b.on_dispatch(5_100);
+        b.on_result(5_200, true, 100);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.closes(), 1);
+        // The window restarted: old failures do not re-trip the circuit.
+        b.on_result(5_300, false, 100);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn a_failed_probe_reopens_and_restarts_the_cooldown() {
+        let mut b = CircuitBreaker::new(config());
+        for t in 0..4 {
+            b.on_result(t, false, 100);
+        }
+        assert!(b.admits(2_000));
+        b.on_dispatch(2_000);
+        b.on_result(2_050, false, 100);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2, "the re-open counts");
+        assert!(!b.admits(2_900), "new cooldown from the re-open");
+        assert!(b.admits(3_050));
+    }
+
+    #[test]
+    fn slow_calls_count_against_the_latency_profile() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            slow_call_ns: 1_000,
+            ..config()
+        });
+        // Every response is ok, but at 10× the slow-call bound.
+        for t in 0..4 {
+            b.on_result(t, true, 10_000);
+        }
+        assert_eq!(
+            b.state(),
+            BreakerState::Open,
+            "a dragging provider trips the breaker without a single failure"
+        );
+    }
+
+    #[test]
+    fn old_outcomes_age_out_of_the_window() {
+        let mut b = CircuitBreaker::new(config());
+        // Phase A: 3 failures spread thinly enough that no judged
+        // prefix reaches 50% bad (peak is 3/8).
+        for (t, ok) in [true, true, true, false, true, false, true, false]
+            .into_iter()
+            .enumerate()
+        {
+            b.on_result(t as u64, ok, 100);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Phase B: 8 successes slide every phase-A failure out of the
+        // 8-slot window.
+        for t in 8..16 {
+            b.on_result(t, true, 100);
+        }
+        // Phase C: 3 fresh failures. A correctly aged window holds
+        // 5 ok + 3 bad = 37.5%; if eviction leaked, the 6 lifetime
+        // failures would read as 75% and trip.
+        for t in 16..19 {
+            b.on_result(t, false, 100);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn stale_results_landing_while_open_are_ignored() {
+        let mut b = CircuitBreaker::new(config());
+        for t in 0..4 {
+            b.on_result(t, false, 100);
+        }
+        assert_eq!(b.opens(), 1);
+        b.on_result(10, false, 100);
+        b.on_result(11, true, 100);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1, "stale evidence neither re-trips nor closes");
+    }
+}

@@ -10,6 +10,10 @@
 //! | `REDUNDANCY_DEADLINE_MS` | per-request deadline budget (0 disables) | virtual ms |
 //! | `REDUNDANCY_INFLIGHT` | admission-control concurrency cap | requests |
 //! | `REDUNDANCY_QUEUE` | backpressure queue capacity | requests |
+//! | `REDUNDANCY_SHARDS` | shard count for the sharded runtime | shards (≥ 1) |
+//! | `REDUNDANCY_BREAKER_WINDOW` | circuit-breaker sliding window | samples (≥ 1) |
+//! | `REDUNDANCY_BREAKER_FAILURE_PCT` | failure threshold that trips a circuit | percent (1–100) |
+//! | `REDUNDANCY_BREAKER_COOLDOWN_MS` | Open → HalfOpen cooldown | virtual ms (≥ 1) |
 //!
 //! Each knob follows the warn-once contract established for
 //! `REDUNDANCY_JOBS`: an unset or empty variable is silent, a
@@ -20,6 +24,84 @@
 //! environment.
 
 use crate::runtime::{RequestPolicy, RuntimeConfig};
+
+/// Parses a `REDUNDANCY_SHARDS` value (must be ≥ 1: zero shards is not
+/// a runtime).
+///
+/// `Ok(n)`, `Err(None)` for empty/unset, `Err(Some(msg))` otherwise.
+pub fn parse_shards_env(value: &str) -> Result<usize, Option<String>> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ if value.trim().is_empty() => Err(None),
+        _ => Err(Some(format!(
+            "warning: ignoring REDUNDANCY_SHARDS={value:?}: expected a positive integer"
+        ))),
+    }
+}
+
+/// Resolves the shard count from the process environment with the
+/// warn-once contract: unset/empty keeps `default`, malformed keeps
+/// `default` with a stderr warning.
+#[must_use]
+pub fn shards_from_env(default: usize) -> usize {
+    match std::env::var("REDUNDANCY_SHARDS") {
+        Ok(value) => match parse_shards_env(&value) {
+            Ok(n) => n,
+            Err(warning) => {
+                if let Some(warning) = warning {
+                    eprintln!("{warning}");
+                }
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+/// Parses a `REDUNDANCY_BREAKER_WINDOW` value (sliding-window size in
+/// samples, ≥ 1).
+///
+/// `Ok(n)`, `Err(None)` for empty/unset, `Err(Some(msg))` otherwise.
+pub fn parse_breaker_window_env(value: &str) -> Result<usize, Option<String>> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ if value.trim().is_empty() => Err(None),
+        _ => Err(Some(format!(
+            "warning: ignoring REDUNDANCY_BREAKER_WINDOW={value:?}: expected a positive integer"
+        ))),
+    }
+}
+
+/// Parses a `REDUNDANCY_BREAKER_FAILURE_PCT` value (1–100: a 0% trip
+/// threshold would open on the first sample of any window).
+///
+/// `Ok(pct)`, `Err(None)` for empty/unset, `Err(Some(msg))` otherwise.
+pub fn parse_breaker_failure_pct_env(value: &str) -> Result<u8, Option<String>> {
+    match value.trim().parse::<u8>() {
+        Ok(pct) if (1..=100).contains(&pct) => Ok(pct),
+        _ if value.trim().is_empty() => Err(None),
+        _ => Err(Some(format!(
+            "warning: ignoring REDUNDANCY_BREAKER_FAILURE_PCT={value:?}: expected an \
+             integer percentage in 1..=100"
+        ))),
+    }
+}
+
+/// Parses a `REDUNDANCY_BREAKER_COOLDOWN_MS` value (virtual
+/// milliseconds, ≥ 1: a zero cooldown would re-probe instantly and the
+/// circuit would never shield anything).
+///
+/// `Ok(ns)`, `Err(None)` for empty/unset, `Err(Some(msg))` otherwise.
+pub fn parse_breaker_cooldown_env(value: &str) -> Result<u64, Option<String>> {
+    match value.trim().parse::<u64>() {
+        Ok(ms) if ms > 0 => Ok(ms.saturating_mul(1_000_000)),
+        _ if value.trim().is_empty() => Err(None),
+        _ => Err(Some(format!(
+            "warning: ignoring REDUNDANCY_BREAKER_COOLDOWN_MS={value:?}: expected virtual \
+             milliseconds as a positive integer"
+        ))),
+    }
+}
 
 /// Parses a `REDUNDANCY_HEDGE_DELAY` value (virtual microseconds).
 ///
@@ -79,12 +161,15 @@ pub fn parse_queue_env(value: &str) -> Result<usize, Option<String>> {
     }
 }
 
-/// Applies the four knobs to `base` using `lookup` as the environment,
+/// Applies the runtime knobs to `base` using `lookup` as the
+/// environment,
 /// returning the resolved config plus any warnings (the caller prints
 /// them — once — to keep this function pure and testable).
 ///
 /// `REDUNDANCY_HEDGE_DELAY` only takes effect when the base policy is
 /// [`RequestPolicy::Hedged`] — there is no delay to override otherwise.
+/// Likewise the `REDUNDANCY_BREAKER_*` knobs tune an *already enabled*
+/// breaker (`base.breaker` is `Some`); they never switch breakers on.
 #[must_use]
 pub fn apply_env(
     base: RuntimeConfig,
@@ -136,6 +221,42 @@ pub fn apply_env(
         &mut |value| match parse_queue_env(value) {
             Ok(n) => {
                 config.queue_capacity = n;
+                None
+            }
+            Err(warning) => warning,
+        },
+    );
+    knob(
+        "REDUNDANCY_BREAKER_WINDOW",
+        &mut |value| match parse_breaker_window_env(value) {
+            Ok(n) => {
+                if let Some(breaker) = &mut config.breaker {
+                    breaker.window = n;
+                }
+                None
+            }
+            Err(warning) => warning,
+        },
+    );
+    knob(
+        "REDUNDANCY_BREAKER_FAILURE_PCT",
+        &mut |value| match parse_breaker_failure_pct_env(value) {
+            Ok(pct) => {
+                if let Some(breaker) = &mut config.breaker {
+                    breaker.failure_pct = pct;
+                }
+                None
+            }
+            Err(warning) => warning,
+        },
+    );
+    knob(
+        "REDUNDANCY_BREAKER_COOLDOWN_MS",
+        &mut |value| match parse_breaker_cooldown_env(value) {
+            Ok(ns) => {
+                if let Some(breaker) = &mut config.breaker {
+                    breaker.cooldown_ns = ns;
+                }
                 None
             }
             Err(warning) => warning,
@@ -285,7 +406,53 @@ mod tests {
                 deadline_ns: 100_000_000,
                 max_in_flight: 32,
                 queue_capacity: RuntimeConfig::default().queue_capacity,
+                breaker: None,
             }
         );
+    }
+
+    #[test]
+    fn shards_knob_rejects_zero_with_a_warning() {
+        assert_eq!(parse_shards_env("8"), Ok(8));
+        assert_eq!(parse_shards_env(" 1 "), Ok(1));
+        assert_eq!(parse_shards_env(""), Err(None));
+        let warning = parse_shards_env("0").unwrap_err().unwrap();
+        assert!(warning.contains("REDUNDANCY_SHARDS"));
+        let warning = parse_shards_env("many").unwrap_err().unwrap();
+        assert!(warning.contains("\"many\""));
+    }
+
+    #[test]
+    fn breaker_knobs_tune_an_enabled_breaker_only() {
+        use crate::breaker::BreakerConfig;
+        assert_eq!(parse_breaker_window_env("128"), Ok(128));
+        assert!(parse_breaker_window_env("0").unwrap_err().is_some());
+        assert_eq!(parse_breaker_failure_pct_env("75"), Ok(75));
+        assert!(parse_breaker_failure_pct_env("0").unwrap_err().is_some());
+        assert!(parse_breaker_failure_pct_env("101").unwrap_err().is_some());
+        assert_eq!(parse_breaker_cooldown_env("5"), Ok(5_000_000));
+        assert!(parse_breaker_cooldown_env("0").unwrap_err().is_some());
+        assert_eq!(parse_breaker_cooldown_env("  "), Err(None));
+
+        let env = env_of(&[
+            ("REDUNDANCY_BREAKER_WINDOW", "128"),
+            ("REDUNDANCY_BREAKER_FAILURE_PCT", "75"),
+            ("REDUNDANCY_BREAKER_COOLDOWN_MS", "5"),
+        ]);
+        let enabled = RuntimeConfig {
+            breaker: Some(BreakerConfig::default()),
+            ..RuntimeConfig::default()
+        };
+        let (resolved, warnings) = apply_env(enabled, &env);
+        assert!(warnings.is_empty());
+        let breaker = resolved.breaker.expect("breaker stays enabled");
+        assert_eq!(breaker.window, 128);
+        assert_eq!(breaker.failure_pct, 75);
+        assert_eq!(breaker.cooldown_ns, 5_000_000);
+        // With no breaker in the base config the knobs are inert: they
+        // tune a breaker, they never enable one.
+        let (resolved, warnings) = apply_env(RuntimeConfig::default(), &env);
+        assert!(warnings.is_empty());
+        assert_eq!(resolved.breaker, None);
     }
 }

@@ -32,11 +32,23 @@
 //!   requests* (cancel on first acceptable response) and sequential
 //!   alternatives as *failover with deadline budgets*, behind admission
 //!   control and a bounded backpressure queue;
+//! - [`arrival`] — open-loop arrival processes (Poisson, bursty
+//!   on/off, replayed traces) precomputed from order-free per-id RNG
+//!   streams;
+//! - [`breaker`] — per-provider circuit breakers (Closed/Open/HalfOpen
+//!   over a windowed failure + slow-call profile, virtual-time
+//!   cooldowns) feeding the runtime's admission and attempt routing;
+//! - [`shard`] — the scale-out layer: one workload split across N
+//!   per-shard event loops on the campaign worker pool, merged back
+//!   into a single canonical ledger whose digest is bit-identical at
+//!   any shard or job count;
 //! - [`config`] — `REDUNDANCY_*` environment knobs for the runtime's
 //!   operational parameters, with the warn-once contract.
 
 #![warn(missing_docs)]
 
+pub mod arrival;
+pub mod breaker;
 pub mod clock;
 pub mod config;
 pub mod process;
@@ -44,8 +56,11 @@ pub mod provider;
 pub mod recovery;
 pub mod registry;
 pub mod runtime;
+pub mod shard;
 pub mod value;
 
+pub use arrival::ArrivalProcess;
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use clock::EventQueue;
 pub use process::{Activity, Engine, Expr, ProcessError, Vars};
 pub use provider::{PlannedInvoke, Provider, ServiceError, SimProvider, SimProviderBuilder};
@@ -55,4 +70,5 @@ pub use runtime::{
     PlannedProvider, RequestOutcome, RequestPolicy, RequestRecord, RuntimeConfig, RuntimeReport,
     ServiceRuntime, Workload,
 };
+pub use shard::ShardedRuntime;
 pub use value::Value;

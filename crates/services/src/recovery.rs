@@ -434,6 +434,55 @@ mod tests {
     }
 
     #[test]
+    fn backoff_saturation_boundaries_are_exact() {
+        // factor^(n-1) crosses u64::MAX between n = 64 and n = 65 for
+        // factor 2 with base 1: the last exact value, then saturation,
+        // both bounded by the cap.
+        let pow2 = Backoff::Exponential {
+            base_ns: 1,
+            factor: 2,
+            cap_ns: u64::MAX,
+        };
+        assert_eq!(pow2.delay_ns(64), 1 << 63, "last exact power of two");
+        assert_eq!(pow2.delay_ns(65), u64::MAX, "2^64 saturates");
+        assert_eq!(pow2.delay_ns(u32::MAX), u64::MAX, "stays saturated");
+        // A saturated product still respects the cap.
+        let capped = Backoff::Exponential {
+            base_ns: 1,
+            factor: 2,
+            cap_ns: 1_000_000,
+        };
+        assert_eq!(capped.delay_ns(65), 1_000_000);
+        // factor 1 is a fixed delay in exponential clothing.
+        let flat = Backoff::Exponential {
+            base_ns: 700,
+            factor: 1,
+            cap_ns: u64::MAX,
+        };
+        assert_eq!(flat.delay_ns(1), 700);
+        assert_eq!(flat.delay_ns(1_000), 700);
+        // factor 0 collapses to base on the first retry (0^0 = 1), then
+        // to zero delay — never a panic.
+        let zero_factor = Backoff::Exponential {
+            base_ns: 700,
+            factor: 0,
+            cap_ns: u64::MAX,
+        };
+        assert_eq!(zero_factor.delay_ns(1), 700);
+        assert_eq!(zero_factor.delay_ns(2), 0);
+        // base 0 never waits regardless of the exponent.
+        let zero_base = Backoff::Exponential {
+            base_ns: 0,
+            factor: u64::MAX,
+            cap_ns: u64::MAX,
+        };
+        assert_eq!(zero_base.delay_ns(50), 0);
+        // The cap also binds a saturated fixed schedule's edge case:
+        // u64::MAX delay is representable and exact.
+        assert_eq!(Backoff::Fixed(u64::MAX).delay_ns(1), u64::MAX);
+    }
+
+    #[test]
     fn retried_recovery_charges_the_exact_backoff_schedule() {
         // Recovery targets a dead service: every attempt fails, so the
         // rule walks its whole schedule. Virtual time must advance by

@@ -26,6 +26,25 @@
 //! this runtime exactly as they cover the Monte-Carlo engine. The
 //! per-request [`RequestRecord`] ledger is bit-identical for a given
 //! seed — the determinism tests hash it.
+//!
+//! Two structural choices make the loop *shardable*
+//! ([`ShardedRuntime`](crate::shard::ShardedRuntime) splits one
+//! workload across per-shard loops on the campaign worker pool):
+//!
+//! - every per-request random quantity — arrival gap
+//!   ([`ArrivalProcess::arrival_times`] precomputes the schedule from
+//!   per-id streams), initial provider offset, and attempt draws — is a
+//!   pure function of `(seed, id)`, never of how many other requests
+//!   ran first;
+//! - the ledger is kept in canonical *resolution order*: sorted by
+//!   `(end_ns, id)`, a total order independent of event interleaving,
+//!   so merged shard ledgers hash identically to the single loop's.
+//!
+//! Optionally each provider sits behind a per-run
+//! [`CircuitBreaker`](crate::breaker::CircuitBreaker)
+//! ([`RuntimeConfig::breaker`]): Open providers are skipped by hedges
+//! and failover rotations, and a request arriving while *every*
+//! provider is Open is shed at the front door.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -33,6 +52,8 @@ use std::sync::Arc;
 use redundancy_core::obs::telemetry::{self, Counter, Timer};
 use redundancy_core::rng::SplitMix64;
 
+use crate::arrival::ArrivalProcess;
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::clock::EventQueue;
 use crate::provider::{PlannedInvoke, Provider, SimProvider};
 use crate::recovery::Backoff;
@@ -99,6 +120,10 @@ pub struct RuntimeConfig {
     /// Bounded backpressure queue in front of admission; arrivals
     /// beyond `max_in_flight + queue_capacity` are shed.
     pub queue_capacity: usize,
+    /// Per-provider circuit breakers (`None` disables them): each run
+    /// instantiates one fresh [`CircuitBreaker`] per provider from this
+    /// config, so breaker state never leaks across runs or shards.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -108,23 +133,39 @@ impl Default for RuntimeConfig {
             deadline_ns: 0,
             max_in_flight: 1_024,
             queue_capacity: 4_096,
+            breaker: None,
         }
     }
 }
 
-/// An open-loop request stream: `requests` arrivals with exponential
-/// interarrival gaps around `mean_interarrival_ns`, every request
-/// invoking the same operation with the same arguments.
+/// An open-loop request stream: `requests` arrivals scheduled by an
+/// [`ArrivalProcess`], every request invoking the same operation with
+/// the same arguments.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// Total requests to generate.
     pub requests: u64,
-    /// Mean virtual-ns gap between consecutive arrivals.
-    pub mean_interarrival_ns: u64,
+    /// When requests enter the system (Poisson, bursty on/off, or a
+    /// replayed trace); the full schedule is precomputed per run.
+    pub arrival: ArrivalProcess,
     /// Operation invoked by every request.
     pub operation: String,
     /// Arguments passed to every request.
     pub args: Vec<Value>,
+}
+
+impl Workload {
+    /// Convenience: a Poisson (exponential-gap) workload — the common
+    /// steady-state shape.
+    #[must_use]
+    pub fn poisson(requests: u64, mean_gap_ns: u64, operation: impl Into<String>) -> Self {
+        Workload {
+            requests,
+            arrival: ArrivalProcess::Poisson { mean_gap_ns },
+            operation: operation.into(),
+            args: vec![],
+        }
+    }
 }
 
 /// How one request ended.
@@ -171,9 +212,11 @@ impl RequestRecord {
 }
 
 /// Everything one run produced: the full ledger plus aggregate counts.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RuntimeReport {
-    /// Per-request records in resolution order (deterministic per seed).
+    /// Per-request records in canonical resolution order — sorted by
+    /// `(end_ns, id)`, a total order that is identical however the run
+    /// was sharded or scheduled (deterministic per seed).
     pub ledger: Vec<RequestRecord>,
     /// Virtual time of the last event.
     pub makespan_ns: u64,
@@ -193,29 +236,67 @@ pub struct RuntimeReport {
     pub hedges_cancelled: u64,
     /// Failover attempts dispatched.
     pub failovers: u64,
-    /// Most requests ever executing at once.
+    /// Most requests ever executing at once (summed across shards in a
+    /// merged report — an aggregate capacity footprint, not a single
+    /// loop's high-water mark).
     pub peak_in_flight: usize,
-    /// Deepest the backpressure queue ever got.
+    /// Deepest the backpressure queue ever got (summed when merged).
     pub peak_queue_depth: usize,
+    /// Attempts that completed with a failure verdict.
+    pub attempts_failed: u64,
+    /// Times a provider's circuit breaker tripped Open (re-opens from
+    /// failed half-open probes included).
+    pub breaker_opens: u64,
+    /// Open providers skipped over when picking an attempt's target.
+    pub breaker_skips: u64,
+    /// Requests shed at arrival because every provider was Open.
+    pub breaker_shed: u64,
 }
 
 impl RuntimeReport {
-    /// Sustained throughput in requests per *virtual* second.
+    /// *Offered* throughput in requests per virtual second: every
+    /// request that reached a disposition, including shed and
+    /// timed-out ones. The denominator of loss ratios, not a measure
+    /// of useful work — see [`goodput_per_sec`](Self::goodput_per_sec).
     #[must_use]
-    pub fn requests_per_sec(&self) -> f64 {
-        if self.makespan_ns == 0 {
+    pub fn offered_per_sec(&self) -> f64 {
+        Self::per_sec(self.ledger.len() as u64, self.makespan_ns)
+    }
+
+    /// *Goodput* in requests per virtual second: only requests that
+    /// resolved acceptably. Under load shedding this is the number that
+    /// matters — counting `Rejected`/`DeadlineExceeded` rows (as the
+    /// pre-fix `requests_per_sec` did) overstates throughput exactly
+    /// when the runtime starts refusing work.
+    #[must_use]
+    pub fn goodput_per_sec(&self) -> f64 {
+        Self::per_sec(self.ok, self.makespan_ns)
+    }
+
+    fn per_sec(count: u64, makespan_ns: u64) -> f64 {
+        if makespan_ns == 0 {
             return 0.0;
         }
         #[allow(clippy::cast_precision_loss)]
         {
-            self.ledger.len() as f64 / (self.makespan_ns as f64 / 1e9)
+            count as f64 / (makespan_ns as f64 / 1e9)
         }
     }
 
     /// Exact (nearest-rank over the full ledger, no sketch) latency
     /// quantile of the *successful* requests, in virtual ns.
+    ///
+    /// Nearest-rank convention: the result is the smallest recorded
+    /// latency with at least `⌈q·n⌉` samples at or below it, with the
+    /// rank clamped into `1..=n` — so `q = 0.0` returns the minimum
+    /// (rank 1), `q = 1.0` the maximum (rank n), and any finite `q`
+    /// outside `[0, 1]` clamps to those endpoints. Returns `None` for a
+    /// non-finite `q` (NaN has no rank) or when no request succeeded.
     #[must_use]
     pub fn latency_quantile(&self, q: f64) -> Option<u64> {
+        if !q.is_finite() {
+            return None;
+        }
         let mut latencies: Vec<u64> = self
             .ledger
             .iter()
@@ -226,6 +307,8 @@ impl RuntimeReport {
             return None;
         }
         latencies.sort_unstable();
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
         let rank = ((q.clamp(0.0, 1.0) * latencies.len() as f64).ceil() as usize)
             .clamp(1, latencies.len());
         Some(latencies[rank - 1])
@@ -278,6 +361,7 @@ enum Event {
         attempt: u32,
         provider: u32,
         ok: bool,
+        latency_ns: u64,
     },
     /// The hedge delay elapsed with no response yet.
     HedgeTimer { req: u64 },
@@ -329,39 +413,78 @@ impl ServiceRuntime {
     /// many other runtimes run concurrently.
     #[must_use]
     pub fn run(&self, workload: &Workload, seed: u64) -> RuntimeReport {
+        let arrivals = workload.arrival.arrival_times(workload.requests, seed);
+        self.run_slice(workload, seed, &arrivals, 0, 1)
+    }
+
+    /// Drives the strided slice `{first, first + step, ...}` of
+    /// `workload`'s id space against the precomputed `arrivals` table
+    /// (one entry per id, shared across slices). `run` is the
+    /// degenerate slice `(0, 1)`; [`ShardedRuntime`] runs slice `s` of
+    /// `N` per shard. Per-request dynamics depend on `(seed, id)` only,
+    /// so a request behaves identically whichever slice executes it.
+    ///
+    /// [`ShardedRuntime`]: crate::shard::ShardedRuntime
+    #[must_use]
+    pub(crate) fn run_slice(
+        &self,
+        workload: &Workload,
+        seed: u64,
+        arrivals: &[u64],
+        first: u64,
+        step: u64,
+    ) -> RuntimeReport {
+        assert!(step >= 1, "slice stride must be ≥ 1");
+        assert_eq!(
+            arrivals.len() as u64,
+            workload.requests,
+            "arrival table must cover every request id"
+        );
+        let breakers: Vec<CircuitBreaker> = match self.config.breaker {
+            Some(config) => self
+                .providers
+                .iter()
+                .map(|_| CircuitBreaker::new(config))
+                .collect(),
+            None => Vec::new(),
+        };
         let mut sim = Sim {
             providers: &self.providers,
             config: &self.config,
             workload,
             seed,
+            arrivals,
+            step,
             events: EventQueue::new(),
             states: HashMap::new(),
             waiting: VecDeque::new(),
             in_flight: 0,
-            arrival_rng: SplitMix64::new(seed ^ 0xa55e_55ed_ca11_ab1e),
+            breakers,
             report: RuntimeReport {
-                ledger: Vec::with_capacity(usize::try_from(workload.requests).unwrap_or(0)),
-                makespan_ns: 0,
-                ok: 0,
-                failed: 0,
-                rejected: 0,
-                deadline_exceeded: 0,
-                hedges_fired: 0,
-                hedges_won: 0,
-                hedges_cancelled: 0,
-                failovers: 0,
-                peak_in_flight: 0,
-                peak_queue_depth: 0,
+                ledger: Vec::with_capacity(
+                    usize::try_from(workload.requests / step.max(1)).unwrap_or(0),
+                ),
+                ..RuntimeReport::default()
             },
         };
-        if workload.requests > 0 {
-            sim.events.schedule(0, Event::Arrival { req: 0 });
+        if first < workload.requests {
+            sim.events.schedule(
+                arrivals[usize::try_from(first).unwrap_or(usize::MAX)],
+                Event::Arrival { req: first },
+            );
         }
         while let Some((now, event)) = sim.events.pop() {
             sim.handle(now, event);
         }
         sim.report.makespan_ns = sim.events.now();
         debug_assert!(sim.states.is_empty(), "every request must resolve");
+        for breaker in &sim.breakers {
+            sim.report.breaker_opens += breaker.opens();
+        }
+        // Canonical resolution order: (end_ns, id) is a total order
+        // independent of event interleaving, so single-loop and merged
+        // sharded ledgers are byte-identical.
+        sim.report.ledger.sort_unstable_by_key(|r| (r.end_ns, r.id));
         sim.report
     }
 }
@@ -372,32 +495,49 @@ struct Sim<'a> {
     config: &'a RuntimeConfig,
     workload: &'a Workload,
     seed: u64,
+    /// Precomputed arrival instant per request id (all ids, not just
+    /// this slice's — stride-indexed).
+    arrivals: &'a [u64],
+    /// Id stride of this slice: the next arrival after `req` is
+    /// `req + step`.
+    step: u64,
     events: EventQueue<Event>,
     states: HashMap<u64, ReqState>,
     waiting: VecDeque<u64>,
     in_flight: usize,
-    arrival_rng: SplitMix64,
+    /// One breaker per provider when enabled, empty otherwise.
+    breakers: Vec<CircuitBreaker>,
     report: RuntimeReport,
 }
 
 impl Sim<'_> {
-    /// Exponential interarrival gap (open-loop Poisson arrivals).
-    fn next_interarrival(&mut self) -> u64 {
-        #[allow(clippy::cast_precision_loss)]
-        let mean = self.workload.mean_interarrival_ns.max(1) as f64;
-        let u = self.arrival_rng.next_f64();
-        // u ∈ [0, 1): 1-u ∈ (0, 1], ln ≤ 0, gap ≥ 0.
-        let gap = -mean * (1.0 - u).ln();
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        {
-            gap as u64
-        }
-    }
-
     /// Per-request RNG, derived from the run seed and the request id
     /// alone — independent of event interleaving by construction.
     fn request_rng(&self, req: u64) -> SplitMix64 {
         SplitMix64::new(self.seed ^ req.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// The provider rotation's starting point for request `req`: a hash
+    /// of `(seed, id)`, **not** `id % providers` — a modulo offset
+    /// phase-locks entire shards onto one provider whenever the shard
+    /// stride divides the provider count (e.g. 3 shards × 3 providers:
+    /// every request shard 0 owns would start on provider 0). The hash
+    /// spreads load uniformly per shard and, being a pure function of
+    /// the id, keeps the rotation invariant across shard counts.
+    fn initial_provider(&self, req: u64) -> usize {
+        let mut rng = SplitMix64::new(
+            self.seed ^ req.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x0ff5_e7cb_a1a2_ce11,
+        );
+        rng.index(self.providers.len())
+    }
+
+    /// Whether any provider currently admits a dispatch (breakers
+    /// enabled only); drives front-door shedding.
+    fn any_provider_admits(&mut self, now: u64) -> bool {
+        if self.breakers.is_empty() {
+            return true;
+        }
+        self.breakers.iter_mut().any(|b| b.admits(now))
     }
 
     fn handle(&mut self, now: u64, event: Event) {
@@ -408,34 +548,51 @@ impl Sim<'_> {
                 attempt,
                 provider,
                 ok,
-            } => self.on_attempt_done(now, req, attempt, provider, ok),
+                latency_ns,
+            } => self.on_attempt_done(now, req, attempt, provider, ok, latency_ns),
             Event::HedgeTimer { req } => self.on_hedge_timer(now, req),
             Event::RetryTimer { req } => self.on_retry_timer(now, req),
             Event::Deadline { req } => self.on_deadline(now, req),
         }
     }
 
+    /// Sheds `req` at the front door with the given ledger disposition.
+    fn shed_at_arrival(&mut self, now: u64, req: u64) {
+        telemetry::add(Counter::ServiceRejected, 1);
+        self.report.rejected += 1;
+        self.report.ledger.push(RequestRecord {
+            id: req,
+            arrival_ns: now,
+            start_ns: None,
+            end_ns: now,
+            attempts: 0,
+            outcome: RequestOutcome::Rejected,
+        });
+    }
+
     fn on_arrival(&mut self, now: u64, req: u64) {
         telemetry::add(Counter::ServiceArrivals, 1);
-        if req + 1 < self.workload.requests {
-            let gap = self.next_interarrival();
-            self.events
-                .schedule(now + gap, Event::Arrival { req: req + 1 });
+        let next = req + self.step;
+        if next < self.workload.requests {
+            self.events.schedule(
+                self.arrivals[usize::try_from(next).unwrap_or(usize::MAX)],
+                Event::Arrival { req: next },
+            );
         }
         if self.in_flight >= self.config.max_in_flight
             && self.waiting.len() >= self.config.queue_capacity
         {
             // Load shedding: full queue, reject at the front door.
-            telemetry::add(Counter::ServiceRejected, 1);
-            self.report.rejected += 1;
-            self.report.ledger.push(RequestRecord {
-                id: req,
-                arrival_ns: now,
-                start_ns: None,
-                end_ns: now,
-                attempts: 0,
-                outcome: RequestOutcome::Rejected,
-            });
+            self.shed_at_arrival(now, req);
+            return;
+        }
+        if !self.any_provider_admits(now) {
+            // Every provider's circuit is Open: the breakers feed the
+            // admission controller, so fail fast instead of queueing
+            // work that has nowhere to go.
+            telemetry::add(Counter::ServiceBreakerShed, 1);
+            self.report.breaker_shed += 1;
+            self.shed_at_arrival(now, req);
             return;
         }
         self.states.insert(
@@ -445,8 +602,7 @@ impl Sim<'_> {
                 start_ns: None,
                 attempts_started: 0,
                 outstanding: 0,
-                next_provider: usize::try_from(req % self.providers.len() as u64)
-                    .unwrap_or_default(),
+                next_provider: self.initial_provider(req),
                 rng: self.request_rng(req),
             },
         );
@@ -475,7 +631,12 @@ impl Sim<'_> {
         self.report.peak_in_flight = self.report.peak_in_flight.max(self.in_flight);
         let state = self.states.get_mut(&req).expect("starting a live request");
         state.start_ns = Some(now);
-        self.dispatch_attempt(now, req);
+        if !self.dispatch_attempt(now, req) {
+            // Breakers closed every door between arrival and admission
+            // (possible after a queue wait): fail fast.
+            self.resolve(now, req, RequestOutcome::Failed);
+            return;
+        }
         if let RequestPolicy::Hedged {
             delay_ns,
             max_hedges,
@@ -488,7 +649,39 @@ impl Sim<'_> {
         }
     }
 
-    fn dispatch_attempt(&mut self, now: u64, req: u64) {
+    /// Dispatches the next attempt of `req` to the first provider in
+    /// its rotation whose breaker admits it, skipping Open ones.
+    /// Returns `false` — dispatching nothing — when every provider's
+    /// circuit refuses; the caller decides what that means for the
+    /// request (fail fast, skip the hedge, charge the failover pause).
+    fn dispatch_attempt(&mut self, now: u64, req: u64) -> bool {
+        let provider_count = self.providers.len();
+        let state = self
+            .states
+            .get_mut(&req)
+            .expect("dispatch on a live request");
+        let rotation = state.next_provider;
+        let mut chosen = None;
+        if self.breakers.is_empty() {
+            chosen = Some(rotation % provider_count);
+        } else {
+            let mut skipped = 0u64;
+            for hop in 0..provider_count {
+                let idx = (rotation + hop) % provider_count;
+                if self.breakers[idx].admits(now) {
+                    chosen = Some(idx);
+                    break;
+                }
+                skipped += 1;
+            }
+            if skipped > 0 && chosen.is_some() {
+                telemetry::add(Counter::ServiceBreakerSkips, skipped);
+                self.report.breaker_skips += skipped;
+            }
+        }
+        let Some(provider_idx) = chosen else {
+            return false;
+        };
         let state = self
             .states
             .get_mut(&req)
@@ -496,14 +689,18 @@ impl Sim<'_> {
         let attempt = state.attempts_started;
         state.attempts_started += 1;
         state.outstanding += 1;
-        let provider_idx = state.next_provider % self.providers.len();
-        state.next_provider += 1;
+        // Advance the rotation past the chosen provider so the next
+        // attempt tries a different one first.
+        state.next_provider = provider_idx + 1;
         let mut attempt_rng = state.rng.split();
         let PlannedInvoke { latency_ns, result } = self.providers[provider_idx].plan(
             &self.workload.operation,
             &self.workload.args,
             &mut attempt_rng,
         );
+        if let Some(breaker) = self.breakers.get_mut(provider_idx) {
+            breaker.on_dispatch(now);
+        }
         self.events.schedule(
             now.saturating_add(latency_ns),
             Event::AttemptDone {
@@ -511,14 +708,38 @@ impl Sim<'_> {
                 attempt,
                 provider: u32::try_from(provider_idx).unwrap_or(u32::MAX),
                 ok: result.is_ok(),
+                latency_ns,
             },
         );
+        true
     }
 
-    fn on_attempt_done(&mut self, now: u64, req: u64, attempt: u32, provider: u32, ok: bool) {
-        let Some(state) = self.states.get_mut(&req) else {
+    fn on_attempt_done(
+        &mut self,
+        now: u64,
+        req: u64,
+        attempt: u32,
+        provider: u32,
+        ok: bool,
+        latency_ns: u64,
+    ) {
+        if !self.states.contains_key(&req) {
             return; // Stale: the request resolved while this attempt flew.
-        };
+        }
+        // Profile the completion into the provider's breaker. Cancelled
+        // attempts (stale events, dropped above) never land here: a
+        // cancelled call produces no response to learn from.
+        if let Some(breaker) = self
+            .breakers
+            .get_mut(usize::try_from(provider).unwrap_or(usize::MAX))
+        {
+            breaker.on_result(now, ok, latency_ns);
+        }
+        if !ok {
+            telemetry::add(Counter::ServiceAttemptsFailed, 1);
+            self.report.attempts_failed += 1;
+        }
+        let state = self.states.get_mut(&req).expect("live request");
         state.outstanding -= 1;
         if ok {
             let hedged = matches!(self.config.policy, RequestPolicy::Hedged { .. });
@@ -545,13 +766,14 @@ impl Sim<'_> {
                 if state.outstanding > 0 {
                     return; // A sibling is still flying; let it race.
                 }
-                if state.attempts_started < 1 + max_hedges {
+                if state.attempts_started < 1 + max_hedges && self.dispatch_attempt(now, req) {
                     // Fail-fast hedge: no point waiting for the timer
                     // when we already know the attempt died.
                     telemetry::add(Counter::ServiceHedgesFired, 1);
                     self.report.hedges_fired += 1;
-                    self.dispatch_attempt(now, req);
                 } else {
+                    // Attempt budget spent — or nothing left flying and
+                    // every breaker refused a replacement.
                     self.resolve(now, req, RequestOutcome::Failed);
                 }
             }
@@ -585,10 +807,17 @@ impl Sim<'_> {
         if self.states[&req].attempts_started > max_hedges {
             return;
         }
-        telemetry::add(Counter::ServiceHedgesFired, 1);
-        self.report.hedges_fired += 1;
-        self.dispatch_attempt(now, req);
-        if self.states[&req].attempts_started < 1 + max_hedges {
+        // A hedge never targets an Open provider: when every circuit
+        // refuses, skip this tick (the primary is still flying) and let
+        // a later tick retry once a cooldown elapses.
+        let dispatched = self.dispatch_attempt(now, req);
+        if dispatched {
+            telemetry::add(Counter::ServiceHedgesFired, 1);
+            self.report.hedges_fired += 1;
+        }
+        // Re-arm while budget remains; a skipped tick re-arms only with
+        // a positive delay (a zero-delay timer would spin in place).
+        if self.states[&req].attempts_started < 1 + max_hedges && (dispatched || delay_ns > 0) {
             self.events
                 .schedule(now.saturating_add(delay_ns), Event::HedgeTimer { req });
         }
@@ -598,9 +827,31 @@ impl Sim<'_> {
         if !self.states.contains_key(&req) {
             return; // Deadline beat the backoff pause.
         }
-        telemetry::add(Counter::ServiceFailovers, 1);
-        self.report.failovers += 1;
-        self.dispatch_attempt(now, req);
+        if self.dispatch_attempt(now, req) {
+            telemetry::add(Counter::ServiceFailovers, 1);
+            self.report.failovers += 1;
+            return;
+        }
+        // Every provider's circuit refused this rotation: failover
+        // *charges* the skipped attempt and its backoff pause rather
+        // than spinning — the attempt budget keeps the retry loop
+        // bounded even while everything is Open.
+        let RequestPolicy::Failover {
+            max_attempts,
+            backoff,
+        } = self.config.policy
+        else {
+            return;
+        };
+        let state = self.states.get_mut(&req).expect("live request");
+        state.attempts_started += 1;
+        if state.attempts_started < max_attempts.max(1) {
+            let pause = backoff.delay_ns(state.attempts_started);
+            self.events
+                .schedule(now.saturating_add(pause), Event::RetryTimer { req });
+        } else if state.outstanding == 0 {
+            self.resolve(now, req, RequestOutcome::Failed);
+        }
     }
 
     fn on_deadline(&mut self, now: u64, req: u64) {
@@ -694,12 +945,7 @@ mod tests {
     }
 
     fn workload(requests: u64) -> Workload {
-        Workload {
-            requests,
-            mean_interarrival_ns: 1_000,
-            operation: "ping".into(),
-            args: vec![],
-        }
+        Workload::poisson(requests, 1_000, "ping")
     }
 
     fn runtime(policy: RequestPolicy, providers: Vec<Arc<dyn PlannedProvider>>) -> ServiceRuntime {
@@ -710,6 +956,7 @@ mod tests {
                 deadline_ns: 0,
                 max_in_flight: 64,
                 queue_capacity: 256,
+                breaker: None,
             },
         )
     }
@@ -729,7 +976,9 @@ mod tests {
         assert_eq!(report.ledger.len(), 2_000);
         assert_eq!(report.hedges_fired, 0);
         assert!(report.makespan_ns > 0);
-        assert!(report.requests_per_sec() > 0.0);
+        assert!(report.goodput_per_sec() > 0.0);
+        // Nothing was shed, so goodput and offered load coincide.
+        assert!((report.goodput_per_sec() - report.offered_per_sec()).abs() < 1e-9);
         // Every id resolves exactly once.
         let mut ids: Vec<u64> = report.ledger.iter().map(|r| r.id).collect();
         ids.sort_unstable();
@@ -811,6 +1060,7 @@ mod tests {
                 deadline_ns: 1_000_000,
                 max_in_flight: 64,
                 queue_capacity: 256,
+                breaker: None,
             },
         );
         let report = rt.run(&workload(2_000), 3);
@@ -851,6 +1101,7 @@ mod tests {
                 deadline_ns: 50_000,
                 max_in_flight: 8,
                 queue_capacity: 64,
+                breaker: None,
             },
         );
         let report = rt.run(&workload(3_000), 11);
@@ -880,6 +1131,7 @@ mod tests {
                 deadline_ns: 0,
                 max_in_flight: 4,
                 queue_capacity: 16,
+                breaker: None,
             },
         );
         let report = rt.run(&workload(500), 2);
@@ -913,6 +1165,7 @@ mod tests {
                 deadline_ns: 5_000_000,
                 max_in_flight: 1,
                 queue_capacity: 64,
+                breaker: None,
             },
         );
         let report = rt.run(&workload(100), 4);
@@ -954,10 +1207,11 @@ mod tests {
                 deadline_ns: 0,
                 max_in_flight: 100_000,
                 queue_capacity: 100_000,
+                breaker: None,
             },
         );
         let mut load = workload(200_000);
-        load.mean_interarrival_ns = 10; // brutal arrival rate
+        load.arrival = ArrivalProcess::Poisson { mean_gap_ns: 10 }; // brutal arrival rate
         let report = rt.run(&load, 6);
         assert_eq!(report.ok, 200_000);
         assert!(report.peak_in_flight > 1_000, "true concurrency reached");
@@ -981,15 +1235,8 @@ mod tests {
                 .collect(),
             makespan_ns: 1_000,
             ok: 100,
-            failed: 0,
-            rejected: 0,
-            deadline_exceeded: 0,
-            hedges_fired: 0,
-            hedges_won: 0,
-            hedges_cancelled: 0,
-            failovers: 0,
             peak_in_flight: 1,
-            peak_queue_depth: 0,
+            ..RuntimeReport::default()
         };
         assert_eq!(report.latency_quantile(0.5), Some(500));
         assert_eq!(report.latency_quantile(0.99), Some(990));
@@ -997,6 +1244,210 @@ mod tests {
         assert_eq!(report.latency_quantile(0.0), Some(10));
         report.ledger.clear();
         assert_eq!(report.latency_quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_survive_degenerate_inputs() {
+        let single = RuntimeReport {
+            ledger: vec![RequestRecord {
+                id: 0,
+                arrival_ns: 0,
+                start_ns: Some(0),
+                end_ns: 42,
+                attempts: 1,
+                outcome: RequestOutcome::Ok {
+                    attempt: 0,
+                    provider: 0,
+                },
+            }],
+            ok: 1,
+            makespan_ns: 42,
+            ..RuntimeReport::default()
+        };
+        // One sample answers every quantile.
+        assert_eq!(single.latency_quantile(0.0), Some(42));
+        assert_eq!(single.latency_quantile(0.5), Some(42));
+        assert_eq!(single.latency_quantile(1.0), Some(42));
+        // The NaN bug: `q.max(…)`-style clamps silently swallow NaN and
+        // used to index with a garbage rank. Non-finite q is a caller
+        // error and now answers None instead of an arbitrary sample.
+        assert_eq!(single.latency_quantile(f64::NAN), None);
+        assert_eq!(single.latency_quantile(f64::INFINITY), None);
+        assert_eq!(single.latency_quantile(f64::NEG_INFINITY), None);
+        // Finite out-of-range q clamps to the nearest end of the ladder.
+        assert_eq!(single.latency_quantile(7.5), Some(42));
+        assert_eq!(single.latency_quantile(-0.5), Some(42));
+        // An empty ledger has no quantiles at all, finite q or not.
+        let empty = RuntimeReport::default();
+        assert_eq!(empty.latency_quantile(0.5), None);
+        assert_eq!(empty.latency_quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn goodput_excludes_shed_and_timed_out_requests() {
+        // The throughput bug: `requests_per_sec` divided the *ledger
+        // length* by the makespan, so a run that shed half its load at
+        // admission reported the same "throughput" as one that served
+        // everything. Pin the split: offered counts every disposition,
+        // goodput only the acceptable responses.
+        let rt = ServiceRuntime::new(
+            vec![provider("slow", 0.0, 100_000_000)],
+            RuntimeConfig {
+                policy: RequestPolicy::Single,
+                deadline_ns: 0,
+                max_in_flight: 4,
+                queue_capacity: 16,
+                breaker: None,
+            },
+        );
+        let report = rt.run(&workload(500), 2);
+        assert!(report.rejected > 0, "the scenario must shed load");
+        let span_secs = report.makespan_ns as f64 / 1e9;
+        let offered = report.offered_per_sec();
+        let goodput = report.goodput_per_sec();
+        assert!((offered - 500.0 / span_secs).abs() < 1e-6);
+        assert!((goodput - report.ok as f64 / span_secs).abs() < 1e-6);
+        assert!(
+            goodput < offered,
+            "shed load must open a gap: goodput {goodput} vs offered {offered}"
+        );
+        // Zero-makespan reports rate nothing instead of dividing by 0.
+        let empty = RuntimeReport::default();
+        assert_eq!(empty.offered_per_sec(), 0.0);
+        assert_eq!(empty.goodput_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn breaker_sheds_arrivals_once_every_circuit_opens() {
+        let rt = ServiceRuntime::new(
+            vec![provider("dead", 1.0, 1_000)],
+            RuntimeConfig {
+                policy: RequestPolicy::Single,
+                deadline_ns: 0,
+                max_in_flight: 64,
+                queue_capacity: 256,
+                breaker: Some(BreakerConfig {
+                    window: 16,
+                    failure_pct: 50,
+                    min_samples: 8,
+                    cooldown_ns: 10_000_000,
+                    half_open_probes: 2,
+                    slow_call_ns: 0,
+                }),
+            },
+        );
+        let report = rt.run(&workload(1_000), 9);
+        assert!(report.breaker_opens > 0, "a dead provider must trip");
+        assert!(
+            report.breaker_shed > 0,
+            "once the only circuit is open, arrivals shed at the front door"
+        );
+        assert_eq!(report.ok, 0);
+        assert_eq!(
+            report.failed + report.rejected + report.deadline_exceeded,
+            1_000
+        );
+        // Shedding spares the provider: far fewer attempts fail than the
+        // breakerless run's 1000.
+        assert!(
+            report.attempts_failed < 500,
+            "breaker must cut failed attempts, saw {}",
+            report.attempts_failed
+        );
+    }
+
+    #[test]
+    fn breaker_routes_around_a_sick_provider() {
+        let pool = || vec![provider("sick", 0.9, 1_000), provider("fine", 0.0, 1_000)];
+        let with_breaker = |breaker| {
+            ServiceRuntime::new(
+                pool(),
+                RuntimeConfig {
+                    policy: RequestPolicy::Failover {
+                        max_attempts: 4,
+                        backoff: Backoff::None,
+                    },
+                    deadline_ns: 0,
+                    max_in_flight: 64,
+                    queue_capacity: 256,
+                    breaker,
+                },
+            )
+            .run(&workload(4_000), 21)
+        };
+        let without = with_breaker(None);
+        let with = with_breaker(Some(BreakerConfig {
+            window: 32,
+            failure_pct: 60,
+            min_samples: 16,
+            cooldown_ns: 2_000_000,
+            half_open_probes: 3,
+            slow_call_ns: 0,
+        }));
+        assert!(with.breaker_opens > 0, "the sick provider must trip");
+        assert!(
+            with.breaker_skips > 0,
+            "rotation must route around the open circuit"
+        );
+        assert!(
+            with.attempts_failed < without.attempts_failed,
+            "breaker must cut failed attempts: {} vs {}",
+            with.attempts_failed,
+            without.attempts_failed
+        );
+        // Routing around the sick provider must not cost availability.
+        assert!(with.ok >= without.ok);
+    }
+
+    #[test]
+    fn breaker_runs_stay_deterministic() {
+        let build = || {
+            ServiceRuntime::new(
+                vec![provider("sick", 0.8, 1_000), provider("fine", 0.0, 1_000)],
+                RuntimeConfig {
+                    policy: RequestPolicy::Hedged {
+                        delay_ns: 3_000,
+                        max_hedges: 1,
+                    },
+                    deadline_ns: 0,
+                    max_in_flight: 64,
+                    queue_capacity: 256,
+                    breaker: Some(BreakerConfig::default()),
+                },
+            )
+        };
+        let first = build().run(&workload(3_000), 17);
+        let second = build().run(&workload(3_000), 17);
+        assert_eq!(first, second, "breaker runs must be bit-identical");
+    }
+
+    #[test]
+    fn bursty_arrivals_run_through_the_same_loop() {
+        let mut load = workload(2_000);
+        load.arrival = ArrivalProcess::OnOff {
+            on_gap_ns: 200,
+            off_gap_ns: 20_000,
+            on_ns: 100_000,
+            off_ns: 400_000,
+        };
+        let report = runtime(
+            RequestPolicy::Hedged {
+                delay_ns: 3_000,
+                max_hedges: 2,
+            },
+            vec![
+                spiky_provider("a", 1_000, 0.05, 50_000),
+                spiky_provider("b", 1_000, 0.05, 50_000),
+            ],
+        )
+        .run(&load, 23);
+        assert_eq!(
+            report.ok + report.failed + report.rejected + report.deadline_exceeded,
+            2_000
+        );
+        // Bursts pile requests up far beyond the steady-state level a
+        // Poisson stream at the same mean would reach.
+        assert!(report.peak_in_flight > 8);
     }
 
     #[test]

@@ -287,6 +287,14 @@ pub fn progress_line(prev: &TelemetrySnapshot, cur: &TelemetrySnapshot, dt: Dura
         if shed > 0 {
             let _ = write!(line, "  shed {shed}");
         }
+        let opens = cur.counter(Counter::ServiceBreakerOpens);
+        if opens > 0 {
+            let _ = write!(
+                line,
+                "  breakers {opens}o/{}c",
+                cur.counter(Counter::ServiceBreakerCloses)
+            );
+        }
     }
     let kills = cur.counter(Counter::ChaosKills);
     let cancels = cur.counter(Counter::ChaosCancels);
@@ -578,6 +586,15 @@ mod tests {
         assert!(line.contains("queued 5"), "{line}");
         assert!(line.contains("hedges 60f/12w"), "{line}");
         assert!(line.contains("shed 20"), "{line}");
+        assert!(
+            !line.contains("breakers"),
+            "no breaker segment while nothing tripped: {line}"
+        );
+        shard.add(Counter::ServiceBreakerOpens, 4);
+        shard.add(Counter::ServiceBreakerCloses, 3);
+        let cur = telemetry.snapshot();
+        let line = progress_line(&prev, &cur, Duration::from_secs(1));
+        assert!(line.contains("breakers 4o/3c"), "{line}");
     }
 
     #[test]
