@@ -173,7 +173,9 @@ pub fn run_jobs(trials: usize, seed: u64, jobs: usize) -> Table {
                 if breaker { "on" } else { "off" }.to_owned(),
                 fmt_rate(ok_rate),
                 report.failed.to_string(),
-                (report.rejected + report.breaker_shed).to_string(),
+                // `rejected` already counts breaker-shed requests (they
+                // resolve Rejected); the brk column breaks them out.
+                report.rejected.to_string(),
                 report.attempts_failed.to_string(),
                 format!(
                     "{}/{}/{}",

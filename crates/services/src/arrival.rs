@@ -75,7 +75,9 @@ impl ArrivalProcess {
     /// # Panics
     ///
     /// Panics when `self` is an empty [`ArrivalProcess::Trace`] and
-    /// `requests > 0` — there is no schedule to replay.
+    /// `requests > 0` — there is no schedule to replay — or when a
+    /// trace's offsets decrease (time cannot run backwards; silently
+    /// normalising such a trace would wrap to enormous `u64` arrivals).
     #[must_use]
     pub fn arrival_times(&self, requests: u64, seed: u64) -> Vec<u64> {
         let n = usize::try_from(requests).unwrap_or(usize::MAX);
@@ -115,7 +117,11 @@ impl ArrivalProcess {
                     !trace.is_empty(),
                     "an empty arrival trace cannot schedule {requests} requests"
                 );
-                debug_assert!(
+                // A real assert, not a debug_assert: this validates
+                // once per run, and a decreasing trace in a release
+                // build would otherwise wrap `*t - first` below to
+                // enormous u64 arrival times instead of failing.
+                assert!(
                     trace.windows(2).all(|w| w[0] <= w[1]),
                     "arrival traces must be non-decreasing"
                 );
@@ -240,6 +246,14 @@ mod tests {
     #[should_panic(expected = "empty arrival trace")]
     fn empty_trace_with_requests_panics() {
         let _ = ArrivalProcess::Trace(vec![]).arrival_times(5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_trace_panics_instead_of_wrapping() {
+        // Pre-fix this was a debug_assert: release builds normalised
+        // [100, 50] to [0, u64-huge] instead of failing.
+        let _ = ArrivalProcess::Trace(vec![100, 50]).arrival_times(2, 0);
     }
 
     #[test]

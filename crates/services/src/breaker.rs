@@ -10,6 +10,14 @@
 //! of probe attempts — all probes succeeding closes the circuit, any
 //! probe failing re-opens it and restarts the cooldown.
 //!
+//! Probe slots are *reserved at dispatch* and released when the attempt
+//! completes ([`CircuitBreaker::on_result`]) **or is cancelled**
+//! ([`CircuitBreaker::on_cancel`] — a hedge win or deadline can drop a
+//! request while its probe still flies). The [`ProbeToken`] handed out
+//! by [`CircuitBreaker::on_dispatch`] identifies the probing round the
+//! slot belongs to, so a stale completion or cancellation from an
+//! earlier round can neither decide nor free a later round's probes.
+//!
 //! The runtime consults breakers at three seams (see
 //! [`runtime`](crate::runtime)): the admission controller sheds a
 //! request outright when *every* provider is Open, the hedged policy
@@ -22,6 +30,12 @@
 //! breaker state for its own provider pool.
 
 use redundancy_core::obs::telemetry::{self, Counter, Timer};
+
+/// Identifies the HalfOpen probing round a dispatched attempt reserved
+/// its slot in (`None`: not a probe — the circuit was Closed at
+/// dispatch). Returned by [`CircuitBreaker::on_dispatch`]; pass it back
+/// to [`CircuitBreaker::on_result`] or [`CircuitBreaker::on_cancel`].
+pub type ProbeToken = Option<u64>;
 
 /// Tuning for one [`CircuitBreaker`]. Integer-only so configs stay
 /// `Copy + Eq` (the failure threshold is a percentage, not a float).
@@ -159,17 +173,39 @@ impl CircuitBreaker {
 
     /// Reserves the dispatch [`admits`](Self::admits) just allowed (a
     /// HalfOpen circuit counts its in-flight probes; Closed needs no
-    /// reservation).
-    pub fn on_dispatch(&mut self, _now: u64) {
+    /// reservation). Returns the probe token the attempt must carry to
+    /// [`on_result`](Self::on_result) / [`on_cancel`](Self::on_cancel)
+    /// so the reservation is released exactly once, in the right round.
+    pub fn on_dispatch(&mut self, _now: u64) -> ProbeToken {
         if self.state == BreakerState::HalfOpen {
             self.probes_in_flight += 1;
+            // The half-open counter doubles as the round's epoch: it
+            // bumps on every Open → HalfOpen transition, so tokens from
+            // a previous round can never match the current one.
+            Some(self.half_opens)
+        } else {
+            None
         }
     }
 
-    /// Feeds one completed attempt into the profile: `ok` is the
-    /// provider's verdict, `latency_ns` its virtual service time (bad
-    /// when it reaches the configured slow-call bound).
-    pub fn on_result(&mut self, now: u64, ok: bool, latency_ns: u64) {
+    /// Releases the probe slot of an attempt that was *cancelled*
+    /// before completing — the owning request resolved first (hedge
+    /// win, deadline) and the response, if any, will never be seen.
+    /// Without this release a probing round whose every probe is
+    /// cancelled would pin `probes_in_flight` at the budget forever,
+    /// permanently blacklisting the provider (HalfOpen has no cooldown
+    /// escape). Tokens from an earlier round are ignored.
+    pub fn on_cancel(&mut self, probe: ProbeToken) {
+        if self.state == BreakerState::HalfOpen && probe == Some(self.half_opens) {
+            self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+        }
+    }
+
+    /// Feeds one completed attempt into the profile: `probe` is the
+    /// token its dispatch returned, `ok` the provider's verdict,
+    /// `latency_ns` its virtual service time (bad when it reaches the
+    /// configured slow-call bound).
+    pub fn on_result(&mut self, now: u64, probe: ProbeToken, ok: bool, latency_ns: u64) {
         let bad = !ok || (self.config.slow_call_ns > 0 && latency_ns >= self.config.slow_call_ns);
         match self.state {
             BreakerState::Closed => {
@@ -183,6 +219,14 @@ impl CircuitBreaker {
                 }
             }
             BreakerState::HalfOpen => {
+                if probe != Some(self.half_opens) {
+                    // A pre-trip attempt (or an earlier probing round's
+                    // straggler) landing mid-probe: the window restarted
+                    // when the circuit tripped, so stale evidence
+                    // neither consumes a probe slot nor decides this
+                    // round — same reasoning as the Open arm.
+                    return;
+                }
                 self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
                 if bad {
                     self.trip(now);
@@ -259,8 +303,8 @@ mod tests {
         let mut b = CircuitBreaker::new(config());
         for t in 0..3 {
             assert!(b.admits(t));
-            b.on_dispatch(t);
-            b.on_result(t, false, 100);
+            let _ = b.on_dispatch(t);
+            b.on_result(t, None, false, 100);
         }
         assert_eq!(b.state(), BreakerState::Closed, "3 < min_samples of 4");
         assert_eq!(b.opens(), 0);
@@ -270,7 +314,7 @@ mod tests {
     fn trips_open_on_failure_rate_and_refuses_until_cooldown() {
         let mut b = CircuitBreaker::new(config());
         for t in 0..4 {
-            b.on_result(t, false, 100);
+            b.on_result(t, None, false, 100);
         }
         assert_eq!(b.state(), BreakerState::Open);
         assert_eq!(b.opens(), 1);
@@ -285,12 +329,12 @@ mod tests {
     fn half_open_admits_a_bounded_number_of_probes() {
         let mut b = CircuitBreaker::new(config());
         for t in 0..4 {
-            b.on_result(t, false, 100);
+            b.on_result(t, None, false, 100);
         }
         assert!(b.admits(2_000));
-        b.on_dispatch(2_000);
+        let _ = b.on_dispatch(2_000);
         assert!(b.admits(2_000), "second probe slot free");
-        b.on_dispatch(2_000);
+        let _ = b.on_dispatch(2_000);
         assert!(!b.admits(2_000), "probe budget (2) exhausted");
     }
 
@@ -298,19 +342,19 @@ mod tests {
     fn successful_probes_close_and_record_open_duration() {
         let mut b = CircuitBreaker::new(config());
         for t in 0..4 {
-            b.on_result(t, false, 100);
+            b.on_result(t, None, false, 100);
         }
         assert!(b.admits(5_000));
-        b.on_dispatch(5_000);
-        b.on_result(5_100, true, 100);
+        let probe = b.on_dispatch(5_000);
+        b.on_result(5_100, probe, true, 100);
         assert_eq!(b.state(), BreakerState::HalfOpen, "one success of two");
         assert!(b.admits(5_100));
-        b.on_dispatch(5_100);
-        b.on_result(5_200, true, 100);
+        let probe = b.on_dispatch(5_100);
+        b.on_result(5_200, probe, true, 100);
         assert_eq!(b.state(), BreakerState::Closed);
         assert_eq!(b.closes(), 1);
         // The window restarted: old failures do not re-trip the circuit.
-        b.on_result(5_300, false, 100);
+        b.on_result(5_300, None, false, 100);
         assert_eq!(b.state(), BreakerState::Closed);
     }
 
@@ -318,11 +362,11 @@ mod tests {
     fn a_failed_probe_reopens_and_restarts_the_cooldown() {
         let mut b = CircuitBreaker::new(config());
         for t in 0..4 {
-            b.on_result(t, false, 100);
+            b.on_result(t, None, false, 100);
         }
         assert!(b.admits(2_000));
-        b.on_dispatch(2_000);
-        b.on_result(2_050, false, 100);
+        let probe = b.on_dispatch(2_000);
+        b.on_result(2_050, probe, false, 100);
         assert_eq!(b.state(), BreakerState::Open);
         assert_eq!(b.opens(), 2, "the re-open counts");
         assert!(!b.admits(2_900), "new cooldown from the re-open");
@@ -337,7 +381,7 @@ mod tests {
         });
         // Every response is ok, but at 10× the slow-call bound.
         for t in 0..4 {
-            b.on_result(t, true, 10_000);
+            b.on_result(t, None, true, 10_000);
         }
         assert_eq!(
             b.state(),
@@ -355,19 +399,19 @@ mod tests {
             .into_iter()
             .enumerate()
         {
-            b.on_result(t as u64, ok, 100);
+            b.on_result(t as u64, None, ok, 100);
         }
         assert_eq!(b.state(), BreakerState::Closed);
         // Phase B: 8 successes slide every phase-A failure out of the
         // 8-slot window.
         for t in 8..16 {
-            b.on_result(t, true, 100);
+            b.on_result(t, None, true, 100);
         }
         // Phase C: 3 fresh failures. A correctly aged window holds
         // 5 ok + 3 bad = 37.5%; if eviction leaked, the 6 lifetime
         // failures would read as 75% and trip.
         for t in 16..19 {
-            b.on_result(t, false, 100);
+            b.on_result(t, None, false, 100);
         }
         assert_eq!(b.state(), BreakerState::Closed);
         assert_eq!(b.opens(), 0);
@@ -377,12 +421,88 @@ mod tests {
     fn stale_results_landing_while_open_are_ignored() {
         let mut b = CircuitBreaker::new(config());
         for t in 0..4 {
-            b.on_result(t, false, 100);
+            b.on_result(t, None, false, 100);
         }
         assert_eq!(b.opens(), 1);
-        b.on_result(10, false, 100);
-        b.on_result(11, true, 100);
+        b.on_result(10, None, false, 100);
+        b.on_result(11, None, true, 100);
         assert_eq!(b.state(), BreakerState::Open);
         assert_eq!(b.opens(), 1, "stale evidence neither re-trips nor closes");
+    }
+    #[test]
+    fn cancelled_probes_release_their_reservation() {
+        // The blacklist bug: a probe whose request resolved first
+        // (hedge win, deadline) never reaches on_result, so its slot
+        // leaked — once every probe of a round was cancelled, admits()
+        // answered false forever. Cancellation must free the slot.
+        let mut b = CircuitBreaker::new(config());
+        for t in 0..4 {
+            b.on_result(t, None, false, 100);
+        }
+        assert!(b.admits(2_000));
+        let p1 = b.on_dispatch(2_000);
+        let p2 = b.on_dispatch(2_000);
+        assert!(!b.admits(2_000), "probe budget (2) exhausted");
+        b.on_cancel(p1);
+        b.on_cancel(p2);
+        assert!(
+            b.admits(9_999_999),
+            "cancelled probes must not blacklist the provider"
+        );
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Fresh probes can still decide the round normally.
+        let q1 = b.on_dispatch(2_100);
+        b.on_result(2_200, q1, true, 100);
+        let q2 = b.on_dispatch(2_200);
+        b.on_result(2_300, q2, true, 100);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn stale_tokens_from_an_earlier_round_do_not_touch_a_later_one() {
+        let mut b = CircuitBreaker::new(config());
+        for t in 0..4 {
+            b.on_result(t, None, false, 100);
+        }
+        // Round 1: one probe fails, re-opening the circuit while its
+        // sibling still flies.
+        assert!(b.admits(2_000));
+        let stale = b.on_dispatch(2_000);
+        let failed = b.on_dispatch(2_000);
+        b.on_result(2_050, failed, false, 100);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Round 2 after the new cooldown: fill the probe budget.
+        assert!(b.admits(3_100));
+        let _ = b.on_dispatch(3_100);
+        let _ = b.on_dispatch(3_100);
+        assert!(!b.admits(3_100));
+        // Round 1's straggler being cancelled (or completing) must not
+        // free — or decide — round 2's slots.
+        b.on_cancel(stale);
+        assert!(!b.admits(3_100), "stale cancel freed a round-2 slot");
+        b.on_result(3_150, stale, true, 100);
+        assert_eq!(
+            b.state(),
+            BreakerState::HalfOpen,
+            "a stale success must not count toward round 2"
+        );
+    }
+
+    #[test]
+    fn pre_trip_results_landing_half_open_are_ignored() {
+        let mut b = CircuitBreaker::new(config());
+        for t in 0..4 {
+            b.on_result(t, None, false, 100);
+        }
+        assert!(b.admits(2_000), "cooldown elapsed: half-open");
+        // A slow pre-trip attempt (dispatched while Closed: no token)
+        // lands mid-probe. The window restarted at the trip, so it
+        // neither re-trips the circuit nor consumes a probe slot.
+        b.on_result(2_010, None, false, 100);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.opens(), 1);
+        let _ = b.on_dispatch(2_020);
+        let _ = b.on_dispatch(2_020);
+        assert!(!b.admits(2_020), "both real probe slots still reserved");
     }
 }

@@ -53,7 +53,7 @@ use redundancy_core::obs::telemetry::{self, Counter, Timer};
 use redundancy_core::rng::SplitMix64;
 
 use crate::arrival::ArrivalProcess;
-use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::breaker::{BreakerConfig, CircuitBreaker, ProbeToken};
 use crate::clock::EventQueue;
 use crate::provider::{PlannedInvoke, Provider, SimProvider};
 use crate::recovery::Backoff;
@@ -362,6 +362,9 @@ enum Event {
         provider: u32,
         ok: bool,
         latency_ns: u64,
+        /// The HalfOpen probe slot the dispatch reserved, if any —
+        /// must be released even when the event pops stale.
+        probe: ProbeToken,
     },
     /// The hedge delay elapsed with no response yet.
     HedgeTimer { req: u64 },
@@ -549,7 +552,8 @@ impl Sim<'_> {
                 provider,
                 ok,
                 latency_ns,
-            } => self.on_attempt_done(now, req, attempt, provider, ok, latency_ns),
+                probe,
+            } => self.on_attempt_done(now, req, attempt, provider, ok, latency_ns, probe),
             Event::HedgeTimer { req } => self.on_hedge_timer(now, req),
             Event::RetryTimer { req } => self.on_retry_timer(now, req),
             Event::Deadline { req } => self.on_deadline(now, req),
@@ -698,9 +702,10 @@ impl Sim<'_> {
             &self.workload.args,
             &mut attempt_rng,
         );
-        if let Some(breaker) = self.breakers.get_mut(provider_idx) {
-            breaker.on_dispatch(now);
-        }
+        let probe = match self.breakers.get_mut(provider_idx) {
+            Some(breaker) => breaker.on_dispatch(now),
+            None => None,
+        };
         self.events.schedule(
             now.saturating_add(latency_ns),
             Event::AttemptDone {
@@ -709,11 +714,13 @@ impl Sim<'_> {
                 provider: u32::try_from(provider_idx).unwrap_or(u32::MAX),
                 ok: result.is_ok(),
                 latency_ns,
+                probe,
             },
         );
         true
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_attempt_done(
         &mut self,
         now: u64,
@@ -722,18 +729,24 @@ impl Sim<'_> {
         provider: u32,
         ok: bool,
         latency_ns: u64,
+        probe: ProbeToken,
     ) {
+        let breaker_idx = usize::try_from(provider).unwrap_or(usize::MAX);
         if !self.states.contains_key(&req) {
-            return; // Stale: the request resolved while this attempt flew.
+            // Stale: the request resolved (hedge win, deadline) while
+            // this attempt flew. A cancelled call produces no response
+            // to profile — but it must still release any HalfOpen probe
+            // slot its dispatch reserved, or a round whose every probe
+            // is cancelled pins the breaker's quota forever and
+            // blacklists the provider for the rest of the run.
+            if let Some(breaker) = self.breakers.get_mut(breaker_idx) {
+                breaker.on_cancel(probe);
+            }
+            return;
         }
-        // Profile the completion into the provider's breaker. Cancelled
-        // attempts (stale events, dropped above) never land here: a
-        // cancelled call produces no response to learn from.
-        if let Some(breaker) = self
-            .breakers
-            .get_mut(usize::try_from(provider).unwrap_or(usize::MAX))
-        {
-            breaker.on_result(now, ok, latency_ns);
+        // Profile the completion into the provider's breaker.
+        if let Some(breaker) = self.breakers.get_mut(breaker_idx) {
+            breaker.on_result(now, probe, ok, latency_ns);
         }
         if !ok {
             telemetry::add(Counter::ServiceAttemptsFailed, 1);
@@ -1397,6 +1410,71 @@ mod tests {
         );
         // Routing around the sick provider must not cost availability.
         assert!(with.ok >= without.ok);
+    }
+
+    #[test]
+    fn cancelled_probes_do_not_blacklist_a_provider() {
+        // Regression for the probe-reservation leak: the sole provider
+        // fails fast half the time (which trips its breaker) and spikes
+        // past the deadline the other half — spiked attempts die of
+        // deadline while still in flight, so their completions pop
+        // stale and the call is *cancelled*. Probes dispatched into a
+        // spike are cancelled the same way; when their reservations
+        // leaked, the first HalfOpen round whose every probe was
+        // cancelled pinned `probes_in_flight` at the quota forever and
+        // every later arrival was shed at the front door.
+        let rt = ServiceRuntime::new(
+            vec![Arc::new(
+                SimProvider::builder("flappy", InterfaceId::new("echo"))
+                    .fail_prob(0.5)
+                    .latency(1_000, 100)
+                    .latency_spike(0.5, 60_000)
+                    .operation("ping", |_, _| Ok(Value::Str("pong".into())))
+                    .build(),
+            )],
+            RuntimeConfig {
+                policy: RequestPolicy::Single,
+                deadline_ns: 20_000,
+                max_in_flight: 64,
+                queue_capacity: 256,
+                breaker: Some(BreakerConfig {
+                    window: 8,
+                    failure_pct: 50,
+                    min_samples: 4,
+                    cooldown_ns: 5_000,
+                    half_open_probes: 2,
+                    slow_call_ns: 0,
+                }),
+            },
+        );
+        let report = rt.run(&workload(4_000), 13);
+        // Cancelled probes must keep the Open/HalfOpen cycle alive: the
+        // circuit re-trips many times over the run instead of freezing
+        // in its first cancelled probe round...
+        assert!(
+            report.breaker_opens > 5,
+            "the circuit must keep cycling, saw {} opens",
+            report.breaker_opens
+        );
+        // ...and late arrivals still reach the provider. With the leak,
+        // every request after the poisoned round was shed, so the tail
+        // of the id space had no Ok (nor even Failed) rows at all.
+        let late_served = report
+            .ledger
+            .iter()
+            .filter(|r| r.id >= 3_000 && r.start_ns.is_some())
+            .count();
+        assert!(
+            late_served > 0,
+            "late arrivals must still be admitted after probe cancellations"
+        );
+        assert!(
+            report
+                .ledger
+                .iter()
+                .any(|r| r.id >= 3_000 && matches!(r.outcome, RequestOutcome::Ok { .. })),
+            "the provider's healthy half must keep serving late requests"
+        );
     }
 
     #[test]

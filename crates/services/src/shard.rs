@@ -54,8 +54,9 @@ pub struct ShardedRuntime {
 impl ShardedRuntime {
     /// Creates a runtime of `shards` loops. `config` describes the
     /// *whole* system: `max_in_flight` and `queue_capacity` are split
-    /// evenly across shards (ceiling division, min 1 in-flight slot);
-    /// policy, deadline, and breaker config apply per shard as-is.
+    /// exactly across shards (floor, remainder to the first shards, min
+    /// 1 in-flight slot per loop); policy, deadline, and breaker config
+    /// apply per shard as-is.
     ///
     /// # Panics
     ///
@@ -85,13 +86,19 @@ impl ShardedRuntime {
         self.shards
     }
 
-    /// The per-shard limits: the system-wide admission cap and queue
-    /// capacity divided evenly (ceiling) across shards.
+    /// The limits of shard `shard` (`< shards`): the system-wide
+    /// admission cap and queue capacity are distributed *exactly* —
+    /// every shard gets `total / shards`, the first `total % shards`
+    /// shards one more — so the aggregate equals the configured limit
+    /// and the sharded system never out-admits the single loop. The one
+    /// exception: each loop keeps at least one in-flight slot (a zero
+    /// admission cap would deadlock it), so when
+    /// `max_in_flight < shards` the aggregate is `shards` instead.
     #[must_use]
-    pub fn shard_config(&self) -> RuntimeConfig {
+    pub fn shard_config(&self, shard: usize) -> RuntimeConfig {
         RuntimeConfig {
-            max_in_flight: self.config.max_in_flight.div_ceil(self.shards).max(1),
-            queue_capacity: self.config.queue_capacity.div_ceil(self.shards),
+            max_in_flight: split_exact(self.config.max_in_flight, self.shards, shard).max(1),
+            queue_capacity: split_exact(self.config.queue_capacity, self.shards, shard),
             ..self.config
         }
     }
@@ -112,22 +119,28 @@ impl ShardedRuntime {
     pub fn run_jobs(&self, workload: &Workload, seed: u64, jobs: usize) -> RuntimeReport {
         let arrivals: Arc<Vec<u64>> =
             Arc::new(workload.arrival.arrival_times(workload.requests, seed));
-        let shard_config = self.shard_config();
         let step = self.shards as u64;
-        let tasks: Vec<_> = (0..step)
-            .map(|first| {
+        let tasks: Vec<_> = (0..self.shards)
+            .map(|shard| {
                 let arrivals = Arc::clone(&arrivals);
                 let workload = workload.clone();
                 let factory = &self.factory;
+                let shard_config = self.shard_config(shard);
                 move || {
                     telemetry::add(Counter::ServiceShardRuns, 1);
                     let runtime = ServiceRuntime::new(factory(), shard_config);
-                    runtime.run_slice(&workload, seed, &arrivals, first, step)
+                    runtime.run_slice(&workload, seed, &arrivals, shard as u64, step)
                 }
             })
             .collect();
         merge_reports(parallel_tasks(jobs, tasks))
     }
+}
+
+/// `item`'s share when `total` is split exactly across `parts`: floor
+/// for everyone, the remainder handed to the first `total % parts`.
+fn split_exact(total: usize, parts: usize, item: usize) -> usize {
+    total / parts + usize::from(item < total % parts)
 }
 
 /// Merges per-shard reports: ledgers k-way merged on `(end_ns, id)`
@@ -349,7 +362,7 @@ mod tests {
     }
 
     #[test]
-    fn split_limits_cover_the_whole_system() {
+    fn split_limits_cover_the_whole_system_exactly() {
         let rt = ShardedRuntime::new(
             3,
             RuntimeConfig {
@@ -359,11 +372,19 @@ mod tests {
             },
             spiky_flaky_pool,
         );
-        let per_shard = rt.shard_config();
-        assert_eq!(per_shard.max_in_flight, 3, "ceil(8/3)");
-        assert_eq!(per_shard.queue_capacity, 2, "ceil(4/3)");
+        // Floor plus remainder-to-the-first: 8 = 3 + 3 + 2, 4 = 2+1+1 —
+        // the aggregate equals the global limit (the old div_ceil split
+        // gave 3 + 3 + 3 = 9, out-admitting the single loop).
+        let caps: Vec<usize> = (0..3).map(|s| rt.shard_config(s).max_in_flight).collect();
+        assert_eq!(caps, vec![3, 3, 2]);
+        assert_eq!(caps.iter().sum::<usize>(), 8, "aggregate admission cap");
+        let queues: Vec<usize> = (0..3).map(|s| rt.shard_config(s).queue_capacity).collect();
+        assert_eq!(queues, vec![2, 1, 1]);
+        assert_eq!(queues.iter().sum::<usize>(), 4, "aggregate queue bound");
         // A cap smaller than the shard count still leaves each loop
-        // one slot — an admission cap of zero would deadlock.
+        // one slot — an admission cap of zero would deadlock. This is
+        // the one case where the aggregate (= shards) exceeds the
+        // configured limit.
         let tiny = ShardedRuntime::new(
             4,
             RuntimeConfig {
@@ -372,7 +393,9 @@ mod tests {
             },
             spiky_flaky_pool,
         );
-        assert_eq!(tiny.shard_config().max_in_flight, 1);
+        for shard in 0..4 {
+            assert_eq!(tiny.shard_config(shard).max_in_flight, 1);
+        }
     }
 
     #[test]
